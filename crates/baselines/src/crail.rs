@@ -1,0 +1,138 @@
+//! Apache Crail model.
+//!
+//! Crail shares NVMe-CR's SPDK userspace data plane ("both use SPDK for
+//! NVMf support", §IV-F) but differs in two ways the paper leans on:
+//!
+//! * its public version "only supports a single NVMe server" (§IV-A), so
+//!   the model pins placement to one server;
+//! * it has "a single metadata server which becomes a bottleneck at
+//!   high-concurrency" (§IV-A) and ships more metadata per operation than
+//!   provenance logging, giving NVMe-CR "consistently ... up to 5-10% lower
+//!   overhead for remote access" (§IV-F).
+
+use fabric::IoPath;
+use simkit::SimTime;
+
+use crate::dagutil;
+use crate::model::{MetadataOverhead, StorageModel};
+use crate::scenario::Scenario;
+use crate::spec::{DataPlaneSpec, PlacementPolicy};
+
+/// The Crail comparator (single NVMf server).
+pub struct CrailModel {
+    spec: DataPlaneSpec,
+}
+
+impl Default for CrailModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CrailModel {
+    /// Calibrated to §IV-F: 5-10% above NVMe-CR at full subscription.
+    pub fn new() -> Self {
+        CrailModel {
+            spec: DataPlaneSpec {
+                layer_efficiency: 0.97,
+                request_size: 32 << 10,
+                path: IoPath::Userspace,
+                placement: PlacementPolicy::SingleServer,
+                create_serialized: None,
+                create_client: SimTime::micros(12.0),
+                // Block metadata travels via RPC rather than a local log.
+                write_meta_bytes: 2048,
+                // Every block allocation consults the single metadata
+                // server. Calibrated so the server saturates just above the
+                // device rate at 28 clients, reproducing the paper's 5-10%
+                // gap (Â§IV-F) and its "bottleneck at high-concurrency".
+                meta_server_op: Some(SimTime::micros(450.0)),
+                meta_contention_knee: u32::MAX,
+                meta_chunks_on_write: true,
+                meta_chunks_on_read: true,
+                ..DataPlaneSpec::base("Crail")
+            },
+        }
+    }
+
+    /// The underlying mechanism spec.
+    pub fn spec(&self) -> &DataPlaneSpec {
+        &self.spec
+    }
+
+    /// Crail only runs single-server; force the scenario shape.
+    fn clamp(s: &Scenario) -> Scenario {
+        Scenario { servers: 1, ..s.clone() }
+    }
+}
+
+impl StorageModel for CrailModel {
+    fn name(&self) -> &'static str {
+        "Crail"
+    }
+
+    fn checkpoint_makespan(&self, s: &Scenario) -> SimTime {
+        dagutil::checkpoint_makespan(&Self::clamp(s), &self.spec)
+    }
+
+    fn recovery_makespan(&self, s: &Scenario) -> SimTime {
+        dagutil::recovery_makespan(&Self::clamp(s), &self.spec)
+    }
+
+    fn create_rate(&self, s: &Scenario, creates_per_proc: u32) -> f64 {
+        dagutil::create_rate(&Self::clamp(s), &self.spec, creates_per_proc)
+    }
+
+    fn server_loads(&self, s: &Scenario) -> Vec<f64> {
+        dagutil::server_loads(&Self::clamp(s), &self.spec)
+    }
+
+    fn metadata_overhead(&self, s: &Scenario) -> MetadataOverhead {
+        // Central metadata server state: per-block entries.
+        let blocks = s.total_bytes().div_ceil(self.spec.request_size);
+        MetadataOverhead {
+            per_server_bytes: blocks * 64,
+            per_runtime_bytes: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn close_to_raw_device_on_one_server() {
+        let m = CrailModel::new();
+        let s = Scenario::single_node(512 << 20);
+        let eff = m.checkpoint_efficiency(&s);
+        assert!(eff > 0.80, "Crail single-server efficiency {eff}");
+    }
+
+    #[test]
+    fn single_server_regardless_of_scenario() {
+        let m = CrailModel::new();
+        let s = Scenario::weak_scaling(112);
+        let loads = m.server_loads(&s);
+        assert_eq!(loads.len(), 1);
+    }
+
+    #[test]
+    fn metadata_rpcs_add_a_few_percent() {
+        // Compare against a metadata-free version of the same spec.
+        let m = CrailModel::new();
+        let free = DataPlaneSpec {
+            meta_server_op: None,
+            write_meta_bytes: 0,
+            ..m.spec.clone()
+        };
+        let s = Scenario { servers: 1, ..Scenario::single_node(512 << 20) };
+        let with = m.checkpoint_makespan(&s).as_secs();
+        let without = dagutil::checkpoint_makespan(&s, &free).as_secs();
+        let overhead = with / without - 1.0;
+        assert!(
+            (0.02..0.20).contains(&overhead),
+            "Crail metadata overhead should be the paper's 5-10%-ish: {overhead}"
+        );
+    }
+}

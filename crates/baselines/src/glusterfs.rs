@@ -1,0 +1,142 @@
+//! GlusterFS model.
+//!
+//! Mechanisms:
+//! * **jump consistent hashing** distributes whole files — high load CoV at
+//!   low concurrency (Fig 1 note, Fig 7b, paper reference \[17\]);
+//! * decentralized data path with moderate layering — peaks near **84% of
+//!   hardware** (Fig 1);
+//! * creates serialize on the **common directory file** ("both must add
+//!   file entries to a single common directory file which effectively
+//!   serializes file creates", §IV-G; Fig 8b: ~7x below NVMe-CR at 448);
+//! * recovery reads funnel lookups through the metadata service, which
+//!   degrades under the 448-process influx (Fig 9d dip, §IV-H) — modelled
+//!   as quadratically growing per-lookup service time past a contention
+//!   knee;
+//! * near-zero per-server metadata: "it uses consistent hashing which
+//!   requires little metadata" (Table I: 3.5 MB per node).
+
+use fabric::IoPath;
+use simkit::SimTime;
+
+use crate::dagutil;
+use crate::model::{MetadataOverhead, StorageModel};
+use crate::scenario::Scenario;
+use crate::spec::{DataPlaneSpec, PlacementPolicy};
+
+/// The GlusterFS comparator.
+pub struct GlusterFsModel {
+    spec: DataPlaneSpec,
+}
+
+impl Default for GlusterFsModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GlusterFsModel {
+    /// Calibrated to the paper's measurements (see module docs).
+    pub fn new() -> Self {
+        GlusterFsModel {
+            spec: DataPlaneSpec {
+                layer_efficiency: 0.97,
+                request_size: 32 << 10,
+                path: IoPath::Kernel,
+                placement: PlacementPolicy::JumpHash,
+                // Common-directory-file serialization (Fig 8b).
+                create_serialized: Some(SimTime::micros(12.0)),
+                create_client: SimTime::micros(120.0),
+                write_meta_bytes: 512,
+                // Lookup service; contention past ~224 concurrent clients
+                // produces the 448-process recovery dip of Fig 9d.
+                meta_server_op: Some(SimTime::micros(18.0)),
+                meta_contention_knee: 224,
+                meta_chunks_on_write: false,
+                meta_chunks_on_read: true,
+                meta_on_create: false,
+                ..DataPlaneSpec::base("GlusterFS")
+            },
+        }
+    }
+
+    /// The underlying mechanism spec.
+    pub fn spec(&self) -> &DataPlaneSpec {
+        &self.spec
+    }
+}
+
+impl StorageModel for GlusterFsModel {
+    fn name(&self) -> &'static str {
+        "GlusterFS"
+    }
+
+    fn checkpoint_makespan(&self, s: &Scenario) -> SimTime {
+        dagutil::checkpoint_makespan(s, &self.spec)
+    }
+
+    fn recovery_makespan(&self, s: &Scenario) -> SimTime {
+        dagutil::recovery_makespan(s, &self.spec)
+    }
+
+    fn create_rate(&self, s: &Scenario, creates_per_proc: u32) -> f64 {
+        dagutil::create_rate(s, &self.spec, creates_per_proc)
+    }
+
+    fn server_loads(&self, s: &Scenario) -> Vec<f64> {
+        dagutil::server_loads(s, &self.spec)
+    }
+
+    fn metadata_overhead(&self, s: &Scenario) -> MetadataOverhead {
+        // Elastic hashing keeps almost nothing per file: extended
+        // attributes plus a small fixed layout volume (Table I: 3.5 MB).
+        MetadataOverhead {
+            per_server_bytes: (3 << 20)
+                + u64::from(s.procs) * 512 / u64::from(s.servers),
+            per_runtime_bytes: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_efficiency_near_84_percent() {
+        let m = GlusterFsModel::new();
+        let eff = m.checkpoint_efficiency(&Scenario::weak_scaling(224));
+        assert!((0.70..0.90).contains(&eff), "GlusterFS peak efficiency {eff}");
+    }
+
+    #[test]
+    fn low_concurrency_suffers_from_hash_imbalance() {
+        let m = GlusterFsModel::new();
+        let small = m.checkpoint_efficiency(&Scenario::weak_scaling(28));
+        let big = m.checkpoint_efficiency(&Scenario::weak_scaling(224));
+        assert!(
+            small < big * 0.93,
+            "imbalance must hurt at 28 procs: {small} vs {big}"
+        );
+        assert!(m.load_cov(&Scenario::weak_scaling(28)) > 0.15);
+        assert!(m.load_cov(&Scenario::weak_scaling(448)) < m.load_cov(&Scenario::weak_scaling(28)));
+    }
+
+    #[test]
+    fn recovery_dips_at_448() {
+        let m = GlusterFsModel::new();
+        let mid = m.recovery_efficiency(&Scenario::weak_scaling(224));
+        let big = m.recovery_efficiency(&Scenario::weak_scaling(448));
+        assert!(
+            big < mid * 0.92,
+            "metadata influx must dent recovery at 448: {mid} -> {big}"
+        );
+    }
+
+    #[test]
+    fn metadata_overhead_is_tiny() {
+        let m = GlusterFsModel::new();
+        let o = m.metadata_overhead(&Scenario::weak_scaling(448));
+        let mb = o.per_server_bytes as f64 / 1e6;
+        assert!((2.0..6.0).contains(&mb), "per-server metadata {mb} MB");
+    }
+}

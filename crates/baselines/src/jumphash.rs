@@ -1,0 +1,93 @@
+//! Jump consistent hash — Lamping & Veach, the paper's reference \[17\].
+//!
+//! GlusterFS's elastic-hash distribution is modelled with this algorithm;
+//! reference \[17\] is also the paper's citation for *why* consistent hashing
+//! shows "high standard deviation of load under low concurrency" (Figure 1
+//! and Figure 7b), which is exactly the behaviour the Figure 7b harness
+//! measures from this implementation.
+
+/// Map `key` to a bucket in `0..num_buckets` (Lamping & Veach, 2014).
+pub fn jump_consistent_hash(key: u64, num_buckets: u32) -> u32 {
+    assert!(num_buckets > 0);
+    let mut k = key;
+    let mut b: i64 = -1;
+    let mut j: i64 = 0;
+    while j < i64::from(num_buckets) {
+        b = j;
+        k = k.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(1);
+        let shifted = ((k >> 33) + 1) as f64;
+        j = (((b + 1) as f64) * ((1i64 << 31) as f64) / shifted) as i64;
+    }
+    b as u32
+}
+
+/// FNV-1a hash of a string key (file names → u64 keys).
+pub fn str_key(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in s.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::stats::coefficient_of_variation;
+
+    #[test]
+    fn stays_in_range_and_is_deterministic() {
+        for key in [0u64, 1, 42, u64::MAX] {
+            for buckets in [1u32, 2, 8, 100] {
+                let b = jump_consistent_hash(key, buckets);
+                assert!(b < buckets);
+                assert_eq!(b, jump_consistent_hash(key, buckets));
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_consistency_property() {
+        // The defining property: growing the bucket count only moves keys
+        // *into the new bucket*, never between old buckets.
+        for key in 0..2000u64 {
+            let small = jump_consistent_hash(key, 7);
+            let big = jump_consistent_hash(key, 8);
+            assert!(big == small || big == 7, "key {key}: {small} -> {big}");
+        }
+    }
+
+    #[test]
+    fn roughly_uniform_at_high_key_counts() {
+        let mut counts = [0u64; 8];
+        for key in 0..80_000u64 {
+            counts[jump_consistent_hash(key, 8) as usize] += 1;
+        }
+        let loads: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        assert!(coefficient_of_variation(&loads) < 0.02);
+    }
+
+    #[test]
+    fn high_cov_at_low_key_counts() {
+        // The paper's low-concurrency imbalance: few files over 8 servers.
+        let loads_for = |n: u64| {
+            let mut counts = [0f64; 8];
+            for i in 0..n {
+                let key = str_key(&format!("/ckpt/rank_{i}.dat"));
+                counts[jump_consistent_hash(key, 8) as usize] += 1.0;
+            }
+            coefficient_of_variation(&counts)
+        };
+        let few = loads_for(28);
+        let many = loads_for(448);
+        assert!(few > many, "CoV must fall with concurrency: {few} vs {many}");
+        assert!(few > 0.2, "28 files over 8 servers should be visibly imbalanced");
+    }
+
+    #[test]
+    fn str_key_distinguishes_names() {
+        assert_ne!(str_key("/a"), str_key("/b"));
+        assert_eq!(str_key("/a"), str_key("/a"));
+    }
+}

@@ -1,0 +1,188 @@
+//! Local kernel filesystems: ext4 and XFS (the Figure 7c comparators).
+//!
+//! Both trap into the kernel for every IO (Fig 2; §IV-D measures 79% and
+//! 76.5% of benchmark time in the kernel for ext4 and XFS respectively).
+//! They differ in allocator and journal:
+//!
+//! * **ext4**: 4 KiB block-bitmap allocation (per-block CPU), ordered-mode
+//!   journaling (extra device bytes per write), heavier layering — the
+//!   paper measures an 83% latency gap vs NVMe-CR at 512 MB;
+//! * **XFS**: extent-based delayed allocation (no per-block cost), leaner
+//!   journal — a 19% gap.
+//!
+//! These models describe a *local* SSD (`servers = 1`, no network hops);
+//! [`dagutil`] still routes through a link pipe, which at EDR bandwidth
+//! contributes < 2% — the paper's own local-vs-remote gap (Fig 8a).
+
+use fabric::{IoPath, TimeSplit};
+use simkit::SimTime;
+
+use crate::dagutil;
+use crate::model::{MetadataOverhead, StorageModel};
+use crate::scenario::Scenario;
+use crate::spec::{DataPlaneSpec, PlacementPolicy};
+
+fn local(s: &Scenario) -> Scenario {
+    Scenario { servers: 1, ..s.clone() }
+}
+
+/// Shared implementation for the two kernel filesystems.
+macro_rules! kernel_fs_model {
+    ($name:ident, $label:literal) => {
+        /// See module docs.
+        pub struct $name {
+            spec: DataPlaneSpec,
+        }
+
+        impl $name {
+            /// The underlying mechanism spec.
+            pub fn spec(&self) -> &DataPlaneSpec {
+                &self.spec
+            }
+
+            /// Fraction of benchmark time spent in the kernel for a run of
+            /// `n_ios` IO calls plus the residual non-IO syscall time
+            /// (§IV-D reports 79% / 76.5% / 10%).
+            pub fn kernel_time_fraction(&self, s: &Scenario) -> f64 {
+                let mut split = TimeSplit::new();
+                let n_ios = s.bytes_per_proc.div_ceil(s.app_write_size);
+                split.record_ios(self.spec.path, &s.kernel, n_ios);
+                // Page-granular kernel work (copy-in, page cache, bio
+                // assembly) regardless of allocator.
+                split.record_kernel(SimTime::micros(
+                    1.2 * s.bytes_per_proc.div_ceil(4096) as f64,
+                ));
+                // Benchmark-side user work: serializing the checkpoint
+                // image into IO buffers (~10 GB/s memcpy).
+                split.record_user(SimTime::secs(s.bytes_per_proc as f64 / 10e9));
+                split.kernel_fraction()
+            }
+        }
+
+        impl StorageModel for $name {
+            fn name(&self) -> &'static str {
+                $label
+            }
+
+            fn checkpoint_makespan(&self, s: &Scenario) -> SimTime {
+                dagutil::checkpoint_makespan(&local(s), &self.spec)
+            }
+
+            fn recovery_makespan(&self, s: &Scenario) -> SimTime {
+                dagutil::recovery_makespan(&local(s), &self.spec)
+            }
+
+            fn create_rate(&self, s: &Scenario, creates_per_proc: u32) -> f64 {
+                dagutil::create_rate(&local(s), &self.spec, creates_per_proc)
+            }
+
+            fn server_loads(&self, s: &Scenario) -> Vec<f64> {
+                dagutil::server_loads(&local(s), &self.spec)
+            }
+
+            fn metadata_overhead(&self, s: &Scenario) -> MetadataOverhead {
+                let blocks = s.total_bytes().div_ceil(self.spec.request_size);
+                MetadataOverhead {
+                    per_server_bytes: blocks * 16 + (128 << 20), // maps + journal
+                    per_runtime_bytes: 0,
+                }
+            }
+        }
+    };
+}
+
+kernel_fs_model!(Ext4Model, "ext4");
+kernel_fs_model!(XfsModel, "XFS");
+
+impl Default for Ext4Model {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Ext4Model {
+    /// Calibrated to Fig 7c's 83% gap at 512 MB.
+    pub fn new() -> Self {
+        Ext4Model {
+            spec: DataPlaneSpec {
+                layer_efficiency: 0.55,
+                request_size: 4 << 10,
+                path: IoPath::Kernel,
+                placement: PlacementPolicy::RoundRobin,
+                create_serialized: Some(SimTime::micros(15.0)), // shared dir mutex
+                create_client: SimTime::micros(30.0),
+                write_meta_bytes: 52 << 10, // ordered-mode journal per 1 MiB
+                alloc_per_block: SimTime::micros(0.6),
+                ..DataPlaneSpec::base("ext4")
+            },
+        }
+    }
+}
+
+impl Default for XfsModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl XfsModel {
+    /// Calibrated to Fig 7c's 19% gap at 512 MB.
+    pub fn new() -> Self {
+        XfsModel {
+            spec: DataPlaneSpec {
+                layer_efficiency: 0.88,
+                request_size: 64 << 10,
+                path: IoPath::Kernel,
+                placement: PlacementPolicy::RoundRobin,
+                create_serialized: Some(SimTime::micros(10.0)),
+                create_client: SimTime::micros(25.0),
+                write_meta_bytes: 10 << 10, // lean journal
+                alloc_per_block: SimTime::ZERO, // extent/delayed allocation
+                ..DataPlaneSpec::base("XFS")
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ext4_is_much_slower_than_xfs() {
+        let s = Scenario::single_node(512 << 20);
+        let e = Ext4Model::new().checkpoint_makespan(&s).as_secs();
+        let x = XfsModel::new().checkpoint_makespan(&s).as_secs();
+        assert!(e > x * 1.3, "ext4 {e}s vs XFS {x}s");
+    }
+
+    #[test]
+    fn gap_grows_with_checkpoint_size() {
+        // §IV-D: "on increasing data size, the performance gap increases"
+        // (metadata overhead is linear in file size).
+        let small = Scenario::single_node(32 << 20);
+        let big = Scenario::single_node(512 << 20);
+        let ratio = |s: &Scenario| {
+            Ext4Model::new().checkpoint_makespan(s).as_secs()
+                / XfsModel::new().checkpoint_makespan(s).as_secs()
+        };
+        assert!(ratio(&big) >= ratio(&small) * 0.95);
+    }
+
+    #[test]
+    fn kernel_time_fraction_matches_paper_ballpark() {
+        let s = Scenario::single_node(512 << 20);
+        let e = Ext4Model::new().kernel_time_fraction(&s);
+        let x = XfsModel::new().kernel_time_fraction(&s);
+        assert!((0.6..0.95).contains(&e), "ext4 kernel fraction {e}");
+        assert!((0.6..0.95).contains(&x), "XFS kernel fraction {x}");
+    }
+
+    #[test]
+    fn kernel_fses_never_beat_the_raw_device() {
+        let s = Scenario::single_node(512 << 20);
+        let floor = s.total_bytes() as f64 / s.ssd.write_bw().as_bytes_per_sec();
+        assert!(XfsModel::new().checkpoint_makespan(&s).as_secs() > floor);
+        assert!(Ext4Model::new().checkpoint_makespan(&s).as_secs() > floor);
+    }
+}

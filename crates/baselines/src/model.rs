@@ -1,0 +1,67 @@
+//! The `StorageModel` trait every system (including NVMe-CR's model in the
+//! `workloads` crate) implements, so experiment harnesses can sweep systems
+//! uniformly.
+
+use simkit::SimTime;
+
+use crate::scenario::Scenario;
+
+/// Metadata storage overhead (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetadataOverhead {
+    /// Bytes of metadata per storage node (how OrangeFS/GlusterFS report).
+    pub per_server_bytes: u64,
+    /// Bytes of metadata per runtime instance (how NVMe-CR reports).
+    pub per_runtime_bytes: u64,
+}
+
+/// A storage system under evaluation.
+pub trait StorageModel {
+    /// Display name (figure legends).
+    fn name(&self) -> &'static str;
+
+    /// Makespan of one N-N checkpoint.
+    fn checkpoint_makespan(&self, s: &Scenario) -> SimTime;
+
+    /// Makespan of one N-N recovery (every process reads its file back).
+    fn recovery_makespan(&self, s: &Scenario) -> SimTime;
+
+    /// Aggregate file-create throughput (creates/second, Figure 8b).
+    fn create_rate(&self, s: &Scenario, creates_per_proc: u32) -> f64;
+
+    /// Bytes of checkpoint data landing on each server (Figure 7b input).
+    fn server_loads(&self, s: &Scenario) -> Vec<f64>;
+
+    /// Metadata storage overhead (Table I).
+    fn metadata_overhead(&self, s: &Scenario) -> MetadataOverhead;
+
+    /// Checkpoint efficiency: achieved bandwidth over hardware peak
+    /// (Figure 9 definition).
+    fn checkpoint_efficiency(&self, s: &Scenario) -> f64 {
+        let t = self.checkpoint_makespan(s);
+        if t == SimTime::ZERO {
+            return 1.0;
+        }
+        (s.total_bytes() as f64
+            / t.as_secs()
+            / s.hw_peak_write().as_bytes_per_sec())
+        .clamp(0.0, 1.0)
+    }
+
+    /// Recovery efficiency.
+    fn recovery_efficiency(&self, s: &Scenario) -> f64 {
+        let t = self.recovery_makespan(s);
+        if t == SimTime::ZERO {
+            return 1.0;
+        }
+        (s.total_bytes() as f64
+            / t.as_secs()
+            / s.hw_peak_read().as_bytes_per_sec())
+        .clamp(0.0, 1.0)
+    }
+
+    /// Load-imbalance coefficient of variation (Figure 7b).
+    fn load_cov(&self, s: &Scenario) -> f64 {
+        simkit::stats::coefficient_of_variation(&self.server_loads(s))
+    }
+}

@@ -1,0 +1,149 @@
+//! OrangeFS model.
+//!
+//! Mechanisms (paper evidence in parentheses):
+//! * file data **striped** across all servers in 64 KiB units — good
+//!   balance at low concurrency (Fig 7b);
+//! * **kernel** IO path over POSIX filesystems (Fig 7c argument, §I-A);
+//! * thick layering caps attainable bandwidth well below hardware — the
+//!   paper measures at best **41% of peak** (Fig 1), which calibrates
+//!   `layer_efficiency`;
+//! * a **global namespace** whose creates serialize under distributed
+//!   locking (Fig 8b: 18x fewer creates/s than NVMe-CR at 448), and
+//!   per-write metadata updates that serialize at the metadata service and
+//!   collapse efficiency at 448 processes ("unable to handle the metadata
+//!   burden", §IV-H);
+//! * heavy on-server metadata: "it needs to store both file metadata and
+//!   striping information" (Table I: ~2.6 GB per storage node).
+
+use fabric::IoPath;
+use simkit::SimTime;
+
+use crate::dagutil;
+use crate::model::{MetadataOverhead, StorageModel};
+use crate::scenario::Scenario;
+use crate::spec::{DataPlaneSpec, PlacementPolicy};
+
+/// The OrangeFS comparator.
+pub struct OrangeFsModel {
+    spec: DataPlaneSpec,
+}
+
+impl Default for OrangeFsModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OrangeFsModel {
+    /// Calibrated to the paper's measurements (see module docs).
+    pub fn new() -> Self {
+        OrangeFsModel {
+            spec: DataPlaneSpec {
+                layer_efficiency: 0.46,
+                request_size: 64 << 10,
+                path: IoPath::Kernel,
+                placement: PlacementPolicy::Striped { stripe: 64 << 10 },
+                // Distributed-locking create (Fig 8b: ~18x below NVMe-CR).
+                create_serialized: Some(SimTime::micros(30.0)),
+                create_client: SimTime::micros(250.0),
+                // Physical metadata shipped per write (inode + stripe map
+                // updates).
+                write_meta_bytes: 16 << 10,
+                // Serialized per-chunk metadata updates on the write path
+                // only; recovery is metadata-light (§IV-H: "during
+                // recovery, however, they perform much better").
+                meta_server_op: Some(SimTime::micros(40.0)),
+                meta_contention_knee: 224,
+                meta_on_create: false,
+                alloc_per_block: SimTime::micros(0.3),
+                ..DataPlaneSpec::base("OrangeFS")
+            },
+        }
+    }
+
+    /// The underlying mechanism spec (for harness introspection).
+    pub fn spec(&self) -> &DataPlaneSpec {
+        &self.spec
+    }
+}
+
+impl StorageModel for OrangeFsModel {
+    fn name(&self) -> &'static str {
+        "OrangeFS"
+    }
+
+    fn checkpoint_makespan(&self, s: &Scenario) -> SimTime {
+        dagutil::checkpoint_makespan(s, &self.spec)
+    }
+
+    fn recovery_makespan(&self, s: &Scenario) -> SimTime {
+        let spec = DataPlaneSpec { meta_chunks_on_read: false, ..self.spec.clone() };
+        dagutil::recovery_makespan(s, &spec)
+    }
+
+    fn create_rate(&self, s: &Scenario, creates_per_proc: u32) -> f64 {
+        dagutil::create_rate(s, &self.spec, creates_per_proc)
+    }
+
+    fn server_loads(&self, s: &Scenario) -> Vec<f64> {
+        dagutil::server_loads(s, &self.spec)
+    }
+
+    fn metadata_overhead(&self, s: &Scenario) -> MetadataOverhead {
+        // Per-file inode + per-stripe bookkeeping, plus the metadata
+        // database / journal region each server pre-provisions. The fixed
+        // region dominates, matching Table I's ~2.6 GB per node.
+        let stripes_per_file = s.bytes_per_proc.div_ceil(64 << 10);
+        let per_file = 4096 + stripes_per_file * 256;
+        let fixed_per_server: u64 = 2_560 << 20;
+        MetadataOverhead {
+            per_server_bytes: fixed_per_server
+                + u64::from(s.procs) * per_file / u64::from(s.servers),
+            per_runtime_bytes: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_efficiency_is_capped_near_41_percent() {
+        let m = OrangeFsModel::new();
+        // Mid-scale weak scaling: the paper's best case for OrangeFS.
+        let eff = m.checkpoint_efficiency(&Scenario::weak_scaling(112));
+        assert!((0.30..0.48).contains(&eff), "OrangeFS peak efficiency {eff}");
+    }
+
+    #[test]
+    fn efficiency_collapses_at_448() {
+        let m = OrangeFsModel::new();
+        let mid = m.checkpoint_efficiency(&Scenario::weak_scaling(112));
+        let big = m.checkpoint_efficiency(&Scenario::weak_scaling(448));
+        assert!(big < mid, "metadata burden must bite at 448: {mid} -> {big}");
+    }
+
+    #[test]
+    fn recovery_is_much_better_than_checkpoint() {
+        let m = OrangeFsModel::new();
+        let s = Scenario::weak_scaling(448);
+        let ckpt = m.checkpoint_efficiency(&s);
+        let rec = m.recovery_efficiency(&s);
+        assert!(rec > ckpt * 1.3, "recovery {rec} vs checkpoint {ckpt}");
+    }
+
+    #[test]
+    fn striping_balances_load_well() {
+        let m = OrangeFsModel::new();
+        assert!(m.load_cov(&Scenario::weak_scaling(28)) < 0.05);
+    }
+
+    #[test]
+    fn metadata_overhead_matches_table1_scale() {
+        let m = OrangeFsModel::new();
+        let o = m.metadata_overhead(&Scenario::weak_scaling(448));
+        let gb = o.per_server_bytes as f64 / 1e9;
+        assert!((2.0..3.5).contains(&gb), "per-server metadata {gb} GB");
+    }
+}

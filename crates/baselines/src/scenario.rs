@@ -1,0 +1,135 @@
+//! Experiment scenarios: the workload and hardware parameters every model
+//! consumes.
+
+use fabric::{KernelCosts, NetConfig};
+use simkit::Rate;
+use ssd::SsdConfig;
+
+/// One checkpoint/recovery experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Application processes.
+    pub procs: u32,
+    /// Checkpoint bytes written by each process (N-N pattern: one file per
+    /// process per checkpoint).
+    pub bytes_per_proc: u64,
+    /// Storage SSDs/servers available.
+    pub servers: u32,
+    /// Application `write()` granularity (CoMD dumps through buffered IO;
+    /// we model 1 MiB flushes).
+    pub app_write_size: u64,
+    /// Queue depth per process for pipelined device IO.
+    pub qd: u32,
+    /// Device calibration.
+    pub ssd: SsdConfig,
+    /// Network calibration.
+    pub net: NetConfig,
+    /// Software-stack calibration.
+    pub kernel: KernelCosts,
+    /// Seed for name hashing / randomized placement.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Base scenario on the paper's testbed: 8 storage servers, EDR IB.
+    pub fn new(procs: u32, bytes_per_proc: u64) -> Self {
+        Scenario {
+            procs,
+            bytes_per_proc,
+            servers: 8,
+            app_write_size: 1 << 20,
+            qd: 32,
+            ssd: SsdConfig::default(),
+            net: NetConfig::default(),
+            kernel: KernelCosts::default(),
+            seed: 0x5eed,
+        }
+    }
+
+    /// Weak scaling (§IV-H): fixed 156.25 MiB per process per checkpoint
+    /// (so 448 procs × 10 checkpoints ≈ 700 GB total, matching the paper).
+    pub fn weak_scaling(procs: u32) -> Self {
+        Scenario::new(procs, 156 << 20)
+    }
+
+    /// Strong scaling (§IV-H): fixed ~8.6 GB per checkpoint split across
+    /// all processes (86 GB over 10 checkpoints).
+    pub fn strong_scaling(procs: u32) -> Self {
+        let total_per_ckpt: u64 = 8_600_000_000;
+        Scenario::new(procs, total_per_ckpt / u64::from(procs))
+    }
+
+    /// Single-node full subscription (§IV-D / §IV-B): 28 processes, one
+    /// local SSD.
+    pub fn single_node(bytes_per_proc: u64) -> Self {
+        Scenario {
+            servers: 1,
+            ..Scenario::new(28, bytes_per_proc)
+        }
+    }
+
+    /// Total bytes moved by one checkpoint.
+    pub fn total_bytes(&self) -> u64 {
+        u64::from(self.procs) * self.bytes_per_proc
+    }
+
+    /// Peak aggregate hardware write bandwidth (the Figure 9 efficiency
+    /// denominator: "we use the aggregate SSD bandwidth as the hardware
+    /// peak").
+    pub fn hw_peak_write(&self) -> Rate {
+        self.ssd.write_bw().scale(f64::from(self.servers))
+    }
+
+    /// Peak aggregate hardware read bandwidth.
+    pub fn hw_peak_read(&self) -> Rate {
+        self.ssd.read_bw().scale(f64::from(self.servers))
+    }
+
+    /// The N-N checkpoint file name of one rank.
+    pub fn file_name(&self, rank: u32) -> String {
+        format!("/ckpt/rank_{rank:05}.dat")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weak_scaling_totals_match_paper() {
+        let s = Scenario::weak_scaling(448);
+        let ten_ckpts = s.total_bytes() * 10;
+        // ~700 GB.
+        assert!((650e9..750e9).contains(&(ten_ckpts as f64)), "{ten_ckpts}");
+    }
+
+    #[test]
+    fn strong_scaling_totals_match_paper() {
+        for procs in [56u32, 112, 224, 448] {
+            let s = Scenario::strong_scaling(procs);
+            let ten = s.total_bytes() * 10;
+            assert!(
+                (84e9..88e9).contains(&(ten as f64)),
+                "procs {procs}: {ten}"
+            );
+        }
+    }
+
+    #[test]
+    fn hw_peak_scales_with_servers() {
+        let s = Scenario::weak_scaling(448);
+        let single = Scenario::single_node(512 << 20);
+        assert!(
+            (s.hw_peak_write().as_bytes_per_sec() / single.hw_peak_write().as_bytes_per_sec()
+                - 8.0)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn file_names_are_unique() {
+        let s = Scenario::weak_scaling(448);
+        assert_ne!(s.file_name(0), s.file_name(1));
+    }
+}

@@ -1,0 +1,98 @@
+//! Raw SPDK model — Figure 7c's "no filesystem at all" reference point.
+//!
+//! §IV-D: "Compared to SPDK, NVMe-CR has no noticeable overhead... Note
+//! that SPDK alone cannot handle all the IO challenges (POSIX compliance,
+//! metadata management, and private namespace)". The model is the
+//! userspace path with hugeblock-sized requests and zero metadata of any
+//! kind.
+
+use fabric::IoPath;
+use simkit::SimTime;
+
+use crate::dagutil;
+use crate::model::{MetadataOverhead, StorageModel};
+use crate::scenario::Scenario;
+use crate::spec::{DataPlaneSpec, PlacementPolicy};
+
+/// Raw SPDK block IO (no filesystem).
+pub struct SpdkRawModel {
+    spec: DataPlaneSpec,
+}
+
+impl Default for SpdkRawModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpdkRawModel {
+    /// Userspace path, 32 KiB requests, nothing else.
+    pub fn new() -> Self {
+        SpdkRawModel {
+            spec: DataPlaneSpec {
+                layer_efficiency: 1.0,
+                request_size: 32 << 10,
+                path: IoPath::Userspace,
+                placement: PlacementPolicy::RoundRobin,
+                create_serialized: None,
+                create_client: SimTime::micros(0.5),
+                write_meta_bytes: 0,
+                create_device_bytes: 512, // bare block touch; no dirent/log
+                ..DataPlaneSpec::base("SPDK")
+            },
+        }
+    }
+
+    /// The underlying mechanism spec.
+    pub fn spec(&self) -> &DataPlaneSpec {
+        &self.spec
+    }
+}
+
+impl StorageModel for SpdkRawModel {
+    fn name(&self) -> &'static str {
+        "SPDK"
+    }
+
+    fn checkpoint_makespan(&self, s: &Scenario) -> SimTime {
+        dagutil::checkpoint_makespan(s, &self.spec)
+    }
+
+    fn recovery_makespan(&self, s: &Scenario) -> SimTime {
+        dagutil::recovery_makespan(s, &self.spec)
+    }
+
+    fn create_rate(&self, s: &Scenario, creates_per_proc: u32) -> f64 {
+        dagutil::create_rate(s, &self.spec, creates_per_proc)
+    }
+
+    fn server_loads(&self, s: &Scenario) -> Vec<f64> {
+        dagutil::server_loads(s, &self.spec)
+    }
+
+    fn metadata_overhead(&self, _s: &Scenario) -> MetadataOverhead {
+        MetadataOverhead { per_server_bytes: 0, per_runtime_bytes: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spdk_is_the_fastest_single_node_path() {
+        let s = Scenario::single_node(512 << 20);
+        let spdk = SpdkRawModel::new().checkpoint_makespan(&s).as_secs();
+        let xfs = crate::XfsModel::new().checkpoint_makespan(&s).as_secs();
+        let ext4 = crate::Ext4Model::new().checkpoint_makespan(&s).as_secs();
+        assert!(spdk < xfs && spdk < ext4);
+    }
+
+    #[test]
+    fn near_hardware_floor() {
+        let s = Scenario::single_node(512 << 20);
+        let t = SpdkRawModel::new().checkpoint_makespan(&s).as_secs();
+        let floor = s.total_bytes() as f64 / s.ssd.write_bw().as_bytes_per_sec();
+        assert!(t < floor * 1.15, "SPDK {t}s vs floor {floor}s");
+    }
+}

@@ -1,0 +1,149 @@
+//! `DataPlaneSpec` — the mechanism vocabulary all storage models share.
+//!
+//! Each comparator is described by which mechanisms it uses (placement
+//! policy, IO path, namespace discipline, metadata shipping); the DAG
+//! builder in [`crate::dagutil`] turns a spec plus a
+//! [`crate::Scenario`] into a simulated makespan. Calibration constants
+//! live in each model's constructor with the paper evidence cited.
+
+use fabric::IoPath;
+use simkit::SimTime;
+
+/// How files map to storage servers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlacementPolicy {
+    /// Application-aware round-robin over servers (NVMe-CR's balancer):
+    /// rank `r` → server `r mod n`.
+    RoundRobin,
+    /// Consistent hashing of the file name (GlusterFS).
+    JumpHash,
+    /// Stripe every file across all servers in `stripe`-byte units
+    /// (OrangeFS/Lustre).
+    Striped {
+        /// Stripe unit in bytes.
+        stripe: u64,
+    },
+    /// Everything on server 0 (Crail's single-server NVMf tier).
+    SingleServer,
+}
+
+/// A storage system's mechanism configuration.
+#[derive(Debug, Clone)]
+pub struct DataPlaneSpec {
+    /// Display name.
+    pub name: &'static str,
+    /// Fraction of raw device bandwidth attainable through the system's
+    /// software layers ("overlay multiple software layers over POSIX
+    /// filesystems which decrease the peak attainable bandwidth", §I-A).
+    pub layer_efficiency: f64,
+    /// Device IO unit (hugeblocks for NVMe-CR; 4 KiB for kernel FSes;
+    /// stripe-sized for PFS).
+    pub request_size: u64,
+    /// Kernel or userspace software stack.
+    pub path: IoPath,
+    /// File → server mapping.
+    pub placement: PlacementPolicy,
+    /// Serialized cost per file create on the shared global namespace
+    /// (None for private-namespace systems; §III-E).
+    pub create_serialized: Option<SimTime>,
+    /// Client-observed create latency (RPC, locking handshake).
+    pub create_client: SimTime,
+    /// Extra metadata bytes shipped over the network per application write
+    /// (physical journaling: "inodes and large sized physical log
+    /// records"; ~0 with metadata provenance).
+    pub write_meta_bytes: u64,
+    /// Per-operation service time of a centralized metadata server, if the
+    /// system has one (Crail; GlusterFS lookups during recovery). The
+    /// service time may grow with concurrency via
+    /// [`meta_contention_knee`](Self::meta_contention_knee).
+    pub meta_server_op: Option<SimTime>,
+    /// Process count at which metadata-server service time has doubled
+    /// (quadratic contention growth); `u32::MAX` disables growth.
+    pub meta_contention_knee: u32,
+    /// Host CPU per allocated device block (block-bitmap allocators pay
+    /// this per 4 KiB; extent allocators effectively amortize it away).
+    pub alloc_per_block: SimTime,
+    /// Data replication factor (Lustre tier-2 writes).
+    pub replication: u32,
+    /// Whether each written chunk passes through the metadata server
+    /// (Crail's block-allocation RPCs).
+    pub meta_chunks_on_write: bool,
+    /// Whether each read chunk passes through the metadata server
+    /// (GlusterFS's recovery-time lookup storm, §IV-H).
+    pub meta_chunks_on_read: bool,
+    /// Whether file creates pass through the metadata server (Crail).
+    pub meta_on_create: bool,
+    /// Device bytes persisted per file create (directory-file append +
+    /// journal/log record).
+    pub create_device_bytes: u64,
+    /// Per-process time spent before recovery reads can start (NVMe-CR's
+    /// log replay at mount; near zero with record coalescing, §IV-I).
+    pub recovery_prologue: SimTime,
+}
+
+impl DataPlaneSpec {
+    /// A neutral starting point: userspace path, round-robin, no global
+    /// namespace, no metadata shipping.
+    pub fn base(name: &'static str) -> Self {
+        DataPlaneSpec {
+            name,
+            layer_efficiency: 1.0,
+            request_size: 32 << 10,
+            path: IoPath::Userspace,
+            placement: PlacementPolicy::RoundRobin,
+            create_serialized: None,
+            create_client: SimTime::micros(5.0),
+            write_meta_bytes: 0,
+            meta_server_op: None,
+            meta_contention_knee: u32::MAX,
+            alloc_per_block: SimTime::ZERO,
+            replication: 1,
+            meta_chunks_on_write: true,
+            meta_chunks_on_read: true,
+            meta_on_create: true,
+            create_device_bytes: 4096,
+            recovery_prologue: SimTime::ZERO,
+        }
+    }
+
+    /// Effective metadata-server service time at a given process count.
+    pub fn meta_op_at(&self, procs: u32) -> Option<SimTime> {
+        self.meta_server_op.map(|t| {
+            if self.meta_contention_knee == u32::MAX {
+                t
+            } else {
+                let x = f64::from(procs) / f64::from(self.meta_contention_knee);
+                t * (1.0 + x * x)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_is_neutral() {
+        let s = DataPlaneSpec::base("x");
+        assert_eq!(s.layer_efficiency, 1.0);
+        assert!(s.create_serialized.is_none());
+        assert_eq!(s.replication, 1);
+        assert_eq!(s.meta_op_at(448), None);
+    }
+
+    #[test]
+    fn meta_contention_grows_quadratically() {
+        let s = DataPlaneSpec {
+            meta_server_op: Some(SimTime::micros(20.0)),
+            meta_contention_knee: 224,
+            ..DataPlaneSpec::base("x")
+        };
+        let at_small = s.meta_op_at(56).unwrap();
+        let at_knee = s.meta_op_at(224).unwrap();
+        let at_big = s.meta_op_at(448).unwrap();
+        assert!((at_knee.as_micros() - 40.0).abs() < 1e-9);
+        assert!(at_small < at_knee && at_knee < at_big);
+        assert!((at_big.as_micros() - 100.0).abs() < 1e-9);
+    }
+}

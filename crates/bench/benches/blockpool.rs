@@ -1,0 +1,52 @@
+//! Wall-clock benchmarks of the circular hugeblock pool: the paper claims
+//! O(1) allocation (§III-E); these benches verify the constant is small and
+//! size-independent.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use microfs::block::BlockPool;
+use std::hint::black_box;
+
+fn bench_alloc_free_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blockpool_alloc_free");
+    g.sample_size(30);
+    // O(1): the per-op cost must not grow with pool size.
+    for &total in &[1_000u64, 100_000, 1_000_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(total), &total, |b, &total| {
+            let mut pool = BlockPool::new(total);
+            b.iter(|| {
+                let blk = pool.alloc().unwrap();
+                pool.free(black_box(blk));
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_checkpoint_file_allocation(c: &mut Criterion) {
+    // A 512 MB file at 32 KiB hugeblocks = 16384 allocations.
+    c.bench_function("blockpool_alloc_512MB_file", |b| {
+        let mut pool = BlockPool::new(1 << 20);
+        b.iter(|| {
+            let blocks = pool.alloc_many(black_box(16_384)).unwrap();
+            pool.free_many(&blocks);
+            black_box(blocks.len())
+        })
+    });
+}
+
+fn bench_snapshot_encode(c: &mut Criterion) {
+    let mut pool = BlockPool::new(100_000);
+    let held = pool.alloc_many(30_000).unwrap();
+    pool.free_many(&held[..10_000]);
+    c.bench_function("blockpool_encode_100k", |b| {
+        b.iter(|| black_box(pool.encode()).len())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_alloc_free_cycle,
+    bench_checkpoint_file_allocation,
+    bench_snapshot_encode
+);
+criterion_main!(benches);

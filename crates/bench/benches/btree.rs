@@ -1,0 +1,76 @@
+//! Wall-clock benchmarks of the DRAM B+Tree (§III-E): the control plane's
+//! name-lookup structure. Compared against `std::collections::BTreeMap` to
+//! show the custom tree is in the right performance class.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use microfs::btree::BTree;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn keys(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("/comd/ckpt_007/rank_{i:06}.dat")).collect()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree_insert");
+    g.sample_size(20);
+    for &n in &[1_000usize, 10_000] {
+        let ks = keys(n);
+        g.bench_with_input(BenchmarkId::new("microfs", n), &ks, |b, ks| {
+            b.iter(|| {
+                let mut t = BTree::new();
+                for (i, k) in ks.iter().enumerate() {
+                    t.insert(k, i as u64);
+                }
+                black_box(t.len())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("std", n), &ks, |b, ks| {
+            b.iter(|| {
+                let mut t = BTreeMap::new();
+                for (i, k) in ks.iter().enumerate() {
+                    t.insert(k.clone(), i as u64);
+                }
+                black_box(t.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let ks = keys(10_000);
+    let mut tree = BTree::new();
+    for (i, k) in ks.iter().enumerate() {
+        tree.insert(k, i as u64);
+    }
+    c.bench_function("btree_lookup_10k", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for k in ks.iter().step_by(7) {
+                if tree.get(black_box(k)).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn bench_snapshot_roundtrip(c: &mut Criterion) {
+    let ks = keys(10_000);
+    let mut tree = BTree::new();
+    for (i, k) in ks.iter().enumerate() {
+        tree.insert(k, i as u64);
+    }
+    c.bench_function("btree_encode_decode_10k", |b| {
+        b.iter(|| {
+            let bytes = tree.encode();
+            let (t, _) = BTree::decode(black_box(&bytes)).unwrap();
+            black_box(t.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_insert, bench_lookup, bench_snapshot_roundtrip);
+criterion_main!(benches);

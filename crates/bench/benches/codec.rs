@@ -1,0 +1,39 @@
+//! Wall-clock benchmarks of the wire-format codecs: NVMf capsules and
+//! CRC-32 — every functional IO crosses these paths.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fabric::Capsule;
+use microfs::crc::crc32;
+use std::hint::black_box;
+
+fn bench_capsule(c: &mut Criterion) {
+    let mut g = c.benchmark_group("capsule_roundtrip");
+    for &size in &[4096usize, 32 << 10, 1 << 20] {
+        g.throughput(Throughput::Bytes(size as u64));
+        let payload = Bytes::from(vec![0xA5u8; size]);
+        g.bench_with_input(BenchmarkId::from_parameter(size), &payload, |b, p| {
+            b.iter(|| {
+                let cap = Capsule::write(1, 1, 0, p.clone());
+                let wire = cap.encode();
+                black_box(Capsule::decode(wire).unwrap().len)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crc32");
+    for &size in &[64usize, 4096, 1 << 20] {
+        g.throughput(Throughput::Bytes(size as u64));
+        let data = vec![0x5Au8; size];
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| black_box(crc32(d)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_capsule, bench_crc);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Benchmarks the simulation engine itself: how fast the DES evaluates the
+//! paper's largest experiment DAGs. Useful when extending the models — a
+//! regression here makes `reproduce_all` painful.
+
+use baselines::model::StorageModel;
+use baselines::{GlusterFsModel, Scenario};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use workloads::NvmeCrModel;
+
+fn bench_model_eval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des_model_evaluation");
+    g.sample_size(10);
+    g.bench_function("nvmecr_weak_448", |b| {
+        let m = NvmeCrModel::full();
+        let s = Scenario::weak_scaling(448);
+        b.iter(|| black_box(m.checkpoint_makespan(&s)))
+    });
+    g.bench_function("glusterfs_weak_448", |b| {
+        let m = GlusterFsModel::new();
+        let s = Scenario::weak_scaling(448);
+        b.iter(|| black_box(m.checkpoint_makespan(&s)))
+    });
+    g.bench_function("create_storm_448x10", |b| {
+        let m = NvmeCrModel::full();
+        let s = Scenario::weak_scaling(448);
+        b.iter(|| black_box(m.create_rate(&s, 10)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_model_eval);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Wall-clock benchmarks of whole microfs operation paths: create storms,
+//! checkpoint-style writes at different hugeblock sizes, snapshot, and
+//! mount-time recovery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use microfs::{FsConfig, MemDevice, MicroFs};
+use std::hint::black_box;
+
+const DEV: u64 = 256 << 20;
+
+fn bench_create_storm(c: &mut Criterion) {
+    c.bench_function("microfs_create_100_files", |b| {
+        b.iter(|| {
+            let mut fs = MicroFs::format(MemDevice::new(DEV), FsConfig::default()).unwrap();
+            for i in 0..100 {
+                let fd = fs.create(&format!("/f{i}"), 0o644).unwrap();
+                fs.close(fd).unwrap();
+            }
+            black_box(fs.stats().creates)
+        })
+    });
+}
+
+fn bench_checkpoint_write(c: &mut Criterion) {
+    // The write path at 4 KiB vs 32 KiB hugeblocks: software overhead per
+    // block is what Figure 7(a)'s left side measures.
+    let mut g = c.benchmark_group("microfs_write_32MiB");
+    g.sample_size(15);
+    let payload = vec![0xA5u8; 1 << 20];
+    for &bs in &[4u64 << 10, 32 << 10, 256 << 10] {
+        g.bench_with_input(BenchmarkId::from_parameter(bs / 1024), &bs, |b, &bs| {
+            b.iter(|| {
+                let config = FsConfig { block_size: bs, ..FsConfig::default() };
+                let mut fs = MicroFs::format(MemDevice::new(DEV), config).unwrap();
+                let fd = fs.create("/ckpt", 0o644).unwrap();
+                for _ in 0..32 {
+                    fs.write(fd, &payload).unwrap();
+                }
+                fs.close(fd).unwrap();
+                black_box(fs.stats().bytes_written)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_snapshot_and_recovery(c: &mut Criterion) {
+    let build = || {
+        let mut fs = MicroFs::format(MemDevice::new(DEV), FsConfig::default()).unwrap();
+        for i in 0..50 {
+            let fd = fs.create(&format!("/ckpt_{i}"), 0o644).unwrap();
+            fs.write(fd, &vec![1u8; 256 << 10]).unwrap();
+            fs.close(fd).unwrap();
+        }
+        fs
+    };
+    c.bench_function("microfs_snapshot_50_files", |b| {
+        let mut fs = build();
+        b.iter(|| {
+            fs.snapshot_now().unwrap();
+            black_box(fs.stats().snapshots)
+        })
+    });
+    c.bench_function("microfs_mount_replay_50_files", |b| {
+        let dev = build().into_device();
+        b.iter(|| {
+            let fs = MicroFs::mount(dev.clone(), FsConfig::default()).unwrap();
+            black_box(fs.stats().replayed_records)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_create_storm,
+    bench_checkpoint_write,
+    bench_snapshot_and_recovery
+);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 1.
+fn main() {
+    println!("{}", nvmecr_bench::figures::fig1());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 7a.
+fn main() {
+    println!("{}", nvmecr_bench::figures::fig7a());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 8(a).
+fn main() {
+    println!("{}", nvmecr_bench::figures::fig8a());
+}

@@ -1,0 +1,15 @@
+//! Regenerates the paper's Figure 9 (a-d). Pass `--strong`, `--weak`, or
+//! nothing for both.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let want_strong = args.iter().any(|a| a == "--strong") || args.len() == 1;
+    let want_weak = args.iter().any(|a| a == "--weak") || args.len() == 1;
+    if want_strong {
+        let (a, b) = nvmecr_bench::figures::fig9(true);
+        println!("{a}\n{b}");
+    }
+    if want_weak {
+        let (c, d) = nvmecr_bench::figures::fig9(false);
+        println!("{c}\n{d}");
+    }
+}

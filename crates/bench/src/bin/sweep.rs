@@ -1,0 +1,141 @@
+//! Parameterized sweep CLI: evaluate any modelled system on any scenario
+//! without writing code.
+//!
+//! ```text
+//! sweep --system nvmecr --mode weak --procs 56,112,224,448
+//! sweep --system glusterfs --mode strong --metric recovery
+//! sweep --system nvmecr --block 65536 --mode single --size-mb 512
+//! ```
+
+use baselines::model::StorageModel;
+use baselines::{
+    CrailModel, Ext4Model, GlusterFsModel, LustreModel, OrangeFsModel, Scenario, SpdkRawModel,
+    XfsModel,
+};
+use workloads::NvmeCrModel;
+
+struct Args {
+    system: String,
+    mode: String,
+    metric: String,
+    procs: Vec<u32>,
+    block: Option<u64>,
+    size_mb: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        system: "nvmecr".into(),
+        mode: "weak".into(),
+        metric: "efficiency".into(),
+        procs: vec![56, 112, 224, 448],
+        block: None,
+        size_mb: 512,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value = argv
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag {
+            "--system" => args.system = value.clone(),
+            "--mode" => args.mode = value.clone(),
+            "--metric" => args.metric = value.clone(),
+            "--procs" => {
+                args.procs = value
+                    .split(',')
+                    .map(|p| p.parse().map_err(|e| format!("bad procs {p}: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--block" => {
+                args.block = Some(value.parse().map_err(|e| format!("bad block: {e}"))?)
+            }
+            "--size-mb" => {
+                args.size_mb = value.parse().map_err(|e| format!("bad size: {e}"))?
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    Ok(args)
+}
+
+fn model_of(name: &str, block: Option<u64>) -> Result<Box<dyn StorageModel>, String> {
+    Ok(match name {
+        "nvmecr" => match block {
+            Some(b) => Box::new(NvmeCrModel::with_block_size(b)),
+            None => Box::new(NvmeCrModel::full()),
+        },
+        "nvmecr-local" => match block {
+            Some(b) => Box::new(NvmeCrModel::local_with_block_size(b)),
+            None => Box::new(NvmeCrModel::local()),
+        },
+        "nvmecr-nocoalesce" => Box::new(NvmeCrModel::without_coalescing()),
+        "orangefs" => Box::new(OrangeFsModel::new()),
+        "glusterfs" => Box::new(GlusterFsModel::new()),
+        "crail" => Box::new(CrailModel::new()),
+        "ext4" => Box::new(Ext4Model::new()),
+        "xfs" => Box::new(XfsModel::new()),
+        "spdk" => Box::new(SpdkRawModel::new()),
+        "lustre" => Box::new(LustreModel::new()),
+        other => {
+            return Err(format!(
+                "unknown system {other}; try nvmecr, nvmecr-local, nvmecr-nocoalesce, orangefs, glusterfs, crail, ext4, xfs, spdk, lustre"
+            ))
+        }
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: sweep [--system S] [--mode weak|strong|single] [--metric efficiency|checkpoint|recovery|creates|cov] [--procs 56,112] [--block BYTES] [--size-mb N]");
+            std::process::exit(2);
+        }
+    };
+    let model = match model_of(&args.system, args.block) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "system={} mode={} metric={}",
+        model.name(),
+        args.mode,
+        args.metric
+    );
+    println!("{:>8} {:>16}", "procs", args.metric);
+    for &procs in &args.procs {
+        let s = match args.mode.as_str() {
+            "weak" => Scenario::weak_scaling(procs),
+            "strong" => Scenario::strong_scaling(procs),
+            "single" => Scenario {
+                procs,
+                ..Scenario::single_node(args.size_mb << 20)
+            },
+            other => {
+                eprintln!("error: unknown mode {other}");
+                std::process::exit(2);
+            }
+        };
+        let v = match args.metric.as_str() {
+            "efficiency" => model.checkpoint_efficiency(&s),
+            "recovery" => model.recovery_efficiency(&s),
+            "checkpoint" => model.checkpoint_makespan(&s).as_secs(),
+            "recovery-time" => model.recovery_makespan(&s).as_secs(),
+            "creates" => model.create_rate(&s, 10),
+            "cov" => model.load_cov(&s),
+            other => {
+                eprintln!("error: unknown metric {other}");
+                std::process::exit(2);
+            }
+        };
+        println!("{procs:>8} {v:>16.4}");
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table I. Pass `--model-only` to skip the
+//! functional (real-bytes) measurement run.
+fn main() {
+    let functional = !std::env::args().any(|a| a == "--model-only");
+    println!("{}", nvmecr_bench::figures::table1(functional));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table II.
+fn main() {
+    println!("{}", nvmecr_bench::figures::table2());
+}

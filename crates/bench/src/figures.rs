@@ -1,0 +1,734 @@
+//! One computation per paper figure/table.
+//!
+//! Each function regenerates a figure's series (or a table's rows) from the
+//! models and, where the paper measured functional properties, from the
+//! real runtime. DESIGN.md §4 maps each to the modules it exercises.
+
+use baselines::model::StorageModel;
+use baselines::{
+    CrailModel, Ext4Model, GlusterFsModel, LustreModel, OrangeFsModel, Scenario, SpdkRawModel,
+    XfsModel,
+};
+use nvmecr::config::DrilldownLevel;
+use nvmecr::multilevel::MultiLevelPolicy;
+use workloads::{multilevel_eval, CoMD, NvmeCrModel};
+
+use crate::report::{FigureReport, Series, TableReport};
+
+/// Process counts of the paper's scaling studies.
+pub const SCALING_PROCS: [u32; 5] = [56, 112, 224, 336, 448];
+
+fn bandwidth_gbs(s: &Scenario, t: simkit::SimTime) -> f64 {
+    s.total_bytes() as f64 / t.as_secs() / 1e9
+}
+
+/// Figure 1: weak-scaling checkpoint bandwidth of OrangeFS and GlusterFS
+/// vs. available hardware bandwidth.
+pub fn fig1() -> FigureReport {
+    let mut r = FigureReport::new(
+        "Figure 1",
+        "weak-scaling checkpoint bandwidth vs hardware peak",
+        "procs",
+        "bandwidth (GB/s)",
+    );
+    let orange = OrangeFsModel::new();
+    let gluster = GlusterFsModel::new();
+    let mut o = Vec::new();
+    let mut g = Vec::new();
+    let mut hw = Vec::new();
+    for procs in SCALING_PROCS {
+        let s = Scenario::weak_scaling(procs);
+        o.push((f64::from(procs), bandwidth_gbs(&s, orange.checkpoint_makespan(&s))));
+        g.push((f64::from(procs), bandwidth_gbs(&s, gluster.checkpoint_makespan(&s))));
+        hw.push((f64::from(procs), s.hw_peak_write().as_bytes_per_sec() / 1e9));
+    }
+    r.push(Series::new("OrangeFS", o));
+    r.push(Series::new("GlusterFS", g));
+    r.push(Series::new("hardware", hw));
+    r.note("paper: OrangeFS peaks at 41% of hardware, GlusterFS at 84% (§I-A)");
+    r
+}
+
+/// Figure 7(a): checkpoint time across hugeblock sizes (28 procs, 512 MB
+/// each, one local SSD).
+pub fn fig7a() -> FigureReport {
+    let mut r = FigureReport::new(
+        "Figure 7(a)",
+        "hugeblock size sweep, 28 procs x 512 MB, local SSD",
+        "hugeblock (KiB)",
+        "checkpoint time (s)",
+    );
+    let s = Scenario::single_node(512 << 20);
+    let mut pts = Vec::new();
+    for shift in 12..=20u32 {
+        let bs = 1u64 << shift;
+        let model = NvmeCrModel::local_with_block_size(bs);
+        pts.push((bs as f64 / 1024.0, model.checkpoint_makespan(&s).as_secs()));
+    }
+    r.push(Series::new("NVMe-CR", pts));
+    r.note("paper: 32 KiB optimal; 4 KiB ~7% slower (§IV-B)");
+    r
+}
+
+/// Figure 7(b): load-imbalance coefficient of variation.
+pub fn fig7b() -> FigureReport {
+    let mut r = FigureReport::new(
+        "Figure 7(b)",
+        "load imbalance (CoV of per-server bytes)",
+        "procs",
+        "coefficient of variation",
+    );
+    let systems: Vec<(&str, Box<dyn StorageModel>)> = vec![
+        ("NVMe-CR", Box::new(NvmeCrModel::full())),
+        ("OrangeFS", Box::new(OrangeFsModel::new())),
+        ("GlusterFS", Box::new(GlusterFsModel::new())),
+    ];
+    for (name, m) in systems {
+        let pts = [28u32, 56, 112, 224, 448]
+            .iter()
+            .map(|&p| (f64::from(p), m.load_cov(&Scenario::weak_scaling(p))))
+            .collect();
+        r.push(Series::new(name, pts));
+    }
+    r.note("paper: NVMe-CR perfectly balanced; GlusterFS hash imbalance falls with concurrency (§IV-C)");
+    r
+}
+
+/// Figure 7(c): single-node full-subscription dump time across checkpoint
+/// sizes for NVMe-CR, XFS, ext4, and raw SPDK.
+pub fn fig7c() -> FigureReport {
+    let mut r = FigureReport::new(
+        "Figure 7(c)",
+        "direct access: dump time vs checkpoint size (28 procs, local SSD)",
+        "ckpt size (MiB/proc)",
+        "dump time (s)",
+    );
+    let systems: Vec<(&str, Box<dyn StorageModel>)> = vec![
+        ("NVMe-CR", Box::new(NvmeCrModel::local())),
+        ("SPDK", Box::new(SpdkRawModel::new())),
+        ("XFS", Box::new(XfsModel::new())),
+        ("ext4", Box::new(Ext4Model::new())),
+    ];
+    for (name, m) in systems {
+        let pts = [32u64, 64, 128, 256, 512]
+            .iter()
+            .map(|&mb| {
+                let s = Scenario::single_node(mb << 20);
+                (mb as f64, m.checkpoint_makespan(&s).as_secs())
+            })
+            .collect();
+        r.push(Series::new(name, pts));
+    }
+    let s = Scenario::single_node(512 << 20);
+    let ext4_k = Ext4Model::new().kernel_time_fraction(&s) * 100.0;
+    let xfs_k = XfsModel::new().kernel_time_fraction(&s) * 100.0;
+    r.note(format!(
+        "time in kernel at 512 MiB: ext4 {ext4_k:.1}%, XFS {xfs_k:.1}%, NVMe-CR ~10% (paper: 79 / 76.5 / 10)"
+    ));
+    r.note("paper: NVMe-CR 19% faster than XFS, 83% than ext4, ~= SPDK (§IV-D)");
+    r
+}
+
+/// Figure 7(d): drilldown — cumulative optimizations over a kernel-FS-like
+/// base, across process counts on one node.
+pub fn fig7d() -> FigureReport {
+    let mut r = FigureReport::new(
+        "Figure 7(d)",
+        "drilldown: impact of each optimization (512 MB/proc, local SSD)",
+        "procs",
+        "checkpoint time (s)",
+    );
+    for level in DrilldownLevel::ladder() {
+        let pts = [1u32, 7, 14, 28]
+            .iter()
+            .map(|&p| {
+                let s = Scenario { servers: 1, ..Scenario::new(p, 512 << 20) };
+                let m = NvmeCrModel::local_at_level(level);
+                (f64::from(p), m.checkpoint_makespan(&s).as_secs())
+            })
+            .collect();
+        r.push(Series::new(level.label(), pts));
+    }
+    r.note("paper: userspace+private-ns up to 44%, provenance up to 17%, hugeblocks up to 62% (at low concurrency) (§IV-E)");
+    r
+}
+
+/// Figure 8(a): NVMf overhead — local vs remote SSD, plus Crail.
+pub fn fig8a() -> FigureReport {
+    let mut r = FigureReport::new(
+        "Figure 8(a)",
+        "NVMf overhead: local vs remote SSD (28 procs)",
+        "ckpt size (MiB/proc)",
+        "dump time (s)",
+    );
+    let systems: Vec<(&str, Box<dyn StorageModel>)> = vec![
+        ("NVMe-CR local", Box::new(NvmeCrModel::local())),
+        ("NVMe-CR remote", Box::new(NvmeCrModel::full())),
+        ("Crail remote", Box::new(CrailModel::new())),
+    ];
+    let sizes = [64u64, 128, 256, 512];
+    let mut max_overhead: f64 = 0.0;
+    let mut series: Vec<Series> = Vec::new();
+    for (name, m) in systems {
+        let pts: Vec<(f64, f64)> = sizes
+            .iter()
+            .map(|&mb| {
+                let s = Scenario::single_node(mb << 20);
+                (mb as f64, m.checkpoint_makespan(&s).as_secs())
+            })
+            .collect();
+        series.push(Series::new(name, pts));
+    }
+    for (i, &mb) in sizes.iter().enumerate() {
+        let local = series[0].points[i].1;
+        let remote = series[1].points[i].1;
+        max_overhead = max_overhead.max(remote / local - 1.0);
+        let _ = mb;
+    }
+    for s in series {
+        r.push(s);
+    }
+    r.note(format!(
+        "max NVMf overhead {:.1}% (paper: below 3.5%, size-independent; Crail 5-10% above NVMe-CR)",
+        max_overhead * 100.0
+    ));
+    r
+}
+
+/// Figure 8(b): file-create throughput under the N-N create storm.
+pub fn fig8b() -> FigureReport {
+    let mut r = FigureReport::new(
+        "Figure 8(b)",
+        "file create throughput (N-N create storm)",
+        "procs",
+        "creates per second",
+    );
+    let systems: Vec<(&str, Box<dyn StorageModel>)> = vec![
+        ("NVMe-CR", Box::new(NvmeCrModel::full())),
+        ("GlusterFS", Box::new(GlusterFsModel::new())),
+        ("OrangeFS", Box::new(OrangeFsModel::new())),
+    ];
+    for (name, m) in systems {
+        let pts = [28u32, 56, 112, 224, 448]
+            .iter()
+            .map(|&p| (f64::from(p), m.create_rate(&Scenario::weak_scaling(p), 10)))
+            .collect();
+        r.push(Series::new(name, pts));
+    }
+    r.note("paper: NVMe-CR 7x GlusterFS and 18x OrangeFS at 448 procs (§IV-G)");
+    r
+}
+
+/// Figure 9: checkpoint and recovery efficiency, strong or weak scaling.
+/// Returns `(checkpoint, recovery)` reports (9a/9b or 9c/9d).
+pub fn fig9(strong: bool) -> (FigureReport, FigureReport) {
+    let (mode, ids) = if strong {
+        ("strong scaling (86 GB total over 10 ckpts)", ("Figure 9(a)", "Figure 9(b)"))
+    } else {
+        ("weak scaling (156 MiB/proc/ckpt)", ("Figure 9(c)", "Figure 9(d)"))
+    };
+    let mut ckpt = FigureReport::new(
+        ids.0,
+        format!("checkpoint efficiency, {mode}"),
+        "procs",
+        "efficiency (achieved / hardware peak)",
+    );
+    let mut rec = FigureReport::new(
+        ids.1,
+        format!("recovery efficiency, {mode}"),
+        "procs",
+        "efficiency (achieved / hardware peak)",
+    );
+    let systems: Vec<(&str, Box<dyn StorageModel>)> = vec![
+        ("NVMe-CR", Box::new(NvmeCrModel::full())),
+        ("GlusterFS", Box::new(GlusterFsModel::new())),
+        ("OrangeFS", Box::new(OrangeFsModel::new())),
+    ];
+    for (name, m) in systems {
+        let mut cp = Vec::new();
+        let mut rp = Vec::new();
+        for procs in [56u32, 112, 224, 448] {
+            let s = if strong {
+                Scenario::strong_scaling(procs)
+            } else {
+                Scenario::weak_scaling(procs)
+            };
+            cp.push((f64::from(procs), m.checkpoint_efficiency(&s)));
+            rp.push((f64::from(procs), m.recovery_efficiency(&s)));
+        }
+        ckpt.push(Series::new(name, cp));
+        rec.push(Series::new(name, rp));
+    }
+    ckpt.note("paper: NVMe-CR > 0.96 at 448; OrangeFS collapses under metadata burden (§IV-H)");
+    rec.note("paper: NVMe-CR 0.99 (instant replay via coalescing); GlusterFS dips at 448 (§IV-H)");
+    (ckpt, rec)
+}
+
+/// Table I: metadata overhead. When `functional` is true, NVMe-CR's
+/// per-runtime numbers are *measured* from a real 56-rank run instead of
+/// modelled.
+pub fn table1(functional: bool) -> TableReport {
+    let mut t = TableReport::new(
+        "Table I",
+        "metadata overhead with CoMD at 448 procs (MB)",
+        &["per-server MB", "per-runtime MB", "DRAM/runtime MB"],
+    );
+    let s = Scenario::weak_scaling(448);
+    let to_mb = |b: u64| b as f64 / 1e6;
+    let o = OrangeFsModel::new().metadata_overhead(&s);
+    t.row("OrangeFS", vec![to_mb(o.per_server_bytes), 0.0, 0.0]);
+    let g = GlusterFsModel::new().metadata_overhead(&s);
+    t.row("GlusterFS", vec![to_mb(g.per_server_bytes), 0.0, 0.0]);
+    let n = NvmeCrModel::full().metadata_overhead(&s);
+    t.row("NVMe-CR (model)", vec![0.0, to_mb(n.per_runtime_bytes), 0.0]);
+    if functional {
+        if let Ok(rep) = workloads::driver::run_functional_checkpoints(56, 2, 2 << 20, &[]) {
+            t.row(
+                "NVMe-CR (measured)",
+                vec![
+                    0.0,
+                    to_mb(rep.metadata_bytes / u64::from(rep.procs)),
+                    to_mb(rep.dram_bytes / u64::from(rep.procs)),
+                ],
+            );
+            t.note("measured row: real 56-rank functional run (2 ckpts x 2 MiB), per-runtime averages");
+        }
+    }
+    t.note("paper: OrangeFS 2686 MB/server, GlusterFS 3.5 MB/server, NVMe-CR ~445 MB/runtime (§IV-G)");
+    t.note("our snapshots are far more compact than the authors' DRAM-image checkpoints; shape (OrangeFS >> NVMe-CR >> GlusterFS per-server) is preserved");
+    t
+}
+
+/// Table II: multi-level checkpointing at 448 procs (strong scaling, 10
+/// checkpoints, 1-in-10 to Lustre).
+pub fn table2() -> TableReport {
+    let mut t = TableReport::new(
+        "Table II",
+        "multi-level checkpointing at 448 procs",
+        &["ckpt time (s)", "recovery (s)", "progress rate"],
+    );
+    let s = Scenario::strong_scaling(448);
+    let policy = MultiLevelPolicy::new(10);
+    let compute = CoMD::strong_scaling(448).compute_interval();
+    let systems: Vec<Box<dyn StorageModel>> = vec![
+        Box::new(OrangeFsModel::new()),
+        Box::new(GlusterFsModel::new()),
+        Box::new(NvmeCrModel::full()),
+    ];
+    for m in &systems {
+        let r = multilevel_eval(m.as_ref(), &s, policy, 10, compute);
+        t.row(
+            r.system,
+            vec![
+                r.checkpoint_time.as_secs(),
+                r.recovery_time.as_secs(),
+                r.progress_rate,
+            ],
+        );
+    }
+    // Coalescing ablation (§IV-I: "without coalescing, recovery takes 4s").
+    let nc = multilevel_eval(&NvmeCrModel::without_coalescing(), &s, policy, 10, compute);
+    t.row(
+        "NVMe-CR (no coalescing)",
+        vec![nc.checkpoint_time.as_secs(), nc.recovery_time.as_secs(), nc.progress_rate],
+    );
+    t.note("paper: ckpt 85.9 / 44.5 / 39.5 s; recovery 3.6 / 4.5 / 3.6 s (4.0 s without coalescing); progress 0.252 / 0.402 / 0.423");
+    let lustre = LustreModel::new().checkpoint_makespan(&s).as_secs();
+    t.note(format!("Lustre tier-2 checkpoint: {lustre:.1} s (shared by all rows)"));
+    t
+}
+
+/// Ablation (DESIGN.md §5): buffered vs direct checkpoint writes — the
+/// §III-D design choice. Buffering makes the *perceived* dump latency tiny
+/// but leaves the whole checkpoint volatile until the background drain
+/// finishes; at checkpoint-bound cadence it cannot raise the progress rate
+/// (the drain still gates the next checkpoint), which is the paper's
+/// "buffered IO reduces overall application progress rate" observation
+/// plus the durability argument.
+pub fn ablation_buffering() -> TableReport {
+    let mut t = TableReport::new(
+        "Ablation: buffering",
+        "buffered vs direct writes (448 procs, weak scaling)",
+        &[
+            "perceived dump (s)",
+            "progress rate",
+            "at-risk window (s)",
+            "GB at risk",
+        ],
+    );
+    let s = Scenario::weak_scaling(448);
+    let model = NvmeCrModel::full();
+    let t_direct = model.checkpoint_makespan(&s).as_secs();
+    let compute = CoMD::weak_scaling().compute_interval().as_secs();
+    // Direct (the paper's design): the dump blocks the app; data is
+    // durable the moment write() returns — no copy, no risk window.
+    let pr_direct = compute / (compute + t_direct);
+    t.row("direct (NVMe-CR)", vec![t_direct, pr_direct, 0.0, 0.0]);
+    // Buffered + fsync: a checkpoint only counts once durable, so the
+    // barrier waits for the drain anyway — buffering just *adds* the copy
+    // (~10 GB/s node memory bandwidth shared by 28 ranks). This is the
+    // configuration the paper's observation describes: "buffered IO
+    // reduces overall application progress rate" (SIII-D).
+    let memcpy = s.bytes_per_proc as f64 * 28.0 / 10e9;
+    let t_buffered_durable = memcpy + t_direct;
+    let pr_buffered_durable = compute / (compute + t_buffered_durable);
+    t.row(
+        "buffered + fsync barrier",
+        vec![t_buffered_durable, pr_buffered_durable, 0.0, 0.0],
+    );
+    // Buffered without the barrier: the drain overlaps compute, so the
+    // perceived dump is just the copy — but the entire checkpoint is
+    // volatile until the drain completes, violating the guarantee that a
+    // completed checkpoint is always recoverable.
+    let drain = t_direct;
+    let cycle = memcpy + compute.max(drain);
+    let pr_unsafe = compute / cycle;
+    t.row(
+        "buffered, no barrier (unsafe)",
+        vec![memcpy, pr_unsafe, drain, s.total_bytes() as f64 / 1e9],
+    );
+    t.note("with the durability barrier checkpointing requires, buffering only adds the copy; dropping the barrier trades a progress-rate win for an undurable checkpoint (SIII-D)");
+    t
+}
+
+/// Ablation (DESIGN.md §5): placement policy under the NVMe-CR data plane —
+/// what the storage balancer's round-robin buys over the baselines'
+/// policies, all other mechanisms held equal.
+pub fn ablation_placement() -> FigureReport {
+    use baselines::dagutil;
+    use baselines::spec::{DataPlaneSpec, PlacementPolicy};
+    let mut r = FigureReport::new(
+        "Ablation: placement",
+        "checkpoint efficiency by placement policy (NVMe-CR data plane)",
+        "procs",
+        "efficiency",
+    );
+    let policies = [
+        ("round-robin (balancer)", PlacementPolicy::RoundRobin),
+        ("jump-hash", PlacementPolicy::JumpHash),
+        ("striped 64K", PlacementPolicy::Striped { stripe: 64 << 10 }),
+        ("single server", PlacementPolicy::SingleServer),
+    ];
+    for (name, placement) in policies {
+        let pts = [56u32, 112, 224, 448]
+            .iter()
+            .map(|&p| {
+                let s = Scenario::weak_scaling(p);
+                let spec = DataPlaneSpec {
+                    request_size: 32 << 10,
+                    placement,
+                    ..DataPlaneSpec::base("ablate")
+                };
+                (f64::from(p), dagutil::checkpoint_efficiency(&s, &spec))
+            })
+            .collect();
+        r.push(Series::new(name, pts));
+    }
+    r.note("round-robin equals striping on balance but without per-stripe metadata; jump-hash pays imbalance; one server caps at 1/8 of the rack");
+    r
+}
+
+/// Ablation (DESIGN.md §5): incremental checkpointing (\[31\], combinable
+/// with NVMe-CR) — measured IO volume on the real filesystem for varying
+/// dirty fractions.
+pub fn ablation_incremental() -> TableReport {
+    use microfs::{FsConfig, MemDevice, MicroFs};
+    use workloads::IncrementalCheckpointer;
+    let mut t = TableReport::new(
+        "Ablation: incremental",
+        "incremental checkpointing IO volume (16 MiB image, 64 KiB chunks, measured)",
+        &["dirty %", "MiB written", "write fraction"],
+    );
+    let image_len = 16usize << 20;
+    let chunk = 64usize << 10;
+    let mut fs = MicroFs::format(MemDevice::new(128 << 20), FsConfig::default()).unwrap();
+    let mut inc = IncrementalCheckpointer::new(image_len, chunk);
+    let mut image = vec![0u8; image_len];
+    let first = inc.checkpoint(&mut fs, "/inc.dat", &image).unwrap();
+    t.row("100 (first)", vec![100.0, first.bytes_written as f64 / (1 << 20) as f64, first.write_fraction()]);
+    for dirty_pct in [1u32, 10, 50] {
+        let dirty_chunks = (image_len / chunk) * dirty_pct as usize / 100;
+        for c in 0..dirty_chunks {
+            let idx = c * chunk * 100 / dirty_pct.max(1) as usize % image_len;
+            image[idx] = image[idx].wrapping_add(1);
+        }
+        let r = inc.checkpoint(&mut fs, "/inc.dat", &image).unwrap();
+        t.row(
+            format!("{dirty_pct}"),
+            vec![
+                f64::from(dirty_pct),
+                r.bytes_written as f64 / (1 << 20) as f64,
+                r.write_fraction(),
+            ],
+        );
+    }
+    t.note("IO volume tracks the dirty fraction; composes with provenance and coalescing unchanged");
+    t
+}
+
+/// Extension figure: progress rate across the ECP proxy-app suite
+/// (§IV-A's "similar improvements as CoMD" claim made quantitative).
+pub fn fig_apps() -> FigureReport {
+    use workloads::PhasedApp;
+    let mut r = FigureReport::new(
+        "Extension: ECP suite",
+        "progress rate across ECP proxy apps (448 procs)",
+        "app (index: CoMD, AMG, Ember, ExaMiniMD, miniAMR)",
+        "progress rate",
+    );
+    let systems: Vec<(&str, Box<dyn StorageModel>)> = vec![
+        ("NVMe-CR", Box::new(NvmeCrModel::full())),
+        ("GlusterFS", Box::new(GlusterFsModel::new())),
+        ("OrangeFS", Box::new(OrangeFsModel::new())),
+    ];
+    let suite = PhasedApp::suite();
+    for (name, m) in systems {
+        let pts = suite
+            .iter()
+            .enumerate()
+            .map(|(i, app)| {
+                let s = Scenario::new(448, app.bytes_per_rank);
+                (i as f64, app.progress_rate(m.checkpoint_makespan(&s)))
+            })
+            .collect();
+        r.push(Series::new(name, pts));
+    }
+    r.note("paper §IV-A: AMG, Ember, ExaMiniMD, miniAMR \"have similar behavior and are likely to show similar improvements as CoMD\"");
+    r
+}
+
+/// Ablation (DESIGN.md §5): one hardware IO queue per runtime instance
+/// (§III-A Principle 3) vs a shared submission queue. A shared queue needs
+/// a lock; under full-subscription contention each acquisition costs
+/// microseconds of serialized time (cacheline bouncing), which the
+/// per-instance-queue design eliminates by construction.
+pub fn ablation_queues() -> TableReport {
+    use simkit::{Dag, Stage};
+    use ssd::{IoKind, SsdFacility};
+    let mut t = TableReport::new(
+        "Ablation: queues",
+        "per-instance vs shared submission queue (56 procs x 64 MiB at 4 KiB, one SSD)",
+        &["checkpoint (s)", "slowdown"],
+    );
+    // 4 KiB requests: the submission-rate-bound regime where queue-lock
+    // contention actually shows (at hugeblock sizes the device, not the
+    // queue, is the bottleneck — which is itself a point for hugeblocks).
+    let run = |shared: bool| {
+        let s = Scenario::single_node(64 << 20);
+        let mut dag = Dag::new();
+        let f = SsdFacility::install(&mut dag, &s.ssd);
+        let lock = dag.resource();
+        let req = 4u64 << 10;
+        let n_req = (64u64 << 20).div_ceil(req);
+        for _ in 0..56 {
+            let mut stages = Vec::new();
+            if shared {
+                // Contended queue lock: ~3 us per acquisition under
+                // 56-way contention, one per submitted request.
+                stages.push(Stage::Seize {
+                    res: lock,
+                    hold: simkit::SimTime::micros(3.0) * n_req as f64,
+                });
+            }
+            stages.extend(f.bulk_stages(IoKind::Write, 64 << 20, req, s.qd));
+            dag.token(&[], stages);
+        }
+        dag.run().expect("queue ablation DAG").makespan().as_secs()
+    };
+    let private = run(false);
+    let shared = run(true);
+    t.row("per-instance queues", vec![private, 1.0]);
+    t.row("shared queue + lock", vec![shared, shared / private]);
+    t.note("Principle 3: a dedicated hardware queue per microfs instance removes submission-path synchronization entirely");
+    t
+}
+
+/// Extension figure: NVMf overhead sensitivity to fabric speed. The paper
+/// measures <3.5% on 100 Gbps EDR; this sweep shows where disaggregation
+/// starts to cost — the crossover a slower-fabric deployment would hit.
+pub fn fig_fabric_sensitivity() -> FigureReport {
+    use fabric::NetConfig;
+    use simkit::{Rate, SimTime};
+    let mut r = FigureReport::new(
+        "Extension: fabric sensitivity",
+        "remote-over-local checkpoint overhead vs fabric speed (28 procs x 512 MB)",
+        "link (Gbit/s)",
+        "overhead vs local (%)",
+    );
+    let s0 = Scenario::single_node(512 << 20);
+    let local = NvmeCrModel::local().checkpoint_makespan(&s0).as_secs();
+    let mut pts = Vec::new();
+    for gbit in [10.0f64, 25.0, 50.0, 100.0, 200.0] {
+        let s = Scenario {
+            net: NetConfig {
+                link_bw: Rate::gbit_per_sec(gbit),
+                base_latency: SimTime::micros(1.5),
+                per_message_cpu: SimTime::micros(0.3),
+                per_hop_latency: SimTime::micros(0.15),
+            },
+            ..s0.clone()
+        };
+        let remote = NvmeCrModel::full().checkpoint_makespan(&s).as_secs();
+        pts.push((gbit, (remote / local - 1.0) * 100.0));
+    }
+    r.push(Series::new("NVMe-CR remote", pts));
+    r.note("the paper's EDR (100 Gbit) sits deep in the flat region; ~20 Gbit is where the fabric starts gating one SSD");
+    r
+}
+
+/// Extension figure: end-to-end machine efficiency under Young-optimal
+/// checkpointing, across system MTBF — the paper's §I motivation run
+/// through checkpointing theory with each storage system's measured dump
+/// time.
+pub fn fig_machine_efficiency() -> FigureReport {
+    use simkit::SimTime;
+    use workloads::interval::{best_efficiency};
+    let mut r = FigureReport::new(
+        "Extension: machine efficiency",
+        "machine efficiency at Young-optimal intervals (448 procs, weak scaling)",
+        "system MTBF (minutes)",
+        "machine efficiency",
+    );
+    let s = Scenario::weak_scaling(448);
+    let systems: Vec<(&str, Box<dyn StorageModel>)> = vec![
+        ("NVMe-CR", Box::new(NvmeCrModel::full())),
+        ("GlusterFS", Box::new(GlusterFsModel::new())),
+        ("OrangeFS", Box::new(OrangeFsModel::new())),
+    ];
+    for (name, m) in systems {
+        let dump = m.checkpoint_makespan(&s);
+        let pts = [5.0f64, 10.0, 30.0, 60.0, 240.0]
+            .iter()
+            .map(|&mins| (mins, best_efficiency(dump, SimTime::secs(mins * 60.0))))
+            .collect();
+        r.push(Series::new(name, pts));
+    }
+    r.note("\u{a7}I: exascale MTBF < 30 min; a faster checkpoint tier converts directly into retained compute");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_figure_renders() {
+        // Smoke: each report builds and prints non-trivially. (Numeric
+        // shape assertions live in the model crates' own tests.)
+        for rep in [fig1(), fig7b(), fig8b()] {
+            assert!(rep.to_string().len() > 100);
+            assert!(!rep.series.is_empty());
+        }
+    }
+
+    #[test]
+    fn ablations_have_expected_directions() {
+        let b = ablation_buffering();
+        // Buffering's perceived latency is far lower, but progress rate is
+        // not better at checkpoint-bound cadence, and risk is nonzero.
+        let direct_pr = b.cell("direct (NVMe-CR)", "progress rate").unwrap();
+        let durable_pr = b.cell("buffered + fsync barrier", "progress rate").unwrap();
+        assert!(
+            durable_pr < direct_pr,
+            "with the durability barrier, buffering must lose: {durable_pr} vs {direct_pr}"
+        );
+        assert!(b.cell("buffered, no barrier (unsafe)", "GB at risk").unwrap() > 50.0);
+        assert_eq!(b.cell("direct (NVMe-CR)", "GB at risk").unwrap(), 0.0);
+        let p = ablation_placement();
+        let rr = p.series_named("round-robin (balancer)").unwrap().y_at(448.0).unwrap();
+        let jh = p.series_named("jump-hash").unwrap().y_at(448.0).unwrap();
+        let single = p.series_named("single server").unwrap().y_at(448.0).unwrap();
+        assert!(rr > jh, "balancer beats hashing: {rr} vs {jh}");
+        assert!(single < 0.15, "one server of eight caps at ~0.125: {single}");
+        let i = ablation_incremental();
+        assert!(i.cell("1", "write fraction").unwrap() < 0.05);
+        assert!(i.cell("100 (first)", "write fraction").unwrap() == 1.0);
+        let q = ablation_queues();
+        let slow = q.cell("shared queue + lock", "slowdown").unwrap();
+        assert!(slow > 1.05, "shared queue must cost: {slow}");
+        let me = fig_machine_efficiency();
+        for mins in [5.0, 30.0] {
+            let ours = me.series_named("NVMe-CR").unwrap().y_at(mins).unwrap();
+            let orange = me.series_named("OrangeFS").unwrap().y_at(mins).unwrap();
+            assert!(ours > orange, "at {mins} min MTBF: {ours} vs {orange}");
+        }
+        let f = fig_fabric_sensitivity();
+        let series = f.series_named("NVMe-CR remote").unwrap();
+        let at10 = series.y_at(10.0).unwrap();
+        let at100 = series.y_at(100.0).unwrap();
+        assert!(at10 > at100 + 5.0, "slow fabric must cost: {at10}% vs {at100}%");
+        assert!(at100 < 3.5, "EDR overhead stays under the paper's 3.5%: {at100}%");
+    }
+
+    #[test]
+    fn fig1_bandwidth_shapes() {
+        let f = fig1();
+        let hw = f.series_named("hardware").unwrap().y_at(448.0).unwrap();
+        let orange_peak = f
+            .series_named("OrangeFS")
+            .unwrap()
+            .points
+            .iter()
+            .map(|&(_, y)| y)
+            .fold(0.0f64, f64::max);
+        let gluster_peak = f
+            .series_named("GlusterFS")
+            .unwrap()
+            .points
+            .iter()
+            .map(|&(_, y)| y)
+            .fold(0.0f64, f64::max);
+        // Paper: OrangeFS at best 41% of hardware, GlusterFS 84%.
+        assert!((0.30..0.55).contains(&(orange_peak / hw)), "{}", orange_peak / hw);
+        assert!((0.65..0.95).contains(&(gluster_peak / hw)), "{}", gluster_peak / hw);
+    }
+
+    #[test]
+    fn fig7a_optimum_is_32k() {
+        let f = fig7a();
+        let s = f.series_named("NVMe-CR").unwrap();
+        let best = s
+            .points
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap()
+            .0;
+        assert_eq!(best, 32.0, "optimum hugeblock must be 32 KiB");
+        let t4k = s.y_at(4.0).unwrap();
+        let t32k = s.y_at(32.0).unwrap();
+        assert!((1.04..1.15).contains(&(t4k / t32k)), "{}", t4k / t32k);
+    }
+
+    #[test]
+    fn fig9_nvmecr_dominates_everywhere() {
+        for strong in [true, false] {
+            let (ckpt, rec) = fig9(strong);
+            for report in [&ckpt, &rec] {
+                let ours = report.series_named("NVMe-CR").unwrap();
+                for other in ["GlusterFS", "OrangeFS"] {
+                    let them = report.series_named(other).unwrap();
+                    for &(x, y) in &ours.points {
+                        let t = them.y_at(x).unwrap();
+                        assert!(y > t, "{}: NVMe-CR {y} vs {other} {t} at {x}", report.id);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table2_row_ordering_matches_paper() {
+        let t = table2();
+        let o = t.cell("OrangeFS", "ckpt time (s)").unwrap();
+        let g = t.cell("GlusterFS", "ckpt time (s)").unwrap();
+        let n = t.cell("NVMe-CR", "ckpt time (s)").unwrap();
+        assert!(n < g && g < o, "NVMe-CR < GlusterFS < OrangeFS: {n} {g} {o}");
+        let pn = t.cell("NVMe-CR", "progress rate").unwrap();
+        let po = t.cell("OrangeFS", "progress rate").unwrap();
+        assert!(pn > po);
+        // Coalescing ablation slows recovery.
+        let r = t.cell("NVMe-CR", "recovery (s)").unwrap();
+        let rn = t.cell("NVMe-CR (no coalescing)", "recovery (s)").unwrap();
+        assert!(rn > r);
+    }
+}

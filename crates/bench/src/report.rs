@@ -1,0 +1,275 @@
+//! Figure/table report structure and text rendering.
+
+use std::fmt;
+
+/// One line series of a figure.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Build from label and points.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { label: label.into(), points }
+    }
+
+    /// The y value at a given x, if present.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (px - x).abs() < 1e-9)
+            .map(|&(_, y)| y)
+    }
+}
+
+/// A reproduced figure or table.
+#[derive(Debug, Clone)]
+pub struct FigureReport {
+    /// Identifier, e.g. "Figure 7(a)".
+    pub id: String,
+    /// Title line.
+    pub title: String,
+    /// X-axis meaning.
+    pub x_label: String,
+    /// Y-axis meaning.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+    /// Free-form notes (paper-vs-measured commentary).
+    pub notes: Vec<String>,
+}
+
+impl FigureReport {
+    /// Start an empty report.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        FigureReport {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Add a series.
+    pub fn push(&mut self, s: Series) {
+        self.series.push(s);
+    }
+
+    /// Add a note.
+    pub fn note(&mut self, n: impl Into<String>) {
+        self.notes.push(n.into());
+    }
+
+    /// Find a series by label.
+    pub fn series_named(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// All distinct x values, sorted.
+    fn xs(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_by(f64::total_cmp);
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        xs
+    }
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1e6 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+impl fmt::Display for FigureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {}: {} ==", self.id, self.title)?;
+        writeln!(f, "   y = {}", self.y_label)?;
+        // Header.
+        let xs = self.xs();
+        let mut widths: Vec<usize> = Vec::new();
+        let label_w = self
+            .series
+            .iter()
+            .map(|s| s.label.len())
+            .max()
+            .unwrap_or(4)
+            .max(self.x_label.len());
+        let mut header = format!("{:label_w$}", self.x_label);
+        for &x in &xs {
+            let cell = fmt_num(x);
+            let w = cell.len().max(9);
+            header.push_str(&format!(" | {cell:>w$}"));
+            widths.push(w);
+        }
+        writeln!(f, "{header}")?;
+        writeln!(f, "{}", "-".repeat(header.len()))?;
+        for s in &self.series {
+            let mut row = format!("{:label_w$}", s.label);
+            for (i, &x) in xs.iter().enumerate() {
+                let w = widths[i];
+                match s.y_at(x) {
+                    Some(y) => row.push_str(&format!(" | {:>w$}", fmt_num(y))),
+                    None => row.push_str(&format!(" | {:>w$}", "-")),
+                }
+            }
+            writeln!(f, "{row}")?;
+        }
+        for n in &self.notes {
+            writeln!(f, "   note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A reproduced table (Table I / Table II): named rows × named columns.
+#[derive(Debug, Clone)]
+pub struct TableReport {
+    /// Identifier, e.g. "Table II".
+    pub id: String,
+    /// Title line.
+    pub title: String,
+    /// Column headings.
+    pub columns: Vec<String>,
+    /// `(row label, values)` — one value per column.
+    pub rows: Vec<(String, Vec<f64>)>,
+    /// Free-form notes.
+    pub notes: Vec<String>,
+}
+
+impl TableReport {
+    /// Start an empty table.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, columns: &[&str]) -> Self {
+        TableReport {
+            id: id.into(),
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Add a row (must match the column count).
+    pub fn row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row/column mismatch");
+        self.rows.push((label.into(), values));
+    }
+
+    /// Add a note.
+    pub fn note(&mut self, n: impl Into<String>) {
+        self.notes.push(n.into());
+    }
+
+    /// Look up a cell by row label and column heading.
+    pub fn cell(&self, row: &str, column: &str) -> Option<f64> {
+        let c = self.columns.iter().position(|x| x == column)?;
+        self.rows
+            .iter()
+            .find(|(l, _)| l == row)
+            .map(|(_, vals)| vals[c])
+    }
+}
+
+impl fmt::Display for TableReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {}: {} ==", self.id, self.title)?;
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .max()
+            .unwrap_or(6)
+            .max(6);
+        let widths: Vec<usize> = self.columns.iter().map(|c| c.len().max(10)).collect();
+        let mut header = format!("{:label_w$}", "system");
+        for (c, w) in self.columns.iter().zip(&widths) {
+            header.push_str(&format!(" | {c:>w$}"));
+        }
+        writeln!(f, "{header}")?;
+        writeln!(f, "{}", "-".repeat(header.len()))?;
+        for (label, vals) in &self.rows {
+            let mut row = format!("{label:label_w$}");
+            for (v, w) in vals.iter().zip(&widths) {
+                row.push_str(&format!(" | {:>w$}", fmt_num(*v)));
+            }
+            writeln!(f, "{row}")?;
+        }
+        for n in &self.notes {
+            writeln!(f, "   note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_render_and_cell() {
+        let mut t = TableReport::new("Table II", "multilevel", &["ckpt (s)", "progress"]);
+        t.row("NVMe-CR", vec![39.5, 0.423]);
+        t.row("OrangeFS", vec![85.9, 0.252]);
+        assert_eq!(t.cell("NVMe-CR", "progress"), Some(0.423));
+        assert_eq!(t.cell("NVMe-CR", "nope"), None);
+        assert_eq!(t.cell("XFS", "progress"), None);
+        let s = t.to_string();
+        assert!(s.contains("Table II") && s.contains("85.9"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row/column mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = TableReport::new("T", "x", &["a", "b"]);
+        t.row("bad", vec![1.0]);
+    }
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut r = FigureReport::new("Figure X", "demo", "procs", "efficiency");
+        r.push(Series::new("NVMe-CR", vec![(56.0, 0.95), (448.0, 0.96)]));
+        r.push(Series::new("OrangeFS", vec![(56.0, 0.41)]));
+        r.note("shape check only");
+        let text = r.to_string();
+        assert!(text.contains("Figure X"));
+        assert!(text.contains("NVMe-CR"));
+        assert!(text.contains("0.960"));
+        assert!(text.contains('-'), "missing-point dash");
+        assert!(text.contains("note: shape check only"));
+    }
+
+    #[test]
+    fn y_at_lookup() {
+        let s = Series::new("a", vec![(1.0, 2.0), (3.0, 4.0)]);
+        assert_eq!(s.y_at(3.0), Some(4.0));
+        assert_eq!(s.y_at(2.0), None);
+    }
+
+    #[test]
+    fn series_named() {
+        let mut r = FigureReport::new("F", "t", "x", "y");
+        r.push(Series::new("alpha", vec![]));
+        assert!(r.series_named("alpha").is_some());
+        assert!(r.series_named("beta").is_none());
+    }
+}

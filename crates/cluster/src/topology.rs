@@ -1,0 +1,330 @@
+//! Cluster topology: racks, nodes, and switch-hop distances.
+//!
+//! The model is a two-level fat tree: nodes attach to their rack's top-of-
+//! rack (ToR) switch, and ToR switches attach to a spine. Hop distances are
+//! therefore 0 (same node), 2 (same rack), or 4 (cross-rack) — enough
+//! structure for the storage balancer's "fewest hops away" greedy placement
+//! and for failure-domain derivation, which both key off rack sharing.
+
+/// Identifier of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a rack (also its power distribution unit in the default
+/// one-PDU-per-rack wiring).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RackId(pub u32);
+
+/// Identifier of a pod (a group of racks under one aggregation switch in
+/// the three-level fat tree; racks outside any pod attach directly to the
+/// spine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PodId(pub u32);
+
+/// Role of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Runs application ranks; `cores` of them per node.
+    Compute {
+        /// Application processes the node can host.
+        cores: u32,
+    },
+    /// Hosts NVMe SSDs behind an NVMf target daemon.
+    Storage {
+        /// SSDs attached to the node.
+        ssds: u32,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    rack: RackId,
+    kind: NodeKind,
+}
+
+/// An immutable cluster description.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    racks: u32,
+    /// Pod of each rack (None: the rack's ToR uplinks straight to the
+    /// spine, the two-level default).
+    rack_pods: Vec<Option<PodId>>,
+}
+
+/// Incremental [`Topology`] construction.
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    nodes: Vec<Node>,
+    racks: u32,
+    rack_pods: Vec<Option<PodId>>,
+}
+
+impl TopologyBuilder {
+    /// Add a rack of `n` identical nodes; returns its id.
+    pub fn rack(&mut self, n: u32, kind: NodeKind) -> RackId {
+        self.rack_in_pod(n, kind, None)
+    }
+
+    /// Add a rack inside a pod (three-level fat tree); returns its id.
+    pub fn rack_in_pod(&mut self, n: u32, kind: NodeKind, pod: Option<PodId>) -> RackId {
+        let rack = RackId(self.racks);
+        self.racks += 1;
+        self.rack_pods.push(pod);
+        for _ in 0..n {
+            self.nodes.push(Node { rack, kind });
+        }
+        rack
+    }
+
+    /// Finish construction.
+    pub fn build(self) -> Topology {
+        assert!(!self.nodes.is_empty(), "topology needs at least one node");
+        Topology {
+            nodes: self.nodes,
+            racks: self.racks,
+            rack_pods: self.rack_pods,
+        }
+    }
+}
+
+impl Topology {
+    /// Start building a topology.
+    pub fn builder() -> TopologyBuilder {
+        TopologyBuilder::default()
+    }
+
+    /// The paper's evaluation cluster (§IV-A): one compute rack of 16
+    /// nodes × 28 cores and one storage rack of 8 nodes × 1 SSD.
+    pub fn paper_testbed() -> Topology {
+        let mut b = Topology::builder();
+        b.rack(16, NodeKind::Compute { cores: 28 });
+        b.rack(8, NodeKind::Storage { ssds: 1 });
+        b.build()
+    }
+
+    /// A larger synthetic cluster for scaling studies: `compute_racks` ×
+    /// `nodes_per_rack` compute nodes and `storage_racks` × `nodes_per_rack`
+    /// storage nodes.
+    pub fn synthetic(
+        compute_racks: u32,
+        storage_racks: u32,
+        nodes_per_rack: u32,
+        cores: u32,
+    ) -> Topology {
+        let mut b = Topology::builder();
+        for _ in 0..compute_racks {
+            b.rack(nodes_per_rack, NodeKind::Compute { cores });
+        }
+        for _ in 0..storage_racks {
+            b.rack(nodes_per_rack, NodeKind::Storage { ssds: 1 });
+        }
+        b.build()
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total rack count.
+    pub fn rack_count(&self) -> u32 {
+        self.racks
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// The rack a node lives in.
+    pub fn rack_of(&self, n: NodeId) -> RackId {
+        self.nodes[n.0 as usize].rack
+    }
+
+    /// The node's role.
+    pub fn kind_of(&self, n: NodeId) -> NodeKind {
+        self.nodes[n.0 as usize].kind
+    }
+
+    /// All compute nodes.
+    pub fn compute_nodes(&self) -> Vec<NodeId> {
+        self.nodes()
+            .filter(|&n| matches!(self.kind_of(n), NodeKind::Compute { .. }))
+            .collect()
+    }
+
+    /// All storage nodes.
+    pub fn storage_nodes(&self) -> Vec<NodeId> {
+        self.nodes()
+            .filter(|&n| matches!(self.kind_of(n), NodeKind::Storage { .. }))
+            .collect()
+    }
+
+    /// Cores on a compute node (0 for storage nodes).
+    pub fn cores_of(&self, n: NodeId) -> u32 {
+        match self.kind_of(n) {
+            NodeKind::Compute { cores } => cores,
+            NodeKind::Storage { .. } => 0,
+        }
+    }
+
+    /// Total application ranks the cluster can host.
+    pub fn total_cores(&self) -> u32 {
+        self.nodes().map(|n| self.cores_of(n)).sum()
+    }
+
+    /// The pod a rack belongs to, if the topology is three-level.
+    pub fn pod_of(&self, r: RackId) -> Option<PodId> {
+        self.rack_pods[r.0 as usize]
+    }
+
+    /// Switch hops between two nodes: 0 same node, 2 same rack (via the
+    /// ToR), 4 same pod (via the aggregation switch), 6 cross-pod (via
+    /// the spine). In the two-level default every cross-rack pair is 4.
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        if a == b {
+            0
+        } else if self.rack_of(a) == self.rack_of(b) {
+            2
+        } else {
+            self.rack_hops(self.rack_of(a), self.rack_of(b))
+        }
+    }
+
+    /// Hops between two racks: 0 same rack; 4 same pod (or two-level
+    /// tree); 6 across pods.
+    pub fn rack_hops(&self, a: RackId, b: RackId) -> u32 {
+        if a == b {
+            return 0;
+        }
+        match (self.pod_of(a), self.pod_of(b)) {
+            (Some(pa), Some(pb)) if pa == pb => 4,
+            (Some(_), Some(_)) => 6,
+            // Mixed or two-level wiring: one spine crossing.
+            _ => 4,
+        }
+    }
+
+    /// A three-level fat tree: `pods` pods, each holding `compute_racks`
+    /// compute racks and `storage_racks` storage racks of `nodes_per_rack`
+    /// nodes (compute nodes carry `cores`, storage nodes one SSD).
+    pub fn fat_tree(
+        pods: u32,
+        compute_racks: u32,
+        storage_racks: u32,
+        nodes_per_rack: u32,
+        cores: u32,
+    ) -> Topology {
+        assert!(pods > 0);
+        let mut b = Topology::builder();
+        for p in 0..pods {
+            for _ in 0..compute_racks {
+                b.rack_in_pod(nodes_per_rack, NodeKind::Compute { cores }, Some(PodId(p)));
+            }
+            for _ in 0..storage_racks {
+                b.rack_in_pod(nodes_per_rack, NodeKind::Storage { ssds: 1 }, Some(PodId(p)));
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_shape() {
+        let t = Topology::paper_testbed();
+        assert_eq!(t.node_count(), 24);
+        assert_eq!(t.rack_count(), 2);
+        assert_eq!(t.compute_nodes().len(), 16);
+        assert_eq!(t.storage_nodes().len(), 8);
+        assert_eq!(t.total_cores(), 448);
+    }
+
+    #[test]
+    fn hop_distances() {
+        let t = Topology::paper_testbed();
+        let c = t.compute_nodes();
+        let s = t.storage_nodes();
+        assert_eq!(t.hops(c[0], c[0]), 0);
+        assert_eq!(t.hops(c[0], c[1]), 2); // same rack
+        assert_eq!(t.hops(c[0], s[0]), 4); // cross rack
+        assert_eq!(t.rack_hops(t.rack_of(c[0]), t.rack_of(s[0])), 4);
+    }
+
+    #[test]
+    fn synthetic_builder() {
+        let t = Topology::synthetic(4, 2, 8, 32);
+        assert_eq!(t.rack_count(), 6);
+        assert_eq!(t.compute_nodes().len(), 32);
+        assert_eq!(t.storage_nodes().len(), 16);
+        assert_eq!(t.total_cores(), 32 * 32);
+    }
+
+    #[test]
+    fn storage_nodes_have_no_cores() {
+        let t = Topology::paper_testbed();
+        for n in t.storage_nodes() {
+            assert_eq!(t.cores_of(n), 0);
+            assert!(matches!(t.kind_of(n), NodeKind::Storage { ssds: 1 }));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_topology_rejected() {
+        let _ = Topology::builder().build();
+    }
+
+    #[test]
+    fn fat_tree_hop_hierarchy() {
+        // 2 pods x (1 compute rack + 1 storage rack) x 2 nodes.
+        let t = Topology::fat_tree(2, 1, 1, 2, 28);
+        assert_eq!(t.rack_count(), 4);
+        let c = t.compute_nodes();
+        let s = t.storage_nodes();
+        // Same rack: 2 hops.
+        assert_eq!(t.hops(c[0], c[1]), 2);
+        // Same pod, different rack: 4 hops (compute rack 0 + storage rack
+        // 1 are both pod 0).
+        assert_eq!(t.hops(c[0], s[0]), 4);
+        // Cross-pod: 6 hops.
+        assert_eq!(t.hops(c[0], s[2]), 6);
+        assert_eq!(t.pod_of(t.rack_of(c[0])), Some(PodId(0)));
+        assert_eq!(t.pod_of(t.rack_of(c[2])), Some(PodId(1)));
+    }
+
+    #[test]
+    fn two_level_topologies_are_unchanged() {
+        let t = Topology::paper_testbed();
+        let c = t.compute_nodes();
+        let s = t.storage_nodes();
+        assert_eq!(t.hops(c[0], s[0]), 4);
+        assert_eq!(t.pod_of(t.rack_of(c[0])), None);
+    }
+
+    #[test]
+    fn fat_tree_partner_selection_prefers_same_pod() {
+        // The scheduler's greedy hop-sorted storage choice should pick the
+        // same-pod storage rack first.
+        use crate::failure::FailureDomains;
+        let t = Topology::fat_tree(2, 1, 1, 4, 28);
+        let fd = FailureDomains::derive(&t);
+        // Compute rack of pod 0 is domain 0; its storage racks are domain
+        // 1 (pod 0) and domain 3 (pod 1). Partner list must start with the
+        // 4-hop same-pod domains before the 6-hop cross-pod ones.
+        let partners = fd.partners_of(crate::failure::DomainId(0));
+        let hops: Vec<u32> = partners
+            .iter()
+            .map(|d| t.rack_hops(RackId(0), RackId(d.0)))
+            .collect();
+        for w in hops.windows(2) {
+            assert!(w[0] <= w[1], "partners must be hop-sorted: {hops:?}");
+        }
+        assert_eq!(hops[0], 4);
+        assert_eq!(*hops.last().unwrap(), 6);
+    }
+}

@@ -1,0 +1,328 @@
+//! The storage balancer — load-aware, failure-domain-aware placement
+//! (§III-F, Figure 6).
+//!
+//! Inputs: a scheduler allocation (ranks on compute nodes, storage grants
+//! on partner-domain SSDs). Outputs: a [`Placement`] mapping every rank to
+//! a grant (round-robin, "processes within a job are assigned to the
+//! allocated SSDs in a round robin manner to achieve load balancing"), the
+//! per-SSD `MPI_COMM_CR` communicators, and each rank's contiguous segment
+//! of its SSD's namespace ("each process gets a contiguous segment of the
+//! SSD based on its rank and the communicator size").
+//!
+//! The balancer *verifies* — not just assumes — that every rank's
+//! checkpoint data lands in a different failure domain than the rank
+//! itself; a violating allocation is rejected.
+
+use std::fmt;
+
+use cluster::{Comm, CommWorld, FailureDomains, JobAllocation, Topology};
+use simkit::stats::coefficient_of_variation;
+
+/// Placement failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BalanceError {
+    /// A rank would share a failure domain with its checkpoint storage.
+    DomainViolation {
+        /// The offending rank.
+        rank: u32,
+    },
+    /// A rank's namespace segment would be too small to hold a microfs
+    /// partition.
+    SegmentTooSmall {
+        /// Bytes each rank would receive.
+        segment: u64,
+    },
+    /// The allocation carries no storage grants.
+    NoStorage,
+}
+
+impl fmt::Display for BalanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BalanceError::DomainViolation { rank } => {
+                write!(f, "rank {rank} shares a failure domain with its assigned SSD")
+            }
+            BalanceError::SegmentTooSmall { segment } => {
+                write!(f, "per-rank segment of {segment} bytes is too small")
+            }
+            BalanceError::NoStorage => write!(f, "allocation has no storage grants"),
+        }
+    }
+}
+
+impl std::error::Error for BalanceError {}
+
+/// One rank's placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankPlacement {
+    /// Global rank.
+    pub rank: u32,
+    /// Index into the allocation's storage grants.
+    pub grant: usize,
+    /// Rank within `MPI_COMM_CR` (the communicator of ranks sharing the
+    /// SSD).
+    pub local_rank: u32,
+    /// Size of `MPI_COMM_CR`.
+    pub comm_size: u32,
+    /// Byte offset of this rank's segment within the job's namespace on
+    /// that SSD.
+    pub segment_offset: u64,
+    /// Segment size in bytes.
+    pub segment_size: u64,
+}
+
+/// A complete, verified placement.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Per-rank placements, indexed by rank.
+    pub per_rank: Vec<RankPlacement>,
+    /// One `MPI_COMM_CR` per grant, in grant order.
+    pub comms: Vec<Comm>,
+}
+
+impl Placement {
+    /// Bytes landing on each grant if rank `r` writes `bytes_of(r)` bytes —
+    /// the load distribution whose coefficient of variation Figure 7b
+    /// reports.
+    pub fn load_per_grant(&self, bytes_of: impl Fn(u32) -> u64, n_grants: usize) -> Vec<u64> {
+        let mut load = vec![0u64; n_grants];
+        for p in &self.per_rank {
+            load[p.grant] += bytes_of(p.rank);
+        }
+        load
+    }
+
+    /// Coefficient of variation of the load distribution.
+    pub fn load_cov(&self, bytes_of: impl Fn(u32) -> u64, n_grants: usize) -> f64 {
+        let load: Vec<f64> = self
+            .load_per_grant(bytes_of, n_grants)
+            .into_iter()
+            .map(|b| b as f64)
+            .collect();
+        coefficient_of_variation(&load)
+    }
+}
+
+/// The balancer.
+pub struct StorageBalancer<'a> {
+    topo: &'a Topology,
+    domains: &'a FailureDomains,
+}
+
+impl<'a> StorageBalancer<'a> {
+    /// A balancer over the given topology and failure-domain map.
+    pub fn new(topo: &'a Topology, domains: &'a FailureDomains) -> Self {
+        StorageBalancer { topo, domains }
+    }
+
+    /// Compute and verify the placement for `alloc`, partitioning each
+    /// job namespace of `namespace_bytes` among the ranks that share it.
+    pub fn place(
+        &self,
+        alloc: &JobAllocation,
+        namespace_bytes: u64,
+        min_segment: u64,
+    ) -> Result<Placement, BalanceError> {
+        let n_grants = alloc.storage.len();
+        if n_grants == 0 {
+            return Err(BalanceError::NoStorage);
+        }
+        let n_ranks = alloc.rank_nodes.len() as u32;
+        if n_grants as u32 > n_ranks {
+            // The paper sizes jobs at 56-112 processes per SSD; fewer
+            // ranks than SSDs would leave grants unused.
+            return Err(BalanceError::NoStorage);
+        }
+        // Round-robin rank -> grant.
+        let grant_of = |rank: u32| (rank as usize) % n_grants;
+        // Fault-tolerance check: never colocate a rank with its data.
+        for rank in 0..n_ranks {
+            let rank_node = alloc.rank_nodes[rank as usize];
+            let ssd_node = alloc.storage[grant_of(rank)].node;
+            if !self.domains.separated(rank_node, ssd_node) {
+                return Err(BalanceError::DomainViolation { rank });
+            }
+        }
+        // MPI_COMM_CR per grant via MPI_Comm_split (color = grant).
+        let world = CommWorld::new(alloc.rank_nodes.clone());
+        let split = world
+            .comm_world()
+            .split(|r| grant_of(r) as u64, u64::from);
+        let mut comms: Vec<Comm> = Vec::with_capacity(n_grants);
+        for g in 0..n_grants {
+            let comm = split
+                .iter()
+                .find(|(color, _)| *color == g as u64)
+                .map(|(_, c)| c.clone())
+                .expect("every grant has at least one rank (checked above)");
+            comms.push(comm);
+        }
+        // Contiguous per-rank segments.
+        let mut per_rank = Vec::with_capacity(n_ranks as usize);
+        for rank in 0..n_ranks {
+            let g = grant_of(rank);
+            let comm = &comms[g];
+            let local_rank = comm
+                .local_rank(rank)
+                .expect("rank belongs to its grant communicator");
+            let comm_size = comm.size();
+            let segment_size = namespace_bytes / u64::from(comm_size);
+            if segment_size < min_segment {
+                return Err(BalanceError::SegmentTooSmall { segment: segment_size });
+            }
+            per_rank.push(RankPlacement {
+                rank,
+                grant: g,
+                local_rank,
+                comm_size,
+                segment_offset: u64::from(local_rank) * segment_size,
+                segment_size,
+            });
+        }
+        let _ = self.topo; // reserved for hop-aware refinements
+        Ok(Placement { per_rank, comms })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{JobRequest, Scheduler};
+
+    fn placed(procs: u32) -> (Placement, JobAllocation) {
+        let topo = Topology::paper_testbed();
+        let mut sched = Scheduler::new(topo.clone(), 4);
+        let alloc = sched.submit(&JobRequest::full_subscription(procs)).unwrap();
+        let domains = FailureDomains::derive(&topo);
+        let balancer = StorageBalancer::new(&topo, &domains);
+        let p = balancer.place(&alloc, 8 << 30, 16 << 20).unwrap();
+        (p, alloc)
+    }
+
+    #[test]
+    fn round_robin_is_perfectly_balanced() {
+        let (p, alloc) = placed(448);
+        let n = alloc.storage.len();
+        let load = p.load_per_grant(|_| 512 << 20, n);
+        assert!(load.windows(2).all(|w| w[0] == w[1]), "equal-size files must balance exactly");
+        assert_eq!(p.load_cov(|_| 512 << 20, n), 0.0);
+    }
+
+    #[test]
+    fn segments_tile_each_namespace_without_overlap() {
+        let (p, alloc) = placed(448);
+        for g in 0..alloc.storage.len() {
+            let mut segs: Vec<(u64, u64)> = p
+                .per_rank
+                .iter()
+                .filter(|r| r.grant == g)
+                .map(|r| (r.segment_offset, r.segment_size))
+                .collect();
+            segs.sort_unstable();
+            let mut cursor = 0;
+            for (off, size) in segs {
+                assert_eq!(off, cursor, "segment gap/overlap at grant {g}");
+                cursor = off + size;
+            }
+            assert!(cursor <= 8 << 30);
+        }
+    }
+
+    #[test]
+    fn comm_cr_sizes_match_paper_ratio() {
+        let (p, _) = placed(448);
+        // 448 ranks over 4 SSDs -> MPI_COMM_CR of 112 (the paper's upper
+        // recommended process:SSD ratio).
+        assert!(p.per_rank.iter().all(|r| r.comm_size == 112));
+        assert_eq!(p.comms.len(), 4);
+    }
+
+    #[test]
+    fn uneven_rank_count_still_covered() {
+        let (p, alloc) = placed(100); // 100 ranks, 1 SSD (100/112 -> 1)
+        assert_eq!(alloc.storage.len(), 1);
+        assert_eq!(p.per_rank.len(), 100);
+        assert!(p.per_rank.iter().all(|r| r.comm_size == 100));
+    }
+
+    #[test]
+    fn domain_violations_are_rejected() {
+        // Build a pathological "allocation" where storage shares the
+        // compute rack.
+        let topo = Topology::paper_testbed();
+        let domains = FailureDomains::derive(&topo);
+        let compute = topo.compute_nodes();
+        let alloc = JobAllocation {
+            id: cluster::JobId(0),
+            rank_nodes: vec![compute[0]; 28],
+            storage: vec![cluster::StorageGrant { node: compute[1], ssd: 0, slot: 0 }],
+        };
+        let balancer = StorageBalancer::new(&topo, &domains);
+        assert!(matches!(
+            balancer.place(&alloc, 1 << 30, 1 << 20),
+            Err(BalanceError::DomainViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn tiny_segments_rejected() {
+        let topo = Topology::paper_testbed();
+        let mut sched = Scheduler::new(topo.clone(), 4);
+        let alloc = sched.submit(&JobRequest::full_subscription(448)).unwrap();
+        let domains = FailureDomains::derive(&topo);
+        let balancer = StorageBalancer::new(&topo, &domains);
+        // 1 MiB namespace split 112 ways is absurd.
+        assert!(matches!(
+            balancer.place(&alloc, 1 << 20, 16 << 20),
+            Err(BalanceError::SegmentTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn unequal_loads_have_nonzero_cov() {
+        let (p, alloc) = placed(448);
+        let n = alloc.storage.len();
+        let cov = p.load_cov(|r| if r == 0 { 10 << 30 } else { 1 << 20 }, n);
+        assert!(cov > 0.0);
+    }
+
+    proptest::proptest! {
+        /// For arbitrary job sizes, segments always tile each namespace
+        /// without gaps or overlap and every rank lands on a partner
+        /// domain.
+        #[test]
+        fn prop_segments_tile_and_domains_separate(procs in 4u32..448) {
+            let topo = Topology::paper_testbed();
+            let mut sched = cluster::Scheduler::new(topo.clone(), 8);
+            let Ok(alloc) = sched.submit(&cluster::JobRequest::full_subscription(procs)) else {
+                return Ok(());
+            };
+            let domains = FailureDomains::derive(&topo);
+            let balancer = StorageBalancer::new(&topo, &domains);
+            let Ok(p) = balancer.place(&alloc, 8 << 30, 1 << 20) else {
+                return Ok(());
+            };
+            for g in 0..alloc.storage.len() {
+                let mut segs: Vec<(u64, u64)> = p
+                    .per_rank
+                    .iter()
+                    .filter(|r| r.grant == g)
+                    .map(|r| (r.segment_offset, r.segment_size))
+                    .collect();
+                segs.sort_unstable();
+                let mut cursor = 0;
+                for (off, size) in segs {
+                    proptest::prop_assert_eq!(off, cursor);
+                    proptest::prop_assert!(size >= 1 << 20);
+                    cursor = off + size;
+                }
+                proptest::prop_assert!(cursor <= 8 << 30);
+            }
+            for r in &p.per_rank {
+                let rank_node = alloc.rank_nodes[r.rank as usize];
+                let ssd_node = alloc.storage[r.grant].node;
+                proptest::prop_assert!(domains.separated(rank_node, ssd_node));
+            }
+        }
+    }
+}

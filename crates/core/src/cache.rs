@@ -1,0 +1,327 @@
+//! A cache layer over the data plane — the paper's stated future work
+//! ("we plan to study the impact of a cache layer over NVMe-CR", §V).
+//!
+//! `CachedBlockDevice` wraps any [`BlockDevice`] with a block-granular LRU
+//! **read cache** and an optional **write-back buffer**. The read cache is
+//! uncontroversial (restart re-reads are served from DRAM). The write-back
+//! mode exists to make the paper's §III-D argument *testable*: buffered
+//! writes complete faster but are not durable until drained — dropping the
+//! wrapper before a drain loses exactly the buffered bytes, which is why
+//! NVMe-CR's write path is direct. Tests demonstrate both properties.
+
+use std::collections::HashMap;
+
+use microfs::block::{BlockDevice, DevError, IoCounters};
+
+/// Write policy of the cache layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WritePolicy {
+    /// Writes go straight to the device (NVMe-CR's design, §III-D); the
+    /// cache only serves reads.
+    WriteThrough,
+    /// Writes are buffered and drained on [`CachedBlockDevice::drain`] /
+    /// `flush` — faster completions, delayed durability.
+    WriteBack,
+}
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read requests served from cache.
+    pub read_hits: u64,
+    /// Read requests that went to the device.
+    pub read_misses: u64,
+    /// Write requests absorbed by the write-back buffer.
+    pub buffered_writes: u64,
+    /// Cache blocks evicted.
+    pub evictions: u64,
+}
+
+struct Slot {
+    data: Vec<u8>,
+    dirty: bool,
+    /// LRU stamp.
+    used: u64,
+}
+
+/// An LRU block cache over a [`BlockDevice`].
+pub struct CachedBlockDevice<D: BlockDevice> {
+    inner: D,
+    block: u64,
+    capacity_blocks: usize,
+    policy: WritePolicy,
+    slots: HashMap<u64, Slot>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl<D: BlockDevice> CachedBlockDevice<D> {
+    /// Wrap `inner` with a cache of `capacity_bytes` in `block`-sized
+    /// slots.
+    pub fn new(inner: D, block: u64, capacity_bytes: u64, policy: WritePolicy) -> Self {
+        assert!(block.is_power_of_two() && block >= 512);
+        let capacity_blocks = (capacity_bytes / block).max(1) as usize;
+        CachedBlockDevice {
+            inner,
+            block,
+            capacity_blocks,
+            policy,
+            slots: HashMap::with_capacity(capacity_blocks),
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Cache statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Bytes currently dirty in the write-back buffer.
+    pub fn dirty_bytes(&self) -> u64 {
+        self.slots.values().filter(|s| s.dirty).count() as u64 * self.block
+    }
+
+    /// Write all dirty blocks to the device (the drain the background
+    /// thread would perform during compute phases).
+    pub fn drain(&mut self) -> Result<(), DevError> {
+        let mut dirty: Vec<u64> = self
+            .slots
+            .iter()
+            .filter(|(_, s)| s.dirty)
+            .map(|(&b, _)| b)
+            .collect();
+        dirty.sort_unstable();
+        for b in dirty {
+            let data = self.slots.get(&b).expect("listed").data.clone();
+            self.inner.write_at(b * self.block, &data)?;
+            self.slots.get_mut(&b).expect("listed").dirty = false;
+        }
+        Ok(())
+    }
+
+    /// Unwrap, discarding cache state. **Dirty write-back data is lost** —
+    /// this models a crash and is exactly the §III-D hazard.
+    pub fn into_inner_discarding(self) -> D {
+        self.inner
+    }
+
+    fn touch(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn evict_if_full(&mut self) -> Result<(), DevError> {
+        while self.slots.len() >= self.capacity_blocks {
+            let victim = self
+                .slots
+                .iter()
+                .min_by_key(|(_, s)| s.used)
+                .map(|(&b, _)| b)
+                .expect("non-empty");
+            let slot = self.slots.remove(&victim).expect("victim exists");
+            if slot.dirty {
+                self.inner.write_at(victim * self.block, &slot.data)?;
+            }
+            self.stats.evictions += 1;
+        }
+        Ok(())
+    }
+
+    /// Load a block into the cache (reading through on miss).
+    fn load(&mut self, b: u64) -> Result<&mut Slot, DevError> {
+        if !self.slots.contains_key(&b) {
+            self.stats.read_misses += 1;
+            self.evict_if_full()?;
+            let mut data = vec![0u8; self.block as usize];
+            let off = b * self.block;
+            // Clamp reads at the device end.
+            let end = (off + self.block).min(self.inner.size());
+            self.inner.read_at(off, &mut data[..(end - off) as usize])?;
+            let used = self.touch();
+            self.slots.insert(b, Slot { data, dirty: false, used });
+        } else {
+            self.stats.read_hits += 1;
+        }
+        let stamp = self.touch();
+        let slot = self.slots.get_mut(&b).expect("just ensured");
+        slot.used = stamp;
+        Ok(slot)
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for CachedBlockDevice<D> {
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<(), DevError> {
+        match self.policy {
+            WritePolicy::WriteThrough => {
+                // Keep any cached copies coherent, then write through.
+                let mut pos = 0usize;
+                while pos < data.len() {
+                    let abs = offset + pos as u64;
+                    let b = abs / self.block;
+                    let within = (abs % self.block) as usize;
+                    let n = (self.block as usize - within).min(data.len() - pos);
+                    if let Some(slot) = self.slots.get_mut(&b) {
+                        slot.data[within..within + n].copy_from_slice(&data[pos..pos + n]);
+                    }
+                    pos += n;
+                }
+                self.inner.write_at(offset, data)
+            }
+            WritePolicy::WriteBack => {
+                let mut pos = 0usize;
+                while pos < data.len() {
+                    let abs = offset + pos as u64;
+                    let b = abs / self.block;
+                    let within = (abs % self.block) as usize;
+                    let n = (self.block as usize - within).min(data.len() - pos);
+                    let slot = self.load(b)?;
+                    slot.data[within..within + n].copy_from_slice(&data[pos..pos + n]);
+                    slot.dirty = true;
+                    pos += n;
+                }
+                self.stats.buffered_writes += 1;
+                Ok(())
+            }
+        }
+    }
+
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<(), DevError> {
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let abs = offset + pos as u64;
+            let b = abs / self.block;
+            let within = (abs % self.block) as usize;
+            let n = (self.block as usize - within).min(buf.len() - pos);
+            let slot = self.load(b)?;
+            buf[pos..pos + n].copy_from_slice(&slot.data[within..within + n]);
+            pos += n;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), DevError> {
+        self.drain()?;
+        self.inner.flush()
+    }
+
+    fn size(&self) -> u64 {
+        self.inner.size()
+    }
+
+    fn counters(&self) -> IoCounters {
+        self.inner.counters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microfs::MemDevice;
+
+    fn cached(policy: WritePolicy) -> CachedBlockDevice<MemDevice> {
+        CachedBlockDevice::new(MemDevice::new(1 << 20), 4096, 64 << 10, policy)
+    }
+
+    #[test]
+    fn read_cache_absorbs_repeat_reads() {
+        let mut c = cached(WritePolicy::WriteThrough);
+        c.write_at(0, &[7u8; 8192]).unwrap();
+        let mut buf = [0u8; 8192];
+        c.read_at(0, &mut buf).unwrap();
+        let dev_reads_after_first = c.counters().reads;
+        for _ in 0..10 {
+            c.read_at(0, &mut buf).unwrap();
+        }
+        assert_eq!(c.counters().reads, dev_reads_after_first, "hits must not touch the device");
+        assert!(c.stats().read_hits >= 20);
+        assert_eq!(buf, [7u8; 8192]);
+    }
+
+    #[test]
+    fn write_through_is_immediately_durable() {
+        let mut c = cached(WritePolicy::WriteThrough);
+        c.write_at(100, b"durable now").unwrap();
+        assert_eq!(c.dirty_bytes(), 0);
+        let mut inner = c.into_inner_discarding();
+        assert_eq!(inner.read_vec(100, 11).unwrap(), b"durable now");
+    }
+
+    #[test]
+    fn write_back_loses_data_on_crash_but_not_after_drain() {
+        // The §III-D argument, demonstrated.
+        let mut c = cached(WritePolicy::WriteBack);
+        c.write_at(0, &[9u8; 4096]).unwrap();
+        assert!(c.dirty_bytes() > 0);
+        let mut inner = c.into_inner_discarding(); // crash
+        assert_eq!(inner.read_vec(0, 4096).unwrap(), vec![0u8; 4096], "buffered bytes lost");
+        // Same sequence with a drain: durable.
+        let mut c = cached(WritePolicy::WriteBack);
+        c.write_at(0, &[9u8; 4096]).unwrap();
+        c.drain().unwrap();
+        assert_eq!(c.dirty_bytes(), 0);
+        let mut inner = c.into_inner_discarding();
+        assert_eq!(inner.read_vec(0, 4096).unwrap(), vec![9u8; 4096]);
+    }
+
+    #[test]
+    fn write_through_keeps_cache_coherent() {
+        let mut c = cached(WritePolicy::WriteThrough);
+        c.write_at(0, &[1u8; 4096]).unwrap();
+        let mut buf = [0u8; 4096];
+        c.read_at(0, &mut buf).unwrap(); // populate cache
+        c.write_at(0, &[2u8; 4096]).unwrap(); // must update cached copy
+        c.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf, [2u8; 4096]);
+    }
+
+    #[test]
+    fn lru_eviction_writes_back_dirty_victims() {
+        // Cache of 16 blocks; touch 32 distinct dirty blocks.
+        let mut c = cached(WritePolicy::WriteBack);
+        for b in 0..32u64 {
+            c.write_at(b * 4096, &[b as u8; 4096]).unwrap();
+        }
+        assert!(c.stats().evictions > 0);
+        c.drain().unwrap();
+        let mut inner = c.into_inner_discarding();
+        for b in 0..32u64 {
+            assert_eq!(
+                inner.read_vec(b * 4096, 4096).unwrap(),
+                vec![b as u8; 4096],
+                "block {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn microfs_runs_over_the_cache_layer() {
+        use microfs::{FsConfig, MicroFs, OpenFlags};
+        let cached = CachedBlockDevice::new(
+            MemDevice::new(64 << 20),
+            4096,
+            1 << 20,
+            WritePolicy::WriteThrough,
+        );
+        let mut fs = MicroFs::format(cached, FsConfig::default()).unwrap();
+        let fd = fs.create("/c", 0o644).unwrap();
+        fs.write(fd, &[5u8; 100_000]).unwrap();
+        fs.close(fd).unwrap();
+        let fd = fs.open("/c", OpenFlags::RDONLY, 0).unwrap();
+        let mut buf = vec![0u8; 100_000];
+        fs.read(fd, &mut buf).unwrap();
+        assert_eq!(buf, vec![5u8; 100_000]);
+        // Crash through the cache (write-through: nothing lost).
+        let dev = fs.into_device().into_inner_discarding();
+        let fs2 = MicroFs::mount(dev, FsConfig::default()).unwrap();
+        assert_eq!(fs2.stat("/c").unwrap().size, 100_000);
+    }
+
+    #[test]
+    fn flush_drains_writeback() {
+        let mut c = cached(WritePolicy::WriteBack);
+        c.write_at(0, &[3u8; 4096]).unwrap();
+        c.flush().unwrap();
+        assert_eq!(c.dirty_bytes(), 0);
+    }
+}

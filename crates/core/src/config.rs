@@ -1,0 +1,127 @@
+//! Runtime configuration and the drilldown ablation ladder.
+
+use microfs::FsConfig;
+
+/// Configuration of one NVMe-CR job runtime.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Hugeblock size (the paper selects 32 KiB, §IV-B).
+    pub block_size: u64,
+    /// Log record coalescing (§III-E).
+    pub coalescing: bool,
+    /// Bytes of namespace each job requests per granted SSD.
+    pub namespace_bytes: u64,
+    /// Acting uid for permission checks.
+    pub uid: u32,
+    /// Multi-level checkpointing period: every `k`-th checkpoint goes to
+    /// the parallel filesystem (§III-F; the paper evaluates k = 10).
+    pub multilevel_period: u32,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            block_size: 32 << 10,
+            coalescing: true,
+            namespace_bytes: 8 << 30,
+            uid: 1000,
+            multilevel_period: 10,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// The microfs configuration for each rank's instance.
+    pub fn fs_config(&self) -> FsConfig {
+        FsConfig {
+            block_size: self.block_size,
+            uid: self.uid,
+            coalescing: self.coalescing,
+            ..FsConfig::default()
+        }
+    }
+}
+
+/// The drilldown ladder of Figure 7(d): a cumulative sequence of the
+/// paper's optimizations over a kernel-filesystem-like base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DrilldownLevel {
+    /// Kernel IO path, global (shared) namespace, physical metadata
+    /// journaling, 4 KiB blocks — "a base design resembling a traditional
+    /// kernel filesystem".
+    Baseline,
+    /// + userspace direct access and private per-process namespaces.
+    UserspacePrivateNs,
+    /// + metadata provenance (compact operation logging).
+    MetadataProvenance,
+    /// + 32 KiB hugeblocks.
+    Hugeblocks,
+}
+
+impl DrilldownLevel {
+    /// All levels in cumulative order.
+    pub fn ladder() -> [DrilldownLevel; 4] {
+        [
+            DrilldownLevel::Baseline,
+            DrilldownLevel::UserspacePrivateNs,
+            DrilldownLevel::MetadataProvenance,
+            DrilldownLevel::Hugeblocks,
+        ]
+    }
+
+    /// Whether this level bypasses the kernel and uses private namespaces.
+    pub fn userspace_private(self) -> bool {
+        self >= DrilldownLevel::UserspacePrivateNs
+    }
+
+    /// Whether this level logs compact operation records instead of
+    /// physical metadata images.
+    pub fn provenance(self) -> bool {
+        self >= DrilldownLevel::MetadataProvenance
+    }
+
+    /// Block size at this level.
+    pub fn block_size(self) -> u64 {
+        if self >= DrilldownLevel::Hugeblocks {
+            32 << 10
+        } else {
+            4 << 10
+        }
+    }
+
+    /// Display label matching the figure legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            DrilldownLevel::Baseline => "base",
+            DrilldownLevel::UserspacePrivateNs => "+userspace&private-ns",
+            DrilldownLevel::MetadataProvenance => "+metadata-provenance",
+            DrilldownLevel::Hugeblocks => "+hugeblocks",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_choices() {
+        let c = RuntimeConfig::default();
+        assert_eq!(c.block_size, 32 << 10);
+        assert!(c.coalescing);
+        assert_eq!(c.multilevel_period, 10);
+        assert_eq!(c.fs_config().block_size, 32 << 10);
+    }
+
+    #[test]
+    fn ladder_is_cumulative() {
+        let l = DrilldownLevel::ladder();
+        assert!(!l[0].userspace_private() && !l[0].provenance());
+        assert_eq!(l[0].block_size(), 4 << 10);
+        assert!(l[1].userspace_private() && !l[1].provenance());
+        assert!(l[2].provenance());
+        assert_eq!(l[2].block_size(), 4 << 10);
+        assert_eq!(l[3].block_size(), 32 << 10);
+        assert!(l[3].userspace_private() && l[3].provenance());
+    }
+}

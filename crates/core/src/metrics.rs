@@ -1,0 +1,68 @@
+//! The paper's evaluation metrics (§IV).
+
+use simkit::{Rate, SimTime};
+
+/// Storage-system *efficiency*: "the ratio of the peak IO bandwidth visible
+/// to applications to the peak theoretical bandwidth offered by hardware"
+/// (§IV-H). Clamped to `[0, 1]`.
+pub fn efficiency(bytes_moved: u64, makespan: SimTime, hw_peak: Rate) -> f64 {
+    if makespan == SimTime::ZERO {
+        return 1.0;
+    }
+    let achieved = bytes_moved as f64 / makespan.as_secs();
+    (achieved / hw_peak.as_bytes_per_sec()).clamp(0.0, 1.0)
+}
+
+/// Application *progress rate*: "the ratio of application time spent in
+/// compute to total application time" (§I, footnote 1).
+pub fn progress_rate(compute: SimTime, total: SimTime) -> f64 {
+    if total == SimTime::ZERO {
+        return 1.0;
+    }
+    (compute.as_secs() / total.as_secs()).clamp(0.0, 1.0)
+}
+
+/// The hardware-bandwidth saving the paper argues for (§I-B): the factor by
+/// which a more efficient runtime lowers the IO bandwidth (and TCO) needed
+/// to sustain a target progress rate.
+pub fn required_bandwidth_factor(eff_ours: f64, eff_theirs: f64) -> f64 {
+    assert!(eff_ours > 0.0 && eff_theirs > 0.0);
+    eff_ours / eff_theirs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_definition() {
+        // 24 GiB over 8 SSDs of 2.4 GiB/s in 10 s -> half the hardware.
+        let hw = Rate::gib_per_sec(2.4 * 8.0);
+        let e = efficiency(192 << 30, SimTime::secs(20.0), hw);
+        assert!((e - 0.5).abs() < 1e-9);
+        // Perfect run.
+        let e = efficiency((2.4 * (1u64 << 30) as f64) as u64, SimTime::secs(1.0), Rate::gib_per_sec(2.4));
+        assert!(e > 0.999);
+    }
+
+    #[test]
+    fn efficiency_clamps() {
+        let hw = Rate::gib_per_sec(1.0);
+        assert!(efficiency(100 << 30, SimTime::secs(1.0), hw) <= 1.0);
+        assert_eq!(efficiency(0, SimTime::ZERO, hw), 1.0);
+    }
+
+    #[test]
+    fn progress_rate_definition() {
+        let pr = progress_rate(SimTime::secs(42.0), SimTime::secs(100.0));
+        assert!((pr - 0.42).abs() < 1e-12);
+        assert_eq!(progress_rate(SimTime::ZERO, SimTime::ZERO), 1.0);
+    }
+
+    #[test]
+    fn bandwidth_factor_reads_as_tco_saving() {
+        // 0.96 vs 0.48 efficiency -> 2x less hardware bandwidth needed,
+        // the paper's "lower the required hardware IO bandwidth by 2x".
+        assert!((required_bandwidth_factor(0.96, 0.48) - 2.0).abs() < 1e-12);
+    }
+}

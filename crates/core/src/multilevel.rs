@@ -1,0 +1,129 @@
+//! Multi-level checkpointing policy (§III-F "Handling Cascading Failures",
+//! evaluated in §IV-I / Table II).
+//!
+//! "Most checkpoints are still handled by NVMe-CR, but every so often, one
+//! checkpoint is put on a slower but more reliable parallel filesystem,
+//! such as Lustre." The policy decides the level of each checkpoint and,
+//! given a failure, which checkpoint recovery can start from — a cascading
+//! failure that takes the fast tier's partner domain forces a rollback to
+//! the newest parallel-filesystem checkpoint.
+
+/// Where one checkpoint is stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointLevel {
+    /// The fast ephemeral tier (NVMe-CR on partner-domain SSDs).
+    Fast,
+    /// The reliable parallel filesystem (replicated Lustre).
+    Parallel,
+}
+
+/// The 1-in-k placement policy.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiLevelPolicy {
+    period: u32,
+}
+
+impl MultiLevelPolicy {
+    /// Every `period`-th checkpoint (1-indexed) goes to the parallel
+    /// filesystem. The paper evaluates `period = 10`.
+    pub fn new(period: u32) -> Self {
+        assert!(period >= 1);
+        MultiLevelPolicy { period }
+    }
+
+    /// The period.
+    pub fn period(&self) -> u32 {
+        self.period
+    }
+
+    /// Level of checkpoint number `idx` (1-indexed).
+    pub fn level_for(&self, idx: u32) -> CheckpointLevel {
+        if idx.is_multiple_of(self.period) {
+            CheckpointLevel::Parallel
+        } else {
+            CheckpointLevel::Fast
+        }
+    }
+
+    /// Of `taken` checkpoints, how many landed on each `(fast, parallel)`
+    /// tier.
+    pub fn split(&self, taken: u32) -> (u32, u32) {
+        let parallel = taken / self.period;
+        (taken - parallel, parallel)
+    }
+
+    /// The newest checkpoint index recovery can restart from, given the
+    /// number taken so far and whether the fast tier survived the failure.
+    /// Returns `None` if nothing is recoverable (no checkpoints, or fast
+    /// tier lost before any parallel checkpoint existed).
+    pub fn recovery_point(&self, taken: u32, fast_tier_intact: bool) -> Option<u32> {
+        if taken == 0 {
+            return None;
+        }
+        if fast_tier_intact {
+            Some(taken)
+        } else {
+            let newest_parallel = (taken / self.period) * self.period;
+            (newest_parallel > 0).then_some(newest_parallel)
+        }
+    }
+
+    /// Checkpoint intervals of lost work when restarting from
+    /// [`recovery_point`](Self::recovery_point) after `taken` checkpoints.
+    pub fn lost_intervals(&self, taken: u32, fast_tier_intact: bool) -> u32 {
+        match self.recovery_point(taken, fast_tier_intact) {
+            Some(p) => taken - p,
+            None => taken,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_in_ten_schedule() {
+        let p = MultiLevelPolicy::new(10);
+        let levels: Vec<CheckpointLevel> = (1..=10).map(|i| p.level_for(i)).collect();
+        assert_eq!(
+            levels.iter().filter(|l| **l == CheckpointLevel::Parallel).count(),
+            1
+        );
+        assert_eq!(levels[9], CheckpointLevel::Parallel);
+        assert_eq!(p.split(10), (9, 1));
+        assert_eq!(p.split(25), (23, 2));
+    }
+
+    #[test]
+    fn recovery_uses_fast_tier_when_intact() {
+        let p = MultiLevelPolicy::new(10);
+        assert_eq!(p.recovery_point(17, true), Some(17));
+        assert_eq!(p.lost_intervals(17, true), 0);
+    }
+
+    #[test]
+    fn cascading_failure_rolls_back_to_parallel_tier() {
+        let p = MultiLevelPolicy::new(10);
+        assert_eq!(p.recovery_point(17, false), Some(10));
+        assert_eq!(p.lost_intervals(17, false), 7);
+        // Exactly at a parallel checkpoint: nothing lost.
+        assert_eq!(p.lost_intervals(20, false), 0);
+    }
+
+    #[test]
+    fn early_cascading_failure_loses_everything() {
+        let p = MultiLevelPolicy::new(10);
+        assert_eq!(p.recovery_point(7, false), None);
+        assert_eq!(p.lost_intervals(7, false), 7);
+        assert_eq!(p.recovery_point(0, true), None);
+    }
+
+    #[test]
+    fn period_one_is_all_parallel() {
+        let p = MultiLevelPolicy::new(1);
+        assert!((1..=5).all(|i| p.level_for(i) == CheckpointLevel::Parallel));
+        assert_eq!(p.split(5), (0, 5));
+        assert_eq!(p.lost_intervals(5, false), 0);
+    }
+}

@@ -1,0 +1,329 @@
+//! NVMf command and response capsules — the wire format of the data plane.
+//!
+//! Every functional IO in the workspace serializes through this codec, the
+//! stand-in for NVMe-oF command capsules. The layout is a compact
+//! little-endian framing (not byte-identical to the spec, but carrying the
+//! same fields): magic, opcode, CID, NSID, SLBA-as-byte-offset, length, and
+//! an optional inline data payload for writes.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+const CAPSULE_MAGIC: u32 = 0x4E56_4D46; // "NVMF"
+const HEADER_LEN: usize = 4 + 1 + 2 + 4 + 8 + 8;
+
+/// NVMe command opcodes carried over the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Opcode {
+    /// Write `len` bytes at `offset` (data travels inline).
+    Write,
+    /// Read `len` bytes at `offset`.
+    Read,
+    /// Flush the device write buffer.
+    Flush,
+    /// Connect to a controller/namespace (admin).
+    Connect,
+}
+
+impl Opcode {
+    fn to_u8(self) -> u8 {
+        match self {
+            Opcode::Write => 0x01,
+            Opcode::Read => 0x02,
+            Opcode::Flush => 0x00,
+            Opcode::Connect => 0x7F,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0x01 => Some(Opcode::Write),
+            0x02 => Some(Opcode::Read),
+            0x00 => Some(Opcode::Flush),
+            0x7F => Some(Opcode::Connect),
+            _ => None,
+        }
+    }
+}
+
+/// Completion status codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Command completed successfully.
+    Success,
+    /// Invalid namespace or access denied.
+    InvalidNamespace,
+    /// IO out of range.
+    LbaOutOfRange,
+    /// Malformed command.
+    InvalidField,
+}
+
+impl Status {
+    fn to_u8(self) -> u8 {
+        match self {
+            Status::Success => 0,
+            Status::InvalidNamespace => 1,
+            Status::LbaOutOfRange => 2,
+            Status::InvalidField => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(Status::Success),
+            1 => Some(Status::InvalidNamespace),
+            2 => Some(Status::LbaOutOfRange),
+            3 => Some(Status::InvalidField),
+            _ => None,
+        }
+    }
+}
+
+/// Decode failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CapsuleError {
+    /// Buffer shorter than a capsule header.
+    Truncated,
+    /// Bad magic number.
+    BadMagic(u32),
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Unknown status byte.
+    BadStatus(u8),
+    /// Inline payload length does not match the header.
+    PayloadMismatch { expected: u64, actual: usize },
+}
+
+impl fmt::Display for CapsuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapsuleError::Truncated => write!(f, "capsule truncated"),
+            CapsuleError::BadMagic(m) => write!(f, "bad capsule magic {m:#x}"),
+            CapsuleError::BadOpcode(o) => write!(f, "unknown opcode {o:#x}"),
+            CapsuleError::BadStatus(s) => write!(f, "unknown status {s:#x}"),
+            CapsuleError::PayloadMismatch { expected, actual } => {
+                write!(f, "payload length {actual} does not match header {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CapsuleError {}
+
+/// A command capsule as sent initiator → target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Capsule {
+    /// Command opcode.
+    pub opcode: Opcode,
+    /// Command identifier, echoed in the completion.
+    pub cid: u16,
+    /// Target namespace id (device-local NSID).
+    pub nsid: u32,
+    /// Byte offset within the namespace.
+    pub offset: u64,
+    /// Length of the IO in bytes.
+    pub len: u64,
+    /// Inline payload (writes only).
+    pub data: Bytes,
+}
+
+impl Capsule {
+    /// A write capsule carrying `data`.
+    pub fn write(cid: u16, nsid: u32, offset: u64, data: Bytes) -> Self {
+        let len = data.len() as u64;
+        Capsule { opcode: Opcode::Write, cid, nsid, offset, len, data }
+    }
+
+    /// A read capsule requesting `len` bytes.
+    pub fn read(cid: u16, nsid: u32, offset: u64, len: u64) -> Self {
+        Capsule { opcode: Opcode::Read, cid, nsid, offset, len, data: Bytes::new() }
+    }
+
+    /// A flush capsule.
+    pub fn flush(cid: u16, nsid: u32) -> Self {
+        Capsule { opcode: Opcode::Flush, cid, nsid, offset: 0, len: 0, data: Bytes::new() }
+    }
+
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(HEADER_LEN + self.data.len());
+        buf.put_u32_le(CAPSULE_MAGIC);
+        buf.put_u8(self.opcode.to_u8());
+        buf.put_u16_le(self.cid);
+        buf.put_u32_le(self.nsid);
+        buf.put_u64_le(self.offset);
+        buf.put_u64_le(self.len);
+        buf.put_slice(&self.data);
+        buf.freeze()
+    }
+
+    /// Parse from wire bytes.
+    pub fn decode(mut buf: Bytes) -> Result<Self, CapsuleError> {
+        if buf.len() < HEADER_LEN {
+            return Err(CapsuleError::Truncated);
+        }
+        let magic = buf.get_u32_le();
+        if magic != CAPSULE_MAGIC {
+            return Err(CapsuleError::BadMagic(magic));
+        }
+        let op = buf.get_u8();
+        let opcode = Opcode::from_u8(op).ok_or(CapsuleError::BadOpcode(op))?;
+        let cid = buf.get_u16_le();
+        let nsid = buf.get_u32_le();
+        let offset = buf.get_u64_le();
+        let len = buf.get_u64_le();
+        let data = buf; // remainder
+        if opcode == Opcode::Write && data.len() as u64 != len {
+            return Err(CapsuleError::PayloadMismatch { expected: len, actual: data.len() });
+        }
+        Ok(Capsule { opcode, cid, nsid, offset, len, data })
+    }
+
+    /// Total size on the wire, including inline payload.
+    pub fn wire_size(&self) -> usize {
+        HEADER_LEN + self.data.len()
+    }
+}
+
+/// A response capsule as sent target → initiator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// Echo of the command identifier.
+    pub cid: u16,
+    /// Outcome.
+    pub status: Status,
+    /// Read payload (reads only).
+    pub data: Bytes,
+}
+
+impl Completion {
+    /// A success completion, optionally carrying read data.
+    pub fn ok(cid: u16, data: Bytes) -> Self {
+        Completion { cid, status: Status::Success, data }
+    }
+
+    /// An error completion.
+    pub fn error(cid: u16, status: Status) -> Self {
+        Completion { cid, status, data: Bytes::new() }
+    }
+
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(4 + 2 + 1 + 8 + self.data.len());
+        buf.put_u32_le(CAPSULE_MAGIC);
+        buf.put_u16_le(self.cid);
+        buf.put_u8(self.status.to_u8());
+        buf.put_u64_le(self.data.len() as u64);
+        buf.put_slice(&self.data);
+        buf.freeze()
+    }
+
+    /// Parse from wire bytes.
+    pub fn decode(mut buf: Bytes) -> Result<Self, CapsuleError> {
+        if buf.len() < 4 + 2 + 1 + 8 {
+            return Err(CapsuleError::Truncated);
+        }
+        let magic = buf.get_u32_le();
+        if magic != CAPSULE_MAGIC {
+            return Err(CapsuleError::BadMagic(magic));
+        }
+        let cid = buf.get_u16_le();
+        let st = buf.get_u8();
+        let status = Status::from_u8(st).ok_or(CapsuleError::BadStatus(st))?;
+        let len = buf.get_u64_le();
+        if buf.len() as u64 != len {
+            return Err(CapsuleError::PayloadMismatch { expected: len, actual: buf.len() });
+        }
+        Ok(Completion { cid, status, data: buf })
+    }
+
+    /// Total size on the wire, including payload.
+    pub fn wire_size(&self) -> usize {
+        4 + 2 + 1 + 8 + self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn write_roundtrip() {
+        let c = Capsule::write(7, 3, 4096, Bytes::from_static(b"checkpoint bytes"));
+        let d = Capsule::decode(c.encode()).unwrap();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn read_and_flush_roundtrip() {
+        for c in [Capsule::read(1, 2, 0, 32 << 10), Capsule::flush(2, 2)] {
+            assert_eq!(Capsule::decode(c.encode()).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn completion_roundtrip() {
+        let ok = Completion::ok(9, Bytes::from_static(&[1, 2, 3]));
+        assert_eq!(Completion::decode(ok.encode()).unwrap(), ok);
+        let err = Completion::error(9, Status::LbaOutOfRange);
+        assert_eq!(Completion::decode(err.encode()).unwrap(), err);
+    }
+
+    #[test]
+    fn truncated_and_bad_magic_rejected() {
+        assert_eq!(Capsule::decode(Bytes::from_static(&[1, 2, 3])), Err(CapsuleError::Truncated));
+        let mut bad = BytesMut::from(&Capsule::flush(0, 0).encode()[..]);
+        bad[0] ^= 0xFF;
+        assert!(matches!(Capsule::decode(bad.freeze()), Err(CapsuleError::BadMagic(_))));
+    }
+
+    #[test]
+    fn payload_mismatch_rejected() {
+        let c = Capsule::write(1, 1, 0, Bytes::from_static(b"abcd"));
+        let mut wire = BytesMut::from(&c.encode()[..]);
+        wire.truncate(wire.len() - 1); // drop one payload byte
+        assert!(matches!(
+            Capsule::decode(wire.freeze()),
+            Err(CapsuleError::PayloadMismatch { expected: 4, actual: 3 })
+        ));
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        let c = Capsule::flush(0, 0);
+        let mut wire = BytesMut::from(&c.encode()[..]);
+        wire[4] = 0x55;
+        assert_eq!(Capsule::decode(wire.freeze()), Err(CapsuleError::BadOpcode(0x55)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_capsule_roundtrip(
+            cid in any::<u16>(),
+            nsid in any::<u32>(),
+            offset in any::<u64>(),
+            data in proptest::collection::vec(any::<u8>(), 0..2048),
+        ) {
+            let c = Capsule::write(cid, nsid, offset, Bytes::from(data));
+            prop_assert_eq!(Capsule::decode(c.encode()).unwrap(), c);
+        }
+
+        #[test]
+        fn prop_completion_roundtrip(
+            cid in any::<u16>(),
+            data in proptest::collection::vec(any::<u8>(), 0..2048),
+        ) {
+            let c = Completion::ok(cid, Bytes::from(data));
+            prop_assert_eq!(Completion::decode(c.encode()).unwrap(), c);
+        }
+
+        /// Arbitrary garbage never panics the decoder.
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = Capsule::decode(Bytes::from(bytes.clone()));
+            let _ = Completion::decode(Bytes::from(bytes));
+        }
+    }
+}

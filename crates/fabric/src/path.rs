@@ -1,0 +1,143 @@
+//! Software IO-path cost models: kernel (Figure 2) vs userspace (Figure 4).
+//!
+//! The paper's direct-access experiment (§IV-D) measures both a latency gap
+//! and a time-in-kernel gap: the kernel path spends 76.5–79% of benchmark
+//! time in the kernel, the NVMe-CR userspace path only 10%. [`IoPath`]
+//! prices one IO on each stack and [`TimeSplit`] accumulates the
+//! user/kernel split that the Figure 7c harness reports.
+
+use simkit::{SimTime, Stage};
+
+use crate::config::KernelCosts;
+
+/// Which software stack an IO traverses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoPath {
+    /// Trap into the kernel: VFS → block layer → `nvme_rdma` (Figure 2).
+    Kernel,
+    /// Polled userspace SPDK initiator (Figure 4).
+    Userspace,
+}
+
+/// Per-IO host CPU cost, split by privilege level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathCosts {
+    /// Time spent in user mode.
+    pub user: SimTime,
+    /// Time spent in kernel mode.
+    pub kernel: SimTime,
+}
+
+impl PathCosts {
+    /// Total host time for one IO.
+    pub fn total(&self) -> SimTime {
+        self.user + self.kernel
+    }
+}
+
+impl IoPath {
+    /// Cost of one IO submission + completion on this path.
+    pub fn per_io(&self, k: &KernelCosts) -> PathCosts {
+        match self {
+            IoPath::Kernel => PathCosts {
+                // A little user-mode work remains (libc, buffer mgmt).
+                user: SimTime::micros(0.3),
+                kernel: k.syscall + k.vfs_block + k.interrupt,
+            },
+            IoPath::Userspace => PathCosts {
+                user: k.spdk_submit,
+                kernel: SimTime::ZERO,
+            },
+        }
+    }
+
+    /// The per-IO host cost as an engine stage.
+    pub fn stage(&self, k: &KernelCosts) -> Stage {
+        Stage::Delay(self.per_io(k).total())
+    }
+}
+
+/// Accumulates user/kernel time to report the paper's "% of time spent in
+/// the kernel" metric.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TimeSplit {
+    user: f64,
+    kernel: f64,
+}
+
+impl TimeSplit {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` IOs on `path`.
+    pub fn record_ios(&mut self, path: IoPath, k: &KernelCosts, n: u64) {
+        let c = path.per_io(k);
+        self.user += c.user.as_secs() * n as f64;
+        self.kernel += c.kernel.as_secs() * n as f64;
+    }
+
+    /// Record user-mode time not attributable to IO (compute, libc).
+    pub fn record_user(&mut self, t: SimTime) {
+        self.user += t.as_secs();
+    }
+
+    /// Record kernel time not attributable to IO (e.g. `malloc` faults,
+    /// init/finalize — the residual 10% the paper observes even for the
+    /// userspace path).
+    pub fn record_kernel(&mut self, t: SimTime) {
+        self.kernel += t.as_secs();
+    }
+
+    /// Fraction of accounted time spent in the kernel, `0.0..=1.0`.
+    pub fn kernel_fraction(&self) -> f64 {
+        let total = self.user + self.kernel;
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.kernel / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_path_dominated_by_kernel_time() {
+        let k = KernelCosts::default();
+        let mut split = TimeSplit::new();
+        split.record_ios(IoPath::Kernel, &k, 1000);
+        assert!(
+            split.kernel_fraction() > 0.7,
+            "kernel fraction {}",
+            split.kernel_fraction()
+        );
+    }
+
+    #[test]
+    fn userspace_path_has_zero_io_kernel_time() {
+        let k = KernelCosts::default();
+        let c = IoPath::Userspace.per_io(&k);
+        assert_eq!(c.kernel, SimTime::ZERO);
+        assert!(c.total() < IoPath::Kernel.per_io(&k).total());
+    }
+
+    #[test]
+    fn residual_kernel_time_accumulates() {
+        let k = KernelCosts::default();
+        let mut split = TimeSplit::new();
+        split.record_ios(IoPath::Userspace, &k, 1000);
+        // Non-IO syscalls (malloc, init) put some kernel time back.
+        split.record_kernel(SimTime::micros(55.0));
+        let f = split.kernel_fraction();
+        assert!(f > 0.05 && f < 0.2, "fraction {f}");
+    }
+
+    #[test]
+    fn empty_split_is_zero() {
+        assert_eq!(TimeSplit::new().kernel_fraction(), 0.0);
+    }
+}

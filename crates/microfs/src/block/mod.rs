@@ -1,0 +1,8 @@
+//! Block layer: the device trait microfs runs on, plus the circular
+//! hugeblock pool.
+
+pub mod device;
+pub mod pool;
+
+pub use device::{BlockDevice, DevError, IoCounters, MemDevice};
+pub use pool::BlockPool;

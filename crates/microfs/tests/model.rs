@@ -1,0 +1,214 @@
+//! Model-based property test: arbitrary operation sequences against a
+//! reference model, with crash/remount injected between operations.
+//!
+//! The model is the obvious thing — a map of paths to byte vectors plus a
+//! set of directories. After every operation the two must agree on
+//! existence, sizes, and contents; after every injected crash+mount
+//! (dropping all volatile state and replaying the log) they must *still*
+//! agree, which is the paper's §III-E consistency claim exercised under
+//! adversarial schedules.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use microfs::{FsConfig, FsError, MemDevice, MicroFs, OpenFlags};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Mkdir(u8),
+    Create(u8),
+    /// (dir index, file index, seed, length)
+    Write(u8, u8, u8, u16),
+    Truncate(u8, u16),
+    Unlink(u8),
+    Rename(u8, u8),
+    Snapshot,
+    CrashAndMount,
+}
+
+fn dir_name(i: u8) -> String {
+    format!("/d{}", i % 4)
+}
+
+fn file_name(d: u8, f: u8) -> String {
+    format!("{}/f{}", dir_name(d), f % 4)
+}
+
+#[derive(Default)]
+struct Model {
+    dirs: BTreeSet<String>,
+    files: BTreeMap<String, Vec<u8>>,
+}
+
+impl Model {
+    fn parent_exists(&self, path: &str) -> bool {
+        let idx = path.rfind('/').unwrap();
+        idx == 0 || self.dirs.contains(&path[..idx])
+    }
+}
+
+fn payload(seed: u8, len: u16) -> Vec<u8> {
+    (0..len).map(|i| (u16::from(seed).wrapping_mul(31).wrapping_add(i) % 251) as u8).collect()
+}
+
+fn apply(
+    fs: &mut Option<MicroFs<MemDevice>>,
+    model: &mut Model,
+    op: &Op,
+) -> Result<(), TestCaseError> {
+    let f = fs.as_mut().expect("mounted");
+    match op {
+        Op::Mkdir(d) => {
+            let path = dir_name(*d);
+            let ours = f.mkdir(&path, 0o755);
+            if model.dirs.contains(&path) {
+                prop_assert!(matches!(ours, Err(FsError::AlreadyExists(_))));
+            } else {
+                prop_assert!(ours.is_ok(), "mkdir {path}: {ours:?}");
+                model.dirs.insert(path);
+            }
+        }
+        #[allow(clippy::map_entry)] // three-way branch, not an entry() shape
+        Op::Create(df) => {
+            let path = file_name(*df, df.wrapping_mul(7));
+            let ours = f.open(&path, OpenFlags::CREATE_EXCL, 0o644);
+            if !model.parent_exists(&path) {
+                prop_assert!(matches!(ours, Err(FsError::NotFound(_))), "{path}: {ours:?}");
+            } else if model.files.contains_key(&path) {
+                prop_assert!(matches!(ours, Err(FsError::AlreadyExists(_))));
+            } else {
+                let fd = ours.unwrap();
+                f.close(fd).unwrap();
+                model.files.insert(path, Vec::new());
+            }
+        }
+        Op::Write(d, fi, seed, len) => {
+            let path = file_name(*d, *fi);
+            match model.files.get_mut(&path) {
+                None => {
+                    prop_assert!(f.open(&path, OpenFlags::RDWR, 0).is_err());
+                }
+                Some(content) => {
+                    let data = payload(*seed, *len);
+                    // Append-style write at current EOF (checkpoint shape).
+                    let fd = f.open(&path, OpenFlags::RDWR, 0).unwrap();
+                    let off = content.len() as u64;
+                    f.pwrite(fd, off, &data).unwrap();
+                    f.close(fd).unwrap();
+                    content.extend_from_slice(&data);
+                }
+            }
+        }
+        Op::Truncate(df, size) => {
+            let path = file_name(*df, df.wrapping_add(1));
+            let size = u64::from(*size);
+            match model.files.get_mut(&path) {
+                None => {
+                    prop_assert!(f.truncate(&path, size).is_err());
+                }
+                Some(content) => {
+                    f.truncate(&path, size).unwrap();
+                    content.resize(size as usize, 0);
+                }
+            }
+        }
+        Op::Unlink(df) => {
+            let path = file_name(*df, df.wrapping_mul(3));
+            let ours = f.unlink(&path);
+            if model.files.remove(&path).is_some() {
+                prop_assert!(ours.is_ok(), "unlink {path}: {ours:?}");
+            } else {
+                prop_assert!(ours.is_err());
+            }
+        }
+        Op::Rename(a, b) => {
+            let from = file_name(*a, a.wrapping_mul(5));
+            let to = file_name(*b, b.wrapping_mul(5).wrapping_add(1));
+            let ours = f.rename(&from, &to);
+            let can = model.files.contains_key(&from)
+                && !model.files.contains_key(&to)
+                && !model.dirs.contains(&to)
+                && model.parent_exists(&to)
+                && from != to;
+            if can {
+                prop_assert!(ours.is_ok(), "rename {from} -> {to}: {ours:?}");
+                let v = model.files.remove(&from).unwrap();
+                model.files.insert(to, v);
+            } else {
+                prop_assert!(ours.is_err() || from == to);
+            }
+        }
+        Op::Snapshot => {
+            f.snapshot_now().unwrap();
+        }
+        Op::CrashAndMount => {
+            let dev = fs.take().unwrap().into_device();
+            *fs = Some(MicroFs::mount(dev, FsConfig::default()).unwrap());
+        }
+    }
+    Ok(())
+}
+
+fn check_agreement(fs: &mut MicroFs<MemDevice>, model: &Model) -> Result<(), TestCaseError> {
+    for d in &model.dirs {
+        prop_assert!(fs.stat(d).is_ok(), "missing dir {d}");
+    }
+    for (path, content) in &model.files {
+        let st = fs.stat(path);
+        prop_assert!(st.is_ok(), "missing file {path}");
+        prop_assert_eq!(st.unwrap().size, content.len() as u64, "size of {}", path);
+        let fd = fs.open(path, OpenFlags::RDONLY, 0).unwrap();
+        let mut buf = vec![0u8; content.len()];
+        let mut got = 0;
+        while got < buf.len() {
+            let n = fs.read(fd, &mut buf[got..]).unwrap();
+            if n == 0 {
+                break;
+            }
+            got += n;
+        }
+        fs.close(fd).unwrap();
+        prop_assert_eq!(&buf, content, "content of {}", path);
+    }
+    Ok(())
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => any::<u8>().prop_map(Op::Mkdir),
+        4 => any::<u8>().prop_map(Op::Create),
+        6 => (any::<u8>(), any::<u8>(), any::<u8>(), 0u16..20_000).prop_map(|(a, b, c, d)| Op::Write(a, b, c, d)),
+        2 => (any::<u8>(), 0u16..40_000).prop_map(|(a, b)| Op::Truncate(a, b)),
+        2 => any::<u8>().prop_map(Op::Unlink),
+        2 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Rename(a, b)),
+        1 => Just(Op::Snapshot),
+        2 => Just(Op::CrashAndMount),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        max_shrink_iters: 2000,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn microfs_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let dev = MemDevice::new(64 << 20);
+        let mut fs = Some(MicroFs::format(dev, FsConfig::default()).unwrap());
+        let mut model = Model::default();
+        for op in &ops {
+            apply(&mut fs, &mut model, op)?;
+            check_agreement(fs.as_mut().unwrap(), &model)?;
+        }
+        // Final adversarial crash: everything must still agree, and the
+        // independent fsck witness must declare the partition clean.
+        let dev = fs.take().unwrap().into_device();
+        let mut dev_for_fsck = dev.clone();
+        let report = microfs::fsck(&mut dev_for_fsck);
+        prop_assert!(report.is_clean(), "fsck issues: {:?}", report.issues);
+        let mut fs = MicroFs::mount(dev, FsConfig::default()).unwrap();
+        check_agreement(&mut fs, &model)?;
+    }
+}

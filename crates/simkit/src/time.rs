@@ -1,0 +1,280 @@
+//! Simulated time and transfer-rate scalars.
+//!
+//! Time is a non-negative, finite `f64` number of **seconds**. The engine
+//! only ever compares, adds, and scales times, so `f64` gives deterministic
+//! results while avoiding the overflow/rounding bookkeeping of integer
+//! nanoseconds inside the processor-sharing pipe math.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A point in (or span of) simulated time, in seconds.
+///
+/// `SimTime` is totally ordered (`f64::total_cmp`); constructors debug-assert
+/// that values are finite and non-negative so NaNs can never enter the event
+/// queue.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero — the start of every simulation.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Construct from seconds.
+    #[inline]
+    pub fn secs(s: f64) -> Self {
+        debug_assert!(s.is_finite() && s >= 0.0, "invalid SimTime: {s}");
+        SimTime(s)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub fn millis(ms: f64) -> Self {
+        Self::secs(ms * 1e-3)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub fn micros(us: f64) -> Self {
+        Self::secs(us * 1e-6)
+    }
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub fn nanos(ns: f64) -> Self {
+        Self::secs(ns * 1e-9)
+    }
+
+    /// Value in seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Value in microseconds.
+    #[inline]
+    pub fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// The larger of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two times.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Saturating subtraction: returns zero instead of going negative.
+    #[inline]
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        if self.0 > other.0 {
+            SimTime(self.0 - other.0)
+        } else {
+            SimTime::ZERO
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        debug_assert!(self.0 >= rhs.0, "SimTime underflow: {} - {}", self.0, rhs.0);
+        SimTime((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, k: f64) -> SimTime {
+        SimTime::secs(self.0 * k)
+    }
+}
+
+impl Div<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, k: f64) -> SimTime {
+        SimTime::secs(self.0 / k)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0;
+        if s >= 1.0 {
+            write!(f, "{s:.3}s")
+        } else if s >= 1e-3 {
+            write!(f, "{:.3}ms", s * 1e3)
+        } else if s >= 1e-6 {
+            write!(f, "{:.3}us", s * 1e6)
+        } else {
+            write!(f, "{:.1}ns", s * 1e9)
+        }
+    }
+}
+
+/// A transfer rate in **bytes per second**.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug)]
+pub struct Rate(f64);
+
+impl Rate {
+    /// Construct from bytes per second.
+    #[inline]
+    pub fn bytes_per_sec(b: f64) -> Self {
+        debug_assert!(b.is_finite() && b > 0.0, "invalid Rate: {b}");
+        Rate(b)
+    }
+
+    /// Construct from mebibytes per second.
+    #[inline]
+    pub fn mib_per_sec(m: f64) -> Self {
+        Self::bytes_per_sec(m * (1u64 << 20) as f64)
+    }
+
+    /// Construct from gibibytes per second.
+    #[inline]
+    pub fn gib_per_sec(g: f64) -> Self {
+        Self::bytes_per_sec(g * (1u64 << 30) as f64)
+    }
+
+    /// Construct from gigabits per second (network convention, 1 Gbit = 1e9 bits).
+    #[inline]
+    pub fn gbit_per_sec(g: f64) -> Self {
+        Self::bytes_per_sec(g * 1e9 / 8.0)
+    }
+
+    /// Value in bytes per second.
+    #[inline]
+    pub fn as_bytes_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// Time to move `bytes` at this rate.
+    #[inline]
+    pub fn time_for(self, bytes: u64) -> SimTime {
+        SimTime::secs(bytes as f64 / self.0)
+    }
+
+    /// Scale the rate by a factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Rate {
+        Rate::bytes_per_sec(self.0 * k)
+    }
+
+    /// The smaller of two rates.
+    #[inline]
+    pub fn min(self, other: Rate) -> Rate {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        let close = |a: SimTime, b: SimTime| (a.as_secs() - b.as_secs()).abs() < 1e-15;
+        assert!(close(SimTime::millis(1.0), SimTime::micros(1000.0)));
+        assert!(close(SimTime::secs(2.0), SimTime::millis(2000.0)));
+        assert!(close(SimTime::micros(1.0), SimTime::nanos(1000.0)));
+    }
+
+    #[test]
+    fn ordering_and_arith() {
+        let a = SimTime::micros(5.0);
+        let b = SimTime::micros(7.0);
+        assert!(a < b);
+        assert_eq!((a + b).as_micros().round(), 12.0);
+        assert_eq!((b - a).as_micros().round(), 2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.saturating_sub(b), SimTime::ZERO);
+    }
+
+    #[test]
+    fn rate_transfer_time() {
+        let r = Rate::mib_per_sec(1.0);
+        let t = r.time_for(1 << 20);
+        assert!((t.as_secs() - 1.0).abs() < 1e-12);
+        let g = Rate::gbit_per_sec(100.0); // EDR IB
+        assert!((g.as_bytes_per_sec() - 12.5e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", SimTime::secs(1.5)), "1.500s");
+        assert_eq!(format!("{}", SimTime::millis(2.25)), "2.250ms");
+        assert_eq!(format!("{}", SimTime::micros(3.5)), "3.500us");
+    }
+
+    #[test]
+    fn sum_of_times() {
+        let total: SimTime = (0..4).map(|_| SimTime::millis(1.0)).sum();
+        assert!((total.as_secs() - 4e-3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,337 @@
+//! The functional device: namespaces + backing bytes + device-RAM buffer.
+//!
+//! NVMe-CR "writes data directly to internal device-level RAM ... In the
+//! event of power failure, device capacitors will safely flush volatile data
+//! to non-volatile flash memory" (§III-D). This module makes that behaviour
+//! testable: writes land in a bounded volatile buffer, draining FIFO to the
+//! persistent store; [`Ssd::power_failure`] either capacitor-flushes or
+//! discards what is still volatile, and recovery tests observe the
+//! difference in real bytes.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::backing::SparseStore;
+use crate::config::SsdConfig;
+use crate::namespace::{NamespaceSet, NsError, NsId};
+
+/// IO or management failure on the device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SsdError {
+    /// Namespace-layer failure (unknown NSID, bounds, space).
+    Ns(NsError),
+}
+
+impl fmt::Display for SsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SsdError::Ns(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SsdError {}
+
+impl From<NsError> for SsdError {
+    fn from(e: NsError) -> Self {
+        SsdError::Ns(e)
+    }
+}
+
+/// Outcome of a power-failure event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PowerFailure {
+    /// Bytes that were still volatile and were saved by the capacitor flush.
+    pub flushed_bytes: u64,
+    /// Bytes that were still volatile and were lost (no capacitor).
+    pub lost_bytes: u64,
+}
+
+struct PendingWrite {
+    dev_offset: u64,
+    data: Vec<u8>,
+}
+
+/// One simulated NVMe SSD.
+pub struct Ssd {
+    config: SsdConfig,
+    store: SparseStore,
+    namespaces: NamespaceSet,
+    /// FIFO of writes still in device RAM (not yet on media).
+    volatile: VecDeque<PendingWrite>,
+    volatile_bytes: u64,
+    writes: u64,
+    reads: u64,
+    bytes_written: u64,
+    bytes_read: u64,
+    /// Per-namespace `(writes, reads, bytes_written, bytes_read)` — the
+    /// SMART-style per-tenant accounting a shared array needs (§III-F).
+    ns_counters: std::collections::BTreeMap<NsId, (u64, u64, u64, u64)>,
+}
+
+impl Ssd {
+    /// A fresh device.
+    pub fn new(config: SsdConfig) -> Self {
+        let store = SparseStore::new(config.capacity);
+        let namespaces = NamespaceSet::new(config.capacity);
+        Ssd {
+            config,
+            store,
+            namespaces,
+            volatile: VecDeque::new(),
+            volatile_bytes: 0,
+            writes: 0,
+            reads: 0,
+            bytes_written: 0,
+            bytes_read: 0,
+            ns_counters: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Device configuration.
+    pub fn config(&self) -> &SsdConfig {
+        &self.config
+    }
+
+    /// Namespace table (for management planes).
+    pub fn namespaces(&self) -> &NamespaceSet {
+        &self.namespaces
+    }
+
+    /// Create a namespace of `size` bytes.
+    pub fn create_namespace(&mut self, size: u64) -> Result<NsId, SsdError> {
+        Ok(self.namespaces.create(size)?)
+    }
+
+    /// Delete a namespace. Its data remains on media but becomes
+    /// unreachable, as with a real NSID delete.
+    pub fn delete_namespace(&mut self, ns: NsId) -> Result<(), SsdError> {
+        Ok(self.namespaces.delete(ns)?)
+    }
+
+    /// Write through a namespace. Data lands in device RAM first; the
+    /// buffer drains FIFO to media when it exceeds the configured size.
+    pub fn write(&mut self, ns: NsId, offset: u64, data: &[u8]) -> Result<(), SsdError> {
+        let dev_offset = self.namespaces.translate(ns, offset, data.len() as u64)?;
+        self.writes += 1;
+        self.bytes_written += data.len() as u64;
+        {
+            let c = self.ns_counters.entry(ns).or_default();
+            c.0 += 1;
+            c.2 += data.len() as u64;
+        }
+        self.volatile_bytes += data.len() as u64;
+        self.volatile.push_back(PendingWrite {
+            dev_offset,
+            data: data.to_vec(),
+        });
+        while self.volatile_bytes > self.config.device_ram {
+            let Some(w) = self.volatile.pop_front() else { break };
+            self.volatile_bytes -= w.data.len() as u64;
+            self.store.write(w.dev_offset, &w.data);
+        }
+        Ok(())
+    }
+
+    /// Read through a namespace, observing volatile (read-your-writes) data.
+    pub fn read(&mut self, ns: NsId, offset: u64, buf: &mut [u8]) -> Result<(), SsdError> {
+        let dev_offset = self.namespaces.translate(ns, offset, buf.len() as u64)?;
+        self.reads += 1;
+        self.bytes_read += buf.len() as u64;
+        {
+            let c = self.ns_counters.entry(ns).or_default();
+            c.1 += 1;
+            c.3 += buf.len() as u64;
+        }
+        self.store.read(dev_offset, buf);
+        // Overlay pending writes in FIFO order so later writes win.
+        let start = dev_offset;
+        let end = dev_offset + buf.len() as u64;
+        for w in &self.volatile {
+            let wstart = w.dev_offset;
+            let wend = w.dev_offset + w.data.len() as u64;
+            let lo = start.max(wstart);
+            let hi = end.min(wend);
+            if lo < hi {
+                let src = (lo - wstart) as usize..(hi - wstart) as usize;
+                let dst = (lo - start) as usize..(hi - start) as usize;
+                buf[dst].copy_from_slice(&w.data[src]);
+            }
+        }
+        Ok(())
+    }
+
+    /// Read `len` bytes into a fresh vector.
+    pub fn read_vec(&mut self, ns: NsId, offset: u64, len: usize) -> Result<Vec<u8>, SsdError> {
+        let mut v = vec![0u8; len];
+        self.read(ns, offset, &mut v)?;
+        Ok(v)
+    }
+
+    /// Drain all volatile data to media (an explicit device flush).
+    pub fn flush(&mut self) {
+        while let Some(w) = self.volatile.pop_front() {
+            self.store.write(w.dev_offset, &w.data);
+        }
+        self.volatile_bytes = 0;
+    }
+
+    /// Bytes currently held only in device RAM.
+    pub fn volatile_bytes(&self) -> u64 {
+        self.volatile_bytes
+    }
+
+    /// Simulate a power failure. With enhanced power-loss protection
+    /// (capacitors), volatile data flushes to media; without, it is lost.
+    pub fn power_failure(&mut self) -> PowerFailure {
+        let pending = self.volatile_bytes;
+        if self.config.capacitor {
+            self.flush();
+            PowerFailure {
+                flushed_bytes: pending,
+                lost_bytes: 0,
+            }
+        } else {
+            self.volatile.clear();
+            self.volatile_bytes = 0;
+            PowerFailure {
+                flushed_bytes: 0,
+                lost_bytes: pending,
+            }
+        }
+    }
+
+    /// Lifetime IO counters: `(writes, reads, bytes_written, bytes_read)`.
+    pub fn io_counters(&self) -> (u64, u64, u64, u64) {
+        (self.writes, self.reads, self.bytes_written, self.bytes_read)
+    }
+
+    /// Per-namespace IO counters `(writes, reads, bytes_written,
+    /// bytes_read)` — zero for namespaces that never saw IO.
+    pub fn ns_io_counters(&self, ns: NsId) -> (u64, u64, u64, u64) {
+        self.ns_counters.get(&ns).copied().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_ssd(capacitor: bool) -> Ssd {
+        let config = SsdConfig {
+            capacity: 1 << 20,
+            device_ram: 4096,
+            capacitor,
+            ..SsdConfig::default()
+        };
+        Ssd::new(config)
+    }
+
+    #[test]
+    fn write_read_roundtrip_through_namespace() {
+        let mut ssd = small_ssd(true);
+        let ns = ssd.create_namespace(64 << 10).unwrap();
+        ssd.write(ns, 1000, b"checkpoint-data").unwrap();
+        assert_eq!(ssd.read_vec(ns, 1000, 15).unwrap(), b"checkpoint-data");
+    }
+
+    #[test]
+    fn read_your_writes_from_device_ram() {
+        let mut ssd = small_ssd(true);
+        let ns = ssd.create_namespace(64 << 10).unwrap();
+        ssd.write(ns, 0, &[7u8; 100]).unwrap();
+        assert!(ssd.volatile_bytes() > 0, "write should still be volatile");
+        assert_eq!(ssd.read_vec(ns, 0, 100).unwrap(), vec![7u8; 100]);
+    }
+
+    #[test]
+    fn later_volatile_write_wins_on_overlap() {
+        let mut ssd = small_ssd(true);
+        let ns = ssd.create_namespace(64 << 10).unwrap();
+        ssd.write(ns, 0, &[1u8; 64]).unwrap();
+        ssd.write(ns, 32, &[2u8; 64]).unwrap();
+        let v = ssd.read_vec(ns, 0, 96).unwrap();
+        assert_eq!(&v[..32], &[1u8; 32]);
+        assert_eq!(&v[32..96], &[2u8; 64]);
+    }
+
+    #[test]
+    fn capacitor_saves_volatile_data_on_power_failure() {
+        let mut ssd = small_ssd(true);
+        let ns = ssd.create_namespace(64 << 10).unwrap();
+        ssd.write(ns, 0, &[9u8; 2048]).unwrap();
+        let pf = ssd.power_failure();
+        assert_eq!(pf.flushed_bytes, 2048);
+        assert_eq!(pf.lost_bytes, 0);
+        assert_eq!(ssd.read_vec(ns, 0, 2048).unwrap(), vec![9u8; 2048]);
+    }
+
+    #[test]
+    fn no_capacitor_loses_volatile_data() {
+        let mut ssd = small_ssd(false);
+        let ns = ssd.create_namespace(64 << 10).unwrap();
+        ssd.write(ns, 0, &[9u8; 2048]).unwrap();
+        let pf = ssd.power_failure();
+        assert_eq!(pf.lost_bytes, 2048);
+        // The data is gone: reads return zeroes.
+        assert_eq!(ssd.read_vec(ns, 0, 2048).unwrap(), vec![0u8; 2048]);
+    }
+
+    #[test]
+    fn buffer_drains_fifo_when_over_capacity() {
+        let mut ssd = small_ssd(false);
+        let ns = ssd.create_namespace(64 << 10).unwrap();
+        // device_ram is 4096; write 3 x 2048. The first write must have
+        // drained to media and thus survives power loss.
+        ssd.write(ns, 0, &[1u8; 2048]).unwrap();
+        ssd.write(ns, 2048, &[2u8; 2048]).unwrap();
+        ssd.write(ns, 4096, &[3u8; 2048]).unwrap();
+        assert!(ssd.volatile_bytes() <= 4096);
+        ssd.power_failure();
+        assert_eq!(ssd.read_vec(ns, 0, 2048).unwrap(), vec![1u8; 2048]);
+    }
+
+    #[test]
+    fn namespaces_do_not_alias() {
+        let mut ssd = small_ssd(true);
+        let a = ssd.create_namespace(4096).unwrap();
+        let b = ssd.create_namespace(4096).unwrap();
+        ssd.write(a, 0, &[0xAA; 4096]).unwrap();
+        ssd.write(b, 0, &[0xBB; 4096]).unwrap();
+        ssd.flush();
+        assert_eq!(ssd.read_vec(a, 0, 4096).unwrap(), vec![0xAA; 4096]);
+        assert_eq!(ssd.read_vec(b, 0, 4096).unwrap(), vec![0xBB; 4096]);
+    }
+
+    #[test]
+    fn io_counters_accumulate() {
+        let mut ssd = small_ssd(true);
+        let ns = ssd.create_namespace(4096).unwrap();
+        ssd.write(ns, 0, &[0u8; 100]).unwrap();
+        let _ = ssd.read_vec(ns, 0, 50).unwrap();
+        assert_eq!(ssd.io_counters(), (1, 1, 100, 50));
+    }
+
+    #[test]
+    fn per_namespace_accounting_separates_tenants() {
+        let mut ssd = small_ssd(true);
+        let a = ssd.create_namespace(8192).unwrap();
+        let b = ssd.create_namespace(8192).unwrap();
+        ssd.write(a, 0, &[0u8; 100]).unwrap();
+        ssd.write(a, 100, &[0u8; 50]).unwrap();
+        let _ = ssd.read_vec(b, 0, 64).unwrap();
+        assert_eq!(ssd.ns_io_counters(a), (2, 0, 150, 0));
+        assert_eq!(ssd.ns_io_counters(b), (0, 1, 0, 64));
+        let c = ssd.create_namespace(64).unwrap();
+        assert_eq!(ssd.ns_io_counters(c), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn out_of_range_io_is_rejected() {
+        let mut ssd = small_ssd(true);
+        let ns = ssd.create_namespace(100).unwrap();
+        assert!(ssd.write(ns, 90, &[0u8; 20]).is_err());
+        let mut buf = [0u8; 20];
+        assert!(ssd.read(ns, 90, &mut buf).is_err());
+    }
+}

@@ -1,0 +1,347 @@
+//! Timing facility: compiles device IO into [`simkit`] stages.
+//!
+//! The facility installs three contended elements per device into a
+//! [`Dag`]:
+//!
+//! * a **command processor** (`Seize`): every NVMe command costs
+//!   [`SsdConfig::cmd_overhead`] of serialized controller time — the cost
+//!   that makes 4 KiB blocks 7% slower than 32 KiB hugeblocks in Fig. 7a;
+//! * a **staging-RAM pool** (`Acquire`/`Release`): in-flight request
+//!   payloads occupy controller SRAM, bounding useful pipelining;
+//! * **write and read channel arrays** (`Xfer` pipes): aggregate bandwidth
+//!   equals channels × per-channel rate; a single request's rate is capped
+//!   by how many channels it stripes across ([`SsdConfig::channels_for`]).
+//!
+//! Requests larger than [`SsdConfig::qos_threshold`] incur media-level
+//! write amplification ([`SsdConfig::amplified`]) — the calibrated stand-in
+//! for the controller-internal buffering/QoS effects that make oversized
+//! hugeblocks *increase* "the waiting time for each hardware IO queue"
+//! (§IV-B). This term is what gives Figure 7a its right-hand rise; it is
+//! calibrated against the paper's own measurement, and its provenance is
+//! recorded in DESIGN.md.
+
+use simkit::{Dag, PipeId, PoolId, Rate, ResId, Stage};
+
+use crate::config::SsdConfig;
+
+/// Direction of a device request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoKind {
+    /// Host-to-device (checkpoint dump path).
+    Write,
+    /// Device-to-host (restart path).
+    Read,
+}
+
+impl SsdConfig {
+    /// Request size above which media-level write amplification applies.
+    pub fn qos_threshold(&self) -> u64 {
+        32 << 10
+    }
+
+    /// Effective media bytes for a request of `bytes`: above the QoS
+    /// threshold, each doubling adds 8% of amplification.
+    pub fn amplified(&self, bytes: u64) -> u64 {
+        let thr = self.qos_threshold();
+        if bytes <= thr {
+            return bytes;
+        }
+        let doublings = (bytes as f64 / thr as f64).log2();
+        (bytes as f64 * (1.0 + 0.08 * doublings)).round() as u64
+    }
+}
+
+/// One device's contended elements, installed in a [`Dag`].
+#[derive(Debug, Clone, Copy)]
+pub struct SsdFacility {
+    controller: ResId,
+    staging: PoolId,
+    write_pipe: PipeId,
+    read_pipe: PipeId,
+    cmd_overhead: simkit::SimTime,
+    staging_ram: u64,
+    hw_block: u64,
+    channels: u32,
+    channel_write_bw: Rate,
+    channel_read_bw: Rate,
+    qos_threshold: u64,
+}
+
+impl SsdFacility {
+    /// Install one device into `dag`.
+    pub fn install(dag: &mut Dag, config: &SsdConfig) -> Self {
+        SsdFacility {
+            controller: dag.resource(),
+            staging: dag.pool(config.staging_ram),
+            write_pipe: dag.pipe(config.write_bw()),
+            read_pipe: dag.pipe(config.read_bw()),
+            cmd_overhead: config.cmd_overhead,
+            staging_ram: config.staging_ram,
+            hw_block: config.hw_block,
+            channels: config.channels,
+            channel_write_bw: config.channel_write_bw,
+            channel_read_bw: config.channel_read_bw,
+            qos_threshold: config.qos_threshold(),
+        }
+    }
+
+    /// The serialized command processor (for utilization queries).
+    pub fn controller(&self) -> ResId {
+        self.controller
+    }
+
+    /// The write channel array pipe.
+    pub fn write_pipe(&self) -> PipeId {
+        self.write_pipe
+    }
+
+    /// The read channel array pipe.
+    pub fn read_pipe(&self) -> PipeId {
+        self.read_pipe
+    }
+
+    fn pipe_for(&self, kind: IoKind) -> PipeId {
+        match kind {
+            IoKind::Write => self.write_pipe,
+            IoKind::Read => self.read_pipe,
+        }
+    }
+
+    fn channel_rate(&self, kind: IoKind) -> Rate {
+        match kind {
+            IoKind::Write => self.channel_write_bw,
+            IoKind::Read => self.channel_read_bw,
+        }
+    }
+
+    fn rate_for(&self, kind: IoKind, bytes: u64) -> Rate {
+        let blocks = bytes.div_ceil(self.hw_block).max(1);
+        let ch = blocks.min(u64::from(self.channels)) as u32;
+        self.channel_rate(kind).scale(f64::from(ch))
+    }
+
+    fn array_rate(&self, kind: IoKind) -> Rate {
+        self.channel_rate(kind).scale(f64::from(self.channels))
+    }
+
+    fn amplified(&self, bytes: u64) -> u64 {
+        if bytes <= self.qos_threshold {
+            return bytes;
+        }
+        let doublings = (bytes as f64 / self.qos_threshold as f64).log2();
+        (bytes as f64 * (1.0 + 0.08 * doublings)).round() as u64
+    }
+
+    /// Stages for one device request of `bytes` (a single NVMe command).
+    /// Latency-exact: holds staging for its payload, pays one command
+    /// overhead, and stripes across as many channels as its size allows.
+    pub fn request_stages(&self, kind: IoKind, bytes: u64) -> Vec<Stage> {
+        let media = match kind {
+            IoKind::Write => self.amplified(bytes),
+            IoKind::Read => bytes,
+        };
+        let hold = bytes.min(self.staging_ram);
+        vec![
+            Stage::Acquire { pool: self.staging, n: hold },
+            Stage::Seize { res: self.controller, hold: self.cmd_overhead },
+            Stage::Xfer {
+                pipe: self.pipe_for(kind),
+                bytes: media,
+                cap: Some(self.rate_for(kind, bytes)),
+            },
+            Stage::Release { pool: self.staging, n: hold },
+        ]
+    }
+
+    /// Coarse stages for a pipelined sequence of `total_bytes / request_size`
+    /// commands issued from one hardware queue at queue depth `qd`, as a
+    /// single token. Used at cluster scale where per-command tokens would be
+    /// prohibitive. Staging is not modelled here (valid while
+    /// `request_size × qd ≤ staging_ram`, which holds for every bulk
+    /// workload in the evaluation).
+    pub fn bulk_stages(
+        &self,
+        kind: IoKind,
+        total_bytes: u64,
+        request_size: u64,
+        qd: u32,
+    ) -> Vec<Stage> {
+        assert!(request_size > 0 && qd > 0);
+        if total_bytes == 0 {
+            return Vec::new();
+        }
+        let n_req = total_bytes.div_ceil(request_size);
+        let media = match kind {
+            IoKind::Write => {
+                // Amplify per full request plus the final partial request.
+                let full = total_bytes / request_size;
+                let rem = total_bytes % request_size;
+                full * self.amplified(request_size) + self.amplified(rem)
+            }
+            IoKind::Read => total_bytes,
+        };
+        // A window of `qd` in-flight requests can stripe across
+        // qd × channels_for(request_size) channels, up to the full array.
+        let single = self.rate_for(kind, request_size);
+        let cap = single.scale(f64::from(qd)).min(self.array_rate(kind));
+        vec![
+            Stage::Seize {
+                res: self.controller,
+                hold: self.cmd_overhead * n_req as f64,
+            },
+            Stage::Xfer { pipe: self.pipe_for(kind), bytes: media, cap: Some(cap) },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::SimTime;
+
+    fn facility() -> (Dag, SsdFacility) {
+        let mut dag = Dag::new();
+        let f = SsdFacility::install(&mut dag, &SsdConfig::default());
+        (dag, f)
+    }
+
+    #[test]
+    fn single_4k_write_is_channel_bound() {
+        let (mut dag, f) = facility();
+        let t = dag.token(&[], f.request_stages(IoKind::Write, 4096));
+        let r = dag.run().unwrap();
+        let expect = SsdConfig::default().cmd_overhead
+            + SsdConfig::default().channel_write_bw.time_for(4096);
+        assert!(
+            (r.completion(t).as_secs() - expect.as_secs()).abs() < 1e-9,
+            "got {} expected {}",
+            r.completion(t),
+            expect
+        );
+    }
+
+    #[test]
+    fn single_hugeblock_write_uses_many_channels() {
+        let (mut dag, f) = facility();
+        let t = dag.token(&[], f.request_stages(IoKind::Write, 32 << 10));
+        let r = dag.run().unwrap();
+        // 32 KiB stripes over 8 channels: ~8x the single-channel rate.
+        let cfg = SsdConfig::default();
+        let transfer = cfg.channel_write_bw.scale(8.0).time_for(32 << 10);
+        let expect = cfg.cmd_overhead + transfer;
+        assert!((r.completion(t).as_secs() - expect.as_secs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bulk_write_saturates_the_array() {
+        // 28 concurrent bulk writers, 32 MiB each at 32 KiB requests:
+        // makespan ~= total / array bandwidth (plus command time).
+        let (mut dag, f) = facility();
+        for _ in 0..28 {
+            dag.token(&[], f.bulk_stages(IoKind::Write, 32 << 20, 32 << 10, 32));
+        }
+        let r = dag.run().unwrap();
+        let cfg = SsdConfig::default();
+        let floor = cfg.write_bw().time_for(28 * (32 << 20));
+        let t = r.makespan().as_secs();
+        assert!(t >= floor.as_secs(), "faster than hardware: {t}");
+        assert!(t < floor.as_secs() * 1.10, "too much overhead: {t} vs {}", floor.as_secs());
+    }
+
+    #[test]
+    fn small_requests_pay_more_command_overhead() {
+        let time_for = |req: u64| {
+            let (mut dag, f) = facility();
+            for _ in 0..28 {
+                dag.token(&[], f.bulk_stages(IoKind::Write, 64 << 20, req, 32));
+            }
+            dag.run().unwrap().makespan().as_secs()
+        };
+        let t4k = time_for(4 << 10);
+        let t32k = time_for(32 << 10);
+        assert!(
+            t4k > t32k * 1.03,
+            "4K ({t4k}) should be noticeably slower than 32K ({t32k})"
+        );
+    }
+
+    #[test]
+    fn oversized_requests_pay_amplification() {
+        let cfg = SsdConfig::default();
+        assert_eq!(cfg.amplified(4 << 10), 4 << 10);
+        assert_eq!(cfg.amplified(32 << 10), 32 << 10);
+        let m1 = cfg.amplified(1 << 20) as f64 / (1 << 20) as f64;
+        assert!((m1 - 1.4).abs() < 0.01, "1 MiB amp {m1}"); // 5 doublings x 8%
+        let time_for = |req: u64| {
+            let (mut dag, f) = facility();
+            for _ in 0..28 {
+                dag.token(&[], f.bulk_stages(IoKind::Write, 64 << 20, req, 32));
+            }
+            dag.run().unwrap().makespan().as_secs()
+        };
+        assert!(time_for(1 << 20) > time_for(32 << 10) * 1.2);
+    }
+
+    #[test]
+    fn reads_and_writes_use_separate_pipes() {
+        let (mut dag, f) = facility();
+        let w = dag.token(&[], f.bulk_stages(IoKind::Write, 256 << 20, 32 << 10, 32));
+        let r = dag.token(&[], f.bulk_stages(IoKind::Read, 256 << 20, 32 << 10, 32));
+        let res = dag.run().unwrap();
+        let cfg = SsdConfig::default();
+        // Each path runs near its own full bandwidth, not halved. The
+        // coarse model serializes command time before the transfer, so
+        // allow that overhead on top of the hardware floor.
+        let wfloor = cfg.write_bw().time_for(256 << 20).as_secs();
+        let rfloor = cfg.read_bw().time_for(256 << 20).as_secs();
+        assert!(res.completion(w).as_secs() < wfloor * 1.3);
+        assert!(res.completion(r).as_secs() < rfloor * 1.3);
+        assert!(res.completion(w).as_secs() >= wfloor);
+        assert!(res.completion(r).as_secs() >= rfloor);
+    }
+
+    #[test]
+    fn staging_bounds_inflight_payload() {
+        // Requests of half the staging RAM: only two can be in flight, so
+        // four requests from four queues serialize into two waves — the
+        // first wave completes strictly before the second. Without the
+        // staging bound all four share the array and complete together.
+        let run_with_staging = |staging_ram: u64| {
+            let cfg = SsdConfig { staging_ram, ..SsdConfig::default() };
+            let mut dag = Dag::new();
+            let f = SsdFacility::install(&mut dag, &cfg);
+            let ids: Vec<_> = (0..4)
+                .map(|_| dag.token(&[], f.request_stages(IoKind::Write, 1 << 20)))
+                .collect();
+            let r = dag.run().unwrap();
+            ids.iter().map(|&t| r.completion(t)).collect::<Vec<_>>()
+        };
+        let limited = run_with_staging(2 << 20);
+        let spread = limited.iter().max().unwrap().as_secs()
+            - limited.iter().min().unwrap().as_secs();
+        assert!(spread > 1e-3, "staging limit should stagger completions by a wave");
+        let unlimited = run_with_staging(24 << 20);
+        let spread_u = unlimited.iter().max().unwrap().as_secs()
+            - unlimited.iter().min().unwrap().as_secs();
+        // Only the microsecond-scale command staggering remains.
+        assert!(spread_u < 1e-4, "unbounded staging should complete near-together, spread {spread_u}");
+    }
+
+    #[test]
+    fn bulk_zero_bytes_is_empty() {
+        let (_dag, f) = facility();
+        assert!(f.bulk_stages(IoKind::Write, 0, 32 << 10, 32).is_empty());
+    }
+
+    #[test]
+    fn bulk_partial_tail_request_counted() {
+        let (mut dag, f) = facility();
+        // 100 KiB at 32 KiB requests = 4 commands (3 full + 1 partial).
+        let t = dag.token(&[], f.bulk_stages(IoKind::Write, 100 << 10, 32 << 10, 1));
+        let r = dag.run().unwrap();
+        let cfg = SsdConfig::default();
+        let cmd = cfg.cmd_overhead * 4.0;
+        assert!(r.completion(t) > cmd);
+        assert!(r.completion(t) < cmd + cfg.write_rate_for(32 << 10).time_for(100 << 10) + SimTime::micros(50.0));
+    }
+}

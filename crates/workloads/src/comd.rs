@@ -1,0 +1,138 @@
+//! CoMD-like application model.
+//!
+//! CoMD is a classical molecular-dynamics proxy app \[14\]; for checkpoint
+//! purposes what matters is its phase structure (compute steps between
+//! periodic dumps) and its dump content (per-atom state: position,
+//! velocity, momentum, species — serialized as a flat record stream, one
+//! file per rank in the N-N pattern).
+//!
+//! The paper's strong- and weak-scaling parameters imply different
+//! per-atom checkpoint sizes (~525 B/atom for strong scaling's
+//! 16,384K atoms / 86 GB; ~4.9 KB/atom for weak scaling's 32K atoms/rank /
+//! 700 GB), so `bytes_per_atom` is explicit per experiment; DESIGN.md §4
+//! records the discrepancy.
+
+use simkit::SimTime;
+
+/// One rank's slice of a CoMD run.
+#[derive(Debug, Clone)]
+pub struct CoMD {
+    /// Atoms simulated by this rank.
+    pub atoms_per_rank: u64,
+    /// Checkpoint bytes per atom.
+    pub bytes_per_atom: u64,
+    /// Timesteps between checkpoints.
+    pub steps_per_interval: u32,
+    /// Compute time per atom per timestep (force evaluation dominates;
+    /// Lennard-Jones CoMD runs ~1 µs/atom/step on a Broadwell core).
+    pub compute_per_atom_step: SimTime,
+}
+
+impl CoMD {
+    /// Weak-scaling preset (§IV-H): 32K atoms per rank, sized so each rank
+    /// dumps 156.25 MiB per checkpoint (700 GB / 10 checkpoints / 448).
+    pub fn weak_scaling() -> Self {
+        CoMD {
+            atoms_per_rank: 32 << 10,
+            bytes_per_atom: (156 << 20) / (32 << 10),
+            steps_per_interval: 100,
+            compute_per_atom_step: SimTime::micros(1.0),
+        }
+    }
+
+    /// Strong-scaling preset (§IV-H): 16,384K atoms total, 86 GB over 10
+    /// checkpoints (~525 B/atom).
+    pub fn strong_scaling(procs: u32) -> Self {
+        let total_atoms: u64 = 16_384 << 10;
+        CoMD {
+            atoms_per_rank: total_atoms / u64::from(procs),
+            bytes_per_atom: 525,
+            steps_per_interval: 100,
+            compute_per_atom_step: SimTime::micros(1.0),
+        }
+    }
+
+    /// Bytes this rank writes per checkpoint.
+    pub fn checkpoint_bytes(&self) -> u64 {
+        self.atoms_per_rank * self.bytes_per_atom
+    }
+
+    /// Compute time of one inter-checkpoint interval.
+    pub fn compute_interval(&self) -> SimTime {
+        self.compute_per_atom_step
+            * (self.atoms_per_rank as f64 * f64::from(self.steps_per_interval))
+    }
+
+    /// Deterministic checkpoint payload for `(rank, ckpt)` — stands in for
+    /// the serialized atom state. Functional tests verify these bytes
+    /// survive crash/recovery exactly.
+    pub fn checkpoint_payload(&self, rank: u32, ckpt: u32, len: usize) -> Vec<u8> {
+        // SplitMix64 stream seeded by (rank, ckpt): fast, deterministic,
+        // incompressible-ish — like real double-precision atom state.
+        let mut z = (u64::from(rank) << 32) ^ u64::from(ckpt) ^ 0x9E37_79B9_7F4A_7C15;
+        let mut out = Vec::with_capacity(len);
+        while out.len() < len {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut x = z;
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^= x >> 31;
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        out.truncate(len);
+        out
+    }
+
+    /// The checkpoint file path this rank writes for checkpoint `ckpt`.
+    pub fn checkpoint_path(rank: u32, ckpt: u32) -> String {
+        format!("/comd/ckpt_{ckpt:03}/rank_{rank:05}.dat")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weak_scaling_totals() {
+        let c = CoMD::weak_scaling();
+        let total = c.checkpoint_bytes() * 448 * 10;
+        assert!((650e9..750e9).contains(&(total as f64)), "{total}");
+    }
+
+    #[test]
+    fn strong_scaling_totals() {
+        let c = CoMD::strong_scaling(448);
+        let total = c.checkpoint_bytes() * 448 * 10;
+        assert!((80e9..92e9).contains(&(total as f64)), "{total}");
+        // Atoms conserved across decompositions (up to rounding).
+        let c2 = CoMD::strong_scaling(112);
+        assert!(c2.atoms_per_rank > c.atoms_per_rank * 3);
+    }
+
+    #[test]
+    fn payload_is_deterministic_and_rank_unique() {
+        let c = CoMD::weak_scaling();
+        let a = c.checkpoint_payload(3, 1, 4096);
+        let b = c.checkpoint_payload(3, 1, 4096);
+        let other = c.checkpoint_payload(4, 1, 4096);
+        assert_eq!(a, b);
+        assert_ne!(a, other);
+        assert_eq!(a.len(), 4096);
+        // Odd lengths work.
+        assert_eq!(c.checkpoint_payload(0, 0, 1001).len(), 1001);
+    }
+
+    #[test]
+    fn compute_interval_scales_with_atoms() {
+        let small = CoMD { atoms_per_rank: 1000, ..CoMD::weak_scaling() };
+        let big = CoMD { atoms_per_rank: 10_000, ..CoMD::weak_scaling() };
+        assert!(big.compute_interval() > small.compute_interval() * 9.0);
+    }
+
+    #[test]
+    fn paths_are_distinct_per_rank_and_ckpt() {
+        assert_ne!(CoMD::checkpoint_path(0, 0), CoMD::checkpoint_path(1, 0));
+        assert_ne!(CoMD::checkpoint_path(0, 0), CoMD::checkpoint_path(0, 1));
+    }
+}

@@ -1,0 +1,260 @@
+//! Experiment drivers.
+//!
+//! Two kinds of driving:
+//!
+//! * **Model-level** ([`scaling_sweep`], [`multilevel_eval`]): sweep
+//!   [`StorageModel`]s over scenarios for the Figure 9 and Table II
+//!   harnesses, in simulated time.
+//! * **Functional** ([`run_functional_checkpoints`]): build the paper's
+//!   testbed (scheduler → balancer → NVMf → SSDs), run a CoMD-like
+//!   N-N checkpoint sequence with *real bytes*, crash ranks, recover, and
+//!   verify payloads byte-for-byte. Used by integration tests, examples,
+//!   and the metadata-overhead (Table I) harness.
+
+use baselines::model::StorageModel;
+use baselines::scenario::Scenario;
+use baselines::LustreModel;
+use cluster::{JobRequest, Scheduler, Topology};
+use nvmecr::multilevel::{CheckpointLevel, MultiLevelPolicy};
+use nvmecr::runtime::{NvmeCrRuntime, StorageRack};
+use nvmecr::{metrics, RuntimeConfig};
+use rayon::prelude::*;
+use simkit::SimTime;
+use ssd::SsdConfig;
+
+use crate::comd::CoMD;
+
+/// One point of a scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Process count.
+    pub procs: u32,
+    /// Checkpoint efficiency (Figure 9a/9c).
+    pub ckpt_efficiency: f64,
+    /// Recovery efficiency (Figure 9b/9d).
+    pub rec_efficiency: f64,
+    /// One checkpoint's makespan.
+    pub ckpt_time: SimTime,
+    /// One recovery's makespan.
+    pub rec_time: SimTime,
+}
+
+/// Sweep a model over scenarios (one per process count).
+pub fn scaling_sweep(model: &dyn StorageModel, scenarios: &[Scenario]) -> Vec<ScalingPoint> {
+    scenarios
+        .iter()
+        .map(|s| ScalingPoint {
+            procs: s.procs,
+            ckpt_efficiency: model.checkpoint_efficiency(s),
+            rec_efficiency: model.recovery_efficiency(s),
+            ckpt_time: model.checkpoint_makespan(s),
+            rec_time: model.recovery_makespan(s),
+        })
+        .collect()
+}
+
+/// Table II row: multi-level checkpointing outcome for one tier-1 system.
+#[derive(Debug, Clone)]
+pub struct MultiLevelResult {
+    /// Tier-1 system name.
+    pub system: &'static str,
+    /// Total checkpoint time across the run's checkpoints.
+    pub checkpoint_time: SimTime,
+    /// Recovery time after a (non-cascading) failure.
+    pub recovery_time: SimTime,
+    /// Application progress rate (compute / total).
+    pub progress_rate: f64,
+}
+
+/// Run the §IV-I evaluation: `n_ckpts` checkpoints with every
+/// `policy.period()`-th going to Lustre, then one recovery from tier 1.
+pub fn multilevel_eval(
+    tier1: &dyn StorageModel,
+    s: &Scenario,
+    policy: MultiLevelPolicy,
+    n_ckpts: u32,
+    compute_interval: SimTime,
+) -> MultiLevelResult {
+    let lustre = LustreModel::new();
+    let t_fast = tier1.checkpoint_makespan(s);
+    let t_slow = lustre.checkpoint_makespan(s);
+    let mut checkpoint_time = SimTime::ZERO;
+    for i in 1..=n_ckpts {
+        checkpoint_time += match policy.level_for(i) {
+            CheckpointLevel::Fast => t_fast,
+            CheckpointLevel::Parallel => t_slow,
+        };
+    }
+    let recovery_time = tier1.recovery_makespan(s);
+    let compute = compute_interval * f64::from(n_ckpts);
+    let total = compute + checkpoint_time;
+    MultiLevelResult {
+        system: tier1.name(),
+        checkpoint_time,
+        recovery_time,
+        progress_rate: metrics::progress_rate(compute, total),
+    }
+}
+
+/// Outcome of a functional (real-bytes) run.
+#[derive(Debug, Clone)]
+pub struct FunctionalReport {
+    /// Ranks driven.
+    pub procs: u32,
+    /// Checkpoints completed per rank.
+    pub ckpts: u32,
+    /// Total checkpoint bytes written and verified.
+    pub bytes_verified: u64,
+    /// Ranks crashed and recovered successfully.
+    pub recovered_ranks: u32,
+    /// Log records replayed across recovered ranks.
+    pub replayed_records: u64,
+    /// Device-resident metadata bytes across all ranks.
+    pub metadata_bytes: u64,
+    /// DRAM metadata footprint across all ranks.
+    pub dram_bytes: u64,
+}
+
+/// Drive the full functional stack: schedule a job on the paper testbed,
+/// run `ckpts` N-N checkpoint rounds of `bytes_per_rank` each (CoMD-style
+/// payloads), crash `crash_ranks`, recover them, and verify every byte of
+/// the newest checkpoint.
+pub fn run_functional_checkpoints(
+    procs: u32,
+    ckpts: u32,
+    bytes_per_rank: u64,
+    crash_ranks: &[u32],
+) -> Result<FunctionalReport, Box<dyn std::error::Error>> {
+    let topo = Topology::paper_testbed();
+    let rack = StorageRack::build(
+        &topo,
+        &SsdConfig { capacity: 16 << 30, ..SsdConfig::default() },
+    );
+    let mut sched = Scheduler::new(topo.clone(), 8);
+    let alloc = sched.submit(&JobRequest::full_subscription(procs))?;
+    let config = RuntimeConfig { namespace_bytes: 8 << 30, ..RuntimeConfig::default() };
+    let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config)?;
+    let comd = CoMD::weak_scaling();
+    let write_size = 1usize << 20;
+
+    // Checkpoint phases. (Ranks are independent; the functional devices
+    // are shared behind locks, so parallel driving is safe but contended —
+    // rayon is still a win for the payload generation.)
+    let payload_of = |rank: u32, ckpt: u32| comd.checkpoint_payload(rank, ckpt, bytes_per_rank as usize);
+    let mut bytes_verified = 0u64;
+    for ckpt in 0..ckpts {
+        let payloads: Vec<(u32, Vec<u8>)> = (0..procs)
+            .into_par_iter()
+            .map(|rank| (rank, payload_of(rank, ckpt)))
+            .collect();
+        for (rank, payload) in payloads {
+            let fs = rt.rank_fs(rank)?;
+            if ckpt == 0 {
+                // Per-rank private namespaces: same paths, no coordination.
+                fs.mkdir("/comd", 0o755).ok();
+            }
+            fs.mkdir(&format!("/comd/ckpt_{ckpt:03}"), 0o755)?;
+            let path = CoMD::checkpoint_path(rank, ckpt);
+            let fd = fs.create(&path, 0o644)?;
+            for chunk in payload.chunks(write_size) {
+                fs.write(fd, chunk)?;
+            }
+            fs.fsync(fd)?;
+            fs.close(fd)?;
+        }
+    }
+
+    // Crash and recover.
+    let mut replayed = 0;
+    for &rank in crash_ranks {
+        rt.crash_rank(rank)?;
+        rt.recover_rank(rank)?;
+        replayed += rt.rank_fs(rank)?.stats().replayed_records;
+    }
+
+    // Verify the newest checkpoint everywhere (and recovered ranks fully).
+    let last = ckpts - 1;
+    for rank in 0..procs {
+        let expect = payload_of(rank, last);
+        let fs = rt.rank_fs(rank)?;
+        let path = CoMD::checkpoint_path(rank, last);
+        let fd = fs.open(&path, microfs::OpenFlags::RDONLY, 0)?;
+        let mut buf = vec![0u8; expect.len()];
+        let mut got = 0;
+        while got < buf.len() {
+            let n = fs.read(fd, &mut buf[got..])?;
+            if n == 0 {
+                break;
+            }
+            got += n;
+        }
+        fs.close(fd)?;
+        if buf != expect {
+            return Err(format!("rank {rank} checkpoint {last} corrupted").into());
+        }
+        bytes_verified += expect.len() as u64;
+    }
+
+    let metadata_bytes = rt.metadata_device_bytes();
+    let dram_bytes = rt.dram_footprint();
+    rt.finalize()?;
+    Ok(FunctionalReport {
+        procs,
+        ckpts,
+        bytes_verified,
+        recovered_ranks: crash_ranks.len() as u32,
+        replayed_records: replayed,
+        metadata_bytes,
+        dram_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nvmecr_model::NvmeCrModel;
+
+    #[test]
+    fn sweep_produces_one_point_per_scenario() {
+        let scenarios: Vec<Scenario> =
+            [56u32, 112].iter().map(|&p| Scenario::weak_scaling(p)).collect();
+        let pts = scaling_sweep(&NvmeCrModel::full(), &scenarios);
+        assert_eq!(pts.len(), 2);
+        assert!(pts.iter().all(|p| p.ckpt_efficiency > 0.5));
+    }
+
+    #[test]
+    fn multilevel_ordering_matches_table2() {
+        use baselines::{GlusterFsModel, OrangeFsModel};
+        // Table II's setting: strong scaling at 448 processes.
+        let s = Scenario::strong_scaling(448);
+        let policy = MultiLevelPolicy::new(10);
+        let compute = CoMD::strong_scaling(448).compute_interval();
+        let ours = multilevel_eval(&NvmeCrModel::full(), &s, policy, 10, compute);
+        let gluster = multilevel_eval(&GlusterFsModel::new(), &s, policy, 10, compute);
+        let orange = multilevel_eval(&OrangeFsModel::new(), &s, policy, 10, compute);
+        // Table II ordering: NVMe-CR < GlusterFS < OrangeFS on time,
+        // reversed on progress rate.
+        assert!(ours.checkpoint_time < gluster.checkpoint_time);
+        assert!(gluster.checkpoint_time < orange.checkpoint_time);
+        assert!(ours.progress_rate > gluster.progress_rate);
+        assert!(gluster.progress_rate > orange.progress_rate);
+        // Paper ballpark: NVMe-CR progress rate ~0.42.
+        assert!(
+            (0.30..0.65).contains(&ours.progress_rate),
+            "progress rate {}",
+            ours.progress_rate
+        );
+    }
+
+    #[test]
+    fn functional_small_run_verifies_bytes() {
+        let report = run_functional_checkpoints(56, 2, 256 << 10, &[3, 17]).unwrap();
+        assert_eq!(report.procs, 56);
+        assert_eq!(report.bytes_verified, 56 * (256 << 10));
+        assert_eq!(report.recovered_ranks, 2);
+        assert!(report.replayed_records > 0);
+        assert!(report.metadata_bytes > 0);
+        assert!(report.dram_bytes > 0);
+    }
+}

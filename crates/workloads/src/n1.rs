@@ -1,0 +1,174 @@
+//! N-1 checkpointing over private namespaces.
+//!
+//! The paper targets N-N ("the designs proposed in this paper are
+//! specifically targeted towards the N-N pattern", §III-E) because ~90% of
+//! runs use it \[39\]. Applications that insist on a single logical
+//! checkpoint file can still run over NVMe-CR with this adapter: each rank
+//! writes its disjoint segment as a *private* file (zero coordination, as
+//! always), and the reader reassembles the logical N-1 file from the
+//! per-rank segments — the same decomposition PLFS \[24\] performs under a
+//! shared-file facade.
+
+use microfs::block::BlockDevice;
+use microfs::{FsError, MicroFs, OpenFlags};
+
+/// Maps one logical N-1 file onto per-rank segment files.
+#[derive(Debug, Clone)]
+pub struct N1Adapter {
+    /// Logical file name (used to derive per-rank segment paths).
+    pub logical_name: String,
+    /// Bytes each rank owns.
+    pub bytes_per_rank: u64,
+}
+
+impl N1Adapter {
+    /// An adapter for `logical_name` with fixed per-rank segments.
+    pub fn new(logical_name: impl Into<String>, bytes_per_rank: u64) -> Self {
+        assert!(bytes_per_rank > 0);
+        N1Adapter { logical_name: logical_name.into(), bytes_per_rank }
+    }
+
+    /// The private path rank `rank` writes its segment to.
+    pub fn segment_path(&self, rank: u32) -> String {
+        format!("/{}.seg{rank:05}", self.logical_name)
+    }
+
+    /// The logical offset range `[start, end)` rank `rank` owns.
+    pub fn segment_range(&self, rank: u32) -> (u64, u64) {
+        let start = u64::from(rank) * self.bytes_per_rank;
+        (start, start + self.bytes_per_rank)
+    }
+
+    /// Which rank owns logical offset `off`.
+    pub fn owner_of(&self, off: u64) -> u32 {
+        (off / self.bytes_per_rank) as u32
+    }
+
+    /// Rank-side: write `data` at logical offset `off` (must fall entirely
+    /// within this rank's segment — crossing segments would need the
+    /// coordination the design refuses to pay).
+    pub fn write_segment<D: BlockDevice>(
+        &self,
+        fs: &mut MicroFs<D>,
+        rank: u32,
+        off: u64,
+        data: &[u8],
+    ) -> Result<(), FsError> {
+        let (start, end) = self.segment_range(rank);
+        if off < start || off + data.len() as u64 > end {
+            return Err(FsError::Invalid(format!(
+                "logical range [{off}, {}) crosses rank {rank}'s segment [{start}, {end})",
+                off + data.len() as u64
+            )));
+        }
+        let path = self.segment_path(rank);
+        let fd = match fs.stat(&path) {
+            Ok(_) => fs.open(&path, OpenFlags::RDWR, 0)?,
+            Err(_) => fs.open(&path, OpenFlags::CREATE_EXCL, 0o644)?,
+        };
+        let r = fs.pwrite(fd, off - start, data).map(|_| ());
+        fs.close(fd)?;
+        r
+    }
+
+    /// Reader-side: reassemble the logical byte range `[off, off+len)`
+    /// from the per-rank filesystems (indexed by rank).
+    pub fn read_logical<D: BlockDevice>(
+        &self,
+        fss: &mut [&mut MicroFs<D>],
+        off: u64,
+        len: usize,
+    ) -> Result<Vec<u8>, FsError> {
+        let mut out = vec![0u8; len];
+        let mut pos = 0usize;
+        while pos < len {
+            let abs = off + pos as u64;
+            let rank = self.owner_of(abs);
+            let (start, end) = self.segment_range(rank);
+            let take = ((end - abs) as usize).min(len - pos);
+            let fs = fss
+                .get_mut(rank as usize)
+                .ok_or_else(|| FsError::Invalid(format!("no fs for rank {rank}")))?;
+            let path = self.segment_path(rank);
+            let fd = fs.open(&path, OpenFlags::RDONLY, 0)?;
+            let mut got = 0usize;
+            while got < take {
+                let n = fs.pread(fd, abs - start + got as u64, &mut out[pos + got..pos + take])?;
+                if n == 0 {
+                    break; // sparse tail reads as zeros
+                }
+                got += n;
+            }
+            fs.close(fd)?;
+            pos += take;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microfs::{FsConfig, MemDevice};
+
+    fn fs() -> MicroFs<MemDevice> {
+        MicroFs::format(MemDevice::new(32 << 20), FsConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn segments_partition_the_logical_file() {
+        let a = N1Adapter::new("shared.ckpt", 1 << 20);
+        assert_eq!(a.segment_range(0), (0, 1 << 20));
+        assert_eq!(a.segment_range(3), (3 << 20, 4 << 20));
+        assert_eq!(a.owner_of(0), 0);
+        assert_eq!(a.owner_of((1 << 20) - 1), 0);
+        assert_eq!(a.owner_of(1 << 20), 1);
+        assert_ne!(a.segment_path(0), a.segment_path(1));
+    }
+
+    #[test]
+    fn write_then_reassemble() {
+        let adapter = N1Adapter::new("shared.ckpt", 64 << 10);
+        let mut ranks: Vec<MicroFs<MemDevice>> = (0..4).map(|_| fs()).collect();
+        for (rank, f) in ranks.iter_mut().enumerate() {
+            let (start, _) = adapter.segment_range(rank as u32);
+            let data = vec![0xA0 + rank as u8; 64 << 10];
+            adapter.write_segment(f, rank as u32, start, &data).unwrap();
+        }
+        let mut refs: Vec<&mut MicroFs<MemDevice>> = ranks.iter_mut().collect();
+        // A read spanning three segments.
+        let off = (64 << 10) - 100;
+        let len = (64 << 10) + 200;
+        let got = adapter.read_logical(&mut refs, off, len).unwrap();
+        assert!(got[..100].iter().all(|&b| b == 0xA0));
+        assert!(got[100..100 + (64 << 10)].iter().all(|&b| b == 0xA1));
+        assert!(got[100 + (64 << 10)..].iter().all(|&b| b == 0xA2));
+    }
+
+    #[test]
+    fn cross_segment_writes_are_refused() {
+        let adapter = N1Adapter::new("shared.ckpt", 4096);
+        let mut f = fs();
+        // Rank 0 trying to spill into rank 1's segment.
+        let err = adapter.write_segment(&mut f, 0, 4000, &[0u8; 200]).unwrap_err();
+        assert!(matches!(err, FsError::Invalid(_)));
+        // And writing below its own range.
+        let err = adapter.write_segment(&mut f, 1, 0, &[0u8; 8]).unwrap_err();
+        assert!(matches!(err, FsError::Invalid(_)));
+    }
+
+    #[test]
+    fn partial_segments_read_zeros_for_holes() {
+        let adapter = N1Adapter::new("shared.ckpt", 8192);
+        let mut ranks: Vec<MicroFs<MemDevice>> = (0..2).map(|_| fs()).collect();
+        adapter.write_segment(&mut ranks[0], 0, 0, &[7u8; 100]).unwrap();
+        adapter
+            .write_segment(&mut ranks[1], 1, 8192, &[9u8; 100])
+            .unwrap();
+        let mut refs: Vec<&mut MicroFs<MemDevice>> = ranks.iter_mut().collect();
+        let got = adapter.read_logical(&mut refs, 0, 8292).unwrap();
+        assert!(got[..100].iter().all(|&b| b == 7));
+        assert!(got[100..8192].iter().all(|&b| b == 0), "hole reads zeros");
+        assert!(got[8192..].iter().all(|&b| b == 9));
+    }
+}

@@ -1,0 +1,119 @@
+//! Checkpoint IO patterns: N-N and N-1 (§III-E, citing PLFS \[24\]).
+//!
+//! "In the N-1 pattern, processes write to a single shared file, whereas in
+//! the N-N pattern each process writes to a unique file. Recent work has
+//! estimated that 90% of application runs use the N-N pattern." NVMe-CR's
+//! private namespaces are designed for N-N; the N-1 plan is provided so
+//! harnesses can show why it does not fit private namespaces (each rank
+//! would need coordination on a shared offset space).
+
+/// One planned write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteOp {
+    /// Issuing rank.
+    pub rank: u32,
+    /// Target file path.
+    pub path: String,
+    /// File offset.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+/// A checkpoint IO pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointPattern {
+    /// Each rank writes its own file sequentially.
+    NN,
+    /// All ranks write disjoint segments of one shared file.
+    N1,
+}
+
+impl CheckpointPattern {
+    /// The write plan for `procs` ranks each dumping `bytes_per_rank` in
+    /// `write_size` chunks during checkpoint `ckpt`.
+    pub fn plan(
+        self,
+        procs: u32,
+        bytes_per_rank: u64,
+        write_size: u64,
+        ckpt: u32,
+    ) -> Vec<WriteOp> {
+        assert!(write_size > 0);
+        let mut out = Vec::new();
+        for rank in 0..procs {
+            let (path, base) = match self {
+                CheckpointPattern::NN => {
+                    (crate::comd::CoMD::checkpoint_path(rank, ckpt), 0u64)
+                }
+                CheckpointPattern::N1 => (
+                    format!("/comd/shared_ckpt_{ckpt:03}.dat"),
+                    u64::from(rank) * bytes_per_rank,
+                ),
+            };
+            let mut off = 0;
+            while off < bytes_per_rank {
+                let len = write_size.min(bytes_per_rank - off);
+                out.push(WriteOp { rank, path: path.clone(), offset: base + off, len });
+                off += len;
+            }
+        }
+        out
+    }
+
+    /// Number of distinct files the plan touches.
+    pub fn file_count(self, procs: u32) -> u32 {
+        match self {
+            CheckpointPattern::NN => procs,
+            CheckpointPattern::N1 => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn nn_plan_one_file_per_rank_sequential() {
+        let plan = CheckpointPattern::NN.plan(4, 10 << 20, 1 << 20, 0);
+        let files: HashSet<&str> = plan.iter().map(|w| w.path.as_str()).collect();
+        assert_eq!(files.len(), 4);
+        assert_eq!(plan.len(), 4 * 10);
+        // Per-rank writes are sequential from zero.
+        let rank0: Vec<&WriteOp> = plan.iter().filter(|w| w.rank == 0).collect();
+        for (i, w) in rank0.iter().enumerate() {
+            assert_eq!(w.offset, i as u64 * (1 << 20));
+        }
+    }
+
+    #[test]
+    fn n1_plan_disjoint_segments_of_one_file() {
+        let plan = CheckpointPattern::N1.plan(4, 8 << 20, 1 << 20, 2);
+        let files: HashSet<&str> = plan.iter().map(|w| w.path.as_str()).collect();
+        assert_eq!(files.len(), 1);
+        // Coverage is disjoint and complete.
+        let mut ranges: Vec<(u64, u64)> = plan.iter().map(|w| (w.offset, w.offset + w.len)).collect();
+        ranges.sort_unstable();
+        let mut cursor = 0;
+        for (s, e) in ranges {
+            assert_eq!(s, cursor);
+            cursor = e;
+        }
+        assert_eq!(cursor, 4 * (8 << 20));
+    }
+
+    #[test]
+    fn partial_tail_write() {
+        let plan = CheckpointPattern::NN.plan(1, (1 << 20) + 5, 1 << 20, 0);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan[1].len, 5);
+    }
+
+    #[test]
+    fn file_counts() {
+        assert_eq!(CheckpointPattern::NN.file_count(448), 448);
+        assert_eq!(CheckpointPattern::N1.file_count(448), 1);
+    }
+}

@@ -1,0 +1,273 @@
+//! IO trace recording and replay.
+//!
+//! Checkpoint studies live and die by traces: record the exact operation
+//! stream an application issues, then replay it against a different
+//! configuration (block size, coalescing, another system model). The trace
+//! is a compact line format (one op per line) so traces can be shipped,
+//! diffed, and hand-edited.
+//!
+//! ```text
+//! mkdir /comd 493
+//! create /comd/ckpt.dat 420
+//! write /comd/ckpt.dat 0 1048576
+//! close /comd/ckpt.dat
+//! ```
+
+use std::fmt::Write as _;
+
+use microfs::block::BlockDevice;
+use microfs::{FsError, MicroFs, OpenFlags};
+
+/// One traced operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceOp {
+    /// `mkdir(path, mode)`.
+    Mkdir {
+        /// Directory path.
+        path: String,
+        /// Mode bits.
+        mode: u32,
+    },
+    /// `creat(path, mode)`.
+    Create {
+        /// File path.
+        path: String,
+        /// Mode bits.
+        mode: u32,
+    },
+    /// `pwrite(path, offset, len)` (payload is synthesized on replay).
+    Write {
+        /// File path.
+        path: String,
+        /// File offset.
+        offset: u64,
+        /// Length.
+        len: u64,
+    },
+    /// `close(path)` — closes the traced file's replay fd.
+    Close {
+        /// File path.
+        path: String,
+    },
+    /// `unlink(path)`.
+    Unlink {
+        /// File path.
+        path: String,
+    },
+}
+
+/// A recorded operation stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IoTrace {
+    /// Operations in issue order.
+    pub ops: Vec<TraceOp>,
+}
+
+impl IoTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the trace of one rank dumping `bytes` in `write_size` chunks
+    /// to `path` — the canonical N-N checkpoint stream.
+    pub fn nn_checkpoint(path: &str, bytes: u64, write_size: u64) -> Self {
+        let mut t = IoTrace::new();
+        if let Some(idx) = path.rfind('/') {
+            if idx > 0 {
+                t.ops.push(TraceOp::Mkdir { path: path[..idx].to_string(), mode: 0o755 });
+            }
+        }
+        t.ops.push(TraceOp::Create { path: path.to_string(), mode: 0o644 });
+        let mut off = 0;
+        while off < bytes {
+            let len = write_size.min(bytes - off);
+            t.ops.push(TraceOp::Write { path: path.to_string(), offset: off, len });
+            off += len;
+        }
+        t.ops.push(TraceOp::Close { path: path.to_string() });
+        t
+    }
+
+    /// Serialize to the line format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for op in &self.ops {
+            match op {
+                TraceOp::Mkdir { path, mode } => writeln!(out, "mkdir {path} {mode}"),
+                TraceOp::Create { path, mode } => writeln!(out, "create {path} {mode}"),
+                TraceOp::Write { path, offset, len } => {
+                    writeln!(out, "write {path} {offset} {len}")
+                }
+                TraceOp::Close { path } => writeln!(out, "close {path}"),
+                TraceOp::Unlink { path } => writeln!(out, "unlink {path}"),
+            }
+            .expect("string write");
+        }
+        out
+    }
+
+    /// Parse the line format.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut t = IoTrace::new();
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let verb = parts.next().unwrap();
+            let mut arg = |name: &str| {
+                parts
+                    .next()
+                    .map(str::to_string)
+                    .ok_or(format!("line {}: missing {name}", ln + 1))
+            };
+            let op = match verb {
+                "mkdir" | "create" => {
+                    let path = arg("path")?;
+                    let mode: u32 =
+                        arg("mode")?.parse().map_err(|e| format!("line {}: {e}", ln + 1))?;
+                    if verb == "mkdir" {
+                        TraceOp::Mkdir { path, mode }
+                    } else {
+                        TraceOp::Create { path, mode }
+                    }
+                }
+                "write" => TraceOp::Write {
+                    path: arg("path")?,
+                    offset: arg("offset")?.parse().map_err(|e| format!("line {}: {e}", ln + 1))?,
+                    len: arg("len")?.parse().map_err(|e| format!("line {}: {e}", ln + 1))?,
+                },
+                "close" => TraceOp::Close { path: arg("path")? },
+                "unlink" => TraceOp::Unlink { path: arg("path")? },
+                other => return Err(format!("line {}: unknown verb {other}", ln + 1)),
+            };
+            t.ops.push(op);
+        }
+        Ok(t)
+    }
+
+    /// Total bytes the trace writes.
+    pub fn bytes_written(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                TraceOp::Write { len, .. } => *len,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Replay against a filesystem; payloads are a deterministic fill.
+    /// Returns the number of operations applied.
+    pub fn replay<D: BlockDevice>(&self, fs: &mut MicroFs<D>) -> Result<usize, FsError> {
+        use std::collections::HashMap;
+        let mut fds: HashMap<&str, u32> = HashMap::new();
+        let mut applied = 0;
+        for op in &self.ops {
+            match op {
+                TraceOp::Mkdir { path, mode } => {
+                    // Idempotent mkdir, like `mkdir -p` for traced dirs.
+                    match fs.mkdir(path, *mode) {
+                        Ok(()) | Err(FsError::AlreadyExists(_)) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                TraceOp::Create { path, mode } => {
+                    let fd = fs.open(path, OpenFlags::CREATE_TRUNC, *mode)?;
+                    fds.insert(path, fd);
+                }
+                TraceOp::Write { path, offset, len } => {
+                    let fd = *fds
+                        .get(path.as_str())
+                        .ok_or_else(|| FsError::Invalid(format!("write before create: {path}")))?;
+                    let payload = vec![(offset % 251) as u8; *len as usize];
+                    fs.pwrite(fd, *offset, &payload)?;
+                }
+                TraceOp::Close { path } => {
+                    if let Some(fd) = fds.remove(path.as_str()) {
+                        fs.close(fd)?;
+                    }
+                }
+                TraceOp::Unlink { path } => fs.unlink(path)?,
+            }
+            applied += 1;
+        }
+        // Close anything the trace left open.
+        for (_, fd) in fds {
+            fs.close(fd)?;
+        }
+        Ok(applied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microfs::{FsConfig, MemDevice};
+
+    #[test]
+    fn text_roundtrip() {
+        let t = IoTrace::nn_checkpoint("/comd/rank0.dat", 3 << 20, 1 << 20);
+        let text = t.to_text();
+        let parsed = IoTrace::from_text(&text).unwrap();
+        assert_eq!(parsed, t);
+        assert_eq!(t.bytes_written(), 3 << 20);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(IoTrace::from_text("destroy /x").is_err());
+        assert!(IoTrace::from_text("write /x notanumber 5").is_err());
+        assert!(IoTrace::from_text("mkdir /x").is_err());
+        // Comments and blanks are fine.
+        let t = IoTrace::from_text("# header\n\ncreate /f 420\nclose /f\n").unwrap();
+        assert_eq!(t.ops.len(), 2);
+    }
+
+    #[test]
+    fn replay_produces_the_file() {
+        let t = IoTrace::nn_checkpoint("/comd/rank0.dat", 2 << 20, 512 << 10);
+        let mut fs = MicroFs::format(MemDevice::new(32 << 20), FsConfig::default()).unwrap();
+        let applied = t.replay(&mut fs).unwrap();
+        assert_eq!(applied, t.ops.len());
+        assert_eq!(fs.stat("/comd/rank0.dat").unwrap().size, 2 << 20);
+        // Sequential writes in the trace coalesced in the log.
+        assert!(fs.stats().wal.coalesced >= 2);
+    }
+
+    #[test]
+    fn replay_against_different_block_sizes() {
+        // The point of traces: same stream, different configuration.
+        let t = IoTrace::nn_checkpoint("/d/x.dat", 1 << 20, 128 << 10);
+        for bs in [4u64 << 10, 32 << 10, 256 << 10] {
+            let config = FsConfig { block_size: bs, ..FsConfig::default() };
+            let mut fs = MicroFs::format(MemDevice::new(64 << 20), config).unwrap();
+            t.replay(&mut fs).unwrap();
+            assert_eq!(fs.stat("/d/x.dat").unwrap().size, 1 << 20, "bs={bs}");
+        }
+    }
+
+    #[test]
+    fn write_before_create_is_an_error() {
+        let t = IoTrace {
+            ops: vec![TraceOp::Write { path: "/x".into(), offset: 0, len: 10 }],
+        };
+        let mut fs = MicroFs::format(MemDevice::new(32 << 20), FsConfig::default()).unwrap();
+        assert!(matches!(t.replay(&mut fs), Err(FsError::Invalid(_))));
+    }
+
+    #[test]
+    fn unclosed_files_are_closed_at_end() {
+        let t = IoTrace {
+            ops: vec![
+                TraceOp::Create { path: "/x".into(), mode: 0o644 },
+                TraceOp::Write { path: "/x".into(), offset: 0, len: 100 },
+            ],
+        };
+        let mut fs = MicroFs::format(MemDevice::new(32 << 20), FsConfig::default()).unwrap();
+        t.replay(&mut fs).unwrap();
+        assert_eq!(fs.open_files(), 0);
+    }
+}

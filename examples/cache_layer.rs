@@ -1,0 +1,86 @@
+//! The paper's future work, live: "we plan to study the impact of a cache
+//! layer over NVMe-CR" (§V).
+//!
+//! Runs microfs over a [`nvmecr::CachedBlockDevice`] in both write policies
+//! and shows (a) the read cache absorbing restart re-reads and (b) the
+//! §III-D hazard — write-back buffering losing a checkpoint to a crash —
+//! which is why the shipped design writes through.
+//!
+//! Run with: `cargo run --example cache_layer`
+
+use microfs::block::BlockDevice;
+use microfs::{FsConfig, MemDevice, MicroFs, OpenFlags};
+use nvmecr::{CachedBlockDevice, WritePolicy};
+
+fn read_twice(fs: &mut MicroFs<CachedBlockDevice<MemDevice>>, path: &str, len: usize) {
+    for _ in 0..2 {
+        let fd = fs.open(path, OpenFlags::RDONLY, 0).unwrap();
+        let mut buf = vec![0u8; len];
+        let mut got = 0;
+        while got < len {
+            let n = fs.read(fd, &mut buf[got..]).unwrap();
+            if n == 0 {
+                break;
+            }
+            got += n;
+        }
+        fs.close(fd).unwrap();
+    }
+}
+
+fn main() {
+    // --- Read caching under write-through (safe) ---
+    let dev = CachedBlockDevice::new(
+        MemDevice::new(64 << 20),
+        4096,
+        8 << 20,
+        WritePolicy::WriteThrough,
+    );
+    let mut fs = MicroFs::format(dev, FsConfig::default()).unwrap();
+    let fd = fs.create("/ckpt.dat", 0o644).unwrap();
+    fs.write(fd, &vec![7u8; 4 << 20]).unwrap();
+    fs.close(fd).unwrap();
+    read_twice(&mut fs, "/ckpt.dat", 4 << 20);
+    let stats = fs.device().stats();
+    let dev_reads = fs.device().counters().reads;
+    println!("write-through + read cache:");
+    println!(
+        "  restart read twice: {} cache hits, {} misses, {} device reads total",
+        stats.read_hits, stats.read_misses, dev_reads
+    );
+    // Crash through the cache: write-through loses nothing.
+    let inner = fs.into_device().into_inner_discarding();
+    let fs2 = MicroFs::mount(inner, FsConfig::default()).unwrap();
+    println!(
+        "  after crash: checkpoint intact ({} bytes)\n",
+        fs2.stat("/ckpt.dat").unwrap().size
+    );
+
+    // --- The §III-D hazard: write-back loses undrained checkpoints ---
+    let dev = CachedBlockDevice::new(
+        MemDevice::new(64 << 20),
+        4096,
+        32 << 20,
+        WritePolicy::WriteBack,
+    );
+    let mut fs = MicroFs::format(dev, FsConfig::default()).unwrap();
+    let fd = fs.create("/ckpt.dat", 0o644).unwrap();
+    fs.write(fd, &vec![9u8; 4 << 20]).unwrap();
+    // Deliberately no fsync: the "checkpoint" sits in the write-back
+    // buffer only.
+    let dirty = fs.device().dirty_bytes();
+    println!("write-back, crash before drain:");
+    println!("  {} KiB still volatile at crash time", dirty >> 10);
+    let inner = fs.into_device().into_inner_discarding(); // crash
+    match MicroFs::mount(inner, FsConfig::default()) {
+        Ok(fs) => match fs.stat("/ckpt.dat") {
+            Ok(st) => println!(
+                "  mounted; /ckpt.dat shows {} bytes — contents NOT trustworthy",
+                st.size
+            ),
+            Err(_) => println!("  mounted; /ckpt.dat is gone"),
+        },
+        Err(e) => println!("  partition did not even mount: {e}"),
+    }
+    println!("  => this is why NVMe-CR writes through (SIII-D)");
+}

@@ -1,0 +1,135 @@
+//! Cross-system shape tests: the orderings and crossovers the paper's
+//! figures hinge on, checked across every modelled system at once.
+
+use baselines::model::StorageModel;
+use baselines::{
+    jump_consistent_hash, CrailModel, Ext4Model, GlusterFsModel, LustreModel, OrangeFsModel,
+    Scenario, SpdkRawModel, XfsModel,
+};
+use workloads::NvmeCrModel;
+
+fn all_cluster_systems() -> Vec<Box<dyn StorageModel>> {
+    vec![
+        Box::new(NvmeCrModel::full()),
+        Box::new(GlusterFsModel::new()),
+        Box::new(OrangeFsModel::new()),
+    ]
+}
+
+#[test]
+fn figure1_bandwidth_ordering_holds_at_every_scale() {
+    for procs in [56u32, 112, 224, 448] {
+        let s = Scenario::weak_scaling(procs);
+        let effs: Vec<(String, f64)> = all_cluster_systems()
+            .iter()
+            .map(|m| (m.name().to_string(), m.checkpoint_efficiency(&s)))
+            .collect();
+        // NVMe-CR > GlusterFS > OrangeFS, at every concurrency.
+        assert!(effs[0].1 > effs[1].1, "{procs} procs: {effs:?}");
+        assert!(effs[1].1 > effs[2].1, "{procs} procs: {effs:?}");
+    }
+}
+
+#[test]
+fn figure7b_cov_ordering() {
+    for procs in [28u32, 112, 448] {
+        let s = Scenario::weak_scaling(procs);
+        let nvmecr = NvmeCrModel::full().load_cov(&s);
+        let orange = OrangeFsModel::new().load_cov(&s);
+        let gluster = GlusterFsModel::new().load_cov(&s);
+        assert_eq!(nvmecr, 0.0, "round-robin over allocated SSDs is exact");
+        assert!(orange <= gluster, "striping beats hashing: {orange} vs {gluster}");
+    }
+    // GlusterFS imbalance falls with concurrency (reference [17]).
+    let g = GlusterFsModel::new();
+    assert!(
+        g.load_cov(&Scenario::weak_scaling(448)) < g.load_cov(&Scenario::weak_scaling(28))
+    );
+}
+
+#[test]
+fn figure7c_single_node_ordering() {
+    let s = Scenario::single_node(512 << 20);
+    let nvmecr = NvmeCrModel::local().checkpoint_makespan(&s).as_secs();
+    let spdk = SpdkRawModel::new().checkpoint_makespan(&s).as_secs();
+    let xfs = XfsModel::new().checkpoint_makespan(&s).as_secs();
+    let ext4 = Ext4Model::new().checkpoint_makespan(&s).as_secs();
+    // NVMe-CR ~= SPDK < XFS < ext4.
+    assert!((nvmecr / spdk - 1.0).abs() < 0.05, "NVMe-CR {nvmecr} vs SPDK {spdk}");
+    assert!(xfs > nvmecr * 1.10, "XFS should trail by ~19%: {xfs} vs {nvmecr}");
+    assert!(xfs < nvmecr * 1.45, "XFS gap too large: {xfs} vs {nvmecr}");
+    assert!(ext4 > nvmecr * 1.5, "ext4 should trail by ~83%+: {ext4} vs {nvmecr}");
+    assert!(ext4 > xfs);
+}
+
+#[test]
+fn figure8a_remote_overhead_small_and_size_independent() {
+    let overhead_at = |mb: u64| {
+        let s = Scenario::single_node(mb << 20);
+        let local = NvmeCrModel::local().checkpoint_makespan(&s).as_secs();
+        let remote = NvmeCrModel::full().checkpoint_makespan(&s).as_secs();
+        remote / local - 1.0
+    };
+    let small = overhead_at(64);
+    let big = overhead_at(512);
+    assert!(small < 0.035 && big < 0.035, "NVMf overhead {small} / {big}");
+    assert!((small - big).abs() < 0.03, "overhead should be size-independent");
+}
+
+#[test]
+fn crail_sits_between_nvmecr_and_kernel_fses() {
+    let s = Scenario::single_node(512 << 20);
+    let nvmecr = NvmeCrModel::full().checkpoint_makespan(&s).as_secs();
+    let crail = CrailModel::new().checkpoint_makespan(&s).as_secs();
+    let ext4 = Ext4Model::new().checkpoint_makespan(&s).as_secs();
+    assert!(crail > nvmecr * 1.02, "Crail trails NVMe-CR: {crail} vs {nvmecr}");
+    assert!(crail < nvmecr * 1.25, "...but only by 5-10%-ish: {crail} vs {nvmecr}");
+    assert!(crail < ext4);
+}
+
+#[test]
+fn lustre_is_the_slow_reliable_tier() {
+    let s = Scenario::strong_scaling(448);
+    let lustre = LustreModel::new().checkpoint_makespan(&s).as_secs();
+    let fast = NvmeCrModel::full().checkpoint_makespan(&s).as_secs();
+    assert!(lustre > fast * 10.0, "Lustre {lustre}s vs NVMe tier {fast}s");
+}
+
+#[test]
+fn jump_hash_bucket_growth_only_moves_keys_forward() {
+    // The consistency property GlusterFS's elastic hashing relies on when
+    // bricks are added.
+    let mut moved_between_old = 0;
+    for key in 0..10_000u64 {
+        let before = jump_consistent_hash(key, 8);
+        let after = jump_consistent_hash(key, 9);
+        if after != before && after != 8 {
+            moved_between_old += 1;
+        }
+    }
+    assert_eq!(moved_between_old, 0);
+}
+
+#[test]
+fn create_rates_rank_like_figure_8b_at_every_scale() {
+    for procs in [56u32, 224, 448] {
+        let s = Scenario::weak_scaling(procs);
+        let ours = NvmeCrModel::full().create_rate(&s, 5);
+        let gluster = GlusterFsModel::new().create_rate(&s, 5);
+        let orange = OrangeFsModel::new().create_rate(&s, 5);
+        assert!(ours > gluster && gluster > orange, "{procs}: {ours} {gluster} {orange}");
+    }
+}
+
+#[test]
+fn metadata_overhead_table_shape() {
+    let s = Scenario::weak_scaling(448);
+    let orange = OrangeFsModel::new().metadata_overhead(&s).per_server_bytes;
+    let gluster = GlusterFsModel::new().metadata_overhead(&s).per_server_bytes;
+    let nvmecr = NvmeCrModel::full().metadata_overhead(&s).per_runtime_bytes;
+    // Table I shape: OrangeFS per-server huge; GlusterFS tiny; NVMe-CR
+    // pays per-runtime, in between.
+    assert!(orange > 100 * gluster);
+    assert!(nvmecr > gluster);
+    assert!(nvmecr < orange);
+}

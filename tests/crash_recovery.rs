@@ -1,0 +1,186 @@
+//! Crash/recovery integration over the full functional stack: real bytes
+//! through NVMf into SSD-backed microfs partitions, process crashes, node
+//! power failures, and cascading-failure policy decisions.
+
+use cluster::{FaultInjector, FaultKind, JobRequest, Scheduler, Topology};
+use microfs::OpenFlags;
+use nvmecr::multilevel::{CheckpointLevel, MultiLevelPolicy};
+use nvmecr::runtime::{NvmeCrRuntime, StorageRack};
+use nvmecr::RuntimeConfig;
+use simkit::SimTime;
+use ssd::SsdConfig;
+use workloads::CoMD;
+
+fn testbed(
+    procs: u32,
+    capacitor: bool,
+) -> (StorageRack, Topology, cluster::JobAllocation, RuntimeConfig) {
+    let topo = Topology::paper_testbed();
+    let rack = StorageRack::build(
+        &topo,
+        &SsdConfig { capacity: 8 << 30, capacitor, ..SsdConfig::default() },
+    );
+    let mut sched = Scheduler::new(topo.clone(), 8);
+    let alloc = sched.submit(&JobRequest::full_subscription(procs)).unwrap();
+    let config = RuntimeConfig { namespace_bytes: 4 << 30, ..RuntimeConfig::default() };
+    (rack, topo, alloc, config)
+}
+
+fn dump(rt: &mut NvmeCrRuntime, rank: u32, ckpt: u32, data: &[u8]) {
+    let fs = rt.rank_fs(rank).unwrap();
+    fs.mkdir("/comd", 0o755).ok();
+    fs.mkdir(&format!("/comd/ckpt_{ckpt:03}"), 0o755).unwrap();
+    let fd = fs.create(&CoMD::checkpoint_path(rank, ckpt), 0o644).unwrap();
+    fs.write(fd, data).unwrap();
+    fs.close(fd).unwrap();
+}
+
+fn read_back(rt: &mut NvmeCrRuntime, rank: u32, ckpt: u32, len: usize) -> Vec<u8> {
+    let fs = rt.rank_fs(rank).unwrap();
+    let fd = fs
+        .open(&CoMD::checkpoint_path(rank, ckpt), OpenFlags::RDONLY, 0)
+        .unwrap();
+    let mut buf = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        let n = fs.read(fd, &mut buf[got..]).unwrap();
+        if n == 0 {
+            break;
+        }
+        got += n;
+    }
+    fs.close(fd).unwrap();
+    assert_eq!(got, len, "short read for rank {rank}");
+    buf
+}
+
+#[test]
+fn every_rank_crash_recovers_with_exact_bytes() {
+    let (rack, topo, alloc, config) = testbed(56, true);
+    let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config).unwrap();
+    let comd = CoMD::weak_scaling();
+    let len = 300_000usize;
+    for rank in 0..56 {
+        dump(&mut rt, rank, 0, &comd.checkpoint_payload(rank, 0, len));
+    }
+    // Crash *every* rank (job-wide failure), then recover all.
+    for rank in 0..56 {
+        rt.crash_rank(rank).unwrap();
+    }
+    for rank in 0..56 {
+        rt.recover_rank(rank).unwrap();
+    }
+    for rank in 0..56 {
+        assert_eq!(
+            read_back(&mut rt, rank, 0, len),
+            comd.checkpoint_payload(rank, 0, len),
+            "rank {rank} corrupted"
+        );
+    }
+}
+
+#[test]
+fn recovered_rank_continues_checkpointing() {
+    let (rack, topo, alloc, config) = testbed(56, true);
+    let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config).unwrap();
+    let comd = CoMD::weak_scaling();
+    let len = 100_000usize;
+    dump(&mut rt, 5, 0, &comd.checkpoint_payload(5, 0, len));
+    rt.crash_rank(5).unwrap();
+    rt.recover_rank(5).unwrap();
+    // The recovered instance keeps working: next checkpoint, overwrite,
+    // unlink of the old one.
+    dump(&mut rt, 5, 1, &comd.checkpoint_payload(5, 1, len));
+    assert_eq!(read_back(&mut rt, 5, 1, len), comd.checkpoint_payload(5, 1, len));
+    let fs = rt.rank_fs(5).unwrap();
+    fs.unlink(&CoMD::checkpoint_path(5, 0)).unwrap();
+    assert!(fs.stat(&CoMD::checkpoint_path(5, 0)).is_err());
+    // Crash again after the unlink: the unlink must survive replay too.
+    rt.crash_rank(5).unwrap();
+    rt.recover_rank(5).unwrap();
+    let fs = rt.rank_fs(5).unwrap();
+    assert!(fs.stat(&CoMD::checkpoint_path(5, 0)).is_err());
+    assert!(fs.stat(&CoMD::checkpoint_path(5, 1)).is_ok());
+}
+
+#[test]
+fn capacitor_backed_power_failure_loses_nothing() {
+    let (rack, topo, alloc, config) = testbed(56, true);
+    let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config).unwrap();
+    let comd = CoMD::weak_scaling();
+    let len = 200_000usize;
+    for rank in 0..56 {
+        dump(&mut rt, rank, 0, &comd.checkpoint_payload(rank, 0, len));
+    }
+    // Power-fail every storage node (enhanced power-loss protection on).
+    let lost = rack.power_fail_nodes(&topo.storage_nodes());
+    assert_eq!(lost, 0, "capacitors must flush volatile data");
+    // Processes also die; recover and verify.
+    for rank in 0..56 {
+        rt.crash_rank(rank).unwrap();
+        rt.recover_rank(rank).unwrap();
+    }
+    for rank in (0..56).step_by(7) {
+        assert_eq!(read_back(&mut rt, rank, 0, len), comd.checkpoint_payload(rank, 0, len));
+    }
+}
+
+#[test]
+fn unprotected_device_loses_volatile_data_on_power_failure() {
+    let (rack, topo, alloc, config) = testbed(56, false);
+    let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config).unwrap();
+    // Write enough that some bytes are still in device RAM.
+    let fs = rt.rank_fs(0).unwrap();
+    let fd = fs.create("/v.dat", 0o644).unwrap();
+    fs.write(fd, &[7u8; 64 << 10]).unwrap();
+    fs.close(fd).unwrap();
+    let lost = rack.power_fail_nodes(&topo.storage_nodes());
+    assert!(lost > 0, "without capacitors volatile bytes must be lost");
+}
+
+#[test]
+fn cascading_failure_policy_selects_parallel_tier() {
+    // Fault injection says a whole domain died; the multi-level policy
+    // must fall back to the Lustre checkpoint.
+    let topo = Topology::paper_testbed();
+    let mut inj = FaultInjector::new(&topo, 42, SimTime::secs(3_000.0), 1.0);
+    let events = inj.schedule(&topo, SimTime::secs(30_000.0));
+    assert!(!events.is_empty());
+    assert!(events.iter().all(|e| matches!(e.kind, FaultKind::Domain(_))));
+    let policy = MultiLevelPolicy::new(10);
+    // 17 checkpoints taken; domain failure hits the fast tier.
+    assert_eq!(policy.recovery_point(17, false), Some(10));
+    assert_eq!(policy.level_for(10), CheckpointLevel::Parallel);
+    assert_eq!(policy.lost_intervals(17, false), 7);
+    // Same failure with the fast tier intact (failure hit a non-partner
+    // domain): no rollback at all.
+    assert_eq!(policy.lost_intervals(17, true), 0);
+}
+
+#[test]
+fn torn_final_write_never_corrupts_completed_checkpoints() {
+    // §III-E: "a completely written checkpoint file will never hold
+    // corrupted data". Write ckpt 0 fully, then half of ckpt 1 and crash
+    // WITHOUT closing: ckpt 0 must verify; ckpt 1's logged prefix must be
+    // intact too (stronger-than-POSIX durability).
+    let (rack, topo, alloc, config) = testbed(56, true);
+    let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config).unwrap();
+    let comd = CoMD::weak_scaling();
+    let len = 128_000usize;
+    dump(&mut rt, 3, 0, &comd.checkpoint_payload(3, 0, len));
+    let half = comd.checkpoint_payload(3, 1, len / 2);
+    {
+        let fs = rt.rank_fs(3).unwrap();
+        fs.mkdir("/comd/ckpt_001", 0o755).unwrap();
+        let fd = fs.create(&CoMD::checkpoint_path(3, 1), 0o644).unwrap();
+        fs.write(fd, &half).unwrap();
+        // No close, no fsync — crash now.
+    }
+    rt.crash_rank(3).unwrap();
+    rt.recover_rank(3).unwrap();
+    assert_eq!(read_back(&mut rt, 3, 0, len), comd.checkpoint_payload(3, 0, len));
+    let fs = rt.rank_fs(3).unwrap();
+    let st = fs.stat(&CoMD::checkpoint_path(3, 1)).unwrap();
+    assert_eq!(st.size, (len / 2) as u64, "logged prefix must be replayed");
+    assert_eq!(read_back(&mut rt, 3, 1, len / 2), half);
+}

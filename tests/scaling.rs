@@ -1,0 +1,118 @@
+//! Scaling-behaviour integration tests: the paper's headline quantitative
+//! claims, checked against the models end-to-end.
+
+use baselines::model::StorageModel;
+use baselines::{GlusterFsModel, OrangeFsModel, Scenario};
+use nvmecr::metrics;
+use nvmecr::multilevel::MultiLevelPolicy;
+use workloads::{multilevel_eval, scaling_sweep, CoMD, NvmeCrModel};
+
+#[test]
+fn headline_claim_efficiency_above_096_at_448() {
+    // Abstract: "near perfect (> 0.96) efficiency at 448 processes".
+    let m = NvmeCrModel::full();
+    let s = Scenario::weak_scaling(448);
+    assert!(m.checkpoint_efficiency(&s) > 0.96);
+    assert!(m.recovery_efficiency(&s) > 0.96);
+}
+
+#[test]
+fn headline_claim_2x_checkpoint_overhead_reduction() {
+    // Abstract: "reduce checkpoint overhead by as much as 2x compared to
+    // state-of-the-art storage systems".
+    let s = Scenario::weak_scaling(448);
+    let ours = NvmeCrModel::full().checkpoint_makespan(&s).as_secs();
+    let orange = OrangeFsModel::new().checkpoint_makespan(&s).as_secs();
+    assert!(orange > ours * 2.0, "OrangeFS {orange}s vs NVMe-CR {ours}s");
+}
+
+#[test]
+fn headline_claim_2x_tco_reduction() {
+    // §I-B: higher efficiency halves the hardware bandwidth needed.
+    let s = Scenario::weak_scaling(448);
+    let ours = NvmeCrModel::full().checkpoint_efficiency(&s);
+    let orange = OrangeFsModel::new().checkpoint_efficiency(&s);
+    assert!(metrics::required_bandwidth_factor(ours, orange) >= 2.0);
+}
+
+#[test]
+fn weak_scaling_sweep_is_monotone_for_nvmecr() {
+    let scenarios: Vec<Scenario> =
+        [56u32, 112, 224, 448].iter().map(|&p| Scenario::weak_scaling(p)).collect();
+    let pts = scaling_sweep(&NvmeCrModel::full(), &scenarios);
+    // NVMe-CR efficiency never degrades with scale (coordination-free).
+    for w in pts.windows(2) {
+        assert!(
+            w[1].ckpt_efficiency >= w[0].ckpt_efficiency - 0.02,
+            "NVMe-CR should not degrade: {:?}",
+            pts.iter().map(|p| p.ckpt_efficiency).collect::<Vec<_>>()
+        );
+    }
+    // Weak scaling: time grows roughly linearly with procs (fixed per-proc
+    // bytes on fixed hardware).
+    let t56 = pts[0].ckpt_time.as_secs();
+    let t448 = pts[3].ckpt_time.as_secs();
+    let ratio = t448 / t56;
+    assert!((6.0..10.0).contains(&ratio), "8x data -> ~8x time, got {ratio}");
+}
+
+#[test]
+fn strong_scaling_keeps_total_work_constant() {
+    let m = NvmeCrModel::full();
+    let t112 = m.checkpoint_makespan(&Scenario::strong_scaling(112)).as_secs();
+    let t448 = m.checkpoint_makespan(&Scenario::strong_scaling(448)).as_secs();
+    // Same total bytes; more writers shouldn't slow it down much.
+    assert!((t448 / t112 - 1.0).abs() < 0.25, "{t112} vs {t448}");
+}
+
+#[test]
+fn baselines_degrade_where_the_paper_says() {
+    let mid = Scenario::weak_scaling(112);
+    let big = Scenario::weak_scaling(448);
+    // OrangeFS: metadata burden collapse at 448 (§IV-H).
+    let o = OrangeFsModel::new();
+    assert!(o.checkpoint_efficiency(&big) < o.checkpoint_efficiency(&mid) * 0.6);
+    // GlusterFS: recovery dip at 448 (§IV-H).
+    let g = GlusterFsModel::new();
+    assert!(g.recovery_efficiency(&big) < g.recovery_efficiency(&mid));
+    // But GlusterFS checkpointing keeps improving with concurrency.
+    assert!(g.checkpoint_efficiency(&big) >= g.checkpoint_efficiency(&mid));
+}
+
+#[test]
+fn progress_rate_improvement_over_baselines() {
+    // Conclusion: "increasing job progress rates by as much as 1.6x".
+    let s = Scenario::strong_scaling(448);
+    let policy = MultiLevelPolicy::new(10);
+    let compute = CoMD::strong_scaling(448).compute_interval();
+    let ours = multilevel_eval(&NvmeCrModel::full(), &s, policy, 10, compute);
+    let orange = multilevel_eval(&OrangeFsModel::new(), &s, policy, 10, compute);
+    let gain = ours.progress_rate / orange.progress_rate;
+    assert!(gain > 1.15, "progress gain over OrangeFS {gain}");
+}
+
+#[test]
+fn process_ssd_ratio_rule_of_thumb() {
+    // §III-F: the paper recommends 56-112 processes per SSD because that
+    // saturates the device. Check the knee: one SSD's efficiency at 56
+    // procs is close to its efficiency at 112 (saturated), while 8 procs
+    // leave bandwidth unused at the same per-proc size only if the per-proc
+    // stream can't saturate... with hugeblocks a few procs already
+    // saturate, so verify the recommended band is safely saturated.
+    let m = NvmeCrModel::full();
+    for procs in [56u32, 112] {
+        let s = Scenario { servers: 1, ..Scenario::new(procs, 64 << 20) };
+        let eff = m.checkpoint_efficiency(&s);
+        assert!(eff > 0.9, "{procs} procs on one SSD should saturate: {eff}");
+    }
+}
+
+#[test]
+fn efficiency_definition_matches_metrics_helper() {
+    let m = NvmeCrModel::full();
+    let s = Scenario::weak_scaling(112);
+    let t = m.checkpoint_makespan(&s);
+    let via_trait = m.checkpoint_efficiency(&s);
+    let via_metrics = metrics::efficiency(s.total_bytes(), t, s.hw_peak_write());
+    assert!((via_trait - via_metrics).abs() < 1e-12);
+}
