@@ -1,0 +1,251 @@
+//! Offline stand-in for `rayon`: genuinely parallel data iteration over
+//! `std::thread::scope`, covering the combinator surface this workspace
+//! uses. Unlike a sequential shim, work really fans out across cores — the
+//! parallel rank-driving benchmarks depend on that.
+//!
+//! The model is eager: a "parallel iterator" owns its items in a `Vec`,
+//! and each combinator that runs user code (`map`, `for_each`, ...)
+//! performs one parallel pass. Items are distributed to
+//! `available_parallelism()` workers in contiguous chunks, preserving
+//! output order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads a parallel pass uses.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f` over every item on a scoped thread pool, preserving order.
+/// Items are claimed one at a time from a shared cursor, so skewed
+/// per-item cost still balances across workers.
+fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<std::sync::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|t| std::sync::Mutex::new(Some(t)))
+        .collect();
+    let out: Vec<std::sync::Mutex<Option<R>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    {
+        let (f, slots, out, cursor) = (&f, &slots, &out, &cursor);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .unwrap()
+                        .take()
+                        .expect("each slot claimed once");
+                    let r = f(item);
+                    *out[i].lock().unwrap() = Some(r);
+                });
+            }
+        });
+    }
+    out.into_iter()
+        .map(|m| m.into_inner().unwrap().expect("every slot filled"))
+        .collect()
+}
+
+/// An eager parallel iterator: owns its items, runs combinators in
+/// parallel passes.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Apply `f` to every item in parallel.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter {
+            items: parallel_map(self.items, f),
+        }
+    }
+
+    /// Run `f` on every item in parallel, discarding results.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        parallel_map(self.items, f);
+    }
+
+    /// Parallel map keeping only `Some` results (order preserved).
+    pub fn filter_map<R: Send, F: Fn(T) -> Option<R> + Sync>(self, f: F) -> ParIter<R> {
+        ParIter {
+            items: parallel_map(self.items, f).into_iter().flatten().collect(),
+        }
+    }
+
+    /// Parallel filter (order preserved).
+    pub fn filter<F: Fn(&T) -> bool + Sync>(self, f: F) -> ParIter<T> {
+        ParIter {
+            items: parallel_map(self.items, |t| if f(&t) { Some(t) } else { None })
+                .into_iter()
+                .flatten()
+                .collect(),
+        }
+    }
+
+    /// Pair each item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Gather results into a collection.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Sum the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Parallel fold-equivalent: map then sequential reduce.
+    pub fn reduce<F: Fn(T, T) -> T + Sync>(self, identity: impl Fn() -> T, op: F) -> T {
+        self.items.into_iter().fold(identity(), op)
+    }
+}
+
+/// Conversion into a [`ParIter`] by value.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Build the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range_par!(u32, u64, usize, i32);
+
+/// Borrowing conversions (`par_iter`, `par_iter_mut`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a shared reference).
+    type Item: Send + 'a;
+    /// Parallel iterator over shared references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+/// Mutable borrowing conversion (`par_iter_mut`).
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item type (an exclusive reference).
+    type Item: Send + 'a;
+    /// Parallel iterator over exclusive references.
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+/// The glob-importable trait/adapter surface, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0u64..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        (0..256usize).into_par_iter().for_each(|_| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            std::thread::yield_now();
+        });
+        if super::current_num_threads() > 1 {
+            assert!(seen.lock().unwrap().len() > 1, "work must actually fan out");
+        }
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut v = vec![1u32; 64];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn filter_map_and_sum() {
+        let s: u64 = (0u64..100)
+            .into_par_iter()
+            .filter_map(|x| (x % 2 == 0).then_some(x))
+            .sum();
+        assert_eq!(s, (0..100).filter(|x| x % 2 == 0).sum::<u64>());
+    }
+}

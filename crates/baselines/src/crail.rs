@@ -62,7 +62,10 @@ impl CrailModel {
 
     /// Crail only runs single-server; force the scenario shape.
     fn clamp(s: &Scenario) -> Scenario {
-        Scenario { servers: 1, ..s.clone() }
+        Scenario {
+            servers: 1,
+            ..s.clone()
+        }
     }
 }
 
@@ -126,7 +129,10 @@ mod tests {
             write_meta_bytes: 0,
             ..m.spec.clone()
         };
-        let s = Scenario { servers: 1, ..Scenario::single_node(512 << 20) };
+        let s = Scenario {
+            servers: 1,
+            ..Scenario::single_node(512 << 20)
+        };
         let with = m.checkpoint_makespan(&s).as_secs();
         let without = dagutil::checkpoint_makespan(&s, &free).as_secs();
         let overhead = with / without - 1.0;

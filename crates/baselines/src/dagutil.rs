@@ -29,8 +29,7 @@ pub fn distribute(s: &Scenario, spec: &DataPlaneSpec) -> Vec<Vec<u64>> {
                 let stripes = s.bytes_per_proc.div_ceil(stripe);
                 let base = stripes / u64::from(s.servers);
                 let rem = (stripes % u64::from(s.servers)) as usize;
-                let start =
-                    jump_consistent_hash(str_key(&s.file_name(p)), s.servers) as usize;
+                let start = jump_consistent_hash(str_key(&s.file_name(p)), s.servers) as usize;
                 for (i, slot) in row.iter_mut().enumerate() {
                     let extra = ((i + n - start) % n < rem) as u64;
                     *slot += (base + extra) * stripe;
@@ -112,8 +111,8 @@ fn transfer_makespan(s: &Scenario, spec: &DataPlaneSpec, kind: IoKind, creating:
     let per_proc = distribute(s, spec);
     let per_io = spec.path.per_io(&s.kernel).total();
     let meta_op = f.meta.and_then(|_| spec.meta_op_at(s.procs));
-    let meta_gates = (creating && spec.meta_chunks_on_write)
-        || (!creating && spec.meta_chunks_on_read);
+    let meta_gates =
+        (creating && spec.meta_chunks_on_write) || (!creating && spec.meta_chunks_on_read);
     for row in per_proc.iter() {
         // Metadata prologue: create (or open) the process's file.
         let mut meta_stages: Vec<Stage> = Vec::new();
@@ -150,7 +149,9 @@ fn transfer_makespan(s: &Scenario, spec: &DataPlaneSpec, kind: IoKind, creating:
                 0
             };
             let payload = (bytes + meta_bytes) * u64::from(spec.replication);
-            let n_chunks = PIPELINE_CHUNKS.min(payload.div_ceil(s.app_write_size)).max(1);
+            let n_chunks = PIPELINE_CHUNKS
+                .min(payload.div_ceil(s.app_write_size))
+                .max(1);
             let chunk = payload / n_chunks;
             let last_chunk = payload - chunk * (n_chunks - 1);
             let mut prev_fabric = prologue;
@@ -159,7 +160,8 @@ fn transfer_makespan(s: &Scenario, spec: &DataPlaneSpec, kind: IoKind, creating:
                 let bytes_c = if c == n_chunks - 1 { last_chunk } else { chunk };
                 let fab = dag.token(
                     &[prev_fabric],
-                    f.fabric.bulk_stages(f.links[srv], bytes_c, s.app_write_size, 4),
+                    f.fabric
+                        .bulk_stages(f.links[srv], bytes_c, s.app_write_size, 4),
                 );
                 prev_fabric = fab;
                 let mut stages = Vec::new();
@@ -172,8 +174,7 @@ fn transfer_makespan(s: &Scenario, spec: &DataPlaneSpec, kind: IoKind, creating:
                     }
                 }
                 stages.extend(f.ssds[srv].bulk_stages(kind, bytes_c, spec.request_size, s.qd));
-                let deps: Vec<simkit::TokenId> =
-                    std::iter::once(fab).chain(prev_ssd).collect();
+                let deps: Vec<simkit::TokenId> = std::iter::once(fab).chain(prev_ssd).collect();
                 prev_ssd = Some(dag.token(&deps, stages));
             }
         }
@@ -212,7 +213,10 @@ pub fn create_rate(s: &Scenario, spec: &DataPlaneSpec, creates_per_proc: u32) ->
             stages.push(Stage::Delay(spec.create_client + per_io));
             // The durable metadata append: a small device write (dirent +
             // log record for NVMe-CR; journal for the others).
-            stages.extend(f.fabric.message_stages(f.links[srv], spec.create_device_bytes, 4));
+            stages.extend(
+                f.fabric
+                    .message_stages(f.links[srv], spec.create_device_bytes, 4),
+            );
             stages.extend(f.ssds[srv].request_stages(IoKind::Write, spec.create_device_bytes));
             let deps: Vec<simkit::TokenId> = prev.into_iter().collect();
             prev = Some(dag.token(&deps, stages));
@@ -262,7 +266,10 @@ mod tests {
             ..DataPlaneSpec::base("jh")
         };
         let cov = coefficient_of_variation(&server_loads(&s, &spec));
-        assert!(cov > 0.15, "jump hash at 28 files should be imbalanced, cov={cov}");
+        assert!(
+            cov > 0.15,
+            "jump hash at 28 files should be imbalanced, cov={cov}"
+        );
     }
 
     #[test]
@@ -304,10 +311,10 @@ mod tests {
         };
         let small = Scenario::strong_scaling(56);
         let big = Scenario::strong_scaling(448);
-        let penalty_small =
-            checkpoint_makespan(&small, &locked).as_secs() / checkpoint_makespan(&small, &base).as_secs();
-        let penalty_big =
-            checkpoint_makespan(&big, &locked).as_secs() / checkpoint_makespan(&big, &base).as_secs();
+        let penalty_small = checkpoint_makespan(&small, &locked).as_secs()
+            / checkpoint_makespan(&small, &base).as_secs();
+        let penalty_big = checkpoint_makespan(&big, &locked).as_secs()
+            / checkpoint_makespan(&big, &base).as_secs();
         assert!(
             penalty_big > penalty_small * 1.5,
             "serialization must bite harder at 448 procs: {penalty_small} vs {penalty_big}"
@@ -325,7 +332,10 @@ mod tests {
         let r_free_big = create_rate(&Scenario::weak_scaling(448), &free, 10);
         let r_locked_small = create_rate(&Scenario::weak_scaling(28), &locked, 10);
         let r_locked_big = create_rate(&Scenario::weak_scaling(448), &locked, 10);
-        assert!(r_free_big > r_free_small * 4.0, "{r_free_small} -> {r_free_big}");
+        assert!(
+            r_free_big > r_free_small * 4.0,
+            "{r_free_small} -> {r_free_big}"
+        );
         // Serialized: flat (within 30%).
         assert!(
             (r_locked_big / r_locked_small) < 1.5,
@@ -345,7 +355,10 @@ mod tests {
     fn replication_doubles_the_device_work() {
         let s = Scenario::weak_scaling(112);
         let spec1 = DataPlaneSpec::base("r1");
-        let spec2 = DataPlaneSpec { replication: 2, ..DataPlaneSpec::base("r2") };
+        let spec2 = DataPlaneSpec {
+            replication: 2,
+            ..DataPlaneSpec::base("r2")
+        };
         let t1 = checkpoint_makespan(&s, &spec1);
         let t2 = checkpoint_makespan(&s, &spec2);
         let ratio = t2.as_secs() / t1.as_secs();
@@ -371,7 +384,10 @@ mod calibration_dump {
         }
         let sn = Scenario::single_node(512 << 20);
         for (name, m) in [
-            ("spdk", Box::new(crate::SpdkRawModel::new()) as Box<dyn StorageModel>),
+            (
+                "spdk",
+                Box::new(crate::SpdkRawModel::new()) as Box<dyn StorageModel>,
+            ),
             ("ext4", Box::new(crate::Ext4Model::new())),
             ("xfs", Box::new(crate::XfsModel::new())),
             ("crail", Box::new(crate::CrailModel::new())),
@@ -379,7 +395,10 @@ mod calibration_dump {
             println!("{name} single-node t={}", m.checkpoint_makespan(&sn));
         }
         for (name, m) in [
-            ("orangefs", Box::new(crate::OrangeFsModel::new()) as Box<dyn StorageModel>),
+            (
+                "orangefs",
+                Box::new(crate::OrangeFsModel::new()) as Box<dyn StorageModel>,
+            ),
             ("glusterfs", Box::new(crate::GlusterFsModel::new())),
         ] {
             for procs in [28u32, 112, 224, 448] {

@@ -90,8 +90,7 @@ impl StorageModel for GlusterFsModel {
         // Elastic hashing keeps almost nothing per file: extended
         // attributes plus a small fixed layout volume (Table I: 3.5 MB).
         MetadataOverhead {
-            per_server_bytes: (3 << 20)
-                + u64::from(s.procs) * 512 / u64::from(s.servers),
+            per_server_bytes: (3 << 20) + u64::from(s.procs) * 512 / u64::from(s.servers),
             per_runtime_bytes: 0,
         }
     }
@@ -105,7 +104,10 @@ mod tests {
     fn peak_efficiency_near_84_percent() {
         let m = GlusterFsModel::new();
         let eff = m.checkpoint_efficiency(&Scenario::weak_scaling(224));
-        assert!((0.70..0.90).contains(&eff), "GlusterFS peak efficiency {eff}");
+        assert!(
+            (0.70..0.90).contains(&eff),
+            "GlusterFS peak efficiency {eff}"
+        );
     }
 
     #[test]

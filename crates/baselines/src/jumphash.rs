@@ -81,8 +81,14 @@ mod tests {
         };
         let few = loads_for(28);
         let many = loads_for(448);
-        assert!(few > many, "CoV must fall with concurrency: {few} vs {many}");
-        assert!(few > 0.2, "28 files over 8 servers should be visibly imbalanced");
+        assert!(
+            few > many,
+            "CoV must fall with concurrency: {few} vs {many}"
+        );
+        assert!(
+            few > 0.2,
+            "28 files over 8 servers should be visibly imbalanced"
+        );
     }
 
     #[test]

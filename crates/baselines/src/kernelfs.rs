@@ -23,7 +23,10 @@ use crate::scenario::Scenario;
 use crate::spec::{DataPlaneSpec, PlacementPolicy};
 
 fn local(s: &Scenario) -> Scenario {
-    Scenario { servers: 1, ..s.clone() }
+    Scenario {
+        servers: 1,
+        ..s.clone()
+    }
 }
 
 /// Shared implementation for the two kernel filesystems.
@@ -136,7 +139,7 @@ impl XfsModel {
                 placement: PlacementPolicy::RoundRobin,
                 create_serialized: Some(SimTime::micros(10.0)),
                 create_client: SimTime::micros(25.0),
-                write_meta_bytes: 10 << 10, // lean journal
+                write_meta_bytes: 10 << 10,     // lean journal
                 alloc_per_block: SimTime::ZERO, // extent/delayed allocation
                 ..DataPlaneSpec::base("XFS")
             },

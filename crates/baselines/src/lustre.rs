@@ -59,7 +59,11 @@ impl LustreModel {
             cmd_overhead: SimTime::micros(6.0), // RAID controller latency
             ..s.ssd.clone()
         };
-        Scenario { servers: 4, ssd: raid, ..s.clone() }
+        Scenario {
+            servers: 4,
+            ssd: raid,
+            ..s.clone()
+        }
     }
 
     /// The underlying mechanism spec.
@@ -71,9 +75,9 @@ impl LustreModel {
     /// accounting in Table II harnesses).
     pub fn tier_write_bw(&self, s: &Scenario) -> Rate {
         let ls = Self::lustre_scenario(s);
-        ls.ssd
-            .write_bw()
-            .scale(f64::from(ls.servers) * self.spec.layer_efficiency / f64::from(self.spec.replication))
+        ls.ssd.write_bw().scale(
+            f64::from(ls.servers) * self.spec.layer_efficiency / f64::from(self.spec.replication),
+        )
     }
 }
 
@@ -88,7 +92,10 @@ impl StorageModel for LustreModel {
 
     fn recovery_makespan(&self, s: &Scenario) -> SimTime {
         // Reads come from one replica; no replication amplification.
-        let spec = DataPlaneSpec { replication: 1, ..self.spec.clone() };
+        let spec = DataPlaneSpec {
+            replication: 1,
+            ..self.spec.clone()
+        };
         dagutil::recovery_makespan(&Self::lustre_scenario(s), &spec)
     }
 
@@ -120,7 +127,10 @@ mod tests {
         let lustre = LustreModel::new().checkpoint_makespan(&s).as_secs();
         // The NVMe tier moves this in ~0.5 s; Lustre takes ~30 s.
         assert!(lustre > 15.0, "Lustre checkpoint {lustre}s");
-        assert!(lustre < 60.0, "Lustre checkpoint {lustre}s unreasonably slow");
+        assert!(
+            lustre < 60.0,
+            "Lustre checkpoint {lustre}s unreasonably slow"
+        );
     }
 
     #[test]

@@ -42,10 +42,8 @@ pub trait StorageModel {
         if t == SimTime::ZERO {
             return 1.0;
         }
-        (s.total_bytes() as f64
-            / t.as_secs()
-            / s.hw_peak_write().as_bytes_per_sec())
-        .clamp(0.0, 1.0)
+        (s.total_bytes() as f64 / t.as_secs() / s.hw_peak_write().as_bytes_per_sec())
+            .clamp(0.0, 1.0)
     }
 
     /// Recovery efficiency.
@@ -54,10 +52,7 @@ pub trait StorageModel {
         if t == SimTime::ZERO {
             return 1.0;
         }
-        (s.total_bytes() as f64
-            / t.as_secs()
-            / s.hw_peak_read().as_bytes_per_sec())
-        .clamp(0.0, 1.0)
+        (s.total_bytes() as f64 / t.as_secs() / s.hw_peak_read().as_bytes_per_sec()).clamp(0.0, 1.0)
     }
 
     /// Load-imbalance coefficient of variation (Figure 7b).

@@ -77,7 +77,10 @@ impl StorageModel for OrangeFsModel {
     }
 
     fn recovery_makespan(&self, s: &Scenario) -> SimTime {
-        let spec = DataPlaneSpec { meta_chunks_on_read: false, ..self.spec.clone() };
+        let spec = DataPlaneSpec {
+            meta_chunks_on_read: false,
+            ..self.spec.clone()
+        };
         dagutil::recovery_makespan(s, &spec)
     }
 
@@ -113,7 +116,10 @@ mod tests {
         let m = OrangeFsModel::new();
         // Mid-scale weak scaling: the paper's best case for OrangeFS.
         let eff = m.checkpoint_efficiency(&Scenario::weak_scaling(112));
-        assert!((0.30..0.48).contains(&eff), "OrangeFS peak efficiency {eff}");
+        assert!(
+            (0.30..0.48).contains(&eff),
+            "OrangeFS peak efficiency {eff}"
+        );
     }
 
     #[test]
@@ -121,7 +127,10 @@ mod tests {
         let m = OrangeFsModel::new();
         let mid = m.checkpoint_efficiency(&Scenario::weak_scaling(112));
         let big = m.checkpoint_efficiency(&Scenario::weak_scaling(448));
-        assert!(big < mid, "metadata burden must bite at 448: {mid} -> {big}");
+        assert!(
+            big < mid,
+            "metadata burden must bite at 448: {mid} -> {big}"
+        );
     }
 
     #[test]

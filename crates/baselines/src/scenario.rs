@@ -108,10 +108,7 @@ mod tests {
         for procs in [56u32, 112, 224, 448] {
             let s = Scenario::strong_scaling(procs);
             let ten = s.total_bytes() * 10;
-            assert!(
-                (84e9..88e9).contains(&(ten as f64)),
-                "procs {procs}: {ten}"
-            );
+            assert!((84e9..88e9).contains(&(ten as f64)), "procs {procs}: {ten}");
         }
     }
 

@@ -71,7 +71,10 @@ impl StorageModel for SpdkRawModel {
     }
 
     fn metadata_overhead(&self, _s: &Scenario) -> MetadataOverhead {
-        MetadataOverhead { per_server_bytes: 0, per_runtime_bytes: 0 }
+        MetadataOverhead {
+            per_server_bytes: 0,
+            per_runtime_bytes: 0,
+        }
     }
 }
 

@@ -8,7 +8,9 @@ use std::collections::BTreeMap;
 use std::hint::black_box;
 
 fn keys(n: usize) -> Vec<String> {
-    (0..n).map(|i| format!("/comd/ckpt_007/rank_{i:06}.dat")).collect()
+    (0..n)
+        .map(|i| format!("/comd/ckpt_007/rank_{i:06}.dat"))
+        .collect()
 }
 
 fn bench_insert(c: &mut Criterion) {
@@ -72,5 +74,10 @@ fn bench_snapshot_roundtrip(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_insert, bench_lookup, bench_snapshot_roundtrip);
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_lookup,
+    bench_snapshot_roundtrip
+);
 criterion_main!(benches);

@@ -30,7 +30,10 @@ fn bench_checkpoint_write(c: &mut Criterion) {
     for &bs in &[4u64 << 10, 32 << 10, 256 << 10] {
         g.bench_with_input(BenchmarkId::from_parameter(bs / 1024), &bs, |b, &bs| {
             b.iter(|| {
-                let config = FsConfig { block_size: bs, ..FsConfig::default() };
+                let config = FsConfig {
+                    block_size: bs,
+                    ..FsConfig::default()
+                };
                 let mut fs = MicroFs::format(MemDevice::new(DEV), config).unwrap();
                 let fd = fs.create("/ckpt", 0o644).unwrap();
                 for _ in 0..32 {

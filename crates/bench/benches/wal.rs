@@ -18,7 +18,11 @@ fn bench_append(c: &mut Criterion) {
                 for i in 0..1000u64 {
                     wal.append(
                         &mut dev,
-                        &LogRecord::Write { ino: 1, offset: i * 4096, len: 4096 },
+                        &LogRecord::Write {
+                            ino: 1,
+                            offset: i * 4096,
+                            len: 4096,
+                        },
                     )
                     .unwrap();
                 }
@@ -38,7 +42,11 @@ fn bench_scan(c: &mut Criterion) {
             for i in 0..100u64 {
                 wal.append(
                     &mut dev,
-                    &LogRecord::Write { ino: f, offset: i * 4096, len: 4096 },
+                    &LogRecord::Write {
+                        ino: f,
+                        offset: i * 4096,
+                        len: 4096,
+                    },
                 )
                 .unwrap();
             }
@@ -59,7 +67,11 @@ fn bench_scan(c: &mut Criterion) {
 }
 
 fn bench_record_codec(c: &mut Criterion) {
-    let rec = LogRecord::Create { path: "/comd/ckpt_003/rank_00042.dat".into(), mode: 0o644, uid: 1000 };
+    let rec = LogRecord::Create {
+        path: "/comd/ckpt_003/rank_00042.dat".into(),
+        mode: 0o644,
+        uid: 1000,
+    };
     c.bench_function("wal_record_encode", |b| {
         b.iter(|| black_box(rec.encode(black_box(3))).len())
     });

@@ -1,0 +1,236 @@
+//! Data-plane scaling bench: serial vs parallel rank driving.
+//!
+//! Sweeps 1→28 ranks over the paper testbed, drives one real (bytes on
+//! functional devices) checkpoint+verify round per point through the
+//! sharded NVMf data plane, and reports the device-time makespan of that
+//! IO stream under the two [`workloads::DriveMode`]s:
+//!
+//! * **serial** — ranks issue one at a time, so every command and every
+//!   byte of every rank is serialized through a single outstanding queue.
+//! * **parallel** — ranks issue concurrently; each namespace shard
+//!   preserves its per-queue FIFO, shards on the same SSD share that
+//!   SSD's channel array and command processor, and distinct SSDs run
+//!   concurrently. The makespan is the busiest SSD's serialized work.
+//!
+//! The IO volumes (ops and bytes per rank) are *measured* from the block
+//! device counters after really driving the run; only the device service
+//! time is modeled, using the calibrated [`SsdConfig`] geometry — the
+//! same calibration every figure harness uses. (Wall-clock is not used:
+//! this host may be a single pinned core, where thread-level speedup is
+//! unobservable by construction.)
+//!
+//! Emits `BENCH_dataplane.json` in the working directory.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use cluster::{JobRequest, Scheduler, Topology};
+use microfs::block::{BlockDevice, IoCounters};
+use nvmecr::runtime::{NvmeCrRuntime, StorageRack};
+use nvmecr::RuntimeConfig;
+use ssd::SsdConfig;
+use workloads::CoMD;
+
+const CKPTS: u32 = 2;
+const BYTES_PER_RANK: u64 = 4 << 20;
+const SWEEP: [u32; 7] = [1, 2, 4, 8, 14, 21, 28];
+
+/// Per-rank IO measured off the data plane, tagged with the SSD that
+/// serviced it.
+struct RankIo {
+    ssd: (u32, u32),
+    counters: IoCounters,
+}
+
+/// Device service time in seconds for one rank's measured IO stream:
+/// per-command controller overhead plus bytes over the channel array.
+fn service_secs(cfg: &SsdConfig, c: &IoCounters) -> f64 {
+    let cmd = cfg.cmd_overhead.as_secs();
+    (c.writes + c.reads) as f64 * cmd
+        + c.bytes_written as f64 / cfg.write_bw().as_bytes_per_sec()
+        + c.bytes_read as f64 / cfg.read_bw().as_bytes_per_sec()
+}
+
+struct Point {
+    ranks: u32,
+    serial_secs: f64,
+    parallel_secs: f64,
+    shards: usize,
+    bytes_copied: u64,
+    lock_wait_ns: u64,
+}
+
+/// Really drive `ranks` ranks through one checkpoint+verify round and
+/// measure the per-rank IO, then fold it into the two makespans.
+fn run_point(ranks: u32, ssd_config: &SsdConfig) -> Result<Point, Box<dyn std::error::Error>> {
+    let topo = Topology::paper_testbed();
+    let rack = StorageRack::build(&topo, ssd_config);
+    let mut sched = Scheduler::new(topo.clone(), 8);
+    // Spread the job over the full storage rack (up to one namespace per
+    // SSD) so the shard map actually has independent shards to exploit —
+    // the paper's process:SSD ratio is for capacity planning at scale, not
+    // a cap on rack usage.
+    let req = JobRequest {
+        procs: ranks,
+        procs_per_node: 28,
+        storage_devices: ranks.min(8),
+    };
+    let alloc = sched.submit(&req)?;
+    let config = RuntimeConfig {
+        namespace_bytes: 1 << 30,
+        ..RuntimeConfig::default()
+    };
+    let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config)?;
+    let comd = CoMD::weak_scaling();
+
+    for ckpt in 0..CKPTS {
+        rt.for_each_rank_par(|rank, fs| {
+            if ckpt == 0 {
+                fs.mkdir("/comd", 0o755).ok();
+            }
+            fs.mkdir(&format!("/comd/ckpt_{ckpt:03}"), 0o755)?;
+            let payload = comd.checkpoint_payload(rank, ckpt, BYTES_PER_RANK as usize);
+            let fd = fs.create(&CoMD::checkpoint_path(rank, ckpt), 0o644)?;
+            for chunk in payload.chunks(1 << 20) {
+                fs.write(fd, chunk)?;
+            }
+            fs.fsync(fd)?;
+            fs.close(fd)?;
+            Ok(())
+        })?;
+    }
+    let last = CKPTS - 1;
+    let ok = rt.map_ranks_par(|rank, fs| {
+        let expect = comd.checkpoint_payload(rank, last, BYTES_PER_RANK as usize);
+        let fd = fs.open(
+            &CoMD::checkpoint_path(rank, last),
+            microfs::OpenFlags::RDONLY,
+            0,
+        )?;
+        let mut buf = vec![0u8; expect.len()];
+        let mut got = 0;
+        while got < buf.len() {
+            let n = fs.read(fd, &mut buf[got..])?;
+            if n == 0 {
+                break;
+            }
+            got += n;
+        }
+        fs.close(fd)?;
+        Ok(buf == expect)
+    })?;
+    if !ok.iter().all(|&v| v) {
+        return Err("payload verification failed".into());
+    }
+
+    // Measure what each rank actually pushed through its device, and which
+    // SSD serviced it.
+    let per_rank = rt.placement().per_rank.clone();
+    let counters = rt.map_ranks_par(|_, fs| Ok(fs.device().counters()))?;
+    let io: Vec<RankIo> = per_rank
+        .iter()
+        .zip(&counters)
+        .map(|(p, &c)| {
+            let g = alloc.storage[p.grant];
+            RankIo {
+                ssd: (g.node.0, g.ssd),
+                counters: c,
+            }
+        })
+        .collect();
+
+    let serial_secs: f64 = io
+        .iter()
+        .map(|r| service_secs(ssd_config, &r.counters))
+        .sum();
+    let mut per_ssd: HashMap<(u32, u32), f64> = HashMap::new();
+    for r in &io {
+        *per_ssd.entry(r.ssd).or_default() += service_secs(ssd_config, &r.counters);
+    }
+    let parallel_secs = per_ssd.values().cloned().fold(0.0f64, f64::max);
+
+    let (bytes_copied, lock_wait_ns) = rt.data_plane_counters();
+    let shards = per_ssd.len();
+    rt.finalize()?;
+    Ok(Point {
+        ranks,
+        serial_secs,
+        parallel_secs,
+        shards,
+        bytes_copied,
+        lock_wait_ns,
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ssd_config = SsdConfig {
+        capacity: 16 << 30,
+        ..SsdConfig::default()
+    };
+    let mut points = Vec::new();
+    for &ranks in &SWEEP {
+        let p = run_point(ranks, &ssd_config)?;
+        println!(
+            "ranks={:2}  shards={}  serial={:.4}s  parallel={:.4}s  speedup={:.2}x  \
+             copied={}B  lock_wait={}ns",
+            p.ranks,
+            p.shards,
+            p.serial_secs,
+            p.parallel_secs,
+            p.serial_secs / p.parallel_secs,
+            p.bytes_copied,
+            p.lock_wait_ns,
+        );
+        points.push(p);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"dataplane\",\n");
+    json.push_str("  \"unit\": \"seconds (device-time makespan, calibrated P4800X model over measured IO)\",\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"ckpts\": {CKPTS}, \"bytes_per_rank\": {BYTES_PER_RANK}}},"
+    );
+    json.push_str("  \"series\": [\n");
+    for (label, pick) in [
+        ("serial", (|p: &Point| p.serial_secs) as fn(&Point) -> f64),
+        ("parallel", |p: &Point| p.parallel_secs),
+    ] {
+        let _ = write!(json, "    {{\"label\": \"{label}\", \"points\": [");
+        for (i, p) in points.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(json, "{sep}[{}, {:.6}]", p.ranks, pick(p));
+        }
+        let end = if label == "serial" { "]}," } else { "]}" };
+        let _ = writeln!(json, "{end}");
+    }
+    json.push_str("  ],\n  \"speedup\": [");
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        let _ = write!(
+            json,
+            "{sep}[{}, {:.3}]",
+            p.ranks,
+            p.serial_secs / p.parallel_secs
+        );
+    }
+    json.push_str("],\n  \"measured\": [");
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        let _ = write!(
+            json,
+            "{sep}{{\"ranks\": {}, \"shards\": {}, \"bytes_copied\": {}, \"lock_wait_ns\": {}}}",
+            p.ranks, p.shards, p.bytes_copied, p.lock_wait_ns
+        );
+    }
+    json.push_str("]\n}\n");
+    std::fs::write("BENCH_dataplane.json", &json)?;
+    println!("wrote BENCH_dataplane.json");
+
+    let last = points.last().expect("sweep is non-empty");
+    let speedup = last.serial_secs / last.parallel_secs;
+    if speedup < 2.0 {
+        return Err(format!("28-rank parallel speedup {speedup:.2}x below 2x").into());
+    }
+    Ok(())
+}

@@ -49,12 +49,8 @@ fn parse_args() -> Result<Args, String> {
                     .map(|p| p.parse().map_err(|e| format!("bad procs {p}: {e}")))
                     .collect::<Result<_, _>>()?;
             }
-            "--block" => {
-                args.block = Some(value.parse().map_err(|e| format!("bad block: {e}"))?)
-            }
-            "--size-mb" => {
-                args.size_mb = value.parse().map_err(|e| format!("bad size: {e}"))?
-            }
+            "--block" => args.block = Some(value.parse().map_err(|e| format!("bad block: {e}"))?),
+            "--size-mb" => args.size_mb = value.parse().map_err(|e| format!("bad size: {e}"))?,
             other => return Err(format!("unknown flag {other}")),
         }
         i += 2;

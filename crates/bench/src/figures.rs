@@ -38,8 +38,14 @@ pub fn fig1() -> FigureReport {
     let mut hw = Vec::new();
     for procs in SCALING_PROCS {
         let s = Scenario::weak_scaling(procs);
-        o.push((f64::from(procs), bandwidth_gbs(&s, orange.checkpoint_makespan(&s))));
-        g.push((f64::from(procs), bandwidth_gbs(&s, gluster.checkpoint_makespan(&s))));
+        o.push((
+            f64::from(procs),
+            bandwidth_gbs(&s, orange.checkpoint_makespan(&s)),
+        ));
+        g.push((
+            f64::from(procs),
+            bandwidth_gbs(&s, gluster.checkpoint_makespan(&s)),
+        ));
         hw.push((f64::from(procs), s.hw_peak_write().as_bytes_per_sec() / 1e9));
     }
     r.push(Series::new("OrangeFS", o));
@@ -142,7 +148,10 @@ pub fn fig7d() -> FigureReport {
         let pts = [1u32, 7, 14, 28]
             .iter()
             .map(|&p| {
-                let s = Scenario { servers: 1, ..Scenario::new(p, 512 << 20) };
+                let s = Scenario {
+                    servers: 1,
+                    ..Scenario::new(p, 512 << 20)
+                };
                 let m = NvmeCrModel::local_at_level(level);
                 (f64::from(p), m.checkpoint_makespan(&s).as_secs())
             })
@@ -223,9 +232,15 @@ pub fn fig8b() -> FigureReport {
 /// Returns `(checkpoint, recovery)` reports (9a/9b or 9c/9d).
 pub fn fig9(strong: bool) -> (FigureReport, FigureReport) {
     let (mode, ids) = if strong {
-        ("strong scaling (86 GB total over 10 ckpts)", ("Figure 9(a)", "Figure 9(b)"))
+        (
+            "strong scaling (86 GB total over 10 ckpts)",
+            ("Figure 9(a)", "Figure 9(b)"),
+        )
     } else {
-        ("weak scaling (156 MiB/proc/ckpt)", ("Figure 9(c)", "Figure 9(d)"))
+        (
+            "weak scaling (156 MiB/proc/ckpt)",
+            ("Figure 9(c)", "Figure 9(d)"),
+        )
     };
     let mut ckpt = FigureReport::new(
         ids.0,
@@ -280,7 +295,10 @@ pub fn table1(functional: bool) -> TableReport {
     let g = GlusterFsModel::new().metadata_overhead(&s);
     t.row("GlusterFS", vec![to_mb(g.per_server_bytes), 0.0, 0.0]);
     let n = NvmeCrModel::full().metadata_overhead(&s);
-    t.row("NVMe-CR (model)", vec![0.0, to_mb(n.per_runtime_bytes), 0.0]);
+    t.row(
+        "NVMe-CR (model)",
+        vec![0.0, to_mb(n.per_runtime_bytes), 0.0],
+    );
     if functional {
         if let Ok(rep) = workloads::driver::run_functional_checkpoints(56, 2, 2 << 20, &[]) {
             t.row(
@@ -291,10 +309,14 @@ pub fn table1(functional: bool) -> TableReport {
                     to_mb(rep.dram_bytes / u64::from(rep.procs)),
                 ],
             );
-            t.note("measured row: real 56-rank functional run (2 ckpts x 2 MiB), per-runtime averages");
+            t.note(
+                "measured row: real 56-rank functional run (2 ckpts x 2 MiB), per-runtime averages",
+            );
         }
     }
-    t.note("paper: OrangeFS 2686 MB/server, GlusterFS 3.5 MB/server, NVMe-CR ~445 MB/runtime (§IV-G)");
+    t.note(
+        "paper: OrangeFS 2686 MB/server, GlusterFS 3.5 MB/server, NVMe-CR ~445 MB/runtime (§IV-G)",
+    );
     t.note("our snapshots are far more compact than the authors' DRAM-image checkpoints; shape (OrangeFS >> NVMe-CR >> GlusterFS per-server) is preserved");
     t
 }
@@ -330,11 +352,17 @@ pub fn table2() -> TableReport {
     let nc = multilevel_eval(&NvmeCrModel::without_coalescing(), &s, policy, 10, compute);
     t.row(
         "NVMe-CR (no coalescing)",
-        vec![nc.checkpoint_time.as_secs(), nc.recovery_time.as_secs(), nc.progress_rate],
+        vec![
+            nc.checkpoint_time.as_secs(),
+            nc.recovery_time.as_secs(),
+            nc.progress_rate,
+        ],
     );
     t.note("paper: ckpt 85.9 / 44.5 / 39.5 s; recovery 3.6 / 4.5 / 3.6 s (4.0 s without coalescing); progress 0.252 / 0.402 / 0.423");
     let lustre = LustreModel::new().checkpoint_makespan(&s).as_secs();
-    t.note(format!("Lustre tier-2 checkpoint: {lustre:.1} s (shared by all rows)"));
+    t.note(format!(
+        "Lustre tier-2 checkpoint: {lustre:.1} s (shared by all rows)"
+    ));
     t
 }
 
@@ -445,7 +473,14 @@ pub fn ablation_incremental() -> TableReport {
     let mut inc = IncrementalCheckpointer::new(image_len, chunk);
     let mut image = vec![0u8; image_len];
     let first = inc.checkpoint(&mut fs, "/inc.dat", &image).unwrap();
-    t.row("100 (first)", vec![100.0, first.bytes_written as f64 / (1 << 20) as f64, first.write_fraction()]);
+    t.row(
+        "100 (first)",
+        vec![
+            100.0,
+            first.bytes_written as f64 / (1 << 20) as f64,
+            first.write_fraction(),
+        ],
+    );
     for dirty_pct in [1u32, 10, 50] {
         let dirty_chunks = (image_len / chunk) * dirty_pct as usize / 100;
         for c in 0..dirty_chunks {
@@ -462,7 +497,9 @@ pub fn ablation_incremental() -> TableReport {
             ],
         );
     }
-    t.note("IO volume tracks the dirty fraction; composes with provenance and coalescing unchanged");
+    t.note(
+        "IO volume tracks the dirty fraction; composes with provenance and coalescing unchanged",
+    );
     t
 }
 
@@ -582,7 +619,7 @@ pub fn fig_fabric_sensitivity() -> FigureReport {
 /// time.
 pub fn fig_machine_efficiency() -> FigureReport {
     use simkit::SimTime;
-    use workloads::interval::{best_efficiency};
+    use workloads::interval::best_efficiency;
     let mut r = FigureReport::new(
         "Extension: machine efficiency",
         "machine efficiency at Young-optimal intervals (448 procs, weak scaling)",
@@ -632,14 +669,29 @@ mod tests {
             durable_pr < direct_pr,
             "with the durability barrier, buffering must lose: {durable_pr} vs {direct_pr}"
         );
-        assert!(b.cell("buffered, no barrier (unsafe)", "GB at risk").unwrap() > 50.0);
+        assert!(
+            b.cell("buffered, no barrier (unsafe)", "GB at risk")
+                .unwrap()
+                > 50.0
+        );
         assert_eq!(b.cell("direct (NVMe-CR)", "GB at risk").unwrap(), 0.0);
         let p = ablation_placement();
-        let rr = p.series_named("round-robin (balancer)").unwrap().y_at(448.0).unwrap();
+        let rr = p
+            .series_named("round-robin (balancer)")
+            .unwrap()
+            .y_at(448.0)
+            .unwrap();
         let jh = p.series_named("jump-hash").unwrap().y_at(448.0).unwrap();
-        let single = p.series_named("single server").unwrap().y_at(448.0).unwrap();
+        let single = p
+            .series_named("single server")
+            .unwrap()
+            .y_at(448.0)
+            .unwrap();
         assert!(rr > jh, "balancer beats hashing: {rr} vs {jh}");
-        assert!(single < 0.15, "one server of eight caps at ~0.125: {single}");
+        assert!(
+            single < 0.15,
+            "one server of eight caps at ~0.125: {single}"
+        );
         let i = ablation_incremental();
         assert!(i.cell("1", "write fraction").unwrap() < 0.05);
         assert!(i.cell("100 (first)", "write fraction").unwrap() == 1.0);
@@ -656,8 +708,14 @@ mod tests {
         let series = f.series_named("NVMe-CR remote").unwrap();
         let at10 = series.y_at(10.0).unwrap();
         let at100 = series.y_at(100.0).unwrap();
-        assert!(at10 > at100 + 5.0, "slow fabric must cost: {at10}% vs {at100}%");
-        assert!(at100 < 3.5, "EDR overhead stays under the paper's 3.5%: {at100}%");
+        assert!(
+            at10 > at100 + 5.0,
+            "slow fabric must cost: {at10}% vs {at100}%"
+        );
+        assert!(
+            at100 < 3.5,
+            "EDR overhead stays under the paper's 3.5%: {at100}%"
+        );
     }
 
     #[test]
@@ -679,8 +737,16 @@ mod tests {
             .map(|&(_, y)| y)
             .fold(0.0f64, f64::max);
         // Paper: OrangeFS at best 41% of hardware, GlusterFS 84%.
-        assert!((0.30..0.55).contains(&(orange_peak / hw)), "{}", orange_peak / hw);
-        assert!((0.65..0.95).contains(&(gluster_peak / hw)), "{}", gluster_peak / hw);
+        assert!(
+            (0.30..0.55).contains(&(orange_peak / hw)),
+            "{}",
+            orange_peak / hw
+        );
+        assert!(
+            (0.65..0.95).contains(&(gluster_peak / hw)),
+            "{}",
+            gluster_peak / hw
+        );
     }
 
     #[test]
@@ -722,7 +788,10 @@ mod tests {
         let o = t.cell("OrangeFS", "ckpt time (s)").unwrap();
         let g = t.cell("GlusterFS", "ckpt time (s)").unwrap();
         let n = t.cell("NVMe-CR", "ckpt time (s)").unwrap();
-        assert!(n < g && g < o, "NVMe-CR < GlusterFS < OrangeFS: {n} {g} {o}");
+        assert!(
+            n < g && g < o,
+            "NVMe-CR < GlusterFS < OrangeFS: {n} {g} {o}"
+        );
         let pn = t.cell("NVMe-CR", "progress rate").unwrap();
         let po = t.cell("OrangeFS", "progress rate").unwrap();
         assert!(pn > po);

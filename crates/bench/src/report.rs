@@ -14,7 +14,10 @@ pub struct Series {
 impl Series {
     /// Build from label and points.
     pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Series { label: label.into(), points }
+        Series {
+            label: label.into(),
+            points,
+        }
     }
 
     /// The y value at a given x, if present.

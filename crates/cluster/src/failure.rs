@@ -38,10 +38,8 @@ impl FailureDomains {
         let n_domains = topo.rack_count();
         let mut partners = Vec::with_capacity(n_domains as usize);
         for d in 0..n_domains {
-            let mut others: Vec<DomainId> = (0..n_domains)
-                .filter(|&o| o != d)
-                .map(DomainId)
-                .collect();
+            let mut others: Vec<DomainId> =
+                (0..n_domains).filter(|&o| o != d).map(DomainId).collect();
             others.sort_by_key(|&o| (topo.rack_hops(RackId(d), RackId(o.0)), o.0));
             partners.push(others);
         }

@@ -72,8 +72,7 @@ impl FaultInjector {
             if t >= horizon.as_secs() {
                 break;
             }
-            let victim =
-                crate::topology::NodeId(self.rng.random_range(0..self.n_nodes));
+            let victim = crate::topology::NodeId(self.rng.random_range(0..self.n_nodes));
             let cascade: f64 = self.rng.random_range(0.0..1.0);
             let kind = if cascade < self.cascade_prob {
                 FaultKind::Domain(domains.domain_of(victim))

@@ -63,7 +63,10 @@ impl Comm {
 
     /// Local rank of a global rank, if it belongs to this communicator.
     pub fn local_rank(&self, global: u32) -> Option<u32> {
-        self.ranks.iter().position(|&r| r == global).map(|i| i as u32)
+        self.ranks
+            .iter()
+            .position(|&r| r == global)
+            .map(|i| i as u32)
     }
 
     /// All member global ranks, in order.
@@ -120,7 +123,12 @@ impl Comm {
     }
 
     /// Cost model: recursive-doubling allgather of `bytes` per rank.
-    pub fn allgather_time(&self, bytes_per_rank: u64, per_message: SimTime, bw: simkit::Rate) -> SimTime {
+    pub fn allgather_time(
+        &self,
+        bytes_per_rank: u64,
+        per_message: SimTime,
+        bw: simkit::Rate,
+    ) -> SimTime {
         let rounds = log2_ceil(self.size());
         let mut t = SimTime::ZERO;
         let mut chunk = bytes_per_rank;
@@ -183,7 +191,10 @@ mod tests {
         let comm = w.comm_world();
         // The paper's MPI_COMM_CR construction: color = assigned SSD.
         let parts = comm.split(|g| u64::from(g % 8), u64::from);
-        let mut all: Vec<u32> = parts.iter().flat_map(|(_, c)| c.members().to_vec()).collect();
+        let mut all: Vec<u32> = parts
+            .iter()
+            .flat_map(|(_, c)| c.members().to_vec())
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..448).collect::<Vec<_>>());
         for (_, c) in &parts {

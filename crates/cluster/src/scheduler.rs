@@ -270,7 +270,10 @@ impl Scheduler {
 
     /// Release a completed job's resources.
     pub fn release(&mut self, id: JobId) -> Result<(), SchedulerError> {
-        let alloc = self.jobs.remove(&id).ok_or(SchedulerError::UnknownJob(id))?;
+        let alloc = self
+            .jobs
+            .remove(&id)
+            .ok_or(SchedulerError::UnknownJob(id))?;
         for n in alloc.compute_nodes() {
             self.busy_compute.remove(&n);
         }
@@ -372,12 +375,20 @@ mod tests {
         // 8 SSDs x 1 slot each.
         assert_eq!(s.free_storage_slots(), 8);
         let a = s
-            .submit(&JobRequest { procs: 28, procs_per_node: 28, storage_devices: 8 })
+            .submit(&JobRequest {
+                procs: 28,
+                procs_per_node: 28,
+                storage_devices: 8,
+            })
             .unwrap();
         assert_eq!(s.free_storage_slots(), 0);
         // A second job cannot get storage.
         let err = s
-            .submit(&JobRequest { procs: 28, procs_per_node: 28, storage_devices: 1 })
+            .submit(&JobRequest {
+                procs: 28,
+                procs_per_node: 28,
+                storage_devices: 1,
+            })
             .unwrap_err();
         assert!(matches!(err, SchedulerError::NotEnoughStorage { .. }));
         s.release(a.id).unwrap();
@@ -388,10 +399,18 @@ mod tests {
     fn concurrent_jobs_get_distinct_slots() {
         let mut s = Scheduler::new(Topology::paper_testbed(), 4);
         let a = s
-            .submit(&JobRequest { procs: 28, procs_per_node: 28, storage_devices: 8 })
+            .submit(&JobRequest {
+                procs: 28,
+                procs_per_node: 28,
+                storage_devices: 8,
+            })
             .unwrap();
         let b = s
-            .submit(&JobRequest { procs: 28, procs_per_node: 28, storage_devices: 8 })
+            .submit(&JobRequest {
+                procs: 28,
+                procs_per_node: 28,
+                storage_devices: 8,
+            })
             .unwrap();
         for ga in &a.storage {
             for gb in &b.storage {
@@ -416,8 +435,12 @@ mod tests {
         let mut s = sched();
         let first = s.submit(&JobRequest::full_subscription(448)).unwrap();
         // Cluster full: two more jobs queue up.
-        let (t1, a1) = s.submit_or_queue(&JobRequest::full_subscription(224)).unwrap();
-        let (t2, a2) = s.submit_or_queue(&JobRequest::full_subscription(224)).unwrap();
+        let (t1, a1) = s
+            .submit_or_queue(&JobRequest::full_subscription(224))
+            .unwrap();
+        let (t2, a2) = s
+            .submit_or_queue(&JobRequest::full_subscription(224))
+            .unwrap();
         assert!(a1.is_none() && a2.is_none());
         assert_eq!(s.backlog_len(), 2);
         assert!(s.drain_backlog().is_empty(), "nothing freed yet");
@@ -436,9 +459,13 @@ mod tests {
         let big = s.submit(&JobRequest::full_subscription(224)).unwrap();
         let small = s.submit(&JobRequest::full_subscription(112)).unwrap();
         // A cluster-sized job queues first, a tiny one second.
-        let (_huge, none) = s.submit_or_queue(&JobRequest::full_subscription(448)).unwrap();
+        let (_huge, none) = s
+            .submit_or_queue(&JobRequest::full_subscription(448))
+            .unwrap();
         assert!(none.is_none());
-        let (_tiny, none) = s.submit_or_queue(&JobRequest::full_subscription(28)).unwrap();
+        let (_tiny, none) = s
+            .submit_or_queue(&JobRequest::full_subscription(28))
+            .unwrap();
         assert!(none.is_none());
         // Freeing only 112 ranks is not enough for the 448-rank head; the
         // tiny job would fit but must wait (strict FIFO, no backfill).
@@ -460,14 +487,25 @@ mod tests {
     fn bad_requests_rejected() {
         let mut s = sched();
         assert!(matches!(
-            s.submit(&JobRequest { procs: 0, procs_per_node: 28, storage_devices: 1 }),
+            s.submit(&JobRequest {
+                procs: 0,
+                procs_per_node: 28,
+                storage_devices: 1
+            }),
             Err(SchedulerError::BadRequest(_))
         ));
         assert!(matches!(
-            s.submit(&JobRequest { procs: 28, procs_per_node: 28, storage_devices: 0 }),
+            s.submit(&JobRequest {
+                procs: 28,
+                procs_per_node: 28,
+                storage_devices: 0
+            }),
             Err(SchedulerError::BadRequest(_))
         ));
-        assert!(matches!(s.release(JobId(99)), Err(SchedulerError::UnknownJob(_))));
+        assert!(matches!(
+            s.release(JobId(99)),
+            Err(SchedulerError::UnknownJob(_))
+        ));
     }
 
     proptest! {

@@ -223,7 +223,11 @@ impl Topology {
                 b.rack_in_pod(nodes_per_rack, NodeKind::Compute { cores }, Some(PodId(p)));
             }
             for _ in 0..storage_racks {
-                b.rack_in_pod(nodes_per_rack, NodeKind::Storage { ssds: 1 }, Some(PodId(p)));
+                b.rack_in_pod(
+                    nodes_per_rack,
+                    NodeKind::Storage { ssds: 1 },
+                    Some(PodId(p)),
+                );
             }
         }
         b.build()

@@ -40,7 +40,10 @@ impl fmt::Display for BalanceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BalanceError::DomainViolation { rank } => {
-                write!(f, "rank {rank} shares a failure domain with its assigned SSD")
+                write!(
+                    f,
+                    "rank {rank} shares a failure domain with its assigned SSD"
+                )
             }
             BalanceError::SegmentTooSmall { segment } => {
                 write!(f, "per-rank segment of {segment} bytes is too small")
@@ -145,9 +148,7 @@ impl<'a> StorageBalancer<'a> {
         }
         // MPI_COMM_CR per grant via MPI_Comm_split (color = grant).
         let world = CommWorld::new(alloc.rank_nodes.clone());
-        let split = world
-            .comm_world()
-            .split(|r| grant_of(r) as u64, u64::from);
+        let split = world.comm_world().split(|r| grant_of(r) as u64, u64::from);
         let mut comms: Vec<Comm> = Vec::with_capacity(n_grants);
         for g in 0..n_grants {
             let comm = split
@@ -168,7 +169,9 @@ impl<'a> StorageBalancer<'a> {
             let comm_size = comm.size();
             let segment_size = namespace_bytes / u64::from(comm_size);
             if segment_size < min_segment {
-                return Err(BalanceError::SegmentTooSmall { segment: segment_size });
+                return Err(BalanceError::SegmentTooSmall {
+                    segment: segment_size,
+                });
             }
             per_rank.push(RankPlacement {
                 rank,
@@ -204,7 +207,10 @@ mod tests {
         let (p, alloc) = placed(448);
         let n = alloc.storage.len();
         let load = p.load_per_grant(|_| 512 << 20, n);
-        assert!(load.windows(2).all(|w| w[0] == w[1]), "equal-size files must balance exactly");
+        assert!(
+            load.windows(2).all(|w| w[0] == w[1]),
+            "equal-size files must balance exactly"
+        );
         assert_eq!(p.load_cov(|_| 512 << 20, n), 0.0);
     }
 
@@ -255,7 +261,11 @@ mod tests {
         let alloc = JobAllocation {
             id: cluster::JobId(0),
             rank_nodes: vec![compute[0]; 28],
-            storage: vec![cluster::StorageGrant { node: compute[1], ssd: 0, slot: 0 }],
+            storage: vec![cluster::StorageGrant {
+                node: compute[1],
+                ssd: 0,
+                slot: 0,
+            }],
         };
         let balancer = StorageBalancer::new(&topo, &domains);
         assert!(matches!(

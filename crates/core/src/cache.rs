@@ -139,7 +139,14 @@ impl<D: BlockDevice> CachedBlockDevice<D> {
             let end = (off + self.block).min(self.inner.size());
             self.inner.read_at(off, &mut data[..(end - off) as usize])?;
             let used = self.touch();
-            self.slots.insert(b, Slot { data, dirty: false, used });
+            self.slots.insert(
+                b,
+                Slot {
+                    data,
+                    dirty: false,
+                    used,
+                },
+            );
         } else {
             self.stats.read_hits += 1;
         }
@@ -233,7 +240,11 @@ mod tests {
         for _ in 0..10 {
             c.read_at(0, &mut buf).unwrap();
         }
-        assert_eq!(c.counters().reads, dev_reads_after_first, "hits must not touch the device");
+        assert_eq!(
+            c.counters().reads,
+            dev_reads_after_first,
+            "hits must not touch the device"
+        );
         assert!(c.stats().read_hits >= 20);
         assert_eq!(buf, [7u8; 8192]);
     }
@@ -254,7 +265,11 @@ mod tests {
         c.write_at(0, &[9u8; 4096]).unwrap();
         assert!(c.dirty_bytes() > 0);
         let mut inner = c.into_inner_discarding(); // crash
-        assert_eq!(inner.read_vec(0, 4096).unwrap(), vec![0u8; 4096], "buffered bytes lost");
+        assert_eq!(
+            inner.read_vec(0, 4096).unwrap(),
+            vec![0u8; 4096],
+            "buffered bytes lost"
+        );
         // Same sequence with a drain: durable.
         let mut c = cached(WritePolicy::WriteBack);
         c.write_at(0, &[9u8; 4096]).unwrap();

@@ -18,8 +18,22 @@ use microfs::{FsError, MicroFs, OpenFlags};
 /// The POSIX symbols NVMe-CR interposes (the library-call surface of
 /// §III-C/E). Used for documentation and to test coverage of the dispatch.
 pub const INTERCEPTED_SYMBOLS: &[&str] = &[
-    "open", "creat", "close", "read", "write", "pread", "pwrite", "lseek", "fsync", "mkdir",
-    "unlink", "rename", "truncate", "stat", "MPI_Init", "MPI_Finalize",
+    "open",
+    "creat",
+    "close",
+    "read",
+    "write",
+    "pread",
+    "pwrite",
+    "lseek",
+    "fsync",
+    "mkdir",
+    "unlink",
+    "rename",
+    "truncate",
+    "stat",
+    "MPI_Init",
+    "MPI_Finalize",
 ];
 
 /// Where a call was routed.
@@ -53,7 +67,11 @@ impl<D: BlockDevice> PosixLayer<D> {
     pub fn new(fs: MicroFs<D>, mount_prefix: impl Into<String>) -> Self {
         let mount_prefix = mount_prefix.into();
         assert!(mount_prefix.starts_with('/') && !mount_prefix.ends_with('/'));
-        PosixLayer { fs, mount_prefix, stats: InterceptStats::default() }
+        PosixLayer {
+            fs,
+            mount_prefix,
+            stats: InterceptStats::default(),
+        }
     }
 
     /// Routing decision for a path (the check the interposed symbol makes
@@ -74,7 +92,11 @@ impl<D: BlockDevice> PosixLayer<D> {
             ))),
             Route::Runtime => {
                 let rest = &path[self.mount_prefix.len()..];
-                Ok(if rest.is_empty() { "/".to_string() } else { rest.to_string() })
+                Ok(if rest.is_empty() {
+                    "/".to_string()
+                } else {
+                    rest.to_string()
+                })
             }
         }
     }
@@ -282,7 +304,10 @@ mod tests {
         assert_eq!(l.stat("/nvmecr/b.dat").unwrap().size, 4);
         // Renames crossing the mount boundary fall through.
         assert!(l.rename("/nvmecr/b.dat", "/tmp/outside").is_err());
-        assert!(l.stat("/nvmecr/b.dat").is_ok(), "failed rename must not move the file");
+        assert!(
+            l.stat("/nvmecr/b.dat").is_ok(),
+            "failed rename must not move the file"
+        );
         assert!(l.truncate("/etc/passwd", 0).is_err());
     }
 

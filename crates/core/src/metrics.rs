@@ -41,7 +41,11 @@ mod tests {
         let e = efficiency(192 << 30, SimTime::secs(20.0), hw);
         assert!((e - 0.5).abs() < 1e-9);
         // Perfect run.
-        let e = efficiency((2.4 * (1u64 << 30) as f64) as u64, SimTime::secs(1.0), Rate::gib_per_sec(2.4));
+        let e = efficiency(
+            (2.4 * (1u64 << 30) as f64) as u64,
+            SimTime::secs(1.0),
+            Rate::gib_per_sec(2.4),
+        );
         assert!(e > 0.999);
     }
 

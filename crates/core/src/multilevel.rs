@@ -87,7 +87,10 @@ mod tests {
         let p = MultiLevelPolicy::new(10);
         let levels: Vec<CheckpointLevel> = (1..=10).map(|i| p.level_for(i)).collect();
         assert_eq!(
-            levels.iter().filter(|l| **l == CheckpointLevel::Parallel).count(),
+            levels
+                .iter()
+                .filter(|l| **l == CheckpointLevel::Parallel)
+                .count(),
             1
         );
         assert_eq!(levels[9], CheckpointLevel::Parallel);

@@ -12,10 +12,11 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use rayon::prelude::*;
 
 use cluster::{FailureDomains, JobAllocation, NodeId, NodeKind, Topology};
 use fabric::{Initiator, NvmfTarget};
+use microfs::block::BlockDevice;
 use microfs::{FsError, FsStats, MicroFs};
 use ssd::{NsId, Ssd, SsdConfig, SsdError};
 
@@ -83,7 +84,7 @@ impl StorageRack {
             if let NodeKind::Storage { ssds } = topo.kind_of(node) {
                 for s in 0..ssds {
                     let ssd = Ssd::new(ssd_config.clone());
-                    targets.insert((node, s), Arc::new(NvmfTarget::new(Arc::new(Mutex::new(ssd)))));
+                    targets.insert((node, s), Arc::new(NvmfTarget::new(Arc::new(ssd))));
                 }
             }
         }
@@ -106,7 +107,7 @@ impl StorageRack {
         let mut lost = 0;
         for ((node, _), target) in &self.targets {
             if nodes.contains(node) {
-                lost += target.device().lock().power_failure().lost_bytes;
+                lost += target.device().power_failure().lost_bytes;
             }
         }
         lost
@@ -163,20 +164,29 @@ impl NvmeCrRuntime {
                 .target(g.node, g.ssd)
                 .expect("scheduler granted an existing SSD")
                 .clone();
-            let ns = target.device().lock().create_namespace(config.namespace_bytes)?;
+            let ns = target.device().create_namespace(config.namespace_bytes)?;
             grants.push(GrantState { target, ns });
         }
-        // Per-rank: connect an initiator and format the segment.
-        let mut ranks = Vec::with_capacity(placement.per_rank.len());
-        for p in &placement.per_rank {
-            let gs = &grants[p.grant];
-            let initiator = Initiator::new(format!("nqn.2026-07.io.nvmecr:rank{}", p.rank));
-            let conn = initiator.connect(Arc::clone(&gs.target), gs.ns);
-            let dev = NvmfBlockDevice::new(conn, p.segment_offset, p.segment_size);
-            let fs = MicroFs::format(dev, config.fs_config())?;
-            ranks.push(Some(fs));
-        }
-        Ok(NvmeCrRuntime { placement, grants, config, ranks })
+        // Per-rank: connect an initiator and format the segment. Ranks
+        // are fully independent (own connection, own namespace shard, own
+        // filesystem), so format in parallel.
+        let ranks = placement
+            .per_rank
+            .par_iter()
+            .map(|p| {
+                let gs = &grants[p.grant];
+                let initiator = Initiator::new(format!("nqn.2026-07.io.nvmecr:rank{}", p.rank));
+                let conn = initiator.connect(Arc::clone(&gs.target), gs.ns);
+                let dev = NvmfBlockDevice::new(conn, p.segment_offset, p.segment_size);
+                MicroFs::format(dev, config.fs_config()).map(Some)
+            })
+            .collect::<Result<Vec<_>, FsError>>()?;
+        Ok(NvmeCrRuntime {
+            placement,
+            grants,
+            config,
+            ranks,
+        })
     }
 
     /// Number of ranks.
@@ -197,6 +207,44 @@ impl NvmeCrRuntime {
             .ok_or(RuntimeError::BadRank(rank))
     }
 
+    /// Run `f` against every *mounted* rank's filesystem in parallel,
+    /// collecting the results in rank order (crashed ranks are skipped).
+    ///
+    /// Each rank's `MicroFs` owns its own NVMf connection to its own
+    /// namespace shard, so rank driving shares no lock: this is the
+    /// runtime-side analogue of the paper's per-process microfs instances
+    /// on dedicated hardware queues.
+    pub fn map_ranks_par<R, F>(&mut self, f: F) -> Result<Vec<R>, RuntimeError>
+    where
+        R: Send,
+        F: Fn(u32, &mut MicroFs<NvmfBlockDevice>) -> Result<R, RuntimeError> + Sync,
+    {
+        let results: Vec<Result<Option<R>, RuntimeError>> = self
+            .ranks
+            .par_iter_mut()
+            .enumerate()
+            .map(|(rank, slot)| match slot.as_mut() {
+                Some(fs) => f(rank as u32, fs).map(Some),
+                None => Ok(None),
+            })
+            .collect();
+        let mut out = Vec::with_capacity(results.len());
+        for r in results {
+            if let Some(v) = r? {
+                out.push(v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// [`map_ranks_par`](NvmeCrRuntime::map_ranks_par) without results.
+    pub fn for_each_rank_par<F>(&mut self, f: F) -> Result<(), RuntimeError>
+    where
+        F: Fn(u32, &mut MicroFs<NvmfBlockDevice>) -> Result<(), RuntimeError> + Sync,
+    {
+        self.map_ranks_par(f).map(|_| ())
+    }
+
     /// Simulate a process crash: all volatile state of the rank's instance
     /// is dropped; the device keeps whatever was durable.
     pub fn crash_rank(&mut self, rank: u32) -> Result<(), RuntimeError> {
@@ -212,21 +260,53 @@ impl NvmeCrRuntime {
 
     /// Recover a crashed rank: reconnect and `mount` (snapshot + replay).
     pub fn recover_rank(&mut self, rank: u32) -> Result<(), RuntimeError> {
-        let p = *self
-            .placement
-            .per_rank
-            .get(rank as usize)
-            .ok_or(RuntimeError::BadRank(rank))?;
-        if self.ranks[rank as usize].is_some() {
-            return Err(RuntimeError::BadRank(rank));
+        self.recover_ranks(&[rank])
+    }
+
+    /// Recover several crashed ranks at once, mounting (snapshot + log
+    /// replay) in parallel. All listed ranks must currently be crashed;
+    /// ranks that mounted before an error is hit stay mounted.
+    pub fn recover_ranks(&mut self, ranks: &[u32]) -> Result<(), RuntimeError> {
+        let mut seen = std::collections::HashSet::new();
+        for &rank in ranks {
+            let crashed = self
+                .placement
+                .per_rank
+                .get(rank as usize)
+                .is_some_and(|_| self.ranks[rank as usize].is_none());
+            if !crashed || !seen.insert(rank) {
+                return Err(RuntimeError::BadRank(rank));
+            }
         }
-        let gs = &self.grants[p.grant];
-        let initiator = Initiator::new(format!("nqn.2026-07.io.nvmecr:rank{}-r", p.rank));
-        let conn = initiator.connect(Arc::clone(&gs.target), gs.ns);
-        let dev = NvmfBlockDevice::new(conn, p.segment_offset, p.segment_size);
-        let fs = MicroFs::mount(dev, self.config.fs_config())?;
-        self.ranks[rank as usize] = Some(fs);
-        Ok(())
+        let jobs: Vec<_> = ranks
+            .iter()
+            .map(|&rank| {
+                let p = self.placement.per_rank[rank as usize];
+                let gs = &self.grants[p.grant];
+                (rank, p, Arc::clone(&gs.target), gs.ns)
+            })
+            .collect();
+        let config = &self.config;
+        let mounted: Vec<(u32, Result<MicroFs<NvmfBlockDevice>, FsError>)> = jobs
+            .into_par_iter()
+            .map(|(rank, p, target, ns)| {
+                let initiator = Initiator::new(format!("nqn.2026-07.io.nvmecr:rank{rank}-r"));
+                let conn = initiator.connect(target, ns);
+                let dev = NvmfBlockDevice::new(conn, p.segment_offset, p.segment_size);
+                (rank, MicroFs::mount(dev, config.fs_config()))
+            })
+            .collect();
+        let mut first_err = None;
+        for (rank, fs) in mounted {
+            match fs {
+                Ok(fs) => self.ranks[rank as usize] = Some(fs),
+                Err(e) => first_err = first_err.or(Some(RuntimeError::Fs(e))),
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 
     /// Run the offline consistency checker against a crashed rank's
@@ -249,11 +329,7 @@ impl NvmeCrRuntime {
 
     /// Aggregate per-rank filesystem statistics (Table I accounting).
     pub fn aggregate_stats(&self) -> Vec<FsStats> {
-        self.ranks
-            .iter()
-            .flatten()
-            .map(|fs| fs.stats())
-            .collect()
+        self.ranks.iter().flatten().map(|fs| fs.stats()).collect()
     }
 
     /// Total device-resident metadata bytes across ranks.
@@ -266,7 +342,33 @@ impl NvmeCrRuntime {
 
     /// Total DRAM metadata footprint across ranks.
     pub fn dram_footprint(&self) -> u64 {
-        self.ranks.iter().flatten().map(MicroFs::dram_footprint).sum()
+        self.ranks
+            .iter()
+            .flatten()
+            .map(MicroFs::dram_footprint)
+            .sum()
+    }
+
+    /// Job-scoped data-plane counters `(bytes_copied, lock_wait_ns)`:
+    /// payload bytes memcpy'd anywhere on the path (initiator staging +
+    /// device media drain) and nanoseconds ranks spent blocked on their
+    /// namespace shard locks.
+    pub fn data_plane_counters(&self) -> (u64, u64) {
+        let mut copied = 0;
+        let mut wait = 0;
+        for gs in &self.grants {
+            if let Ok(shard) = gs.target.device().shard(gs.ns) {
+                copied += shard.bytes_copied();
+                wait += shard.lock_wait_ns();
+            }
+        }
+        copied += self
+            .ranks
+            .iter()
+            .flatten()
+            .map(|fs| fs.device().counters().bytes_copied)
+            .sum::<u64>();
+        (copied, wait)
     }
 
     /// Detach: tear down the ephemeral runtime (as a job kill would) but
@@ -296,15 +398,21 @@ impl NvmeCrRuntime {
             .into_iter()
             .map(|(target, ns)| GrantState { target, ns })
             .collect();
-        let mut ranks = Vec::with_capacity(handle.placement.per_rank.len());
-        for p in &handle.placement.per_rank {
-            let gs = &grants[p.grant];
-            let initiator = Initiator::new(format!("nqn.2026-07.io.nvmecr:rank{}-restart", p.rank));
-            let conn = initiator.connect(Arc::clone(&gs.target), gs.ns);
-            let dev = NvmfBlockDevice::new(conn, p.segment_offset, p.segment_size);
-            let fs = MicroFs::mount(dev, handle.config.fs_config())?;
-            ranks.push(Some(fs));
-        }
+        // Every rank mounts (snapshot + log replay) independently; do it
+        // in parallel, same as init-time formatting.
+        let ranks = handle
+            .placement
+            .per_rank
+            .par_iter()
+            .map(|p| {
+                let gs = &grants[p.grant];
+                let initiator =
+                    Initiator::new(format!("nqn.2026-07.io.nvmecr:rank{}-restart", p.rank));
+                let conn = initiator.connect(Arc::clone(&gs.target), gs.ns);
+                let dev = NvmfBlockDevice::new(conn, p.segment_offset, p.segment_size);
+                MicroFs::mount(dev, handle.config.fs_config()).map(Some)
+            })
+            .collect::<Result<Vec<_>, FsError>>()?;
         Ok(NvmeCrRuntime {
             placement: handle.placement,
             grants,
@@ -325,7 +433,7 @@ impl NvmeCrRuntime {
         }
         self.ranks.clear();
         for gs in &self.grants {
-            gs.target.device().lock().delete_namespace(gs.ns)?;
+            gs.target.device().delete_namespace(gs.ns)?;
         }
         Ok(stats)
     }
@@ -339,18 +447,30 @@ mod tests {
 
     fn small_setup(procs: u32) -> (StorageRack, Topology, JobAllocation, RuntimeConfig) {
         let topo = Topology::paper_testbed();
-        let ssd_config = SsdConfig { capacity: 8 << 30, ..SsdConfig::default() };
+        let ssd_config = SsdConfig {
+            capacity: 8 << 30,
+            ..SsdConfig::default()
+        };
         let rack = StorageRack::build(&topo, &ssd_config);
         let mut sched = Scheduler::new(topo.clone(), 4);
         let alloc = sched.submit(&JobRequest::full_subscription(procs)).unwrap();
-        let config = RuntimeConfig { namespace_bytes: 4 << 30, ..RuntimeConfig::default() };
+        let config = RuntimeConfig {
+            namespace_bytes: 4 << 30,
+            ..RuntimeConfig::default()
+        };
         (rack, topo, alloc, config)
     }
 
     #[test]
     fn rack_builds_one_target_per_ssd() {
         let topo = Topology::paper_testbed();
-        let rack = StorageRack::build(&topo, &SsdConfig { capacity: 1 << 30, ..SsdConfig::default() });
+        let rack = StorageRack::build(
+            &topo,
+            &SsdConfig {
+                capacity: 1 << 30,
+                ..SsdConfig::default()
+            },
+        );
         assert_eq!(rack.ssd_count(), 8);
     }
 
@@ -390,7 +510,10 @@ mod tests {
             let fd = fs.open("/same_name.dat", OpenFlags::RDONLY, 0).unwrap();
             let mut buf = vec![0u8; 32 << 10];
             fs.read(fd, &mut buf).unwrap();
-            assert!(buf.iter().all(|&b| b == 0xA0 + rank as u8), "rank {rank} sees foreign bytes");
+            assert!(
+                buf.iter().all(|&b| b == 0xA0 + rank as u8),
+                "rank {rank} sees foreign bytes"
+            );
             fs.close(fd).unwrap();
         }
     }
@@ -489,17 +612,100 @@ mod tests {
     }
 
     #[test]
+    fn parallel_rank_driving_roundtrip() {
+        let (rack, topo, alloc, config) = small_setup(56);
+        let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config).unwrap();
+        // Checkpoint every rank in parallel.
+        rt.for_each_rank_par(|rank, fs| {
+            let fd = fs.create("/par.dat", 0o644)?;
+            fs.write(fd, &vec![rank as u8; 48 << 10])?;
+            fs.fsync(fd)?;
+            fs.close(fd)?;
+            Ok(())
+        })
+        .unwrap();
+        // Verify every rank in parallel, collecting byte counts.
+        let verified = rt
+            .map_ranks_par(|rank, fs| {
+                let fd = fs.open("/par.dat", OpenFlags::RDONLY, 0)?;
+                let mut buf = vec![0u8; 48 << 10];
+                let mut got = 0;
+                while got < buf.len() {
+                    let n = fs.read(fd, &mut buf[got..])?;
+                    if n == 0 {
+                        break;
+                    }
+                    got += n;
+                }
+                fs.close(fd)?;
+                assert!(buf.iter().all(|&b| b == rank as u8), "rank {rank}");
+                Ok(got as u64)
+            })
+            .unwrap();
+        assert_eq!(verified.len(), 56);
+        assert!(verified.iter().all(|&n| n == 48 << 10));
+        let (copied, _wait) = rt.data_plane_counters();
+        assert!(
+            copied > 0,
+            "slice-path fs IO stages copies that must be visible"
+        );
+    }
+
+    #[test]
+    fn recover_ranks_in_parallel_after_multi_rank_crash() {
+        let (rack, topo, alloc, config) = small_setup(56);
+        let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config).unwrap();
+        rt.for_each_rank_par(|rank, fs| {
+            let fd = fs.create("/multi.dat", 0o644)?;
+            fs.write(fd, &vec![!(rank as u8); 32 << 10])?;
+            fs.close(fd)?;
+            Ok(())
+        })
+        .unwrap();
+        let crashed: Vec<u32> = (0..56).step_by(7).collect();
+        for &r in &crashed {
+            rt.crash_rank(r).unwrap();
+        }
+        rt.recover_ranks(&crashed).unwrap();
+        for &r in &crashed {
+            let fs = rt.rank_fs(r).unwrap();
+            assert!(fs.stats().replayed_records > 0);
+            let fd = fs.open("/multi.dat", OpenFlags::RDONLY, 0).unwrap();
+            let mut buf = vec![0u8; 32 << 10];
+            fs.read(fd, &mut buf).unwrap();
+            assert!(buf.iter().all(|&b| b == !(r as u8)), "rank {r}");
+        }
+        // Duplicate and not-crashed ranks are rejected up front.
+        assert!(matches!(
+            rt.recover_ranks(&[1, 1]),
+            Err(RuntimeError::BadRank(1))
+        ));
+        assert!(matches!(
+            rt.recover_ranks(&[0]),
+            Err(RuntimeError::BadRank(0))
+        ));
+    }
+
+    #[test]
     fn finalize_releases_namespaces_for_next_job() {
         let (rack, topo, alloc, config) = small_setup(112);
         let free_before: u64 = {
             let g = &alloc.storage[0];
-            rack.target(g.node, g.ssd).unwrap().device().lock().namespaces().free_bytes()
+            rack.target(g.node, g.ssd)
+                .unwrap()
+                .device()
+                .namespaces()
+                .free_bytes()
         };
         let rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config.clone()).unwrap();
         rt.finalize().unwrap();
         let free_after: u64 = {
             let g = &alloc.storage[0];
-            rack.target(g.node, g.ssd).unwrap().device().lock().namespaces().free_bytes()
+            rack.target(g.node, g.ssd)
+                .unwrap()
+                .device()
+                .namespaces()
+                .free_bytes()
         };
         assert_eq!(free_before, free_after);
     }

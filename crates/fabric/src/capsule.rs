@@ -9,8 +9,11 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 
+use crate::sg::SgList;
+
 const CAPSULE_MAGIC: u32 = 0x4E56_4D46; // "NVMF"
 const HEADER_LEN: usize = 4 + 1 + 2 + 4 + 8 + 8;
+const COMPLETION_HEADER_LEN: usize = 4 + 2 + 1 + 8;
 
 /// NVMe command opcodes carried over the fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,7 +106,10 @@ impl fmt::Display for CapsuleError {
             CapsuleError::BadOpcode(o) => write!(f, "unknown opcode {o:#x}"),
             CapsuleError::BadStatus(s) => write!(f, "unknown status {s:#x}"),
             CapsuleError::PayloadMismatch { expected, actual } => {
-                write!(f, "payload length {actual} does not match header {expected}")
+                write!(
+                    f,
+                    "payload length {actual} does not match header {expected}"
+                )
             }
         }
     }
@@ -132,34 +138,71 @@ impl Capsule {
     /// A write capsule carrying `data`.
     pub fn write(cid: u16, nsid: u32, offset: u64, data: Bytes) -> Self {
         let len = data.len() as u64;
-        Capsule { opcode: Opcode::Write, cid, nsid, offset, len, data }
+        Capsule {
+            opcode: Opcode::Write,
+            cid,
+            nsid,
+            offset,
+            len,
+            data,
+        }
     }
 
     /// A read capsule requesting `len` bytes.
     pub fn read(cid: u16, nsid: u32, offset: u64, len: u64) -> Self {
-        Capsule { opcode: Opcode::Read, cid, nsid, offset, len, data: Bytes::new() }
+        Capsule {
+            opcode: Opcode::Read,
+            cid,
+            nsid,
+            offset,
+            len,
+            data: Bytes::new(),
+        }
     }
 
     /// A flush capsule.
     pub fn flush(cid: u16, nsid: u32) -> Self {
-        Capsule { opcode: Opcode::Flush, cid, nsid, offset: 0, len: 0, data: Bytes::new() }
+        Capsule {
+            opcode: Opcode::Flush,
+            cid,
+            nsid,
+            offset: 0,
+            len: 0,
+            data: Bytes::new(),
+        }
     }
 
-    /// Serialize to wire bytes.
-    pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(HEADER_LEN + self.data.len());
+    fn encode_header(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(HEADER_LEN);
         buf.put_u32_le(CAPSULE_MAGIC);
         buf.put_u8(self.opcode.to_u8());
         buf.put_u16_le(self.cid);
         buf.put_u32_le(self.nsid);
         buf.put_u64_le(self.offset);
         buf.put_u64_le(self.len);
+        buf.freeze()
+    }
+
+    /// Serialize to one contiguous wire buffer (copies the payload).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(HEADER_LEN + self.data.len());
+        buf.put_slice(&self.encode_header());
         buf.put_slice(&self.data);
         buf.freeze()
     }
 
-    /// Parse from wire bytes.
-    pub fn decode(mut buf: Bytes) -> Result<Self, CapsuleError> {
+    /// Serialize as a scatter-gather list: `[header, payload]`. The
+    /// payload segment is the capsule's own refcounted buffer — encoding
+    /// a write this way copies zero payload bytes.
+    pub fn encode_sg(&self) -> SgList {
+        let mut sg = SgList::from(self.encode_header());
+        sg.push(self.data.clone());
+        sg
+    }
+
+    /// Parse the fixed header, leaving `buf` at the payload. Does not
+    /// validate payload length against `len`.
+    fn decode_header(buf: &mut Bytes) -> Result<Self, CapsuleError> {
         if buf.len() < HEADER_LEN {
             return Err(CapsuleError::Truncated);
         }
@@ -173,11 +216,44 @@ impl Capsule {
         let nsid = buf.get_u32_le();
         let offset = buf.get_u64_le();
         let len = buf.get_u64_le();
-        let data = buf; // remainder
-        if opcode == Opcode::Write && data.len() as u64 != len {
-            return Err(CapsuleError::PayloadMismatch { expected: len, actual: data.len() });
+        Ok(Capsule {
+            opcode,
+            cid,
+            nsid,
+            offset,
+            len,
+            data: Bytes::new(),
+        })
+    }
+
+    fn attach_payload(mut self, data: Bytes) -> Result<Self, CapsuleError> {
+        if self.opcode == Opcode::Write && data.len() as u64 != self.len {
+            return Err(CapsuleError::PayloadMismatch {
+                expected: self.len,
+                actual: data.len(),
+            });
         }
-        Ok(Capsule { opcode, cid, nsid, offset, len, data })
+        self.data = data;
+        Ok(self)
+    }
+
+    /// Parse from contiguous wire bytes.
+    pub fn decode(mut buf: Bytes) -> Result<Self, CapsuleError> {
+        Self::decode_header(&mut buf)?.attach_payload(buf)
+    }
+
+    /// Parse from a scatter-gather delivery without copying the payload:
+    /// in the `[header, payload]` shape produced by [`Capsule::encode_sg`],
+    /// the payload segment is adopted by refcount. Other segmentations
+    /// fall back to a gather + contiguous decode.
+    pub fn decode_sg(sg: SgList) -> Result<Self, CapsuleError> {
+        let mut segs = sg.into_segments();
+        if segs.len() == 2 && segs[0].len() == HEADER_LEN {
+            let payload = segs.pop().expect("len checked");
+            let mut header = segs.pop().expect("len checked");
+            return Self::decode_header(&mut header)?.attach_payload(payload);
+        }
+        Self::decode(SgList::from(segs).into_contiguous())
     }
 
     /// Total size on the wire, including inline payload.
@@ -200,28 +276,51 @@ pub struct Completion {
 impl Completion {
     /// A success completion, optionally carrying read data.
     pub fn ok(cid: u16, data: Bytes) -> Self {
-        Completion { cid, status: Status::Success, data }
+        Completion {
+            cid,
+            status: Status::Success,
+            data,
+        }
     }
 
     /// An error completion.
     pub fn error(cid: u16, status: Status) -> Self {
-        Completion { cid, status, data: Bytes::new() }
+        Completion {
+            cid,
+            status,
+            data: Bytes::new(),
+        }
     }
 
-    /// Serialize to wire bytes.
-    pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(4 + 2 + 1 + 8 + self.data.len());
+    fn encode_header(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(COMPLETION_HEADER_LEN);
         buf.put_u32_le(CAPSULE_MAGIC);
         buf.put_u16_le(self.cid);
         buf.put_u8(self.status.to_u8());
         buf.put_u64_le(self.data.len() as u64);
+        buf.freeze()
+    }
+
+    /// Serialize to one contiguous wire buffer (copies the payload).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(COMPLETION_HEADER_LEN + self.data.len());
+        buf.put_slice(&self.encode_header());
         buf.put_slice(&self.data);
         buf.freeze()
     }
 
-    /// Parse from wire bytes.
-    pub fn decode(mut buf: Bytes) -> Result<Self, CapsuleError> {
-        if buf.len() < 4 + 2 + 1 + 8 {
+    /// Serialize as a scatter-gather list: `[header, data]`. A read
+    /// completion's payload segment is the target's refcounted buffer —
+    /// zero payload bytes copied.
+    pub fn encode_sg(&self) -> SgList {
+        let mut sg = SgList::from(self.encode_header());
+        sg.push(self.data.clone());
+        sg
+    }
+
+    /// Parse the fixed header, returning `(completion, payload_len)`.
+    fn decode_header(buf: &mut Bytes) -> Result<(Self, u64), CapsuleError> {
+        if buf.len() < COMPLETION_HEADER_LEN {
             return Err(CapsuleError::Truncated);
         }
         let magic = buf.get_u32_le();
@@ -232,15 +331,49 @@ impl Completion {
         let st = buf.get_u8();
         let status = Status::from_u8(st).ok_or(CapsuleError::BadStatus(st))?;
         let len = buf.get_u64_le();
-        if buf.len() as u64 != len {
-            return Err(CapsuleError::PayloadMismatch { expected: len, actual: buf.len() });
+        Ok((
+            Completion {
+                cid,
+                status,
+                data: Bytes::new(),
+            },
+            len,
+        ))
+    }
+
+    fn attach_payload(mut self, len: u64, data: Bytes) -> Result<Self, CapsuleError> {
+        if data.len() as u64 != len {
+            return Err(CapsuleError::PayloadMismatch {
+                expected: len,
+                actual: data.len(),
+            });
         }
-        Ok(Completion { cid, status, data: buf })
+        self.data = data;
+        Ok(self)
+    }
+
+    /// Parse from contiguous wire bytes.
+    pub fn decode(mut buf: Bytes) -> Result<Self, CapsuleError> {
+        let (c, len) = Self::decode_header(&mut buf)?;
+        c.attach_payload(len, buf)
+    }
+
+    /// Parse from a scatter-gather delivery without copying the payload
+    /// (see [`Capsule::decode_sg`]).
+    pub fn decode_sg(sg: SgList) -> Result<Self, CapsuleError> {
+        let mut segs = sg.into_segments();
+        if segs.len() == 2 && segs[0].len() == COMPLETION_HEADER_LEN {
+            let payload = segs.pop().expect("len checked");
+            let mut header = segs.pop().expect("len checked");
+            let (c, len) = Self::decode_header(&mut header)?;
+            return c.attach_payload(len, payload);
+        }
+        Self::decode(SgList::from(segs).into_contiguous())
     }
 
     /// Total size on the wire, including payload.
     pub fn wire_size(&self) -> usize {
-        4 + 2 + 1 + 8 + self.data.len()
+        COMPLETION_HEADER_LEN + self.data.len()
     }
 }
 
@@ -264,6 +397,55 @@ mod tests {
     }
 
     #[test]
+    fn sg_roundtrip_is_copy_free() {
+        let payload = Bytes::from(vec![0x42u8; 4096]);
+        let c = Capsule::write(3, 1, 0, payload.clone());
+        let sg = c.encode_sg();
+        assert_eq!(sg.segment_count(), 2);
+        let d = Capsule::decode_sg(sg).unwrap();
+        assert_eq!(c, d);
+        // Same allocation end-to-end: the decoded payload points at the
+        // original buffer, not a copy.
+        assert_eq!(d.data.as_ptr(), payload.as_ptr());
+    }
+
+    #[test]
+    fn sg_decode_handles_contiguous_and_odd_segmentation() {
+        let c = Capsule::write(1, 1, 64, Bytes::from_static(b"abcd"));
+        // Single-segment (contiguous) delivery.
+        assert_eq!(Capsule::decode_sg(c.encode().into()).unwrap(), c);
+        // Flush has no payload: encode_sg yields one header segment.
+        let f = Capsule::flush(9, 2);
+        assert_eq!(f.encode_sg().segment_count(), 1);
+        assert_eq!(Capsule::decode_sg(f.encode_sg()).unwrap(), f);
+    }
+
+    #[test]
+    fn sg_payload_mismatch_rejected() {
+        let c = Capsule::write(1, 1, 0, Bytes::from_static(b"abcd"));
+        let mut sg = crate::sg::SgList::from(c.encode_sg().segments()[0].clone());
+        sg.push(Bytes::from_static(b"abc")); // one byte short
+        assert!(matches!(
+            Capsule::decode_sg(sg),
+            Err(CapsuleError::PayloadMismatch {
+                expected: 4,
+                actual: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn completion_sg_roundtrip() {
+        let payload = Bytes::from(vec![7u8; 1024]);
+        let c = Completion::ok(5, payload.clone());
+        let d = Completion::decode_sg(c.encode_sg()).unwrap();
+        assert_eq!(c, d);
+        assert_eq!(d.data.as_ptr(), payload.as_ptr());
+        let e = Completion::error(5, Status::InvalidField);
+        assert_eq!(Completion::decode_sg(e.encode_sg()).unwrap(), e);
+    }
+
+    #[test]
     fn completion_roundtrip() {
         let ok = Completion::ok(9, Bytes::from_static(&[1, 2, 3]));
         assert_eq!(Completion::decode(ok.encode()).unwrap(), ok);
@@ -273,10 +455,16 @@ mod tests {
 
     #[test]
     fn truncated_and_bad_magic_rejected() {
-        assert_eq!(Capsule::decode(Bytes::from_static(&[1, 2, 3])), Err(CapsuleError::Truncated));
+        assert_eq!(
+            Capsule::decode(Bytes::from_static(&[1, 2, 3])),
+            Err(CapsuleError::Truncated)
+        );
         let mut bad = BytesMut::from(&Capsule::flush(0, 0).encode()[..]);
         bad[0] ^= 0xFF;
-        assert!(matches!(Capsule::decode(bad.freeze()), Err(CapsuleError::BadMagic(_))));
+        assert!(matches!(
+            Capsule::decode(bad.freeze()),
+            Err(CapsuleError::BadMagic(_))
+        ));
     }
 
     #[test]
@@ -286,7 +474,10 @@ mod tests {
         wire.truncate(wire.len() - 1); // drop one payload byte
         assert!(matches!(
             Capsule::decode(wire.freeze()),
-            Err(CapsuleError::PayloadMismatch { expected: 4, actual: 3 })
+            Err(CapsuleError::PayloadMismatch {
+                expected: 4,
+                actual: 3
+            })
         ));
     }
 
@@ -295,7 +486,10 @@ mod tests {
         let c = Capsule::flush(0, 0);
         let mut wire = BytesMut::from(&c.encode()[..]);
         wire[4] = 0x55;
-        assert_eq!(Capsule::decode(wire.freeze()), Err(CapsuleError::BadOpcode(0x55)));
+        assert_eq!(
+            Capsule::decode(wire.freeze()),
+            Err(CapsuleError::BadOpcode(0x55))
+        );
     }
 
     proptest! {

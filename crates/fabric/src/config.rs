@@ -107,8 +107,14 @@ mod tests {
 
     #[test]
     fn presets_are_ordered_by_speed() {
-        assert!(NetConfig::hdr().link_bw.as_bytes_per_sec() > NetConfig::edr().link_bw.as_bytes_per_sec());
-        assert!(NetConfig::edr().link_bw.as_bytes_per_sec() > NetConfig::tcp25g().link_bw.as_bytes_per_sec());
+        assert!(
+            NetConfig::hdr().link_bw.as_bytes_per_sec()
+                > NetConfig::edr().link_bw.as_bytes_per_sec()
+        );
+        assert!(
+            NetConfig::edr().link_bw.as_bytes_per_sec()
+                > NetConfig::tcp25g().link_bw.as_bytes_per_sec()
+        );
         assert!(NetConfig::tcp25g().latency(2) > NetConfig::edr().latency(2));
     }
 

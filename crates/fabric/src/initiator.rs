@@ -51,7 +51,9 @@ pub struct Initiator {
 impl Initiator {
     /// An initiator identifying as `host_nqn`.
     pub fn new(host_nqn: impl Into<String>) -> Self {
-        Initiator { host_nqn: host_nqn.into() }
+        Initiator {
+            host_nqn: host_nqn.into(),
+        }
     }
 
     /// This host's NQN.
@@ -76,6 +78,7 @@ impl Initiator {
             next_wr: 0,
             ios: 0,
             bytes: 0,
+            copied_bytes: 0,
         }
     }
 }
@@ -94,6 +97,11 @@ pub struct NvmfConnection {
     next_wr: u64,
     ios: u64,
     bytes: u64,
+    /// Payload bytes memcpy'd on the initiator side. The `Bytes`-based
+    /// paths ([`NvmfConnection::write_bytes`], [`NvmfConnection::read_bytes`])
+    /// add nothing here; the slice-based convenience paths add one staging
+    /// copy each.
+    copied_bytes: u64,
 }
 
 impl NvmfConnection {
@@ -112,8 +120,11 @@ impl NvmfConnection {
         self.next_wr += 3;
         self.qp_target.post_recv(wr);
         self.qp_initiator.post_recv(wr + 1);
+        // The capsule travels as scatter-gather segments: header in one
+        // SGE, write payload (the caller's refcounted buffer) in another.
+        // Nothing on the wire path copies payload bytes.
         self.qp_initiator
-            .post_send(wr + 2, capsule.encode())
+            .post_send(wr + 2, capsule.encode_sg())
             .map_err(|e| InitiatorError::Transport(e.to_string()))?;
         // Target daemon iteration: poll, decode, execute, respond.
         let cmd_wire = self
@@ -123,7 +134,7 @@ impl NvmfConnection {
             .find(|c| c.opcode == CompletionOp::Recv)
             .and_then(|c| c.payload)
             .ok_or_else(|| InitiatorError::Transport("command capsule lost".into()))?;
-        let resp = self.target.handle_wire(self.conn, cmd_wire)?;
+        let resp = self.target.handle_wire_sg(self.conn, cmd_wire)?;
         self.qp_target
             .post_send(wr + 2, resp)
             .map_err(|e| InitiatorError::Transport(e.to_string()))?;
@@ -135,7 +146,7 @@ impl NvmfConnection {
             .find(|c| c.opcode == CompletionOp::Recv)
             .and_then(|c| c.payload)
             .ok_or_else(|| InitiatorError::Transport("response capsule lost".into()))?;
-        let completion = Completion::decode(resp_wire)
+        let completion = Completion::decode_sg(resp_wire)
             .map_err(|e| InitiatorError::Transport(e.to_string()))?;
         match completion.status {
             Status::Success => Ok(completion),
@@ -148,22 +159,50 @@ impl NvmfConnection {
         self.ns
     }
 
-    /// Write `data` at namespace-relative `offset`.
-    pub fn write(&mut self, offset: u64, data: &[u8]) -> Result<(), InitiatorError> {
+    /// Write an owned payload at namespace-relative `offset` — the
+    /// zero-copy path. The same refcounted buffer crosses initiator →
+    /// wire → target → device RAM; its only copy is the device's
+    /// drain-to-media.
+    pub fn write_bytes(&mut self, offset: u64, data: Bytes) -> Result<(), InitiatorError> {
         let cid = self.cid();
-        let c = Capsule::write(cid, self.ns.0, offset, Bytes::copy_from_slice(data));
         self.ios += 1;
         self.bytes += data.len() as u64;
-        self.submit(c).map(|_| ())
+        self.submit(Capsule::write(cid, self.ns.0, offset, data))
+            .map(|_| ())
     }
 
-    /// Read `len` bytes at namespace-relative `offset`.
-    pub fn read(&mut self, offset: u64, len: usize) -> Result<Vec<u8>, InitiatorError> {
+    /// Write `data` at namespace-relative `offset` (stages one copy of
+    /// the borrowed slice; prefer [`NvmfConnection::write_bytes`]).
+    pub fn write(&mut self, offset: u64, data: &[u8]) -> Result<(), InitiatorError> {
+        self.copied_bytes += data.len() as u64;
+        self.write_bytes(offset, Bytes::copy_from_slice(data))
+    }
+
+    /// Read `len` bytes at namespace-relative `offset` as an owned
+    /// payload — the zero-copy path: the returned buffer is the target's
+    /// read buffer, delivered by refcount.
+    pub fn read_bytes(&mut self, offset: u64, len: usize) -> Result<Bytes, InitiatorError> {
         let cid = self.cid();
         let c = Capsule::read(cid, self.ns.0, offset, len as u64);
         self.ios += 1;
         self.bytes += len as u64;
-        self.submit(c).map(|r| r.data.to_vec())
+        self.submit(c).map(|r| r.data)
+    }
+
+    /// Read into a caller-provided buffer (one copy, wire → `buf`).
+    pub fn read_into(&mut self, offset: u64, buf: &mut [u8]) -> Result<(), InitiatorError> {
+        let data = self.read_bytes(offset, buf.len())?;
+        buf.copy_from_slice(&data);
+        self.copied_bytes += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Read `len` bytes at namespace-relative `offset` into a fresh
+    /// vector (one copy; prefer [`NvmfConnection::read_bytes`]).
+    pub fn read(&mut self, offset: u64, len: usize) -> Result<Vec<u8>, InitiatorError> {
+        let data = self.read_bytes(offset, len)?;
+        self.copied_bytes += data.len() as u64;
+        Ok(data.to_vec())
     }
 
     /// Flush the device write buffer.
@@ -178,6 +217,11 @@ impl NvmfConnection {
         (self.ios, self.bytes)
     }
 
+    /// Payload bytes memcpy'd on the initiator side of this connection.
+    pub fn copied_bytes(&self) -> u64 {
+        self.copied_bytes
+    }
+
     /// Work requests posted on the initiator-side queue pair
     /// `(sends, recvs)` — evidence the wire discipline is in use.
     pub fn qp_counters(&self) -> (u64, u64) {
@@ -188,14 +232,16 @@ impl NvmfConnection {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parking_lot::Mutex;
     use ssd::{Ssd, SsdConfig};
 
     fn setup() -> (Arc<NvmfTarget>, NsId, NsId) {
-        let mut ssd = Ssd::new(SsdConfig { capacity: 1 << 20, ..SsdConfig::default() });
+        let ssd = Ssd::new(SsdConfig {
+            capacity: 1 << 20,
+            ..SsdConfig::default()
+        });
         let a = ssd.create_namespace(256 << 10).unwrap();
         let b = ssd.create_namespace(256 << 10).unwrap();
-        (Arc::new(NvmfTarget::new(Arc::new(Mutex::new(ssd)))), a, b)
+        (Arc::new(NvmfTarget::new(Arc::new(ssd))), a, b)
     }
 
     #[test]
@@ -206,6 +252,34 @@ mod tests {
         conn.write(512, b"restartable state").unwrap();
         assert_eq!(conn.read(512, 17).unwrap(), b"restartable state");
         assert_eq!(conn.io_counters().0, 2);
+    }
+
+    #[test]
+    fn bytes_paths_are_copy_free_end_to_end() {
+        let (target, a, _) = setup();
+        let mut conn = Initiator::new("nqn.host").connect(Arc::clone(&target), a);
+        let payload = Bytes::from(vec![0x3Cu8; 16 << 10]);
+        conn.write_bytes(0, payload.clone()).unwrap();
+        conn.flush().unwrap();
+        assert_eq!(
+            conn.copied_bytes(),
+            0,
+            "initiator must not copy the payload"
+        );
+        assert_eq!(
+            target.device().bytes_copied(),
+            payload.len() as u64,
+            "exactly one copy per byte: device RAM drain to media"
+        );
+        let back = conn.read_bytes(0, payload.len()).unwrap();
+        assert_eq!(back, payload);
+        assert_eq!(conn.copied_bytes(), 0, "read_bytes must not copy either");
+        // The slice paths each stage one copy and say so.
+        conn.write(0, &[1u8; 100]).unwrap();
+        let mut buf = [0u8; 100];
+        conn.read_into(0, &mut buf).unwrap();
+        assert_eq!(buf, [1u8; 100]);
+        assert_eq!(conn.copied_bytes(), 200);
     }
 
     #[test]

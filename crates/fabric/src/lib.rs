@@ -26,6 +26,7 @@ pub mod config;
 pub mod initiator;
 pub mod path;
 pub mod qp;
+pub mod sg;
 pub mod target;
 pub mod transport;
 
@@ -34,5 +35,6 @@ pub use config::{KernelCosts, NetConfig};
 pub use initiator::{Initiator, NvmfConnection};
 pub use path::{IoPath, PathCosts, TimeSplit};
 pub use qp::{CompletionOp, QpError, QueuePair, WrId};
+pub use sg::SgList;
 pub use target::{NvmfTarget, TargetError};
 pub use transport::FabricFacility;

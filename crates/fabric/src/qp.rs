@@ -14,8 +14,9 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
 
-use bytes::Bytes;
 use parking_lot::Mutex;
+
+use crate::sg::SgList;
 
 /// Work-request identifier, echoed in the matching completion.
 pub type WrId = u64;
@@ -50,8 +51,9 @@ pub struct Completion {
     pub wr_id: WrId,
     /// Send or receive side.
     pub opcode: CompletionOp,
-    /// For receives: the delivered payload.
-    pub payload: Option<Bytes>,
+    /// For receives: the delivered scatter-gather payload. Segments are
+    /// the sender's refcounted buffers — delivery never copies.
+    pub payload: Option<SgList>,
 }
 
 /// Which verb completed.
@@ -122,9 +124,12 @@ impl QueuePair {
         self.posted_recvs += 1;
     }
 
-    /// Post a send. Consumes one of the peer's posted receives; the
-    /// payload lands in the peer's CQ and a send completion lands in ours.
-    pub fn post_send(&mut self, wr_id: WrId, payload: Bytes) -> Result<(), QpError> {
+    /// Post a send of one or more scatter-gather segments. Consumes one of
+    /// the peer's posted receives; the payload lands in the peer's CQ
+    /// (segments shared by refcount, never copied) and a send completion
+    /// lands in ours.
+    pub fn post_send(&mut self, wr_id: WrId, payload: impl Into<SgList>) -> Result<(), QpError> {
+        let payload: SgList = payload.into();
         if !self.connected {
             return Err(QpError::NotConnected);
         }
@@ -189,6 +194,7 @@ impl QueuePair {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
 
     #[test]
     fn send_recv_roundtrip_by_polling() {
@@ -284,11 +290,14 @@ mod tests {
         tgt.post_recv(0);
         init.post_recv(0);
         let cmd = Capsule::write(7, 1, 4096, Bytes::from_static(b"data"));
-        init.post_send(1, cmd.encode()).unwrap();
-        // Target polls, decodes, "executes", responds.
+        init.post_send(1, cmd.encode_sg()).unwrap();
+        // Target polls, decodes, "executes", responds. The write payload
+        // rode as its own SGE: same refcounted buffer, no wire copy.
         let wire = tgt.poll_cq(1).pop().unwrap().payload.unwrap();
-        let decoded = Capsule::decode(wire).unwrap();
+        assert_eq!(wire.segment_count(), 2);
+        let decoded = Capsule::decode_sg(wire).unwrap();
         assert_eq!(decoded.cid, 7);
+        assert_eq!(&decoded.data[..], b"data");
         tgt.post_send(2, NvmfCompletion::ok(decoded.cid, Bytes::new()).encode())
             .unwrap();
         let resp_wire = init
@@ -298,7 +307,7 @@ mod tests {
             .unwrap()
             .payload
             .unwrap();
-        let resp = NvmfCompletion::decode(resp_wire).unwrap();
+        let resp = NvmfCompletion::decode_sg(resp_wire).unwrap();
         assert_eq!(resp.cid, 7);
         assert_eq!(resp.status, Status::Success);
     }

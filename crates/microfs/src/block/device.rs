@@ -32,6 +32,9 @@ pub struct IoCounters {
     pub bytes_written: u64,
     /// Bytes read.
     pub bytes_read: u64,
+    /// Payload bytes memcpy'd by the device path itself (zero for devices
+    /// whose transport moves buffers by reference).
+    pub bytes_copied: u64,
 }
 
 /// A byte-addressed storage device.
@@ -101,6 +104,7 @@ impl BlockDevice for MemDevice {
         self.data[offset as usize..end].copy_from_slice(data);
         self.counters.writes += 1;
         self.counters.bytes_written += data.len() as u64;
+        self.counters.bytes_copied += data.len() as u64;
         Ok(())
     }
 
@@ -115,6 +119,7 @@ impl BlockDevice for MemDevice {
         buf.copy_from_slice(&self.data[offset as usize..end]);
         self.counters.reads += 1;
         self.counters.bytes_read += buf.len() as u64;
+        self.counters.bytes_copied += buf.len() as u64;
         Ok(())
     }
 
@@ -141,7 +146,10 @@ mod tests {
         d.write_at(100, b"abc").unwrap();
         assert_eq!(d.read_vec(100, 3).unwrap(), b"abc");
         let c = d.counters();
-        assert_eq!((c.writes, c.reads, c.bytes_written, c.bytes_read), (1, 1, 3, 3));
+        assert_eq!(
+            (c.writes, c.reads, c.bytes_written, c.bytes_read),
+            (1, 1, 3, 3)
+        );
     }
 
     #[test]

@@ -52,16 +52,15 @@ impl BlockPool {
         if self.free_count() < n {
             return Err(FsError::NoSpace);
         }
-        Ok((0..n).map(|_| self.free.pop_front().expect("checked")).collect())
+        Ok((0..n)
+            .map(|_| self.free.pop_front().expect("checked"))
+            .collect())
     }
 
     /// Return a block to the tail of the ring — O(1).
     pub fn free(&mut self, block: u64) {
         debug_assert!(block < self.total, "freeing out-of-range block {block}");
-        debug_assert!(
-            !self.free.contains(&block),
-            "double free of block {block}"
-        );
+        debug_assert!(!self.free.contains(&block), "double free of block {block}");
         self.free.push_back(block);
     }
 

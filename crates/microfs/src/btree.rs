@@ -73,7 +73,10 @@ impl BTree {
     /// An empty tree.
     pub fn new() -> Self {
         BTree {
-            root: Node::Leaf { keys: Vec::new(), vals: Vec::new() },
+            root: Node::Leaf {
+                keys: Vec::new(),
+                vals: Vec::new(),
+            },
             len: 0,
             key_bytes: 0,
         }
@@ -124,7 +127,10 @@ impl BTree {
                 // Grow the tree by one level.
                 let left = std::mem::replace(
                     &mut self.root,
-                    Node::Leaf { keys: Vec::new(), vals: Vec::new() },
+                    Node::Leaf {
+                        keys: Vec::new(),
+                        vals: Vec::new(),
+                    },
                 );
                 self.root = Node::Internal {
                     keys: vec![sep],
@@ -142,32 +148,33 @@ impl BTree {
 
     fn insert_rec(node: &mut Node, key: &str, val: u64) -> InsertResult {
         match node {
-            Node::Leaf { keys, vals } => {
-                match keys.binary_search_by(|k| k.as_ref().cmp(key)) {
-                    Ok(i) => {
-                        let old = vals[i];
-                        vals[i] = val;
-                        InsertResult::Done(Some(old))
-                    }
-                    Err(i) => {
-                        keys.insert(i, key.into());
-                        vals.insert(i, val);
-                        if keys.len() > MAX_KEYS {
-                            let mid = keys.len() / 2;
-                            let rkeys: Vec<Box<str>> = keys.split_off(mid);
-                            let rvals: Vec<u64> = vals.split_off(mid);
-                            let sep = rkeys[0].clone();
-                            InsertResult::Split {
-                                sep,
-                                right: Node::Leaf { keys: rkeys, vals: rvals },
-                                old: None,
-                            }
-                        } else {
-                            InsertResult::Done(None)
+            Node::Leaf { keys, vals } => match keys.binary_search_by(|k| k.as_ref().cmp(key)) {
+                Ok(i) => {
+                    let old = vals[i];
+                    vals[i] = val;
+                    InsertResult::Done(Some(old))
+                }
+                Err(i) => {
+                    keys.insert(i, key.into());
+                    vals.insert(i, val);
+                    if keys.len() > MAX_KEYS {
+                        let mid = keys.len() / 2;
+                        let rkeys: Vec<Box<str>> = keys.split_off(mid);
+                        let rvals: Vec<u64> = vals.split_off(mid);
+                        let sep = rkeys[0].clone();
+                        InsertResult::Split {
+                            sep,
+                            right: Node::Leaf {
+                                keys: rkeys,
+                                vals: rvals,
+                            },
+                            old: None,
                         }
+                    } else {
+                        InsertResult::Done(None)
                     }
                 }
-            }
+            },
             Node::Internal { keys, children } => {
                 let idx = keys.partition_point(|k| k.as_ref() <= key);
                 match Self::insert_rec(&mut children[idx], key, val) {
@@ -184,7 +191,10 @@ impl BTree {
                             let rchildren: Vec<Node> = children.split_off(mid + 1);
                             InsertResult::Split {
                                 sep: up,
-                                right: Node::Internal { keys: rkeys, children: rchildren },
+                                right: Node::Internal {
+                                    keys: rkeys,
+                                    children: rchildren,
+                                },
                                 old,
                             }
                         } else {
@@ -241,10 +251,7 @@ impl BTree {
             let left = &mut left_slice[idx - 1];
             let child = &mut right_slice[0];
             match (left, child) {
-                (
-                    Node::Leaf { keys: lk, vals: lv },
-                    Node::Leaf { keys: ck, vals: cv },
-                ) => {
+                (Node::Leaf { keys: lk, vals: lv }, Node::Leaf { keys: ck, vals: cv }) => {
                     let k = lk.pop().expect("left has spare");
                     let v = lv.pop().expect("left has spare");
                     ck.insert(0, k.clone());
@@ -252,8 +259,14 @@ impl BTree {
                     keys[idx - 1] = k;
                 }
                 (
-                    Node::Internal { keys: lk, children: lc },
-                    Node::Internal { keys: ck, children: cc },
+                    Node::Internal {
+                        keys: lk,
+                        children: lc,
+                    },
+                    Node::Internal {
+                        keys: ck,
+                        children: cc,
+                    },
                 ) => {
                     // Rotate through the parent separator.
                     let sep = std::mem::replace(&mut keys[idx - 1], lk.pop().expect("spare"));
@@ -270,17 +283,20 @@ impl BTree {
             let child = &mut left_slice[idx];
             let right = &mut right_slice[0];
             match (child, right) {
-                (
-                    Node::Leaf { keys: ck, vals: cv },
-                    Node::Leaf { keys: rk, vals: rv },
-                ) => {
+                (Node::Leaf { keys: ck, vals: cv }, Node::Leaf { keys: rk, vals: rv }) => {
                     ck.push(rk.remove(0));
                     cv.push(rv.remove(0));
                     keys[idx] = rk[0].clone();
                 }
                 (
-                    Node::Internal { keys: ck, children: cc },
-                    Node::Internal { keys: rk, children: rc },
+                    Node::Internal {
+                        keys: ck,
+                        children: cc,
+                    },
+                    Node::Internal {
+                        keys: rk,
+                        children: rc,
+                    },
                 ) => {
                     let sep = std::mem::replace(&mut keys[idx], rk.remove(0));
                     ck.push(sep);
@@ -291,21 +307,28 @@ impl BTree {
             return;
         }
         // Merge with a sibling (prefer left so indices stay simple).
-        let (merge_left_idx, sep_idx) = if idx > 0 { (idx - 1, idx - 1) } else { (idx, idx) };
+        let (merge_left_idx, sep_idx) = if idx > 0 {
+            (idx - 1, idx - 1)
+        } else {
+            (idx, idx)
+        };
         let right_node = children.remove(merge_left_idx + 1);
         let sep = keys.remove(sep_idx);
         let left_node = &mut children[merge_left_idx];
         match (left_node, right_node) {
-            (
-                Node::Leaf { keys: lk, vals: lv },
-                Node::Leaf { keys: rk, vals: rv },
-            ) => {
+            (Node::Leaf { keys: lk, vals: lv }, Node::Leaf { keys: rk, vals: rv }) => {
                 lk.extend(rk);
                 lv.extend(rv);
             }
             (
-                Node::Internal { keys: lk, children: lc },
-                Node::Internal { keys: rk, children: rc },
+                Node::Internal {
+                    keys: lk,
+                    children: lc,
+                },
+                Node::Internal {
+                    keys: rk,
+                    children: rc,
+                },
             ) => {
                 lk.push(sep);
                 lk.extend(rk);
@@ -393,7 +416,14 @@ impl BTree {
     /// separator routing, and fill factors.
     #[doc(hidden)]
     pub fn check_invariants(&self) {
-        fn check(node: &Node, lo: Option<&str>, hi: Option<&str>, is_root: bool, depth: &mut Vec<usize>, d: usize) {
+        fn check(
+            node: &Node,
+            lo: Option<&str>,
+            hi: Option<&str>,
+            is_root: bool,
+            depth: &mut Vec<usize>,
+            d: usize,
+        ) {
             match node {
                 Node::Leaf { keys, vals } => {
                     assert_eq!(keys.len(), vals.len());
@@ -420,8 +450,16 @@ impl BTree {
                     }
                     assert!(keys.len() <= MAX_KEYS, "overfull internal");
                     for (i, c) in children.iter().enumerate() {
-                        let clo = if i == 0 { lo } else { Some(keys[i - 1].as_ref()) };
-                        let chi = if i == keys.len() { hi } else { Some(keys[i].as_ref()) };
+                        let clo = if i == 0 {
+                            lo
+                        } else {
+                            Some(keys[i - 1].as_ref())
+                        };
+                        let chi = if i == keys.len() {
+                            hi
+                        } else {
+                            Some(keys[i].as_ref())
+                        };
                         check(c, clo, chi, false, depth, d + 1);
                     }
                 }

@@ -60,8 +60,7 @@ impl Dirent {
             return Err(FsError::Io("dirent truncated".into()));
         }
         let tag = bytes[*pos];
-        let nlen =
-            u16::from_le_bytes(bytes[*pos + 1..*pos + 3].try_into().unwrap()) as usize;
+        let nlen = u16::from_le_bytes(bytes[*pos + 1..*pos + 3].try_into().unwrap()) as usize;
         *pos += 3;
         if bytes.len() < *pos + nlen {
             return Err(FsError::Io("dirent name truncated".into()));
@@ -110,16 +109,18 @@ mod tests {
     #[test]
     fn roundtrip_add_and_remove() {
         let recs = vec![
-            Dirent::Add { name: "ckpt_0.dat".into(), ino: 5 },
-            Dirent::Remove { name: "ckpt_0.dat".into() },
+            Dirent::Add {
+                name: "ckpt_0.dat".into(),
+                ino: 5,
+            },
+            Dirent::Remove {
+                name: "ckpt_0.dat".into(),
+            },
         ];
         let mut buf = Vec::new();
         for r in &recs {
             r.encode(&mut buf);
-            assert_eq!(
-                r.encoded_len(),
-                buf.len() - (buf.len() - r.encoded_len())
-            );
+            assert_eq!(r.encoded_len(), buf.len() - (buf.len() - r.encoded_len()));
         }
         let mut pos = 0;
         let a = Dirent::decode(&buf, &mut pos).unwrap();
@@ -131,10 +132,22 @@ mod tests {
     #[test]
     fn replay_applies_adds_and_tombstones() {
         let mut buf = Vec::new();
-        Dirent::Add { name: "a".into(), ino: 1 }.encode(&mut buf);
-        Dirent::Add { name: "b".into(), ino: 2 }.encode(&mut buf);
+        Dirent::Add {
+            name: "a".into(),
+            ino: 1,
+        }
+        .encode(&mut buf);
+        Dirent::Add {
+            name: "b".into(),
+            ino: 2,
+        }
+        .encode(&mut buf);
         Dirent::Remove { name: "a".into() }.encode(&mut buf);
-        Dirent::Add { name: "b".into(), ino: 9 }.encode(&mut buf);
+        Dirent::Add {
+            name: "b".into(),
+            ino: 9,
+        }
+        .encode(&mut buf);
         let live = Dirent::replay_stream(&buf, buf.len()).unwrap();
         assert_eq!(live, vec![("b".to_string(), 9)]);
     }
@@ -142,7 +155,11 @@ mod tests {
     #[test]
     fn truncated_stream_rejected() {
         let mut buf = Vec::new();
-        Dirent::Add { name: "file".into(), ino: 3 }.encode(&mut buf);
+        Dirent::Add {
+            name: "file".into(),
+            ino: 3,
+        }
+        .encode(&mut buf);
         assert!(Dirent::replay_stream(&buf, buf.len() - 1).is_err());
     }
 

@@ -70,23 +70,48 @@ pub struct OpenFlags {
 impl OpenFlags {
     /// `O_RDONLY`.
     pub const RDONLY: OpenFlags = OpenFlags {
-        read: true, write: false, create: false, truncate: false, append: false, excl: false,
+        read: true,
+        write: false,
+        create: false,
+        truncate: false,
+        append: false,
+        excl: false,
     };
     /// `O_WRONLY | O_CREAT | O_TRUNC` — the checkpoint dump pattern.
     pub const CREATE_TRUNC: OpenFlags = OpenFlags {
-        read: false, write: true, create: true, truncate: true, append: false, excl: false,
+        read: false,
+        write: true,
+        create: true,
+        truncate: true,
+        append: false,
+        excl: false,
     };
     /// `O_RDWR`.
     pub const RDWR: OpenFlags = OpenFlags {
-        read: true, write: true, create: false, truncate: false, append: false, excl: false,
+        read: true,
+        write: true,
+        create: false,
+        truncate: false,
+        append: false,
+        excl: false,
     };
     /// `O_WRONLY | O_CREAT | O_APPEND`.
     pub const APPEND: OpenFlags = OpenFlags {
-        read: false, write: true, create: true, truncate: false, append: true, excl: false,
+        read: false,
+        write: true,
+        create: true,
+        truncate: false,
+        append: true,
+        excl: false,
     };
     /// `O_WRONLY | O_CREAT | O_EXCL` — create a fresh file or fail.
     pub const CREATE_EXCL: OpenFlags = OpenFlags {
-        read: false, write: true, create: true, truncate: false, append: false, excl: true,
+        read: false,
+        write: true,
+        create: true,
+        truncate: false,
+        append: false,
+        excl: true,
     };
 }
 
@@ -96,7 +121,9 @@ mod tests {
 
     #[test]
     fn display_includes_errno_name() {
-        assert!(FsError::NotFound("/a".into()).to_string().contains("ENOENT"));
+        assert!(FsError::NotFound("/a".into())
+            .to_string()
+            .contains("ENOENT"));
         assert!(FsError::NoSpace.to_string().contains("ENOSPC"));
         assert!(FsError::BadFd(3).to_string().contains("EBADF"));
     }

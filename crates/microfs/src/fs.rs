@@ -128,6 +128,11 @@ pub struct MicroFs<D: BlockDevice> {
     open_count: usize,
     snapshot_seq: u64,
     stats: FsStats,
+    /// Reusable all-zero buffer for gap zeroing (grown on demand, never
+    /// reallocated per block).
+    zero_scratch: Vec<u8>,
+    /// Reusable encode buffer for dirent records.
+    enc_scratch: Vec<u8>,
 }
 
 impl<D: BlockDevice> MicroFs<D> {
@@ -165,6 +170,8 @@ impl<D: BlockDevice> MicroFs<D> {
             open_count: 0,
             snapshot_seq: 0,
             stats: FsStats::default(),
+            zero_scratch: Vec::new(),
+            enc_scratch: Vec::new(),
         };
         fs.stats.snapshots = 1;
         fs.stats.snapshot_bytes = snap_bytes;
@@ -205,6 +212,8 @@ impl<D: BlockDevice> MicroFs<D> {
             open_count: 0,
             snapshot_seq: seq,
             stats: FsStats::default(),
+            zero_scratch: Vec::new(),
+            enc_scratch: Vec::new(),
         };
         for rec in &records {
             fs.replay(rec)?;
@@ -231,7 +240,10 @@ impl<D: BlockDevice> MicroFs<D> {
 
     /// Operation statistics (WAL counters merged in).
     pub fn stats(&self) -> FsStats {
-        FsStats { wal: self.wal.stats(), ..self.stats }
+        FsStats {
+            wal: self.wal.stats(),
+            ..self.stats
+        }
     }
 
     /// Approximate DRAM footprint of the metadata structures (inodes +
@@ -327,7 +339,11 @@ impl<D: BlockDevice> MicroFs<D> {
         let old_size = self.state.inodes.get(ino)?.size;
         if needed > have {
             let fresh = self.state.pool.alloc_many(needed - have)?;
-            self.state.inodes.get_mut(ino)?.blocks.extend_from_slice(&fresh);
+            self.state
+                .inodes
+                .get_mut(ino)?
+                .blocks
+                .extend_from_slice(&fresh);
         }
         // Live mode: zero any gap between the old size and the write start,
         // both in recycled fresh blocks and in the stale tail of existing
@@ -343,9 +359,12 @@ impl<D: BlockDevice> MicroFs<D> {
                 let zero_hi = blk_hi.min(offset);
                 if zero_lo < zero_hi {
                     let addr = self.block_addr_of(ino, bi)? + (zero_lo - blk_lo);
-                    let zeros = vec![0u8; (zero_hi - zero_lo) as usize];
+                    let n = (zero_hi - zero_lo) as usize;
+                    if self.zero_scratch.len() < n {
+                        self.zero_scratch.resize(n, 0);
+                    }
                     self.dev
-                        .write_at(addr, &zeros)
+                        .write_at(addr, &self.zero_scratch[..n])
                         .map_err(|e| FsError::Io(e.to_string()))?;
                 }
             }
@@ -385,11 +404,16 @@ impl<D: BlockDevice> MicroFs<D> {
 
     /// Append a dirent record to a directory file (allocating as needed).
     fn append_dirent(&mut self, dir: Ino, rec: &Dirent, live: bool) -> Result<(), FsError> {
-        let mut bytes = Vec::with_capacity(rec.encoded_len());
+        // Encode into the reusable buffer (taken out of self so
+        // write_extent can borrow &mut self, put back after).
+        let mut bytes = std::mem::take(&mut self.enc_scratch);
+        bytes.clear();
         rec.encode(&mut bytes);
         let offset = self.state.inodes.get(dir)?.size;
         let len = bytes.len() as u64;
-        self.write_extent(dir, offset, len, live.then_some(bytes.as_slice()))?;
+        let res = self.write_extent(dir, offset, len, live.then_some(bytes.as_slice()));
+        self.enc_scratch = bytes;
+        res?;
         if live {
             self.stats.dirent_bytes += len;
         }
@@ -526,7 +550,8 @@ impl<D: BlockDevice> MicroFs<D> {
     pub fn snapshot_now(&mut self) -> Result<(), FsError> {
         let seq = self.snapshot_seq + 1;
         let next_gen = self.wal.generation() + 1;
-        let bytes = snapshot::write_snapshot(&mut self.dev, &self.layout, &self.state, seq, next_gen)?;
+        let bytes =
+            snapshot::write_snapshot(&mut self.dev, &self.layout, &self.state, seq, next_gen)?;
         self.snapshot_seq = seq;
         self.wal.reset();
         debug_assert_eq!(self.wal.generation(), next_gen);
@@ -581,7 +606,11 @@ impl<D: BlockDevice> MicroFs<D> {
         Self::validate_path(path)?;
         let uid = self.config.uid;
         self.do_mkdir(path, mode, uid, true)?;
-        self.log(&LogRecord::Mkdir { path: path.to_string(), mode, uid })?;
+        self.log(&LogRecord::Mkdir {
+            path: path.to_string(),
+            mode,
+            uid,
+        })?;
         self.stats.mkdirs += 1;
         Ok(())
     }
@@ -614,7 +643,11 @@ impl<D: BlockDevice> MicroFs<D> {
                     return Err(FsError::NotFound(path.to_string()));
                 }
                 let ino = self.do_create(path, mode, uid, true)?;
-                self.log(&LogRecord::Create { path: path.to_string(), mode, uid })?;
+                self.log(&LogRecord::Create {
+                    path: path.to_string(),
+                    mode,
+                    uid,
+                })?;
                 self.stats.creates += 1;
                 ino
             }
@@ -782,7 +815,9 @@ impl<D: BlockDevice> MicroFs<D> {
             }
         }
         self.do_unlink(path, true)?;
-        self.log(&LogRecord::Unlink { path: path.to_string() })?;
+        self.log(&LogRecord::Unlink {
+            path: path.to_string(),
+        })?;
         self.stats.unlinks += 1;
         Ok(())
     }
@@ -797,7 +832,10 @@ impl<D: BlockDevice> MicroFs<D> {
         }
         self.do_rename(from, to, true)?;
         if from != to {
-            self.log(&LogRecord::Rename { from: from.to_string(), to: to.to_string() })?;
+            self.log(&LogRecord::Rename {
+                from: from.to_string(),
+                to: to.to_string(),
+            })?;
         }
         Ok(())
     }
@@ -888,7 +926,12 @@ impl<D: BlockDevice> MicroFs<D> {
             .lookup(path)
             .ok_or_else(|| FsError::NotFound(path.to_string()))?;
         let node = self.state.inodes.get(ino)?;
-        Ok(FileStat { kind: node.kind, size: node.size, mode: node.mode, uid: node.uid })
+        Ok(FileStat {
+            kind: node.kind,
+            size: node.size,
+            mode: node.mode,
+            uid: node.uid,
+        })
     }
 
     /// `readdir(path)` — immediate children names, sorted.
@@ -900,7 +943,11 @@ impl<D: BlockDevice> MicroFs<D> {
         if self.state.inodes.get(ino)?.kind != InodeKind::Dir {
             return Err(FsError::NotADirectory(path.to_string()));
         }
-        let prefix = if path == "/" { "/".to_string() } else { format!("{path}/") };
+        let prefix = if path == "/" {
+            "/".to_string()
+        } else {
+            format!("{path}/")
+        };
         let mut names: Vec<String> = self
             .state
             .btree
@@ -980,17 +1027,35 @@ mod tests {
     #[test]
     fn posix_error_cases() {
         let mut fs = fresh();
-        assert!(matches!(fs.open("/nope", OpenFlags::RDONLY, 0), Err(FsError::NotFound(_))));
+        assert!(matches!(
+            fs.open("/nope", OpenFlags::RDONLY, 0),
+            Err(FsError::NotFound(_))
+        ));
         assert!(matches!(fs.mkdir("/a/b", 0o755), Err(FsError::NotFound(_))));
         fs.mkdir("/a", 0o755).unwrap();
-        assert!(matches!(fs.mkdir("/a", 0o755), Err(FsError::AlreadyExists(_))));
+        assert!(matches!(
+            fs.mkdir("/a", 0o755),
+            Err(FsError::AlreadyExists(_))
+        ));
         let fd = fs.create("/a/f", 0o644).unwrap();
         fs.close(fd).unwrap();
-        assert!(matches!(fs.mkdir("/a/f/x", 0o755), Err(FsError::NotADirectory(_))));
-        assert!(matches!(fs.open("/a", OpenFlags::RDONLY, 0), Err(FsError::IsADirectory(_))));
+        assert!(matches!(
+            fs.mkdir("/a/f/x", 0o755),
+            Err(FsError::NotADirectory(_))
+        ));
+        assert!(matches!(
+            fs.open("/a", OpenFlags::RDONLY, 0),
+            Err(FsError::IsADirectory(_))
+        ));
         assert!(matches!(fs.unlink("/a"), Err(FsError::NotEmpty(_))));
-        assert!(matches!(fs.read(99, &mut [0u8; 4]), Err(FsError::BadFd(99))));
-        assert!(matches!(fs.open("//x", OpenFlags::RDONLY, 0), Err(FsError::Invalid(_))));
+        assert!(matches!(
+            fs.read(99, &mut [0u8; 4]),
+            Err(FsError::BadFd(99))
+        ));
+        assert!(matches!(
+            fs.open("//x", OpenFlags::RDONLY, 0),
+            Err(FsError::Invalid(_))
+        ));
     }
 
     #[test]
@@ -1049,7 +1114,16 @@ mod tests {
     #[test]
     fn pwrite_pread_and_sparse_zeroes() {
         let mut fs = fresh();
-        let fd = fs.open("/sparse", OpenFlags { read: true, ..OpenFlags::CREATE_TRUNC }, 0o644).unwrap();
+        let fd = fs
+            .open(
+                "/sparse",
+                OpenFlags {
+                    read: true,
+                    ..OpenFlags::CREATE_TRUNC
+                },
+                0o644,
+            )
+            .unwrap();
         // Write at 100 KiB, leaving a hole.
         fs.pwrite(fd, 100 << 10, b"tail").unwrap();
         assert_eq!(fs.stat("/sparse").unwrap().size, (100 << 10) + 4);
@@ -1084,10 +1158,29 @@ mod tests {
         // a fresh open from another instance is complex; instead check the
         // read/write flag enforcement on fds.
         let fd = fs.open("/mine", OpenFlags::RDONLY, 0).unwrap();
-        assert!(matches!(fs.write(fd, b"x"), Err(FsError::PermissionDenied(_))));
+        assert!(matches!(
+            fs.write(fd, b"x"),
+            Err(FsError::PermissionDenied(_))
+        ));
         fs.close(fd).unwrap();
-        let fd = fs.open("/mine", OpenFlags { read: false, write: true, create: false, truncate: false, append: false, excl: false }, 0).unwrap();
-        assert!(matches!(fs.read(fd, &mut [0u8; 1]), Err(FsError::PermissionDenied(_))));
+        let fd = fs
+            .open(
+                "/mine",
+                OpenFlags {
+                    read: false,
+                    write: true,
+                    create: false,
+                    truncate: false,
+                    append: false,
+                    excl: false,
+                },
+                0,
+            )
+            .unwrap();
+        assert!(matches!(
+            fs.read(fd, &mut [0u8; 1]),
+            Err(FsError::PermissionDenied(_))
+        ));
         fs.close(fd).unwrap();
     }
 
@@ -1101,7 +1194,9 @@ mod tests {
         for i in 0..5 {
             let path = format!("/ckpt/rank_{i}.dat");
             let fd = fs.create(&path, 0o644).unwrap();
-            let data: Vec<u8> = (0..50_000 + i * 1000).map(|b| ((b * 31 + i) % 251) as u8).collect();
+            let data: Vec<u8> = (0..50_000 + i * 1000)
+                .map(|b| ((b * 31 + i) % 251) as u8)
+                .collect();
             fs.write(fd, &data).unwrap();
             fs.close(fd).unwrap();
             payloads.push((path, data));
@@ -1121,7 +1216,10 @@ mod tests {
             assert_eq!(&buf, data, "recovered bytes differ for {path}");
             fs.close(fd).unwrap();
         }
-        assert!(matches!(fs.stat("/ckpt/rank_3.dat"), Err(FsError::NotFound(_))));
+        assert!(matches!(
+            fs.stat("/ckpt/rank_3.dat"),
+            Err(FsError::NotFound(_))
+        ));
     }
 
     #[test]
@@ -1146,7 +1244,10 @@ mod tests {
 
     #[test]
     fn background_snapshot_triggers_on_close_when_log_low() {
-        let config = FsConfig { snapshot_threshold: 0.999, ..FsConfig::default() };
+        let config = FsConfig {
+            snapshot_threshold: 0.999,
+            ..FsConfig::default()
+        };
         let mut fs = MicroFs::format(MemDevice::new(DEV_SIZE), config.clone()).unwrap();
         let snaps0 = fs.stats().snapshots;
         // Hold one file open while filling the log past the threshold with
@@ -1193,7 +1294,10 @@ mod tests {
     fn mount_rejects_mismatched_block_size() {
         let fs = fresh();
         let dev = fs.into_device();
-        let bad = FsConfig { block_size: 64 << 10, ..FsConfig::default() };
+        let bad = FsConfig {
+            block_size: 64 << 10,
+            ..FsConfig::default()
+        };
         assert!(matches!(MicroFs::mount(dev, bad), Err(FsError::Invalid(_))));
     }
 
@@ -1218,7 +1322,7 @@ mod tests {
         // Device-resident directory files agree after the moves.
         assert_eq!(fs.readdir_from_device("/c").unwrap().len(), 2);
         assert_eq!(fs.readdir_from_device("/").unwrap().len(), 2); // a, c
-        // All of it survives crash + replay.
+                                                                   // All of it survives crash + replay.
         let dev = fs.into_device();
         let mut fs = MicroFs::mount(dev, FsConfig::default()).unwrap();
         assert_eq!(fs.readdir("/c").unwrap(), vec!["deep.dat", "final.dat"]);
@@ -1236,9 +1340,18 @@ mod tests {
         fs.close(fd).unwrap();
         let fd = fs.create("/f2", 0o644).unwrap();
         fs.close(fd).unwrap();
-        assert!(matches!(fs.rename("/nope", "/x"), Err(FsError::NotFound(_))));
-        assert!(matches!(fs.rename("/f1", "/f2"), Err(FsError::AlreadyExists(_))));
-        assert!(matches!(fs.rename("/d", "/d/sub"), Err(FsError::Invalid(_))));
+        assert!(matches!(
+            fs.rename("/nope", "/x"),
+            Err(FsError::NotFound(_))
+        ));
+        assert!(matches!(
+            fs.rename("/f1", "/f2"),
+            Err(FsError::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            fs.rename("/d", "/d/sub"),
+            Err(FsError::Invalid(_))
+        ));
         assert!(matches!(fs.rename("/", "/r"), Err(FsError::Invalid(_))));
         // Self-rename is a no-op.
         fs.rename("/f1", "/f1").unwrap();
@@ -1263,7 +1376,10 @@ mod tests {
         let mut buf = vec![1u8; 50_000];
         assert_eq!(fs.read(fd, &mut buf).unwrap(), 50_000);
         assert!(buf[..10_000].iter().all(|&b| b == 7));
-        assert!(buf[10_000..].iter().all(|&b| b == 0), "extension must read zeros");
+        assert!(
+            buf[10_000..].iter().all(|&b| b == 0),
+            "extension must read zeros"
+        );
         fs.close(fd).unwrap();
         // Replay reproduces both directions.
         let dev = fs.into_device();
@@ -1285,11 +1401,20 @@ mod tests {
         fs.close(fd).unwrap();
         assert_eq!(fs.stat("/t").unwrap().size, 10);
         let fd = fs.open("/t", OpenFlags::RDONLY, 0).unwrap();
-        assert!(matches!(fs.ftruncate(fd, 0), Err(FsError::PermissionDenied(_))));
+        assert!(matches!(
+            fs.ftruncate(fd, 0),
+            Err(FsError::PermissionDenied(_))
+        ));
         fs.close(fd).unwrap();
-        assert!(matches!(fs.truncate("/missing", 0), Err(FsError::NotFound(_))));
+        assert!(matches!(
+            fs.truncate("/missing", 0),
+            Err(FsError::NotFound(_))
+        ));
         fs.mkdir("/dir", 0o755).unwrap();
-        assert!(matches!(fs.truncate("/dir", 0), Err(FsError::IsADirectory(_))));
+        assert!(matches!(
+            fs.truncate("/dir", 0),
+            Err(FsError::IsADirectory(_))
+        ));
     }
 
     #[test]
@@ -1373,9 +1498,15 @@ mod tests {
         let fd = fs.create("/shared", 0o666).unwrap();
         fs.close(fd).unwrap();
         let dev = fs.into_device();
-        let other = FsConfig { uid: 2000, ..FsConfig::default() };
+        let other = FsConfig {
+            uid: 2000,
+            ..FsConfig::default()
+        };
         let mut fs = MicroFs::mount(dev, other).unwrap();
-        assert!(matches!(fs.chmod("/private", 0o777), Err(FsError::PermissionDenied(_))));
+        assert!(matches!(
+            fs.chmod("/private", 0o777),
+            Err(FsError::PermissionDenied(_))
+        ));
         assert!(!fs.access("/private", false).unwrap());
         assert!(fs.access("/shared", true).unwrap());
         assert!(matches!(
@@ -1454,7 +1585,16 @@ mod fd_semantics_tests {
     fn writes_via_two_fds_interleave_correctly() {
         let mut fs = fresh();
         let a = fs.open("/f", OpenFlags::CREATE_TRUNC, 0o644).unwrap();
-        let b = fs.open("/f", OpenFlags { read: true, ..OpenFlags::RDWR }, 0).unwrap();
+        let b = fs
+            .open(
+                "/f",
+                OpenFlags {
+                    read: true,
+                    ..OpenFlags::RDWR
+                },
+                0,
+            )
+            .unwrap();
         fs.write(a, b"XXXX").unwrap();
         fs.pwrite(b, 2, b"yy").unwrap();
         fs.close(a).unwrap();

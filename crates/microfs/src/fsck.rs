@@ -134,11 +134,18 @@ fn check_inner<D: BlockDevice>(dev: &mut D) -> Result<FsckReport, FsError> {
     for (ino, node) in &live {
         for &b in &node.blocks {
             if b >= layout.data_blocks {
-                issues.push(FsckIssue::BlockOutOfRange { ino: *ino, block: b });
+                issues.push(FsckIssue::BlockOutOfRange {
+                    ino: *ino,
+                    block: b,
+                });
                 continue;
             }
             if let Some(&first) = owner.get(&b) {
-                issues.push(FsckIssue::DoubleOwnedBlock { block: b, first, second: *ino });
+                issues.push(FsckIssue::DoubleOwnedBlock {
+                    block: b,
+                    first,
+                    second: *ino,
+                });
             } else {
                 owner.insert(b, *ino);
             }
@@ -162,7 +169,9 @@ fn check_inner<D: BlockDevice>(dev: &mut D) -> Result<FsckReport, FsError> {
     }
     let covered = owner.len() as u64 + free.len() as u64;
     if covered < layout.data_blocks {
-        issues.push(FsckIssue::PoolLeak { missing: layout.data_blocks - covered });
+        issues.push(FsckIssue::PoolLeak {
+            missing: layout.data_blocks - covered,
+        });
     }
     // --- Namespace ---
     let live_inos: BTreeSet<u64> = live.iter().map(|(i, _)| *i).collect();
@@ -186,8 +195,7 @@ fn check_inner<D: BlockDevice>(dev: &mut D) -> Result<FsckReport, FsError> {
                     .iter()
                     .find(|(p, _)| p == parent)
                     .map(|(_, pi)| {
-                        live
-                            .iter()
+                        live.iter()
                             .find(|(i, _)| i == pi)
                             .map(|(_, n)| n.kind == InodeKind::Dir)
                             .unwrap_or(false)
@@ -205,7 +213,9 @@ fn check_inner<D: BlockDevice>(dev: &mut D) -> Result<FsckReport, FsError> {
     }
     // --- Directory files vs B+Tree ---
     for (path, ino) in &entries {
-        let Some((_, node)) = live.iter().find(|(i, _)| i == ino) else { continue };
+        let Some((_, node)) = live.iter().find(|(i, _)| i == ino) else {
+            continue;
+        };
         if node.kind != InodeKind::Dir {
             continue;
         }
@@ -213,13 +223,15 @@ fn check_inner<D: BlockDevice>(dev: &mut D) -> Result<FsckReport, FsError> {
         read_file(dev, &layout, node, &mut raw)?;
         let mut on_device = Dirent::replay_stream(&raw, raw.len())?;
         on_device.sort();
-        let prefix = if path == "/" { "/".to_string() } else { format!("{path}/") };
+        let prefix = if path == "/" {
+            "/".to_string()
+        } else {
+            format!("{path}/")
+        };
         let mut expected: Vec<(String, u64)> = entries
             .iter()
             .filter(|(p, _)| {
-                p.starts_with(&prefix)
-                    && p.len() > prefix.len()
-                    && !p[prefix.len()..].contains('/')
+                p.starts_with(&prefix) && p.len() > prefix.len() && !p[prefix.len()..].contains('/')
             })
             .map(|(p, i)| (p[prefix.len()..].to_string(), *i))
             .collect();
@@ -482,10 +494,10 @@ mod tests {
         dev.write_at(addr, &[0xFF; 64]).unwrap();
         let report = check(&mut dev);
         assert!(
-            report
-                .issues
-                .iter()
-                .any(|i| matches!(i, FsckIssue::DirentMismatch { .. } | FsckIssue::Unreadable(_))),
+            report.issues.iter().any(|i| matches!(
+                i,
+                FsckIssue::DirentMismatch { .. } | FsckIssue::Unreadable(_)
+            )),
             "issues: {:?}",
             report.issues
         );

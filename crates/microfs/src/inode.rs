@@ -43,12 +43,26 @@ pub struct Inode {
 impl Inode {
     /// A fresh empty file.
     pub fn new_file(mode: u32, uid: u32, op: u64) -> Self {
-        Inode { kind: InodeKind::File, size: 0, blocks: Vec::new(), mode, uid, mtime_op: op }
+        Inode {
+            kind: InodeKind::File,
+            size: 0,
+            blocks: Vec::new(),
+            mode,
+            uid,
+            mtime_op: op,
+        }
     }
 
     /// A fresh empty directory.
     pub fn new_dir(mode: u32, uid: u32, op: u64) -> Self {
-        Inode { kind: InodeKind::Dir, size: 0, blocks: Vec::new(), mode, uid, mtime_op: op }
+        Inode {
+            kind: InodeKind::Dir,
+            size: 0,
+            blocks: Vec::new(),
+            mode,
+            uid,
+            mtime_op: op,
+        }
     }
 
     /// Serialized bytes.
@@ -103,7 +117,14 @@ impl Inode {
         for _ in 0..nblocks {
             blocks.push(rd64(pos));
         }
-        Ok(Inode { kind, size, blocks, mode, uid, mtime_op })
+        Ok(Inode {
+            kind,
+            size,
+            blocks,
+            mode,
+            uid,
+            mtime_op,
+        })
     }
 
     /// Approximate DRAM footprint.
@@ -173,7 +194,9 @@ impl InodeTable {
             .slots
             .get_mut(ino as usize)
             .ok_or_else(|| FsError::Io(format!("dangling inode {ino}")))?;
-        let inode = slot.take().ok_or_else(|| FsError::Io(format!("dangling inode {ino}")))?;
+        let inode = slot
+            .take()
+            .ok_or_else(|| FsError::Io(format!("dangling inode {ino}")))?;
         self.free.push(ino);
         self.live -= 1;
         Ok(inode)

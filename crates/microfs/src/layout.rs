@@ -143,7 +143,7 @@ mod tests {
         assert!(l.log_size >= 256 << 10);
         assert!(l.data_offset.is_multiple_of(l.block_size));
         assert!(l.data_blocks > 29_000); // ~1 GiB / 32 KiB minus reserves
-        // Regions do not overlap.
+                                         // Regions do not overlap.
         assert!(l.log_offset >= SUPERBLOCK_LEN);
         assert!(l.snapshot_offset >= l.log_offset + l.log_size);
         assert!(l.data_offset >= l.snapshot_offset + 2 * l.snapshot_slot_size);
@@ -162,7 +162,10 @@ mod tests {
         let l = Layout::compute(256 << 20, 32 << 10).unwrap();
         let mut sb = l.encode_superblock();
         sb[20] ^= 0xFF;
-        assert!(matches!(Layout::decode_superblock(&sb), Err(FsError::Io(_))));
+        assert!(matches!(
+            Layout::decode_superblock(&sb),
+            Err(FsError::Io(_))
+        ));
     }
 
     #[test]

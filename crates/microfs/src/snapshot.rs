@@ -11,11 +11,11 @@
 //! slot intact, so durability is never compromised (§III-E).
 
 use crate::block::BlockDevice;
+use crate::block::BlockPool;
 use crate::btree::BTree;
 use crate::crc::crc32;
 use crate::error::FsError;
 use crate::inode::InodeTable;
-use crate::block::BlockPool;
 use crate::layout::Layout;
 
 const SNAPSHOT_MAGIC: u64 = 0x6D66_735F_636B_7074; // "mfs_ckpt"
@@ -38,7 +38,11 @@ impl FsState {
     fn encode(&self) -> Vec<u8> {
         let mut v = Vec::new();
         v.extend_from_slice(&self.op_counter.to_le_bytes());
-        let sections = [self.inodes.encode(), self.pool.encode(), self.btree.encode()];
+        let sections = [
+            self.inodes.encode(),
+            self.pool.encode(),
+            self.btree.encode(),
+        ];
         for s in sections {
             v.extend_from_slice(&(s.len() as u64).to_le_bytes());
             v.extend_from_slice(&s);
@@ -70,7 +74,12 @@ impl FsState {
         let (inodes, _) = InodeTable::decode(&bytes[is..is + il])?;
         let (pool, _) = BlockPool::decode(&bytes[ps..ps + pl])?;
         let (btree, _) = BTree::decode(&bytes[bs..bs + bl])?;
-        Ok(FsState { inodes, pool, btree, op_counter })
+        Ok(FsState {
+            inodes,
+            pool,
+            btree,
+            op_counter,
+        })
     }
 }
 
@@ -137,10 +146,7 @@ fn read_slot<D: BlockDevice>(
 }
 
 /// Read the newest valid snapshot: `(seq, generation, state)`.
-pub fn read_latest<D: BlockDevice>(
-    dev: &mut D,
-    layout: &Layout,
-) -> Option<(u64, u32, FsState)> {
+pub fn read_latest<D: BlockDevice>(dev: &mut D, layout: &Layout) -> Option<(u64, u32, FsState)> {
     let a = read_slot(dev, layout, 0);
     let b = read_slot(dev, layout, 1);
     match (a, b) {
@@ -176,7 +182,12 @@ mod tests {
             let ino = inodes.alloc(f);
             btree.insert(&format!("/ckpt_{i}.dat"), ino);
         }
-        FsState { inodes, pool, btree, op_counter: n_files + 1 }
+        FsState {
+            inodes,
+            pool,
+            btree,
+            op_counter: n_files + 1,
+        }
     }
 
     fn assert_states_equal(a: &FsState, b: &FsState) {
@@ -204,7 +215,7 @@ mod tests {
         let (seq, generation, state) = read_latest(&mut dev, &layout).unwrap();
         assert_eq!((seq, generation), (5, 2));
         assert_eq!(state.inodes.len(), 10); // 9 files + root
-        // Writing seq 6 goes back to slot 0, atomically replacing seq 4.
+                                            // Writing seq 6 goes back to slot 0, atomically replacing seq 4.
         write_snapshot(&mut dev, &layout, &sample_state(2), 6, 3).unwrap();
         let (seq, _, state) = read_latest(&mut dev, &layout).unwrap();
         assert_eq!(seq, 6);
@@ -221,12 +232,15 @@ mod tests {
     fn torn_snapshot_falls_back_to_previous() {
         let (layout, mut dev) = layout_and_dev();
         write_snapshot(&mut dev, &layout, &sample_state(3), 2, 1).unwrap(); // slot 0
-        // Simulate a crash mid-write of seq 3 (slot 1): payload written,
-        // header half-written (header region stays garbage/zero).
+                                                                            // Simulate a crash mid-write of seq 3 (slot 1): payload written,
+                                                                            // header half-written (header region stays garbage/zero).
         let state = sample_state(8);
         let payload = state.encode();
-        dev.write_at(layout.snapshot_offset + layout.snapshot_slot_size + HEADER_LEN, &payload)
-            .unwrap();
+        dev.write_at(
+            layout.snapshot_offset + layout.snapshot_slot_size + HEADER_LEN,
+            &payload,
+        )
+        .unwrap();
         let (seq, _, restored) = read_latest(&mut dev, &layout).unwrap();
         assert_eq!(seq, 2);
         assert_eq!(restored.inodes.len(), 4);

@@ -102,14 +102,21 @@ mod tests {
     use super::*;
 
     fn entry(ino: Ino, start: u64, end: u64, pos: u64) -> WindowEntry {
-        WindowEntry { ino, start, end, device_pos: pos }
+        WindowEntry {
+            ino,
+            start,
+            end,
+            device_pos: pos,
+        }
     }
 
     #[test]
     fn sequential_writes_coalesce() {
         let mut w = CoalesceWindow::new(8);
         w.register(entry(1, 0, 100, 10));
-        let e = w.try_extend(1, 100, 50).expect("sequential write must extend");
+        let e = w
+            .try_extend(1, 100, 50)
+            .expect("sequential write must extend");
         assert_eq!((e.start, e.end, e.device_pos), (0, 150, 10));
         // And again, continuing the extended coverage.
         let e = w.try_extend(1, 150, 50).unwrap();

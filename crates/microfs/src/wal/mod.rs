@@ -69,8 +69,18 @@ impl Wal {
 
     /// A log resuming at a known generation with an empty region (used
     /// after recovery re-established state `generation`).
-    pub fn resume(region_off: u64, region_size: u64, coalescing: bool, generation: u32, pos: u64) -> Self {
-        Wal { generation, pos, ..Self::new(region_off, region_size, coalescing) }
+    pub fn resume(
+        region_off: u64,
+        region_size: u64,
+        coalescing: bool,
+        generation: u32,
+        pos: u64,
+    ) -> Self {
+        Wal {
+            generation,
+            pos,
+            ..Self::new(region_off, region_size, coalescing)
+        }
     }
 
     /// Current generation.
@@ -194,8 +204,16 @@ mod tests {
     fn append_then_scan_roundtrip() {
         let (mut dev, mut wal) = setup(false);
         let recs = vec![
-            LogRecord::Create { path: "/f".into(), mode: 0o644, uid: 0 },
-            LogRecord::Write { ino: 1, offset: 0, len: 100 },
+            LogRecord::Create {
+                path: "/f".into(),
+                mode: 0o644,
+                uid: 0,
+            },
+            LogRecord::Write {
+                ino: 1,
+                offset: 0,
+                len: 100,
+            },
             LogRecord::Unlink { path: "/f".into() },
         ];
         for r in &recs {
@@ -210,8 +228,15 @@ mod tests {
     fn sequential_writes_coalesce_into_one_record() {
         let (mut dev, mut wal) = setup(true);
         for i in 0..64u64 {
-            wal.append(&mut dev, &LogRecord::Write { ino: 5, offset: i * 4096, len: 4096 })
-                .unwrap();
+            wal.append(
+                &mut dev,
+                &LogRecord::Write {
+                    ino: 5,
+                    offset: i * 4096,
+                    len: 4096,
+                },
+            )
+            .unwrap();
         }
         let s = wal.stats();
         assert_eq!(s.appended, 1, "only the first write appends");
@@ -219,7 +244,11 @@ mod tests {
         let (scanned, _) = Wal::scan(&mut dev, 0, 32 << 10, 0).unwrap();
         assert_eq!(
             scanned,
-            vec![LogRecord::Write { ino: 5, offset: 0, len: 64 * 4096 }]
+            vec![LogRecord::Write {
+                ino: 5,
+                offset: 0,
+                len: 64 * 4096
+            }]
         );
     }
 
@@ -227,8 +256,15 @@ mod tests {
     fn coalescing_disabled_appends_every_record() {
         let (mut dev, mut wal) = setup(false);
         for i in 0..10u64 {
-            wal.append(&mut dev, &LogRecord::Write { ino: 5, offset: i * 10, len: 10 })
-                .unwrap();
+            wal.append(
+                &mut dev,
+                &LogRecord::Write {
+                    ino: 5,
+                    offset: i * 10,
+                    len: 10,
+                },
+            )
+            .unwrap();
         }
         assert_eq!(wal.stats().appended, 10);
         assert_eq!(wal.stats().coalesced, 0);
@@ -269,7 +305,8 @@ mod tests {
         let run = |coalescing: bool| {
             let (mut dev, mut wal) = setup(coalescing);
             for &(ino, offset, len) in &writes {
-                wal.append(&mut dev, &LogRecord::Write { ino, offset, len }).unwrap();
+                wal.append(&mut dev, &LogRecord::Write { ino, offset, len })
+                    .unwrap();
             }
             let (scanned, _) = Wal::scan(&mut dev, 0, 32 << 10, 0).unwrap();
             coverage(&scanned)
@@ -280,14 +317,30 @@ mod tests {
     #[test]
     fn reset_starts_new_generation_and_hides_old_records() {
         let (mut dev, mut wal) = setup(false);
-        wal.append(&mut dev, &LogRecord::Write { ino: 1, offset: 0, len: 8 }).unwrap();
+        wal.append(
+            &mut dev,
+            &LogRecord::Write {
+                ino: 1,
+                offset: 0,
+                len: 8,
+            },
+        )
+        .unwrap();
         wal.reset();
         assert_eq!(wal.generation(), 1);
         // Old-generation records are invisible to the new-generation scan.
         let (scanned, _) = Wal::scan(&mut dev, 0, 32 << 10, 1).unwrap();
         assert!(scanned.is_empty());
         // New appends are visible.
-        wal.append(&mut dev, &LogRecord::Write { ino: 2, offset: 0, len: 8 }).unwrap();
+        wal.append(
+            &mut dev,
+            &LogRecord::Write {
+                ino: 2,
+                offset: 0,
+                len: 8,
+            },
+        )
+        .unwrap();
         let (scanned, _) = Wal::scan(&mut dev, 0, 32 << 10, 1).unwrap();
         assert_eq!(scanned.len(), 1);
     }
@@ -296,7 +349,11 @@ mod tests {
     fn log_full_is_reported() {
         let mut dev = MemDevice::new(4096);
         let mut wal = Wal::new(0, 128, false);
-        let rec = LogRecord::Write { ino: 1, offset: 0, len: 1 };
+        let rec = LogRecord::Write {
+            ino: 1,
+            offset: 0,
+            len: 1,
+        };
         let mut appended = 0;
         loop {
             match wal.append(&mut dev, &rec) {
@@ -315,9 +372,25 @@ mod tests {
     #[test]
     fn invalidate_prevents_stale_extension() {
         let (mut dev, mut wal) = setup(true);
-        wal.append(&mut dev, &LogRecord::Write { ino: 1, offset: 0, len: 100 }).unwrap();
+        wal.append(
+            &mut dev,
+            &LogRecord::Write {
+                ino: 1,
+                offset: 0,
+                len: 100,
+            },
+        )
+        .unwrap();
         wal.invalidate(1);
-        wal.append(&mut dev, &LogRecord::Write { ino: 1, offset: 100, len: 50 }).unwrap();
+        wal.append(
+            &mut dev,
+            &LogRecord::Write {
+                ino: 1,
+                offset: 100,
+                len: 50,
+            },
+        )
+        .unwrap();
         assert_eq!(wal.stats().appended, 2);
         assert_eq!(wal.stats().coalesced, 0);
     }
@@ -326,8 +399,20 @@ mod tests {
     fn free_fraction_decreases() {
         let (mut dev, mut wal) = setup(false);
         let f0 = wal.free_fraction();
-        wal.append(&mut dev, &LogRecord::Write { ino: 1, offset: 0, len: 1 }).unwrap();
+        wal.append(
+            &mut dev,
+            &LogRecord::Write {
+                ino: 1,
+                offset: 0,
+                len: 1,
+            },
+        )
+        .unwrap();
         assert!(wal.free_fraction() < f0);
-        assert!(wal.would_fit(&LogRecord::Write { ino: 1, offset: 0, len: 1 }));
+        assert!(wal.would_fit(&LogRecord::Write {
+            ino: 1,
+            offset: 0,
+            len: 1
+        }));
     }
 }

@@ -187,10 +187,21 @@ impl LogRecord {
                 offset: get64(&mut pos)?,
                 len: get64(&mut pos)?,
             }),
-            4 => Ok(LogRecord::Truncate { ino: get64(&mut pos)?, size: get64(&mut pos)? }),
-            5 => Ok(LogRecord::Unlink { path: get_str(&mut pos)? }),
-            6 => Ok(LogRecord::Rename { from: get_str(&mut pos)?, to: get_str(&mut pos)? }),
-            7 => Ok(LogRecord::SetMode { ino: get64(&mut pos)?, mode: get32(&mut pos)? }),
+            4 => Ok(LogRecord::Truncate {
+                ino: get64(&mut pos)?,
+                size: get64(&mut pos)?,
+            }),
+            5 => Ok(LogRecord::Unlink {
+                path: get_str(&mut pos)?,
+            }),
+            6 => Ok(LogRecord::Rename {
+                from: get_str(&mut pos)?,
+                to: get_str(&mut pos)?,
+            }),
+            7 => Ok(LogRecord::SetMode {
+                ino: get64(&mut pos)?,
+                mode: get32(&mut pos)?,
+            }),
             t => Err(FsError::Io(format!("bad log record tag {t}"))),
         }
     }
@@ -215,11 +226,7 @@ pub fn frame(gen: u32, payload: &[u8]) -> Vec<u8> {
 /// Try to read one framed record for generation `gen` at `bytes[pos..]`.
 /// Returns `Ok(None)` at end-of-log (bad frame, wrong generation, or CRC
 /// mismatch — all three mean "no more valid records").
-pub fn read_frame(
-    bytes: &[u8],
-    pos: &mut usize,
-    gen: u32,
-) -> Result<Option<LogRecord>, FsError> {
+pub fn read_frame(bytes: &[u8], pos: &mut usize, gen: u32) -> Result<Option<LogRecord>, FsError> {
     if bytes.len() < *pos + HEADER_LEN {
         return Ok(None);
     }
@@ -251,13 +258,33 @@ mod tests {
 
     fn samples() -> Vec<LogRecord> {
         vec![
-            LogRecord::Mkdir { path: "/ckpt".into(), mode: 0o755, uid: 1000 },
-            LogRecord::Create { path: "/ckpt/rank_007.dat".into(), mode: 0o644, uid: 1000 },
-            LogRecord::Write { ino: 3, offset: 1 << 20, len: 32 << 10 },
+            LogRecord::Mkdir {
+                path: "/ckpt".into(),
+                mode: 0o755,
+                uid: 1000,
+            },
+            LogRecord::Create {
+                path: "/ckpt/rank_007.dat".into(),
+                mode: 0o644,
+                uid: 1000,
+            },
+            LogRecord::Write {
+                ino: 3,
+                offset: 1 << 20,
+                len: 32 << 10,
+            },
             LogRecord::Truncate { ino: 3, size: 0 },
-            LogRecord::Unlink { path: "/ckpt/rank_007.dat".into() },
-            LogRecord::Rename { from: "/ckpt/tmp".into(), to: "/ckpt/final".into() },
-            LogRecord::SetMode { ino: 3, mode: 0o600 },
+            LogRecord::Unlink {
+                path: "/ckpt/rank_007.dat".into(),
+            },
+            LogRecord::Rename {
+                from: "/ckpt/tmp".into(),
+                to: "/ckpt/final".into(),
+            },
+            LogRecord::SetMode {
+                ino: 3,
+                mode: 0o600,
+            },
         ]
     }
 
@@ -271,9 +298,17 @@ mod tests {
 
     #[test]
     fn write_record_is_compact_and_fixed() {
-        let r = LogRecord::Write { ino: u64::MAX, offset: u64::MAX, len: u64::MAX };
+        let r = LogRecord::Write {
+            ino: u64::MAX,
+            offset: u64::MAX,
+            len: u64::MAX,
+        };
         assert_eq!(r.encode_payload().len(), WRITE_PAYLOAD_LEN);
-        let small = LogRecord::Write { ino: 0, offset: 0, len: 1 };
+        let small = LogRecord::Write {
+            ino: 0,
+            offset: 0,
+            len: 1,
+        };
         assert_eq!(small.encode_payload().len(), WRITE_PAYLOAD_LEN);
     }
 
@@ -295,7 +330,11 @@ mod tests {
 
     #[test]
     fn wrong_generation_stops_scan() {
-        let r = LogRecord::Write { ino: 1, offset: 0, len: 10 };
+        let r = LogRecord::Write {
+            ino: 1,
+            offset: 0,
+            len: 10,
+        };
         let buf = r.encode(3);
         let mut pos = 0;
         assert_eq!(read_frame(&buf, &mut pos, 4).unwrap(), None);
@@ -304,7 +343,11 @@ mod tests {
 
     #[test]
     fn corrupt_crc_stops_scan() {
-        let r = LogRecord::Create { path: "/x".into(), mode: 0, uid: 0 };
+        let r = LogRecord::Create {
+            path: "/x".into(),
+            mode: 0,
+            uid: 0,
+        };
         let mut buf = r.encode(0);
         let last = buf.len() - 1;
         buf[last] ^= 0x80; // flip a payload bit
@@ -316,7 +359,11 @@ mod tests {
     fn stale_generation_crc_cannot_masquerade() {
         // A record written under gen 1 whose generation field is then
         // clobbered to 2 must fail the CRC (crc covers the generation).
-        let r = LogRecord::Write { ino: 9, offset: 0, len: 5 };
+        let r = LogRecord::Write {
+            ino: 9,
+            offset: 0,
+            len: 5,
+        };
         let mut buf = r.encode(1);
         buf[0..4].copy_from_slice(&2u32.to_le_bytes());
         let mut pos = 0;

@@ -20,7 +20,10 @@ struct RecordingDevice {
 
 impl RecordingDevice {
     fn new(size: u64) -> Self {
-        RecordingDevice { inner: MemDevice::new(size), log: Vec::new() }
+        RecordingDevice {
+            inner: MemDevice::new(size),
+            log: Vec::new(),
+        }
     }
 
     /// Media contents as of write `k` (exclusive).
@@ -67,7 +70,8 @@ fn run_workload() -> RecordingDevice {
         let path = format!("/ckpt/rank_{i}.dat");
         let fd = fs.create(&path, 0o644).unwrap();
         for chunk in 0..4 {
-            fs.write(fd, &vec![(i * 16 + chunk) as u8; 24 << 10]).unwrap();
+            fs.write(fd, &vec![(i * 16 + chunk) as u8; 24 << 10])
+                .unwrap();
         }
         fs.close(fd).unwrap();
     }
@@ -85,7 +89,10 @@ fn run_workload() -> RecordingDevice {
 fn every_crash_point_mounts_and_fscks_clean() {
     let rec = run_workload();
     let total = rec.log.len();
-    assert!(total > 50, "workload should produce many device writes, got {total}");
+    assert!(
+        total > 50,
+        "workload should produce many device writes, got {total}"
+    );
     // The partition is mountable only once the initial snapshot header is
     // on media; find that point (first prefix that mounts) and require
     // every later prefix to be clean too.
@@ -133,13 +140,17 @@ fn completed_data_survives_at_every_later_crash_point() {
     let mut seen_at = None;
     for k in 0..=total {
         let media = rec.media_at(k, DEV_SIZE);
-        let Ok(mut fs) = MicroFs::mount(media, FsConfig::default()) else { continue };
+        let Ok(mut fs) = MicroFs::mount(media, FsConfig::default()) else {
+            continue;
+        };
         let Ok(st) = fs.stat("/ckpt/post_snap.dat") else {
             assert!(seen_at.is_none(), "file vanished at crash point {k}");
             continue;
         };
         if st.size == expect.len() as u64 {
-            let fd = fs.open("/ckpt/post_snap.dat", OpenFlags::RDONLY, 0).unwrap();
+            let fd = fs
+                .open("/ckpt/post_snap.dat", OpenFlags::RDONLY, 0)
+                .unwrap();
             let mut buf = vec![0u8; expect.len()];
             let mut got = 0;
             while got < buf.len() {

@@ -48,7 +48,9 @@ impl Model {
 }
 
 fn payload(seed: u8, len: u16) -> Vec<u8> {
-    (0..len).map(|i| (u16::from(seed).wrapping_mul(31).wrapping_add(i) % 251) as u8).collect()
+    (0..len)
+        .map(|i| (u16::from(seed).wrapping_mul(31).wrapping_add(i) % 251) as u8)
+        .collect()
 }
 
 fn apply(
@@ -73,7 +75,10 @@ fn apply(
             let path = file_name(*df, df.wrapping_mul(7));
             let ours = f.open(&path, OpenFlags::CREATE_EXCL, 0o644);
             if !model.parent_exists(&path) {
-                prop_assert!(matches!(ours, Err(FsError::NotFound(_))), "{path}: {ours:?}");
+                prop_assert!(
+                    matches!(ours, Err(FsError::NotFound(_))),
+                    "{path}: {ours:?}"
+                );
             } else if model.files.contains_key(&path) {
                 prop_assert!(matches!(ours, Err(FsError::AlreadyExists(_))));
             } else {

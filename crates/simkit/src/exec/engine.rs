@@ -23,7 +23,11 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::Deadlock { stuck } => {
-                write!(f, "simulation deadlocked with {} stuck token(s)", stuck.len())
+                write!(
+                    f,
+                    "simulation deadlocked with {} stuck token(s)",
+                    stuck.len()
+                )
             }
         }
     }
@@ -265,7 +269,10 @@ impl Engine {
         debug_assert!(self.tokens[t.0].done_at.is_none());
         self.tokens[t.0].done_at = Some(self.now);
         if let Some(trace) = self.trace.as_mut() {
-            trace.push(TraceEvent { at: self.now, token: t });
+            trace.push(TraceEvent {
+                at: self.now,
+                token: t,
+            });
         }
         self.completed += 1;
         for i in 0..self.children[t.0].len() {
@@ -338,7 +345,11 @@ mod tests {
         let mut dag = Dag::new();
         let t = dag.token(
             &[],
-            vec![Stage::delay_us(5.0), Stage::delay_us(7.0), Stage::delay_us(8.0)],
+            vec![
+                Stage::delay_us(5.0),
+                Stage::delay_us(7.0),
+                Stage::delay_us(8.0),
+            ],
         );
         let r = dag.run().unwrap();
         assert!((r.completion(t).as_micros() - 20.0).abs() < 1e-9);

@@ -76,8 +76,12 @@ impl PsPipe {
         // Order stream indices by cap ascending (uncapped last).
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| {
-            let ca = self.streams[a].cap.map_or(f64::INFINITY, |c| c.as_bytes_per_sec());
-            let cb = self.streams[b].cap.map_or(f64::INFINITY, |c| c.as_bytes_per_sec());
+            let ca = self.streams[a]
+                .cap
+                .map_or(f64::INFINITY, |c| c.as_bytes_per_sec());
+            let cb = self.streams[b]
+                .cap
+                .map_or(f64::INFINITY, |c| c.as_bytes_per_sec());
             ca.total_cmp(&cb)
         });
         let mut remaining_bw = self.bw;
@@ -195,7 +199,12 @@ mod tests {
     #[test]
     fn cap_limits_one_stream_and_frees_bandwidth() {
         let mut p = PsPipe::new(Rate::mib_per_sec(100.0));
-        p.add(SimTime::ZERO, tid(0), 25 << 20, Some(Rate::mib_per_sec(25.0)));
+        p.add(
+            SimTime::ZERO,
+            tid(0),
+            25 << 20,
+            Some(Rate::mib_per_sec(25.0)),
+        );
         p.add(SimTime::ZERO, tid(1), 75 << 20, None);
         // Water-fill: capped stream 25 MiB/s, other 75 MiB/s -> both at t=1.
         let done = p.next_completion(SimTime::ZERO).unwrap();
@@ -228,7 +237,12 @@ mod tests {
     #[test]
     fn undersubscribed_caps_leave_bandwidth_unused() {
         let mut p = PsPipe::new(Rate::mib_per_sec(100.0));
-        p.add(SimTime::ZERO, tid(0), 10 << 20, Some(Rate::mib_per_sec(10.0)));
+        p.add(
+            SimTime::ZERO,
+            tid(0),
+            10 << 20,
+            Some(Rate::mib_per_sec(10.0)),
+        );
         // Only 10 of 100 MiB/s usable.
         let done = p.next_completion(SimTime::ZERO).unwrap();
         assert!((done.as_secs() - 1.0).abs() < 1e-9);

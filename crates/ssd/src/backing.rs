@@ -41,7 +41,9 @@ impl SparseStore {
     /// before it reaches the store.
     pub fn write(&mut self, offset: u64, data: &[u8]) {
         assert!(
-            offset.checked_add(data.len() as u64).is_some_and(|e| e <= self.size),
+            offset
+                .checked_add(data.len() as u64)
+                .is_some_and(|e| e <= self.size),
             "write out of range: offset {offset} len {} size {}",
             data.len(),
             self.size
@@ -64,7 +66,9 @@ impl SparseStore {
     /// Read into `buf` from `offset`. Unwritten ranges read as zero.
     pub fn read(&self, offset: u64, buf: &mut [u8]) {
         assert!(
-            offset.checked_add(buf.len() as u64).is_some_and(|e| e <= self.size),
+            offset
+                .checked_add(buf.len() as u64)
+                .is_some_and(|e| e <= self.size),
             "read out of range: offset {offset} len {} size {}",
             buf.len(),
             self.size

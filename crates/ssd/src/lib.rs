@@ -30,6 +30,6 @@ pub mod namespace;
 
 pub use backing::SparseStore;
 pub use config::SsdConfig;
-pub use device::{PowerFailure, Ssd, SsdError};
+pub use device::{NsShard, PowerFailure, Ssd, SsdError};
 pub use model::{IoKind, SsdFacility};
 pub use namespace::{NamespaceSet, NsError, NsId};

@@ -142,14 +142,23 @@ impl SsdFacility {
         };
         let hold = bytes.min(self.staging_ram);
         vec![
-            Stage::Acquire { pool: self.staging, n: hold },
-            Stage::Seize { res: self.controller, hold: self.cmd_overhead },
+            Stage::Acquire {
+                pool: self.staging,
+                n: hold,
+            },
+            Stage::Seize {
+                res: self.controller,
+                hold: self.cmd_overhead,
+            },
             Stage::Xfer {
                 pipe: self.pipe_for(kind),
                 bytes: media,
                 cap: Some(self.rate_for(kind, bytes)),
             },
-            Stage::Release { pool: self.staging, n: hold },
+            Stage::Release {
+                pool: self.staging,
+                n: hold,
+            },
         ]
     }
 
@@ -189,7 +198,11 @@ impl SsdFacility {
                 res: self.controller,
                 hold: self.cmd_overhead * n_req as f64,
             },
-            Stage::Xfer { pipe: self.pipe_for(kind), bytes: media, cap: Some(cap) },
+            Stage::Xfer {
+                pipe: self.pipe_for(kind),
+                bytes: media,
+                cap: Some(cap),
+            },
         ]
     }
 }
@@ -245,7 +258,11 @@ mod tests {
         let floor = cfg.write_bw().time_for(28 * (32 << 20));
         let t = r.makespan().as_secs();
         assert!(t >= floor.as_secs(), "faster than hardware: {t}");
-        assert!(t < floor.as_secs() * 1.10, "too much overhead: {t} vs {}", floor.as_secs());
+        assert!(
+            t < floor.as_secs() * 1.10,
+            "too much overhead: {t} vs {}",
+            floor.as_secs()
+        );
     }
 
     #[test]
@@ -307,7 +324,10 @@ mod tests {
         // first wave completes strictly before the second. Without the
         // staging bound all four share the array and complete together.
         let run_with_staging = |staging_ram: u64| {
-            let cfg = SsdConfig { staging_ram, ..SsdConfig::default() };
+            let cfg = SsdConfig {
+                staging_ram,
+                ..SsdConfig::default()
+            };
             let mut dag = Dag::new();
             let f = SsdFacility::install(&mut dag, &cfg);
             let ids: Vec<_> = (0..4)
@@ -317,14 +337,20 @@ mod tests {
             ids.iter().map(|&t| r.completion(t)).collect::<Vec<_>>()
         };
         let limited = run_with_staging(2 << 20);
-        let spread = limited.iter().max().unwrap().as_secs()
-            - limited.iter().min().unwrap().as_secs();
-        assert!(spread > 1e-3, "staging limit should stagger completions by a wave");
+        let spread =
+            limited.iter().max().unwrap().as_secs() - limited.iter().min().unwrap().as_secs();
+        assert!(
+            spread > 1e-3,
+            "staging limit should stagger completions by a wave"
+        );
         let unlimited = run_with_staging(24 << 20);
-        let spread_u = unlimited.iter().max().unwrap().as_secs()
-            - unlimited.iter().min().unwrap().as_secs();
+        let spread_u =
+            unlimited.iter().max().unwrap().as_secs() - unlimited.iter().min().unwrap().as_secs();
         // Only the microsecond-scale command staggering remains.
-        assert!(spread_u < 1e-4, "unbounded staging should complete near-together, spread {spread_u}");
+        assert!(
+            spread_u < 1e-4,
+            "unbounded staging should complete near-together, spread {spread_u}"
+        );
     }
 
     #[test]
@@ -342,6 +368,9 @@ mod tests {
         let cfg = SsdConfig::default();
         let cmd = cfg.cmd_overhead * 4.0;
         assert!(r.completion(t) > cmd);
-        assert!(r.completion(t) < cmd + cfg.write_rate_for(32 << 10).time_for(100 << 10) + SimTime::micros(50.0));
+        assert!(
+            r.completion(t)
+                < cmd + cfg.write_rate_for(32 << 10).time_for(100 << 10) + SimTime::micros(50.0)
+        );
     }
 }

@@ -25,7 +25,12 @@ pub enum NsError {
     /// Unknown namespace id.
     UnknownNamespace(NsId),
     /// IO outside the namespace's range.
-    OutOfRange { ns: NsId, offset: u64, len: u64, size: u64 },
+    OutOfRange {
+        ns: NsId,
+        offset: u64,
+        len: u64,
+        size: u64,
+    },
     /// Device has hit its namespace-count limit.
     TooManyNamespaces { limit: u32 },
 }
@@ -132,7 +137,10 @@ impl NamespaceSet {
             .map(|(&start, &len)| (start, len));
         let Some((start, len)) = slot else {
             let largest = self.free.values().copied().max().unwrap_or(0);
-            return Err(NsError::NoSpace { requested: size, largest_free: largest });
+            return Err(NsError::NoSpace {
+                requested: size,
+                largest_free: largest,
+            });
         };
         self.free.remove(&start);
         if len > size {
@@ -147,7 +155,10 @@ impl NamespaceSet {
     /// Delete a namespace, returning its extent to free space (coalescing
     /// with neighbours).
     pub fn delete(&mut self, ns: NsId) -> Result<(), NsError> {
-        let ext = self.active.remove(&ns).ok_or(NsError::UnknownNamespace(ns))?;
+        let ext = self
+            .active
+            .remove(&ns)
+            .ok_or(NsError::UnknownNamespace(ns))?;
         let mut start = ext.start;
         let mut size = ext.size;
         // Coalesce with the preceding free extent.
@@ -174,7 +185,12 @@ impl NamespaceSet {
         let end = offset.checked_add(len);
         match end {
             Some(e) if e <= ext.size => Ok(ext.start + offset),
-            _ => Err(NsError::OutOfRange { ns, offset, len, size: ext.size }),
+            _ => Err(NsError::OutOfRange {
+                ns,
+                offset,
+                len,
+                size: ext.size,
+            }),
         }
     }
 }

@@ -93,9 +93,9 @@ impl PhasedApp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::NvmeCrModel;
     use baselines::model::StorageModel;
     use baselines::{OrangeFsModel, Scenario};
-    use crate::NvmeCrModel;
 
     #[test]
     fn densities_differ_across_the_suite() {
@@ -103,7 +103,11 @@ mod tests {
         let mut densities: Vec<f64> = suite.iter().map(PhasedApp::density).collect();
         densities.sort_by(f64::total_cmp);
         densities.dedup_by(|a, b| (*a - *b).abs() < 1.0);
-        assert_eq!(densities.len(), suite.len(), "each app has a distinct density");
+        assert_eq!(
+            densities.len(),
+            suite.len(),
+            "each app has a distinct density"
+        );
     }
 
     #[test]

@@ -125,8 +125,14 @@ mod tests {
 
     #[test]
     fn compute_interval_scales_with_atoms() {
-        let small = CoMD { atoms_per_rank: 1000, ..CoMD::weak_scaling() };
-        let big = CoMD { atoms_per_rank: 10_000, ..CoMD::weak_scaling() };
+        let small = CoMD {
+            atoms_per_rank: 1000,
+            ..CoMD::weak_scaling()
+        };
+        let big = CoMD {
+            atoms_per_rank: 10_000,
+            ..CoMD::weak_scaling()
+        };
         assert!(big.compute_interval() > small.compute_interval() * 9.0);
     }
 

@@ -18,7 +18,6 @@ use cluster::{JobRequest, Scheduler, Topology};
 use nvmecr::multilevel::{CheckpointLevel, MultiLevelPolicy};
 use nvmecr::runtime::{NvmeCrRuntime, StorageRack};
 use nvmecr::{metrics, RuntimeConfig};
-use rayon::prelude::*;
 use simkit::SimTime;
 use ssd::SsdConfig;
 
@@ -113,13 +112,103 @@ pub struct FunctionalReport {
     pub metadata_bytes: u64,
     /// DRAM metadata footprint across all ranks.
     pub dram_bytes: u64,
+    /// Payload bytes memcpy'd anywhere on the data path (initiator
+    /// staging + device drain-to-media) over the whole run.
+    pub bytes_copied: u64,
+    /// Nanoseconds ranks spent blocked on namespace-shard locks —
+    /// the direct observable for cross-rank device contention.
+    pub lock_wait_ns: u64,
+}
+
+/// How the per-rank phases of a functional run are driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriveMode {
+    /// One rank at a time, in rank order.
+    Serial,
+    /// All ranks concurrently on a rayon pool (each rank owns its
+    /// filesystem, connection, and namespace shard, so this shares no
+    /// data-plane lock across ranks).
+    Parallel,
+}
+
+/// Write rank `rank`'s checkpoint `ckpt` into its filesystem. Payload
+/// generation happens here so parallel driving parallelises it too.
+fn checkpoint_rank(
+    comd: &CoMD,
+    fs: &mut microfs::MicroFs<nvmecr::dataplane::NvmfBlockDevice>,
+    rank: u32,
+    ckpt: u32,
+    bytes_per_rank: u64,
+) -> Result<(), nvmecr::runtime::RuntimeError> {
+    let write_size = 1usize << 20;
+    if ckpt == 0 {
+        // Per-rank private namespaces: same paths, no coordination.
+        fs.mkdir("/comd", 0o755).ok();
+    }
+    fs.mkdir(&format!("/comd/ckpt_{ckpt:03}"), 0o755)?;
+    let payload = comd.checkpoint_payload(rank, ckpt, bytes_per_rank as usize);
+    let path = CoMD::checkpoint_path(rank, ckpt);
+    let fd = fs.create(&path, 0o644)?;
+    for chunk in payload.chunks(write_size) {
+        fs.write(fd, chunk)?;
+    }
+    fs.fsync(fd)?;
+    fs.close(fd)?;
+    Ok(())
+}
+
+/// Read back rank `rank`'s checkpoint `ckpt` and compare byte-for-byte.
+/// Returns the verified byte count, or `Ok(None)` on a mismatch (the
+/// caller turns that into an error — [`nvmecr::runtime::RuntimeError`]
+/// has no corruption variant and shouldn't grow one for a workload).
+fn verify_rank(
+    comd: &CoMD,
+    fs: &mut microfs::MicroFs<nvmecr::dataplane::NvmfBlockDevice>,
+    rank: u32,
+    ckpt: u32,
+    bytes_per_rank: u64,
+) -> Result<Option<u64>, nvmecr::runtime::RuntimeError> {
+    let expect = comd.checkpoint_payload(rank, ckpt, bytes_per_rank as usize);
+    let path = CoMD::checkpoint_path(rank, ckpt);
+    let fd = fs.open(&path, microfs::OpenFlags::RDONLY, 0)?;
+    let mut buf = vec![0u8; expect.len()];
+    let mut got = 0;
+    while got < buf.len() {
+        let n = fs.read(fd, &mut buf[got..])?;
+        if n == 0 {
+            break;
+        }
+        got += n;
+    }
+    fs.close(fd)?;
+    Ok((buf == expect).then_some(expect.len() as u64))
 }
 
 /// Drive the full functional stack: schedule a job on the paper testbed,
 /// run `ckpts` N-N checkpoint rounds of `bytes_per_rank` each (CoMD-style
 /// payloads), crash `crash_ranks`, recover them, and verify every byte of
-/// the newest checkpoint.
+/// the newest checkpoint. Drives ranks in parallel; use
+/// [`run_functional_checkpoints_with`] to pick the mode explicitly.
 pub fn run_functional_checkpoints(
+    procs: u32,
+    ckpts: u32,
+    bytes_per_rank: u64,
+    crash_ranks: &[u32],
+) -> Result<FunctionalReport, Box<dyn std::error::Error>> {
+    run_functional_checkpoints_with(
+        DriveMode::Parallel,
+        procs,
+        ckpts,
+        bytes_per_rank,
+        crash_ranks,
+    )
+}
+
+/// [`run_functional_checkpoints`] with an explicit [`DriveMode`] — the
+/// serial mode exists so benches can measure the parallel speedup against
+/// an identical-work baseline.
+pub fn run_functional_checkpoints_with(
+    mode: DriveMode,
     procs: u32,
     ckpts: u32,
     bytes_per_rank: u64,
@@ -128,75 +217,81 @@ pub fn run_functional_checkpoints(
     let topo = Topology::paper_testbed();
     let rack = StorageRack::build(
         &topo,
-        &SsdConfig { capacity: 16 << 30, ..SsdConfig::default() },
+        &SsdConfig {
+            capacity: 16 << 30,
+            ..SsdConfig::default()
+        },
     );
     let mut sched = Scheduler::new(topo.clone(), 8);
     let alloc = sched.submit(&JobRequest::full_subscription(procs))?;
-    let config = RuntimeConfig { namespace_bytes: 8 << 30, ..RuntimeConfig::default() };
+    let config = RuntimeConfig {
+        namespace_bytes: 8 << 30,
+        ..RuntimeConfig::default()
+    };
     let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config)?;
     let comd = CoMD::weak_scaling();
-    let write_size = 1usize << 20;
 
-    // Checkpoint phases. (Ranks are independent; the functional devices
-    // are shared behind locks, so parallel driving is safe but contended —
-    // rayon is still a win for the payload generation.)
-    let payload_of = |rank: u32, ckpt: u32| comd.checkpoint_payload(rank, ckpt, bytes_per_rank as usize);
-    let mut bytes_verified = 0u64;
+    // Checkpoint phases. Each rank owns its filesystem, NVMf connection,
+    // and (via the balancer) a disjoint region of a namespace shard, so
+    // ranks can be driven concurrently without sharing a data-plane lock.
     for ckpt in 0..ckpts {
-        let payloads: Vec<(u32, Vec<u8>)> = (0..procs)
-            .into_par_iter()
-            .map(|rank| (rank, payload_of(rank, ckpt)))
-            .collect();
-        for (rank, payload) in payloads {
-            let fs = rt.rank_fs(rank)?;
-            if ckpt == 0 {
-                // Per-rank private namespaces: same paths, no coordination.
-                fs.mkdir("/comd", 0o755).ok();
+        match mode {
+            DriveMode::Parallel => rt.for_each_rank_par(|rank, fs| {
+                checkpoint_rank(&comd, fs, rank, ckpt, bytes_per_rank)
+            })?,
+            DriveMode::Serial => {
+                for rank in 0..procs {
+                    let fs = rt.rank_fs(rank)?;
+                    checkpoint_rank(&comd, fs, rank, ckpt, bytes_per_rank)?;
+                }
             }
-            fs.mkdir(&format!("/comd/ckpt_{ckpt:03}"), 0o755)?;
-            let path = CoMD::checkpoint_path(rank, ckpt);
-            let fd = fs.create(&path, 0o644)?;
-            for chunk in payload.chunks(write_size) {
-                fs.write(fd, chunk)?;
-            }
-            fs.fsync(fd)?;
-            fs.close(fd)?;
         }
     }
 
-    // Crash and recover.
-    let mut replayed = 0;
+    // Crash, then recover — batched in parallel mode (recovery mounts
+    // replay WALs independently per rank), one at a time in serial mode.
     for &rank in crash_ranks {
         rt.crash_rank(rank)?;
-        rt.recover_rank(rank)?;
+    }
+    match mode {
+        DriveMode::Parallel => rt.recover_ranks(crash_ranks)?,
+        DriveMode::Serial => {
+            for &rank in crash_ranks {
+                rt.recover_rank(rank)?;
+            }
+        }
+    }
+    let mut replayed = 0;
+    for &rank in crash_ranks {
         replayed += rt.rank_fs(rank)?.stats().replayed_records;
     }
 
     // Verify the newest checkpoint everywhere (and recovered ranks fully).
     let last = ckpts - 1;
-    for rank in 0..procs {
-        let expect = payload_of(rank, last);
-        let fs = rt.rank_fs(rank)?;
-        let path = CoMD::checkpoint_path(rank, last);
-        let fd = fs.open(&path, microfs::OpenFlags::RDONLY, 0)?;
-        let mut buf = vec![0u8; expect.len()];
-        let mut got = 0;
-        while got < buf.len() {
-            let n = fs.read(fd, &mut buf[got..])?;
-            if n == 0 {
-                break;
+    let verified: Vec<Option<u64>> = match mode {
+        DriveMode::Parallel => {
+            rt.map_ranks_par(|rank, fs| verify_rank(&comd, fs, rank, last, bytes_per_rank))?
+        }
+        DriveMode::Serial => {
+            let mut out = Vec::with_capacity(procs as usize);
+            for rank in 0..procs {
+                let fs = rt.rank_fs(rank)?;
+                out.push(verify_rank(&comd, fs, rank, last, bytes_per_rank)?);
             }
-            got += n;
+            out
         }
-        fs.close(fd)?;
-        if buf != expect {
-            return Err(format!("rank {rank} checkpoint {last} corrupted").into());
+    };
+    let mut bytes_verified = 0u64;
+    for (rank, v) in verified.iter().enumerate() {
+        match v {
+            Some(n) => bytes_verified += n,
+            None => return Err(format!("rank {rank} checkpoint {last} corrupted").into()),
         }
-        bytes_verified += expect.len() as u64;
     }
 
     let metadata_bytes = rt.metadata_device_bytes();
     let dram_bytes = rt.dram_footprint();
+    let (bytes_copied, lock_wait_ns) = rt.data_plane_counters();
     rt.finalize()?;
     Ok(FunctionalReport {
         procs,
@@ -206,6 +301,8 @@ pub fn run_functional_checkpoints(
         replayed_records: replayed,
         metadata_bytes,
         dram_bytes,
+        bytes_copied,
+        lock_wait_ns,
     })
 }
 
@@ -216,8 +313,10 @@ mod tests {
 
     #[test]
     fn sweep_produces_one_point_per_scenario() {
-        let scenarios: Vec<Scenario> =
-            [56u32, 112].iter().map(|&p| Scenario::weak_scaling(p)).collect();
+        let scenarios: Vec<Scenario> = [56u32, 112]
+            .iter()
+            .map(|&p| Scenario::weak_scaling(p))
+            .collect();
         let pts = scaling_sweep(&NvmeCrModel::full(), &scenarios);
         assert_eq!(pts.len(), 2);
         assert!(pts.iter().all(|p| p.ckpt_efficiency > 0.5));
@@ -256,5 +355,17 @@ mod tests {
         assert!(report.replayed_records > 0);
         assert!(report.metadata_bytes > 0);
         assert!(report.dram_bytes > 0);
+        assert!(report.bytes_copied > 0);
+    }
+
+    #[test]
+    fn serial_and_parallel_modes_agree() {
+        let par =
+            run_functional_checkpoints_with(DriveMode::Parallel, 8, 1, 64 << 10, &[2]).unwrap();
+        let ser = run_functional_checkpoints_with(DriveMode::Serial, 8, 1, 64 << 10, &[2]).unwrap();
+        assert_eq!(par.bytes_verified, ser.bytes_verified);
+        assert_eq!(par.replayed_records, ser.replayed_records);
+        assert_eq!(par.metadata_bytes, ser.metadata_bytes);
+        assert_eq!(par.bytes_copied, ser.bytes_copied);
     }
 }

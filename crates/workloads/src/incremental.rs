@@ -56,7 +56,11 @@ impl IncrementalCheckpointer {
     /// `chunk_size` granularity. The first checkpoint writes everything.
     pub fn new(image_len: usize, chunk_size: usize) -> Self {
         assert!(chunk_size > 0);
-        IncrementalCheckpointer { chunk_size, prev: Vec::new(), image_len }
+        IncrementalCheckpointer {
+            chunk_size,
+            prev: Vec::new(),
+            image_len,
+        }
     }
 
     /// Chunk granularity.
@@ -80,11 +84,18 @@ impl IncrementalCheckpointer {
         } else {
             fs.open(
                 path,
-                OpenFlags { write: true, ..OpenFlags::RDONLY },
+                OpenFlags {
+                    write: true,
+                    ..OpenFlags::RDONLY
+                },
                 0,
             )?
         };
-        let mut report = IncrementalReport { chunks: 0, chunks_written: 0, bytes_written: 0 };
+        let mut report = IncrementalReport {
+            chunks: 0,
+            chunks_written: 0,
+            bytes_written: 0,
+        };
         let mut new_hashes = Vec::with_capacity(image.len().div_ceil(self.chunk_size));
         for (i, chunk) in image.chunks(self.chunk_size).enumerate() {
             report.chunks += 1;

@@ -23,8 +23,8 @@ pub fn daly_interval(dump: SimTime, mtbf: SimTime) -> SimTime {
     let d = dump.as_secs();
     let m = mtbf.as_secs();
     if d < 2.0 * m {
-        let t = (2.0 * d * m).sqrt() * (1.0 + (1.0 / 3.0) * (d / (2.0 * m)).sqrt()
-            + (1.0 / 9.0) * (d / (2.0 * m)))
+        let t = (2.0 * d * m).sqrt()
+            * (1.0 + (1.0 / 3.0) * (d / (2.0 * m)).sqrt() + (1.0 / 9.0) * (d / (2.0 * m)))
             - d;
         SimTime::secs(t.max(0.0))
     } else {

@@ -32,9 +32,12 @@ pub mod trace;
 
 pub use apps::PhasedApp;
 pub use comd::CoMD;
+pub use driver::{
+    multilevel_eval, run_functional_checkpoints, run_functional_checkpoints_with, scaling_sweep,
+    DriveMode, FunctionalReport, MultiLevelResult, ScalingPoint,
+};
 pub use incremental::{IncrementalCheckpointer, IncrementalReport};
 pub use interval::{best_efficiency, daly_interval, young_interval};
-pub use driver::{multilevel_eval, scaling_sweep, FunctionalReport, MultiLevelResult, ScalingPoint};
 pub use n1::N1Adapter;
 pub use nvmecr_model::NvmeCrModel;
 pub use pattern::{CheckpointPattern, WriteOp};

@@ -25,7 +25,10 @@ impl N1Adapter {
     /// An adapter for `logical_name` with fixed per-rank segments.
     pub fn new(logical_name: impl Into<String>, bytes_per_rank: u64) -> Self {
         assert!(bytes_per_rank > 0);
-        N1Adapter { logical_name: logical_name.into(), bytes_per_rank }
+        N1Adapter {
+            logical_name: logical_name.into(),
+            bytes_per_rank,
+        }
     }
 
     /// The private path rank `rank` writes its segment to.
@@ -93,7 +96,11 @@ impl N1Adapter {
             let fd = fs.open(&path, OpenFlags::RDONLY, 0)?;
             let mut got = 0usize;
             while got < take {
-                let n = fs.pread(fd, abs - start + got as u64, &mut out[pos + got..pos + take])?;
+                let n = fs.pread(
+                    fd,
+                    abs - start + got as u64,
+                    &mut out[pos + got..pos + take],
+                )?;
                 if n == 0 {
                     break; // sparse tail reads as zeros
                 }
@@ -150,7 +157,9 @@ mod tests {
         let adapter = N1Adapter::new("shared.ckpt", 4096);
         let mut f = fs();
         // Rank 0 trying to spill into rank 1's segment.
-        let err = adapter.write_segment(&mut f, 0, 4000, &[0u8; 200]).unwrap_err();
+        let err = adapter
+            .write_segment(&mut f, 0, 4000, &[0u8; 200])
+            .unwrap_err();
         assert!(matches!(err, FsError::Invalid(_)));
         // And writing below its own range.
         let err = adapter.write_segment(&mut f, 1, 0, &[0u8; 8]).unwrap_err();
@@ -161,7 +170,9 @@ mod tests {
     fn partial_segments_read_zeros_for_holes() {
         let adapter = N1Adapter::new("shared.ckpt", 8192);
         let mut ranks: Vec<MicroFs<MemDevice>> = (0..2).map(|_| fs()).collect();
-        adapter.write_segment(&mut ranks[0], 0, 0, &[7u8; 100]).unwrap();
+        adapter
+            .write_segment(&mut ranks[0], 0, 0, &[7u8; 100])
+            .unwrap();
         adapter
             .write_segment(&mut ranks[1], 1, 8192, &[9u8; 100])
             .unwrap();

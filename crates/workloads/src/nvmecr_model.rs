@@ -8,10 +8,10 @@
 //! hugeblock-sized device requests. The Figure 7(d) drilldown ladder is
 //! expressed by constructing the model at earlier [`DrilldownLevel`]s.
 
+use baselines::dagutil;
 use baselines::model::{MetadataOverhead, StorageModel};
 use baselines::scenario::Scenario;
 use baselines::spec::{DataPlaneSpec, PlacementPolicy};
-use baselines::dagutil;
 use fabric::{IoPath, NetConfig};
 use nvmecr::config::DrilldownLevel;
 use simkit::{Rate, SimTime};
@@ -49,23 +49,35 @@ impl NvmeCrModel {
 
     /// A rung of the Figure 7(d) drilldown ladder.
     pub fn at_level(level: DrilldownLevel) -> Self {
-        NvmeCrModel { level, ..Self::full() }
+        NvmeCrModel {
+            level,
+            ..Self::full()
+        }
     }
 
     /// Override the hugeblock size (the Figure 7(a) sweep).
     pub fn with_block_size(block_size: u64) -> Self {
-        NvmeCrModel { block_size: Some(block_size), ..Self::full() }
+        NvmeCrModel {
+            block_size: Some(block_size),
+            ..Self::full()
+        }
     }
 
     /// Disable log record coalescing (§IV-I recovery ablation).
     pub fn without_coalescing() -> Self {
-        NvmeCrModel { coalescing: false, ..Self::full() }
+        NvmeCrModel {
+            coalescing: false,
+            ..Self::full()
+        }
     }
 
     /// Access a *local* SSD instead of NVMf (Figure 8(a)'s comparison):
     /// the fabric becomes a DMA engine — huge bandwidth, sub-µs latency.
     pub fn local() -> Self {
-        NvmeCrModel { local: true, ..Self::full() }
+        NvmeCrModel {
+            local: true,
+            ..Self::full()
+        }
     }
 
     /// Builder-style: set checkpoints accumulated in the log.
@@ -77,12 +89,18 @@ impl NvmeCrModel {
     /// Local SSD with an explicit hugeblock size (the Figure 7(a) sweep
     /// runs on a local device).
     pub fn local_with_block_size(block_size: u64) -> Self {
-        NvmeCrModel { local: true, ..Self::with_block_size(block_size) }
+        NvmeCrModel {
+            local: true,
+            ..Self::with_block_size(block_size)
+        }
     }
 
     /// Local SSD at a drilldown rung (Figure 7(d) runs on one node).
     pub fn local_at_level(level: DrilldownLevel) -> Self {
-        NvmeCrModel { local: true, ..Self::at_level(level) }
+        NvmeCrModel {
+            local: true,
+            ..Self::at_level(level)
+        }
     }
 
     fn block_size_of(&self) -> u64 {
@@ -113,7 +131,11 @@ impl NvmeCrModel {
             // layering caps attainable bandwidth (the Fig 1/7c argument).
             layer_efficiency: if userspace { 1.0 } else { 0.60 },
             request_size: block,
-            path: if userspace { IoPath::Userspace } else { IoPath::Kernel },
+            path: if userspace {
+                IoPath::Userspace
+            } else {
+                IoPath::Kernel
+            },
             placement: PlacementPolicy::RoundRobin,
             // A global namespace serializes creates (pre-private-ns rungs).
             create_serialized: (!userspace).then(|| SimTime::micros(150.0)),
@@ -122,7 +144,11 @@ impl NvmeCrModel {
             // bytes; without it, physical redo images (inode + block-map
             // pages) ship with every write (§III-E "large sized physical
             // log records").
-            write_meta_bytes: if self.level.provenance() { 64 } else { 128 << 10 },
+            write_meta_bytes: if self.level.provenance() {
+                64
+            } else {
+                128 << 10
+            },
             meta_server_op: None,
             // Host CPU per device request: SPDK submit + completion poll
             // plus O(1) circular-pool allocation; bitmap allocation and
@@ -190,7 +216,10 @@ impl StorageModel for NvmeCrModel {
         // ("NVMe-CR achieves perfect load balancing regardless of the
         // level of concurrency", §IV-C).
         let allocated = s.procs.div_ceil(56).clamp(1, s.servers);
-        let scenario = Scenario { servers: allocated, ..s.clone() };
+        let scenario = Scenario {
+            servers: allocated,
+            ..s.clone()
+        };
         dagutil::server_loads(&scenario, &self.spec(s))
     }
 
@@ -236,9 +265,12 @@ mod tests {
         // Figure 7(a): 28 procs, 512 MB each, one local SSD.
         let s = Scenario::single_node(512 << 20);
         let time_at = |bs: u64| {
-            NvmeCrModel { local: true, ..NvmeCrModel::with_block_size(bs) }
-                .checkpoint_makespan(&s)
-                .as_secs()
+            NvmeCrModel {
+                local: true,
+                ..NvmeCrModel::with_block_size(bs)
+            }
+            .checkpoint_makespan(&s)
+            .as_secs()
         };
         let t4k = time_at(4 << 10);
         let t32k = time_at(32 << 10);
@@ -247,20 +279,29 @@ mod tests {
             t4k > t32k * 1.04 && t4k < t32k * 1.15,
             "4K should be ~7% slower than 32K: {t4k} vs {t32k}"
         );
-        assert!(t1m > t32k * 1.15, "oversized blocks must be penalized: {t1m} vs {t32k}");
+        assert!(
+            t1m > t32k * 1.15,
+            "oversized blocks must be penalized: {t1m} vs {t32k}"
+        );
     }
 
     #[test]
     fn drilldown_ladder_improves_monotonically() {
         // Figure 7(d): each added optimization lowers checkpoint time.
         let times_at = |procs: u32| -> Vec<f64> {
-            let s = Scenario { servers: 1, ..Scenario::new(procs, 512 << 20) };
+            let s = Scenario {
+                servers: 1,
+                ..Scenario::new(procs, 512 << 20)
+            };
             DrilldownLevel::ladder()
                 .iter()
                 .map(|&l| {
-                    NvmeCrModel { local: true, ..NvmeCrModel::at_level(l) }
-                        .checkpoint_makespan(&s)
-                        .as_secs()
+                    NvmeCrModel {
+                        local: true,
+                        ..NvmeCrModel::at_level(l)
+                    }
+                    .checkpoint_makespan(&s)
+                    .as_secs()
                 })
                 .collect()
         };
@@ -297,7 +338,9 @@ mod tests {
     fn coalescing_speeds_up_recovery() {
         let s = Scenario::weak_scaling(448);
         let with = NvmeCrModel::full().recovery_makespan(&s).as_secs();
-        let without = NvmeCrModel::without_coalescing().recovery_makespan(&s).as_secs();
+        let without = NvmeCrModel::without_coalescing()
+            .recovery_makespan(&s)
+            .as_secs();
         let delta = without - with;
         assert!(
             (0.1..1.5).contains(&delta),

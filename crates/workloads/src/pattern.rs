@@ -32,20 +32,12 @@ pub enum CheckpointPattern {
 impl CheckpointPattern {
     /// The write plan for `procs` ranks each dumping `bytes_per_rank` in
     /// `write_size` chunks during checkpoint `ckpt`.
-    pub fn plan(
-        self,
-        procs: u32,
-        bytes_per_rank: u64,
-        write_size: u64,
-        ckpt: u32,
-    ) -> Vec<WriteOp> {
+    pub fn plan(self, procs: u32, bytes_per_rank: u64, write_size: u64, ckpt: u32) -> Vec<WriteOp> {
         assert!(write_size > 0);
         let mut out = Vec::new();
         for rank in 0..procs {
             let (path, base) = match self {
-                CheckpointPattern::NN => {
-                    (crate::comd::CoMD::checkpoint_path(rank, ckpt), 0u64)
-                }
+                CheckpointPattern::NN => (crate::comd::CoMD::checkpoint_path(rank, ckpt), 0u64),
                 CheckpointPattern::N1 => (
                     format!("/comd/shared_ckpt_{ckpt:03}.dat"),
                     u64::from(rank) * bytes_per_rank,
@@ -54,7 +46,12 @@ impl CheckpointPattern {
             let mut off = 0;
             while off < bytes_per_rank {
                 let len = write_size.min(bytes_per_rank - off);
-                out.push(WriteOp { rank, path: path.clone(), offset: base + off, len });
+                out.push(WriteOp {
+                    rank,
+                    path: path.clone(),
+                    offset: base + off,
+                    len,
+                });
                 off += len;
             }
         }
@@ -94,7 +91,8 @@ mod tests {
         let files: HashSet<&str> = plan.iter().map(|w| w.path.as_str()).collect();
         assert_eq!(files.len(), 1);
         // Coverage is disjoint and complete.
-        let mut ranges: Vec<(u64, u64)> = plan.iter().map(|w| (w.offset, w.offset + w.len)).collect();
+        let mut ranges: Vec<(u64, u64)> =
+            plan.iter().map(|w| (w.offset, w.offset + w.len)).collect();
         ranges.sort_unstable();
         let mut cursor = 0;
         for (s, e) in ranges {

@@ -75,17 +75,29 @@ impl IoTrace {
         let mut t = IoTrace::new();
         if let Some(idx) = path.rfind('/') {
             if idx > 0 {
-                t.ops.push(TraceOp::Mkdir { path: path[..idx].to_string(), mode: 0o755 });
+                t.ops.push(TraceOp::Mkdir {
+                    path: path[..idx].to_string(),
+                    mode: 0o755,
+                });
             }
         }
-        t.ops.push(TraceOp::Create { path: path.to_string(), mode: 0o644 });
+        t.ops.push(TraceOp::Create {
+            path: path.to_string(),
+            mode: 0o644,
+        });
         let mut off = 0;
         while off < bytes {
             let len = write_size.min(bytes - off);
-            t.ops.push(TraceOp::Write { path: path.to_string(), offset: off, len });
+            t.ops.push(TraceOp::Write {
+                path: path.to_string(),
+                offset: off,
+                len,
+            });
             off += len;
         }
-        t.ops.push(TraceOp::Close { path: path.to_string() });
+        t.ops.push(TraceOp::Close {
+            path: path.to_string(),
+        });
         t
     }
 
@@ -126,8 +138,9 @@ impl IoTrace {
             let op = match verb {
                 "mkdir" | "create" => {
                     let path = arg("path")?;
-                    let mode: u32 =
-                        arg("mode")?.parse().map_err(|e| format!("line {}: {e}", ln + 1))?;
+                    let mode: u32 = arg("mode")?
+                        .parse()
+                        .map_err(|e| format!("line {}: {e}", ln + 1))?;
                     if verb == "mkdir" {
                         TraceOp::Mkdir { path, mode }
                     } else {
@@ -136,8 +149,12 @@ impl IoTrace {
                 }
                 "write" => TraceOp::Write {
                     path: arg("path")?,
-                    offset: arg("offset")?.parse().map_err(|e| format!("line {}: {e}", ln + 1))?,
-                    len: arg("len")?.parse().map_err(|e| format!("line {}: {e}", ln + 1))?,
+                    offset: arg("offset")?
+                        .parse()
+                        .map_err(|e| format!("line {}: {e}", ln + 1))?,
+                    len: arg("len")?
+                        .parse()
+                        .map_err(|e| format!("line {}: {e}", ln + 1))?,
                 },
                 "close" => TraceOp::Close { path: arg("path")? },
                 "unlink" => TraceOp::Unlink { path: arg("path")? },
@@ -242,7 +259,10 @@ mod tests {
         // The point of traces: same stream, different configuration.
         let t = IoTrace::nn_checkpoint("/d/x.dat", 1 << 20, 128 << 10);
         for bs in [4u64 << 10, 32 << 10, 256 << 10] {
-            let config = FsConfig { block_size: bs, ..FsConfig::default() };
+            let config = FsConfig {
+                block_size: bs,
+                ..FsConfig::default()
+            };
             let mut fs = MicroFs::format(MemDevice::new(64 << 20), config).unwrap();
             t.replay(&mut fs).unwrap();
             assert_eq!(fs.stat("/d/x.dat").unwrap().size, 1 << 20, "bs={bs}");
@@ -252,7 +272,11 @@ mod tests {
     #[test]
     fn write_before_create_is_an_error() {
         let t = IoTrace {
-            ops: vec![TraceOp::Write { path: "/x".into(), offset: 0, len: 10 }],
+            ops: vec![TraceOp::Write {
+                path: "/x".into(),
+                offset: 0,
+                len: 10,
+            }],
         };
         let mut fs = MicroFs::format(MemDevice::new(32 << 20), FsConfig::default()).unwrap();
         assert!(matches!(t.replay(&mut fs), Err(FsError::Invalid(_))));
@@ -262,8 +286,15 @@ mod tests {
     fn unclosed_files_are_closed_at_end() {
         let t = IoTrace {
             ops: vec![
-                TraceOp::Create { path: "/x".into(), mode: 0o644 },
-                TraceOp::Write { path: "/x".into(), offset: 0, len: 100 },
+                TraceOp::Create {
+                    path: "/x".into(),
+                    mode: 0o644,
+                },
+                TraceOp::Write {
+                    path: "/x".into(),
+                    offset: 0,
+                    len: 100,
+                },
             ],
         };
         let mut fs = MicroFs::format(MemDevice::new(32 << 20), FsConfig::default()).unwrap();

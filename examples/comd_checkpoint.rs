@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         comd.checkpoint_bytes() >> 20,
         comd.compute_interval().as_secs()
     );
-    println!("\n{:>8} {:>12} {:>12} {:>12}", "procs", "NVMe-CR", "GlusterFS", "OrangeFS");
+    println!(
+        "\n{:>8} {:>12} {:>12} {:>12}",
+        "procs", "NVMe-CR", "GlusterFS", "OrangeFS"
+    );
     let systems: Vec<Box<dyn StorageModel>> = vec![
         Box::new(NvmeCrModel::full()),
         Box::new(GlusterFsModel::new()),
@@ -45,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     for procs in [56u32, 112, 224, 448] {
         let s = Scenario::weak_scaling(procs);
-        let effs: Vec<f64> = systems.iter().map(|m| m.checkpoint_efficiency(&s)).collect();
+        let effs: Vec<f64> = systems
+            .iter()
+            .map(|m| m.checkpoint_efficiency(&s))
+            .collect();
         println!(
             "{:>8} {:>12.3} {:>12.3} {:>12.3}",
             procs, effs[0], effs[1], effs[2]

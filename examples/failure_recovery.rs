@@ -15,14 +15,23 @@ use workloads::CoMD;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let topo = Topology::paper_testbed();
-    let rack = StorageRack::build(&topo, &SsdConfig { capacity: 8 << 30, ..SsdConfig::default() });
+    let rack = StorageRack::build(
+        &topo,
+        &SsdConfig {
+            capacity: 8 << 30,
+            ..SsdConfig::default()
+        },
+    );
     let mut sched = Scheduler::new(topo.clone(), 8);
     let alloc = sched.submit(&JobRequest::full_subscription(56))?;
     let mut rt = NvmeCrRuntime::init(
         &rack,
         &topo,
         &alloc,
-        RuntimeConfig { namespace_bytes: 4 << 30, ..RuntimeConfig::default() },
+        RuntimeConfig {
+            namespace_bytes: 4 << 30,
+            ..RuntimeConfig::default()
+        },
     )?;
     let comd = CoMD::weak_scaling();
     let len = 512 << 10;
@@ -64,7 +73,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         cluster::NodeKind::Storage { .. } => {
                             // Power-fail its SSDs (capacitors on).
                             let lost = rack.power_fail_nodes(&[node]);
-                            println!("  storage node power failure: {lost} bytes lost (capacitor flush)");
+                            println!(
+                                "  storage node power failure: {lost} bytes lost (capacitor flush)"
+                            );
                         }
                         cluster::NodeKind::Compute { .. } => {
                             println!("  idle compute node, job unaffected");
@@ -97,7 +108,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for rank in 0..rt.rank_count() {
         let expect = comd.checkpoint_payload(rank, ckpts_taken, len);
         let fs = rt.rank_fs(rank)?;
-        let fd = fs.open(&CoMD::checkpoint_path(rank, ckpts_taken), microfs::OpenFlags::RDONLY, 0)?;
+        let fd = fs.open(
+            &CoMD::checkpoint_path(rank, ckpts_taken),
+            microfs::OpenFlags::RDONLY,
+            0,
+        )?;
         let mut buf = vec![0u8; len];
         let mut got = 0;
         while got < len {
@@ -111,7 +126,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert_eq!(buf, expect, "rank {rank}");
         verified += len as u64;
     }
-    println!("survived the drill: newest checkpoint verified ({} MiB)", verified >> 20);
+    println!(
+        "survived the drill: newest checkpoint verified ({} MiB)",
+        verified >> 20
+    );
     rt.finalize()?;
     Ok(())
 }

@@ -47,7 +47,12 @@ fn main() {
         Box::new(NvmeCrModel::full()),
         Box::new(NvmeCrModel::without_coalescing()),
     ];
-    let labels = ["OrangeFS", "GlusterFS", "NVMe-CR", "NVMe-CR (no coalescing)"];
+    let labels = [
+        "OrangeFS",
+        "GlusterFS",
+        "NVMe-CR",
+        "NVMe-CR (no coalescing)",
+    ];
     for (label, m) in labels.iter().zip(&systems) {
         let r = multilevel_eval(m.as_ref(), &s, policy, 10, compute);
         println!(

@@ -17,8 +17,18 @@ use ssd::SsdConfig;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The cluster: topology, devices, NVMf target daemons.
     let topo = Topology::paper_testbed();
-    let rack = StorageRack::build(&topo, &SsdConfig { capacity: 8 << 30, ..SsdConfig::default() });
-    println!("cluster: {} compute cores, {} SSDs", topo.total_cores(), rack.ssd_count());
+    let rack = StorageRack::build(
+        &topo,
+        &SsdConfig {
+            capacity: 8 << 30,
+            ..SsdConfig::default()
+        },
+    );
+    println!(
+        "cluster: {} compute cores, {} SSDs",
+        topo.total_cores(),
+        rack.ssd_count()
+    );
 
     // 2. Schedule a job. Storage is granted at NVMe-namespace granularity
     //    on partner failure domains.
@@ -33,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Initialize the runtime (the MPI_Init wrapper's work): the storage
     //    balancer partitions each granted SSD among the ranks sharing it.
-    let config = RuntimeConfig { namespace_bytes: 4 << 30, ..RuntimeConfig::default() };
+    let config = RuntimeConfig {
+        namespace_bytes: 4 << 30,
+        ..RuntimeConfig::default()
+    };
     let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config)?;
     let p = rt.placement().per_rank[0];
     println!(
@@ -82,6 +95,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    namespaces back to the devices.
     let stats = rt.finalize()?;
     let meta: u64 = stats.iter().map(|s| s.metadata_device_bytes()).sum();
-    println!("finalize: {} rank runtimes, {} KiB total device metadata", stats.len(), meta >> 10);
+    println!(
+        "finalize: {} rank runtimes, {} KiB total device metadata",
+        stats.len(),
+        meta >> 10
+    );
     Ok(())
 }

@@ -38,13 +38,14 @@ fn figure7b_cov_ordering() {
         let orange = OrangeFsModel::new().load_cov(&s);
         let gluster = GlusterFsModel::new().load_cov(&s);
         assert_eq!(nvmecr, 0.0, "round-robin over allocated SSDs is exact");
-        assert!(orange <= gluster, "striping beats hashing: {orange} vs {gluster}");
+        assert!(
+            orange <= gluster,
+            "striping beats hashing: {orange} vs {gluster}"
+        );
     }
     // GlusterFS imbalance falls with concurrency (reference [17]).
     let g = GlusterFsModel::new();
-    assert!(
-        g.load_cov(&Scenario::weak_scaling(448)) < g.load_cov(&Scenario::weak_scaling(28))
-    );
+    assert!(g.load_cov(&Scenario::weak_scaling(448)) < g.load_cov(&Scenario::weak_scaling(28)));
 }
 
 #[test]
@@ -55,10 +56,19 @@ fn figure7c_single_node_ordering() {
     let xfs = XfsModel::new().checkpoint_makespan(&s).as_secs();
     let ext4 = Ext4Model::new().checkpoint_makespan(&s).as_secs();
     // NVMe-CR ~= SPDK < XFS < ext4.
-    assert!((nvmecr / spdk - 1.0).abs() < 0.05, "NVMe-CR {nvmecr} vs SPDK {spdk}");
-    assert!(xfs > nvmecr * 1.10, "XFS should trail by ~19%: {xfs} vs {nvmecr}");
+    assert!(
+        (nvmecr / spdk - 1.0).abs() < 0.05,
+        "NVMe-CR {nvmecr} vs SPDK {spdk}"
+    );
+    assert!(
+        xfs > nvmecr * 1.10,
+        "XFS should trail by ~19%: {xfs} vs {nvmecr}"
+    );
     assert!(xfs < nvmecr * 1.45, "XFS gap too large: {xfs} vs {nvmecr}");
-    assert!(ext4 > nvmecr * 1.5, "ext4 should trail by ~83%+: {ext4} vs {nvmecr}");
+    assert!(
+        ext4 > nvmecr * 1.5,
+        "ext4 should trail by ~83%+: {ext4} vs {nvmecr}"
+    );
     assert!(ext4 > xfs);
 }
 
@@ -72,8 +82,14 @@ fn figure8a_remote_overhead_small_and_size_independent() {
     };
     let small = overhead_at(64);
     let big = overhead_at(512);
-    assert!(small < 0.035 && big < 0.035, "NVMf overhead {small} / {big}");
-    assert!((small - big).abs() < 0.03, "overhead should be size-independent");
+    assert!(
+        small < 0.035 && big < 0.035,
+        "NVMf overhead {small} / {big}"
+    );
+    assert!(
+        (small - big).abs() < 0.03,
+        "overhead should be size-independent"
+    );
 }
 
 #[test]
@@ -82,8 +98,14 @@ fn crail_sits_between_nvmecr_and_kernel_fses() {
     let nvmecr = NvmeCrModel::full().checkpoint_makespan(&s).as_secs();
     let crail = CrailModel::new().checkpoint_makespan(&s).as_secs();
     let ext4 = Ext4Model::new().checkpoint_makespan(&s).as_secs();
-    assert!(crail > nvmecr * 1.02, "Crail trails NVMe-CR: {crail} vs {nvmecr}");
-    assert!(crail < nvmecr * 1.25, "...but only by 5-10%-ish: {crail} vs {nvmecr}");
+    assert!(
+        crail > nvmecr * 1.02,
+        "Crail trails NVMe-CR: {crail} vs {nvmecr}"
+    );
+    assert!(
+        crail < nvmecr * 1.25,
+        "...but only by 5-10%-ish: {crail} vs {nvmecr}"
+    );
     assert!(crail < ext4);
 }
 
@@ -92,7 +114,10 @@ fn lustre_is_the_slow_reliable_tier() {
     let s = Scenario::strong_scaling(448);
     let lustre = LustreModel::new().checkpoint_makespan(&s).as_secs();
     let fast = NvmeCrModel::full().checkpoint_makespan(&s).as_secs();
-    assert!(lustre > fast * 10.0, "Lustre {lustre}s vs NVMe tier {fast}s");
+    assert!(
+        lustre > fast * 10.0,
+        "Lustre {lustre}s vs NVMe tier {fast}s"
+    );
 }
 
 #[test]
@@ -117,7 +142,10 @@ fn create_rates_rank_like_figure_8b_at_every_scale() {
         let ours = NvmeCrModel::full().create_rate(&s, 5);
         let gluster = GlusterFsModel::new().create_rate(&s, 5);
         let orange = OrangeFsModel::new().create_rate(&s, 5);
-        assert!(ours > gluster && gluster > orange, "{procs}: {ours} {gluster} {orange}");
+        assert!(
+            ours > gluster && gluster > orange,
+            "{procs}: {ours} {gluster} {orange}"
+        );
     }
 }
 

@@ -18,11 +18,18 @@ fn testbed(
     let topo = Topology::paper_testbed();
     let rack = StorageRack::build(
         &topo,
-        &SsdConfig { capacity: 8 << 30, capacitor, ..SsdConfig::default() },
+        &SsdConfig {
+            capacity: 8 << 30,
+            capacitor,
+            ..SsdConfig::default()
+        },
     );
     let mut sched = Scheduler::new(topo.clone(), 8);
     let alloc = sched.submit(&JobRequest::full_subscription(procs)).unwrap();
-    let config = RuntimeConfig { namespace_bytes: 4 << 30, ..RuntimeConfig::default() };
+    let config = RuntimeConfig {
+        namespace_bytes: 4 << 30,
+        ..RuntimeConfig::default()
+    };
     (rack, topo, alloc, config)
 }
 
@@ -30,7 +37,9 @@ fn dump(rt: &mut NvmeCrRuntime, rank: u32, ckpt: u32, data: &[u8]) {
     let fs = rt.rank_fs(rank).unwrap();
     fs.mkdir("/comd", 0o755).ok();
     fs.mkdir(&format!("/comd/ckpt_{ckpt:03}"), 0o755).unwrap();
-    let fd = fs.create(&CoMD::checkpoint_path(rank, ckpt), 0o644).unwrap();
+    let fd = fs
+        .create(&CoMD::checkpoint_path(rank, ckpt), 0o644)
+        .unwrap();
     fs.write(fd, data).unwrap();
     fs.close(fd).unwrap();
 }
@@ -91,7 +100,10 @@ fn recovered_rank_continues_checkpointing() {
     // The recovered instance keeps working: next checkpoint, overwrite,
     // unlink of the old one.
     dump(&mut rt, 5, 1, &comd.checkpoint_payload(5, 1, len));
-    assert_eq!(read_back(&mut rt, 5, 1, len), comd.checkpoint_payload(5, 1, len));
+    assert_eq!(
+        read_back(&mut rt, 5, 1, len),
+        comd.checkpoint_payload(5, 1, len)
+    );
     let fs = rt.rank_fs(5).unwrap();
     fs.unlink(&CoMD::checkpoint_path(5, 0)).unwrap();
     assert!(fs.stat(&CoMD::checkpoint_path(5, 0)).is_err());
@@ -121,7 +133,10 @@ fn capacitor_backed_power_failure_loses_nothing() {
         rt.recover_rank(rank).unwrap();
     }
     for rank in (0..56).step_by(7) {
-        assert_eq!(read_back(&mut rt, rank, 0, len), comd.checkpoint_payload(rank, 0, len));
+        assert_eq!(
+            read_back(&mut rt, rank, 0, len),
+            comd.checkpoint_payload(rank, 0, len)
+        );
     }
 }
 
@@ -146,7 +161,9 @@ fn cascading_failure_policy_selects_parallel_tier() {
     let mut inj = FaultInjector::new(&topo, 42, SimTime::secs(3_000.0), 1.0);
     let events = inj.schedule(&topo, SimTime::secs(30_000.0));
     assert!(!events.is_empty());
-    assert!(events.iter().all(|e| matches!(e.kind, FaultKind::Domain(_))));
+    assert!(events
+        .iter()
+        .all(|e| matches!(e.kind, FaultKind::Domain(_))));
     let policy = MultiLevelPolicy::new(10);
     // 17 checkpoints taken; domain failure hits the fast tier.
     assert_eq!(policy.recovery_point(17, false), Some(10));
@@ -178,7 +195,10 @@ fn torn_final_write_never_corrupts_completed_checkpoints() {
     }
     rt.crash_rank(3).unwrap();
     rt.recover_rank(3).unwrap();
-    assert_eq!(read_back(&mut rt, 3, 0, len), comd.checkpoint_payload(3, 0, len));
+    assert_eq!(
+        read_back(&mut rt, 3, 0, len),
+        comd.checkpoint_payload(3, 0, len)
+    );
     let fs = rt.rank_fs(3).unwrap();
     let st = fs.stat(&CoMD::checkpoint_path(3, 1)).unwrap();
     assert_eq!(st.size, (len / 2) as u64, "logged prefix must be replayed");

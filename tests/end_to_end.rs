@@ -12,10 +12,19 @@ use workloads::{CheckpointPattern, CoMD};
 
 fn testbed(procs: u32) -> (StorageRack, Topology, cluster::JobAllocation, RuntimeConfig) {
     let topo = Topology::paper_testbed();
-    let rack = StorageRack::build(&topo, &SsdConfig { capacity: 8 << 30, ..SsdConfig::default() });
+    let rack = StorageRack::build(
+        &topo,
+        &SsdConfig {
+            capacity: 8 << 30,
+            ..SsdConfig::default()
+        },
+    );
     let mut sched = Scheduler::new(topo.clone(), 8);
     let alloc = sched.submit(&JobRequest::full_subscription(procs)).unwrap();
-    let config = RuntimeConfig { namespace_bytes: 4 << 30, ..RuntimeConfig::default() };
+    let config = RuntimeConfig {
+        namespace_bytes: 4 << 30,
+        ..RuntimeConfig::default()
+    };
     (rack, topo, alloc, config)
 }
 
@@ -26,7 +35,10 @@ fn full_stack_checkpoint_restart_with_verification() {
     assert_eq!(report.ckpts, 3);
     assert_eq!(report.bytes_verified, 56 * (512 << 10));
     assert_eq!(report.recovered_ranks, 3);
-    assert!(report.replayed_records > 0, "recovery must replay the op log");
+    assert!(
+        report.replayed_records > 0,
+        "recovery must replay the op log"
+    );
 }
 
 #[test]
@@ -44,7 +56,8 @@ fn nn_pattern_through_runtime_keeps_files_private() {
             fs.create(&op.path, 0o644).unwrap();
         }
         let fd = fs.open(&op.path, OpenFlags::RDWR, 0).unwrap();
-        fs.pwrite(fd, op.offset, &vec![op.rank as u8; op.len as usize]).unwrap();
+        fs.pwrite(fd, op.offset, &vec![op.rank as u8; op.len as usize])
+            .unwrap();
         fs.close(fd).unwrap();
     }
     for rank in 0..56u32 {
@@ -55,7 +68,10 @@ fn nn_pattern_through_runtime_keeps_files_private() {
         let fd = fs.open(&path, OpenFlags::RDONLY, 0).unwrap();
         let mut buf = vec![0u8; 4096];
         fs.read(fd, &mut buf).unwrap();
-        assert!(buf.iter().all(|&b| b == rank as u8), "rank {rank} bytes aliased");
+        assert!(
+            buf.iter().all(|&b| b == rank as u8),
+            "rank {rank} bytes aliased"
+        );
         fs.close(fd).unwrap();
     }
     rt.finalize().unwrap();
@@ -74,8 +90,11 @@ fn intercept_layer_drives_the_runtime_fs() {
     let _ = (rack2, topo2, alloc2, config2);
     // Build a standalone layer over an in-memory device for the pure
     // interception semantics.
-    let fs = microfs::MicroFs::format(microfs::MemDevice::new(64 << 20), microfs::FsConfig::default())
-        .unwrap();
+    let fs = microfs::MicroFs::format(
+        microfs::MemDevice::new(64 << 20),
+        microfs::FsConfig::default(),
+    )
+    .unwrap();
     let mut posix = PosixLayer::new(fs, "/nvmecr");
     posix.mkdir("/nvmecr/app", 0o755).unwrap();
     let fd = posix.creat("/nvmecr/app/state.dat", 0o644).unwrap();
@@ -92,16 +111,33 @@ fn intercept_layer_drives_the_runtime_fs() {
 #[test]
 fn two_jobs_share_the_rack_with_namespace_isolation() {
     let topo = Topology::paper_testbed();
-    let rack = StorageRack::build(&topo, &SsdConfig { capacity: 16 << 30, ..SsdConfig::default() });
+    let rack = StorageRack::build(
+        &topo,
+        &SsdConfig {
+            capacity: 16 << 30,
+            ..SsdConfig::default()
+        },
+    );
     let mut sched = Scheduler::new(topo.clone(), 8);
-    let config = RuntimeConfig { namespace_bytes: 4 << 30, ..RuntimeConfig::default() };
+    let config = RuntimeConfig {
+        namespace_bytes: 4 << 30,
+        ..RuntimeConfig::default()
+    };
     // Job A on half the cluster, job B on the other half; their storage
     // grants may share SSDs but never namespaces.
     let alloc_a = sched
-        .submit(&JobRequest { procs: 112, procs_per_node: 28, storage_devices: 2 })
+        .submit(&JobRequest {
+            procs: 112,
+            procs_per_node: 28,
+            storage_devices: 2,
+        })
         .unwrap();
     let alloc_b = sched
-        .submit(&JobRequest { procs: 112, procs_per_node: 28, storage_devices: 2 })
+        .submit(&JobRequest {
+            procs: 112,
+            procs_per_node: 28,
+            storage_devices: 2,
+        })
         .unwrap();
     let mut rt_a = NvmeCrRuntime::init(&rack, &topo, &alloc_a, config.clone()).unwrap();
     let mut rt_b = NvmeCrRuntime::init(&rack, &topo, &alloc_b, config).unwrap();
@@ -123,7 +159,10 @@ fn two_jobs_share_the_rack_with_namespace_isolation() {
         let fd = fs.open("/job.dat", OpenFlags::RDONLY, 0).unwrap();
         let mut buf = [0u8; 4096];
         fs.read(fd, &mut buf).unwrap();
-        assert!(buf.iter().all(|&b| b == 0xAA), "job B leaked into job A (rank {rank})");
+        assert!(
+            buf.iter().all(|&b| b == 0xAA),
+            "job B leaked into job A (rank {rank})"
+        );
         fs.close(fd).unwrap();
     }
     rt_a.finalize().unwrap();
@@ -133,9 +172,18 @@ fn two_jobs_share_the_rack_with_namespace_isolation() {
 #[test]
 fn runtime_is_ephemeral_resources_return_after_finalize() {
     let topo = Topology::paper_testbed();
-    let rack = StorageRack::build(&topo, &SsdConfig { capacity: 8 << 30, ..SsdConfig::default() });
+    let rack = StorageRack::build(
+        &topo,
+        &SsdConfig {
+            capacity: 8 << 30,
+            ..SsdConfig::default()
+        },
+    );
     let mut sched = Scheduler::new(topo.clone(), 4);
-    let config = RuntimeConfig { namespace_bytes: 4 << 30, ..RuntimeConfig::default() };
+    let config = RuntimeConfig {
+        namespace_bytes: 4 << 30,
+        ..RuntimeConfig::default()
+    };
     for round in 0..3 {
         let alloc = sched.submit(&JobRequest::full_subscription(112)).unwrap();
         let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config.clone()).unwrap();

@@ -37,8 +37,10 @@ fn headline_claim_2x_tco_reduction() {
 
 #[test]
 fn weak_scaling_sweep_is_monotone_for_nvmecr() {
-    let scenarios: Vec<Scenario> =
-        [56u32, 112, 224, 448].iter().map(|&p| Scenario::weak_scaling(p)).collect();
+    let scenarios: Vec<Scenario> = [56u32, 112, 224, 448]
+        .iter()
+        .map(|&p| Scenario::weak_scaling(p))
+        .collect();
     let pts = scaling_sweep(&NvmeCrModel::full(), &scenarios);
     // NVMe-CR efficiency never degrades with scale (coordination-free).
     for w in pts.windows(2) {
@@ -53,14 +55,21 @@ fn weak_scaling_sweep_is_monotone_for_nvmecr() {
     let t56 = pts[0].ckpt_time.as_secs();
     let t448 = pts[3].ckpt_time.as_secs();
     let ratio = t448 / t56;
-    assert!((6.0..10.0).contains(&ratio), "8x data -> ~8x time, got {ratio}");
+    assert!(
+        (6.0..10.0).contains(&ratio),
+        "8x data -> ~8x time, got {ratio}"
+    );
 }
 
 #[test]
 fn strong_scaling_keeps_total_work_constant() {
     let m = NvmeCrModel::full();
-    let t112 = m.checkpoint_makespan(&Scenario::strong_scaling(112)).as_secs();
-    let t448 = m.checkpoint_makespan(&Scenario::strong_scaling(448)).as_secs();
+    let t112 = m
+        .checkpoint_makespan(&Scenario::strong_scaling(112))
+        .as_secs();
+    let t448 = m
+        .checkpoint_makespan(&Scenario::strong_scaling(448))
+        .as_secs();
     // Same total bytes; more writers shouldn't slow it down much.
     assert!((t448 / t112 - 1.0).abs() < 0.25, "{t112} vs {t448}");
 }
@@ -101,7 +110,10 @@ fn process_ssd_ratio_rule_of_thumb() {
     // saturate, so verify the recommended band is safely saturated.
     let m = NvmeCrModel::full();
     for procs in [56u32, 112] {
-        let s = Scenario { servers: 1, ..Scenario::new(procs, 64 << 20) };
+        let s = Scenario {
+            servers: 1,
+            ..Scenario::new(procs, 64 << 20)
+        };
         let eff = m.checkpoint_efficiency(&s);
         assert!(eff > 0.9, "{procs} procs on one SSD should saturate: {eff}");
     }
