@@ -29,6 +29,7 @@ use microfs::block::{BlockDevice, IoCounters};
 use nvmecr::runtime::{NvmeCrRuntime, StorageRack};
 use nvmecr::RuntimeConfig;
 use ssd::SsdConfig;
+use telemetry::Telemetry;
 use workloads::CoMD;
 
 const CKPTS: u32 = 2;
@@ -64,7 +65,10 @@ struct Point {
 /// measure the per-rank IO, then fold it into the two makespans.
 fn run_point(ranks: u32, ssd_config: &SsdConfig) -> Result<Point, Box<dyn std::error::Error>> {
     let topo = Topology::paper_testbed();
-    let rack = StorageRack::build(&topo, ssd_config);
+    // Per-point registry: the copy/lock-wait numbers below must cover
+    // exactly this point's traffic.
+    let telemetry = Telemetry::new();
+    let rack = StorageRack::build_with_telemetry(&topo, ssd_config, telemetry.clone());
     let mut sched = Scheduler::new(topo.clone(), 8);
     // Spread the job over the full storage rack (up to one namespace per
     // SSD) so the shard map actually has independent shards to exploit —
@@ -78,6 +82,7 @@ fn run_point(ranks: u32, ssd_config: &SsdConfig) -> Result<Point, Box<dyn std::e
     let alloc = sched.submit(&req)?;
     let config = RuntimeConfig {
         namespace_bytes: 1 << 30,
+        telemetry: telemetry.clone(),
         ..RuntimeConfig::default()
     };
     let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config)?;
@@ -149,7 +154,9 @@ fn run_point(ranks: u32, ssd_config: &SsdConfig) -> Result<Point, Box<dyn std::e
     }
     let parallel_secs = per_ssd.values().cloned().fold(0.0f64, f64::max);
 
-    let (bytes_copied, lock_wait_ns) = rt.data_plane_counters();
+    let snap = telemetry.snapshot();
+    let bytes_copied = snap.counter("fabric.bytes_copied") + snap.counter("ssd.bytes_copied");
+    let lock_wait_ns = snap.counter("ssd.lock_wait_ns");
     let shards = per_ssd.len();
     rt.finalize()?;
     Ok(Point {

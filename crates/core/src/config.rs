@@ -1,6 +1,7 @@
 //! Runtime configuration and the drilldown ablation ladder.
 
 use microfs::FsConfig;
+use telemetry::Telemetry;
 
 /// Configuration of one NVMe-CR job runtime.
 #[derive(Debug, Clone)]
@@ -16,6 +17,9 @@ pub struct RuntimeConfig {
     /// Multi-level checkpointing period: every `k`-th checkpoint goes to
     /// the parallel filesystem (§III-F; the paper evaluates k = 10).
     pub multilevel_period: u32,
+    /// Where the job's components (initiators, per-rank filesystems)
+    /// report their metrics.
+    pub telemetry: Telemetry,
 }
 
 impl Default for RuntimeConfig {
@@ -26,6 +30,7 @@ impl Default for RuntimeConfig {
             namespace_bytes: 8 << 30,
             uid: 1000,
             multilevel_period: 10,
+            telemetry: Telemetry::default(),
         }
     }
 }
@@ -37,6 +42,7 @@ impl RuntimeConfig {
             block_size: self.block_size,
             uid: self.uid,
             coalescing: self.coalescing,
+            telemetry: self.telemetry.clone(),
             ..FsConfig::default()
         }
     }

@@ -92,11 +92,9 @@ impl BlockDevice for NvmfBlockDevice {
     }
 
     fn counters(&self) -> IoCounters {
-        let mut c = self.counters;
-        // The connection tracks staging copies made on the initiator side;
-        // fold them in so fs-level observers see the true copy count.
-        c.bytes_copied += self.conn.copied_bytes();
-        c
+        // Staging copies made on the initiator side are tracked in the
+        // telemetry registry as `fabric.bytes_copied`, not here.
+        self.counters
     }
 }
 
@@ -108,14 +106,25 @@ mod tests {
     use std::sync::Arc;
 
     fn segment_device(base: u64, size: u64) -> NvmfBlockDevice {
-        let ssd = Ssd::new(SsdConfig {
-            capacity: 64 << 20,
-            ..SsdConfig::default()
-        });
+        segment_device_with_telemetry(base, size, telemetry::Telemetry::new()).0
+    }
+
+    fn segment_device_with_telemetry(
+        base: u64,
+        size: u64,
+        t: telemetry::Telemetry,
+    ) -> (NvmfBlockDevice, telemetry::Telemetry) {
+        let ssd = Ssd::with_telemetry(
+            SsdConfig {
+                capacity: 64 << 20,
+                ..SsdConfig::default()
+            },
+            t.clone(),
+        );
         let ns = ssd.create_namespace(32 << 20).unwrap();
         let target = Arc::new(NvmfTarget::new(Arc::new(ssd)));
-        let conn = Initiator::new("nqn.rank0").connect(target, ns);
-        NvmfBlockDevice::new(conn, base, size)
+        let conn = Initiator::with_telemetry("nqn.rank0", t.clone()).connect(target, ns);
+        (NvmfBlockDevice::new(conn, base, size), t)
     }
 
     #[test]
@@ -151,14 +160,18 @@ mod tests {
 
     #[test]
     fn zero_copy_write_and_single_copy_read() {
-        let mut d = segment_device(0, 1 << 20);
+        let (mut d, t) = segment_device_with_telemetry(0, 1 << 20, telemetry::Telemetry::new());
         d.write_bytes_at(0, Bytes::from(vec![9u8; 4096])).unwrap();
-        assert_eq!(d.counters().bytes_copied, 0, "write_bytes_at must not copy");
+        assert_eq!(
+            t.snapshot().counter("fabric.bytes_copied"),
+            0,
+            "write_bytes_at must not copy"
+        );
         let mut buf = vec![0u8; 4096];
         d.read_at(0, &mut buf).unwrap();
         assert_eq!(buf, vec![9u8; 4096]);
         assert_eq!(
-            d.counters().bytes_copied,
+            t.snapshot().counter("fabric.bytes_copied"),
             4096,
             "read_at copies exactly once"
         );

@@ -25,9 +25,13 @@ pub fn progress_rate(compute: SimTime, total: SimTime) -> f64 {
 /// The hardware-bandwidth saving the paper argues for (§I-B): the factor by
 /// which a more efficient runtime lowers the IO bandwidth (and TCO) needed
 /// to sustain a target progress rate.
-pub fn required_bandwidth_factor(eff_ours: f64, eff_theirs: f64) -> f64 {
-    assert!(eff_ours > 0.0 && eff_theirs > 0.0);
-    eff_ours / eff_theirs
+///
+/// Returns `None` (instead of panicking) when either efficiency is not a
+/// positive finite number — degenerate sweeps (zero-byte runs, failed
+/// baselines) flow through as an absent data point.
+pub fn required_bandwidth_factor(eff_ours: f64, eff_theirs: f64) -> Option<f64> {
+    let valid = |e: f64| e.is_finite() && e > 0.0;
+    (valid(eff_ours) && valid(eff_theirs)).then(|| eff_ours / eff_theirs)
 }
 
 #[cfg(test)]
@@ -67,6 +71,15 @@ mod tests {
     fn bandwidth_factor_reads_as_tco_saving() {
         // 0.96 vs 0.48 efficiency -> 2x less hardware bandwidth needed,
         // the paper's "lower the required hardware IO bandwidth by 2x".
-        assert!((required_bandwidth_factor(0.96, 0.48) - 2.0).abs() < 1e-12);
+        assert!((required_bandwidth_factor(0.96, 0.48).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_factor_rejects_degenerate_inputs() {
+        assert_eq!(required_bandwidth_factor(0.0, 0.5), None);
+        assert_eq!(required_bandwidth_factor(0.5, 0.0), None);
+        assert_eq!(required_bandwidth_factor(-1.0, 0.5), None);
+        assert_eq!(required_bandwidth_factor(f64::NAN, 0.5), None);
+        assert_eq!(required_bandwidth_factor(0.5, f64::INFINITY), None);
     }
 }

@@ -16,9 +16,9 @@ use rayon::prelude::*;
 
 use cluster::{FailureDomains, JobAllocation, NodeId, NodeKind, Topology};
 use fabric::{Initiator, NvmfTarget};
-use microfs::block::BlockDevice;
 use microfs::{FsError, FsStats, MicroFs};
 use ssd::{NsId, Ssd, SsdConfig, SsdError};
+use telemetry::Telemetry;
 
 use crate::balancer::{BalanceError, Placement, StorageBalancer};
 use crate::config::RuntimeConfig;
@@ -77,13 +77,24 @@ pub struct StorageRack {
 }
 
 impl StorageRack {
-    /// Build devices and target daemons for every storage node in `topo`.
+    /// Build devices and target daemons for every storage node in `topo`,
+    /// reporting device metrics to the global telemetry registry.
     pub fn build(topo: &Topology, ssd_config: &SsdConfig) -> Self {
+        Self::build_with_telemetry(topo, ssd_config, Telemetry::default())
+    }
+
+    /// [`build`](StorageRack::build) with an explicit telemetry handle —
+    /// every device in the rack reports to `telemetry`'s registry.
+    pub fn build_with_telemetry(
+        topo: &Topology,
+        ssd_config: &SsdConfig,
+        telemetry: Telemetry,
+    ) -> Self {
         let mut targets = BTreeMap::new();
         for node in topo.storage_nodes() {
             if let NodeKind::Storage { ssds } = topo.kind_of(node) {
                 for s in 0..ssds {
-                    let ssd = Ssd::new(ssd_config.clone());
+                    let ssd = Ssd::with_telemetry(ssd_config.clone(), telemetry.clone());
                     targets.insert((node, s), Arc::new(NvmfTarget::new(Arc::new(ssd))));
                 }
             }
@@ -170,12 +181,18 @@ impl NvmeCrRuntime {
         // Per-rank: connect an initiator and format the segment. Ranks
         // are fully independent (own connection, own namespace shard, own
         // filesystem), so format in parallel.
+        let init_rank_ns = config.telemetry.histogram("driver.init_rank_ns");
         let ranks = placement
             .per_rank
             .par_iter()
             .map(|p| {
+                let _span = telemetry::span("driver", "init_rank").arg("rank", u64::from(p.rank));
+                let _t = init_rank_ns.time();
                 let gs = &grants[p.grant];
-                let initiator = Initiator::new(format!("nqn.2026-07.io.nvmecr:rank{}", p.rank));
+                let initiator = Initiator::with_telemetry(
+                    format!("nqn.2026-07.io.nvmecr:rank{}", p.rank),
+                    config.telemetry.clone(),
+                );
                 let conn = initiator.connect(Arc::clone(&gs.target), gs.ns);
                 let dev = NvmfBlockDevice::new(conn, p.segment_offset, p.segment_size);
                 MicroFs::format(dev, config.fs_config()).map(Some)
@@ -287,10 +304,16 @@ impl NvmeCrRuntime {
             })
             .collect();
         let config = &self.config;
+        let recover_rank_ns = config.telemetry.histogram("driver.recover_rank_ns");
         let mounted: Vec<(u32, Result<MicroFs<NvmfBlockDevice>, FsError>)> = jobs
             .into_par_iter()
             .map(|(rank, p, target, ns)| {
-                let initiator = Initiator::new(format!("nqn.2026-07.io.nvmecr:rank{rank}-r"));
+                let _span = telemetry::span("driver", "recover_rank").arg("rank", u64::from(rank));
+                let _t = recover_rank_ns.time();
+                let initiator = Initiator::with_telemetry(
+                    format!("nqn.2026-07.io.nvmecr:rank{rank}-r"),
+                    config.telemetry.clone(),
+                );
                 let conn = initiator.connect(target, ns);
                 let dev = NvmfBlockDevice::new(conn, p.segment_offset, p.segment_size);
                 (rank, MicroFs::mount(dev, config.fs_config()))
@@ -321,7 +344,10 @@ impl NvmeCrRuntime {
             return Err(RuntimeError::BadRank(rank));
         }
         let gs = &self.grants[p.grant];
-        let initiator = Initiator::new(format!("nqn.2026-07.io.nvmecr:fsck{}", p.rank));
+        let initiator = Initiator::with_telemetry(
+            format!("nqn.2026-07.io.nvmecr:fsck{}", p.rank),
+            self.config.telemetry.clone(),
+        );
         let conn = initiator.connect(Arc::clone(&gs.target), gs.ns);
         let mut dev = NvmfBlockDevice::new(conn, p.segment_offset, p.segment_size);
         Ok(microfs::fsck(&mut dev))
@@ -349,26 +375,12 @@ impl NvmeCrRuntime {
             .sum()
     }
 
-    /// Job-scoped data-plane counters `(bytes_copied, lock_wait_ns)`:
-    /// payload bytes memcpy'd anywhere on the path (initiator staging +
-    /// device media drain) and nanoseconds ranks spent blocked on their
-    /// namespace shard locks.
-    pub fn data_plane_counters(&self) -> (u64, u64) {
-        let mut copied = 0;
-        let mut wait = 0;
-        for gs in &self.grants {
-            if let Ok(shard) = gs.target.device().shard(gs.ns) {
-                copied += shard.bytes_copied();
-                wait += shard.lock_wait_ns();
-            }
-        }
-        copied += self
-            .ranks
-            .iter()
-            .flatten()
-            .map(|fs| fs.device().counters().bytes_copied)
-            .sum::<u64>();
-        (copied, wait)
+    /// The telemetry handle the job's components report to. Data-plane
+    /// counters that used to be hand-plumbed (`bytes_copied`,
+    /// `lock_wait_ns`) live in this registry as `fabric.bytes_copied`,
+    /// `ssd.bytes_copied` and `ssd.lock_wait_ns`.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.config.telemetry
     }
 
     /// Detach: tear down the ephemeral runtime (as a job kill would) but
@@ -400,14 +412,20 @@ impl NvmeCrRuntime {
             .collect();
         // Every rank mounts (snapshot + log replay) independently; do it
         // in parallel, same as init-time formatting.
+        let restart_rank_ns = handle.config.telemetry.histogram("driver.restart_rank_ns");
         let ranks = handle
             .placement
             .per_rank
             .par_iter()
             .map(|p| {
+                let _span =
+                    telemetry::span("driver", "restart_rank").arg("rank", u64::from(p.rank));
+                let _t = restart_rank_ns.time();
                 let gs = &grants[p.grant];
-                let initiator =
-                    Initiator::new(format!("nqn.2026-07.io.nvmecr:rank{}-restart", p.rank));
+                let initiator = Initiator::with_telemetry(
+                    format!("nqn.2026-07.io.nvmecr:rank{}-restart", p.rank),
+                    handle.config.telemetry.clone(),
+                );
                 let conn = initiator.connect(Arc::clone(&gs.target), gs.ns);
                 let dev = NvmfBlockDevice::new(conn, p.segment_offset, p.segment_size);
                 MicroFs::mount(dev, handle.config.fs_config()).map(Some)
@@ -446,16 +464,20 @@ mod tests {
     use microfs::OpenFlags;
 
     fn small_setup(procs: u32) -> (StorageRack, Topology, JobAllocation, RuntimeConfig) {
+        // Private registry so exact-value counter assertions stay isolated
+        // from other tests running concurrently in this process.
+        let telemetry = Telemetry::new();
         let topo = Topology::paper_testbed();
         let ssd_config = SsdConfig {
             capacity: 8 << 30,
             ..SsdConfig::default()
         };
-        let rack = StorageRack::build(&topo, &ssd_config);
+        let rack = StorageRack::build_with_telemetry(&topo, &ssd_config, telemetry.clone());
         let mut sched = Scheduler::new(topo.clone(), 4);
         let alloc = sched.submit(&JobRequest::full_subscription(procs)).unwrap();
         let config = RuntimeConfig {
             namespace_bytes: 4 << 30,
+            telemetry,
             ..RuntimeConfig::default()
         };
         (rack, topo, alloc, config)
@@ -644,10 +666,16 @@ mod tests {
             .unwrap();
         assert_eq!(verified.len(), 56);
         assert!(verified.iter().all(|&n| n == 48 << 10));
-        let (copied, _wait) = rt.data_plane_counters();
+        let snap = rt.telemetry().snapshot();
         assert!(
-            copied > 0,
+            snap.counter("fabric.bytes_copied") > 0,
             "slice-path fs IO stages copies that must be visible"
+        );
+        assert!(snap.counter("ssd.bytes_copied") > 0);
+        // Per-rank phase latencies from init land in the registry too.
+        assert_eq!(
+            snap.histogram("driver.init_rank_ns").unwrap().count,
+            u64::from(rt.rank_count())
         );
     }
 

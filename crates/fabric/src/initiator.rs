@@ -10,12 +10,54 @@ use std::fmt;
 use std::sync::Arc;
 
 use bytes::Bytes;
+use telemetry::{Counter, Histogram, Telemetry};
 
 use ssd::NsId;
 
 use crate::capsule::{Capsule, Completion, Status};
+use crate::config::KernelCosts;
+use crate::path::IoPath;
 use crate::qp::{CompletionOp, QueuePair};
 use crate::target::{ConnId, NvmfTarget, TargetError};
+
+/// Resolved telemetry handles for the initiator hot path, shared by every
+/// connection an [`Initiator`] opens.
+struct FabricMetrics {
+    /// Full QP submit→complete latency of one capsule exchange.
+    submit_ns: Arc<Histogram>,
+    /// Command-capsule scatter-gather encode latency.
+    capsule_encode_ns: Arc<Histogram>,
+    /// Response-capsule decode latency.
+    capsule_decode_ns: Arc<Histogram>,
+    /// Capsule exchanges issued (writes, reads, flushes).
+    io_ops: Arc<Counter>,
+    /// Payload bytes moved over connections.
+    io_bytes: Arc<Counter>,
+    /// Payload bytes memcpy'd on the initiator side. The `Bytes`-based
+    /// paths add nothing here; the slice-based convenience paths add one
+    /// staging copy each.
+    bytes_copied: Arc<Counter>,
+    /// Modeled host-CPU ns for the polled userspace path actually taken.
+    userspace_path_ns: Arc<Counter>,
+    /// Modeled host-CPU ns the same IOs would have cost on the kernel
+    /// path (Figure 2) — the counterfactual the paper's §IV-D contrasts.
+    kernel_path_equiv_ns: Arc<Counter>,
+}
+
+impl FabricMetrics {
+    fn new(t: &Telemetry) -> Self {
+        FabricMetrics {
+            submit_ns: t.histogram("fabric.submit_ns"),
+            capsule_encode_ns: t.histogram("fabric.capsule_encode_ns"),
+            capsule_decode_ns: t.histogram("fabric.capsule_decode_ns"),
+            io_ops: t.counter("fabric.io_ops"),
+            io_bytes: t.counter("fabric.io_bytes"),
+            bytes_copied: t.counter("fabric.bytes_copied"),
+            userspace_path_ns: t.counter("fabric.userspace_path_ns"),
+            kernel_path_equiv_ns: t.counter("fabric.kernel_path_equiv_ns"),
+        }
+    }
+}
 
 /// Initiator-side failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,13 +88,21 @@ impl From<TargetError> for InitiatorError {
 /// The client-side NVMf endpoint of one process.
 pub struct Initiator {
     host_nqn: String,
+    metrics: Arc<FabricMetrics>,
 }
 
 impl Initiator {
-    /// An initiator identifying as `host_nqn`.
+    /// An initiator identifying as `host_nqn`, reporting into the
+    /// process-global telemetry registry.
     pub fn new(host_nqn: impl Into<String>) -> Self {
+        Self::with_telemetry(host_nqn, Telemetry::default())
+    }
+
+    /// An initiator reporting `fabric.*` metrics into `t`.
+    pub fn with_telemetry(host_nqn: impl Into<String>, t: Telemetry) -> Self {
         Initiator {
             host_nqn: host_nqn.into(),
+            metrics: Arc::new(FabricMetrics::new(&t)),
         }
     }
 
@@ -68,6 +118,12 @@ impl Initiator {
     pub fn connect(&self, target: Arc<NvmfTarget>, ns: NsId) -> NvmfConnection {
         let conn = target.connect(&self.host_nqn, &[ns]);
         let (qp_initiator, qp_target) = QueuePair::connected_pair(128, 128);
+        // Price one IO on each software stack up front: every submit then
+        // charges the polled-userspace cost actually taken and the
+        // kernel-path counterfactual, so reports can contrast the two.
+        let k = KernelCosts::default();
+        let userspace_per_io_ns = (IoPath::Userspace.per_io(&k).total().as_secs() * 1e9) as u64;
+        let kernel_per_io_ns = (IoPath::Kernel.per_io(&k).total().as_secs() * 1e9) as u64;
         NvmfConnection {
             target,
             conn,
@@ -78,7 +134,9 @@ impl Initiator {
             next_wr: 0,
             ios: 0,
             bytes: 0,
-            copied_bytes: 0,
+            metrics: Arc::clone(&self.metrics),
+            userspace_per_io_ns,
+            kernel_per_io_ns,
         }
     }
 }
@@ -97,11 +155,9 @@ pub struct NvmfConnection {
     next_wr: u64,
     ios: u64,
     bytes: u64,
-    /// Payload bytes memcpy'd on the initiator side. The `Bytes`-based
-    /// paths ([`NvmfConnection::write_bytes`], [`NvmfConnection::read_bytes`])
-    /// add nothing here; the slice-based convenience paths add one staging
-    /// copy each.
-    copied_bytes: u64,
+    metrics: Arc<FabricMetrics>,
+    userspace_per_io_ns: u64,
+    kernel_per_io_ns: u64,
 }
 
 impl NvmfConnection {
@@ -116,6 +172,11 @@ impl NvmfConnection {
         // command capsule over the queue pair, run one target-daemon poll
         // iteration, and poll our own CQ for the response — no blocking
         // waits anywhere (Principle 1).
+        let _submit_t = self.metrics.submit_ns.time();
+        let _span = telemetry::span("fabric", "submit").arg("ns", self.ns.0 as u64);
+        self.metrics.io_ops.inc();
+        self.metrics.userspace_path_ns.add(self.userspace_per_io_ns);
+        self.metrics.kernel_path_equiv_ns.add(self.kernel_per_io_ns);
         let wr = self.next_wr;
         self.next_wr += 3;
         self.qp_target.post_recv(wr);
@@ -123,8 +184,12 @@ impl NvmfConnection {
         // The capsule travels as scatter-gather segments: header in one
         // SGE, write payload (the caller's refcounted buffer) in another.
         // Nothing on the wire path copies payload bytes.
+        let wire = {
+            let _t = self.metrics.capsule_encode_ns.time();
+            capsule.encode_sg()
+        };
         self.qp_initiator
-            .post_send(wr + 2, capsule.encode_sg())
+            .post_send(wr + 2, wire)
             .map_err(|e| InitiatorError::Transport(e.to_string()))?;
         // Target daemon iteration: poll, decode, execute, respond.
         let cmd_wire = self
@@ -146,8 +211,11 @@ impl NvmfConnection {
             .find(|c| c.opcode == CompletionOp::Recv)
             .and_then(|c| c.payload)
             .ok_or_else(|| InitiatorError::Transport("response capsule lost".into()))?;
-        let completion = Completion::decode_sg(resp_wire)
-            .map_err(|e| InitiatorError::Transport(e.to_string()))?;
+        let completion = {
+            let _t = self.metrics.capsule_decode_ns.time();
+            Completion::decode_sg(resp_wire)
+                .map_err(|e| InitiatorError::Transport(e.to_string()))?
+        };
         match completion.status {
             Status::Success => Ok(completion),
             s => Err(InitiatorError::Remote(s)),
@@ -167,6 +235,7 @@ impl NvmfConnection {
         let cid = self.cid();
         self.ios += 1;
         self.bytes += data.len() as u64;
+        self.metrics.io_bytes.add(data.len() as u64);
         self.submit(Capsule::write(cid, self.ns.0, offset, data))
             .map(|_| ())
     }
@@ -174,7 +243,7 @@ impl NvmfConnection {
     /// Write `data` at namespace-relative `offset` (stages one copy of
     /// the borrowed slice; prefer [`NvmfConnection::write_bytes`]).
     pub fn write(&mut self, offset: u64, data: &[u8]) -> Result<(), InitiatorError> {
-        self.copied_bytes += data.len() as u64;
+        self.metrics.bytes_copied.add(data.len() as u64);
         self.write_bytes(offset, Bytes::copy_from_slice(data))
     }
 
@@ -186,6 +255,7 @@ impl NvmfConnection {
         let c = Capsule::read(cid, self.ns.0, offset, len as u64);
         self.ios += 1;
         self.bytes += len as u64;
+        self.metrics.io_bytes.add(len as u64);
         self.submit(c).map(|r| r.data)
     }
 
@@ -193,7 +263,7 @@ impl NvmfConnection {
     pub fn read_into(&mut self, offset: u64, buf: &mut [u8]) -> Result<(), InitiatorError> {
         let data = self.read_bytes(offset, buf.len())?;
         buf.copy_from_slice(&data);
-        self.copied_bytes += buf.len() as u64;
+        self.metrics.bytes_copied.add(buf.len() as u64);
         Ok(())
     }
 
@@ -201,7 +271,7 @@ impl NvmfConnection {
     /// vector (one copy; prefer [`NvmfConnection::read_bytes`]).
     pub fn read(&mut self, offset: u64, len: usize) -> Result<Vec<u8>, InitiatorError> {
         let data = self.read_bytes(offset, len)?;
-        self.copied_bytes += data.len() as u64;
+        self.metrics.bytes_copied.add(data.len() as u64);
         Ok(data.to_vec())
     }
 
@@ -217,11 +287,6 @@ impl NvmfConnection {
         (self.ios, self.bytes)
     }
 
-    /// Payload bytes memcpy'd on the initiator side of this connection.
-    pub fn copied_bytes(&self) -> u64 {
-        self.copied_bytes
-    }
-
     /// Work requests posted on the initiator-side queue pair
     /// `(sends, recvs)` — evidence the wire discipline is in use.
     pub fn qp_counters(&self) -> (u64, u64) {
@@ -234,14 +299,25 @@ mod tests {
     use super::*;
     use ssd::{Ssd, SsdConfig};
 
-    fn setup() -> (Arc<NvmfTarget>, NsId, NsId) {
-        let ssd = Ssd::new(SsdConfig {
-            capacity: 1 << 20,
-            ..SsdConfig::default()
-        });
+    /// Target + namespaces on a *private* telemetry registry, so exact
+    /// counter assertions don't race with concurrently running tests.
+    fn setup_with_telemetry() -> (Arc<NvmfTarget>, NsId, NsId, Telemetry) {
+        let t = Telemetry::new();
+        let ssd = Ssd::with_telemetry(
+            SsdConfig {
+                capacity: 1 << 20,
+                ..SsdConfig::default()
+            },
+            t.clone(),
+        );
         let a = ssd.create_namespace(256 << 10).unwrap();
         let b = ssd.create_namespace(256 << 10).unwrap();
-        (Arc::new(NvmfTarget::new(Arc::new(ssd))), a, b)
+        (Arc::new(NvmfTarget::new(Arc::new(ssd))), a, b, t)
+    }
+
+    fn setup() -> (Arc<NvmfTarget>, NsId, NsId) {
+        let (t, a, b, _) = setup_with_telemetry();
+        (t, a, b)
     }
 
     #[test]
@@ -256,30 +332,45 @@ mod tests {
 
     #[test]
     fn bytes_paths_are_copy_free_end_to_end() {
-        let (target, a, _) = setup();
-        let mut conn = Initiator::new("nqn.host").connect(Arc::clone(&target), a);
+        let (target, a, _, t) = setup_with_telemetry();
+        let init = Initiator::with_telemetry("nqn.host", t.clone());
+        let mut conn = init.connect(Arc::clone(&target), a);
         let payload = Bytes::from(vec![0x3Cu8; 16 << 10]);
         conn.write_bytes(0, payload.clone()).unwrap();
         conn.flush().unwrap();
+        let copied = |name: &str| t.snapshot().counter(name);
         assert_eq!(
-            conn.copied_bytes(),
+            copied("fabric.bytes_copied"),
             0,
             "initiator must not copy the payload"
         );
         assert_eq!(
-            target.device().bytes_copied(),
+            copied("ssd.bytes_copied"),
             payload.len() as u64,
             "exactly one copy per byte: device RAM drain to media"
         );
         let back = conn.read_bytes(0, payload.len()).unwrap();
         assert_eq!(back, payload);
-        assert_eq!(conn.copied_bytes(), 0, "read_bytes must not copy either");
+        assert_eq!(
+            copied("fabric.bytes_copied"),
+            0,
+            "read_bytes must not copy either"
+        );
         // The slice paths each stage one copy and say so.
         conn.write(0, &[1u8; 100]).unwrap();
         let mut buf = [0u8; 100];
         conn.read_into(0, &mut buf).unwrap();
         assert_eq!(buf, [1u8; 100]);
-        assert_eq!(conn.copied_bytes(), 200);
+        assert_eq!(copied("fabric.bytes_copied"), 200);
+        // Latency histograms observed every capsule exchange.
+        let snap = t.snapshot();
+        let submits = snap.histogram("fabric.submit_ns").unwrap();
+        assert_eq!(submits.count, snap.counter("fabric.io_ops"));
+        assert!(submits.count >= 5, "write+flush+read+write+read_into");
+        assert!(
+            snap.counter("fabric.kernel_path_equiv_ns") > snap.counter("fabric.userspace_path_ns"),
+            "modeled kernel path must cost more than the polled userspace path"
+        );
     }
 
     #[test]

@@ -64,15 +64,26 @@ pub struct NvmfTarget {
     ssd: Arc<Ssd>,
     connections: Mutex<HashMap<ConnId, Arc<Connection>>>,
     next_conn: Mutex<u32>,
+    /// Command-capsule decode latency on the target side (reported into
+    /// the fronted device's telemetry registry).
+    decode_ns: Arc<telemetry::Histogram>,
+    /// Capsule execution latency: decoded command → completion.
+    handle_ns: Arc<telemetry::Histogram>,
 }
 
 impl NvmfTarget {
-    /// Front the given device.
+    /// Front the given device. Target-side `fabric.*` metrics report into
+    /// the device's telemetry registry.
     pub fn new(ssd: Arc<Ssd>) -> Self {
+        let t = ssd.telemetry();
+        let decode_ns = t.histogram("fabric.target_decode_ns");
+        let handle_ns = t.histogram("fabric.target_handle_ns");
         NvmfTarget {
             ssd,
             connections: Mutex::new(HashMap::new()),
             next_conn: Mutex::new(0),
+            decode_ns,
+            handle_ns,
         }
     }
 
@@ -118,13 +129,16 @@ impl NvmfTarget {
     /// from the wire and staged in device RAM without a copy; read
     /// payloads ride back as their own segment.
     pub fn handle_wire_sg(&self, conn: ConnId, wire: SgList) -> Result<SgList, TargetError> {
-        let capsule =
-            Capsule::decode_sg(wire).map_err(|e| TargetError::Malformed(e.to_string()))?;
+        let capsule = {
+            let _t = self.decode_ns.time();
+            Capsule::decode_sg(wire).map_err(|e| TargetError::Malformed(e.to_string()))?
+        };
         Ok(self.handle(conn, &capsule)?.encode_sg())
     }
 
     /// Handle one decoded capsule for `conn`.
     pub fn handle(&self, conn: ConnId, c: &Capsule) -> Result<Completion, TargetError> {
+        let _t = self.handle_ns.time();
         let ns = NsId(c.nsid);
         // Snapshot the connection, then drop the table lock: capsule
         // execution must only ever hold the one shard lock it needs.
@@ -173,13 +187,30 @@ mod tests {
     use ssd::SsdConfig;
 
     fn target_with_two_ns() -> (NvmfTarget, NsId, NsId) {
-        let ssd = Ssd::new(SsdConfig {
-            capacity: 1 << 20,
-            ..SsdConfig::default()
-        });
+        // Private telemetry registry: the one-copy test asserts an exact
+        // `ssd.bytes_copied` value and must not share counters with
+        // concurrently running tests.
+        let ssd = Ssd::with_telemetry(
+            SsdConfig {
+                capacity: 1 << 20,
+                ..SsdConfig::default()
+            },
+            telemetry::Telemetry::new(),
+        );
         let a = ssd.create_namespace(256 << 10).unwrap();
         let b = ssd.create_namespace(256 << 10).unwrap();
         (NvmfTarget::new(Arc::new(ssd)), a, b)
+    }
+
+    #[test]
+    fn target_side_capsule_latency_is_observed() {
+        let (t, a, _) = target_with_two_ns();
+        let conn = t.connect("nqn.host0", &[a]);
+        let w = Capsule::write(1, a.0, 0, Bytes::from(vec![1u8; 512]));
+        t.handle_wire_sg(conn, w.encode_sg()).unwrap();
+        let snap = t.device().telemetry().snapshot();
+        assert_eq!(snap.histogram("fabric.target_decode_ns").unwrap().count, 1);
+        assert_eq!(snap.histogram("fabric.target_handle_ns").unwrap().count, 1);
     }
 
     #[test]
@@ -206,7 +237,13 @@ mod tests {
         t.device().flush();
         // Initiator buffer → wire → device RAM were all the same
         // refcounted allocation; the only copy was drain-to-media.
-        assert_eq!(t.device().bytes_copied(), 8192);
+        assert_eq!(
+            t.device()
+                .telemetry()
+                .snapshot()
+                .counter("ssd.bytes_copied"),
+            8192
+        );
         let r = Capsule::read(2, a.0, 0, 8192);
         let resp = Completion::decode_sg(t.handle_wire_sg(conn, r.encode_sg()).unwrap()).unwrap();
         assert_eq!(&resp.data[..], &vec![0xC7u8; 8192][..]);

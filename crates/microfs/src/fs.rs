@@ -10,6 +10,10 @@
 //! returns — so a returned `write` is durable, and "a completely written
 //! checkpoint file will never hold corrupted data".
 
+use std::sync::Arc;
+
+use telemetry::{Counter, Histogram, Telemetry};
+
 use crate::block::{BlockDevice, BlockPool};
 use crate::btree::BTree;
 use crate::dirent::Dirent;
@@ -31,6 +35,8 @@ pub struct FsConfig {
     /// Snapshot internal state when the log's free fraction drops below
     /// this threshold and no files are open (§III-E background trigger).
     pub snapshot_threshold: f64,
+    /// Where this instance reports its `microfs.*` metrics.
+    pub telemetry: Telemetry,
 }
 
 impl Default for FsConfig {
@@ -40,6 +46,47 @@ impl Default for FsConfig {
             uid: 1000,
             coalescing: true,
             snapshot_threshold: 0.25,
+            telemetry: Telemetry::default(),
+        }
+    }
+}
+
+/// Resolved telemetry handles for the filesystem hot paths (one registry
+/// lookup each at mount time, never per operation).
+struct FsMetrics {
+    /// Operation-log append latency (including the snapshot-on-full
+    /// fallback when it fires).
+    wal_append_ns: Arc<Histogram>,
+    /// Log records physically appended.
+    wal_appended: Arc<Counter>,
+    /// Writes absorbed by in-place record coalescing.
+    wal_coalesced: Arc<Counter>,
+    /// DRAM B+Tree operation latency (lookups and inserts).
+    btree_op_ns: Arc<Histogram>,
+    /// Full `pwrite` path latency: extent allocation + device IO + log.
+    write_ns: Arc<Histogram>,
+    /// Full `pread` path latency.
+    read_ns: Arc<Histogram>,
+    /// Metadata snapshot (checkpoint-internal-state) latency.
+    snapshot_ns: Arc<Histogram>,
+    /// Mount-time log replay latency (whole replay pass).
+    replay_ns: Arc<Histogram>,
+    /// Records replayed across all mounts.
+    replay_records: Arc<Counter>,
+}
+
+impl FsMetrics {
+    fn new(t: &Telemetry) -> Self {
+        FsMetrics {
+            wal_append_ns: t.histogram("microfs.wal_append_ns"),
+            wal_appended: t.counter("microfs.wal_appended"),
+            wal_coalesced: t.counter("microfs.wal_coalesced"),
+            btree_op_ns: t.histogram("microfs.btree_op_ns"),
+            write_ns: t.histogram("microfs.write_ns"),
+            read_ns: t.histogram("microfs.read_ns"),
+            snapshot_ns: t.histogram("microfs.snapshot_ns"),
+            replay_ns: t.histogram("microfs.replay_ns"),
+            replay_records: t.counter("microfs.replay_records"),
         }
     }
 }
@@ -128,6 +175,7 @@ pub struct MicroFs<D: BlockDevice> {
     open_count: usize,
     snapshot_seq: u64,
     stats: FsStats,
+    metrics: FsMetrics,
     /// Reusable all-zero buffer for gap zeroing (grown on demand, never
     /// reallocated per block).
     zero_scratch: Vec<u8>,
@@ -160,6 +208,7 @@ impl<D: BlockDevice> MicroFs<D> {
         // recoverable before any log records exist.
         let snap_bytes = snapshot::write_snapshot(&mut dev, &layout, &state, 0, 0)?;
         let wal = Wal::new(layout.log_offset, layout.log_size, config.coalescing);
+        let metrics = FsMetrics::new(&config.telemetry);
         let mut fs = MicroFs {
             dev,
             layout,
@@ -170,6 +219,7 @@ impl<D: BlockDevice> MicroFs<D> {
             open_count: 0,
             snapshot_seq: 0,
             stats: FsStats::default(),
+            metrics,
             zero_scratch: Vec::new(),
             enc_scratch: Vec::new(),
         };
@@ -196,6 +246,7 @@ impl<D: BlockDevice> MicroFs<D> {
         let (records, scan_end) =
             Wal::scan(&mut dev, layout.log_offset, layout.log_size, generation)?;
         let replayed = records.len() as u64;
+        let metrics = FsMetrics::new(&config.telemetry);
         let mut fs = MicroFs {
             dev,
             layout,
@@ -212,12 +263,19 @@ impl<D: BlockDevice> MicroFs<D> {
             open_count: 0,
             snapshot_seq: seq,
             stats: FsStats::default(),
+            metrics,
             zero_scratch: Vec::new(),
             enc_scratch: Vec::new(),
         };
-        for rec in &records {
-            fs.replay(rec)?;
+        {
+            let _span = telemetry::span("microfs", "replay").arg("records", replayed);
+            let replay_ns = Arc::clone(&fs.metrics.replay_ns);
+            let _t = replay_ns.time();
+            for rec in &records {
+                fs.replay(rec)?;
+            }
         }
+        fs.metrics.replay_records.add(replayed);
         fs.stats.replayed_records = replayed;
         Ok(fs)
     }
@@ -288,6 +346,7 @@ impl<D: BlockDevice> MicroFs<D> {
     }
 
     fn lookup(&self, path: &str) -> Option<Ino> {
+        let _t = self.metrics.btree_op_ns.time();
         self.state.btree.get(path)
     }
 
@@ -428,7 +487,10 @@ impl<D: BlockDevice> MicroFs<D> {
         let op = self.state.op_counter;
         self.state.op_counter += 1;
         let ino = self.state.inodes.alloc(Inode::new_dir(mode, uid, op));
-        self.state.btree.insert(path, ino);
+        {
+            let _t = self.metrics.btree_op_ns.time();
+            self.state.btree.insert(path, ino);
+        }
         self.append_dirent(pino, &Dirent::Add { name, ino }, live)?;
         Ok(ino)
     }
@@ -441,7 +503,10 @@ impl<D: BlockDevice> MicroFs<D> {
         let op = self.state.op_counter;
         self.state.op_counter += 1;
         let ino = self.state.inodes.alloc(Inode::new_file(mode, uid, op));
-        self.state.btree.insert(path, ino);
+        {
+            let _t = self.metrics.btree_op_ns.time();
+            self.state.btree.insert(path, ino);
+        }
         self.append_dirent(pino, &Dirent::Add { name, ino }, live)?;
         Ok(ino)
     }
@@ -533,7 +598,11 @@ impl<D: BlockDevice> MicroFs<D> {
     // ------------------------------------------------------------------
 
     fn log(&mut self, rec: &LogRecord) -> Result<(), FsError> {
-        match self.wal.append(&mut self.dev, rec) {
+        // Clone the Arc so the RAII timer doesn't hold a borrow of self.
+        let wal_append_ns = Arc::clone(&self.metrics.wal_append_ns);
+        let _t = wal_append_ns.time();
+        let before = self.wal.stats();
+        let res = match self.wal.append(&mut self.dev, rec) {
             Ok(()) => Ok(()),
             Err(FsError::LogFull) => {
                 // Synchronous fallback of the background cleaner: snapshot
@@ -542,12 +611,23 @@ impl<D: BlockDevice> MicroFs<D> {
                 self.wal.append(&mut self.dev, rec)
             }
             Err(e) => Err(e),
-        }
+        };
+        let after = self.wal.stats();
+        self.metrics
+            .wal_appended
+            .add(after.appended.saturating_sub(before.appended));
+        self.metrics
+            .wal_coalesced
+            .add(after.coalesced.saturating_sub(before.coalesced));
+        res
     }
 
     /// Checkpoint internal DRAM state to the reserved region and reset the
     /// log. Atomic: records are only discarded after the snapshot commits.
     pub fn snapshot_now(&mut self) -> Result<(), FsError> {
+        let _span = telemetry::span("microfs", "snapshot").arg("seq", self.snapshot_seq + 1);
+        let snapshot_ns = Arc::clone(&self.metrics.snapshot_ns);
+        let _t = snapshot_ns.time();
         let seq = self.snapshot_seq + 1;
         let next_gen = self.wal.generation() + 1;
         let bytes =
@@ -716,6 +796,8 @@ impl<D: BlockDevice> MicroFs<D> {
         if data.is_empty() {
             return Ok(0);
         }
+        let write_ns = Arc::clone(&self.metrics.write_ns);
+        let _t = write_ns.time();
         let len = data.len() as u64;
         self.write_extent(ino, offset, len, Some(data))?;
         self.log(&LogRecord::Write { ino, offset, len })?;
@@ -754,6 +836,7 @@ impl<D: BlockDevice> MicroFs<D> {
     }
 
     fn pread_ino(&mut self, ino: Ino, offset: u64, buf: &mut [u8]) -> Result<usize, FsError> {
+        let _t = self.metrics.read_ns.time();
         let size = self.state.inodes.get(ino)?.size;
         if offset >= size {
             return Ok(0);
@@ -1147,6 +1230,59 @@ mod tests {
         let s = fs.stats();
         assert_eq!(s.writes, 100);
         assert_eq!(s.wal.coalesced, 99, "sequential writes must coalesce");
+    }
+
+    #[test]
+    fn telemetry_observes_wal_btree_io_snapshot_and_replay() {
+        // Private registry: exact-value assertions stay isolated from other
+        // tests running concurrently in this process.
+        let t = Telemetry::new();
+        let config = FsConfig {
+            telemetry: t.clone(),
+            ..FsConfig::default()
+        };
+        let mut fs = MicroFs::format(MemDevice::new(DEV_SIZE), config.clone()).unwrap();
+        fs.mkdir("/d", 0o755).unwrap();
+        let fd = fs
+            .open(
+                "/d/f",
+                OpenFlags {
+                    read: true,
+                    ..OpenFlags::CREATE_TRUNC
+                },
+                0o644,
+            )
+            .unwrap();
+        for _ in 0..10 {
+            fs.write(fd, &[7u8; 4096]).unwrap();
+        }
+        let mut buf = [0u8; 4096];
+        fs.pread(fd, 0, &mut buf).unwrap();
+        fs.close(fd).unwrap();
+        fs.snapshot_now().unwrap();
+
+        let snap = t.snapshot();
+        let wal = fs.stats().wal;
+        assert_eq!(snap.counter("microfs.wal_appended"), wal.appended);
+        assert_eq!(snap.counter("microfs.wal_coalesced"), wal.coalesced);
+        assert!(wal.coalesced >= 9, "sequential writes should coalesce");
+        // 12 log() calls: mkdir, create, 10 writes.
+        assert_eq!(snap.histogram("microfs.wal_append_ns").unwrap().count, 12);
+        assert_eq!(snap.histogram("microfs.write_ns").unwrap().count, 10);
+        assert_eq!(snap.histogram("microfs.read_ns").unwrap().count, 1);
+        assert_eq!(snap.histogram("microfs.snapshot_ns").unwrap().count, 1);
+        // Lookups (mkdir/create existence checks, opens, stats) + inserts.
+        assert!(snap.histogram("microfs.btree_op_ns").unwrap().count >= 4);
+
+        // Crash + remount replays through the same registry.
+        let dev = fs.into_device();
+        let fs2 = MicroFs::mount(dev, config).unwrap();
+        let snap = t.snapshot();
+        assert_eq!(snap.histogram("microfs.replay_ns").unwrap().count, 1);
+        assert_eq!(
+            snap.counter("microfs.replay_records"),
+            fs2.stats().replayed_records
+        );
     }
 
     #[test]

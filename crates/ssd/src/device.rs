@@ -21,16 +21,57 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
+use telemetry::{Counter, Gauge, Histogram, Telemetry};
 
 use crate::backing::SparseStore;
 use crate::config::SsdConfig;
 use crate::namespace::{NamespaceSet, NsError, NsId};
+
+/// Resolved telemetry handles for the device's hot path. All shards of
+/// one [`Ssd`] share these, so per-metric registry lookups happen once at
+/// device construction, never per IO.
+struct SsdMetrics {
+    /// Write-payload bytes memcpy'd by the device. On the zero-copy path
+    /// every payload byte is copied exactly once: at drain, into the
+    /// backing store. The slice-based [`NsShard::write`] adds one more
+    /// copy (slice → staging `Bytes`), also counted here.
+    bytes_copied: Arc<Counter>,
+    /// Cumulative nanoseconds IO threads spent *blocked* acquiring shard
+    /// locks — the direct observable for cross-rank contention.
+    lock_wait_ns: Arc<Counter>,
+    /// Bytes saved by capacitor-backed flush on power failure.
+    capacitor_flush_bytes: Arc<Counter>,
+    /// Latency of one staged write draining to media.
+    drain_ns: Arc<Histogram>,
+    /// Shard write-path latency (stage + any forced drains).
+    write_ns: Arc<Histogram>,
+    /// Shard read-path latency (media read + volatile overlay).
+    read_ns: Arc<Histogram>,
+    /// Writes currently staged in device RAM across all shards.
+    queue_depth: Arc<Gauge>,
+    /// Bytes currently staged in device RAM across all shards.
+    ram_occupancy: Arc<Gauge>,
+}
+
+impl SsdMetrics {
+    fn new(t: &Telemetry) -> Self {
+        SsdMetrics {
+            bytes_copied: t.counter("ssd.bytes_copied"),
+            lock_wait_ns: t.counter("ssd.lock_wait_ns"),
+            capacitor_flush_bytes: t.counter("ssd.capacitor_flush_bytes"),
+            drain_ns: t.histogram("ssd.drain_ns"),
+            write_ns: t.histogram("ssd.write_ns"),
+            read_ns: t.histogram("ssd.read_ns"),
+            queue_depth: t.gauge("ssd.queue_depth"),
+            ram_occupancy: t.gauge("ssd.ram_occupancy_bytes"),
+        }
+    }
+}
 
 /// IO or management failure on the device.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,26 +124,27 @@ struct ShardData {
     reads: u64,
     bytes_written: u64,
     bytes_read: u64,
-    /// Write-payload bytes memcpy'd by this shard. On the zero-copy path
-    /// every payload byte is copied exactly once: at drain, into the
-    /// backing store. The slice-based [`NsShard::write`] adds one more
-    /// copy (slice → staging `Bytes`), also counted here.
-    bytes_copied: u64,
 }
 
 impl ShardData {
-    fn drain_one(&mut self) -> bool {
+    fn drain_one(&mut self, m: &SsdMetrics) -> bool {
         let Some(w) = self.volatile.pop_front() else {
             return false;
         };
-        self.volatile_bytes -= w.data.len() as u64;
-        self.bytes_copied += w.data.len() as u64;
-        self.store.write(w.ns_offset, &w.data);
+        let len = w.data.len() as u64;
+        self.volatile_bytes -= len;
+        {
+            let _t = m.drain_ns.time();
+            self.store.write(w.ns_offset, &w.data);
+        }
+        m.bytes_copied.add(len);
+        m.queue_depth.add(-1);
+        m.ram_occupancy.add(-(len as i64));
         true
     }
 
-    fn flush(&mut self) {
-        while self.drain_one() {}
+    fn flush(&mut self, m: &SsdMetrics) {
+        while self.drain_one(m) {}
     }
 }
 
@@ -116,13 +158,20 @@ pub struct NsShard {
     ram_budget: u64,
     capacitor: bool,
     data: Mutex<ShardData>,
-    /// Cumulative nanoseconds spent *blocked* acquiring the shard lock —
-    /// the direct observable for cross-rank contention.
-    lock_wait_ns: AtomicU64,
+    /// Telemetry handles shared with the owning device (lock-wait time is
+    /// charged to `ssd.lock_wait_ns`, the cross-rank contention
+    /// observable).
+    metrics: Arc<SsdMetrics>,
 }
 
 impl NsShard {
-    fn new(ns: NsId, size: u64, ram_budget: u64, capacitor: bool) -> Self {
+    fn new(
+        ns: NsId,
+        size: u64,
+        ram_budget: u64,
+        capacitor: bool,
+        metrics: Arc<SsdMetrics>,
+    ) -> Self {
         NsShard {
             ns,
             size,
@@ -136,9 +185,8 @@ impl NsShard {
                 reads: 0,
                 bytes_written: 0,
                 bytes_read: 0,
-                bytes_copied: 0,
             }),
-            lock_wait_ns: AtomicU64::new(0),
+            metrics,
         }
     }
 
@@ -160,8 +208,7 @@ impl NsShard {
         }
         let t = Instant::now();
         let g = self.data.lock();
-        self.lock_wait_ns
-            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.metrics.lock_wait_ns.add(t.elapsed().as_nanos() as u64);
         g
     }
 
@@ -182,16 +229,19 @@ impl NsShard {
     /// store.
     pub fn write_bytes(&self, offset: u64, data: Bytes) -> Result<(), SsdError> {
         self.check(offset, data.len() as u64)?;
+        let _t = self.metrics.write_ns.time();
         let mut d = self.lock_data();
         d.writes += 1;
         d.bytes_written += data.len() as u64;
         d.volatile_bytes += data.len() as u64;
+        self.metrics.queue_depth.add(1);
+        self.metrics.ram_occupancy.add(data.len() as i64);
         d.volatile.push_back(PendingWrite {
             ns_offset: offset,
             data,
         });
         while d.volatile_bytes > self.ram_budget {
-            if !d.drain_one() {
+            if !d.drain_one(&self.metrics) {
                 break;
             }
         }
@@ -199,17 +249,18 @@ impl NsShard {
     }
 
     /// Slice write: stages a copy of `data` (one extra copy vs.
-    /// [`NsShard::write_bytes`], counted in `bytes_copied`).
+    /// [`NsShard::write_bytes`], counted in `ssd.bytes_copied`).
     pub fn write(&self, offset: u64, data: &[u8]) -> Result<(), SsdError> {
         self.check(offset, data.len() as u64)?;
         let staged = Bytes::copy_from_slice(data);
-        self.lock_data().bytes_copied += staged.len() as u64;
+        self.metrics.bytes_copied.add(staged.len() as u64);
         self.write_bytes(offset, staged)
     }
 
     /// Read into `buf`, observing volatile (read-your-writes) data.
     pub fn read(&self, offset: u64, buf: &mut [u8]) -> Result<(), SsdError> {
         self.check(offset, buf.len() as u64)?;
+        let _t = self.metrics.read_ns.time();
         let mut d = self.lock_data();
         d.reads += 1;
         d.bytes_read += buf.len() as u64;
@@ -245,7 +296,7 @@ impl NsShard {
 
     /// Drain this shard's volatile data to media.
     pub fn flush(&self) {
-        self.lock_data().flush();
+        self.lock_data().flush(&self.metrics);
     }
 
     /// Bytes currently held only in this shard's device RAM.
@@ -259,29 +310,24 @@ impl NsShard {
         (d.writes, d.reads, d.bytes_written, d.bytes_read)
     }
 
-    /// Write-payload bytes memcpy'd by this shard (see [`ShardData`]).
-    pub fn bytes_copied(&self) -> u64 {
-        self.lock_data().bytes_copied
-    }
-
-    /// Cumulative nanoseconds IO threads spent blocked on this shard's
-    /// lock.
-    pub fn lock_wait_ns(&self) -> u64 {
-        self.lock_wait_ns.load(Ordering::Relaxed)
-    }
-
     fn power_failure(&self) -> PowerFailure {
         let mut d = self.lock_data();
         let pending = d.volatile_bytes;
         if self.capacitor {
-            d.flush();
+            d.flush(&self.metrics);
+            self.metrics.capacitor_flush_bytes.add(pending);
+            telemetry::instant("ssd", "capacitor_flush", &[("bytes", pending)]);
             PowerFailure {
                 flushed_bytes: pending,
                 lost_bytes: 0,
             }
         } else {
+            let dropped = d.volatile.len() as i64;
             d.volatile.clear();
             d.volatile_bytes = 0;
+            self.metrics.queue_depth.add(-dropped);
+            self.metrics.ram_occupancy.add(-(pending as i64));
+            telemetry::instant("ssd", "power_loss_drop", &[("bytes", pending)]);
             PowerFailure {
                 flushed_bytes: 0,
                 lost_bytes: pending,
@@ -299,8 +345,6 @@ struct Controller {
     /// Aggregate `(writes, reads, bytes_written, bytes_read)` of deleted
     /// namespaces, so device-lifetime counters never go backwards.
     retired: (u64, u64, u64, u64),
-    retired_bytes_copied: u64,
-    retired_lock_wait_ns: u64,
 }
 
 /// One simulated NVMe SSD, safe to share (`&self` API): per-namespace
@@ -309,27 +353,43 @@ struct Controller {
 pub struct Ssd {
     config: SsdConfig,
     ctrl: Mutex<Controller>,
+    telemetry: Telemetry,
+    metrics: Arc<SsdMetrics>,
 }
 
 impl Ssd {
-    /// A fresh device.
+    /// A fresh device reporting into the process-global telemetry
+    /// registry.
     pub fn new(config: SsdConfig) -> Self {
+        Self::with_telemetry(config, Telemetry::default())
+    }
+
+    /// A fresh device reporting into `t`. Tests that assert exact
+    /// `ssd.*` counter values pass a private `Telemetry::new()` so
+    /// concurrently running tests never share metrics.
+    pub fn with_telemetry(config: SsdConfig, t: Telemetry) -> Self {
         let namespaces = NamespaceSet::new(config.capacity);
+        let metrics = Arc::new(SsdMetrics::new(&t));
         Ssd {
             config,
             ctrl: Mutex::new(Controller {
                 namespaces,
                 shards: HashMap::new(),
                 retired: (0, 0, 0, 0),
-                retired_bytes_copied: 0,
-                retired_lock_wait_ns: 0,
             }),
+            telemetry: t,
+            metrics,
         }
     }
 
     /// Device configuration.
     pub fn config(&self) -> &SsdConfig {
         &self.config
+    }
+
+    /// The telemetry registry this device reports into (`ssd.*` metrics).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Snapshot of the namespace table (for management planes).
@@ -346,6 +406,7 @@ impl Ssd {
             size,
             self.config.device_ram,
             self.config.capacitor,
+            Arc::clone(&self.metrics),
         ));
         ctrl.shards.insert(ns, shard);
         Ok(ns)
@@ -358,13 +419,13 @@ impl Ssd {
         let mut ctrl = self.ctrl.lock();
         ctrl.namespaces.delete(ns)?;
         if let Some(shard) = ctrl.shards.remove(&ns) {
+            // IO counters fold into the device totals; `ssd.*` telemetry
+            // is registry-lifetime and needs no carry-over.
             let (w, r, bw, br) = shard.io_counters();
             ctrl.retired.0 += w;
             ctrl.retired.1 += r;
             ctrl.retired.2 += bw;
             ctrl.retired.3 += br;
-            ctrl.retired_bytes_copied += shard.bytes_copied();
-            ctrl.retired_lock_wait_ns += shard.lock_wait_ns();
         }
         Ok(())
     }
@@ -455,35 +516,15 @@ impl Ssd {
     pub fn ns_io_counters(&self, ns: NsId) -> (u64, u64, u64, u64) {
         self.shard(ns).map(|s| s.io_counters()).unwrap_or_default()
     }
-
-    /// Device-lifetime write-payload copy count (see [`NsShard::bytes_copied`]).
-    pub fn bytes_copied(&self) -> u64 {
-        let retired = self.ctrl.lock().retired_bytes_copied;
-        retired
-            + self
-                .all_shards()
-                .iter()
-                .map(|s| s.bytes_copied())
-                .sum::<u64>()
-    }
-
-    /// Device-lifetime nanoseconds IO threads spent blocked on shard
-    /// locks.
-    pub fn lock_wait_ns(&self) -> u64 {
-        let retired = self.ctrl.lock().retired_lock_wait_ns;
-        retired
-            + self
-                .all_shards()
-                .iter()
-                .map(|s| s.lock_wait_ns())
-                .sum::<u64>()
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// A small device with a *private* telemetry registry: `cargo test`
+    /// runs tests concurrently in one process, so exact-value assertions
+    /// on `ssd.*` metrics must not share the global registry.
     fn small_ssd(capacitor: bool) -> Ssd {
         let config = SsdConfig {
             capacity: 1 << 20,
@@ -491,7 +532,11 @@ mod tests {
             capacitor,
             ..SsdConfig::default()
         };
-        Ssd::new(config)
+        Ssd::with_telemetry(config, Telemetry::new())
+    }
+
+    fn ssd_counter(ssd: &Ssd, name: &str) -> u64 {
+        ssd.telemetry().snapshot().counter(name)
     }
 
     #[test]
@@ -611,7 +656,7 @@ mod tests {
         ssd.delete_namespace(ns).unwrap();
         let (w, _, bw, _) = ssd.io_counters();
         assert_eq!((w, bw), (1, 128));
-        assert!(ssd.bytes_copied() >= 128);
+        assert!(ssd_counter(&ssd, "ssd.bytes_copied") >= 128);
     }
 
     #[test]
@@ -622,13 +667,35 @@ mod tests {
         ssd.write_bytes(ns, 0, payload).unwrap();
         // 8 KiB exceeds the 4 KiB RAM budget, so the write has fully
         // drained: exactly one copy per byte, into the backing store.
-        assert_eq!(ssd.bytes_copied(), 8192);
+        assert_eq!(ssd_counter(&ssd, "ssd.bytes_copied"), 8192);
         assert_eq!(ssd.read_vec(ns, 0, 8192).unwrap(), vec![0x5Au8; 8192]);
         // The slice path costs one extra staging copy.
-        let before = ssd.bytes_copied();
+        let before = ssd_counter(&ssd, "ssd.bytes_copied");
         ssd.write(ns, 0, &[1u8; 64]).unwrap();
         ssd.flush();
-        assert_eq!(ssd.bytes_copied() - before, 128);
+        assert_eq!(ssd_counter(&ssd, "ssd.bytes_copied") - before, 128);
+    }
+
+    #[test]
+    fn telemetry_tracks_occupancy_drains_and_capacitor_flush() {
+        let ssd = small_ssd(true);
+        let ns = ssd.create_namespace(64 << 10).unwrap();
+        ssd.write(ns, 0, &[7u8; 1024]).unwrap();
+        let snap = ssd.telemetry().snapshot();
+        // The 1 KiB write fits the 4 KiB budget: still staged.
+        assert_eq!(snap.gauge("ssd.queue_depth").value, 1);
+        assert_eq!(snap.gauge("ssd.ram_occupancy_bytes").value, 1024);
+        assert_eq!(snap.histogram("ssd.write_ns").unwrap().count, 1);
+
+        let pf = ssd.power_failure();
+        assert_eq!(pf.flushed_bytes, 1024);
+        let snap = ssd.telemetry().snapshot();
+        assert_eq!(snap.counter("ssd.capacitor_flush_bytes"), 1024);
+        assert_eq!(snap.gauge("ssd.queue_depth").value, 0);
+        assert_eq!(snap.gauge("ssd.ram_occupancy_bytes").value, 0);
+        assert_eq!(snap.gauge("ssd.ram_occupancy_bytes").peak, 1024);
+        // Drain latency was observed for the flushed write.
+        assert_eq!(snap.histogram("ssd.drain_ns").unwrap().count, 1);
     }
 
     #[test]

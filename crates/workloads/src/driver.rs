@@ -20,6 +20,7 @@ use nvmecr::runtime::{NvmeCrRuntime, StorageRack};
 use nvmecr::{metrics, RuntimeConfig};
 use simkit::SimTime;
 use ssd::SsdConfig;
+use telemetry::Telemetry;
 
 use crate::comd::CoMD;
 
@@ -112,12 +113,25 @@ pub struct FunctionalReport {
     pub metadata_bytes: u64,
     /// DRAM metadata footprint across all ranks.
     pub dram_bytes: u64,
+    /// Every metric the run's components reported (the run gets its own
+    /// registry, so this covers exactly this run's traffic): `fabric.*`,
+    /// `ssd.*`, `microfs.*`, and `driver.*` counters, gauges, and latency
+    /// histograms.
+    pub telemetry: telemetry::MetricsSnapshot,
+}
+
+impl FunctionalReport {
     /// Payload bytes memcpy'd anywhere on the data path (initiator
     /// staging + device drain-to-media) over the whole run.
-    pub bytes_copied: u64,
+    pub fn bytes_copied(&self) -> u64 {
+        self.telemetry.counter("fabric.bytes_copied") + self.telemetry.counter("ssd.bytes_copied")
+    }
+
     /// Nanoseconds ranks spent blocked on namespace-shard locks —
     /// the direct observable for cross-rank device contention.
-    pub lock_wait_ns: u64,
+    pub fn lock_wait_ns(&self) -> u64 {
+        self.telemetry.counter("ssd.lock_wait_ns")
+    }
 }
 
 /// How the per-rank phases of a functional run are driven.
@@ -215,34 +229,48 @@ pub fn run_functional_checkpoints_with(
     crash_ranks: &[u32],
 ) -> Result<FunctionalReport, Box<dyn std::error::Error>> {
     let topo = Topology::paper_testbed();
-    let rack = StorageRack::build(
+    // Each run reports into its own registry so the report's snapshot
+    // covers exactly this run (runs may share a process, e.g. in tests).
+    let telemetry = Telemetry::new();
+    let rack = StorageRack::build_with_telemetry(
         &topo,
         &SsdConfig {
             capacity: 16 << 30,
             ..SsdConfig::default()
         },
+        telemetry.clone(),
     );
     let mut sched = Scheduler::new(topo.clone(), 8);
     let alloc = sched.submit(&JobRequest::full_subscription(procs))?;
     let config = RuntimeConfig {
         namespace_bytes: 8 << 30,
+        telemetry: telemetry.clone(),
         ..RuntimeConfig::default()
     };
     let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config)?;
     let comd = CoMD::weak_scaling();
+    let ckpt_rank_ns = telemetry.histogram("driver.checkpoint_rank_ns");
+    let verify_rank_ns = telemetry.histogram("driver.verify_rank_ns");
 
     // Checkpoint phases. Each rank owns its filesystem, NVMf connection,
     // and (via the balancer) a disjoint region of a namespace shard, so
     // ranks can be driven concurrently without sharing a data-plane lock.
     for ckpt in 0..ckpts {
+        let do_ckpt = |rank: u32,
+                       fs: &mut microfs::MicroFs<nvmecr::dataplane::NvmfBlockDevice>|
+         -> Result<(), nvmecr::runtime::RuntimeError> {
+            let _span = telemetry::span("driver", "checkpoint_rank")
+                .arg("rank", u64::from(rank))
+                .arg("ckpt", u64::from(ckpt));
+            let _t = ckpt_rank_ns.time();
+            checkpoint_rank(&comd, fs, rank, ckpt, bytes_per_rank)
+        };
         match mode {
-            DriveMode::Parallel => rt.for_each_rank_par(|rank, fs| {
-                checkpoint_rank(&comd, fs, rank, ckpt, bytes_per_rank)
-            })?,
+            DriveMode::Parallel => rt.for_each_rank_par(do_ckpt)?,
             DriveMode::Serial => {
                 for rank in 0..procs {
                     let fs = rt.rank_fs(rank)?;
-                    checkpoint_rank(&comd, fs, rank, ckpt, bytes_per_rank)?;
+                    do_ckpt(rank, fs)?;
                 }
             }
         }
@@ -268,15 +296,20 @@ pub fn run_functional_checkpoints_with(
 
     // Verify the newest checkpoint everywhere (and recovered ranks fully).
     let last = ckpts - 1;
+    let do_verify = |rank: u32,
+                     fs: &mut microfs::MicroFs<nvmecr::dataplane::NvmfBlockDevice>|
+     -> Result<Option<u64>, nvmecr::runtime::RuntimeError> {
+        let _span = telemetry::span("driver", "verify_rank").arg("rank", u64::from(rank));
+        let _t = verify_rank_ns.time();
+        verify_rank(&comd, fs, rank, last, bytes_per_rank)
+    };
     let verified: Vec<Option<u64>> = match mode {
-        DriveMode::Parallel => {
-            rt.map_ranks_par(|rank, fs| verify_rank(&comd, fs, rank, last, bytes_per_rank))?
-        }
+        DriveMode::Parallel => rt.map_ranks_par(do_verify)?,
         DriveMode::Serial => {
             let mut out = Vec::with_capacity(procs as usize);
             for rank in 0..procs {
                 let fs = rt.rank_fs(rank)?;
-                out.push(verify_rank(&comd, fs, rank, last, bytes_per_rank)?);
+                out.push(do_verify(rank, fs)?);
             }
             out
         }
@@ -291,7 +324,6 @@ pub fn run_functional_checkpoints_with(
 
     let metadata_bytes = rt.metadata_device_bytes();
     let dram_bytes = rt.dram_footprint();
-    let (bytes_copied, lock_wait_ns) = rt.data_plane_counters();
     rt.finalize()?;
     Ok(FunctionalReport {
         procs,
@@ -301,8 +333,7 @@ pub fn run_functional_checkpoints_with(
         replayed_records: replayed,
         metadata_bytes,
         dram_bytes,
-        bytes_copied,
-        lock_wait_ns,
+        telemetry: telemetry.snapshot(),
     })
 }
 
@@ -355,7 +386,27 @@ mod tests {
         assert!(report.replayed_records > 0);
         assert!(report.metadata_bytes > 0);
         assert!(report.dram_bytes > 0);
-        assert!(report.bytes_copied > 0);
+        assert!(report.bytes_copied() > 0);
+        // The snapshot spans every instrumented layer of this run.
+        let layers = report.telemetry.layers();
+        for layer in ["driver", "fabric", "microfs", "ssd"] {
+            assert!(layers.iter().any(|l| l == layer), "missing layer {layer}");
+        }
+        // 56 ranks x 2 checkpoints, timed once each.
+        let h = report
+            .telemetry
+            .histogram("driver.checkpoint_rank_ns")
+            .unwrap();
+        assert_eq!(h.count, 56 * 2);
+        assert!(h.percentile(99.0) >= h.percentile(50.0));
+        assert_eq!(
+            report
+                .telemetry
+                .histogram("driver.recover_rank_ns")
+                .unwrap()
+                .count,
+            2
+        );
     }
 
     #[test]
@@ -366,6 +417,6 @@ mod tests {
         assert_eq!(par.bytes_verified, ser.bytes_verified);
         assert_eq!(par.replayed_records, ser.replayed_records);
         assert_eq!(par.metadata_bytes, ser.metadata_bytes);
-        assert_eq!(par.bytes_copied, ser.bytes_copied);
+        assert_eq!(par.bytes_copied(), ser.bytes_copied());
     }
 }

@@ -16,29 +16,41 @@ use fabric::{Initiator, NvmfTarget};
 use microfs::{FsConfig, MicroFs, OpenFlags};
 use nvmecr::dataplane::NvmfBlockDevice;
 use ssd::{Ssd, SsdConfig};
+use telemetry::Telemetry;
 use workloads::CoMD;
 
 const RANKS: u32 = 12;
 const SEGMENT: u64 = 64 << 20;
 const PAYLOAD: usize = 3 << 20;
 
-fn rank_device(target: &Arc<NvmfTarget>, ns: ssd::NsId, rank: u32) -> NvmfBlockDevice {
-    let conn =
-        Initiator::new(format!("nqn.2026-08.io.nvmecr:rank{rank}")).connect(Arc::clone(target), ns);
+fn rank_device(
+    target: &Arc<NvmfTarget>,
+    ns: ssd::NsId,
+    rank: u32,
+    t: &Telemetry,
+) -> NvmfBlockDevice {
+    let conn = Initiator::with_telemetry(format!("nqn.2026-08.io.nvmecr:rank{rank}"), t.clone())
+        .connect(Arc::clone(target), ns);
     NvmfBlockDevice::new(conn, 0, SEGMENT)
 }
 
 #[test]
 fn concurrent_ranks_survive_node_crash_byte_for_byte() {
     let comd = CoMD::weak_scaling();
-    let ssd = Arc::new(Ssd::new(SsdConfig {
-        capacity: 4 << 30,
-        // Keep plenty of writes volatile in device RAM at crash time so
-        // recovery actually depends on the capacitor flush.
-        device_ram: 1 << 30,
-        capacitor: true,
-        ..SsdConfig::default()
-    }));
+    // Private registry: exact counter assertions below must not see
+    // traffic from other tests in this process.
+    let telemetry = Telemetry::new();
+    let ssd = Arc::new(Ssd::with_telemetry(
+        SsdConfig {
+            capacity: 4 << 30,
+            // Keep plenty of writes volatile in device RAM at crash time so
+            // recovery actually depends on the capacitor flush.
+            device_ram: 1 << 30,
+            capacitor: true,
+            ..SsdConfig::default()
+        },
+        telemetry.clone(),
+    ));
     let target = Arc::new(NvmfTarget::new(Arc::clone(&ssd)));
     let namespaces: Vec<ssd::NsId> = (0..RANKS)
         .map(|_| ssd.create_namespace(SEGMENT).unwrap())
@@ -52,8 +64,9 @@ fn concurrent_ranks_survive_node_crash_byte_for_byte() {
             let target = &target;
             let ns = namespaces[rank as usize];
             let comd = &comd;
+            let telemetry = &telemetry;
             s.spawn(move || {
-                let dev = rank_device(target, ns, rank);
+                let dev = rank_device(target, ns, rank, telemetry);
                 let mut fs = MicroFs::format(dev, FsConfig::default()).unwrap();
                 fs.mkdir("/comd", 0o755).unwrap();
                 fs.mkdir("/comd/ckpt_000", 0o755).unwrap();
@@ -71,7 +84,7 @@ fn concurrent_ranks_survive_node_crash_byte_for_byte() {
     // Every rank moved real bytes through a distinct shard of the one
     // device; the only data-path copies are initiator staging and the
     // device's drain-to-media pass.
-    assert!(ssd.bytes_copied() > RANKS as u64 * PAYLOAD as u64);
+    assert!(telemetry.snapshot().counter("ssd.bytes_copied") > RANKS as u64 * PAYLOAD as u64);
     for &ns in &namespaces {
         let (writes, _, bytes_written, _) = ssd.ns_io_counters(ns);
         assert!(writes > 0);
@@ -89,8 +102,9 @@ fn concurrent_ranks_survive_node_crash_byte_for_byte() {
             let target = &target;
             let ns = namespaces[rank as usize];
             let comd = &comd;
+            let telemetry = &telemetry;
             s.spawn(move || {
-                let dev = rank_device(target, ns, rank);
+                let dev = rank_device(target, ns, rank, telemetry);
                 let mut fs = MicroFs::mount(dev, FsConfig::default()).unwrap();
                 let expect = comd.checkpoint_payload(rank, 0, PAYLOAD);
                 let fd = fs
@@ -114,10 +128,14 @@ fn concurrent_ranks_survive_node_crash_byte_for_byte() {
 fn concurrent_bytes_writes_share_one_device_without_staging_copies() {
     // The raw zero-copy path under thread pressure: Bytes payloads from
     // many threads into per-rank shards of one device, no fs in between.
-    let ssd = Arc::new(Ssd::new(SsdConfig {
-        capacity: 2 << 30,
-        ..SsdConfig::default()
-    }));
+    let telemetry = Telemetry::new();
+    let ssd = Arc::new(Ssd::with_telemetry(
+        SsdConfig {
+            capacity: 2 << 30,
+            ..SsdConfig::default()
+        },
+        telemetry.clone(),
+    ));
     let target = Arc::new(NvmfTarget::new(Arc::clone(&ssd)));
     let namespaces: Vec<ssd::NsId> = (0..8)
         .map(|_| ssd.create_namespace(16 << 20).unwrap())
@@ -126,24 +144,31 @@ fn concurrent_bytes_writes_share_one_device_without_staging_copies() {
     std::thread::scope(|s| {
         for (rank, &ns) in namespaces.iter().enumerate() {
             let target = &target;
+            let telemetry = &telemetry;
             s.spawn(move || {
                 let mut conn =
-                    Initiator::new(format!("nqn.zero{rank}")).connect(Arc::clone(target), ns);
+                    Initiator::with_telemetry(format!("nqn.zero{rank}"), telemetry.clone())
+                        .connect(Arc::clone(target), ns);
                 for i in 0..8u64 {
                     let payload = Bytes::from(vec![rank as u8 ^ i as u8; chunk]);
                     conn.write_bytes(i * chunk as u64, payload).unwrap();
                 }
                 conn.flush().unwrap();
-                assert_eq!(conn.copied_bytes(), 0, "Bytes path must not stage");
                 for i in 0..8u64 {
                     let got = conn.read_bytes(i * chunk as u64, chunk).unwrap();
                     assert_eq!(&got[..], &vec![rank as u8 ^ i as u8; chunk][..]);
                 }
-                assert_eq!(conn.copied_bytes(), 0, "read_bytes must not stage");
             });
         }
     });
-    // Exactly one copy per written byte: the drain to media.
+    // Neither the Bytes write path nor read_bytes may stage a copy on the
+    // initiator: exactly one copy per written byte, the drain to media.
+    let snap = telemetry.snapshot();
+    assert_eq!(
+        snap.counter("fabric.bytes_copied"),
+        0,
+        "Bytes paths must not stage"
+    );
     let written = 8 * 8 * chunk as u64;
-    assert_eq!(ssd.bytes_copied(), written);
+    assert_eq!(snap.counter("ssd.bytes_copied"), written);
 }

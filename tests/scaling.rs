@@ -32,7 +32,7 @@ fn headline_claim_2x_tco_reduction() {
     let s = Scenario::weak_scaling(448);
     let ours = NvmeCrModel::full().checkpoint_efficiency(&s);
     let orange = OrangeFsModel::new().checkpoint_efficiency(&s);
-    assert!(metrics::required_bandwidth_factor(ours, orange) >= 2.0);
+    assert!(metrics::required_bandwidth_factor(ours, orange).unwrap() >= 2.0);
 }
 
 #[test]
