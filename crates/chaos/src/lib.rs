@@ -1,0 +1,456 @@
+//! Deterministic data-path fault injection.
+//!
+//! The chaos subsystem lets tests and benchmarks inject faults at the *real*
+//! byte path — NVMf capsules on the wire, SSD shard I/O, capacitor-backed
+//! drains, WAL appends — instead of simulating failures out-of-band. The
+//! design mirrors the telemetry layer:
+//!
+//! - A [`ChaosHandle`] is threaded through configs (fabric, ssd, microfs,
+//!   core). Cloning is cheap (one `Arc`).
+//! - When no plan is armed, [`ChaosHandle::decide`] is a single relaxed
+//!   atomic load returning `None` — the production path pays essentially
+//!   nothing.
+//! - When a [`FaultPlan`] is armed, every decision is a pure function of
+//!   `(plan seed, fault site, per-site operation index)`, so a run with the
+//!   same seed and same operation order injects exactly the same faults.
+//!   There is no global RNG state to race on.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use telemetry::{Counter, Telemetry};
+
+/// A location in the data path where a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultSite {
+    /// Command capsule leaving the initiator (before `post_send`).
+    CapsuleTx,
+    /// Response capsule arriving at the initiator (after `poll_cq`).
+    CapsuleRx,
+    /// Connection-level failure observed by the initiator for one command.
+    ConnReset,
+    /// SSD shard servicing a read/write.
+    ShardIo,
+    /// Capacitor-backed flush during a simulated power failure.
+    CapacitorFlush,
+    /// microfs WAL appending a freshly encoded record.
+    WalAppend,
+}
+
+impl FaultSite {
+    /// Stable per-site stream id mixed into the decision hash so two sites
+    /// with the same op index never share a decision.
+    fn stream(self) -> u64 {
+        match self {
+            FaultSite::CapsuleTx => 0x01,
+            FaultSite::CapsuleRx => 0x02,
+            FaultSite::ConnReset => 0x03,
+            FaultSite::ShardIo => 0x04,
+            FaultSite::CapacitorFlush => 0x05,
+            FaultSite::WalAppend => 0x06,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::CapsuleTx => "capsule_tx",
+            FaultSite::CapsuleRx => "capsule_rx",
+            FaultSite::ConnReset => "conn_reset",
+            FaultSite::ShardIo => "shard_io",
+            FaultSite::CapacitorFlush => "capacitor_flush",
+            FaultSite::WalAppend => "wal_append",
+        }
+    }
+}
+
+/// What to do when a fault fires at a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Drop the capsule: it never reaches the peer (command or response lost).
+    DropCapsule,
+    /// Deliver the capsule twice (exercises idempotent replay on the target).
+    DuplicateCapsule,
+    /// Flip bits in the encoded payload (exercises wire CRC).
+    CorruptPayload,
+    /// Tear the connection down mid-command (exercises reconnect).
+    ResetConnection,
+    /// Shard returns a transient busy error (exercises retry/backoff).
+    ShardBusy,
+    /// Shard dies permanently (exercises failover to the partner domain).
+    KillShard,
+    /// Power cut mid-drain: the capacitor flushes only `drain_writes` staged
+    /// writes before the lights go out; the rest are lost.
+    PowerCut { drain_writes: u32 },
+    /// Torn WAL append: only the first `keep_bytes` of the record hit the
+    /// device before the failure (exercises CRC-framed scan truncation).
+    TornWrite { keep_bytes: u32 },
+}
+
+/// One injection rule: a site, an action, and when it fires.
+///
+/// `rate` fires probabilistically (deterministically hashed per op index);
+/// `at_ops` fires at exact per-site operation indices. Both may be set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    pub site: FaultSite,
+    pub action: FaultAction,
+    pub rate: f64,
+    pub at_ops: Vec<u64>,
+}
+
+/// A seeded, declarative schedule of faults.
+///
+/// Two plans with the same seed and specs make identical decisions for the
+/// same sequence of per-site operations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    pub seed: u64,
+    pub specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            specs: Vec::new(),
+        }
+    }
+
+    /// Fire `action` at `site` with probability `rate` per operation.
+    pub fn with_rate(mut self, site: FaultSite, action: FaultAction, rate: f64) -> Self {
+        self.specs.push(FaultSpec {
+            site,
+            action,
+            rate,
+            at_ops: Vec::new(),
+        });
+        self
+    }
+
+    /// Fire `action` exactly at per-site operation index `op`.
+    pub fn at_op(mut self, site: FaultSite, action: FaultAction, op: u64) -> Self {
+        self.specs.push(FaultSpec {
+            site,
+            action,
+            rate: 0.0,
+            at_ops: vec![op],
+        });
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+/// SplitMix64: tiny, high-quality 64-bit mixer. Used as a stateless hash so
+/// decisions are pure functions of (seed, site, op) — no shared RNG state.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map a decision hash to [0, 1).
+fn unit(hash: u64) -> f64 {
+    (hash >> 11) as f64 / (1u64 << 53) as f64
+}
+
+struct ArmedState {
+    plan: Option<FaultPlan>,
+    /// Per-site operation counters; reset on every `arm`.
+    counters: HashMap<FaultSite, u64>,
+    injected: Option<Arc<Counter>>,
+}
+
+struct Inner {
+    armed: AtomicBool,
+    state: Mutex<ArmedState>,
+}
+
+/// Cheap, cloneable hook handle threaded through layer configs.
+///
+/// Disabled (the default): `decide` is one relaxed atomic load. Armed: each
+/// call takes a short lock to bump the per-site op counter and evaluates the
+/// plan deterministically.
+#[derive(Clone)]
+pub struct ChaosHandle {
+    inner: Arc<Inner>,
+}
+
+impl Default for ChaosHandle {
+    fn default() -> Self {
+        ChaosHandle {
+            inner: Arc::new(Inner {
+                armed: AtomicBool::new(false),
+                state: Mutex::new(ArmedState {
+                    plan: None,
+                    counters: HashMap::new(),
+                    injected: None,
+                }),
+            }),
+        }
+    }
+}
+
+impl fmt::Debug for ChaosHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChaosHandle")
+            .field("armed", &self.inner.armed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ChaosHandle {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm `plan`. Per-site op counters restart from zero, so arming the same
+    /// plan twice replays the same fault sequence. Injected faults are counted
+    /// on `telemetry`'s `chaos.injected` counter.
+    pub fn arm(&self, plan: FaultPlan, telemetry: &Telemetry) {
+        let mut st = self.inner.state.lock();
+        st.counters.clear();
+        st.injected = Some(telemetry.counter("chaos.injected"));
+        st.plan = Some(plan);
+        self.inner.armed.store(true, Ordering::Release);
+    }
+
+    /// Disarm: subsequent `decide` calls return `None` after one atomic load.
+    pub fn disarm(&self) {
+        self.inner.armed.store(false, Ordering::Release);
+        let mut st = self.inner.state.lock();
+        st.plan = None;
+        st.counters.clear();
+        st.injected = None;
+    }
+
+    pub fn is_armed(&self) -> bool {
+        self.inner.armed.load(Ordering::Relaxed)
+    }
+
+    /// Ask whether a fault fires for the next operation at `site`.
+    ///
+    /// Every call while armed consumes one per-site op index, whether or not
+    /// a fault fires, which is what makes runs reproducible: the decision for
+    /// op `n` does not depend on how many faults fired before it.
+    pub fn decide(&self, site: FaultSite) -> Option<FaultAction> {
+        if !self.inner.armed.load(Ordering::Relaxed) {
+            return None;
+        }
+        let mut st = self.inner.state.lock();
+        let n = {
+            let ctr = st.counters.entry(site).or_insert(0);
+            let n = *ctr;
+            *ctr += 1;
+            n
+        };
+        let plan = st.plan.as_ref()?;
+        let mut hit = None;
+        for (idx, spec) in plan.specs.iter().enumerate() {
+            if spec.site != site {
+                continue;
+            }
+            if spec.at_ops.contains(&n) {
+                hit = Some(spec.action);
+                break;
+            }
+            if spec.rate > 0.0 {
+                // Mix the spec index in so two rate specs on one site draw
+                // independent coins for the same op.
+                let h = splitmix64(
+                    plan.seed
+                        ^ site.stream().wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        ^ (idx as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93)
+                        ^ n.wrapping_mul(0xCA5A_8268_85B6_B2D1),
+                );
+                if unit(h) < spec.rate {
+                    hit = Some(spec.action);
+                    break;
+                }
+            }
+        }
+        if hit.is_some() {
+            if let Some(c) = &st.injected {
+                c.inc();
+            }
+        }
+        hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(h: &ChaosHandle, site: FaultSite, n: usize) -> Vec<Option<FaultAction>> {
+        (0..n).map(|_| h.decide(site)).collect()
+    }
+
+    #[test]
+    fn disarmed_handle_is_silent() {
+        let h = ChaosHandle::new();
+        assert!(!h.is_armed());
+        for _ in 0..100 {
+            assert_eq!(h.decide(FaultSite::CapsuleTx), None);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let t = Telemetry::new();
+        let plan = FaultPlan::new(42)
+            .with_rate(FaultSite::CapsuleTx, FaultAction::CorruptPayload, 0.05)
+            .with_rate(FaultSite::ShardIo, FaultAction::ShardBusy, 0.02);
+
+        let h1 = ChaosHandle::new();
+        h1.arm(plan.clone(), &t);
+        let a = collect(&h1, FaultSite::CapsuleTx, 2000);
+        let b = collect(&h1, FaultSite::ShardIo, 2000);
+
+        let h2 = ChaosHandle::new();
+        h2.arm(plan, &t);
+        let a2 = collect(&h2, FaultSite::CapsuleTx, 2000);
+        let b2 = collect(&h2, FaultSite::ShardIo, 2000);
+
+        assert_eq!(a, a2);
+        assert_eq!(b, b2);
+        // And the rate actually fires somewhere in 2000 ops at 5%.
+        assert!(a.iter().any(|d| d.is_some()));
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let t = Telemetry::new();
+        let h1 = ChaosHandle::new();
+        h1.arm(
+            FaultPlan::new(1).with_rate(FaultSite::CapsuleRx, FaultAction::DropCapsule, 0.1),
+            &t,
+        );
+        let h2 = ChaosHandle::new();
+        h2.arm(
+            FaultPlan::new(2).with_rate(FaultSite::CapsuleRx, FaultAction::DropCapsule, 0.1),
+            &t,
+        );
+        let a = collect(&h1, FaultSite::CapsuleRx, 1000);
+        let b = collect(&h2, FaultSite::CapsuleRx, 1000);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn at_op_fires_exactly_once() {
+        let t = Telemetry::new();
+        let h = ChaosHandle::new();
+        h.arm(
+            FaultPlan::new(7).at_op(
+                FaultSite::WalAppend,
+                FaultAction::TornWrite { keep_bytes: 3 },
+                5,
+            ),
+            &t,
+        );
+        let hits: Vec<usize> = collect(&h, FaultSite::WalAppend, 20)
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| d.map(|_| i))
+            .collect();
+        assert_eq!(hits, vec![5]);
+        assert_eq!(
+            h.decide(FaultSite::WalAppend),
+            None,
+            "op counter moved past the scheduled index"
+        );
+    }
+
+    #[test]
+    fn rearm_resets_op_counters() {
+        let t = Telemetry::new();
+        let h = ChaosHandle::new();
+        let plan = FaultPlan::new(9).at_op(FaultSite::ConnReset, FaultAction::ResetConnection, 0);
+        h.arm(plan.clone(), &t);
+        assert!(h.decide(FaultSite::ConnReset).is_some());
+        assert!(h.decide(FaultSite::ConnReset).is_none());
+        h.arm(plan, &t);
+        assert!(
+            h.decide(FaultSite::ConnReset).is_some(),
+            "counters restart on arm"
+        );
+    }
+
+    #[test]
+    fn rate_zero_never_fires_rate_one_always_fires() {
+        let t = Telemetry::new();
+        let h = ChaosHandle::new();
+        h.arm(
+            FaultPlan::new(3).with_rate(FaultSite::ShardIo, FaultAction::KillShard, 0.0),
+            &t,
+        );
+        assert!(collect(&h, FaultSite::ShardIo, 500)
+            .iter()
+            .all(|d| d.is_none()));
+
+        h.arm(
+            FaultPlan::new(3).with_rate(FaultSite::ShardIo, FaultAction::KillShard, 1.0),
+            &t,
+        );
+        assert!(collect(&h, FaultSite::ShardIo, 500)
+            .iter()
+            .all(|d| d.is_some()));
+    }
+
+    #[test]
+    fn injected_counter_tracks_hits() {
+        let t = Telemetry::new();
+        let h = ChaosHandle::new();
+        h.arm(
+            FaultPlan::new(11).with_rate(FaultSite::CapsuleTx, FaultAction::DropCapsule, 1.0),
+            &t,
+        );
+        for _ in 0..17 {
+            h.decide(FaultSite::CapsuleTx);
+        }
+        assert_eq!(t.counter("chaos.injected").get(), 17);
+    }
+
+    #[test]
+    fn sites_have_independent_streams() {
+        let t = Telemetry::new();
+        let h = ChaosHandle::new();
+        h.arm(
+            FaultPlan::new(5)
+                .with_rate(FaultSite::CapsuleTx, FaultAction::DropCapsule, 0.3)
+                .with_rate(FaultSite::CapsuleRx, FaultAction::DropCapsule, 0.3),
+            &t,
+        );
+        let a = collect(&h, FaultSite::CapsuleTx, 200);
+        let b = collect(&h, FaultSite::CapsuleRx, 200);
+        assert_ne!(a, b, "distinct sites must not share a decision stream");
+    }
+
+    #[test]
+    fn plan_builder_equality() {
+        let p1 = FaultPlan::new(1)
+            .with_rate(FaultSite::CapsuleTx, FaultAction::CorruptPayload, 0.01)
+            .at_op(
+                FaultSite::WalAppend,
+                FaultAction::TornWrite { keep_bytes: 8 },
+                2,
+            );
+        let p2 = FaultPlan::new(1)
+            .with_rate(FaultSite::CapsuleTx, FaultAction::CorruptPayload, 0.01)
+            .at_op(
+                FaultSite::WalAppend,
+                FaultAction::TornWrite { keep_bytes: 8 },
+                2,
+            );
+        assert_eq!(p1, p2);
+        assert!(!p1.is_empty());
+        assert!(FaultPlan::new(0).is_empty());
+    }
+}

@@ -15,7 +15,7 @@
 
 use std::fmt;
 
-use cluster::{Comm, CommWorld, FailureDomains, JobAllocation, Topology};
+use cluster::{Comm, CommWorld, FailureDomains, JobAllocation, NodeId, Topology};
 use simkit::stats::coefficient_of_variation;
 
 /// Placement failures.
@@ -34,6 +34,12 @@ pub enum BalanceError {
     },
     /// The allocation carries no storage grants.
     NoStorage,
+    /// No surviving storage node satisfies the failure-domain constraints
+    /// for a failover re-placement.
+    NoFailoverTarget {
+        /// The rank whose storage could not be re-placed.
+        rank: u32,
+    },
 }
 
 impl fmt::Display for BalanceError {
@@ -49,6 +55,9 @@ impl fmt::Display for BalanceError {
                 write!(f, "per-rank segment of {segment} bytes is too small")
             }
             BalanceError::NoStorage => write!(f, "allocation has no storage grants"),
+            BalanceError::NoFailoverTarget { rank } => {
+                write!(f, "no domain-separated failover target for rank {rank}")
+            }
         }
     }
 }
@@ -187,6 +196,31 @@ impl<'a> StorageBalancer<'a> {
     }
 }
 
+/// Pick a replacement storage node for `rank` after the node holding its
+/// checkpoint data (`failed_node`) died.
+///
+/// The replacement must honor the invariant the balancer verified at
+/// placement time — the rank's data lives in a different failure domain
+/// than the rank itself — and must not be the failed node. Among valid
+/// candidates, nodes outside the *failed* node's domain are preferred
+/// (a PDU/rack loss takes every node in the domain); same-domain survivors
+/// are a fallback for topologies with a single storage rack, like the
+/// paper's testbed. Returns the index of the chosen candidate.
+pub fn failover_grant(
+    domains: &FailureDomains,
+    rank: u32,
+    rank_node: NodeId,
+    failed_node: NodeId,
+    candidates: &[NodeId],
+) -> Result<usize, BalanceError> {
+    let valid = |n: NodeId| n != failed_node && domains.separated(rank_node, n);
+    candidates
+        .iter()
+        .position(|&n| valid(n) && domains.separated(failed_node, n))
+        .or_else(|| candidates.iter().position(|&n| valid(n)))
+        .ok_or(BalanceError::NoFailoverTarget { rank })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,6 +320,43 @@ mod tests {
             balancer.place(&alloc, 1 << 20, 16 << 20),
             Err(BalanceError::SegmentTooSmall { .. })
         ));
+    }
+
+    #[test]
+    fn failover_grant_prefers_foreign_domains_and_falls_back() {
+        // Two storage racks: the failed node's rack-mates are valid but a
+        // node in the *other* storage rack must win.
+        let topo = Topology::synthetic(1, 2, 4, 28);
+        let domains = FailureDomains::derive(&topo);
+        let rank_node = topo.compute_nodes()[0];
+        let storage = topo.storage_nodes();
+        let failed = storage[0];
+        let idx = failover_grant(&domains, 3, rank_node, failed, &storage).unwrap();
+        let chosen = storage[idx];
+        assert_ne!(chosen, failed);
+        assert!(domains.separated(rank_node, chosen));
+        assert!(
+            domains.separated(failed, chosen),
+            "foreign storage rack must be preferred over the failed node's rack-mates"
+        );
+
+        // Single storage rack (the paper's testbed): rack-mates of the
+        // failed node are the only survivors, and the fallback accepts one.
+        let topo = Topology::paper_testbed();
+        let domains = FailureDomains::derive(&topo);
+        let rank_node = topo.compute_nodes()[0];
+        let storage = topo.storage_nodes();
+        let failed = storage[0];
+        let idx = failover_grant(&domains, 3, rank_node, failed, &storage).unwrap();
+        let chosen = storage[idx];
+        assert_ne!(chosen, failed);
+        assert!(domains.separated(rank_node, chosen));
+
+        // No candidates at all -> typed error carrying the rank.
+        assert_eq!(
+            failover_grant(&domains, 3, rank_node, failed, &[]),
+            Err(BalanceError::NoFailoverTarget { rank: 3 })
+        );
     }
 
     #[test]

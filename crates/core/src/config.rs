@@ -1,5 +1,7 @@
 //! Runtime configuration and the drilldown ablation ladder.
 
+use chaos::ChaosHandle;
+use fabric::RetryConfig;
 use microfs::FsConfig;
 use telemetry::Telemetry;
 
@@ -20,6 +22,11 @@ pub struct RuntimeConfig {
     /// Where the job's components (initiators, per-rank filesystems)
     /// report their metrics.
     pub telemetry: Telemetry,
+    /// Fault-injection hook threaded into every initiator and per-rank
+    /// filesystem. Disarmed (the default) it is a no-op.
+    pub chaos: ChaosHandle,
+    /// Per-command reliability parameters for the rank initiators.
+    pub retry: RetryConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -31,6 +38,8 @@ impl Default for RuntimeConfig {
             uid: 1000,
             multilevel_period: 10,
             telemetry: Telemetry::default(),
+            chaos: ChaosHandle::default(),
+            retry: RetryConfig::default(),
         }
     }
 }
@@ -43,6 +52,7 @@ impl RuntimeConfig {
             uid: self.uid,
             coalescing: self.coalescing,
             telemetry: self.telemetry.clone(),
+            chaos: self.chaos.clone(),
             ..FsConfig::default()
         }
     }

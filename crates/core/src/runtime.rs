@@ -123,11 +123,39 @@ impl StorageRack {
         }
         lost
     }
+
+    /// The targets on one storage node, in SSD-index order.
+    pub fn targets_on(&self, node: NodeId) -> Vec<(u32, Arc<NvmfTarget>)> {
+        self.targets
+            .iter()
+            .filter(|((n, _), _)| *n == node)
+            .map(|((_, s), t)| (*s, Arc::clone(t)))
+            .collect()
+    }
 }
 
 struct GrantState {
     target: Arc<NvmfTarget>,
     ns: NsId,
+    /// The storage node fronting the namespace.
+    node: NodeId,
+}
+
+/// Where one rank's bytes currently live: a target, a namespace, and the
+/// rank's window into it. At init every route points into the job's shared
+/// grant namespaces; after [`NvmeCrRuntime::fail_over_rank`] the affected
+/// rank's route points at a private replacement namespace on a partner
+/// failure domain.
+#[derive(Clone)]
+struct RankRoute {
+    target: Arc<NvmfTarget>,
+    ns: NsId,
+    /// Byte offset of the rank's segment within `ns`.
+    base: u64,
+    /// Segment size in bytes.
+    size: u64,
+    /// The storage node holding the bytes (failure-domain bookkeeping).
+    node: NodeId,
 }
 
 /// A detached job's storage handle: everything needed to reattach to the
@@ -135,7 +163,10 @@ struct GrantState {
 /// checkpoint/restart). The ephemeral runtime dies with the job; the
 /// checkpoint data does not.
 pub struct JobHandle {
-    grants: Vec<(Arc<NvmfTarget>, NsId)>,
+    grants: Vec<GrantState>,
+    routes: Vec<RankRoute>,
+    rank_nodes: Vec<NodeId>,
+    extra_ns: Vec<(Arc<NvmfTarget>, NsId)>,
     placement: Placement,
     config: RuntimeConfig,
 }
@@ -151,6 +182,12 @@ impl JobHandle {
 pub struct NvmeCrRuntime {
     placement: Placement,
     grants: Vec<GrantState>,
+    /// Per-rank storage routes (indexed by rank); updated on failover.
+    routes: Vec<RankRoute>,
+    /// Compute node of each rank (failure-domain checks on failover).
+    rank_nodes: Vec<NodeId>,
+    /// Failover namespaces created after init, deleted at finalize.
+    extra_ns: Vec<(Arc<NvmfTarget>, NsId)>,
     config: RuntimeConfig,
     ranks: Vec<Option<MicroFs<NvmfBlockDevice>>>,
 }
@@ -176,8 +213,27 @@ impl NvmeCrRuntime {
                 .expect("scheduler granted an existing SSD")
                 .clone();
             let ns = target.device().create_namespace(config.namespace_bytes)?;
-            grants.push(GrantState { target, ns });
+            grants.push(GrantState {
+                target,
+                ns,
+                node: g.node,
+            });
         }
+        // Each rank's initial route: its segment of its grant's namespace.
+        let routes: Vec<RankRoute> = placement
+            .per_rank
+            .iter()
+            .map(|p| {
+                let gs = &grants[p.grant];
+                RankRoute {
+                    target: Arc::clone(&gs.target),
+                    ns: gs.ns,
+                    base: p.segment_offset,
+                    size: p.segment_size,
+                    node: gs.node,
+                }
+            })
+            .collect();
         // Per-rank: connect an initiator and format the segment. Ranks
         // are fully independent (own connection, own namespace shard, own
         // filesystem), so format in parallel.
@@ -188,19 +244,24 @@ impl NvmeCrRuntime {
             .map(|p| {
                 let _span = telemetry::span("driver", "init_rank").arg("rank", u64::from(p.rank));
                 let _t = init_rank_ns.time();
-                let gs = &grants[p.grant];
-                let initiator = Initiator::with_telemetry(
+                let route = &routes[p.rank as usize];
+                let initiator = Initiator::with_config(
                     format!("nqn.2026-07.io.nvmecr:rank{}", p.rank),
                     config.telemetry.clone(),
+                    config.chaos.clone(),
+                    config.retry.clone(),
                 );
-                let conn = initiator.connect(Arc::clone(&gs.target), gs.ns);
-                let dev = NvmfBlockDevice::new(conn, p.segment_offset, p.segment_size);
+                let conn = initiator.connect(Arc::clone(&route.target), route.ns);
+                let dev = NvmfBlockDevice::new(conn, route.base, route.size);
                 MicroFs::format(dev, config.fs_config()).map(Some)
             })
             .collect::<Result<Vec<_>, FsError>>()?;
         Ok(NvmeCrRuntime {
             placement,
             grants,
+            routes,
+            rank_nodes: alloc.rank_nodes.clone(),
+            extra_ns: Vec::new(),
             config,
             ranks,
         })
@@ -297,25 +358,23 @@ impl NvmeCrRuntime {
         }
         let jobs: Vec<_> = ranks
             .iter()
-            .map(|&rank| {
-                let p = self.placement.per_rank[rank as usize];
-                let gs = &self.grants[p.grant];
-                (rank, p, Arc::clone(&gs.target), gs.ns)
-            })
+            .map(|&rank| (rank, self.routes[rank as usize].clone()))
             .collect();
         let config = &self.config;
         let recover_rank_ns = config.telemetry.histogram("driver.recover_rank_ns");
         let mounted: Vec<(u32, Result<MicroFs<NvmfBlockDevice>, FsError>)> = jobs
             .into_par_iter()
-            .map(|(rank, p, target, ns)| {
+            .map(|(rank, route)| {
                 let _span = telemetry::span("driver", "recover_rank").arg("rank", u64::from(rank));
                 let _t = recover_rank_ns.time();
-                let initiator = Initiator::with_telemetry(
+                let initiator = Initiator::with_config(
                     format!("nqn.2026-07.io.nvmecr:rank{rank}-r"),
                     config.telemetry.clone(),
+                    config.chaos.clone(),
+                    config.retry.clone(),
                 );
-                let conn = initiator.connect(target, ns);
-                let dev = NvmfBlockDevice::new(conn, p.segment_offset, p.segment_size);
+                let conn = initiator.connect(route.target, route.ns);
+                let dev = NvmfBlockDevice::new(conn, route.base, route.size);
                 (rank, MicroFs::mount(dev, config.fs_config()))
             })
             .collect();
@@ -335,22 +394,87 @@ impl NvmeCrRuntime {
     /// Run the offline consistency checker against a crashed rank's
     /// partition (the rank must currently be crashed; fsck mounts nothing).
     pub fn fsck_rank(&mut self, rank: u32) -> Result<microfs::FsckReport, RuntimeError> {
-        let p = *self
-            .placement
-            .per_rank
+        let route = self
+            .routes
             .get(rank as usize)
+            .cloned()
             .ok_or(RuntimeError::BadRank(rank))?;
         if self.ranks[rank as usize].is_some() {
             return Err(RuntimeError::BadRank(rank));
         }
-        let gs = &self.grants[p.grant];
         let initiator = Initiator::with_telemetry(
-            format!("nqn.2026-07.io.nvmecr:fsck{}", p.rank),
+            format!("nqn.2026-07.io.nvmecr:fsck{rank}"),
             self.config.telemetry.clone(),
         );
-        let conn = initiator.connect(Arc::clone(&gs.target), gs.ns);
-        let mut dev = NvmfBlockDevice::new(conn, p.segment_offset, p.segment_size);
+        let conn = initiator.connect(route.target, route.ns);
+        let mut dev = NvmfBlockDevice::new(conn, route.base, route.size);
         Ok(microfs::fsck(&mut dev))
+    }
+
+    /// The storage node currently holding `rank`'s bytes.
+    pub fn rank_storage_node(&self, rank: u32) -> Result<NodeId, RuntimeError> {
+        self.routes
+            .get(rank as usize)
+            .map(|r| r.node)
+            .ok_or(RuntimeError::BadRank(rank))
+    }
+
+    /// Re-place a rank whose storage shard died (§III-F "Handling Cascading
+    /// Failures"): pick a surviving storage node that is domain-separated
+    /// from both the rank and the failed node, create a private replacement
+    /// namespace there, and format it fresh. The data on the dead shard is
+    /// gone — that is exactly the case multi-level checkpointing covers, and
+    /// the caller is expected to roll back to the last PFS-level checkpoint
+    /// and re-populate the new namespace.
+    pub fn fail_over_rank(
+        &mut self,
+        rank: u32,
+        rack: &StorageRack,
+        topo: &Topology,
+    ) -> Result<(), RuntimeError> {
+        let route = self
+            .routes
+            .get(rank as usize)
+            .cloned()
+            .ok_or(RuntimeError::BadRank(rank))?;
+        let _span = telemetry::span("driver", "fail_over_rank").arg("rank", u64::from(rank));
+        let rank_node = self.rank_nodes[rank as usize];
+        let domains = FailureDomains::derive(topo);
+        let candidates = topo.storage_nodes();
+        let idx =
+            crate::balancer::failover_grant(&domains, rank, rank_node, route.node, &candidates)?;
+        let new_node = candidates[idx];
+        // First SSD on the partner node with room for the rank's segment.
+        let size = route.size.max(MIN_SEGMENT);
+        let target = rack
+            .targets_on(new_node)
+            .into_iter()
+            .map(|(_, t)| t)
+            .find(|t| t.device().namespaces().free_bytes() >= size)
+            .ok_or(RuntimeError::Balance(BalanceError::NoFailoverTarget {
+                rank,
+            }))?;
+        let ns = target.device().create_namespace(size)?;
+        let initiator = Initiator::with_config(
+            format!("nqn.2026-07.io.nvmecr:rank{rank}-failover"),
+            self.config.telemetry.clone(),
+            self.config.chaos.clone(),
+            self.config.retry.clone(),
+        );
+        let conn = initiator.connect(Arc::clone(&target), ns);
+        let dev = NvmfBlockDevice::new(conn, 0, size);
+        let fs = MicroFs::format(dev, self.config.fs_config())?;
+        self.ranks[rank as usize] = Some(fs);
+        self.extra_ns.push((Arc::clone(&target), ns));
+        self.routes[rank as usize] = RankRoute {
+            target,
+            ns,
+            base: 0,
+            size,
+            node: new_node,
+        };
+        self.config.telemetry.counter("driver.failovers").inc();
+        Ok(())
     }
 
     /// Aggregate per-rank filesystem statistics (Table I accounting).
@@ -394,8 +518,15 @@ impl NvmeCrRuntime {
             grants: self
                 .grants
                 .iter()
-                .map(|g| (Arc::clone(&g.target), g.ns))
+                .map(|g| GrantState {
+                    target: Arc::clone(&g.target),
+                    ns: g.ns,
+                    node: g.node,
+                })
                 .collect(),
+            routes: self.routes.clone(),
+            rank_nodes: self.rank_nodes.clone(),
+            extra_ns: self.extra_ns.clone(),
             placement: self.placement.clone(),
             config: self.config.clone(),
         }
@@ -405,35 +536,35 @@ impl NvmeCrRuntime {
     /// partition is *mounted* (snapshot + log replay), not formatted, so
     /// checkpoints written before the failure are readable.
     pub fn attach(handle: JobHandle) -> Result<Self, RuntimeError> {
-        let grants: Vec<GrantState> = handle
-            .grants
-            .into_iter()
-            .map(|(target, ns)| GrantState { target, ns })
-            .collect();
-        // Every rank mounts (snapshot + log replay) independently; do it
-        // in parallel, same as init-time formatting.
+        // Every rank mounts (snapshot + log replay) independently — via its
+        // *route*, so ranks failed over to a replacement namespace reattach
+        // to the replacement, not the dead shard. Do it in parallel, same as
+        // init-time formatting.
         let restart_rank_ns = handle.config.telemetry.histogram("driver.restart_rank_ns");
         let ranks = handle
-            .placement
-            .per_rank
+            .routes
             .par_iter()
-            .map(|p| {
-                let _span =
-                    telemetry::span("driver", "restart_rank").arg("rank", u64::from(p.rank));
+            .enumerate()
+            .map(|(rank, route)| {
+                let _span = telemetry::span("driver", "restart_rank").arg("rank", rank as u64);
                 let _t = restart_rank_ns.time();
-                let gs = &grants[p.grant];
-                let initiator = Initiator::with_telemetry(
-                    format!("nqn.2026-07.io.nvmecr:rank{}-restart", p.rank),
+                let initiator = Initiator::with_config(
+                    format!("nqn.2026-07.io.nvmecr:rank{rank}-restart"),
                     handle.config.telemetry.clone(),
+                    handle.config.chaos.clone(),
+                    handle.config.retry.clone(),
                 );
-                let conn = initiator.connect(Arc::clone(&gs.target), gs.ns);
-                let dev = NvmfBlockDevice::new(conn, p.segment_offset, p.segment_size);
+                let conn = initiator.connect(Arc::clone(&route.target), route.ns);
+                let dev = NvmfBlockDevice::new(conn, route.base, route.size);
                 MicroFs::mount(dev, handle.config.fs_config()).map(Some)
             })
             .collect::<Result<Vec<_>, FsError>>()?;
         Ok(NvmeCrRuntime {
             placement: handle.placement,
-            grants,
+            grants: handle.grants,
+            routes: handle.routes,
+            rank_nodes: handle.rank_nodes,
+            extra_ns: handle.extra_ns,
             config: handle.config,
             ranks,
         })
@@ -452,6 +583,9 @@ impl NvmeCrRuntime {
         self.ranks.clear();
         for gs in &self.grants {
             gs.target.device().delete_namespace(gs.ns)?;
+        }
+        for (target, ns) in &self.extra_ns {
+            target.device().delete_namespace(*ns)?;
         }
         Ok(stats)
     }
@@ -712,6 +846,54 @@ mod tests {
             rt.recover_ranks(&[0]),
             Err(RuntimeError::BadRank(0))
         ));
+    }
+
+    #[test]
+    fn fail_over_rank_moves_storage_to_partner_domain() {
+        let (rack, topo, alloc, config) = small_setup(56);
+        let telemetry = config.telemetry.clone();
+        let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config).unwrap();
+        {
+            let fs = rt.rank_fs(5).unwrap();
+            let fd = fs.create("/pre.dat", 0o644).unwrap();
+            fs.write(fd, &[5u8; 32 << 10]).unwrap();
+            fs.close(fd).unwrap();
+        }
+        // The shard holding rank 5's namespace dies permanently.
+        let old_node = rt.rank_storage_node(5).unwrap();
+        let route = rt.routes[5].clone();
+        route.target.device().shard(route.ns).unwrap().kill();
+        rt.fail_over_rank(5, &rack, &topo).unwrap();
+        // The replacement is a different node, still domain-separated from
+        // the rank (the testbed has a single storage rack, so separation
+        // from the failed node itself is not achievable here).
+        let new_node = rt.rank_storage_node(5).unwrap();
+        assert_ne!(new_node, old_node);
+        let domains = FailureDomains::derive(&topo);
+        assert!(domains.separated(alloc.rank_nodes[5], new_node));
+        assert_eq!(telemetry.snapshot().counter("driver.failovers"), 1);
+        // The replacement namespace takes a fresh, byte-identical checkpoint.
+        let fs = rt.rank_fs(5).unwrap();
+        let fd = fs.create("/post.dat", 0o644).unwrap();
+        fs.write(fd, &[7u8; 64 << 10]).unwrap();
+        fs.close(fd).unwrap();
+        let fd = fs.open("/post.dat", OpenFlags::RDONLY, 0).unwrap();
+        let mut buf = vec![0u8; 64 << 10];
+        let mut got = 0;
+        while got < buf.len() {
+            let n = fs.read(fd, &mut buf[got..]).unwrap();
+            if n == 0 {
+                break;
+            }
+            got += n;
+        }
+        assert_eq!(got, 64 << 10);
+        assert!(buf.iter().all(|&b| b == 7));
+        // Crash + recover goes through the *new* route.
+        rt.crash_rank(5).unwrap();
+        rt.recover_rank(5).unwrap();
+        let fs = rt.rank_fs(5).unwrap();
+        assert_eq!(fs.stat("/post.dat").unwrap().size, 64 << 10);
     }
 
     #[test]

@@ -7,13 +7,17 @@
 //! an optional inline data payload for writes.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use microfs::crc::{crc32, crc32_update};
 use std::fmt;
 
 use crate::sg::SgList;
 
 const CAPSULE_MAGIC: u32 = 0x4E56_4D46; // "NVMF"
-const HEADER_LEN: usize = 4 + 1 + 2 + 4 + 8 + 8;
-const COMPLETION_HEADER_LEN: usize = 4 + 2 + 1 + 8;
+                                        // Fixed fields plus a trailing CRC32 guarding header + payload. The CRC sits
+                                        // at the *end* of the header so field offsets (e.g. opcode at byte 4) are
+                                        // unchanged from the pre-CRC framing.
+const HEADER_LEN: usize = 4 + 1 + 2 + 4 + 8 + 8 + 4;
+const COMPLETION_HEADER_LEN: usize = 4 + 2 + 1 + 8 + 4;
 
 /// NVMe command opcodes carried over the fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +64,14 @@ pub enum Status {
     LbaOutOfRange,
     /// Malformed command.
     InvalidField,
+    /// Transient backpressure: the shard cannot service the command right
+    /// now; the initiator should back off and retry.
+    Busy,
+    /// The backing shard is dead; retrying this path is pointless and the
+    /// runtime should fail over.
+    ShardOffline,
+    /// The command arrived with a CRC mismatch (wire corruption).
+    DataCorrupt,
 }
 
 impl Status {
@@ -69,6 +81,9 @@ impl Status {
             Status::InvalidNamespace => 1,
             Status::LbaOutOfRange => 2,
             Status::InvalidField => 3,
+            Status::Busy => 4,
+            Status::ShardOffline => 5,
+            Status::DataCorrupt => 6,
         }
     }
 
@@ -78,8 +93,17 @@ impl Status {
             1 => Some(Status::InvalidNamespace),
             2 => Some(Status::LbaOutOfRange),
             3 => Some(Status::InvalidField),
+            4 => Some(Status::Busy),
+            5 => Some(Status::ShardOffline),
+            6 => Some(Status::DataCorrupt),
             _ => None,
         }
+    }
+
+    /// Whether the initiator may transparently retry a command that
+    /// completed with this status.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, Status::Busy | Status::DataCorrupt)
     }
 }
 
@@ -96,6 +120,12 @@ pub enum CapsuleError {
     BadStatus(u8),
     /// Inline payload length does not match the header.
     PayloadMismatch { expected: u64, actual: usize },
+    /// Wire CRC over header + payload does not match.
+    CrcMismatch {
+        cid: u16,
+        expected: u32,
+        actual: u32,
+    },
 }
 
 impl fmt::Display for CapsuleError {
@@ -109,6 +139,16 @@ impl fmt::Display for CapsuleError {
                 write!(
                     f,
                     "payload length {actual} does not match header {expected}"
+                )
+            }
+            CapsuleError::CrcMismatch {
+                cid,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "cid {cid}: wire crc {actual:#010x} does not match header {expected:#010x}"
                 )
             }
         }
@@ -172,6 +212,27 @@ impl Capsule {
         }
     }
 
+    /// A connect (admin) capsule for `nsid`.
+    pub fn connect(cid: u16, nsid: u32) -> Self {
+        Capsule {
+            opcode: Opcode::Connect,
+            cid,
+            nsid,
+            offset: 0,
+            len: 0,
+            data: Bytes::new(),
+        }
+    }
+
+    /// The payload length this capsule's header declares: `len` bytes for a
+    /// write (data travels inline), zero for everything else.
+    fn declared_payload_len(&self) -> u64 {
+        match self.opcode {
+            Opcode::Write => self.len,
+            _ => 0,
+        }
+    }
+
     fn encode_header(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(HEADER_LEN);
         buf.put_u32_le(CAPSULE_MAGIC);
@@ -180,6 +241,8 @@ impl Capsule {
         buf.put_u32_le(self.nsid);
         buf.put_u64_le(self.offset);
         buf.put_u64_le(self.len);
+        let crc = crc32_update(crc32(&buf), &self.data);
+        buf.put_u32_le(crc);
         buf.freeze()
     }
 
@@ -200,12 +263,14 @@ impl Capsule {
         sg
     }
 
-    /// Parse the fixed header, leaving `buf` at the payload. Does not
-    /// validate payload length against `len`.
-    fn decode_header(buf: &mut Bytes) -> Result<Self, CapsuleError> {
+    /// Parse the fixed header, leaving `buf` at the payload. Returns the
+    /// capsule plus `(wire_crc, crc_of_header_prefix)`; payload length and
+    /// CRC are validated once the payload is attached.
+    fn decode_header(buf: &mut Bytes) -> Result<(Self, u32, u32), CapsuleError> {
         if buf.len() < HEADER_LEN {
             return Err(CapsuleError::Truncated);
         }
+        let prefix_crc = crc32(&buf[..HEADER_LEN - 4]);
         let magic = buf.get_u32_le();
         if magic != CAPSULE_MAGIC {
             return Err(CapsuleError::BadMagic(magic));
@@ -216,21 +281,42 @@ impl Capsule {
         let nsid = buf.get_u32_le();
         let offset = buf.get_u64_le();
         let len = buf.get_u64_le();
-        Ok(Capsule {
-            opcode,
-            cid,
-            nsid,
-            offset,
-            len,
-            data: Bytes::new(),
-        })
+        let wire_crc = buf.get_u32_le();
+        Ok((
+            Capsule {
+                opcode,
+                cid,
+                nsid,
+                offset,
+                len,
+                data: Bytes::new(),
+            },
+            wire_crc,
+            prefix_crc,
+        ))
     }
 
-    fn attach_payload(mut self, data: Bytes) -> Result<Self, CapsuleError> {
-        if self.opcode == Opcode::Write && data.len() as u64 != self.len {
+    fn attach_payload(
+        mut self,
+        data: Bytes,
+        wire_crc: u32,
+        prefix_crc: u32,
+    ) -> Result<Self, CapsuleError> {
+        // Never trust the declared length: every opcode's payload must match
+        // what the header claims (zero for read/flush/connect). Checked
+        // before the CRC so truncation reports as a length error.
+        if data.len() as u64 != self.declared_payload_len() {
             return Err(CapsuleError::PayloadMismatch {
-                expected: self.len,
+                expected: self.declared_payload_len(),
                 actual: data.len(),
+            });
+        }
+        let actual = crc32_update(prefix_crc, &data);
+        if actual != wire_crc {
+            return Err(CapsuleError::CrcMismatch {
+                cid: self.cid,
+                expected: wire_crc,
+                actual,
             });
         }
         self.data = data;
@@ -239,7 +325,8 @@ impl Capsule {
 
     /// Parse from contiguous wire bytes.
     pub fn decode(mut buf: Bytes) -> Result<Self, CapsuleError> {
-        Self::decode_header(&mut buf)?.attach_payload(buf)
+        let (c, wire_crc, prefix_crc) = Self::decode_header(&mut buf)?;
+        c.attach_payload(buf, wire_crc, prefix_crc)
     }
 
     /// Parse from a scatter-gather delivery without copying the payload:
@@ -251,7 +338,8 @@ impl Capsule {
         if segs.len() == 2 && segs[0].len() == HEADER_LEN {
             let payload = segs.pop().expect("len checked");
             let mut header = segs.pop().expect("len checked");
-            return Self::decode_header(&mut header)?.attach_payload(payload);
+            let (c, wire_crc, prefix_crc) = Self::decode_header(&mut header)?;
+            return c.attach_payload(payload, wire_crc, prefix_crc);
         }
         Self::decode(SgList::from(segs).into_contiguous())
     }
@@ -298,6 +386,8 @@ impl Completion {
         buf.put_u16_le(self.cid);
         buf.put_u8(self.status.to_u8());
         buf.put_u64_le(self.data.len() as u64);
+        let crc = crc32_update(crc32(&buf), &self.data);
+        buf.put_u32_le(crc);
         buf.freeze()
     }
 
@@ -318,11 +408,13 @@ impl Completion {
         sg
     }
 
-    /// Parse the fixed header, returning `(completion, payload_len)`.
-    fn decode_header(buf: &mut Bytes) -> Result<(Self, u64), CapsuleError> {
+    /// Parse the fixed header, returning `(completion, payload_len,
+    /// wire_crc, crc_of_header_prefix)`.
+    fn decode_header(buf: &mut Bytes) -> Result<(Self, u64, u32, u32), CapsuleError> {
         if buf.len() < COMPLETION_HEADER_LEN {
             return Err(CapsuleError::Truncated);
         }
+        let prefix_crc = crc32(&buf[..COMPLETION_HEADER_LEN - 4]);
         let magic = buf.get_u32_le();
         if magic != CAPSULE_MAGIC {
             return Err(CapsuleError::BadMagic(magic));
@@ -331,6 +423,7 @@ impl Completion {
         let st = buf.get_u8();
         let status = Status::from_u8(st).ok_or(CapsuleError::BadStatus(st))?;
         let len = buf.get_u64_le();
+        let wire_crc = buf.get_u32_le();
         Ok((
             Completion {
                 cid,
@@ -338,14 +431,30 @@ impl Completion {
                 data: Bytes::new(),
             },
             len,
+            wire_crc,
+            prefix_crc,
         ))
     }
 
-    fn attach_payload(mut self, len: u64, data: Bytes) -> Result<Self, CapsuleError> {
+    fn attach_payload(
+        mut self,
+        len: u64,
+        data: Bytes,
+        wire_crc: u32,
+        prefix_crc: u32,
+    ) -> Result<Self, CapsuleError> {
         if data.len() as u64 != len {
             return Err(CapsuleError::PayloadMismatch {
                 expected: len,
                 actual: data.len(),
+            });
+        }
+        let actual = crc32_update(prefix_crc, &data);
+        if actual != wire_crc {
+            return Err(CapsuleError::CrcMismatch {
+                cid: self.cid,
+                expected: wire_crc,
+                actual,
             });
         }
         self.data = data;
@@ -354,8 +463,8 @@ impl Completion {
 
     /// Parse from contiguous wire bytes.
     pub fn decode(mut buf: Bytes) -> Result<Self, CapsuleError> {
-        let (c, len) = Self::decode_header(&mut buf)?;
-        c.attach_payload(len, buf)
+        let (c, len, wire_crc, prefix_crc) = Self::decode_header(&mut buf)?;
+        c.attach_payload(len, buf, wire_crc, prefix_crc)
     }
 
     /// Parse from a scatter-gather delivery without copying the payload
@@ -365,8 +474,8 @@ impl Completion {
         if segs.len() == 2 && segs[0].len() == COMPLETION_HEADER_LEN {
             let payload = segs.pop().expect("len checked");
             let mut header = segs.pop().expect("len checked");
-            let (c, len) = Self::decode_header(&mut header)?;
-            return c.attach_payload(len, payload);
+            let (c, len, wire_crc, prefix_crc) = Self::decode_header(&mut header)?;
+            return c.attach_payload(len, payload, wire_crc, prefix_crc);
         }
         Self::decode(SgList::from(segs).into_contiguous())
     }
@@ -479,6 +588,64 @@ mod tests {
                 actual: 3
             })
         ));
+    }
+
+    #[test]
+    fn crc_detects_payload_corruption() {
+        let c = Capsule::write(3, 1, 0, Bytes::from_static(b"checkpoint"));
+        let mut wire = BytesMut::from(&c.encode()[..]);
+        let last = wire.len() - 1;
+        wire[last] ^= 0x01; // flip one payload bit
+        assert!(matches!(
+            Capsule::decode(wire.freeze()),
+            Err(CapsuleError::CrcMismatch { cid: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn crc_detects_header_field_corruption() {
+        let c = Capsule::write(4, 1, 4096, Bytes::from_static(b"x"));
+        let mut wire = BytesMut::from(&c.encode()[..]);
+        wire[11] ^= 0x40; // offset field
+        assert!(matches!(
+            Capsule::decode(wire.freeze()),
+            Err(CapsuleError::CrcMismatch { cid: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn completion_crc_detects_corruption() {
+        let c = Completion::ok(8, Bytes::from_static(b"read data"));
+        let mut wire = BytesMut::from(&c.encode()[..]);
+        let last = wire.len() - 1;
+        wire[last] ^= 0x80;
+        assert!(matches!(
+            Completion::decode(wire.freeze()),
+            Err(CapsuleError::CrcMismatch { cid: 8, .. })
+        ));
+    }
+
+    #[test]
+    fn nonwrite_capsule_with_payload_rejected() {
+        // A read capsule declaring len=4096 must not be allowed to smuggle
+        // inline bytes: the declared *payload* length for a read is zero.
+        let r = Capsule::read(1, 1, 0, 4096);
+        let mut wire = BytesMut::from(&r.encode()[..]);
+        wire.put_slice(b"sneaky trailing bytes");
+        assert!(matches!(
+            Capsule::decode(wire.freeze()),
+            Err(CapsuleError::PayloadMismatch {
+                expected: 0,
+                actual: 21
+            })
+        ));
+    }
+
+    #[test]
+    fn connect_roundtrip() {
+        let c = Capsule::connect(1, 7);
+        assert_eq!(c.opcode, Opcode::Connect);
+        assert_eq!(Capsule::decode(c.encode()).unwrap(), c);
     }
 
     #[test]

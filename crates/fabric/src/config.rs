@@ -59,6 +59,49 @@ impl NetConfig {
     }
 }
 
+/// Per-command reliability parameters for the initiator: bounded
+/// exponential backoff with a modeled command timeout. Backoff and timeout
+/// are *modeled* time — they are charged to `fabric.backoff_ns` /
+/// `fabric.timeouts` rather than slept, matching how the rest of the
+/// workspace accounts simulated latency.
+#[derive(Debug, Clone)]
+pub struct RetryConfig {
+    /// Attempts after the first before a command is declared exhausted.
+    pub max_retries: u32,
+    /// Backoff before retry #1; doubles per retry.
+    pub base_backoff_ns: u64,
+    /// Backoff ceiling.
+    pub max_backoff_ns: u64,
+    /// Modeled time the initiator waits for a response before declaring
+    /// the command lost.
+    pub command_timeout_ns: u64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            max_retries: 8,
+            base_backoff_ns: 10_000,       // 10 µs
+            max_backoff_ns: 10_000_000,    // 10 ms
+            command_timeout_ns: 1_000_000, // 1 ms
+        }
+    }
+}
+
+impl RetryConfig {
+    /// Backoff before retry number `attempt` (1-based), exponentially
+    /// doubled from the base and clamped to the ceiling.
+    pub fn backoff_ns(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1);
+        let backed = if shift >= self.base_backoff_ns.leading_zeros() {
+            u64::MAX // doubling would overflow: saturate
+        } else {
+            self.base_backoff_ns << shift
+        };
+        backed.min(self.max_backoff_ns)
+    }
+}
+
 /// Per-operation costs of the kernel IO stack (Figure 2): this is what the
 /// `microfs` userspace design peels away. Values are calibrated so a
 /// full-subscription kernel-path run spends ~76-79% of its time in the
@@ -116,6 +159,16 @@ mod tests {
                 > NetConfig::tcp25g().link_bw.as_bytes_per_sec()
         );
         assert!(NetConfig::tcp25g().latency(2) > NetConfig::edr().latency(2));
+    }
+
+    #[test]
+    fn backoff_doubles_and_clamps() {
+        let r = RetryConfig::default();
+        assert_eq!(r.backoff_ns(1), 10_000);
+        assert_eq!(r.backoff_ns(2), 20_000);
+        assert_eq!(r.backoff_ns(3), 40_000);
+        assert_eq!(r.backoff_ns(11), 10_000_000, "clamped to ceiling");
+        assert_eq!(r.backoff_ns(64), 10_000_000, "huge attempts saturate");
     }
 
     #[test]

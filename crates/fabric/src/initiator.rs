@@ -10,14 +10,16 @@ use std::fmt;
 use std::sync::Arc;
 
 use bytes::Bytes;
+use chaos::{ChaosHandle, FaultAction, FaultSite};
 use telemetry::{Counter, Histogram, Telemetry};
 
 use ssd::NsId;
 
-use crate::capsule::{Capsule, Completion, Status};
-use crate::config::KernelCosts;
+use crate::capsule::{Capsule, CapsuleError, Completion, Status};
+use crate::config::{KernelCosts, RetryConfig};
 use crate::path::IoPath;
-use crate::qp::{CompletionOp, QueuePair};
+use crate::qp::{CompletionOp, QpError, QueuePair};
+use crate::sg::SgList;
 use crate::target::{ConnId, NvmfTarget, TargetError};
 
 /// Resolved telemetry handles for the initiator hot path, shared by every
@@ -42,6 +44,19 @@ struct FabricMetrics {
     /// Modeled host-CPU ns the same IOs would have cost on the kernel
     /// path (Figure 2) — the counterfactual the paper's §IV-D contrasts.
     kernel_path_equiv_ns: Arc<Counter>,
+    /// Command attempts beyond the first (retries after transient faults).
+    retries: Arc<Counter>,
+    /// Commands whose capsule or response never arrived within the modeled
+    /// command timeout.
+    timeouts: Arc<Counter>,
+    /// Response capsules rejected at the initiator for a CRC mismatch.
+    crc_errors: Arc<Counter>,
+    /// Connection re-establishments after a reset.
+    reconnects: Arc<Counter>,
+    /// Modeled backoff nanoseconds charged before retries (not slept).
+    backoff_ns: Arc<Counter>,
+    /// Wall-clock latency of one reconnect (teardown + re-admission + QP).
+    reconnect_ns: Arc<Histogram>,
 }
 
 impl FabricMetrics {
@@ -55,6 +70,12 @@ impl FabricMetrics {
             bytes_copied: t.counter("fabric.bytes_copied"),
             userspace_path_ns: t.counter("fabric.userspace_path_ns"),
             kernel_path_equiv_ns: t.counter("fabric.kernel_path_equiv_ns"),
+            retries: t.counter("fabric.retries"),
+            timeouts: t.counter("fabric.timeouts"),
+            crc_errors: t.counter("fabric.crc_errors"),
+            reconnects: t.counter("fabric.reconnects"),
+            backoff_ns: t.counter("fabric.backoff_ns"),
+            reconnect_ns: t.histogram("fabric.reconnect_ns"),
         }
     }
 }
@@ -66,6 +87,8 @@ pub enum InitiatorError {
     Remote(Status),
     /// Transport-level failure.
     Transport(String),
+    /// All retry attempts were consumed without a successful completion.
+    Exhausted { attempts: u32, last: String },
 }
 
 impl fmt::Display for InitiatorError {
@@ -73,6 +96,9 @@ impl fmt::Display for InitiatorError {
         match self {
             InitiatorError::Remote(s) => write!(f, "remote error: {s:?}"),
             InitiatorError::Transport(e) => write!(f, "transport error: {e}"),
+            InitiatorError::Exhausted { attempts, last } => {
+                write!(f, "command failed after {attempts} attempts (last: {last})")
+            }
         }
     }
 }
@@ -85,10 +111,53 @@ impl From<TargetError> for InitiatorError {
     }
 }
 
+/// Outcome of one wire attempt of a command, classified for the retry
+/// loop in [`NvmfConnection::submit`].
+enum AttemptError {
+    /// The command or its response vanished; the modeled command timeout
+    /// fired. Retry.
+    Lost(&'static str),
+    /// The target answered with a transient status (`Busy`, `DataCorrupt`)
+    /// or the response failed CRC locally. Retry.
+    Transient(Status),
+    /// The connection dropped mid-command. Reconnect, then retry.
+    Reset,
+    /// Not recoverable by retrying (hard remote error, protocol breakage).
+    Fatal(InitiatorError),
+}
+
+impl AttemptError {
+    fn describe(&self) -> String {
+        match self {
+            AttemptError::Lost(what) => (*what).to_string(),
+            AttemptError::Transient(s) => format!("transient remote status {s:?}"),
+            AttemptError::Reset => "connection reset".to_string(),
+            AttemptError::Fatal(e) => e.to_string(),
+        }
+    }
+}
+
+/// Flip one bit in the last byte of the last wire segment — the injected
+/// stand-in for in-flight corruption. Only runs on the fault path.
+fn corrupt_sg(sg: SgList) -> SgList {
+    let mut segs = sg.into_segments();
+    if let Some(last) = segs.last_mut() {
+        if !last.is_empty() {
+            let mut v = last.to_vec();
+            let i = v.len() - 1;
+            v[i] ^= 0x01;
+            *last = Bytes::from(v);
+        }
+    }
+    SgList::from(segs)
+}
+
 /// The client-side NVMf endpoint of one process.
 pub struct Initiator {
     host_nqn: String,
     metrics: Arc<FabricMetrics>,
+    chaos: ChaosHandle,
+    retry: RetryConfig,
 }
 
 impl Initiator {
@@ -100,9 +169,22 @@ impl Initiator {
 
     /// An initiator reporting `fabric.*` metrics into `t`.
     pub fn with_telemetry(host_nqn: impl Into<String>, t: Telemetry) -> Self {
+        Self::with_config(host_nqn, t, ChaosHandle::default(), RetryConfig::default())
+    }
+
+    /// Full constructor: telemetry registry, fault-injection hook, and
+    /// retry policy.
+    pub fn with_config(
+        host_nqn: impl Into<String>,
+        t: Telemetry,
+        chaos: ChaosHandle,
+        retry: RetryConfig,
+    ) -> Self {
         Initiator {
             host_nqn: host_nqn.into(),
             metrics: Arc::new(FabricMetrics::new(&t)),
+            chaos,
+            retry,
         }
     }
 
@@ -128,6 +210,7 @@ impl Initiator {
             target,
             conn,
             ns,
+            host_nqn: self.host_nqn.clone(),
             qp_initiator,
             qp_target,
             next_cid: 0,
@@ -135,6 +218,8 @@ impl Initiator {
             ios: 0,
             bytes: 0,
             metrics: Arc::clone(&self.metrics),
+            chaos: self.chaos.clone(),
+            retry: self.retry.clone(),
             userspace_per_io_ns,
             kernel_per_io_ns,
         }
@@ -149,6 +234,7 @@ pub struct NvmfConnection {
     target: Arc<NvmfTarget>,
     conn: ConnId,
     ns: NsId,
+    host_nqn: String,
     qp_initiator: QueuePair,
     qp_target: QueuePair,
     next_cid: u16,
@@ -156,6 +242,8 @@ pub struct NvmfConnection {
     ios: u64,
     bytes: u64,
     metrics: Arc<FabricMetrics>,
+    chaos: ChaosHandle,
+    retry: RetryConfig,
     userspace_per_io_ns: u64,
     kernel_per_io_ns: u64,
 }
@@ -167,59 +255,197 @@ impl NvmfConnection {
         c
     }
 
+    fn wr(&mut self) -> u64 {
+        let w = self.next_wr;
+        self.next_wr += 1;
+        w
+    }
+
+    /// Submit one command with bounded exponential-backoff retry.
+    ///
+    /// Transient failures — lost capsules (modeled timeout), CRC-corrupt
+    /// capsules in either direction, `Busy` backpressure, connection resets
+    /// — are retried up to `retry.max_retries` times, reusing the **same
+    /// CID** so the target's replay cache keeps re-execution idempotent.
+    /// Resets trigger a full reconnect (re-admission + fresh queue pair)
+    /// first. Backoff is modeled time, charged to `fabric.backoff_ns`.
     fn submit(&mut self, capsule: Capsule) -> Result<Completion, InitiatorError> {
-        // Full wire discipline: post receives on both ends, send the
-        // command capsule over the queue pair, run one target-daemon poll
-        // iteration, and poll our own CQ for the response — no blocking
-        // waits anywhere (Principle 1).
-        let _submit_t = self.metrics.submit_ns.time();
+        let submit_ns = Arc::clone(&self.metrics.submit_ns);
+        let _submit_t = submit_ns.time();
         let _span = telemetry::span("fabric", "submit").arg("ns", self.ns.0 as u64);
         self.metrics.io_ops.inc();
+        let mut attempt: u32 = 0;
+        loop {
+            match self.exchange_once(&capsule) {
+                Ok(c) => return Ok(c),
+                Err(AttemptError::Fatal(e)) => return Err(e),
+                Err(e) => {
+                    if attempt >= self.retry.max_retries {
+                        return Err(InitiatorError::Exhausted {
+                            attempts: attempt + 1,
+                            last: e.describe(),
+                        });
+                    }
+                    attempt += 1;
+                    self.metrics.retries.inc();
+                    self.metrics.backoff_ns.add(self.retry.backoff_ns(attempt));
+                    if matches!(e, AttemptError::Reset) {
+                        self.reconnect();
+                    }
+                }
+            }
+        }
+    }
+
+    /// One wire attempt: post receives on both ends, send the command
+    /// capsule over the queue pair, run one target-daemon poll iteration,
+    /// and poll our own CQ for the response — no blocking waits anywhere
+    /// (Principle 1). Chaos hooks sit at the three real fault sites: the
+    /// connection, the command capsule in flight, and the response capsule
+    /// in flight. Disarmed, each hook is one relaxed atomic load.
+    fn exchange_once(&mut self, capsule: &Capsule) -> Result<Completion, AttemptError> {
         self.metrics.userspace_path_ns.add(self.userspace_per_io_ns);
         self.metrics.kernel_path_equiv_ns.add(self.kernel_per_io_ns);
-        let wr = self.next_wr;
-        self.next_wr += 3;
-        self.qp_target.post_recv(wr);
-        self.qp_initiator.post_recv(wr + 1);
+        // Site 1: the connection dies under this command.
+        if let Some(FaultAction::ResetConnection) = self.chaos.decide(FaultSite::ConnReset) {
+            self.qp_initiator.disconnect();
+            return Err(AttemptError::Reset);
+        }
         // The capsule travels as scatter-gather segments: header in one
         // SGE, write payload (the caller's refcounted buffer) in another.
-        // Nothing on the wire path copies payload bytes.
-        let wire = {
+        // Nothing on the zero-fault wire path copies payload bytes.
+        let mut wire = {
             let _t = self.metrics.capsule_encode_ns.time();
             capsule.encode_sg()
         };
-        self.qp_initiator
-            .post_send(wr + 2, wire)
-            .map_err(|e| InitiatorError::Transport(e.to_string()))?;
-        // Target daemon iteration: poll, decode, execute, respond.
-        let cmd_wire = self
+        // Site 2: the command capsule in flight.
+        let mut copies = 1usize;
+        match self.chaos.decide(FaultSite::CapsuleTx) {
+            Some(FaultAction::DropCapsule) => {
+                // Vanished on the wire: the initiator only learns via its
+                // modeled command timeout.
+                self.metrics.timeouts.inc();
+                return Err(AttemptError::Lost("command capsule dropped"));
+            }
+            Some(FaultAction::DuplicateCapsule) => copies = 2,
+            Some(FaultAction::CorruptPayload) => wire = corrupt_sg(wire),
+            _ => {}
+        }
+        for _ in 0..copies {
+            let trecv = self.wr();
+            self.qp_target.post_recv(trecv);
+            let irecv = self.wr();
+            self.qp_initiator.post_recv(irecv);
+        }
+        for _ in 0..copies {
+            let send = self.wr();
+            match self.qp_initiator.post_send(send, wire.clone()) {
+                Ok(()) => {}
+                Err(QpError::NotConnected) => return Err(AttemptError::Reset),
+                Err(e) => {
+                    return Err(AttemptError::Fatal(InitiatorError::Transport(
+                        e.to_string(),
+                    )))
+                }
+            }
+        }
+        // Target daemon iteration: poll, decode, execute, respond. With an
+        // injected duplicate both deliveries execute here and the replay
+        // cache answers the second from memory.
+        let cmds: Vec<SgList> = self
             .qp_target
-            .poll_cq(4)
-            .into_iter()
-            .find(|c| c.opcode == CompletionOp::Recv)
-            .and_then(|c| c.payload)
-            .ok_or_else(|| InitiatorError::Transport("command capsule lost".into()))?;
-        let resp = self.target.handle_wire_sg(self.conn, cmd_wire)?;
-        self.qp_target
-            .post_send(wr + 2, resp)
-            .map_err(|e| InitiatorError::Transport(e.to_string()))?;
-        self.qp_target.poll_cq(4); // drain the target's send completion
-        let resp_wire = self
-            .qp_initiator
             .poll_cq(8)
             .into_iter()
-            .find(|c| c.opcode == CompletionOp::Recv)
-            .and_then(|c| c.payload)
-            .ok_or_else(|| InitiatorError::Transport("response capsule lost".into()))?;
-        let completion = {
-            let _t = self.metrics.capsule_decode_ns.time();
-            Completion::decode_sg(resp_wire)
-                .map_err(|e| InitiatorError::Transport(e.to_string()))?
-        };
-        match completion.status {
-            Status::Success => Ok(completion),
-            s => Err(InitiatorError::Remote(s)),
+            .filter(|c| c.opcode == CompletionOp::Recv)
+            .filter_map(|c| c.payload)
+            .collect();
+        if cmds.is_empty() {
+            self.metrics.timeouts.inc();
+            return Err(AttemptError::Lost("command capsule lost"));
         }
+        for cmd in cmds {
+            let resp = self
+                .target
+                .handle_wire_sg(self.conn, cmd)
+                .map_err(|e| AttemptError::Fatal(e.into()))?;
+            let send = self.wr();
+            self.qp_target
+                .post_send(send, resp)
+                .map_err(|e| AttemptError::Fatal(InitiatorError::Transport(e.to_string())))?;
+        }
+        self.qp_target.poll_cq(8); // drain the target's send completions
+        self.receive_response(capsule.cid)
+    }
+
+    /// Drain the initiator CQ looking for the response to `cid`. Stale
+    /// responses from earlier faulted attempts are discarded by CID
+    /// mismatch; an empty CQ is the modeled command timeout.
+    fn receive_response(&mut self, cid: u16) -> Result<Completion, AttemptError> {
+        loop {
+            let comps = self.qp_initiator.poll_cq(16);
+            if comps.is_empty() {
+                self.metrics.timeouts.inc();
+                return Err(AttemptError::Lost("response capsule lost"));
+            }
+            for c in comps {
+                if c.opcode != CompletionOp::Recv {
+                    continue;
+                }
+                let Some(mut resp_wire) = c.payload else {
+                    continue;
+                };
+                // Site 3: the response capsule in flight.
+                match self.chaos.decide(FaultSite::CapsuleRx) {
+                    Some(FaultAction::DropCapsule) => continue,
+                    Some(FaultAction::CorruptPayload) => resp_wire = corrupt_sg(resp_wire),
+                    _ => {}
+                }
+                let decoded = {
+                    let _t = self.metrics.capsule_decode_ns.time();
+                    Completion::decode_sg(resp_wire)
+                };
+                match decoded {
+                    Ok(comp) if comp.cid == cid => {
+                        return match comp.status {
+                            Status::Success => Ok(comp),
+                            s if s.is_retryable() => Err(AttemptError::Transient(s)),
+                            s => Err(AttemptError::Fatal(InitiatorError::Remote(s))),
+                        };
+                    }
+                    Ok(_stale) => continue,
+                    Err(CapsuleError::CrcMismatch { .. }) => {
+                        self.metrics.crc_errors.inc();
+                        return Err(AttemptError::Transient(Status::DataCorrupt));
+                    }
+                    Err(e) => {
+                        return Err(AttemptError::Fatal(InitiatorError::Transport(
+                            e.to_string(),
+                        )))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tear down and re-establish the connection: re-admission at the
+    /// target (fresh grant for the same namespace) and a fresh queue pair.
+    /// Latency is observed on `fabric.reconnect_ns`.
+    fn reconnect(&mut self) {
+        let _t = self.metrics.reconnect_ns.time();
+        self.metrics.reconnects.inc();
+        self.target.disconnect(self.conn);
+        self.conn = self.target.connect(&self.host_nqn, &[self.ns]);
+        let (qi, qt) = QueuePair::connected_pair(128, 128);
+        self.qp_initiator = qi;
+        self.qp_target = qt;
+    }
+
+    /// NVMf keep-alive: a Connect (admin) capsule over the live queue
+    /// pair. Rides the same retry/reconnect machinery as data commands, so
+    /// a dead connection heals here instead of on the next data IO.
+    pub fn keep_alive(&mut self) -> Result<(), InitiatorError> {
+        let cid = self.cid();
+        self.submit(Capsule::connect(cid, self.ns.0)).map(|_| ())
     }
 
     /// The namespace this connection is bound to.
@@ -410,6 +636,168 @@ mod tests {
         let (sends, recvs) = conn.qp_counters();
         assert_eq!(sends, 2, "one capsule send per IO");
         assert_eq!(recvs, 2, "one posted response buffer per IO");
+    }
+
+    fn chaos_initiator(t: &Telemetry) -> (Initiator, ChaosHandle) {
+        let chaos = ChaosHandle::new();
+        let init = Initiator::with_config(
+            "nqn.host",
+            t.clone(),
+            chaos.clone(),
+            crate::config::RetryConfig::default(),
+        );
+        (init, chaos)
+    }
+
+    #[test]
+    fn corrupt_command_capsule_is_retried_to_success() {
+        let (target, a, _, t) = setup_with_telemetry();
+        let (init, chaos) = chaos_initiator(&t);
+        let mut conn = init.connect(Arc::clone(&target), a);
+        chaos.arm(
+            chaos::FaultPlan::new(1).at_op(FaultSite::CapsuleTx, FaultAction::CorruptPayload, 0),
+            &t,
+        );
+        conn.write(0, b"survives corruption").unwrap();
+        chaos.disarm();
+        assert_eq!(conn.read(0, 19).unwrap(), b"survives corruption");
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("fabric.retries"), 1);
+        assert_eq!(snap.counter("fabric.crc_errors"), 1, "target saw bad CRC");
+        assert!(snap.counter("chaos.injected") >= 1);
+    }
+
+    #[test]
+    fn corrupt_response_capsule_is_retried_to_success() {
+        let (target, a, _, t) = setup_with_telemetry();
+        let (init, chaos) = chaos_initiator(&t);
+        let mut conn = init.connect(Arc::clone(&target), a);
+        conn.write(0, b"payload").unwrap();
+        chaos.arm(
+            chaos::FaultPlan::new(2).at_op(FaultSite::CapsuleRx, FaultAction::CorruptPayload, 0),
+            &t,
+        );
+        assert_eq!(conn.read(0, 7).unwrap(), b"payload");
+        chaos.disarm();
+        let snap = t.snapshot();
+        assert!(snap.counter("fabric.retries") >= 1);
+        assert!(
+            snap.counter("fabric.crc_errors") >= 1,
+            "initiator-side CRC rejection counted"
+        );
+    }
+
+    #[test]
+    fn dropped_command_times_out_and_retries() {
+        let (target, a, _, t) = setup_with_telemetry();
+        let (init, chaos) = chaos_initiator(&t);
+        let mut conn = init.connect(Arc::clone(&target), a);
+        chaos.arm(
+            chaos::FaultPlan::new(3).at_op(FaultSite::CapsuleTx, FaultAction::DropCapsule, 0),
+            &t,
+        );
+        conn.write(0, b"after timeout").unwrap();
+        chaos.disarm();
+        assert_eq!(conn.read(0, 13).unwrap(), b"after timeout");
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("fabric.timeouts"), 1);
+        assert_eq!(snap.counter("fabric.retries"), 1);
+        assert!(snap.counter("fabric.backoff_ns") >= 10_000);
+    }
+
+    #[test]
+    fn connection_reset_triggers_reconnect() {
+        let (target, a, _, t) = setup_with_telemetry();
+        let (init, chaos) = chaos_initiator(&t);
+        let mut conn = init.connect(Arc::clone(&target), a);
+        conn.write(0, b"before reset").unwrap();
+        chaos.arm(
+            chaos::FaultPlan::new(4).at_op(FaultSite::ConnReset, FaultAction::ResetConnection, 0),
+            &t,
+        );
+        // The write that hits the reset reconnects and completes.
+        conn.write(100, b"after reset").unwrap();
+        chaos.disarm();
+        assert_eq!(conn.read(0, 12).unwrap(), b"before reset");
+        assert_eq!(conn.read(100, 11).unwrap(), b"after reset");
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("fabric.reconnects"), 1);
+        assert_eq!(
+            snap.histogram("fabric.reconnect_ns").unwrap().count,
+            1,
+            "reconnect latency observed"
+        );
+    }
+
+    #[test]
+    fn duplicate_capsule_executes_once() {
+        let (target, a, _, t) = setup_with_telemetry();
+        let (init, chaos) = chaos_initiator(&t);
+        let mut conn = init.connect(Arc::clone(&target), a);
+        chaos.arm(
+            chaos::FaultPlan::new(5).at_op(FaultSite::CapsuleTx, FaultAction::DuplicateCapsule, 0),
+            &t,
+        );
+        conn.write(0, b"exactly once").unwrap();
+        chaos.disarm();
+        assert_eq!(conn.read(0, 12).unwrap(), b"exactly once");
+        let snap = t.snapshot();
+        assert_eq!(
+            snap.counter("fabric.duplicates_suppressed"),
+            1,
+            "second delivery answered from the replay cache"
+        );
+        // Exactly one device write executed despite two deliveries.
+        assert_eq!(target.device().ns_io_counters(a).0, 1);
+    }
+
+    #[test]
+    fn keep_alive_heals_dead_connection() {
+        let (target, a, _, t) = setup_with_telemetry();
+        let (init, chaos) = chaos_initiator(&t);
+        let mut conn = init.connect(Arc::clone(&target), a);
+        conn.write(0, b"state").unwrap();
+        chaos.arm(
+            chaos::FaultPlan::new(6).at_op(FaultSite::ConnReset, FaultAction::ResetConnection, 0),
+            &t,
+        );
+        conn.keep_alive().unwrap();
+        chaos.disarm();
+        assert_eq!(t.snapshot().counter("fabric.reconnects"), 1);
+        assert_eq!(conn.read(0, 5).unwrap(), b"state");
+    }
+
+    #[test]
+    fn sustained_fault_storm_exhausts_retries() {
+        let (target, a, _, t) = setup_with_telemetry();
+        let (init, chaos) = chaos_initiator(&t);
+        let mut conn = init.connect(Arc::clone(&target), a);
+        chaos.arm(
+            chaos::FaultPlan::new(7).with_rate(FaultSite::CapsuleTx, FaultAction::DropCapsule, 1.0),
+            &t,
+        );
+        let err = conn.write(0, b"doomed").unwrap_err();
+        chaos.disarm();
+        assert!(
+            matches!(err, InitiatorError::Exhausted { attempts: 9, .. }),
+            "1 initial + 8 retries, got {err:?}"
+        );
+        assert_eq!(t.snapshot().counter("fabric.retries"), 8);
+    }
+
+    #[test]
+    fn shard_offline_is_not_retried() {
+        let (target, a, _, t) = setup_with_telemetry();
+        let (init, _chaos) = chaos_initiator(&t);
+        let mut conn = init.connect(Arc::clone(&target), a);
+        target.device().shard(a).unwrap().kill();
+        let err = conn.write(0, b"dead end").unwrap_err();
+        assert!(matches!(err, InitiatorError::Remote(Status::ShardOffline)));
+        assert_eq!(
+            t.snapshot().counter("fabric.retries"),
+            0,
+            "a dead shard must fail fast so the runtime can fail over"
+        );
     }
 
     #[test]

@@ -13,17 +13,22 @@
 //! queues, §III-B Principle 3), while capsules on one connection retain
 //! per-queue FIFO order under the shard lock.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
 
-use ssd::{NsId, NsShard, Ssd};
+use ssd::{NsId, NsShard, Ssd, SsdError};
 
-use crate::capsule::{Capsule, Completion, Opcode, Status};
+use crate::capsule::{Capsule, CapsuleError, Completion, Opcode, Status};
 use crate::sg::SgList;
+
+/// Completions remembered per connection for idempotent replay. Far smaller
+/// than the 65536-wide CID space, so a cached entry is evicted long before
+/// its CID can be legitimately reused by a new command.
+const REPLAY_CACHE_CMDS: usize = 128;
 
 /// Connection handle issued by [`NvmfTarget::connect`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -57,6 +62,12 @@ struct Connection {
     /// routes through this map and never touches the device's controller
     /// lock.
     shards: HashMap<NsId, Arc<NsShard>>,
+    /// Recently completed *successful* mutating commands, keyed by CID, so
+    /// a retransmitted command (duplicate delivery, or a retry whose
+    /// original response was lost) is answered from cache instead of
+    /// re-executed. Only success completions are cached: a transient error
+    /// must not shadow a later retry that would succeed.
+    replay: Mutex<VecDeque<(u16, Completion)>>,
 }
 
 /// A multi-tenant NVMf target daemon fronting one device.
@@ -69,6 +80,11 @@ pub struct NvmfTarget {
     decode_ns: Arc<telemetry::Histogram>,
     /// Capsule execution latency: decoded command → completion.
     handle_ns: Arc<telemetry::Histogram>,
+    /// Command capsules rejected for a wire CRC mismatch.
+    crc_errors: Arc<telemetry::Counter>,
+    /// Mutating commands answered from the replay cache instead of
+    /// re-executed.
+    duplicates_suppressed: Arc<telemetry::Counter>,
 }
 
 impl NvmfTarget {
@@ -78,12 +94,16 @@ impl NvmfTarget {
         let t = ssd.telemetry();
         let decode_ns = t.histogram("fabric.target_decode_ns");
         let handle_ns = t.histogram("fabric.target_handle_ns");
+        let crc_errors = t.counter("fabric.crc_errors");
+        let duplicates_suppressed = t.counter("fabric.duplicates_suppressed");
         NvmfTarget {
             ssd,
             connections: Mutex::new(HashMap::new()),
             next_conn: Mutex::new(0),
             decode_ns,
             handle_ns,
+            crc_errors,
+            duplicates_suppressed,
         }
     }
 
@@ -108,6 +128,7 @@ impl NvmfTarget {
             Arc::new(Connection {
                 host_nqn: host_nqn.to_string(),
                 shards,
+                replay: Mutex::new(VecDeque::new()),
             }),
         );
         id
@@ -118,9 +139,23 @@ impl NvmfTarget {
         self.connections.lock().remove(&conn);
     }
 
+    /// Map a capsule decode failure to either a retryable completion (CRC
+    /// mismatch: the initiator still gets an answer, carrying the echoed
+    /// CID) or a hard transport error (structurally unparseable).
+    fn decode_failure(&self, e: CapsuleError) -> Result<Completion, TargetError> {
+        if let CapsuleError::CrcMismatch { cid, .. } = e {
+            self.crc_errors.inc();
+            return Ok(Completion::error(cid, Status::DataCorrupt));
+        }
+        Err(TargetError::Malformed(e.to_string()))
+    }
+
     /// Handle one wire capsule for `conn`, returning the wire completion.
     pub fn handle_wire(&self, conn: ConnId, wire: Bytes) -> Result<Bytes, TargetError> {
-        let capsule = Capsule::decode(wire).map_err(|e| TargetError::Malformed(e.to_string()))?;
+        let capsule = match Capsule::decode(wire) {
+            Ok(c) => c,
+            Err(e) => return self.decode_failure(e).map(|c| c.encode()),
+        };
         Ok(self.handle(conn, &capsule)?.encode())
     }
 
@@ -131,7 +166,10 @@ impl NvmfTarget {
     pub fn handle_wire_sg(&self, conn: ConnId, wire: SgList) -> Result<SgList, TargetError> {
         let capsule = {
             let _t = self.decode_ns.time();
-            Capsule::decode_sg(wire).map_err(|e| TargetError::Malformed(e.to_string()))?
+            match Capsule::decode_sg(wire) {
+                Ok(c) => c,
+                Err(e) => return self.decode_failure(e).map(|c| c.encode_sg()),
+            }
         };
         Ok(self.handle(conn, &capsule)?.encode_sg())
     }
@@ -152,18 +190,33 @@ impl NvmfTarget {
         if c.opcode == Opcode::Connect {
             return Ok(Completion::ok(c.cid, Bytes::new()));
         }
+        // Idempotent replay: a mutating command we already completed
+        // successfully (duplicate delivery, or a retry after its response
+        // was lost) is answered from cache, never re-executed.
+        let mutating = matches!(c.opcode, Opcode::Write | Opcode::Flush);
+        if mutating {
+            let replay = cstate.replay.lock();
+            if let Some((_, cached)) = replay.iter().find(|(cid, _)| *cid == c.cid) {
+                self.duplicates_suppressed.inc();
+                return Ok(cached.clone());
+            }
+        }
         let Some(shard) = cstate.shards.get(&ns) else {
             return Ok(Completion::error(c.cid, Status::InvalidNamespace));
         };
         let completion = match c.opcode {
             Opcode::Connect => unreachable!("handled above"),
             Opcode::Flush => {
-                shard.flush();
-                Completion::ok(c.cid, Bytes::new())
+                if shard.is_dead() {
+                    Completion::error(c.cid, Status::ShardOffline)
+                } else {
+                    shard.flush();
+                    Completion::ok(c.cid, Bytes::new())
+                }
             }
             Opcode::Write => match shard.write_bytes(c.offset, c.data.clone()) {
                 Ok(()) => Completion::ok(c.cid, Bytes::new()),
-                Err(_) => Completion::error(c.cid, Status::LbaOutOfRange),
+                Err(e) => Completion::error(c.cid, Self::status_for(&e)),
             },
             Opcode::Read => {
                 if c.len > (1 << 30) {
@@ -172,12 +225,27 @@ impl NvmfTarget {
                 } else {
                     match shard.read_bytes(c.offset, c.len as usize) {
                         Ok(v) => Completion::ok(c.cid, v),
-                        Err(_) => Completion::error(c.cid, Status::LbaOutOfRange),
+                        Err(e) => Completion::error(c.cid, Self::status_for(&e)),
                     }
                 }
             }
         };
+        if mutating && completion.status == Status::Success {
+            let mut replay = cstate.replay.lock();
+            if replay.len() >= REPLAY_CACHE_CMDS {
+                replay.pop_front();
+            }
+            replay.push_back((c.cid, completion.clone()));
+        }
         Ok(completion)
+    }
+
+    fn status_for(e: &SsdError) -> Status {
+        match e {
+            SsdError::Busy(_) => Status::Busy,
+            SsdError::ShardDead(_) => Status::ShardOffline,
+            SsdError::Ns(_) => Status::LbaOutOfRange,
+        }
     }
 }
 
@@ -319,6 +387,63 @@ mod tests {
         t.handle(conn, &Capsule::flush(3, a.0)).unwrap();
         // Only namespace a's shard drained; b's write is still volatile.
         assert_eq!(t.device().volatile_bytes(), 256);
+    }
+
+    #[test]
+    fn corrupt_wire_capsule_gets_data_corrupt_completion() {
+        let (t, a, _) = target_with_two_ns();
+        let conn = t.connect("nqn.host0", &[a]);
+        let w = Capsule::write(7, a.0, 0, Bytes::from(vec![3u8; 256]));
+        let mut wire = bytes::BytesMut::from(&w.encode()[..]);
+        let last = wire.len() - 1;
+        wire[last] ^= 0xFF; // corrupt the payload in flight
+        let resp = Completion::decode(t.handle_wire(conn, wire.freeze()).unwrap()).unwrap();
+        assert_eq!(resp.status, Status::DataCorrupt);
+        assert_eq!(resp.cid, 7, "CID still echoed so the initiator can retry");
+        assert_eq!(
+            t.device()
+                .telemetry()
+                .snapshot()
+                .counter("fabric.crc_errors"),
+            1
+        );
+        // Nothing was written.
+        let r = Capsule::read(8, a.0, 0, 256);
+        assert_eq!(&t.handle(conn, &r).unwrap().data[..], &vec![0u8; 256][..]);
+    }
+
+    #[test]
+    fn duplicate_write_is_replayed_not_reexecuted() {
+        let (t, a, _) = target_with_two_ns();
+        let conn = t.connect("nqn.host0", &[a]);
+        let w = Capsule::write(5, a.0, 0, Bytes::from(vec![9u8; 128]));
+        assert_eq!(t.handle(conn, &w).unwrap().status, Status::Success);
+        let (writes_before, ..) = t.device().ns_io_counters(a);
+        // Same CID again: answered from the replay cache.
+        assert_eq!(t.handle(conn, &w).unwrap().status, Status::Success);
+        let (writes_after, ..) = t.device().ns_io_counters(a);
+        assert_eq!(writes_after, writes_before, "no second device write");
+        assert_eq!(
+            t.device()
+                .telemetry()
+                .snapshot()
+                .counter("fabric.duplicates_suppressed"),
+            1
+        );
+    }
+
+    #[test]
+    fn failed_write_is_not_cached_for_replay() {
+        let (t, a, _) = target_with_two_ns();
+        let conn = t.connect("nqn.host0", &[a]);
+        // Out-of-range write fails...
+        let bad = Capsule::write(3, a.0, (256 << 10) - 2, Bytes::from_static(b"xxxx"));
+        assert_eq!(t.handle(conn, &bad).unwrap().status, Status::LbaOutOfRange);
+        // ...and a later command reusing that CID executes for real.
+        let good = Capsule::write(3, a.0, 0, Bytes::from_static(b"good"));
+        assert_eq!(t.handle(conn, &good).unwrap().status, Status::Success);
+        let r = Capsule::read(4, a.0, 0, 4);
+        assert_eq!(&t.handle(conn, &r).unwrap().data[..], b"good");
     }
 
     #[test]

@@ -37,6 +37,9 @@ pub struct FsConfig {
     pub snapshot_threshold: f64,
     /// Where this instance reports its `microfs.*` metrics.
     pub telemetry: Telemetry,
+    /// Fault-injection hook; the WAL consults it on fresh appends. Disarmed
+    /// (the default) it costs one relaxed atomic load per append.
+    pub chaos: chaos::ChaosHandle,
 }
 
 impl Default for FsConfig {
@@ -47,6 +50,7 @@ impl Default for FsConfig {
             coalescing: true,
             snapshot_threshold: 0.25,
             telemetry: Telemetry::default(),
+            chaos: chaos::ChaosHandle::default(),
         }
     }
 }
@@ -207,7 +211,8 @@ impl<D: BlockDevice> MicroFs<D> {
         // Initial snapshot (seq 0, generation 0) makes the empty state
         // recoverable before any log records exist.
         let snap_bytes = snapshot::write_snapshot(&mut dev, &layout, &state, 0, 0)?;
-        let wal = Wal::new(layout.log_offset, layout.log_size, config.coalescing);
+        let mut wal = Wal::new(layout.log_offset, layout.log_size, config.coalescing);
+        wal.set_chaos(config.chaos.clone());
         let metrics = FsMetrics::new(&config.telemetry);
         let mut fs = MicroFs {
             dev,
@@ -252,13 +257,17 @@ impl<D: BlockDevice> MicroFs<D> {
             layout,
             config: config.clone(),
             state,
-            wal: Wal::resume(
-                layout.log_offset,
-                layout.log_size,
-                config.coalescing,
-                generation,
-                scan_end,
-            ),
+            wal: {
+                let mut wal = Wal::resume(
+                    layout.log_offset,
+                    layout.log_size,
+                    config.coalescing,
+                    generation,
+                    scan_end,
+                );
+                wal.set_chaos(config.chaos.clone());
+                wal
+            },
             fds: Vec::new(),
             open_count: 0,
             snapshot_seq: seq,

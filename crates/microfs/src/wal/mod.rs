@@ -16,6 +16,8 @@
 pub mod coalesce;
 pub mod record;
 
+use chaos::{ChaosHandle, FaultAction, FaultSite};
+
 use crate::block::BlockDevice;
 use crate::error::FsError;
 use crate::inode::Ino;
@@ -48,6 +50,7 @@ pub struct Wal {
     window: CoalesceWindow,
     coalescing: bool,
     stats: WalStats,
+    chaos: ChaosHandle,
 }
 
 impl Wal {
@@ -64,7 +67,15 @@ impl Wal {
             window: CoalesceWindow::new(Self::DEFAULT_WINDOW),
             coalescing,
             stats: WalStats::default(),
+            chaos: ChaosHandle::default(),
         }
+    }
+
+    /// Attach a fault-injection hook; fresh appends then consult the
+    /// [`FaultSite::WalAppend`] site (one relaxed atomic load when
+    /// disarmed).
+    pub fn set_chaos(&mut self, chaos: ChaosHandle) {
+        self.chaos = chaos;
     }
 
     /// A log resuming at a known generation with an empty region (used
@@ -133,6 +144,19 @@ impl Wal {
             return Err(FsError::LogFull);
         }
         let device_pos = self.region_off + self.pos;
+        // Torn-append injection: a power cut mid-append leaves only a prefix
+        // of the frame on the device. The CRC framing makes the torn frame
+        // invisible to `scan`, which self-truncates there; `pos` is not
+        // advanced, modeling an append that never became durable. Only fresh
+        // appends can tear — coalescing rewrites are sub-sector in-place
+        // updates, atomic on real NVMe.
+        if let Some(FaultAction::TornWrite { keep_bytes }) = self.chaos.decide(FaultSite::WalAppend)
+        {
+            let keep = (keep_bytes as usize).min(bytes.len());
+            dev.write_at(device_pos, &bytes[..keep])
+                .map_err(|e| FsError::Io(e.to_string()))?;
+            return Err(FsError::Io("torn WAL append (injected power fail)".into()));
+        }
         dev.write_at(device_pos, &bytes)
             .map_err(|e| FsError::Io(e.to_string()))?;
         if let LogRecord::Write { ino, offset, len } = *rec {
@@ -393,6 +417,78 @@ mod tests {
         .unwrap();
         assert_eq!(wal.stats().appended, 2);
         assert_eq!(wal.stats().coalesced, 0);
+    }
+
+    #[test]
+    fn torn_append_is_invisible_to_scan() {
+        use chaos::FaultPlan;
+        let (mut dev, mut wal) = setup(false);
+        wal.append(
+            &mut dev,
+            &LogRecord::Write {
+                ino: 1,
+                offset: 0,
+                len: 64,
+            },
+        )
+        .unwrap();
+        // Arm a torn write for the very next append: only 5 bytes of the
+        // frame reach the device.
+        let chaos = ChaosHandle::default();
+        let t = telemetry::Telemetry::new();
+        chaos.arm(
+            FaultPlan::new(7).at_op(
+                FaultSite::WalAppend,
+                FaultAction::TornWrite { keep_bytes: 5 },
+                0,
+            ),
+            &t,
+        );
+        wal.set_chaos(chaos.clone());
+        let err = wal
+            .append(
+                &mut dev,
+                &LogRecord::Write {
+                    ino: 2,
+                    offset: 0,
+                    len: 64,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, FsError::Io(_)), "torn append surfaces as Io");
+        // The torn frame fails the CRC check: scan self-truncates there and
+        // only the prior record survives.
+        let (scanned, _) = Wal::scan(&mut dev, 0, 32 << 10, 0).unwrap();
+        assert_eq!(
+            scanned,
+            vec![LogRecord::Write {
+                ino: 1,
+                offset: 0,
+                len: 64
+            }]
+        );
+        // `pos` did not advance; after disarming, the next append overwrites
+        // the torn prefix and the log is healthy again.
+        chaos.disarm();
+        wal.append(
+            &mut dev,
+            &LogRecord::Write {
+                ino: 3,
+                offset: 0,
+                len: 8,
+            },
+        )
+        .unwrap();
+        let (scanned, _) = Wal::scan(&mut dev, 0, 32 << 10, 0).unwrap();
+        assert_eq!(scanned.len(), 2);
+        assert_eq!(
+            scanned[1],
+            LogRecord::Write {
+                ino: 3,
+                offset: 0,
+                len: 8
+            }
+        );
     }
 
     #[test]

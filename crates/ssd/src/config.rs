@@ -1,5 +1,6 @@
 //! Device geometry and latency calibration.
 
+use chaos::ChaosHandle;
 use simkit::{Rate, SimTime};
 
 /// Geometry and timing parameters of one simulated NVMe SSD.
@@ -38,6 +39,9 @@ pub struct SsdConfig {
     pub device_ram: u64,
     /// Whether enhanced power-loss data protection (capacitors) is present.
     pub capacitor: bool,
+    /// Fault-injection hook shared by every shard of the device. Disarmed
+    /// by default: the data path pays one relaxed atomic load per IO.
+    pub chaos: ChaosHandle,
 }
 
 impl Default for SsdConfig {
@@ -53,6 +57,7 @@ impl Default for SsdConfig {
             staging_ram: 24 << 20,
             device_ram: 2 << 30,
             capacitor: true,
+            chaos: ChaosHandle::default(),
         }
     }
 }

@@ -21,10 +21,12 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
+use chaos::{ChaosHandle, FaultAction, FaultSite};
 use parking_lot::Mutex;
 use telemetry::{Counter, Gauge, Histogram, Telemetry};
 
@@ -78,12 +80,20 @@ impl SsdMetrics {
 pub enum SsdError {
     /// Namespace-layer failure (unknown NSID, bounds, space).
     Ns(NsError),
+    /// Transient backpressure: the shard cannot take the IO right now.
+    /// Retry after backoff.
+    Busy(NsId),
+    /// The shard is dead (injected hardware failure); no retry on this
+    /// path will succeed.
+    ShardDead(NsId),
 }
 
 impl fmt::Display for SsdError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SsdError::Ns(e) => write!(f, "{e}"),
+            SsdError::Busy(ns) => write!(f, "namespace {ns:?} busy, retry later"),
+            SsdError::ShardDead(ns) => write!(f, "namespace {ns:?} shard is dead"),
         }
     }
 }
@@ -162,6 +172,11 @@ pub struct NsShard {
     /// charged to `ssd.lock_wait_ns`, the cross-rank contention
     /// observable).
     metrics: Arc<SsdMetrics>,
+    /// Fault-injection hook shared with the owning device's config.
+    chaos: ChaosHandle,
+    /// Set by an injected [`FaultAction::KillShard`] (or [`NsShard::kill`]):
+    /// every subsequent IO fails with [`SsdError::ShardDead`] until revived.
+    dead: AtomicBool,
 }
 
 impl NsShard {
@@ -171,6 +186,7 @@ impl NsShard {
         ram_budget: u64,
         capacitor: bool,
         metrics: Arc<SsdMetrics>,
+        chaos: ChaosHandle,
     ) -> Self {
         NsShard {
             ns,
@@ -187,6 +203,8 @@ impl NsShard {
                 bytes_read: 0,
             }),
             metrics,
+            chaos,
+            dead: AtomicBool::new(false),
         }
     }
 
@@ -212,6 +230,40 @@ impl NsShard {
         g
     }
 
+    /// Gate every data-plane IO on shard health and injected faults.
+    /// Disarmed chaos costs one relaxed atomic load here.
+    fn fault_check(&self) -> Result<(), SsdError> {
+        if self.dead.load(Ordering::Relaxed) {
+            return Err(SsdError::ShardDead(self.ns));
+        }
+        match self.chaos.decide(FaultSite::ShardIo) {
+            Some(FaultAction::ShardBusy) => Err(SsdError::Busy(self.ns)),
+            Some(FaultAction::KillShard) => {
+                self.kill();
+                Err(SsdError::ShardDead(self.ns))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Mark the shard dead: all IO fails with [`SsdError::ShardDead`]. The
+    /// data is unreachable, as with a failed drive; the runtime's failover
+    /// path must re-home the namespace, not retry.
+    pub fn kill(&self) {
+        self.dead.store(true, Ordering::Relaxed);
+    }
+
+    /// Bring a killed shard back (tests only — real failover replaces the
+    /// namespace instead).
+    pub fn revive(&self) {
+        self.dead.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether the shard has been declared dead.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Relaxed)
+    }
+
     fn check(&self, offset: u64, len: u64) -> Result<(), SsdError> {
         match offset.checked_add(len) {
             Some(end) if end <= self.size => Ok(()),
@@ -228,6 +280,7 @@ impl NsShard {
     /// payload is copied exactly once, at drain time, into the backing
     /// store.
     pub fn write_bytes(&self, offset: u64, data: Bytes) -> Result<(), SsdError> {
+        self.fault_check()?;
         self.check(offset, data.len() as u64)?;
         let _t = self.metrics.write_ns.time();
         let mut d = self.lock_data();
@@ -259,6 +312,7 @@ impl NsShard {
 
     /// Read into `buf`, observing volatile (read-your-writes) data.
     pub fn read(&self, offset: u64, buf: &mut [u8]) -> Result<(), SsdError> {
+        self.fault_check()?;
         self.check(offset, buf.len() as u64)?;
         let _t = self.metrics.read_ns.time();
         let mut d = self.lock_data();
@@ -314,6 +368,36 @@ impl NsShard {
         let mut d = self.lock_data();
         let pending = d.volatile_bytes;
         if self.capacitor {
+            // An injected PowerCut interrupts the capacitor flush itself:
+            // only the first `drain_writes` staged writes reach media, the
+            // rest are lost despite power-loss protection (§III-D's failure
+            // mode when the capacitor budget is undersized).
+            if let Some(FaultAction::PowerCut { drain_writes }) =
+                self.chaos.decide(FaultSite::CapacitorFlush)
+            {
+                for _ in 0..drain_writes {
+                    if !d.drain_one(&self.metrics) {
+                        break;
+                    }
+                }
+                let drained = pending - d.volatile_bytes;
+                let lost = d.volatile_bytes;
+                let dropped = d.volatile.len() as i64;
+                d.volatile.clear();
+                d.volatile_bytes = 0;
+                self.metrics.queue_depth.add(-dropped);
+                self.metrics.ram_occupancy.add(-(lost as i64));
+                self.metrics.capacitor_flush_bytes.add(drained);
+                telemetry::instant(
+                    "ssd",
+                    "capacitor_flush_interrupted",
+                    &[("flushed", drained), ("lost", lost)],
+                );
+                return PowerFailure {
+                    flushed_bytes: drained,
+                    lost_bytes: lost,
+                };
+            }
             d.flush(&self.metrics);
             self.metrics.capacitor_flush_bytes.add(pending);
             telemetry::instant("ssd", "capacitor_flush", &[("bytes", pending)]);
@@ -407,6 +491,7 @@ impl Ssd {
             self.config.device_ram,
             self.config.capacitor,
             Arc::clone(&self.metrics),
+            self.config.chaos.clone(),
         ));
         ctrl.shards.insert(ns, shard);
         Ok(ns)
@@ -696,6 +781,87 @@ mod tests {
         assert_eq!(snap.gauge("ssd.ram_occupancy_bytes").peak, 1024);
         // Drain latency was observed for the flushed write.
         assert_eq!(snap.histogram("ssd.drain_ns").unwrap().count, 1);
+    }
+
+    #[test]
+    fn injected_busy_is_transient_kill_is_permanent() {
+        let chaos = ChaosHandle::new();
+        let config = SsdConfig {
+            capacity: 1 << 20,
+            device_ram: 4096,
+            chaos: chaos.clone(),
+            ..SsdConfig::default()
+        };
+        let ssd = Ssd::with_telemetry(config, Telemetry::new());
+        let ns = ssd.create_namespace(64 << 10).unwrap();
+        let t = Telemetry::new();
+
+        chaos.arm(
+            chaos::FaultPlan::new(1).at_op(FaultSite::ShardIo, FaultAction::ShardBusy, 0),
+            &t,
+        );
+        assert!(matches!(
+            ssd.write(ns, 0, &[1u8; 64]),
+            Err(SsdError::Busy(_))
+        ));
+        // Busy is transient: the next attempt succeeds.
+        ssd.write(ns, 0, &[1u8; 64]).unwrap();
+
+        chaos.arm(
+            chaos::FaultPlan::new(1).at_op(FaultSite::ShardIo, FaultAction::KillShard, 0),
+            &t,
+        );
+        assert!(matches!(
+            ssd.write(ns, 0, &[2u8; 64]),
+            Err(SsdError::ShardDead(_))
+        ));
+        chaos.disarm();
+        // Dead is permanent, even with chaos disarmed, until revived.
+        assert!(matches!(
+            ssd.read_vec(ns, 0, 64),
+            Err(SsdError::ShardDead(_))
+        ));
+        let shard = ssd.shard(ns).unwrap();
+        assert!(shard.is_dead());
+        shard.revive();
+        assert_eq!(ssd.read_vec(ns, 0, 64).unwrap(), vec![1u8; 64]);
+    }
+
+    #[test]
+    fn power_cut_interrupts_capacitor_flush() {
+        let chaos = ChaosHandle::new();
+        let config = SsdConfig {
+            capacity: 1 << 20,
+            device_ram: 1 << 20, // large budget: nothing drains early
+            capacitor: true,
+            chaos: chaos.clone(),
+            ..SsdConfig::default()
+        };
+        let ssd = Ssd::with_telemetry(config, Telemetry::new());
+        let ns = ssd.create_namespace(64 << 10).unwrap();
+        for i in 0..4u64 {
+            ssd.write(ns, i * 1024, &[i as u8 + 1; 1024]).unwrap();
+        }
+        assert_eq!(ssd.volatile_bytes(), 4096);
+
+        let t = Telemetry::new();
+        chaos.arm(
+            chaos::FaultPlan::new(2).at_op(
+                FaultSite::CapacitorFlush,
+                FaultAction::PowerCut { drain_writes: 2 },
+                0,
+            ),
+            &t,
+        );
+        let pf = ssd.power_failure();
+        assert_eq!(pf.flushed_bytes, 2048, "capacitor drained only 2 writes");
+        assert_eq!(pf.lost_bytes, 2048, "the rest died with the power");
+        chaos.disarm();
+        // FIFO drain order: the first two writes survived, the rest read 0.
+        assert_eq!(ssd.read_vec(ns, 0, 1024).unwrap(), vec![1u8; 1024]);
+        assert_eq!(ssd.read_vec(ns, 1024, 1024).unwrap(), vec![2u8; 1024]);
+        assert_eq!(ssd.read_vec(ns, 2048, 1024).unwrap(), vec![0u8; 1024]);
+        assert_eq!(ssd.read_vec(ns, 3072, 1024).unwrap(), vec![0u8; 1024]);
     }
 
     #[test]
