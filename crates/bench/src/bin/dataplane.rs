@@ -1,9 +1,11 @@
-//! Data-plane scaling bench: serial vs parallel rank driving.
+//! Data-plane scaling bench: serial vs parallel rank driving, plus the
+//! pipelined-window QD sweep.
 //!
-//! Sweeps 1→28 ranks over the paper testbed, drives one real (bytes on
-//! functional devices) checkpoint+verify round per point through the
-//! sharded NVMf data plane, and reports the device-time makespan of that
-//! IO stream under the two [`workloads::DriveMode`]s:
+//! **Rank sweep** (`BENCH_dataplane.json`): sweeps 1→28 ranks over the
+//! paper testbed, drives one real (bytes on functional devices)
+//! checkpoint+verify round per point through the sharded NVMf data plane,
+//! and reports the device-time makespan of that IO stream under the two
+//! [`workloads::DriveMode`]s:
 //!
 //! * **serial** — ranks issue one at a time, so every command and every
 //!   byte of every rank is serialized through a single outstanding queue.
@@ -12,6 +14,16 @@
 //!   SSD's channel array and command processor, and distinct SSDs run
 //!   concurrently. The makespan is the busiest SSD's serialized work.
 //!
+//! **QD sweep** (`BENCH_pipeline.json`): drives 28 ranks at a 4 KiB block
+//! size — so each checkpoint issues thousands of commands — at submission
+//! window depths 1→32, and reports the write makespan of the measured
+//! command stream. At QD=1 each 4 KiB command pays its full round-trip
+//! latency before the next is posted (the lock-step exchange this PR
+//! replaced); at depth the round trips overlap until the command
+//! processor or the channel array becomes the bottleneck. The per-command
+//! `fabric.submit_ns` histogram of each point is *measured* from the real
+//! run.
+//!
 //! The IO volumes (ops and bytes per rank) are *measured* from the block
 //! device counters after really driving the run; only the device service
 //! time is modeled, using the calibrated [`SsdConfig`] geometry — the
@@ -19,12 +31,14 @@
 //! this host may be a single pinned core, where thread-level speedup is
 //! unobservable by construction.)
 //!
-//! Emits `BENCH_dataplane.json` in the working directory.
+//! `--smoke --qd N` runs a reduced QD sweep (`{1, N}` at 1 MiB/rank) for
+//! CI; the ≥3× QD=32-vs-QD=1 self-validation still applies.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use cluster::{JobRequest, Scheduler, Topology};
+use fabric::{KernelCosts, NetConfig};
 use microfs::block::{BlockDevice, IoCounters};
 use nvmecr::runtime::{NvmeCrRuntime, StorageRack};
 use nvmecr::RuntimeConfig;
@@ -35,6 +49,13 @@ use workloads::CoMD;
 const CKPTS: u32 = 2;
 const BYTES_PER_RANK: u64 = 4 << 20;
 const SWEEP: [u32; 7] = [1, 2, 4, 8, 14, 21, 28];
+
+/// QD sweep settings: full subscription, 4 KiB commands so the window
+/// depth — not payload striping — is what engages the device.
+const QD_SWEEP: [usize; 5] = [1, 4, 8, 16, 32];
+const QD_RANKS: u32 = 28;
+const QD_BLOCK: u64 = 4 << 10;
+const SMOKE_BYTES_PER_RANK: u64 = 1 << 20;
 
 /// Per-rank IO measured off the data plane, tagged with the SSD that
 /// serviced it.
@@ -61,12 +82,19 @@ struct Point {
     lock_wait_ns: u64,
 }
 
-/// Really drive `ranks` ranks through one checkpoint+verify round and
-/// measure the per-rank IO, then fold it into the two makespans.
-fn run_point(ranks: u32, ssd_config: &SsdConfig) -> Result<Point, Box<dyn std::error::Error>> {
+/// Really drive `ranks` ranks through one checkpoint+verify round at the
+/// given block size and window depth, and measure the per-rank IO. The
+/// returned snapshot covers exactly this run (`fabric.submit_ns` etc.).
+fn run_point(
+    ranks: u32,
+    ssd_config: &SsdConfig,
+    block_size: u64,
+    queue_depth: usize,
+    bytes_per_rank: u64,
+) -> Result<(Vec<RankIo>, telemetry::MetricsSnapshot), Box<dyn std::error::Error>> {
     let topo = Topology::paper_testbed();
-    // Per-point registry: the copy/lock-wait numbers below must cover
-    // exactly this point's traffic.
+    // Per-point registry: the copy/lock-wait/submit-latency numbers below
+    // must cover exactly this point's traffic.
     let telemetry = Telemetry::new();
     let rack = StorageRack::build_with_telemetry(&topo, ssd_config, telemetry.clone());
     let mut sched = Scheduler::new(topo.clone(), 8);
@@ -80,11 +108,13 @@ fn run_point(ranks: u32, ssd_config: &SsdConfig) -> Result<Point, Box<dyn std::e
         storage_devices: ranks.min(8),
     };
     let alloc = sched.submit(&req)?;
-    let config = RuntimeConfig {
+    let mut config = RuntimeConfig {
         namespace_bytes: 1 << 30,
         telemetry: telemetry.clone(),
+        block_size,
         ..RuntimeConfig::default()
     };
+    config.fabric.queue_depth = queue_depth;
     let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config)?;
     let comd = CoMD::weak_scaling();
 
@@ -94,7 +124,7 @@ fn run_point(ranks: u32, ssd_config: &SsdConfig) -> Result<Point, Box<dyn std::e
                 fs.mkdir("/comd", 0o755).ok();
             }
             fs.mkdir(&format!("/comd/ckpt_{ckpt:03}"), 0o755)?;
-            let payload = comd.checkpoint_payload(rank, ckpt, BYTES_PER_RANK as usize);
+            let payload = comd.checkpoint_payload(rank, ckpt, bytes_per_rank as usize);
             let fd = fs.create(&CoMD::checkpoint_path(rank, ckpt), 0o644)?;
             for chunk in payload.chunks(1 << 20) {
                 fs.write(fd, chunk)?;
@@ -106,7 +136,7 @@ fn run_point(ranks: u32, ssd_config: &SsdConfig) -> Result<Point, Box<dyn std::e
     }
     let last = CKPTS - 1;
     let ok = rt.map_ranks_par(|rank, fs| {
-        let expect = comd.checkpoint_payload(rank, last, BYTES_PER_RANK as usize);
+        let expect = comd.checkpoint_payload(rank, last, bytes_per_rank as usize);
         let fd = fs.open(
             &CoMD::checkpoint_path(rank, last),
             microfs::OpenFlags::RDONLY,
@@ -143,7 +173,21 @@ fn run_point(ranks: u32, ssd_config: &SsdConfig) -> Result<Point, Box<dyn std::e
             }
         })
         .collect();
+    let snap = telemetry.snapshot();
+    rt.finalize()?;
+    Ok((io, snap))
+}
 
+/// Fold one rank-sweep point's measured IO into the serial/parallel
+/// device-time makespans.
+fn rank_point(ranks: u32, ssd_config: &SsdConfig) -> Result<Point, Box<dyn std::error::Error>> {
+    let (io, snap) = run_point(
+        ranks,
+        ssd_config,
+        RuntimeConfig::default().block_size,
+        RuntimeConfig::default().fabric.queue_depth,
+        BYTES_PER_RANK,
+    )?;
     let serial_secs: f64 = io
         .iter()
         .map(|r| service_secs(ssd_config, &r.counters))
@@ -153,47 +197,131 @@ fn run_point(ranks: u32, ssd_config: &SsdConfig) -> Result<Point, Box<dyn std::e
         *per_ssd.entry(r.ssd).or_default() += service_secs(ssd_config, &r.counters);
     }
     let parallel_secs = per_ssd.values().cloned().fold(0.0f64, f64::max);
-
-    let snap = telemetry.snapshot();
     let bytes_copied = snap.counter("fabric.bytes_copied") + snap.counter("ssd.bytes_copied");
     let lock_wait_ns = snap.counter("ssd.lock_wait_ns");
-    let shards = per_ssd.len();
-    rt.finalize()?;
     Ok(Point {
         ranks,
         serial_secs,
         parallel_secs,
-        shards,
+        shards: per_ssd.len(),
         bytes_copied,
         lock_wait_ns,
     })
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let ssd_config = SsdConfig {
-        capacity: 16 << 30,
-        ..SsdConfig::default()
-    };
-    let mut points = Vec::new();
-    for &ranks in &SWEEP {
-        let p = run_point(ranks, &ssd_config)?;
-        println!(
-            "ranks={:2}  shards={}  serial={:.4}s  parallel={:.4}s  speedup={:.2}x  \
-             copied={}B  lock_wait={}ns",
-            p.ranks,
-            p.shards,
-            p.serial_secs,
-            p.parallel_secs,
-            p.serial_secs / p.parallel_secs,
-            p.bytes_copied,
-            p.lock_wait_ns,
-        );
-        points.push(p);
-    }
+/// Round-trip latency of one write command of `bytes` at QD=1: polled
+/// userspace submit, request + response messages over two hops, command
+/// fetch/decode, and the media transfer.
+///
+/// The transfer term is hw-block-granular: the controller stripes a
+/// command one hardware block per channel, so its observed latency is the
+/// largest per-channel share — one block's transfer time for any command
+/// up to `channels × hw_block`. Striping buys a single command bandwidth,
+/// not latency; that flat ~26 µs floor is exactly what a deep submission
+/// window overlaps. (`write_rate_for` models the divisible aggregate rate
+/// and is the right tool for makespans, not per-command latency.)
+fn cmd_latency_secs(cfg: &SsdConfig, net: &NetConfig, kern: &KernelCosts, bytes: u64) -> f64 {
+    let blocks = bytes.div_ceil(cfg.hw_block).max(1);
+    let lanes = blocks.min(u64::from(cfg.channels));
+    let lane_bytes = blocks.div_ceil(lanes) * cfg.hw_block;
+    kern.spdk_submit.as_secs()
+        + 2.0 * (net.per_message_cpu.as_secs() + net.latency(2).as_secs())
+        + cfg.cmd_overhead.as_secs()
+        + lane_bytes as f64 / cfg.channel_write_bw.as_bytes_per_sec()
+}
 
+/// Makespan of one SSD's measured write stream at window depth `qd`: the
+/// slowest of three serialization points.
+///
+/// * **latency** — each rank's commands complete `qd` per round trip, so
+///   a rank is bound by `writes × L1 / qd`; ranks overlap, so the SSD
+///   sees the slowest rank. This is the term the submission window
+///   attacks, and the only QD=1 bottleneck for small commands.
+/// * **command processor** — the controller fetches/decodes commands one
+///   at a time regardless of queue depth.
+/// * **media drain** — writes land in the power-loss-protected device RAM
+///   at ingest speed (§III-D) and drain to flash concurrently; only the
+///   backlog beyond the RAM budget waits on the channel array. In-flight
+///   commands (capped at the hardware queue count) stripe the drain over
+///   the channels; a 4 KiB command engages one channel, so depth is what
+///   fills the array on streams that do outrun the buffer.
+fn write_makespan_secs(
+    cfg: &SsdConfig,
+    net: &NetConfig,
+    kern: &KernelCosts,
+    ranks: &[&IoCounters],
+    qd: usize,
+) -> f64 {
+    let writes: u64 = ranks.iter().map(|c| c.writes).sum();
+    let bytes: u64 = ranks.iter().map(|c| c.bytes_written).sum();
+    if writes == 0 {
+        return 0.0;
+    }
+    let avg_cmd = (bytes / writes).max(1);
+    let inflight = (ranks.len() * qd).min(cfg.hw_queues as usize);
+    let conc_channels = (inflight as u32 * cfg.channels_for(avg_cmd)).min(cfg.channels);
+    let bw = cfg.channel_write_bw.as_bytes_per_sec() * f64::from(conc_channels);
+    let bw_term = bytes.saturating_sub(cfg.device_ram) as f64 / bw;
+    let cmd_term = writes as f64 * cfg.cmd_overhead.as_secs();
+    let l1 = cmd_latency_secs(cfg, net, kern, avg_cmd);
+    let lat_term = ranks
+        .iter()
+        .map(|c| c.writes as f64 * l1 / qd as f64)
+        .fold(0.0f64, f64::max);
+    bw_term.max(cmd_term).max(lat_term)
+}
+
+struct QdPoint {
+    qd: usize,
+    write_makespan_secs: f64,
+    write_gib_s: f64,
+    write_cmds: u64,
+    submit_count: u64,
+    submit_p50_ns: u64,
+    submit_p99_ns: u64,
+}
+
+/// Drive the 28-rank testbed at window depth `qd` with 4 KiB commands and
+/// fold the busiest SSD's measured write stream into the pipeline
+/// makespan.
+fn qd_point(
+    qd: usize,
+    ssd_config: &SsdConfig,
+    bytes_per_rank: u64,
+) -> Result<QdPoint, Box<dyn std::error::Error>> {
+    let (io, snap) = run_point(QD_RANKS, ssd_config, QD_BLOCK, qd, bytes_per_rank)?;
+    let net = NetConfig::default();
+    let kern = KernelCosts::default();
+    let mut per_ssd: HashMap<(u32, u32), Vec<&IoCounters>> = HashMap::new();
+    for r in &io {
+        per_ssd.entry(r.ssd).or_default().push(&r.counters);
+    }
+    let write_makespan = per_ssd
+        .values()
+        .map(|ranks| write_makespan_secs(ssd_config, &net, &kern, ranks, qd))
+        .fold(0.0f64, f64::max);
+    let total_bytes: u64 = io.iter().map(|r| r.counters.bytes_written).sum();
+    let write_cmds: u64 = io.iter().map(|r| r.counters.writes).sum();
+    let submits = snap
+        .histogram("fabric.submit_ns")
+        .ok_or("no fabric.submit_ns histogram in run telemetry")?;
+    Ok(QdPoint {
+        qd,
+        write_makespan_secs: write_makespan,
+        write_gib_s: total_bytes as f64 / write_makespan / (1u64 << 30) as f64,
+        write_cmds,
+        submit_count: submits.count,
+        submit_p50_ns: submits.percentile(50.0),
+        submit_p99_ns: submits.percentile(99.0),
+    })
+}
+
+fn write_dataplane_json(points: &[Point]) -> Result<(), Box<dyn std::error::Error>> {
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"dataplane\",\n");
-    json.push_str("  \"unit\": \"seconds (device-time makespan, calibrated P4800X model over measured IO)\",\n");
+    json.push_str(
+        "  \"unit\": \"seconds (device-time makespan, calibrated P4800X model over measured IO)\",\n",
+    );
     let _ = writeln!(
         json,
         "  \"config\": {{\"ckpts\": {CKPTS}, \"bytes_per_rank\": {BYTES_PER_RANK}}},"
@@ -233,11 +361,145 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     json.push_str("]\n}\n");
     std::fs::write("BENCH_dataplane.json", &json)?;
     println!("wrote BENCH_dataplane.json");
+    Ok(())
+}
 
+fn write_pipeline_json(
+    points: &[QdPoint],
+    bytes_per_rank: u64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"pipeline\",\n");
+    json.push_str(
+        "  \"unit\": \"GiB/s (write throughput over modeled makespan of measured IO per window depth)\",\n",
+    );
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"ranks\": {QD_RANKS}, \"block_size\": {QD_BLOCK}, \
+         \"bytes_per_rank\": {bytes_per_rank}, \"ckpts\": {CKPTS}}},"
+    );
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 == points.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"qd\": {}, \"write_makespan_ms\": {:.3}, \"write_gib_s\": {:.3}, \
+             \"write_cmds\": {}, \"submit_ns\": {{\"count\": {}, \"p50\": {}, \"p99\": {}}}}}{sep}",
+            p.qd,
+            p.write_makespan_secs * 1e3,
+            p.write_gib_s,
+            p.write_cmds,
+            p.submit_count,
+            p.submit_p50_ns,
+            p.submit_p99_ns,
+        );
+    }
+    let first = points.first().expect("sweep is non-empty");
     let last = points.last().expect("sweep is non-empty");
-    let speedup = last.serial_secs / last.parallel_secs;
-    if speedup < 2.0 {
-        return Err(format!("28-rank parallel speedup {speedup:.2}x below 2x").into());
+    let _ = writeln!(
+        json,
+        "  ],\n  \"speedup_deepest_vs_qd1\": {:.3}\n}}",
+        last.write_gib_s / first.write_gib_s
+    );
+    std::fs::write("BENCH_pipeline.json", &json)?;
+    println!("wrote BENCH_pipeline.json");
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut smoke = false;
+    let mut qd_arg = 32usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--qd" => {
+                qd_arg = args
+                    .next()
+                    .ok_or("--qd needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--qd: {e}"))?;
+                if qd_arg == 0 {
+                    return Err("--qd must be >= 1".into());
+                }
+            }
+            other => return Err(format!("unknown argument {other}").into()),
+        }
+    }
+
+    let ssd_config = SsdConfig {
+        capacity: 16 << 30,
+        ..SsdConfig::default()
+    };
+
+    if !smoke {
+        let mut points = Vec::new();
+        for &ranks in &SWEEP {
+            let p = rank_point(ranks, &ssd_config)?;
+            println!(
+                "ranks={:2}  shards={}  serial={:.4}s  parallel={:.4}s  speedup={:.2}x  \
+                 copied={}B  lock_wait={}ns",
+                p.ranks,
+                p.shards,
+                p.serial_secs,
+                p.parallel_secs,
+                p.serial_secs / p.parallel_secs,
+                p.bytes_copied,
+                p.lock_wait_ns,
+            );
+            points.push(p);
+        }
+        write_dataplane_json(&points)?;
+        let last = points.last().expect("sweep is non-empty");
+        let speedup = last.serial_secs / last.parallel_secs;
+        if speedup < 2.0 {
+            return Err(format!("28-rank parallel speedup {speedup:.2}x below 2x").into());
+        }
+    }
+
+    // QD sweep: full mode covers the ladder; smoke covers {1, --qd} at a
+    // reduced per-rank volume so CI stays fast.
+    let (qds, bytes_per_rank): (Vec<usize>, u64) = if smoke {
+        let mut qds = vec![1];
+        if qd_arg > 1 {
+            qds.push(qd_arg);
+        }
+        (qds, SMOKE_BYTES_PER_RANK)
+    } else {
+        (QD_SWEEP.to_vec(), BYTES_PER_RANK)
+    };
+    let mut qd_points = Vec::new();
+    for &qd in &qds {
+        let p = qd_point(qd, &ssd_config, bytes_per_rank)?;
+        println!(
+            "qd={:2}  write_makespan={:.3}ms  write={:.3}GiB/s  cmds={}  \
+             submit_ns[n={} p50={} p99={}]",
+            p.qd,
+            p.write_makespan_secs * 1e3,
+            p.write_gib_s,
+            p.write_cmds,
+            p.submit_count,
+            p.submit_p50_ns,
+            p.submit_p99_ns,
+        );
+        qd_points.push(p);
+    }
+    write_pipeline_json(&qd_points, bytes_per_rank)?;
+
+    let first = qd_points.first().expect("sweep is non-empty");
+    let last = qd_points.last().expect("sweep is non-empty");
+    let speedup = last.write_gib_s / first.write_gib_s;
+    if last.qd >= 32 && speedup < 3.0 {
+        return Err(format!(
+            "QD={} write throughput {speedup:.2}x over QD=1, below 3x",
+            last.qd
+        )
+        .into());
+    }
+    for p in &qd_points {
+        if p.submit_count == 0 {
+            return Err(format!("qd={} recorded no fabric.submit_ns samples", p.qd).into());
+        }
     }
     Ok(())
 }

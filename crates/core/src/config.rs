@@ -1,7 +1,7 @@
 //! Runtime configuration and the drilldown ablation ladder.
 
 use chaos::ChaosHandle;
-use fabric::RetryConfig;
+use fabric::FabricConfig;
 use microfs::FsConfig;
 use telemetry::Telemetry;
 
@@ -25,8 +25,9 @@ pub struct RuntimeConfig {
     /// Fault-injection hook threaded into every initiator and per-rank
     /// filesystem. Disarmed (the default) it is a no-op.
     pub chaos: ChaosHandle,
-    /// Per-command reliability parameters for the rank initiators.
-    pub retry: RetryConfig,
+    /// Data-plane tuning for the rank initiators: submission-window depth
+    /// (QD), CQ poll batches, and per-command reliability parameters.
+    pub fabric: FabricConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -39,7 +40,7 @@ impl Default for RuntimeConfig {
             multilevel_period: 10,
             telemetry: Telemetry::default(),
             chaos: ChaosHandle::default(),
-            retry: RetryConfig::default(),
+            fabric: FabricConfig::default(),
         }
     }
 }
@@ -127,6 +128,10 @@ mod tests {
         assert!(c.coalescing);
         assert_eq!(c.multilevel_period, 10);
         assert_eq!(c.fs_config().block_size, 32 << 10);
+        assert_eq!(
+            c.fabric.queue_depth, 32,
+            "windows default to the device's hardware queue count"
+        );
     }
 
     #[test]

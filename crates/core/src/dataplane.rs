@@ -49,6 +49,29 @@ impl NvmfBlockDevice {
         Ok(())
     }
 
+    /// Write a batch of owned payloads through the pipelined submission
+    /// window — zero-copy, up to the connection's `queue_depth` extents in
+    /// flight at once.
+    pub fn write_vectored_bytes_at(&mut self, writes: Vec<(u64, Bytes)>) -> Result<(), DevError> {
+        let mut total = 0u64;
+        for (offset, data) in &writes {
+            self.check(*offset, data.len() as u64)?;
+            total += data.len() as u64;
+        }
+        let count = writes.len() as u64;
+        self.conn
+            .write_vectored_bytes(
+                writes
+                    .into_iter()
+                    .map(|(o, d)| (self.base + o, d))
+                    .collect(),
+            )
+            .map_err(|e| DevError(e.to_string()))?;
+        self.counters.writes += count;
+        self.counters.bytes_written += total;
+        Ok(())
+    }
+
     fn check(&self, offset: u64, len: u64) -> Result<(), DevError> {
         if offset.checked_add(len).is_none_or(|e| e > self.size) {
             return Err(DevError(format!(
@@ -80,6 +103,46 @@ impl BlockDevice for NvmfBlockDevice {
             .map_err(|e| DevError(e.to_string()))?;
         self.counters.reads += 1;
         self.counters.bytes_read += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Pipeline a whole extent batch through the submission window: up to
+    /// `queue_depth` write capsules in flight instead of one lock-step
+    /// exchange per extent.
+    fn write_vectored_at(&mut self, writes: &[(u64, &[u8])]) -> Result<(), DevError> {
+        let mut total = 0u64;
+        for &(offset, data) in writes {
+            self.check(offset, data.len() as u64)?;
+            total += data.len() as u64;
+        }
+        let abs: Vec<(u64, &[u8])> = writes.iter().map(|&(o, d)| (self.base + o, d)).collect();
+        self.conn
+            .write_vectored(&abs)
+            .map_err(|e| DevError(e.to_string()))?;
+        self.counters.writes += writes.len() as u64;
+        self.counters.bytes_written += total;
+        Ok(())
+    }
+
+    /// Pipeline a batch of reads through the submission window; each wire
+    /// payload lands in its caller buffer with one copy.
+    fn read_vectored_at(&mut self, reads: &mut [(u64, &mut [u8])]) -> Result<(), DevError> {
+        let mut total = 0u64;
+        for (offset, buf) in reads.iter() {
+            self.check(*offset, buf.len() as u64)?;
+            total += buf.len() as u64;
+        }
+        let count = reads.len() as u64;
+        let base = self.base;
+        let mut abs: Vec<(u64, &mut [u8])> = reads
+            .iter_mut()
+            .map(|(o, b)| (base + *o, &mut **b))
+            .collect();
+        self.conn
+            .read_vectored_into(&mut abs)
+            .map_err(|e| DevError(e.to_string()))?;
+        self.counters.reads += count;
+        self.counters.bytes_read += total;
         Ok(())
     }
 
@@ -175,6 +238,39 @@ mod tests {
             4096,
             "read_at copies exactly once"
         );
+    }
+
+    #[test]
+    fn vectored_io_pipelines_through_the_window() {
+        let (mut d, t) =
+            segment_device_with_telemetry(1 << 20, 4 << 20, telemetry::Telemetry::new());
+        // A whole hugeblock batch in one window, zero-copy.
+        let writes: Vec<(u64, Bytes)> = (0..48u64)
+            .map(|i| (i * 4096, Bytes::from(vec![i as u8; 4096])))
+            .collect();
+        d.write_vectored_bytes_at(writes).unwrap();
+        assert_eq!(t.snapshot().counter("fabric.bytes_copied"), 0);
+        let c = d.counters();
+        assert_eq!(c.writes, 48);
+        assert_eq!(c.bytes_written, 48 * 4096);
+        // Batched read back through the window, one copy per extent.
+        let mut bufs: Vec<Vec<u8>> = vec![vec![0u8; 4096]; 48];
+        {
+            let mut reads: Vec<(u64, &mut [u8])> = bufs
+                .iter_mut()
+                .enumerate()
+                .map(|(i, b)| ((i as u64) * 4096, &mut b[..]))
+                .collect();
+            d.read_vectored_at(&mut reads).unwrap();
+        }
+        for (i, buf) in bufs.iter().enumerate() {
+            assert_eq!(buf, &vec![i as u8; 4096], "extent {i}");
+        }
+        assert_eq!(d.counters().reads, 48);
+        // Segment bounds are enforced before anything hits the wire.
+        assert!(d
+            .write_vectored_at(&[(0, b"ok"), ((4 << 20) - 1, b"spill")])
+            .is_err());
     }
 
     #[test]

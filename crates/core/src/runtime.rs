@@ -249,7 +249,7 @@ impl NvmeCrRuntime {
                     format!("nqn.2026-07.io.nvmecr:rank{}", p.rank),
                     config.telemetry.clone(),
                     config.chaos.clone(),
-                    config.retry.clone(),
+                    config.fabric.clone(),
                 );
                 let conn = initiator.connect(Arc::clone(&route.target), route.ns);
                 let dev = NvmfBlockDevice::new(conn, route.base, route.size);
@@ -371,7 +371,7 @@ impl NvmeCrRuntime {
                     format!("nqn.2026-07.io.nvmecr:rank{rank}-r"),
                     config.telemetry.clone(),
                     config.chaos.clone(),
-                    config.retry.clone(),
+                    config.fabric.clone(),
                 );
                 let conn = initiator.connect(route.target, route.ns);
                 let dev = NvmfBlockDevice::new(conn, route.base, route.size);
@@ -459,7 +459,7 @@ impl NvmeCrRuntime {
             format!("nqn.2026-07.io.nvmecr:rank{rank}-failover"),
             self.config.telemetry.clone(),
             self.config.chaos.clone(),
-            self.config.retry.clone(),
+            self.config.fabric.clone(),
         );
         let conn = initiator.connect(Arc::clone(&target), ns);
         let dev = NvmfBlockDevice::new(conn, 0, size);
@@ -552,7 +552,7 @@ impl NvmeCrRuntime {
                     format!("nqn.2026-07.io.nvmecr:rank{rank}-restart"),
                     handle.config.telemetry.clone(),
                     handle.config.chaos.clone(),
-                    handle.config.retry.clone(),
+                    handle.config.fabric.clone(),
                 );
                 let conn = initiator.connect(Arc::clone(&route.target), route.ns);
                 let dev = NvmfBlockDevice::new(conn, route.base, route.size);

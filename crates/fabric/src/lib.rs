@@ -31,7 +31,7 @@ pub mod target;
 pub mod transport;
 
 pub use capsule::{Capsule, CapsuleError, Completion, Opcode, Status};
-pub use config::{KernelCosts, NetConfig, RetryConfig};
+pub use config::{FabricConfig, KernelCosts, NetConfig, RetryConfig};
 pub use initiator::{Initiator, NvmfConnection};
 pub use path::{IoPath, PathCosts, TimeSplit};
 pub use qp::{CompletionOp, QpError, QueuePair, WrId};

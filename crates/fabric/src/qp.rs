@@ -180,6 +180,19 @@ impl QueuePair {
         self.local.lock().recv_queue.len()
     }
 
+    /// Send-queue slots currently free: `sq_depth` minus unpolled send
+    /// completions. A pipelining initiator checks this before posting so a
+    /// deep submission window degrades into a CQ drain instead of an error.
+    pub fn send_slots_free(&self) -> usize {
+        let local = self.local.lock();
+        let outstanding = local
+            .cq
+            .iter()
+            .filter(|c| c.opcode == CompletionOp::Send)
+            .count();
+        self.sq_depth.saturating_sub(outstanding)
+    }
+
     /// Lifetime `(sends, recvs)` posted.
     pub fn counters(&self) -> (u64, u64) {
         (self.posted_sends, self.posted_recvs)
@@ -236,6 +249,21 @@ mod tests {
         // Polling frees slots (run-to-completion style).
         client.poll_cq(8);
         client.post_send(3, Bytes::from_static(b"c")).unwrap();
+    }
+
+    #[test]
+    fn send_slots_track_cq_backlog() {
+        let (mut client, mut server) = QueuePair::connected_pair(2, 16);
+        for i in 0..4 {
+            server.post_recv(i);
+        }
+        assert_eq!(client.send_slots_free(), 2);
+        client.post_send(1, Bytes::from_static(b"a")).unwrap();
+        assert_eq!(client.send_slots_free(), 1);
+        client.post_send(2, Bytes::from_static(b"b")).unwrap();
+        assert_eq!(client.send_slots_free(), 0);
+        client.poll_cq(8);
+        assert_eq!(client.send_slots_free(), 2);
     }
 
     #[test]

@@ -164,6 +164,30 @@ impl NvmfTarget {
     /// from the wire and staged in device RAM without a copy; read
     /// payloads ride back as their own segment.
     pub fn handle_wire_sg(&self, conn: ConnId, wire: SgList) -> Result<SgList, TargetError> {
+        let cstate = self.connection(conn)?;
+        self.handle_wire_on(&cstate, wire)
+    }
+
+    /// One batched target-daemon poll iteration: decode, execute, and
+    /// build the response for a whole CQ batch of wire capsules. The
+    /// connection table lock is taken **once per batch** rather than once
+    /// per capsule; execution order within the batch is the CQ's FIFO
+    /// delivery order, so per-queue command ordering is preserved.
+    pub fn handle_wire_sg_batch(
+        &self,
+        conn: ConnId,
+        batch: Vec<SgList>,
+    ) -> Result<Vec<SgList>, TargetError> {
+        let cstate = self.connection(conn)?;
+        batch
+            .into_iter()
+            .map(|wire| self.handle_wire_on(&cstate, wire))
+            .collect()
+    }
+
+    /// Decode and execute one wire capsule against an already-resolved
+    /// connection snapshot.
+    fn handle_wire_on(&self, cstate: &Connection, wire: SgList) -> Result<SgList, TargetError> {
         let capsule = {
             let _t = self.decode_ns.time();
             match Capsule::decode_sg(wire) {
@@ -171,24 +195,31 @@ impl NvmfTarget {
                 Err(e) => return self.decode_failure(e).map(|c| c.encode_sg()),
             }
         };
-        Ok(self.handle(conn, &capsule)?.encode_sg())
+        Ok(self.handle_on(cstate, &capsule).encode_sg())
+    }
+
+    /// Snapshot the connection state, then drop the table lock: capsule
+    /// execution must only ever hold the one shard lock it needs.
+    fn connection(&self, conn: ConnId) -> Result<Arc<Connection>, TargetError> {
+        let conns = self.connections.lock();
+        conns
+            .get(&conn)
+            .map(Arc::clone)
+            .ok_or(TargetError::UnknownConnection)
     }
 
     /// Handle one decoded capsule for `conn`.
     pub fn handle(&self, conn: ConnId, c: &Capsule) -> Result<Completion, TargetError> {
+        let cstate = self.connection(conn)?;
+        Ok(self.handle_on(&cstate, c))
+    }
+
+    /// Execute one decoded capsule against a connection snapshot.
+    fn handle_on(&self, cstate: &Connection, c: &Capsule) -> Completion {
         let _t = self.handle_ns.time();
         let ns = NsId(c.nsid);
-        // Snapshot the connection, then drop the table lock: capsule
-        // execution must only ever hold the one shard lock it needs.
-        let cstate = {
-            let conns = self.connections.lock();
-            let Some(cstate) = conns.get(&conn) else {
-                return Err(TargetError::UnknownConnection);
-            };
-            Arc::clone(cstate)
-        };
         if c.opcode == Opcode::Connect {
-            return Ok(Completion::ok(c.cid, Bytes::new()));
+            return Completion::ok(c.cid, Bytes::new());
         }
         // Idempotent replay: a mutating command we already completed
         // successfully (duplicate delivery, or a retry after its response
@@ -198,11 +229,11 @@ impl NvmfTarget {
             let replay = cstate.replay.lock();
             if let Some((_, cached)) = replay.iter().find(|(cid, _)| *cid == c.cid) {
                 self.duplicates_suppressed.inc();
-                return Ok(cached.clone());
+                return cached.clone();
             }
         }
         let Some(shard) = cstate.shards.get(&ns) else {
-            return Ok(Completion::error(c.cid, Status::InvalidNamespace));
+            return Completion::error(c.cid, Status::InvalidNamespace);
         };
         let completion = match c.opcode {
             Opcode::Connect => unreachable!("handled above"),
@@ -237,7 +268,7 @@ impl NvmfTarget {
             }
             replay.push_back((c.cid, completion.clone()));
         }
-        Ok(completion)
+        completion
     }
 
     fn status_for(e: &SsdError) -> Status {
@@ -315,6 +346,45 @@ mod tests {
         let r = Capsule::read(2, a.0, 0, 8192);
         let resp = Completion::decode_sg(t.handle_wire_sg(conn, r.encode_sg()).unwrap()).unwrap();
         assert_eq!(&resp.data[..], &vec![0xC7u8; 8192][..]);
+    }
+
+    #[test]
+    fn batched_poll_iteration_preserves_command_order() {
+        let (t, a, _) = target_with_two_ns();
+        let conn = t.connect("nqn.host0", &[a]);
+        // A whole CQ batch in one daemon iteration: two writes then a read
+        // of the second write's data — order matters.
+        let batch = vec![
+            Capsule::write(1, a.0, 0, Bytes::from(vec![0x11u8; 512])).encode_sg(),
+            Capsule::write(2, a.0, 0, Bytes::from(vec![0x22u8; 512])).encode_sg(),
+            Capsule::read(3, a.0, 0, 512).encode_sg(),
+        ];
+        let resps = t.handle_wire_sg_batch(conn, batch).unwrap();
+        assert_eq!(resps.len(), 3);
+        let decoded: Vec<Completion> = resps
+            .into_iter()
+            .map(|r| Completion::decode_sg(r).unwrap())
+            .collect();
+        // Responses come back in submission order with matching CIDs.
+        assert_eq!(
+            decoded.iter().map(|c| c.cid).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert!(decoded.iter().all(|c| c.status == Status::Success));
+        // The read observed the *second* write: FIFO execution within the batch.
+        assert_eq!(&decoded[2].data[..], &vec![0x22u8; 512][..]);
+    }
+
+    #[test]
+    fn batch_for_unknown_connection_is_rejected_whole() {
+        let (t, a, _) = target_with_two_ns();
+        let conn = t.connect("nqn.host0", &[a]);
+        t.disconnect(conn);
+        let batch = vec![Capsule::flush(0, a.0).encode_sg()];
+        assert_eq!(
+            t.handle_wire_sg_batch(conn, batch),
+            Err(TargetError::UnknownConnection)
+        );
     }
 
     #[test]

@@ -60,6 +60,28 @@ pub trait BlockDevice {
         self.read_at(offset, &mut v)?;
         Ok(v)
     }
+
+    /// Write a batch of `(offset, data)` extents. The default issues them
+    /// one at a time; pipelined devices (the NVMf-backed one) override this
+    /// to keep `queue_depth` commands in flight so a whole hugeblock batch
+    /// crosses the fabric in one submission window. Extents take effect in
+    /// slice order — a later extent overlapping an earlier one wins.
+    fn write_vectored_at(&mut self, writes: &[(u64, &[u8])]) -> Result<(), DevError> {
+        for &(offset, data) in writes {
+            self.write_at(offset, data)?;
+        }
+        Ok(())
+    }
+
+    /// Read a batch of `(offset, buffer)` extents. The default issues them
+    /// one at a time; pipelined devices override to batch the reads
+    /// through their submission window.
+    fn read_vectored_at(&mut self, reads: &mut [(u64, &mut [u8])]) -> Result<(), DevError> {
+        for (offset, buf) in reads.iter_mut() {
+            self.read_at(*offset, buf)?;
+        }
+        Ok(())
+    }
 }
 
 /// A simple in-memory device for tests and benchmarks.
@@ -150,6 +172,23 @@ mod tests {
             (c.writes, c.reads, c.bytes_written, c.bytes_read),
             (1, 1, 3, 3)
         );
+    }
+
+    #[test]
+    fn vectored_defaults_loop_in_slice_order() {
+        let mut d = MemDevice::new(4096);
+        d.write_vectored_at(&[(0, b"aaaa"), (8, b"bbbb"), (0, b"cccc")])
+            .unwrap();
+        let mut first = [0u8; 4];
+        let mut second = [0u8; 4];
+        {
+            let mut reads: Vec<(u64, &mut [u8])> = vec![(0, &mut first), (8, &mut second)];
+            d.read_vectored_at(&mut reads).unwrap();
+        }
+        assert_eq!(&first, b"cccc", "later overlapping extent wins");
+        assert_eq!(&second, b"bbbb");
+        assert_eq!(d.counters().writes, 3);
+        assert_eq!(d.counters().reads, 2);
     }
 
     #[test]

@@ -420,6 +420,10 @@ impl<D: BlockDevice> MicroFs<D> {
         // already put on the device.
         if data.is_some() && offset > old_size {
             let gap_start_blk = old_size / bs;
+            // Resolve the zero segments first, then issue them as one
+            // vectored batch so a pipelined device overlaps them.
+            let mut segs: Vec<(u64, usize)> = Vec::new();
+            let mut max_n = 0usize;
             for bi in gap_start_blk..needed {
                 let blk_lo = bi * bs;
                 let blk_hi = blk_lo + bs;
@@ -428,19 +432,30 @@ impl<D: BlockDevice> MicroFs<D> {
                 if zero_lo < zero_hi {
                     let addr = self.block_addr_of(ino, bi)? + (zero_lo - blk_lo);
                     let n = (zero_hi - zero_lo) as usize;
-                    if self.zero_scratch.len() < n {
-                        self.zero_scratch.resize(n, 0);
-                    }
-                    self.dev
-                        .write_at(addr, &self.zero_scratch[..n])
-                        .map_err(|e| FsError::Io(e.to_string()))?;
+                    segs.push((addr, n));
+                    max_n = max_n.max(n);
                 }
+            }
+            if !segs.is_empty() {
+                if self.zero_scratch.len() < max_n {
+                    self.zero_scratch.resize(max_n, 0);
+                }
+                let writes: Vec<(u64, &[u8])> = segs
+                    .iter()
+                    .map(|&(addr, n)| (addr, &self.zero_scratch[..n]))
+                    .collect();
+                self.dev
+                    .write_vectored_at(&writes)
+                    .map_err(|e| FsError::Io(e.to_string()))?;
             }
         }
         if let Some(data) = data {
             debug_assert_eq!(data.len() as u64, len);
-            // Split the write at hugeblock boundaries; submit per-block IO
-            // ("we submit NVMe IO requests in hugeblock units", §III-E).
+            // Split the write at hugeblock boundaries ("we submit NVMe IO
+            // requests in hugeblock units", §III-E), then hand the whole
+            // batch to the device: a pipelined device keeps `queue_depth`
+            // of these block writes in flight instead of one.
+            let mut segs: Vec<(u64, u64, u64)> = Vec::new();
             let mut cursor = 0u64;
             while cursor < len {
                 let file_off = offset + cursor;
@@ -448,11 +463,16 @@ impl<D: BlockDevice> MicroFs<D> {
                 let within = file_off % bs;
                 let n = (bs - within).min(len - cursor);
                 let addr = self.block_addr_of(ino, bi)? + within;
-                self.dev
-                    .write_at(addr, &data[cursor as usize..(cursor + n) as usize])
-                    .map_err(|e| FsError::Io(e.to_string()))?;
+                segs.push((addr, cursor, n));
                 cursor += n;
             }
+            let writes: Vec<(u64, &[u8])> = segs
+                .iter()
+                .map(|&(addr, c, n)| (addr, &data[c as usize..(c + n) as usize]))
+                .collect();
+            self.dev
+                .write_vectored_at(&writes)
+                .map_err(|e| FsError::Io(e.to_string()))?;
         }
         let node = self.state.inodes.get_mut(ino)?;
         node.size = node.size.max(end);
@@ -852,6 +872,11 @@ impl<D: BlockDevice> MicroFs<D> {
         }
         let n = (buf.len() as u64).min(size - offset);
         let bs = self.layout.block_size;
+        // Resolve the per-hugeblock segments, carve `buf` into matching
+        // sub-buffers, and issue the whole batch at once: a pipelined
+        // device (replay reads, checkpoint verification) keeps
+        // `queue_depth` block reads in flight.
+        let mut segs: Vec<(u64, u64)> = Vec::new();
         let mut cursor = 0u64;
         while cursor < n {
             let file_off = offset + cursor;
@@ -859,11 +884,19 @@ impl<D: BlockDevice> MicroFs<D> {
             let within = file_off % bs;
             let take = (bs - within).min(n - cursor);
             let addr = self.block_addr_of(ino, bi)? + within;
-            self.dev
-                .read_at(addr, &mut buf[cursor as usize..(cursor + take) as usize])
-                .map_err(|e| FsError::Io(e.to_string()))?;
+            segs.push((addr, take));
             cursor += take;
         }
+        let mut reads: Vec<(u64, &mut [u8])> = Vec::with_capacity(segs.len());
+        let mut rest = &mut buf[..n as usize];
+        for &(addr, take) in &segs {
+            let (head, tail) = rest.split_at_mut(take as usize);
+            reads.push((addr, head));
+            rest = tail;
+        }
+        self.dev
+            .read_vectored_at(&mut reads)
+            .map_err(|e| FsError::Io(e.to_string()))?;
         self.stats.reads += 1;
         self.stats.bytes_read += n;
         Ok(n as usize)

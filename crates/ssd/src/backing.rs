@@ -88,9 +88,30 @@ impl SparseStore {
     }
 
     /// Read `len` bytes at `offset` into a fresh vector.
+    ///
+    /// Single-pass materialization: resident pages are appended directly
+    /// and holes extend the vector with zeroes — no zero-fill of the whole
+    /// buffer followed by a second overwrite pass like `read` into a
+    /// caller-zeroed vector would cost.
     pub fn read_vec(&self, offset: u64, len: usize) -> Vec<u8> {
-        let mut v = vec![0u8; len];
-        self.read(offset, &mut v);
+        assert!(
+            offset
+                .checked_add(len as u64)
+                .is_some_and(|e| e <= self.size),
+            "read out of range: offset {offset} len {len} size {}",
+            self.size
+        );
+        let mut v = Vec::with_capacity(len);
+        while v.len() < len {
+            let abs = offset + v.len() as u64;
+            let page_idx = abs >> PAGE_SHIFT;
+            let in_page = (abs & (PAGE_SIZE as u64 - 1)) as usize;
+            let n = (PAGE_SIZE - in_page).min(len - v.len());
+            match self.pages.get(&page_idx) {
+                Some(page) => v.extend_from_slice(&page[in_page..in_page + n]),
+                None => v.resize(v.len() + n, 0),
+            }
+        }
         v
     }
 

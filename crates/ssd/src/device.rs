@@ -310,16 +310,11 @@ impl NsShard {
         self.write_bytes(offset, staged)
     }
 
-    /// Read into `buf`, observing volatile (read-your-writes) data.
-    pub fn read(&self, offset: u64, buf: &mut [u8]) -> Result<(), SsdError> {
-        self.fault_check()?;
-        self.check(offset, buf.len() as u64)?;
-        let _t = self.metrics.read_ns.time();
-        let mut d = self.lock_data();
-        d.reads += 1;
-        d.bytes_read += buf.len() as u64;
-        d.store.read(offset, buf);
-        // Overlay pending writes in FIFO order so later writes win.
+    /// Overlay pending (still-volatile) writes onto `buf`, which holds the
+    /// media contents of `[offset, offset + buf.len())`. FIFO order so
+    /// later writes win — the shared read-your-writes step of every read
+    /// path.
+    fn overlay_volatile(d: &ShardData, offset: u64, buf: &mut [u8]) {
         let start = offset;
         let end = offset + buf.len() as u64;
         for w in &d.volatile {
@@ -333,17 +328,39 @@ impl NsShard {
                 buf[dst].copy_from_slice(&w.data[src]);
             }
         }
+    }
+
+    /// Read into `buf`, observing volatile (read-your-writes) data.
+    pub fn read(&self, offset: u64, buf: &mut [u8]) -> Result<(), SsdError> {
+        self.fault_check()?;
+        self.check(offset, buf.len() as u64)?;
+        let _t = self.metrics.read_ns.time();
+        let mut d = self.lock_data();
+        d.reads += 1;
+        d.bytes_read += buf.len() as u64;
+        d.store.read(offset, buf);
+        Self::overlay_volatile(&d, offset, buf);
         Ok(())
     }
 
-    /// Read `len` bytes into a fresh vector.
+    /// Read `len` bytes into a fresh vector. Unlike [`NsShard::read`] into
+    /// a caller-zeroed buffer, the vector is materialized in one pass by
+    /// the backing store (resident pages appended, holes zero-extended) —
+    /// no zero-fill-then-overwrite double touch.
     pub fn read_vec(&self, offset: u64, len: usize) -> Result<Vec<u8>, SsdError> {
-        let mut v = vec![0u8; len];
-        self.read(offset, &mut v)?;
+        self.fault_check()?;
+        self.check(offset, len as u64)?;
+        let _t = self.metrics.read_ns.time();
+        let mut d = self.lock_data();
+        d.reads += 1;
+        d.bytes_read += len as u64;
+        let mut v = d.store.read_vec(offset, len);
+        Self::overlay_volatile(&d, offset, &mut v);
         Ok(v)
     }
 
-    /// Read `len` bytes as an owned [`Bytes`] payload.
+    /// Read `len` bytes as an owned [`Bytes`] payload — the vector from
+    /// [`NsShard::read_vec`] handed over without a copy.
     pub fn read_bytes(&self, offset: u64, len: usize) -> Result<Bytes, SsdError> {
         self.read_vec(offset, len).map(Bytes::from)
     }

@@ -218,6 +218,28 @@ pub fn run_functional_checkpoints(
     )
 }
 
+/// Data-plane tunables for a functional run. Defaults match
+/// [`RuntimeConfig::default`]; the pipeline bench sweeps `queue_depth`
+/// with 4 KiB `block_size` so each checkpoint issues enough commands for
+/// the submission window to matter.
+#[derive(Debug, Clone)]
+pub struct FunctionalTuning {
+    /// Filesystem hugeblock size (and thus per-command payload size).
+    pub block_size: u64,
+    /// NVMf submission-window depth each rank's initiator keeps in flight.
+    pub queue_depth: usize,
+}
+
+impl Default for FunctionalTuning {
+    fn default() -> Self {
+        let defaults = RuntimeConfig::default();
+        FunctionalTuning {
+            block_size: defaults.block_size,
+            queue_depth: defaults.fabric.queue_depth,
+        }
+    }
+}
+
 /// [`run_functional_checkpoints`] with an explicit [`DriveMode`] — the
 /// serial mode exists so benches can measure the parallel speedup against
 /// an identical-work baseline.
@@ -227,6 +249,27 @@ pub fn run_functional_checkpoints_with(
     ckpts: u32,
     bytes_per_rank: u64,
     crash_ranks: &[u32],
+) -> Result<FunctionalReport, Box<dyn std::error::Error>> {
+    run_functional_checkpoints_tuned(
+        mode,
+        procs,
+        ckpts,
+        bytes_per_rank,
+        crash_ranks,
+        FunctionalTuning::default(),
+    )
+}
+
+/// [`run_functional_checkpoints_with`] plus explicit data-plane tuning —
+/// the QD-sweep bench drives the same real-bytes stack at each window
+/// depth and reads `fabric.submit_ns` out of the report's telemetry.
+pub fn run_functional_checkpoints_tuned(
+    mode: DriveMode,
+    procs: u32,
+    ckpts: u32,
+    bytes_per_rank: u64,
+    crash_ranks: &[u32],
+    tuning: FunctionalTuning,
 ) -> Result<FunctionalReport, Box<dyn std::error::Error>> {
     let topo = Topology::paper_testbed();
     // Each run reports into its own registry so the report's snapshot
@@ -242,11 +285,13 @@ pub fn run_functional_checkpoints_with(
     );
     let mut sched = Scheduler::new(topo.clone(), 8);
     let alloc = sched.submit(&JobRequest::full_subscription(procs))?;
-    let config = RuntimeConfig {
+    let mut config = RuntimeConfig {
         namespace_bytes: 8 << 30,
         telemetry: telemetry.clone(),
+        block_size: tuning.block_size,
         ..RuntimeConfig::default()
     };
+    config.fabric.queue_depth = tuning.queue_depth;
     let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config)?;
     let comd = CoMD::weak_scaling();
     let ckpt_rank_ns = telemetry.histogram("driver.checkpoint_rank_ns");

@@ -33,8 +33,9 @@ pub mod trace;
 pub use apps::PhasedApp;
 pub use comd::CoMD;
 pub use driver::{
-    multilevel_eval, run_functional_checkpoints, run_functional_checkpoints_with, scaling_sweep,
-    DriveMode, FunctionalReport, MultiLevelResult, ScalingPoint,
+    multilevel_eval, run_functional_checkpoints, run_functional_checkpoints_tuned,
+    run_functional_checkpoints_with, scaling_sweep, DriveMode, FunctionalReport, FunctionalTuning,
+    MultiLevelResult, ScalingPoint,
 };
 pub use incremental::{IncrementalCheckpointer, IncrementalReport};
 pub use interval::{best_efficiency, daly_interval, young_interval};
