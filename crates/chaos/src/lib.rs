@@ -38,6 +38,9 @@ pub enum FaultSite {
     CapacitorFlush,
     /// microfs WAL appending a freshly encoded record.
     WalAppend,
+    /// Latent media corruption surfacing on an SSD shard read (bit rot on a
+    /// checkpoint copy; exercises the scrub/read-repair path).
+    ReplicaBitRot,
 }
 
 impl FaultSite {
@@ -51,6 +54,7 @@ impl FaultSite {
             FaultSite::ShardIo => 0x04,
             FaultSite::CapacitorFlush => 0x05,
             FaultSite::WalAppend => 0x06,
+            FaultSite::ReplicaBitRot => 0x07,
         }
     }
 
@@ -62,6 +66,7 @@ impl FaultSite {
             FaultSite::ShardIo => "shard_io",
             FaultSite::CapacitorFlush => "capacitor_flush",
             FaultSite::WalAppend => "wal_append",
+            FaultSite::ReplicaBitRot => "replica_bit_rot",
         }
     }
 }

@@ -28,6 +28,13 @@ pub struct RuntimeConfig {
     /// Data-plane tuning for the rank initiators: submission-window depth
     /// (QD), CQ poll batches, and per-command reliability parameters.
     pub fabric: FabricConfig,
+    /// Synchronous copies of each rank's checkpoint data. `1` (the
+    /// default) is unreplicated — bit-for-bit today's behavior. `2`
+    /// mirrors every rank write onto a namespace in the rank's partner
+    /// failure domain and commits per-epoch manifests, so a permanently
+    /// dead shard is recovered from the surviving copy instead of rolling
+    /// back to the parallel filesystem.
+    pub replication_factor: u32,
 }
 
 impl Default for RuntimeConfig {
@@ -41,6 +48,7 @@ impl Default for RuntimeConfig {
             telemetry: Telemetry::default(),
             chaos: ChaosHandle::default(),
             fabric: FabricConfig::default(),
+            replication_factor: 1,
         }
     }
 }

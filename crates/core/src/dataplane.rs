@@ -6,6 +6,7 @@
 //! rank's contiguous segment of the job's namespace and forwards the IO
 //! through the capsule codec to the target — entirely in userspace.
 
+use crate::replication::{Mirror, ReplicationError, ScrubReport};
 use bytes::Bytes;
 use fabric::initiator::NvmfConnection;
 use microfs::block::{BlockDevice, DevError, IoCounters};
@@ -18,6 +19,10 @@ pub struct NvmfBlockDevice {
     /// Segment size — the microfs partition size.
     size: u64,
     counters: IoCounters,
+    /// Replication factor 2: a second copy on a partner failure domain,
+    /// written through both submission windows concurrently. `None` (the
+    /// default) leaves every path bit-for-bit unreplicated.
+    mirror: Option<Box<Mirror>>,
 }
 
 impl NvmfBlockDevice {
@@ -28,6 +33,7 @@ impl NvmfBlockDevice {
             base,
             size,
             counters: IoCounters::default(),
+            mirror: None,
         }
     }
 
@@ -36,14 +42,79 @@ impl NvmfBlockDevice {
         self.conn.io_counters()
     }
 
+    /// Attach a replica mirror: every subsequent write lands on both
+    /// copies before it returns.
+    pub fn attach_mirror(&mut self, mirror: Mirror) {
+        self.mirror = Some(Box::new(mirror));
+    }
+
+    /// Detach and return the mirror (for failover re-homing).
+    pub fn take_mirror(&mut self) -> Option<Mirror> {
+        self.mirror.take().map(|m| *m)
+    }
+
+    pub fn mirror(&self) -> Option<&Mirror> {
+        self.mirror.as_deref()
+    }
+
+    /// Seal the current extent map as a new checkpoint epoch on both
+    /// copies. `Ok(None)` when unreplicated.
+    pub fn commit_epoch(&mut self) -> Result<Option<u64>, ReplicationError> {
+        match &mut self.mirror {
+            None => Ok(None),
+            Some(m) => m
+                .commit_epoch(&mut self.conn, self.base, self.size)
+                .map(Some),
+        }
+    }
+
+    /// Verify every committed extent on both copies, read-repairing
+    /// whichever copy is corrupt. `Ok(None)` when unreplicated.
+    pub fn scrub(&mut self) -> Result<Option<ScrubReport>, ReplicationError> {
+        match &mut self.mirror {
+            None => Ok(None),
+            Some(m) => m.scrub(&mut self.conn, self.base).map(Some),
+        }
+    }
+
+    /// Rebuild the mirror's extent map from the full primary image —
+    /// used after a crash where the in-memory map did not survive.
+    pub fn rescan_mirror(&mut self) -> Result<(), ReplicationError> {
+        if let Some(m) = &mut self.mirror {
+            m.rescan(&mut self.conn, self.base, self.size)?;
+        }
+        Ok(())
+    }
+
+    /// Forward a batch of partition-relative writes to the right path:
+    /// mirrored through both windows when a replica is attached, plain
+    /// zero-copy otherwise.
+    fn dispatch_writes(&mut self, writes: Vec<(u64, Bytes)>) -> Result<(), DevError> {
+        match &mut self.mirror {
+            Some(m) => m
+                .write_through(&mut self.conn, self.base, writes)
+                .map_err(|e| DevError(e.to_string())),
+            None => {
+                let base = self.base;
+                self.conn
+                    .write_vectored_bytes(writes.into_iter().map(|(o, d)| (base + o, d)).collect())
+                    .map_err(|e| DevError(e.to_string()))
+            }
+        }
+    }
+
     /// Write an owned payload — the zero-copy path straight through the
     /// connection (no staging copy at this layer or below).
     pub fn write_bytes_at(&mut self, offset: u64, data: Bytes) -> Result<(), DevError> {
         self.check(offset, data.len() as u64)?;
         let len = data.len() as u64;
-        self.conn
-            .write_bytes(self.base + offset, data)
-            .map_err(|e| DevError(e.to_string()))?;
+        if self.mirror.is_some() {
+            self.dispatch_writes(vec![(offset, data)])?;
+        } else {
+            self.conn
+                .write_bytes(self.base + offset, data)
+                .map_err(|e| DevError(e.to_string()))?;
+        }
         self.counters.writes += 1;
         self.counters.bytes_written += len;
         Ok(())
@@ -59,14 +130,7 @@ impl NvmfBlockDevice {
             total += data.len() as u64;
         }
         let count = writes.len() as u64;
-        self.conn
-            .write_vectored_bytes(
-                writes
-                    .into_iter()
-                    .map(|(o, d)| (self.base + o, d))
-                    .collect(),
-            )
-            .map_err(|e| DevError(e.to_string()))?;
+        self.dispatch_writes(writes)?;
         self.counters.writes += count;
         self.counters.bytes_written += total;
         Ok(())
@@ -86,9 +150,15 @@ impl NvmfBlockDevice {
 impl BlockDevice for NvmfBlockDevice {
     fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<(), DevError> {
         self.check(offset, data.len() as u64)?;
-        self.conn
-            .write(self.base + offset, data)
-            .map_err(|e| DevError(e.to_string()))?;
+        if self.mirror.is_some() {
+            // Borrowed payloads are staged once so both capsules can
+            // share the buffer (and its one CRC pass).
+            self.dispatch_writes(vec![(offset, Bytes::copy_from_slice(data))])?;
+        } else {
+            self.conn
+                .write(self.base + offset, data)
+                .map_err(|e| DevError(e.to_string()))?;
+        }
         self.counters.writes += 1;
         self.counters.bytes_written += data.len() as u64;
         Ok(())
@@ -115,10 +185,19 @@ impl BlockDevice for NvmfBlockDevice {
             self.check(offset, data.len() as u64)?;
             total += data.len() as u64;
         }
-        let abs: Vec<(u64, &[u8])> = writes.iter().map(|&(o, d)| (self.base + o, d)).collect();
-        self.conn
-            .write_vectored(&abs)
-            .map_err(|e| DevError(e.to_string()))?;
+        if self.mirror.is_some() {
+            self.dispatch_writes(
+                writes
+                    .iter()
+                    .map(|&(o, d)| (o, Bytes::copy_from_slice(d)))
+                    .collect(),
+            )?;
+        } else {
+            let abs: Vec<(u64, &[u8])> = writes.iter().map(|&(o, d)| (self.base + o, d)).collect();
+            self.conn
+                .write_vectored(&abs)
+                .map_err(|e| DevError(e.to_string()))?;
+        }
         self.counters.writes += writes.len() as u64;
         self.counters.bytes_written += total;
         Ok(())
@@ -147,7 +226,13 @@ impl BlockDevice for NvmfBlockDevice {
     }
 
     fn flush(&mut self) -> Result<(), DevError> {
-        self.conn.flush().map_err(|e| DevError(e.to_string()))
+        self.conn.flush().map_err(|e| DevError(e.to_string()))?;
+        if let Some(m) = &mut self.mirror {
+            // A replica flush failure degrades the mirror; it never
+            // fails the application's flush.
+            m.flush();
+        }
+        Ok(())
     }
 
     fn size(&self) -> u64 {
@@ -271,6 +356,48 @@ mod tests {
         assert!(d
             .write_vectored_at(&[(0, b"ok"), ((4 << 20) - 1, b"spill")])
             .is_err());
+    }
+
+    #[test]
+    fn mirrored_device_replicates_microfs_byte_for_byte() {
+        use crate::replication::Mirror;
+        use microfs::{FsConfig, MicroFs};
+        let t = telemetry::Telemetry::new();
+        let mk = |name: &str| {
+            let ssd = Ssd::with_telemetry(
+                SsdConfig {
+                    capacity: 64 << 20,
+                    ..SsdConfig::default()
+                },
+                t.clone(),
+            );
+            let ns = ssd.create_namespace(32 << 20).unwrap();
+            let target = Arc::new(NvmfTarget::new(Arc::new(ssd)));
+            Initiator::with_telemetry(name, t.clone()).connect(target, ns)
+        };
+        let fs_size = 16u64 << 20;
+        let mut d = NvmfBlockDevice::new(mk("nqn.prim"), 4 << 20, fs_size);
+        d.attach_mirror(Mirror::new(mk("nqn.repl"), &t));
+        // Format + data run entirely through the mirrored write paths.
+        let mut fs = MicroFs::format(d, FsConfig::default()).unwrap();
+        let fd = fs.create("/ckpt", 0o644).unwrap();
+        fs.write(fd, &vec![0x5Au8; 300_000]).unwrap();
+        fs.close(fd).unwrap();
+        fs.snapshot_now().unwrap();
+        let mut d = fs.into_device();
+        assert_eq!(d.commit_epoch().unwrap(), Some(1));
+        assert_eq!(d.scrub().unwrap().unwrap().unrecoverable, 0);
+        // The replica holds a byte-identical partition image.
+        let m = d.take_mirror().unwrap();
+        assert!(!m.is_degraded());
+        let spans: Vec<(u64, u64, Option<u32>)> = m.map().entries();
+        let (mut rconn, _, _, _) = m.into_parts();
+        for (off, len, _) in spans {
+            let replica = rconn.read_bytes(off, len as usize).unwrap();
+            let mut primary = vec![0u8; len as usize];
+            d.read_at(off, &mut primary).unwrap();
+            assert_eq!(&replica[..], &primary[..], "extent at {off}");
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod dataplane;
 pub mod intercept;
 pub mod metrics;
 pub mod multilevel;
+pub mod replication;
 pub mod runtime;
 
 pub use balancer::{BalanceError, Placement, RankPlacement, StorageBalancer};
@@ -43,4 +44,5 @@ pub use dataplane::NvmfBlockDevice;
 pub use intercept::PosixLayer;
 pub use metrics::{efficiency, progress_rate};
 pub use multilevel::{CheckpointLevel, MultiLevelPolicy};
+pub use replication::{Mirror, ReplicationError, ScrubReport};
 pub use runtime::{JobHandle, NvmeCrRuntime, RuntimeError, StorageRack};

@@ -1,0 +1,772 @@
+//! Synchronous checkpoint replication onto a partner failure domain.
+//!
+//! When [`crate::RuntimeConfig::replication_factor`] is 2, every rank's
+//! block device carries a [`Mirror`]: a second NVMf connection to a
+//! namespace on a storage node in the rank's partner failure domain. The
+//! write path pushes each extent through *both* submission windows
+//! concurrently (`fabric::write_mirrored_bytes` alternates window passes,
+//! so the two copies overlap rather than serialize), records the extent's
+//! CRC32 in an in-memory [`ExtentMap`], and the runtime seals an
+//! [`EpochManifest`] per checkpoint round into a ping-pong slot pair at
+//! the tail of both copies. Recovery (`fail_over_rank`) then re-homes the
+//! rank and replays the surviving replica extent-by-extent, verifying
+//! every committed extent against its CRC before the rank is declared
+//! healthy; a scrub pass walks both copies and read-repairs latent bit
+//! rot from whichever copy still matches the manifest.
+//!
+//! Degraded mode: a replica-side IO error never fails the application
+//! write — the mirror flips to degraded, queues the stale spans, and the
+//! next epoch commit attempts a resync from the primary. While degraded,
+//! epoch commits land on the primary only, so a replica-based restore
+//! falls back to the replica's last *complete* epoch (counted in
+//! `replication.lag_epochs`).
+
+use bytes::Bytes;
+use fabric::{write_mirrored_bytes, InitiatorError, MirroredWrite, NvmfConnection};
+use microfs::crc::{crc32, crc32_update};
+use microfs::manifest::{
+    slot_offset, EpochManifest, ExtentMap, ManifestError, COMMIT_RECORD_BYTES, SLOT_BYTES,
+};
+use std::fmt;
+use std::sync::Arc;
+use telemetry::{Counter, Histogram, Telemetry};
+
+/// Chunk size for scrub/restore/resync streaming reads — bounds peak
+/// memory regardless of how large merged extents grow.
+const COPY_CHUNK: usize = 4 << 20;
+
+/// Replication-layer metric handles, resolved once per mirror.
+#[derive(Clone)]
+pub struct ReplicationMetrics {
+    /// Bytes successfully written to the replica copy.
+    pub bytes: Arc<Counter>,
+    /// Epochs sealed with a commit record (on at least the primary).
+    pub epochs_committed: Arc<Counter>,
+    /// Epochs of history lost across replica-based restores.
+    pub lag_epochs: Arc<Counter>,
+    /// Restores that could not use the live extent map verbatim and fell
+    /// back to the last complete manifest (or started degraded).
+    pub degraded_restores: Arc<Counter>,
+    /// Extents rewritten from the surviving copy (scrub read-repair).
+    pub repairs: Arc<Counter>,
+    /// Wall time of mirrored data-path window submissions.
+    pub mirror_ns: Arc<Histogram>,
+    /// Wall time of full scrub passes.
+    pub scrub_ns: Arc<Histogram>,
+}
+
+impl ReplicationMetrics {
+    pub fn new(t: &Telemetry) -> Self {
+        ReplicationMetrics {
+            bytes: t.counter("replication.bytes"),
+            epochs_committed: t.counter("replication.epochs_committed"),
+            lag_epochs: t.counter("replication.lag_epochs"),
+            degraded_restores: t.counter("replication.degraded_restores"),
+            repairs: t.counter("replication.repairs"),
+            mirror_ns: t.histogram("replication.mirror_ns"),
+            scrub_ns: t.histogram("replication.scrub_ns"),
+        }
+    }
+}
+
+/// Errors from the replication layer.
+#[derive(Debug)]
+pub enum ReplicationError {
+    /// The underlying fabric IO failed (on the copy the caller needed).
+    Fabric(InitiatorError),
+    /// Manifest encode/decode failed.
+    Manifest(ManifestError),
+    /// Both copies of an extent disagree with the committed CRC.
+    Unrecoverable { offset: u64, len: u64 },
+    /// No complete epoch exists on the surviving copy.
+    NoCompleteEpoch,
+}
+
+impl fmt::Display for ReplicationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplicationError::Fabric(e) => write!(f, "replication fabric IO: {e}"),
+            ReplicationError::Manifest(e) => write!(f, "replication manifest: {e}"),
+            ReplicationError::Unrecoverable { offset, len } => {
+                write!(f, "extent [{offset}, +{len}) corrupt on both copies")
+            }
+            ReplicationError::NoCompleteEpoch => {
+                write!(f, "no complete checkpoint epoch on surviving copy")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplicationError {}
+
+impl From<InitiatorError> for ReplicationError {
+    fn from(e: InitiatorError) -> Self {
+        ReplicationError::Fabric(e)
+    }
+}
+
+impl From<ManifestError> for ReplicationError {
+    fn from(e: ManifestError) -> Self {
+        ReplicationError::Manifest(e)
+    }
+}
+
+/// Result of one scrub pass over a rank's two copies.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Committed extents whose CRCs were verified on both copies.
+    pub extents_checked: u64,
+    /// Extents rewritten from the surviving good copy.
+    pub repaired: u64,
+    /// Extents corrupt on *both* copies — data loss, surfaced loudly.
+    pub unrecoverable: u64,
+    /// Extents skipped because they were written after the last commit
+    /// (no CRC on record yet).
+    pub skipped_dirty: u64,
+}
+
+/// Live mirror state for one rank: the replica connection, the extent
+/// map shared by both copies, and the epoch counter.
+pub struct Mirror {
+    conn: NvmfConnection,
+    map: ExtentMap,
+    epoch: u64,
+    degraded: bool,
+    /// Spans whose replica copy is stale after a degraded write; resynced
+    /// from the primary at the next epoch commit.
+    pending_resync: Vec<(u64, u64)>,
+    metrics: ReplicationMetrics,
+}
+
+impl Mirror {
+    /// A fresh mirror over an empty replica namespace.
+    pub fn new(conn: NvmfConnection, t: &Telemetry) -> Self {
+        Self::with_state(conn, ExtentMap::new(), 0, t)
+    }
+
+    /// Rebuild a mirror from recovered state (manifest decode or a
+    /// surviving in-memory map).
+    pub fn with_state(conn: NvmfConnection, map: ExtentMap, epoch: u64, t: &Telemetry) -> Self {
+        Mirror {
+            conn,
+            map,
+            epoch,
+            degraded: false,
+            pending_resync: Vec::new(),
+            metrics: ReplicationMetrics::new(t),
+        }
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    pub fn map(&self) -> &ExtentMap {
+        &self.map
+    }
+
+    /// Tear down into `(replica connection, extent map, epoch, degraded)`
+    /// — used by `fail_over_rank` to reuse the surviving copy.
+    pub fn into_parts(self) -> (NvmfConnection, ExtentMap, u64, bool) {
+        (self.conn, self.map, self.epoch, self.degraded)
+    }
+
+    /// Mirror a batch of partition-relative writes: primary lands at
+    /// `primary_base + offset`, replica at `offset`. Each payload's CRC
+    /// is computed exactly once here and shared by both capsule encodes
+    /// (pre-CRC path) and the extent map. Replica errors degrade the
+    /// mirror instead of failing the write; primary errors propagate.
+    pub fn write_through(
+        &mut self,
+        primary: &mut NvmfConnection,
+        primary_base: u64,
+        writes: Vec<(u64, Bytes)>,
+    ) -> Result<(), InitiatorError> {
+        if writes.is_empty() {
+            return Ok(());
+        }
+        let timer = self.metrics.mirror_ns.time();
+        let mut mirrored = Vec::with_capacity(writes.len());
+        let mut total = 0u64;
+        for (offset, data) in writes {
+            let crc = crc32(&data);
+            self.map.record(offset, data.len() as u64, crc);
+            total += data.len() as u64;
+            mirrored.push(MirroredWrite {
+                primary_offset: primary_base + offset,
+                replica_offset: offset,
+                data,
+                crc,
+            });
+        }
+        let spans: Vec<(u64, u64)> = mirrored
+            .iter()
+            .map(|w| (w.replica_offset, w.data.len() as u64))
+            .collect();
+        if self.degraded {
+            // Replica already stale — write the primary alone and queue
+            // the spans for the next resync attempt.
+            let plain = mirrored
+                .into_iter()
+                .map(|w| (w.primary_offset, w.data, w.crc))
+                .collect();
+            primary.write_vectored_bytes_precrc(plain)?;
+            self.pending_resync.extend(spans);
+            drop(timer);
+            return Ok(());
+        }
+        let outcome = write_mirrored_bytes(primary, &mut self.conn, mirrored)?;
+        drop(timer);
+        if outcome.replica_error.is_some() {
+            // The window may have partially landed on the replica; treat
+            // the whole batch as stale.
+            self.degraded = true;
+            self.pending_resync.extend(spans);
+        } else {
+            self.metrics.bytes.add(total);
+        }
+        Ok(())
+    }
+
+    /// Flush the replica copy. A replica flush failure degrades the
+    /// mirror conservatively: every mapped extent is queued for resync,
+    /// since volatile replica state of unknown extent may have been lost.
+    pub fn flush(&mut self) {
+        if self.degraded {
+            return;
+        }
+        if self.conn.flush().is_err() {
+            self.degraded = true;
+            let spans: Vec<(u64, u64)> = self
+                .map
+                .entries()
+                .into_iter()
+                .map(|(o, l, _)| (o, l))
+                .collect();
+            self.pending_resync.extend(spans);
+        }
+    }
+
+    /// Try to bring a degraded replica back in sync by copying the stale
+    /// spans from the primary. Clears the degraded flag on full success.
+    fn try_resync(&mut self, primary: &mut NvmfConnection, primary_base: u64) {
+        if !self.degraded {
+            return;
+        }
+        let spans = std::mem::take(&mut self.pending_resync);
+        for (i, &(offset, len)) in spans.iter().enumerate() {
+            if copy_extent(primary, primary_base + offset, &mut self.conn, offset, len).is_err() {
+                // Still unhealthy; keep the remaining spans queued.
+                self.pending_resync.extend_from_slice(&spans[i..]);
+                return;
+            }
+            self.metrics.bytes.add(len);
+        }
+        self.degraded = false;
+    }
+
+    /// Rebuild the extent map from the full primary image. Used after a
+    /// crash or restart where the in-memory map is gone but the on-device
+    /// copies survive: chunked reads re-CRC the whole partition, and
+    /// adjacent chunks merge back into a handful of extents. `fs_size`
+    /// is the partition size (the manifest region is excluded).
+    pub fn rescan(
+        &mut self,
+        primary: &mut NvmfConnection,
+        primary_base: u64,
+        fs_size: u64,
+    ) -> Result<(), InitiatorError> {
+        let mut off = 0u64;
+        while off < fs_size {
+            let len = COPY_CHUNK.min((fs_size - off) as usize);
+            let data = primary.read_bytes(primary_base + off, len)?;
+            self.map.record(off, len as u64, crc32(&data));
+            off += len as u64;
+        }
+        Ok(())
+    }
+
+    /// Seal the current extent map as epoch `self.epoch + 1` on both
+    /// copies: body first, fully retired, then the commit record — so a
+    /// torn commit is detectable and restore falls back to the previous
+    /// slot. Returns the committed epoch.
+    pub fn commit_epoch(
+        &mut self,
+        primary: &mut NvmfConnection,
+        primary_base: u64,
+        fs_size: u64,
+    ) -> Result<u64, ReplicationError> {
+        // Extents fragmented by overlapping writes lost their CRCs;
+        // re-read them from the primary before sealing.
+        for (offset, len) in self.map.dirty_fragments() {
+            let crc = extent_crc(primary, primary_base + offset, len)?;
+            self.map.set_crc(offset, len, crc);
+        }
+        self.try_resync(primary, primary_base);
+
+        let epoch = self.epoch + 1;
+        let manifest = self.map.to_manifest(epoch)?;
+        let body = Bytes::from(manifest.encode_body()?);
+        let record = Bytes::copy_from_slice(&manifest.encode_commit(&body));
+        let slot = fs_size + slot_offset(epoch);
+        let body_off = slot + COMMIT_RECORD_BYTES;
+        let record_off = slot;
+        let body_crc = crc32(&body);
+        let record_crc = crc32(&record);
+
+        if self.degraded {
+            // Primary-only commit: the replica stays at its last complete
+            // epoch and a replica-based restore will lag.
+            primary.write_vectored_bytes_precrc(vec![(primary_base + body_off, body, body_crc)])?;
+            primary.write_vectored_bytes_precrc(vec![(
+                primary_base + record_off,
+                record,
+                record_crc,
+            )])?;
+        } else {
+            let out = write_mirrored_bytes(
+                primary,
+                &mut self.conn,
+                vec![MirroredWrite {
+                    primary_offset: primary_base + body_off,
+                    replica_offset: body_off,
+                    data: body,
+                    crc: body_crc,
+                }],
+            )?;
+            if out.replica_error.is_some() {
+                self.degraded = true;
+                primary.write_vectored_bytes_precrc(vec![(
+                    primary_base + record_off,
+                    record,
+                    record_crc,
+                )])?;
+            } else {
+                let out = write_mirrored_bytes(
+                    primary,
+                    &mut self.conn,
+                    vec![MirroredWrite {
+                        primary_offset: primary_base + record_off,
+                        replica_offset: record_off,
+                        data: record,
+                        crc: record_crc,
+                    }],
+                )?;
+                if out.replica_error.is_some() {
+                    self.degraded = true;
+                }
+            }
+        }
+        // The epoch is only real once it is durable.
+        primary.flush()?;
+        if !self.degraded && self.conn.flush().is_err() {
+            self.degraded = true;
+        }
+        self.epoch = epoch;
+        self.metrics.epochs_committed.inc();
+        Ok(epoch)
+    }
+
+    /// Walk every committed extent, verify both copies against the
+    /// recorded CRC, and read-repair whichever copy is corrupt from the
+    /// one that still matches. Both-copies-corrupt is reported, loudly,
+    /// as unrecoverable — scrub never silently "fixes" with bad data.
+    pub fn scrub(
+        &mut self,
+        primary: &mut NvmfConnection,
+        primary_base: u64,
+    ) -> Result<ScrubReport, ReplicationError> {
+        let timer = self.metrics.scrub_ns.time();
+        let mut report = ScrubReport::default();
+        for (offset, len, crc) in self.map.entries() {
+            let Some(crc) = crc else {
+                report.skipped_dirty += 1;
+                continue;
+            };
+            report.extents_checked += 1;
+            let primary_ok = extent_crc(primary, primary_base + offset, len)? == crc;
+            let replica_ok = match extent_crc(&mut self.conn, offset, len) {
+                Ok(c) => c == crc,
+                Err(_) => false,
+            };
+            match (primary_ok, replica_ok) {
+                (true, true) => {}
+                (false, true) => {
+                    copy_extent(&mut self.conn, offset, primary, primary_base + offset, len)?;
+                    self.metrics.repairs.inc();
+                    report.repaired += 1;
+                    telemetry::instant("replication", "read_repair", &[("offset", offset)]);
+                }
+                (true, false) => {
+                    copy_extent(primary, primary_base + offset, &mut self.conn, offset, len)?;
+                    self.metrics.repairs.inc();
+                    report.repaired += 1;
+                    telemetry::instant("replication", "read_repair", &[("offset", offset)]);
+                }
+                (false, false) => {
+                    report.unrecoverable += 1;
+                    telemetry::instant("replication", "unrecoverable", &[("offset", offset)]);
+                }
+            }
+        }
+        drop(timer);
+        Ok(report)
+    }
+}
+
+/// Streaming CRC32 of `[offset, offset + len)` on `conn`, chunked so a
+/// merged multi-hundred-MiB extent never needs a single allocation.
+fn extent_crc(conn: &mut NvmfConnection, offset: u64, len: u64) -> Result<u32, InitiatorError> {
+    let mut state = 0xFFFF_FFFFu32;
+    let mut done = 0u64;
+    while done < len {
+        let chunk = COPY_CHUNK.min((len - done) as usize);
+        let data = conn.read_bytes(offset + done, chunk)?;
+        state = crc32_update(state, &data);
+        done += chunk as u64;
+    }
+    Ok(state ^ 0xFFFF_FFFF)
+}
+
+/// Chunked copy of `[src_off, +len)` on `src` to `dst_off` on `dst`.
+fn copy_extent(
+    src: &mut NvmfConnection,
+    src_off: u64,
+    dst: &mut NvmfConnection,
+    dst_off: u64,
+    len: u64,
+) -> Result<(), InitiatorError> {
+    let mut done = 0u64;
+    while done < len {
+        let chunk = COPY_CHUNK.min((len - done) as usize);
+        let data = src.read_bytes(src_off + done, chunk)?;
+        let crc = crc32(&data);
+        dst.write_vectored_bytes_precrc(vec![(dst_off + done, data, crc)])?;
+        done += chunk as u64;
+    }
+    Ok(())
+}
+
+/// Read both manifest slots at `region_base` on `conn` and return the
+/// decodable one with the highest epoch, if any. A torn or never-written
+/// slot simply loses.
+pub fn read_latest_manifest(
+    conn: &mut NvmfConnection,
+    region_base: u64,
+) -> Result<Option<EpochManifest>, InitiatorError> {
+    let mut best: Option<EpochManifest> = None;
+    for slot in 0..2u64 {
+        let bytes = conn.read_bytes(region_base + slot * SLOT_BYTES, SLOT_BYTES as usize)?;
+        if let Ok(m) = EpochManifest::decode_slot(&bytes) {
+            if best.as_ref().is_none_or(|b| m.epoch > b.epoch) {
+                best = Some(m);
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// What a replica-based restore recovered.
+pub struct RestoreOutcome {
+    /// Extent map describing the restored image.
+    pub map: ExtentMap,
+    /// Epoch the restored image corresponds to.
+    pub epoch: u64,
+    /// True when the live map could not be used verbatim and the restore
+    /// rolled back to the last complete manifest on the replica.
+    pub rolled_back: bool,
+}
+
+/// Re-populate a fresh primary from the surviving replica.
+///
+/// With a `live` map (the rank was mounted when its shard died) every
+/// committed extent is copied with streaming CRC verification and
+/// mid-epoch extents are copied as-is — the restored image is
+/// byte-identical to the moment of the failure. If verification fails,
+/// or no live map survived, the restore rolls back to the replica's last
+/// *complete* epoch: only manifest extents are copied, each strictly
+/// verified. Epochs lost in the rollback are counted in
+/// `replication.lag_epochs`; any fallback counts a degraded restore.
+pub fn restore_from_replica(
+    replica: &mut NvmfConnection,
+    live: Option<(ExtentMap, u64)>,
+    primary: &mut NvmfConnection,
+    primary_base: u64,
+    fs_size: u64,
+    t: &Telemetry,
+) -> Result<RestoreOutcome, ReplicationError> {
+    let metrics = ReplicationMetrics::new(t);
+    let live_epoch = live.as_ref().map(|(_, e)| *e);
+    if let Some((map, epoch)) = live {
+        match restore_extents(replica, map.entries(), primary, primary_base, false) {
+            Ok(()) => {
+                copy_manifest_region(replica, primary, primary_base, fs_size)?;
+                return Ok(RestoreOutcome {
+                    map,
+                    epoch,
+                    rolled_back: false,
+                });
+            }
+            Err(ReplicationError::Unrecoverable { .. }) => {
+                // The replica disagrees with the live map (e.g. it was
+                // mid-write when the primary died). Fall back to its
+                // last sealed epoch.
+                metrics.degraded_restores.inc();
+            }
+            Err(e) => return Err(e),
+        }
+    } else {
+        metrics.degraded_restores.inc();
+    }
+
+    let manifest =
+        read_latest_manifest(replica, fs_size)?.ok_or(ReplicationError::NoCompleteEpoch)?;
+    let map = ExtentMap::from_manifest(&manifest);
+    // Manifest extents always carry CRCs; verify strictly — a mismatch
+    // here means the data is gone on both copies.
+    restore_extents(replica, map.entries(), primary, primary_base, true)?;
+    copy_manifest_region(replica, primary, primary_base, fs_size)?;
+    if let Some(live_epoch) = live_epoch {
+        metrics
+            .lag_epochs
+            .add(live_epoch.saturating_sub(manifest.epoch));
+    }
+    telemetry::instant(
+        "replication",
+        "rollback_restore",
+        &[("epoch", manifest.epoch)],
+    );
+    Ok(RestoreOutcome {
+        map,
+        epoch: manifest.epoch,
+        rolled_back: true,
+    })
+}
+
+/// Copy `entries` from the replica onto the new primary, verifying the
+/// streamed bytes against each recorded CRC. `strict` fails on extents
+/// without a CRC (manifest path); otherwise they are copied unverified
+/// (mid-epoch writes in a live map).
+fn restore_extents(
+    replica: &mut NvmfConnection,
+    entries: Vec<(u64, u64, Option<u32>)>,
+    primary: &mut NvmfConnection,
+    primary_base: u64,
+    strict: bool,
+) -> Result<(), ReplicationError> {
+    for (offset, len, crc) in entries {
+        match crc {
+            Some(expected) => {
+                let mut state = 0xFFFF_FFFFu32;
+                let mut done = 0u64;
+                while done < len {
+                    let chunk = COPY_CHUNK.min((len - done) as usize);
+                    let data = replica.read_bytes(offset + done, chunk)?;
+                    state = crc32_update(state, &data);
+                    let chunk_crc = crc32(&data);
+                    primary.write_vectored_bytes_precrc(vec![(
+                        primary_base + offset + done,
+                        data,
+                        chunk_crc,
+                    )])?;
+                    done += chunk as u64;
+                }
+                if state ^ 0xFFFF_FFFF != expected {
+                    return Err(ReplicationError::Unrecoverable { offset, len });
+                }
+            }
+            None if strict => return Err(ReplicationError::Unrecoverable { offset, len }),
+            None => copy_extent(replica, offset, primary, primary_base + offset, len)?,
+        }
+    }
+    Ok(())
+}
+
+/// Carry both manifest slots over so the new primary can serve future
+/// restores and scrubs without the old replica.
+fn copy_manifest_region(
+    replica: &mut NvmfConnection,
+    primary: &mut NvmfConnection,
+    primary_base: u64,
+    fs_size: u64,
+) -> Result<(), InitiatorError> {
+    copy_extent(
+        replica,
+        fs_size,
+        primary,
+        primary_base + fs_size,
+        2 * SLOT_BYTES,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric::{Initiator, NvmfTarget};
+    use ssd::{Ssd, SsdConfig};
+
+    fn conn_pair() -> (NvmfConnection, NvmfConnection, Telemetry) {
+        let t = Telemetry::new();
+        let mk = |name: &str| {
+            let ssd = Ssd::with_telemetry(
+                SsdConfig {
+                    capacity: 256 << 20,
+                    ..SsdConfig::default()
+                },
+                t.clone(),
+            );
+            let ns = ssd.create_namespace(64 << 20).unwrap();
+            let target = Arc::new(NvmfTarget::new(Arc::new(ssd)));
+            Initiator::with_telemetry(name, t.clone()).connect(target, ns)
+        };
+        (mk("nqn.prim"), mk("nqn.repl"), t)
+    }
+
+    const FS: u64 = 32 << 20;
+
+    #[test]
+    fn write_through_lands_on_both_and_commit_survives_roundtrip() {
+        let (mut p, r, t) = conn_pair();
+        let mut m = Mirror::new(r, &t);
+        let data = Bytes::from(vec![0xABu8; 64 << 10]);
+        m.write_through(
+            &mut p,
+            0,
+            vec![(4096, data.clone()), (1 << 20, data.clone())],
+        )
+        .unwrap();
+        let epoch = m.commit_epoch(&mut p, 0, FS).unwrap();
+        assert_eq!(epoch, 1);
+        assert!(!m.is_degraded());
+        // Both copies hold the data; manifest decodes on both.
+        let (mut r, map, epoch, _) = m.into_parts();
+        assert_eq!(&r.read_bytes(4096, 64 << 10).unwrap()[..], &data[..]);
+        assert_eq!(&p.read_bytes(1 << 20, 64 << 10).unwrap()[..], &data[..]);
+        let from_replica = read_latest_manifest(&mut r, FS).unwrap().unwrap();
+        let from_primary = read_latest_manifest(&mut p, FS).unwrap().unwrap();
+        assert_eq!(from_replica.epoch, 1);
+        assert_eq!(from_primary.epoch, 1);
+        assert_eq!(
+            ExtentMap::from_manifest(&from_replica).entries(),
+            map.entries()
+        );
+        assert_eq!(epoch, 1);
+        assert_eq!(t.snapshot().counter("replication.epochs_committed"), 1);
+        assert_eq!(t.snapshot().counter("replication.bytes"), 2 * (64 << 10));
+    }
+
+    #[test]
+    fn scrub_repairs_single_copy_corruption_and_reports_double() {
+        let (mut p, r, t) = conn_pair();
+        let mut m = Mirror::new(r, &t);
+        m.write_through(&mut p, 0, vec![(0, Bytes::from(vec![0x11u8; 8192]))])
+            .unwrap();
+        m.write_through(&mut p, 0, vec![(1 << 20, Bytes::from(vec![0x22u8; 8192]))])
+            .unwrap();
+        m.commit_epoch(&mut p, 0, FS).unwrap();
+        // Corrupt the primary's first extent behind the mirror's back.
+        p.write_bytes(100, Bytes::from_static(b"rot")).unwrap();
+        let rep = m.scrub(&mut p, 0).unwrap();
+        assert_eq!(rep.repaired, 1);
+        assert_eq!(rep.unrecoverable, 0);
+        assert_eq!(&p.read_bytes(0, 8192).unwrap()[..], &[0x11u8; 8192][..]);
+        // Clean second pass.
+        let rep = m.scrub(&mut p, 0).unwrap();
+        assert_eq!((rep.repaired, rep.unrecoverable), (0, 0));
+        // Corrupt the same extent on both copies: unrecoverable.
+        p.write_bytes(100, Bytes::from_static(b"rot")).unwrap();
+        {
+            let (r, map, epoch, _) = m.into_parts();
+            let mut r = r;
+            r.write_bytes(100, Bytes::from_static(b"rot")).unwrap();
+            m = Mirror::with_state(r, map, epoch, &t);
+        }
+        let rep = m.scrub(&mut p, 0).unwrap();
+        assert_eq!(rep.unrecoverable, 1);
+        assert_eq!(t.snapshot().counter("replication.repairs"), 1);
+    }
+
+    #[test]
+    fn restore_from_live_map_is_byte_identical() {
+        let (mut p, r, t) = conn_pair();
+        let mut m = Mirror::new(r, &t);
+        let a = Bytes::from(
+            (0..16384u32)
+                .flat_map(|i| (i as u8).to_le_bytes())
+                .collect::<Vec<_>>(),
+        );
+        m.write_through(&mut p, 0, vec![(0, a.clone())]).unwrap();
+        m.commit_epoch(&mut p, 0, FS).unwrap();
+        // One uncommitted (mid-epoch) write too.
+        let b = Bytes::from(vec![0x77u8; 4096]);
+        m.write_through(&mut p, 0, vec![(2 << 20, b.clone())])
+            .unwrap();
+
+        let (mut replica, map, epoch, _) = m.into_parts();
+        let (mut fresh, _unused_replica, _) = conn_pair();
+        let out =
+            restore_from_replica(&mut replica, Some((map, epoch)), &mut fresh, 0, FS, &t).unwrap();
+        assert!(!out.rolled_back);
+        assert_eq!(out.epoch, 1);
+        assert_eq!(&fresh.read_bytes(0, a.len()).unwrap()[..], &a[..]);
+        assert_eq!(&fresh.read_bytes(2 << 20, 4096).unwrap()[..], &b[..]);
+        // Manifest region carried over.
+        assert_eq!(
+            read_latest_manifest(&mut fresh, FS).unwrap().unwrap().epoch,
+            1
+        );
+    }
+
+    #[test]
+    fn restore_without_live_map_rolls_back_to_last_complete_epoch() {
+        let (mut p, r, t) = conn_pair();
+        let mut m = Mirror::new(r, &t);
+        let a = Bytes::from(vec![0x31u8; 8192]);
+        m.write_through(&mut p, 0, vec![(0, a.clone())]).unwrap();
+        m.commit_epoch(&mut p, 0, FS).unwrap();
+        // Mid-epoch write that never commits — must not appear.
+        m.write_through(&mut p, 0, vec![(1 << 20, Bytes::from(vec![0x99u8; 4096]))])
+            .unwrap();
+        let (mut replica, _, _, _) = m.into_parts();
+        let (mut fresh, _u, _) = conn_pair();
+        let out = restore_from_replica(&mut replica, None, &mut fresh, 0, FS, &t).unwrap();
+        assert!(out.rolled_back);
+        assert_eq!(out.epoch, 1);
+        assert_eq!(&fresh.read_bytes(0, 8192).unwrap()[..], &a[..]);
+        assert_eq!(t.snapshot().counter("replication.degraded_restores"), 1);
+    }
+
+    #[test]
+    fn restore_with_no_manifest_is_no_complete_epoch() {
+        let (_p, mut r, t) = conn_pair();
+        let (mut fresh, _u, _) = conn_pair();
+        assert!(matches!(
+            restore_from_replica(&mut r, None, &mut fresh, 0, FS, &t),
+            Err(ReplicationError::NoCompleteEpoch)
+        ));
+    }
+
+    #[test]
+    fn rescan_rebuilds_a_committable_map() {
+        let (mut p, r, t) = conn_pair();
+        let mut m = Mirror::new(r, &t);
+        m.write_through(&mut p, 0, vec![(4096, Bytes::from(vec![0x42u8; 12288]))])
+            .unwrap();
+        // Simulate losing the in-memory map: fresh mirror over the same
+        // replica, rescan from the primary.
+        let (r, _, _, _) = m.into_parts();
+        let mut m = Mirror::with_state(r, ExtentMap::new(), 0, &t);
+        m.rescan(&mut p, 0, FS).unwrap();
+        // Whole-partition chunks merge into one extent.
+        assert_eq!(m.map().len(), 1);
+        let epoch = m.commit_epoch(&mut p, 0, FS).unwrap();
+        assert_eq!(epoch, 1);
+        let rep = m.scrub(&mut p, 0).unwrap();
+        assert_eq!(rep.unrecoverable, 0);
+        assert_eq!(rep.repaired, 0);
+    }
+}

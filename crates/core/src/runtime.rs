@@ -16,13 +16,15 @@ use rayon::prelude::*;
 
 use cluster::{FailureDomains, JobAllocation, NodeId, NodeKind, Topology};
 use fabric::{Initiator, NvmfTarget};
-use microfs::{FsError, FsStats, MicroFs};
+use microfs::manifest::REGION_BYTES;
+use microfs::{ExtentMap, FsError, FsStats, MicroFs};
 use ssd::{NsId, Ssd, SsdConfig, SsdError};
 use telemetry::Telemetry;
 
 use crate::balancer::{BalanceError, Placement, StorageBalancer};
 use crate::config::RuntimeConfig;
 use crate::dataplane::NvmfBlockDevice;
+use crate::replication::{self, Mirror, ReplicationError, ScrubReport};
 
 /// Smallest per-rank segment we accept (microfs needs room for its log,
 /// snapshot slots, and data region).
@@ -37,6 +39,8 @@ pub enum RuntimeError {
     Ssd(SsdError),
     /// Filesystem failure.
     Fs(FsError),
+    /// Replication-layer failure (mirror commit, scrub, or restore).
+    Replication(ReplicationError),
     /// Referenced rank does not exist or is not mounted.
     BadRank(u32),
 }
@@ -47,6 +51,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Balance(e) => write!(f, "balancer: {e}"),
             RuntimeError::Ssd(e) => write!(f, "ssd: {e}"),
             RuntimeError::Fs(e) => write!(f, "fs: {e}"),
+            RuntimeError::Replication(e) => write!(f, "replication: {e}"),
             RuntimeError::BadRank(r) => write!(f, "bad rank {r}"),
         }
     }
@@ -67,6 +72,11 @@ impl From<SsdError> for RuntimeError {
 impl From<FsError> for RuntimeError {
     fn from(e: FsError) -> Self {
         RuntimeError::Fs(e)
+    }
+}
+impl From<ReplicationError> for RuntimeError {
+    fn from(e: ReplicationError) -> Self {
+        RuntimeError::Replication(e)
     }
 }
 
@@ -156,6 +166,136 @@ struct RankRoute {
     size: u64,
     /// The storage node holding the bytes (failure-domain bookkeeping).
     node: NodeId,
+    /// Replication factor 2: the rank's second copy on a partner failure
+    /// domain. Its namespace is `size` bytes laid out identically to the
+    /// primary segment (partition image at 0, manifest region at the
+    /// tail), so either copy can serve a restore.
+    replica: Option<ReplicaRoute>,
+}
+
+/// Where a rank's replica lives (its own private namespace, base 0).
+#[derive(Clone)]
+struct ReplicaRoute {
+    target: Arc<NvmfTarget>,
+    ns: NsId,
+    node: NodeId,
+}
+
+impl RankRoute {
+    /// The microfs partition size: replicated routes reserve the manifest
+    /// region at the segment tail.
+    fn fs_size(&self) -> u64 {
+        if self.replica.is_some() {
+            self.size - REGION_BYTES
+        } else {
+            self.size
+        }
+    }
+}
+
+/// How to initialize a route's mirror when (re)connecting a rank.
+enum MirrorInit {
+    /// Fresh format: empty extent map, epoch 0.
+    Fresh,
+    /// The in-memory map is gone (crash or restart) but both copies
+    /// survive: take the epoch from the on-device manifest and rebuild
+    /// the map by rescanning the full primary image — writes made after
+    /// the last commit are on both copies but in no manifest, and a map
+    /// that missed them would silently drop them from future epochs.
+    Rescan,
+}
+
+/// Connect a rank's primary — and, when the route carries a replica, its
+/// mirror — and wrap both in the rank's block device.
+fn rank_device(
+    route: &RankRoute,
+    nqn: &str,
+    config: &RuntimeConfig,
+    init: MirrorInit,
+) -> Result<NvmfBlockDevice, RuntimeError> {
+    let initiator = Initiator::with_config(
+        nqn.to_string(),
+        config.telemetry.clone(),
+        config.chaos.clone(),
+        config.fabric.clone(),
+    );
+    let mut conn = initiator.connect(Arc::clone(&route.target), route.ns);
+    let fs_size = route.fs_size();
+    let Some(rr) = &route.replica else {
+        return Ok(NvmfBlockDevice::new(conn, route.base, fs_size));
+    };
+    let (epoch, rescan) = match init {
+        MirrorInit::Fresh => (0, false),
+        MirrorInit::Rescan => {
+            let epoch = replication::read_latest_manifest(&mut conn, route.base + fs_size)
+                .map_err(|e| RuntimeError::Replication(e.into()))?
+                .map_or(0, |m| m.epoch);
+            (epoch, true)
+        }
+    };
+    let ri = Initiator::with_config(
+        format!("{nqn}-mirror"),
+        config.telemetry.clone(),
+        config.chaos.clone(),
+        config.fabric.clone(),
+    );
+    let rconn = ri.connect(Arc::clone(&rr.target), rr.ns);
+    let mut dev = NvmfBlockDevice::new(conn, route.base, fs_size);
+    dev.attach_mirror(Mirror::with_state(
+        rconn,
+        ExtentMap::new(),
+        epoch,
+        &config.telemetry,
+    ));
+    if rescan {
+        dev.rescan_mirror()?;
+    }
+    Ok(dev)
+}
+
+/// Pick a partner-domain home for a rank's replica: a storage node other
+/// than the primary's, domain-separated from the rank (preferring nodes
+/// also separated from the primary), with an SSD that has room. The scan
+/// order is rotated by rank so replicas spread across the rack.
+fn place_replica(
+    rack: &StorageRack,
+    domains: &FailureDomains,
+    storage_nodes: &[NodeId],
+    rank: u32,
+    rank_node: NodeId,
+    primary_node: NodeId,
+    size: u64,
+) -> Result<ReplicaRoute, RuntimeError> {
+    let n = storage_nodes.len();
+    let pass = |strict: bool| {
+        (0..n)
+            .map(|i| storage_nodes[(i + rank as usize) % n])
+            .find_map(|node| {
+                if node == primary_node || !domains.separated(rank_node, node) {
+                    return None;
+                }
+                if strict && !domains.separated(primary_node, node) {
+                    return None;
+                }
+                let mut targets = rack.targets_on(node);
+                if !targets.is_empty() {
+                    let rot = rank as usize % targets.len();
+                    targets.rotate_left(rot);
+                }
+                targets
+                    .into_iter()
+                    .map(|(_, t)| t)
+                    .find(|t| t.device().namespaces().free_bytes() >= size)
+                    .map(|t| (t, node))
+            })
+    };
+    let (target, node) = pass(true)
+        .or_else(|| pass(false))
+        .ok_or(RuntimeError::Balance(BalanceError::NoFailoverTarget {
+            rank,
+        }))?;
+    let ns = target.device().create_namespace(size)?;
+    Ok(ReplicaRoute { target, ns, node })
 }
 
 /// A detached job's storage handle: everything needed to reattach to the
@@ -220,7 +360,7 @@ impl NvmeCrRuntime {
             });
         }
         // Each rank's initial route: its segment of its grant's namespace.
-        let routes: Vec<RankRoute> = placement
+        let mut routes: Vec<RankRoute> = placement
             .per_rank
             .iter()
             .map(|p| {
@@ -231,9 +371,27 @@ impl NvmeCrRuntime {
                     base: p.segment_offset,
                     size: p.segment_size,
                     node: gs.node,
+                    replica: None,
                 }
             })
             .collect();
+        // Replication factor 2: give every rank a second copy on a
+        // partner failure domain, in its own namespace sized like the
+        // primary segment (image + manifest region).
+        if config.replication_factor >= 2 {
+            let storage_nodes = topo.storage_nodes();
+            for (rank, route) in routes.iter_mut().enumerate() {
+                route.replica = Some(place_replica(
+                    rack,
+                    &domains,
+                    &storage_nodes,
+                    rank as u32,
+                    alloc.rank_nodes[rank],
+                    route.node,
+                    route.size,
+                )?);
+            }
+        }
         // Per-rank: connect an initiator and format the segment. Ranks
         // are fully independent (own connection, own namespace shard, own
         // filesystem), so format in parallel.
@@ -245,17 +403,17 @@ impl NvmeCrRuntime {
                 let _span = telemetry::span("driver", "init_rank").arg("rank", u64::from(p.rank));
                 let _t = init_rank_ns.time();
                 let route = &routes[p.rank as usize];
-                let initiator = Initiator::with_config(
-                    format!("nqn.2026-07.io.nvmecr:rank{}", p.rank),
-                    config.telemetry.clone(),
-                    config.chaos.clone(),
-                    config.fabric.clone(),
-                );
-                let conn = initiator.connect(Arc::clone(&route.target), route.ns);
-                let dev = NvmfBlockDevice::new(conn, route.base, route.size);
-                MicroFs::format(dev, config.fs_config()).map(Some)
+                let dev = rank_device(
+                    route,
+                    &format!("nqn.2026-07.io.nvmecr:rank{}", p.rank),
+                    &config,
+                    MirrorInit::Fresh,
+                )?;
+                MicroFs::format(dev, config.fs_config())
+                    .map(Some)
+                    .map_err(RuntimeError::from)
             })
-            .collect::<Result<Vec<_>, FsError>>()?;
+            .collect::<Result<Vec<_>, RuntimeError>>()?;
         Ok(NvmeCrRuntime {
             placement,
             grants,
@@ -362,27 +520,26 @@ impl NvmeCrRuntime {
             .collect();
         let config = &self.config;
         let recover_rank_ns = config.telemetry.histogram("driver.recover_rank_ns");
-        let mounted: Vec<(u32, Result<MicroFs<NvmfBlockDevice>, FsError>)> = jobs
+        let mounted: Vec<(u32, Result<MicroFs<NvmfBlockDevice>, RuntimeError>)> = jobs
             .into_par_iter()
             .map(|(rank, route)| {
                 let _span = telemetry::span("driver", "recover_rank").arg("rank", u64::from(rank));
                 let _t = recover_rank_ns.time();
-                let initiator = Initiator::with_config(
-                    format!("nqn.2026-07.io.nvmecr:rank{rank}-r"),
-                    config.telemetry.clone(),
-                    config.chaos.clone(),
-                    config.fabric.clone(),
-                );
-                let conn = initiator.connect(route.target, route.ns);
-                let dev = NvmfBlockDevice::new(conn, route.base, route.size);
-                (rank, MicroFs::mount(dev, config.fs_config()))
+                let fs = rank_device(
+                    &route,
+                    &format!("nqn.2026-07.io.nvmecr:rank{rank}-r"),
+                    config,
+                    MirrorInit::Rescan,
+                )
+                .and_then(|dev| MicroFs::mount(dev, config.fs_config()).map_err(RuntimeError::Fs));
+                (rank, fs)
             })
             .collect();
         let mut first_err = None;
         for (rank, fs) in mounted {
             match fs {
                 Ok(fs) => self.ranks[rank as usize] = Some(fs),
-                Err(e) => first_err = first_err.or(Some(RuntimeError::Fs(e))),
+                Err(e) => first_err = first_err.or(Some(e)),
             }
         }
         match first_err {
@@ -406,9 +563,40 @@ impl NvmeCrRuntime {
             format!("nqn.2026-07.io.nvmecr:fsck{rank}"),
             self.config.telemetry.clone(),
         );
+        let fs_size = route.fs_size();
         let conn = initiator.connect(route.target, route.ns);
-        let mut dev = NvmfBlockDevice::new(conn, route.base, route.size);
+        let mut dev = NvmfBlockDevice::new(conn, route.base, fs_size);
         Ok(microfs::fsck(&mut dev))
+    }
+
+    /// Seal one checkpoint epoch per mounted rank (replication factor 2):
+    /// resolve outstanding extent CRCs and write the manifest body plus
+    /// commit record to both copies. Returns the committed epochs; empty
+    /// when replication is off.
+    pub fn commit_epochs(&mut self) -> Result<Vec<u64>, RuntimeError> {
+        self.map_ranks_par(|_rank, fs| {
+            fs.device_mut()
+                .commit_epoch()
+                .map_err(RuntimeError::Replication)
+        })
+        .map(|v| v.into_iter().flatten().collect())
+    }
+
+    /// [`commit_epochs`](Self::commit_epochs) for a single rank.
+    pub fn commit_epoch_rank(&mut self, rank: u32) -> Result<Option<u64>, RuntimeError> {
+        let fs = self.rank_fs(rank)?;
+        fs.device_mut()
+            .commit_epoch()
+            .map_err(RuntimeError::Replication)
+    }
+
+    /// Scrub one rank's two copies: verify every committed extent against
+    /// its manifest CRC on both the primary and the replica, read-repair
+    /// latent corruption from whichever copy still matches. `Ok(None)`
+    /// when the rank is unreplicated.
+    pub fn scrub_rank(&mut self, rank: u32) -> Result<Option<ScrubReport>, RuntimeError> {
+        let fs = self.rank_fs(rank)?;
+        fs.device_mut().scrub().map_err(RuntimeError::Replication)
     }
 
     /// The storage node currently holding `rank`'s bytes.
@@ -421,11 +609,23 @@ impl NvmeCrRuntime {
 
     /// Re-place a rank whose storage shard died (§III-F "Handling Cascading
     /// Failures"): pick a surviving storage node that is domain-separated
-    /// from both the rank and the failed node, create a private replacement
-    /// namespace there, and format it fresh. The data on the dead shard is
-    /// gone — that is exactly the case multi-level checkpointing covers, and
-    /// the caller is expected to roll back to the last PFS-level checkpoint
-    /// and re-populate the new namespace.
+    /// from both the rank and the failed node, and create a private
+    /// replacement namespace there.
+    ///
+    /// With `replication_factor >= 2` this is a *recovery*, not a reset:
+    /// the replacement is re-populated from the rank's live replica on
+    /// the partner failure domain, every committed extent is byte-verified
+    /// against its manifest CRC before the rank is declared healthy, and
+    /// the rank remounts its filesystem exactly where it left off. Only if
+    /// the replica was mid-epoch (or degraded) does the restore roll back
+    /// to the replica's last *complete* epoch. The surviving replica stays
+    /// attached as the rank's mirror.
+    ///
+    /// Unreplicated (factor 1) the replacement is formatted fresh — the
+    /// data on the dead shard is gone; that is exactly the case
+    /// multi-level checkpointing covers, and the caller is expected to
+    /// roll back to the last PFS-level checkpoint and re-populate the new
+    /// namespace.
     pub fn fail_over_rank(
         &mut self,
         rank: u32,
@@ -440,9 +640,27 @@ impl NvmeCrRuntime {
         let _span = telemetry::span("driver", "fail_over_rank").arg("rank", u64::from(rank));
         let rank_node = self.rank_nodes[rank as usize];
         let domains = FailureDomains::derive(topo);
-        let candidates = topo.storage_nodes();
+        let mut candidates = topo.storage_nodes();
+        // Prefer not co-locating both copies: keep the replica's node out
+        // of the candidate list unless nothing else qualifies.
+        if let Some(rr) = &route.replica {
+            if candidates.len() > 1 {
+                let replica_node = rr.node;
+                candidates.retain(|&n| n != replica_node);
+            }
+        }
         let idx =
-            crate::balancer::failover_grant(&domains, rank, rank_node, route.node, &candidates)?;
+            crate::balancer::failover_grant(&domains, rank, rank_node, route.node, &candidates)
+                .or_else(|_| {
+                    candidates = topo.storage_nodes();
+                    crate::balancer::failover_grant(
+                        &domains,
+                        rank,
+                        rank_node,
+                        route.node,
+                        &candidates,
+                    )
+                })?;
         let new_node = candidates[idx];
         // First SSD on the partner node with room for the rank's segment.
         let size = route.size.max(MIN_SEGMENT);
@@ -461,9 +679,50 @@ impl NvmeCrRuntime {
             self.config.chaos.clone(),
             self.config.fabric.clone(),
         );
-        let conn = initiator.connect(Arc::clone(&target), ns);
-        let dev = NvmfBlockDevice::new(conn, 0, size);
-        let fs = MicroFs::format(dev, self.config.fs_config())?;
+        let mut conn = initiator.connect(Arc::clone(&target), ns);
+        let fs = if let Some(rr) = &route.replica {
+            let fs_size = size - REGION_BYTES;
+            // Reuse the live mirror (replica connection + extent map) if
+            // the rank was still mounted; a crashed rank reconnects to
+            // the replica namespace and restores from its manifest.
+            let live = self.ranks[rank as usize]
+                .take()
+                .and_then(|fs| fs.into_device().take_mirror())
+                .map(Mirror::into_parts);
+            let (mut rconn, state) = match live {
+                Some((rconn, map, epoch, _degraded)) => (rconn, Some((map, epoch))),
+                None => {
+                    let ri = Initiator::with_config(
+                        format!("nqn.2026-07.io.nvmecr:rank{rank}-restore"),
+                        self.config.telemetry.clone(),
+                        self.config.chaos.clone(),
+                        self.config.fabric.clone(),
+                    );
+                    (ri.connect(Arc::clone(&rr.target), rr.ns), None)
+                }
+            };
+            let outcome = replication::restore_from_replica(
+                &mut rconn,
+                state,
+                &mut conn,
+                0,
+                fs_size,
+                &self.config.telemetry,
+            )?;
+            let mut dev = NvmfBlockDevice::new(conn, 0, fs_size);
+            dev.attach_mirror(Mirror::with_state(
+                rconn,
+                outcome.map,
+                outcome.epoch,
+                &self.config.telemetry,
+            ));
+            // Mount, not format: the restored image is the rank's own
+            // filesystem, byte-verified against the manifest.
+            MicroFs::mount(dev, self.config.fs_config())?
+        } else {
+            let dev = NvmfBlockDevice::new(conn, 0, size);
+            MicroFs::format(dev, self.config.fs_config())?
+        };
         self.ranks[rank as usize] = Some(fs);
         self.extra_ns.push((Arc::clone(&target), ns));
         self.routes[rank as usize] = RankRoute {
@@ -472,6 +731,7 @@ impl NvmeCrRuntime {
             base: 0,
             size,
             node: new_node,
+            replica: route.replica,
         };
         self.config.telemetry.counter("driver.failovers").inc();
         Ok(())
@@ -513,6 +773,11 @@ impl NvmeCrRuntime {
     ///
     /// [`attach`]: NvmeCrRuntime::attach
     pub fn detach(mut self) -> JobHandle {
+        // Seal a final epoch per replicated rank so a restart can rebuild
+        // every mirror from manifests alone. A failing commit (degraded
+        // mirror, dead replica shard) must not block the detach — the
+        // restart path rescans and falls back to the last complete epoch.
+        let _ = self.commit_epochs();
         self.ranks.clear(); // drop every rank's volatile state
         JobHandle {
             grants: self
@@ -548,17 +813,17 @@ impl NvmeCrRuntime {
             .map(|(rank, route)| {
                 let _span = telemetry::span("driver", "restart_rank").arg("rank", rank as u64);
                 let _t = restart_rank_ns.time();
-                let initiator = Initiator::with_config(
-                    format!("nqn.2026-07.io.nvmecr:rank{rank}-restart"),
-                    handle.config.telemetry.clone(),
-                    handle.config.chaos.clone(),
-                    handle.config.fabric.clone(),
-                );
-                let conn = initiator.connect(Arc::clone(&route.target), route.ns);
-                let dev = NvmfBlockDevice::new(conn, route.base, route.size);
-                MicroFs::mount(dev, handle.config.fs_config()).map(Some)
+                let dev = rank_device(
+                    route,
+                    &format!("nqn.2026-07.io.nvmecr:rank{rank}-restart"),
+                    &handle.config,
+                    MirrorInit::Rescan,
+                )?;
+                MicroFs::mount(dev, handle.config.fs_config())
+                    .map(Some)
+                    .map_err(RuntimeError::from)
             })
-            .collect::<Result<Vec<_>, FsError>>()?;
+            .collect::<Result<Vec<_>, RuntimeError>>()?;
         Ok(NvmeCrRuntime {
             placement: handle.placement,
             grants: handle.grants,
@@ -586,6 +851,11 @@ impl NvmeCrRuntime {
         }
         for (target, ns) in &self.extra_ns {
             target.device().delete_namespace(*ns)?;
+        }
+        for route in &self.routes {
+            if let Some(rr) = &route.replica {
+                rr.target.device().delete_namespace(rr.ns)?;
+            }
         }
         Ok(stats)
     }
@@ -894,6 +1164,200 @@ mod tests {
         rt.recover_rank(5).unwrap();
         let fs = rt.rank_fs(5).unwrap();
         assert_eq!(fs.stat("/post.dat").unwrap().size, 64 << 10);
+    }
+
+    fn replicated_setup(procs: u32) -> (StorageRack, Topology, JobAllocation, RuntimeConfig) {
+        let telemetry = Telemetry::new();
+        let topo = Topology::paper_testbed();
+        let ssd_config = SsdConfig {
+            capacity: 8 << 30,
+            ..SsdConfig::default()
+        };
+        let rack = StorageRack::build_with_telemetry(&topo, &ssd_config, telemetry.clone());
+        let mut sched = Scheduler::new(topo.clone(), 4);
+        let alloc = sched.submit(&JobRequest::full_subscription(procs)).unwrap();
+        let config = RuntimeConfig {
+            // 8 ranks share the single grant namespace: 32 MiB segments,
+            // so the full-image rescans in attach/recover stay cheap.
+            namespace_bytes: 256 << 20,
+            replication_factor: 2,
+            telemetry,
+            ..RuntimeConfig::default()
+        };
+        (rack, topo, alloc, config)
+    }
+
+    #[test]
+    fn replicated_init_places_replicas_on_partner_domains() {
+        let (rack, topo, alloc, config) = replicated_setup(8);
+        let telemetry = config.telemetry.clone();
+        let domains = FailureDomains::derive(&topo);
+        let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config).unwrap();
+        for rank in 0..rt.rank_count() as usize {
+            let route = &rt.routes[rank];
+            let rr = route.replica.as_ref().expect("replica route");
+            assert_ne!(rr.node, route.node, "rank {rank}: copies co-located");
+            assert!(
+                domains.separated(alloc.rank_nodes[rank], rr.node),
+                "rank {rank}: replica shares the rank's failure domain"
+            );
+        }
+        // A checkpoint round commits one epoch per rank on both copies.
+        rt.for_each_rank_par(|rank, fs| {
+            let fd = fs.create("/e1.dat", 0o644)?;
+            fs.write(fd, &vec![rank as u8; 64 << 10])?;
+            fs.close(fd)?;
+            Ok(())
+        })
+        .unwrap();
+        let epochs = rt.commit_epochs().unwrap();
+        assert_eq!(epochs, vec![1; 8]);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("replication.epochs_committed"), 8);
+        assert!(snap.counter("replication.bytes") > 0);
+        // A clean scrub across both copies of rank 0.
+        let report = rt.scrub_rank(0).unwrap().unwrap();
+        assert_eq!(report.unrecoverable, 0);
+        assert_eq!(report.repaired, 0);
+        assert!(report.extents_checked > 0);
+        // Finalize releases grant, failover, and replica namespaces.
+        rt.finalize().unwrap();
+        for (_, target) in rack.targets.iter() {
+            let d = target.device();
+            assert_eq!(d.namespaces().free_bytes(), 8 << 30);
+        }
+    }
+
+    #[test]
+    fn replicated_fail_over_restores_data_from_surviving_replica() {
+        let (rack, topo, alloc, config) = replicated_setup(8);
+        let telemetry = config.telemetry.clone();
+        let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config).unwrap();
+        let committed: Vec<u8> = (0..96_000u32).map(|i| (i % 251) as u8).collect();
+        {
+            let fs = rt.rank_fs(3).unwrap();
+            let fd = fs.create("/epoch1.dat", 0o644).unwrap();
+            fs.write(fd, &committed).unwrap();
+            fs.close(fd).unwrap();
+        }
+        rt.commit_epochs().unwrap();
+        // Mid-epoch write after the commit — the live extent map restores
+        // it too.
+        let tail = vec![0x6Eu8; 20_000];
+        {
+            let fs = rt.rank_fs(3).unwrap();
+            let fd = fs.create("/midepoch.dat", 0o644).unwrap();
+            fs.write(fd, &tail).unwrap();
+            fs.close(fd).unwrap();
+        }
+        // The primary shard dies permanently; the rank fails over and is
+        // re-populated from the replica, byte-verified.
+        let old_node = rt.rank_storage_node(3).unwrap();
+        let route = rt.routes[3].clone();
+        route.target.device().shard(route.ns).unwrap().kill();
+        rt.fail_over_rank(3, &rack, &topo).unwrap();
+        assert_ne!(rt.rank_storage_node(3).unwrap(), old_node);
+        let read_all = |fs: &mut MicroFs<NvmfBlockDevice>, path: &str, len: usize| {
+            let fd = fs.open(path, OpenFlags::RDONLY, 0).unwrap();
+            let mut buf = vec![0u8; len];
+            let mut got = 0;
+            while got < len {
+                let n = fs.read(fd, &mut buf[got..]).unwrap();
+                if n == 0 {
+                    break;
+                }
+                got += n;
+            }
+            fs.close(fd).unwrap();
+            assert_eq!(got, len, "{path}");
+            buf
+        };
+        {
+            let fs = rt.rank_fs(3).unwrap();
+            assert_eq!(read_all(fs, "/epoch1.dat", committed.len()), committed);
+            assert_eq!(read_all(fs, "/midepoch.dat", tail.len()), tail);
+        }
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("driver.failovers"), 1);
+        assert_eq!(
+            snap.counter("replication.degraded_restores"),
+            0,
+            "live-map restore must not be degraded"
+        );
+        // The rank keeps running replicated: new writes, a new epoch, a
+        // clean scrub, then crash + recover over the *new* route. (The
+        // other ranks shared the killed grant namespace, so only rank 3
+        // is healthy enough to commit here.)
+        {
+            let fs = rt.rank_fs(3).unwrap();
+            let fd = fs.create("/after.dat", 0o644).unwrap();
+            fs.write(fd, &[0x5Cu8; 32 << 10]).unwrap();
+            fs.close(fd).unwrap();
+        }
+        assert_eq!(rt.commit_epoch_rank(3).unwrap(), Some(2));
+        let report = rt.scrub_rank(3).unwrap().unwrap();
+        assert_eq!(report.unrecoverable, 0);
+        rt.crash_rank(3).unwrap();
+        rt.recover_rank(3).unwrap();
+        let fs = rt.rank_fs(3).unwrap();
+        assert_eq!(fs.stat("/after.dat").unwrap().size, 32 << 10);
+        assert_eq!(fs.stat("/epoch1.dat").unwrap().size, committed.len() as u64);
+    }
+
+    #[test]
+    fn replicated_crashed_rank_fails_over_to_last_complete_epoch() {
+        // Shard death while the rank itself is down: no live extent map
+        // survives, so the restore decodes the replica's manifest and
+        // rolls back to the last *complete* epoch.
+        let (rack, topo, alloc, config) = replicated_setup(8);
+        let telemetry = config.telemetry.clone();
+        let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config).unwrap();
+        {
+            let fs = rt.rank_fs(1).unwrap();
+            let fd = fs.create("/sealed.dat", 0o644).unwrap();
+            fs.write(fd, &[0xB7u8; 48 << 10]).unwrap();
+            fs.close(fd).unwrap();
+        }
+        rt.commit_epochs().unwrap();
+        rt.crash_rank(1).unwrap();
+        let route = rt.routes[1].clone();
+        route.target.device().shard(route.ns).unwrap().kill();
+        rt.fail_over_rank(1, &rack, &topo).unwrap();
+        let fs = rt.rank_fs(1).unwrap();
+        assert_eq!(fs.stat("/sealed.dat").unwrap().size, 48 << 10);
+        assert_eq!(
+            telemetry
+                .snapshot()
+                .counter("replication.degraded_restores"),
+            1
+        );
+    }
+
+    #[test]
+    fn replicated_job_survives_detach_attach() {
+        let (rack, topo, alloc, config) = replicated_setup(8);
+        let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config).unwrap();
+        rt.for_each_rank_par(|rank, fs| {
+            let fd = fs.create("/restart.dat", 0o644)?;
+            fs.write(fd, &vec![rank as u8 ^ 0x40; 40 << 10])?;
+            fs.close(fd)?;
+            Ok(())
+        })
+        .unwrap();
+        // detach commits a final epoch per rank; attach rebuilds every
+        // mirror (manifest epoch + full-image rescan) and stays scrubable.
+        let handle = rt.detach();
+        let mut rt2 = NvmeCrRuntime::attach(handle).unwrap();
+        for rank in 0..8u32 {
+            let fs = rt2.rank_fs(rank).unwrap();
+            assert_eq!(fs.stat("/restart.dat").unwrap().size, 40 << 10);
+        }
+        let report = rt2.scrub_rank(5).unwrap().unwrap();
+        assert_eq!(report.unrecoverable, 0);
+        // Epochs continue from the manifest, not from zero.
+        let epochs = rt2.commit_epochs().unwrap();
+        assert!(epochs.iter().all(|&e| e == 2), "{epochs:?}");
+        rt2.finalize().unwrap();
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! an optional inline data payload for writes.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use microfs::crc::{crc32, crc32_update};
+use microfs::crc::{crc32, crc32_shift, crc32_update};
 use std::fmt;
 
 use crate::sg::SgList;
@@ -158,7 +158,7 @@ impl fmt::Display for CapsuleError {
 impl std::error::Error for CapsuleError {}
 
 /// A command capsule as sent initiator → target.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Capsule {
     /// Command opcode.
     pub opcode: Opcode,
@@ -172,7 +172,27 @@ pub struct Capsule {
     pub len: u64,
     /// Inline payload (writes only).
     pub data: Bytes,
+    /// Cached finalized `crc32(data)`, supplied by callers that already
+    /// checksummed the payload (replicated writes checksum once, then
+    /// encode the same payload into two capsules). `encode_header` derives
+    /// the wire CRC from it via `crc32_shift` in O(log len) instead of
+    /// re-scanning the payload. Purely an encoding accelerator: it never
+    /// changes wire bytes, so equality ignores it.
+    payload_crc: Option<u32>,
 }
+
+impl PartialEq for Capsule {
+    fn eq(&self, other: &Self) -> bool {
+        self.opcode == other.opcode
+            && self.cid == other.cid
+            && self.nsid == other.nsid
+            && self.offset == other.offset
+            && self.len == other.len
+            && self.data == other.data
+    }
+}
+
+impl Eq for Capsule {}
 
 impl Capsule {
     /// A write capsule carrying `data`.
@@ -185,7 +205,18 @@ impl Capsule {
             offset,
             len,
             data,
+            payload_crc: None,
         }
+    }
+
+    /// A write capsule whose payload checksum `crc32(data)` the caller has
+    /// already computed. Encoding reuses it instead of re-scanning the
+    /// payload — on a replicated write the payload is checksummed once and
+    /// encoded into two byte-identical capsules (modulo nsid/offset).
+    pub fn write_precrc(cid: u16, nsid: u32, offset: u64, data: Bytes, payload_crc: u32) -> Self {
+        let mut c = Self::write(cid, nsid, offset, data);
+        c.payload_crc = Some(payload_crc);
+        c
     }
 
     /// A read capsule requesting `len` bytes.
@@ -197,6 +228,7 @@ impl Capsule {
             offset,
             len,
             data: Bytes::new(),
+            payload_crc: None,
         }
     }
 
@@ -209,6 +241,7 @@ impl Capsule {
             offset: 0,
             len: 0,
             data: Bytes::new(),
+            payload_crc: None,
         }
     }
 
@@ -221,6 +254,7 @@ impl Capsule {
             offset: 0,
             len: 0,
             data: Bytes::new(),
+            payload_crc: None,
         }
     }
 
@@ -241,7 +275,17 @@ impl Capsule {
         buf.put_u32_le(self.nsid);
         buf.put_u64_le(self.offset);
         buf.put_u64_le(self.len);
-        let crc = crc32_update(crc32(&buf), &self.data);
+        let prefix = crc32(&buf);
+        // The CRC update is affine over GF(2):
+        // `crc32_update(S, data) = crc32_shift(S ^ !0, len) ^ crc32(data) ^ !0`,
+        // so a caller-supplied payload checksum substitutes for re-scanning
+        // the payload bytes.
+        let crc = match self.payload_crc {
+            Some(pc) => {
+                crc32_shift(prefix ^ 0xFFFF_FFFF, self.data.len() as u64) ^ pc ^ 0xFFFF_FFFF
+            }
+            None => crc32_update(prefix, &self.data),
+        };
         buf.put_u32_le(crc);
         buf.freeze()
     }
@@ -290,6 +334,7 @@ impl Capsule {
                 offset,
                 len,
                 data: Bytes::new(),
+                payload_crc: None,
             },
             wire_crc,
             prefix_crc,
@@ -496,6 +541,32 @@ mod tests {
         let c = Capsule::write(7, 3, 4096, Bytes::from_static(b"checkpoint bytes"));
         let d = Capsule::decode(c.encode()).unwrap();
         assert_eq!(c, d);
+    }
+
+    #[test]
+    fn precrc_encoding_is_byte_identical() {
+        for payload in [
+            Bytes::new(),
+            Bytes::from_static(b"x"),
+            Bytes::from(vec![0xA7u8; 4096]),
+        ] {
+            let plain = Capsule::write(7, 3, 4096, payload.clone());
+            let pre = Capsule::write_precrc(7, 3, 4096, payload.clone(), crc32(&payload));
+            assert_eq!(plain.encode(), pre.encode());
+            assert_eq!(Capsule::decode(pre.encode()).unwrap(), plain);
+        }
+    }
+
+    #[test]
+    fn wrong_precrc_fails_wire_crc() {
+        // The cached checksum genuinely feeds the wire CRC: lying about it
+        // produces a capsule the decoder rejects.
+        let payload = Bytes::from_static(b"checkpoint bytes");
+        let bad = Capsule::write_precrc(1, 1, 0, payload.clone(), !crc32(&payload));
+        assert!(matches!(
+            Capsule::decode(bad.encode()),
+            Err(CapsuleError::CrcMismatch { .. })
+        ));
     }
 
     #[test]

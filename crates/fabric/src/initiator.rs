@@ -326,8 +326,23 @@ impl NvmfConnection {
         let _span = telemetry::span("fabric", "submit")
             .arg("ns", self.ns.0 as u64)
             .arg("window", capsules.len() as u64);
+        let mut pending = self.begin_window(capsules);
+        let result = self.drive_window(&mut pending);
+        self.observe_window(&mut pending);
+        result?;
+        Ok(pending
+            .into_iter()
+            .map(|p| p.done.expect("window drained"))
+            .collect())
+    }
+
+    /// Meter a batch of capsules into the window's pending table. Paired
+    /// with [`NvmfConnection::window_pass`] /
+    /// [`NvmfConnection::observe_window`] by callers that interleave this
+    /// window with another connection's (mirrored writes).
+    fn begin_window(&mut self, capsules: Vec<Capsule>) -> Vec<Pending> {
         self.metrics.io_ops.add(capsules.len() as u64);
-        let mut pending: Vec<Pending> = capsules
+        capsules
             .into_iter()
             .map(|capsule| Pending {
                 capsule,
@@ -337,19 +352,16 @@ impl NvmfConnection {
                 started: Instant::now(),
                 timed: false,
             })
-            .collect();
-        let result = self.drive_window(&mut pending);
-        // Exactly one submit_ns observation per command that entered the
-        // window, success or failure — `submit_ns.count` stays equal to
-        // `io_ops` so percentiles are per-command latencies.
+            .collect()
+    }
+
+    /// Exactly one submit_ns observation per command that entered the
+    /// window, success or failure — `submit_ns.count` stays equal to
+    /// `io_ops` so percentiles are per-command latencies.
+    fn observe_window(&self, pending: &mut [Pending]) {
         for p in pending.iter_mut().filter(|p| !p.timed) {
             Self::observe_latency(&self.metrics, p);
         }
-        result?;
-        Ok(pending
-            .into_iter()
-            .map(|p| p.done.expect("window drained"))
-            .collect())
     }
 
     fn observe_latency(metrics: &FabricMetrics, p: &mut Pending) {
@@ -359,13 +371,25 @@ impl NvmfConnection {
             .record(p.started.elapsed().as_nanos() as u64);
     }
 
-    /// Run the window until every pending command has retired. Each pass
-    /// makes three sweeps — post, target-daemon batch iteration, CQ drain
-    /// — followed by a timeout sweep for commands whose responses are
-    /// provably gone. No blocking waits anywhere (Principle 1).
+    /// Run the window until every pending command has retired.
     fn drive_window(&mut self, pending: &mut [Pending]) -> Result<(), InitiatorError> {
-        let qd = self.config.queue_depth.max(1);
         while pending.iter().any(|p| p.done.is_none()) {
+            self.window_pass(pending)?;
+        }
+        Ok(())
+    }
+
+    /// One pass of the submission window. Each pass makes three sweeps —
+    /// post, target-daemon batch iteration, CQ drain — followed by a
+    /// timeout sweep for commands whose responses are provably gone. No
+    /// blocking waits anywhere (Principle 1). A pass retires at least one
+    /// attempt, so [`NvmfConnection::drive_window`] loops it to completion;
+    /// [`write_mirrored_bytes`] instead alternates passes on two
+    /// connections so a replicated write keeps both windows full
+    /// concurrently.
+    fn window_pass(&mut self, pending: &mut [Pending]) -> Result<(), InitiatorError> {
+        let qd = self.config.queue_depth.max(1);
+        {
             // Phase 1: fill the window — post command capsules until
             // `queue_depth` are in flight or the send queue pushes back.
             let mut in_flight = pending.iter().filter(|p| p.in_flight).count();
@@ -678,6 +702,36 @@ impl NvmfConnection {
         self.submit_window(capsules).map(|_| ())
     }
 
+    /// Vectored write of `(offset, payload, crc32(payload))` extents whose
+    /// checksums the caller already computed — capsule encoding reuses them
+    /// (see [`Capsule::write_precrc`]) instead of re-scanning each payload.
+    /// The replication path checksums every extent once for its manifest
+    /// and rides this for all subsequent encodes.
+    pub fn write_vectored_bytes_precrc(
+        &mut self,
+        writes: Vec<(u64, Bytes, u32)>,
+    ) -> Result<(), InitiatorError> {
+        if writes.is_empty() {
+            return Ok(());
+        }
+        let capsules = self.precrc_capsules(writes);
+        self.submit_window(capsules).map(|_| ())
+    }
+
+    /// Meter and build write capsules carrying caller-computed payload
+    /// checksums.
+    fn precrc_capsules(&mut self, writes: Vec<(u64, Bytes, u32)>) -> Vec<Capsule> {
+        let mut capsules = Vec::with_capacity(writes.len());
+        for (offset, data, crc) in writes {
+            let cid = self.cid();
+            self.ios += 1;
+            self.bytes += data.len() as u64;
+            self.metrics.io_bytes.add(data.len() as u64);
+            capsules.push(Capsule::write_precrc(cid, self.ns.0, offset, data, crc));
+        }
+        capsules
+    }
+
     /// Vectored write of borrowed slices (stages one copy per extent;
     /// prefer [`NvmfConnection::write_vectored_bytes`]).
     pub fn write_vectored(&mut self, writes: &[(u64, &[u8])]) -> Result<(), InitiatorError> {
@@ -753,6 +807,87 @@ impl NvmfConnection {
     pub fn qp_counters(&self) -> (u64, u64) {
         self.qp_initiator.counters()
     }
+}
+
+/// One extent of a replicated write: the same refcounted payload goes to
+/// both copies, at (possibly) different namespace-relative offsets.
+#[derive(Debug, Clone)]
+pub struct MirroredWrite {
+    /// Offset on the primary connection's namespace.
+    pub primary_offset: u64,
+    /// Offset on the replica connection's namespace.
+    pub replica_offset: u64,
+    /// The payload, shared by refcount between both capsules.
+    pub data: Bytes,
+    /// Finalized `crc32(data)`, computed once by the caller; both encodes
+    /// and the epoch manifest reuse it.
+    pub crc: u32,
+}
+
+/// Outcome of a mirrored window. The primary copy's failure is the
+/// `Result` of [`write_mirrored_bytes`] itself; a replica-side failure
+/// only degrades the mirror and is reported here for the caller to mark
+/// the affected extents dirty.
+#[derive(Debug)]
+pub struct MirrorOutcome {
+    /// `None`: both copies are durable. `Some(e)`: the primary copy is
+    /// durable but the replica window failed with `e` — the mirror is
+    /// degraded and must be re-synced before it can serve a restore.
+    pub replica_error: Option<InitiatorError>,
+}
+
+/// Write a batch of extents to two connections through one shared
+/// submission window: passes alternate between the primary and replica
+/// windows, so both have up to `queue_depth` commands in flight
+/// concurrently — replication overlaps with itself rather than running as
+/// two serial rounds. Per-command retry/reconnect/replay-cache semantics
+/// are unchanged: each connection's window applies its own policy.
+///
+/// Error asymmetry: a primary failure aborts the write (`Err`); a replica
+/// failure degrades it (`Ok` with [`MirrorOutcome::replica_error`] set) —
+/// checkpoint progress must not hinge on the redundant copy.
+pub fn write_mirrored_bytes(
+    primary: &mut NvmfConnection,
+    replica: &mut NvmfConnection,
+    writes: Vec<MirroredWrite>,
+) -> Result<MirrorOutcome, InitiatorError> {
+    if writes.is_empty() {
+        return Ok(MirrorOutcome {
+            replica_error: None,
+        });
+    }
+    let _span = telemetry::span("fabric", "submit_mirrored")
+        .arg("ns", primary.ns.0 as u64)
+        .arg("window", writes.len() as u64);
+    let mut primary_writes = Vec::with_capacity(writes.len());
+    let mut replica_writes = Vec::with_capacity(writes.len());
+    for w in writes {
+        primary_writes.push((w.primary_offset, w.data.clone(), w.crc));
+        replica_writes.push((w.replica_offset, w.data, w.crc));
+    }
+    let p_caps = primary.precrc_capsules(primary_writes);
+    let r_caps = replica.precrc_capsules(replica_writes);
+    let mut p_pending = primary.begin_window(p_caps);
+    let mut r_pending = replica.begin_window(r_caps);
+    let undone = |pending: &[Pending]| pending.iter().any(|p| p.done.is_none());
+    let mut replica_error = None;
+    while undone(&p_pending) || (replica_error.is_none() && undone(&r_pending)) {
+        if undone(&p_pending) {
+            if let Err(e) = primary.window_pass(&mut p_pending) {
+                primary.observe_window(&mut p_pending);
+                replica.observe_window(&mut r_pending);
+                return Err(e);
+            }
+        }
+        if replica_error.is_none() && undone(&r_pending) {
+            if let Err(e) = replica.window_pass(&mut r_pending) {
+                replica_error = Some(e);
+            }
+        }
+    }
+    primary.observe_window(&mut p_pending);
+    replica.observe_window(&mut r_pending);
+    Ok(MirrorOutcome { replica_error })
 }
 
 #[cfg(test)]
@@ -1148,6 +1283,108 @@ mod tests {
         let got = conn.read_vectored_bytes(&spec).unwrap();
         for (i, data) in got.iter().enumerate() {
             assert_eq!(&data[..], &vec![i as u8; 64][..]);
+        }
+    }
+
+    fn mirrored(writes: &[(u64, Vec<u8>)]) -> Vec<MirroredWrite> {
+        writes
+            .iter()
+            .map(|(o, d)| MirroredWrite {
+                primary_offset: *o,
+                replica_offset: *o + 64, // replica homes at a different base
+                data: Bytes::from(d.clone()),
+                crc: microfs::crc::crc32(d),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mirrored_write_lands_on_both_copies() {
+        let (target, a, b, t) = setup_with_telemetry();
+        let init = Initiator::with_telemetry("nqn.host", t.clone());
+        let mut prim = init.connect(Arc::clone(&target), a);
+        let mut repl = init.connect(Arc::clone(&target), b);
+        let writes: Vec<(u64, Vec<u8>)> =
+            (0..48u64).map(|i| (i * 512, vec![i as u8; 512])).collect();
+        let out = write_mirrored_bytes(&mut prim, &mut repl, mirrored(&writes)).unwrap();
+        assert!(out.replica_error.is_none());
+        for (o, d) in &writes {
+            assert_eq!(&prim.read_bytes(*o, d.len()).unwrap()[..], &d[..]);
+            assert_eq!(&repl.read_bytes(*o + 64, d.len()).unwrap()[..], &d[..]);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("fabric.io_ops"), 2 * 48 + 2 * 48);
+        assert_eq!(
+            snap.counter("fabric.bytes_copied"),
+            0,
+            "both capsule encodes share the payload by refcount"
+        );
+    }
+
+    #[test]
+    fn mirrored_write_overlaps_both_windows() {
+        // Both connections must genuinely pipeline: with QD=32 and 64
+        // extents each, the shared window drives well over 32 commands
+        // before either side serializes — observable as posted sends on
+        // both QPs exceeding one-window-at-a-time lockstep.
+        let (target, a, b, t) = setup_with_telemetry();
+        let init = Initiator::with_telemetry("nqn.host", t);
+        let mut prim = init.connect(Arc::clone(&target), a);
+        let mut repl = init.connect(Arc::clone(&target), b);
+        let writes: Vec<(u64, Vec<u8>)> = (0..64u64).map(|i| (i * 128, vec![1u8; 128])).collect();
+        write_mirrored_bytes(&mut prim, &mut repl, mirrored(&writes)).unwrap();
+        assert_eq!(prim.qp_counters().0, 64);
+        assert_eq!(repl.qp_counters().0, 64);
+    }
+
+    #[test]
+    fn mirrored_write_degrades_on_replica_death_and_fails_on_primary_death() {
+        let (target, a, b, t) = setup_with_telemetry();
+        let init = Initiator::with_telemetry("nqn.host", t);
+        let mut prim = init.connect(Arc::clone(&target), a);
+        let mut repl = init.connect(Arc::clone(&target), b);
+        let writes: Vec<(u64, Vec<u8>)> = (0..8u64).map(|i| (i * 256, vec![7u8; 256])).collect();
+
+        // Replica shard dies: the write still succeeds, flagged degraded.
+        target.device().shard(b).unwrap().kill();
+        let out = write_mirrored_bytes(&mut prim, &mut repl, mirrored(&writes)).unwrap();
+        assert!(matches!(
+            out.replica_error,
+            Some(InitiatorError::Remote(Status::ShardOffline))
+        ));
+        for (o, d) in &writes {
+            assert_eq!(
+                &prim.read_bytes(*o, d.len()).unwrap()[..],
+                &d[..],
+                "primary durable"
+            );
+        }
+
+        // Primary shard dies: the write fails outright.
+        target.device().shard(a).unwrap().kill();
+        target.device().shard(b).unwrap().revive();
+        let err = write_mirrored_bytes(&mut prim, &mut repl, mirrored(&writes)).unwrap_err();
+        assert!(matches!(err, InitiatorError::Remote(Status::ShardOffline)));
+    }
+
+    #[test]
+    fn precrc_vectored_write_roundtrips() {
+        let (target, a, _, t) = setup_with_telemetry();
+        let init = Initiator::with_telemetry("nqn.host", t);
+        let mut conn = init.connect(target, a);
+        let writes: Vec<(u64, Bytes, u32)> = (0..16u64)
+            .map(|i| {
+                let d = vec![i as u8; 1024];
+                let crc = microfs::crc::crc32(&d);
+                (i * 1024, Bytes::from(d), crc)
+            })
+            .collect();
+        conn.write_vectored_bytes_precrc(writes).unwrap();
+        for i in 0..16u64 {
+            assert_eq!(
+                &conn.read_bytes(i * 1024, 1024).unwrap()[..],
+                &vec![i as u8; 1024][..]
+            );
         }
     }
 

@@ -32,7 +32,9 @@ pub mod transport;
 
 pub use capsule::{Capsule, CapsuleError, Completion, Opcode, Status};
 pub use config::{FabricConfig, KernelCosts, NetConfig, RetryConfig};
-pub use initiator::{Initiator, NvmfConnection};
+pub use initiator::{
+    write_mirrored_bytes, Initiator, InitiatorError, MirrorOutcome, MirroredWrite, NvmfConnection,
+};
 pub use path::{IoPath, PathCosts, TimeSplit};
 pub use qp::{CompletionOp, QpError, QueuePair, WrId};
 pub use sg::SgList;

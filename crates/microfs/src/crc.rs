@@ -39,6 +39,76 @@ pub fn crc32_update(state: u32, data: &[u8]) -> u32 {
     c
 }
 
+/// Multiply the GF(2) matrix `mat` by the bit-vector `vec`.
+fn gf2_matrix_times(mat: &[u32; 32], mut vec: u32) -> u32 {
+    let mut sum = 0;
+    let mut i = 0;
+    while vec != 0 {
+        if vec & 1 != 0 {
+            sum ^= mat[i];
+        }
+        vec >>= 1;
+        i += 1;
+    }
+    sum
+}
+
+/// Square the GF(2) operator `mat` into `sq` (applies `mat` twice).
+fn gf2_matrix_square(sq: &mut [u32; 32], mat: &[u32; 32]) {
+    for n in 0..32 {
+        sq[n] = gf2_matrix_times(mat, mat[n]);
+    }
+}
+
+/// Advance a CRC `state` (the streaming form of [`crc32_update`]) through
+/// `len` zero bytes in O(log len) — the zlib `crc32_combine` trick: the
+/// per-zero-byte update is linear over GF(2), so it is applied as a 32×32
+/// bit-matrix raised to the `len`-th power by repeated squaring.
+pub fn crc32_shift(state: u32, mut len: u64) -> u32 {
+    if len == 0 || state == 0 {
+        return state;
+    }
+    // Operator for one zero *bit* of the reflected polynomial.
+    let mut odd = [0u32; 32];
+    odd[0] = 0xEDB8_8320;
+    for (n, row) in odd.iter_mut().enumerate().skip(1) {
+        *row = 1 << (n - 1);
+    }
+    let mut even = [0u32; 32];
+    gf2_matrix_square(&mut even, &odd); // 2 bits
+    gf2_matrix_square(&mut odd, &even); // 4 bits
+    let mut crc = state;
+    // Each squaring doubles the zero-run the operator applies, starting at
+    // one byte; consume `len` a bit at a time.
+    loop {
+        gf2_matrix_square(&mut even, &odd);
+        if len & 1 != 0 {
+            crc = gf2_matrix_times(&even, crc);
+        }
+        len >>= 1;
+        if len == 0 {
+            break;
+        }
+        gf2_matrix_square(&mut odd, &even);
+        if len & 1 != 0 {
+            crc = gf2_matrix_times(&odd, crc);
+        }
+        len >>= 1;
+        if len == 0 {
+            break;
+        }
+    }
+    crc
+}
+
+/// CRC-32 of the concatenation `a ‖ b` from the two pieces' checksums:
+/// `crc32(a ‖ b) = crc32_shift(crc32(a), len_b) ^ crc32(b)`. Lets callers
+/// checksum each payload once and still derive checksums of merged
+/// extents without re-reading the bytes.
+pub fn crc32_concat(crc_a: u32, crc_b: u32, len_b: u64) -> u32 {
+    crc32_shift(crc_a, len_b) ^ crc_b
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,7 +135,57 @@ mod tests {
         assert_eq!(st ^ 0xFFFF_FFFF, crc32(data));
     }
 
+    #[test]
+    fn shift_matches_feeding_zero_bytes() {
+        for len in [0u64, 1, 2, 7, 8, 63, 64, 255, 4096] {
+            let state = crc32_update(0xFFFF_FFFF, b"seed bytes");
+            let zeros = vec![0u8; len as usize];
+            assert_eq!(
+                crc32_shift(state, len),
+                crc32_update(state, &zeros),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn concat_matches_one_shot() {
+        let a = b"first extent contents";
+        let b = b"and the adjacent one";
+        let mut joined = a.to_vec();
+        joined.extend_from_slice(b);
+        assert_eq!(
+            crc32_concat(crc32(a), crc32(b), b.len() as u64),
+            crc32(&joined)
+        );
+    }
+
     proptest! {
+        /// Shifting a state through `n` zero bytes equals feeding them.
+        #[test]
+        fn prop_shift_equals_zero_feed(
+            seed in proptest::collection::vec(any::<u8>(), 0..64),
+            len in 0u64..2048,
+        ) {
+            let state = crc32_update(0xFFFF_FFFF, &seed);
+            let zeros = vec![0u8; len as usize];
+            prop_assert_eq!(crc32_shift(state, len), crc32_update(state, &zeros));
+        }
+
+        /// Concatenation identity over arbitrary splits.
+        #[test]
+        fn prop_concat_equals_one_shot(
+            a in proptest::collection::vec(any::<u8>(), 0..512),
+            b in proptest::collection::vec(any::<u8>(), 0..512),
+        ) {
+            let mut joined = a.clone();
+            joined.extend_from_slice(&b);
+            prop_assert_eq!(
+                crc32_concat(crc32(&a), crc32(&b), b.len() as u64),
+                crc32(&joined)
+            );
+        }
+
         /// Any single-bit flip changes the checksum.
         #[test]
         fn prop_detects_bit_flips(

@@ -294,6 +294,14 @@ impl<D: BlockDevice> MicroFs<D> {
         &self.dev
     }
 
+    /// Mutable device access for runtime maintenance passes (epoch
+    /// commit, scrub, replica rebuild) that drive device-level IO between
+    /// filesystem operations. Callers must not mutate blocks the
+    /// filesystem owns.
+    pub fn device_mut(&mut self) -> &mut D {
+        &mut self.dev
+    }
+
     /// Take the device back, dropping all volatile state — the test-suite
     /// idiom for simulating a process crash.
     pub fn into_device(self) -> D {
@@ -348,10 +356,16 @@ impl<D: BlockDevice> MicroFs<D> {
         Ok(())
     }
 
-    fn parent_of(path: &str) -> (&str, &str) {
-        let idx = path.rfind('/').expect("validated path");
+    /// Split a path into its parent directory and final component. A path
+    /// without `/` is malformed input and surfaces as a typed error — the
+    /// public entry points validate first, but a panic here would turn a
+    /// caller's bad string into a crashed rank.
+    fn parent_of(path: &str) -> Result<(&str, &str), FsError> {
+        let idx = path
+            .rfind('/')
+            .ok_or_else(|| FsError::Invalid(format!("path {path:?} lacks '/'")))?;
         let parent = if idx == 0 { "/" } else { &path[..idx] };
-        (parent, &path[idx + 1..])
+        Ok((parent, &path[idx + 1..]))
     }
 
     fn lookup(&self, path: &str) -> Option<Ino> {
@@ -360,7 +374,7 @@ impl<D: BlockDevice> MicroFs<D> {
     }
 
     fn resolve_parent_dir(&self, path: &str) -> Result<(Ino, String), FsError> {
-        let (parent, name) = Self::parent_of(path);
+        let (parent, name) = Self::parent_of(path)?;
         let pino = self
             .lookup(parent)
             .ok_or_else(|| FsError::NotFound(parent.to_string()))?;
@@ -1129,6 +1143,30 @@ mod tests {
         let mut tail = [0u8; 16];
         assert_eq!(fs.read(fd, &mut tail).unwrap(), 0);
         fs.close(fd).unwrap();
+    }
+
+    #[test]
+    fn path_without_slash_is_typed_error_not_panic() {
+        // The internal splitter itself refuses slash-less input...
+        assert!(matches!(
+            MicroFs::<MemDevice>::parent_of("noslash"),
+            Err(FsError::Invalid(_))
+        ));
+        assert!(MicroFs::<MemDevice>::parent_of("/ok").is_ok());
+        // ...and every public entry point surfaces it as FsError::Invalid.
+        let mut fs = fresh();
+        assert!(matches!(
+            fs.create("noslash", 0o644),
+            Err(FsError::Invalid(_))
+        ));
+        assert!(matches!(
+            fs.mkdir("noslash", 0o755),
+            Err(FsError::Invalid(_))
+        ));
+        assert!(matches!(
+            fs.open("noslash", OpenFlags::RDONLY, 0),
+            Err(FsError::Invalid(_))
+        ));
     }
 
     #[test]

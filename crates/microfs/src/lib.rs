@@ -53,6 +53,7 @@ pub mod fs;
 pub mod fsck;
 pub mod inode;
 pub mod layout;
+pub mod manifest;
 pub mod snapshot;
 pub mod wal;
 
@@ -61,3 +62,4 @@ pub use error::{FsError, OpenFlags};
 pub use fs::{FsConfig, FsStats, MicroFs};
 pub use fsck::{check as fsck, FsckIssue, FsckReport};
 pub use layout::Layout;
+pub use manifest::{EpochManifest, ExtentMap, ManifestError, ManifestExtent};

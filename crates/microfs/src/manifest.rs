@@ -1,0 +1,601 @@
+//! Checkpoint epoch manifests — the on-device commit protocol of the
+//! replicated checkpoint path.
+//!
+//! Every replicated rank reserves a small manifest region at the tail of
+//! its segment (on both copies). A checkpoint epoch commits in two
+//! phases into one of two ping-pong slots (`epoch % 2`): first the
+//! **body** — epoch sequence number plus one `(offset, len, crc32)`
+//! entry per live extent of the filesystem image — then a CRC-sealed
+//! **commit record** at the slot head. A slot whose record is missing,
+//! torn, or corrupt is simply not committed, so restore can always
+//! identify the latest *complete* epoch on either copy: the other slot
+//! still holds the previous one.
+//!
+//! [`ExtentMap`] is the in-memory side: a cumulative map of every byte
+//! ever mirrored, with per-extent CRCs maintained incrementally —
+//! adjacent extents merge via [`crc32_concat`] without re-reading data;
+//! partially overwritten extents leave *dirty* (CRC-unknown) fragments
+//! that the committer re-reads lazily.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::crc::{crc32, crc32_concat};
+
+/// Bytes reserved per manifest slot.
+pub const SLOT_BYTES: u64 = 512 << 10;
+/// Bytes of the whole manifest region (two ping-pong slots).
+pub const REGION_BYTES: u64 = 2 * SLOT_BYTES;
+/// Bytes of the sealed commit record at the head of a slot.
+pub const COMMIT_RECORD_BYTES: u64 = 32;
+
+const BODY_MAGIC: u32 = 0x4E43_4D42; // "BMCN"
+const COMMIT_MAGIC: u32 = 0x4E43_4D43; // "CMCN"
+const BODY_HEADER: usize = 16; // magic u32 | epoch u64 | count u32
+const EXTENT_BYTES: usize = 20; // offset u64 | len u64 | crc u32
+
+/// Slot offset (within the manifest region) for `epoch`.
+pub fn slot_offset(epoch: u64) -> u64 {
+    (epoch % 2) * SLOT_BYTES
+}
+
+/// Most extents a slot body can hold.
+pub fn max_extents() -> usize {
+    (SLOT_BYTES as usize - COMMIT_RECORD_BYTES as usize - BODY_HEADER) / EXTENT_BYTES
+}
+
+/// Manifest encode/decode failures. Decode errors all mean "this slot
+/// holds no complete epoch" — the caller falls back to the other slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManifestError {
+    /// The slot is shorter than its framing claims (torn write).
+    Truncated,
+    /// No commit record (or not a manifest at all).
+    BadMagic,
+    /// A CRC check failed — record or body bytes rotted or tore.
+    Corrupt { expected: u32, actual: u32 },
+    /// The record and body disagree on the epoch.
+    EpochMismatch { record: u64, body: u64 },
+    /// Encoding: the extent map no longer fits one slot.
+    TooLarge { extents: usize },
+    /// Encoding: an extent's CRC is unresolved (dirty) — the caller must
+    /// re-read and [`ExtentMap::set_crc`] it first.
+    Dirty { offset: u64 },
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManifestError::Truncated => write!(f, "manifest slot truncated"),
+            ManifestError::BadMagic => write!(f, "manifest slot has no commit record"),
+            ManifestError::Corrupt { expected, actual } => {
+                write!(
+                    f,
+                    "manifest CRC mismatch: expected {expected:#010x}, got {actual:#010x}"
+                )
+            }
+            ManifestError::EpochMismatch { record, body } => {
+                write!(f, "manifest epoch mismatch: record {record}, body {body}")
+            }
+            ManifestError::TooLarge { extents } => {
+                write!(f, "{extents} extents exceed one manifest slot")
+            }
+            ManifestError::Dirty { offset } => {
+                write!(f, "extent at {offset} has an unresolved CRC")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+/// One verified extent of the mirrored image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ManifestExtent {
+    /// Byte offset within the filesystem image.
+    pub offset: u64,
+    /// Extent length in bytes.
+    pub len: u64,
+    /// CRC-32 of the extent's contents.
+    pub crc: u32,
+}
+
+/// A committed checkpoint epoch: sequence number plus the extents (and
+/// their checksums) that make up the image at commit time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochManifest {
+    /// Monotonic epoch sequence number (first commit is 1).
+    pub epoch: u64,
+    /// Image extents, in offset order.
+    pub extents: Vec<ManifestExtent>,
+}
+
+impl EpochManifest {
+    /// Encode the phase-1 **body**: written at `slot + COMMIT_RECORD_BYTES`
+    /// *before* the commit record so a crash between the phases leaves the
+    /// slot uncommitted rather than half-sealed.
+    pub fn encode_body(&self) -> Result<Vec<u8>, ManifestError> {
+        if self.extents.len() > max_extents() {
+            return Err(ManifestError::TooLarge {
+                extents: self.extents.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(BODY_HEADER + self.extents.len() * EXTENT_BYTES);
+        out.extend_from_slice(&BODY_MAGIC.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&(self.extents.len() as u32).to_le_bytes());
+        for e in &self.extents {
+            out.extend_from_slice(&e.offset.to_le_bytes());
+            out.extend_from_slice(&e.len.to_le_bytes());
+            out.extend_from_slice(&e.crc.to_le_bytes());
+        }
+        Ok(out)
+    }
+
+    /// Encode the phase-2 **commit record** sealing `body`: written at the
+    /// slot head only after the body write completed.
+    pub fn encode_commit(&self, body: &[u8]) -> [u8; COMMIT_RECORD_BYTES as usize] {
+        let mut rec = [0u8; COMMIT_RECORD_BYTES as usize];
+        rec[0..4].copy_from_slice(&COMMIT_MAGIC.to_le_bytes());
+        rec[4..12].copy_from_slice(&self.epoch.to_le_bytes());
+        rec[12..16].copy_from_slice(&(body.len() as u32).to_le_bytes());
+        rec[16..20].copy_from_slice(&crc32(body).to_le_bytes());
+        let seal = crc32(&rec[0..20]);
+        rec[20..24].copy_from_slice(&seal.to_le_bytes());
+        rec
+    }
+
+    /// Decode one slot (commit record + body). Any framing, CRC, or epoch
+    /// inconsistency — truncation and single-bit corruption included —
+    /// returns an error: the slot holds no complete epoch.
+    pub fn decode_slot(slot: &[u8]) -> Result<EpochManifest, ManifestError> {
+        let rec_len = COMMIT_RECORD_BYTES as usize;
+        if slot.len() < rec_len {
+            return Err(ManifestError::Truncated);
+        }
+        let u32_at = |b: &[u8], i: usize| u32::from_le_bytes(b[i..i + 4].try_into().unwrap());
+        let u64_at = |b: &[u8], i: usize| u64::from_le_bytes(b[i..i + 8].try_into().unwrap());
+        if u32_at(slot, 0) != COMMIT_MAGIC {
+            return Err(ManifestError::BadMagic);
+        }
+        if slot[24..rec_len].iter().any(|&b| b != 0) {
+            return Err(ManifestError::BadMagic);
+        }
+        let seal = u32_at(slot, 20);
+        let actual = crc32(&slot[0..20]);
+        if seal != actual {
+            return Err(ManifestError::Corrupt {
+                expected: seal,
+                actual,
+            });
+        }
+        let rec_epoch = u64_at(slot, 4);
+        let body_len = u32_at(slot, 12) as usize;
+        let body = slot
+            .get(rec_len..rec_len + body_len)
+            .ok_or(ManifestError::Truncated)?;
+        let body_crc = u32_at(slot, 16);
+        let actual = crc32(body);
+        if body_crc != actual {
+            return Err(ManifestError::Corrupt {
+                expected: body_crc,
+                actual,
+            });
+        }
+        if body.len() < BODY_HEADER || u32_at(body, 0) != BODY_MAGIC {
+            return Err(ManifestError::BadMagic);
+        }
+        let body_epoch = u64_at(body, 4);
+        if body_epoch != rec_epoch {
+            return Err(ManifestError::EpochMismatch {
+                record: rec_epoch,
+                body: body_epoch,
+            });
+        }
+        let count = u32_at(body, 12) as usize;
+        if body.len() != BODY_HEADER + count * EXTENT_BYTES {
+            return Err(ManifestError::Truncated);
+        }
+        let mut extents = Vec::with_capacity(count);
+        for i in 0..count {
+            let at = BODY_HEADER + i * EXTENT_BYTES;
+            extents.push(ManifestExtent {
+                offset: u64_at(body, at),
+                len: u64_at(body, at + 8),
+                crc: u32_at(body, at + 16),
+            });
+        }
+        Ok(EpochManifest {
+            epoch: rec_epoch,
+            extents,
+        })
+    }
+
+    /// Total image bytes the manifest covers.
+    pub fn bytes(&self) -> u64 {
+        self.extents.iter().map(|e| e.len).sum()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MapEntry {
+    len: u64,
+    /// `None` marks a dirty fragment: its bytes are on both copies but
+    /// its CRC must be re-read before the next commit can cover it.
+    crc: Option<u32>,
+}
+
+/// Cumulative map of every mirrored byte, with incremental CRCs.
+#[derive(Debug, Clone, Default)]
+pub struct ExtentMap {
+    map: BTreeMap<u64, MapEntry>,
+}
+
+impl ExtentMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        ExtentMap::default()
+    }
+
+    /// Rebuild a map from a committed manifest (restart path).
+    pub fn from_manifest(m: &EpochManifest) -> Self {
+        let mut map = BTreeMap::new();
+        for e in &m.extents {
+            map.insert(
+                e.offset,
+                MapEntry {
+                    len: e.len,
+                    crc: Some(e.crc),
+                },
+            );
+        }
+        ExtentMap { map }
+    }
+
+    /// Record a mirrored write of `len` bytes at `offset` whose payload
+    /// CRC is `crc`.
+    pub fn record(&mut self, offset: u64, len: u64, crc: u32) {
+        self.insert_extent(offset, len, Some(crc));
+    }
+
+    /// Mark `[offset, offset+len)` dirty — used when a mirrored window
+    /// failed partway and the replica's contents for the range are
+    /// uncertain (they will be copied, not CRC-verified, on restore).
+    pub fn mark_dirty(&mut self, offset: u64, len: u64) {
+        self.insert_extent(offset, len, None);
+    }
+
+    fn insert_extent(&mut self, offset: u64, len: u64, crc: Option<u32>) {
+        if len == 0 {
+            return;
+        }
+        let end = offset + len;
+        // Collect every existing extent overlapping [offset, end): the
+        // predecessor (which may reach in) plus all starting inside.
+        let mut hit: Vec<(u64, MapEntry)> = Vec::new();
+        if let Some((&k, &e)) = self.map.range(..offset).next_back() {
+            if k + e.len > offset {
+                hit.push((k, e));
+            }
+        }
+        for (&k, &e) in self.map.range(offset..end) {
+            hit.push((k, e));
+        }
+        for (k, e) in hit {
+            self.map.remove(&k);
+            // A surviving fragment's CRC is not derivable from the whole
+            // extent's — it goes dirty and is re-read at the next commit.
+            if k < offset {
+                self.map.insert(
+                    k,
+                    MapEntry {
+                        len: offset - k,
+                        crc: None,
+                    },
+                );
+            }
+            if k + e.len > end {
+                self.map.insert(
+                    end,
+                    MapEntry {
+                        len: k + e.len - end,
+                        crc: None,
+                    },
+                );
+            }
+        }
+        self.map.insert(offset, MapEntry { len, crc });
+        self.merge_around(offset);
+    }
+
+    /// Merge the extent at `offset` with exactly-adjacent neighbours whose
+    /// CRCs are known, composing checksums with [`crc32_concat`] instead
+    /// of re-reading bytes.
+    fn merge_around(&mut self, mut offset: u64) {
+        let Some(mut cur) = self.map.get(&offset).copied() else {
+            return;
+        };
+        if let Some((&pk, &pe)) = self.map.range(..offset).next_back() {
+            if pk + pe.len == offset {
+                if let (Some(a), Some(b)) = (pe.crc, cur.crc) {
+                    self.map.remove(&offset);
+                    cur = MapEntry {
+                        len: pe.len + cur.len,
+                        crc: Some(crc32_concat(a, b, cur.len)),
+                    };
+                    self.map.insert(pk, cur);
+                    offset = pk;
+                }
+            }
+        }
+        let next = offset + cur.len;
+        if let Some(&ne) = self.map.get(&next) {
+            if let (Some(a), Some(b)) = (cur.crc, ne.crc) {
+                self.map.remove(&next);
+                self.map.insert(
+                    offset,
+                    MapEntry {
+                        len: cur.len + ne.len,
+                        crc: Some(crc32_concat(a, b, ne.len)),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Dirty fragments, in offset order — the committer re-reads exactly
+    /// these before encoding a manifest.
+    pub fn dirty_fragments(&self) -> Vec<(u64, u64)> {
+        self.map
+            .iter()
+            .filter(|(_, e)| e.crc.is_none())
+            .map(|(&k, e)| (k, e.len))
+            .collect()
+    }
+
+    /// Resolve a dirty fragment's CRC after re-reading it. Returns false
+    /// if no fragment starts at `offset` with exactly `len` bytes.
+    pub fn set_crc(&mut self, offset: u64, len: u64, crc: u32) -> bool {
+        match self.map.get_mut(&offset) {
+            Some(e) if e.len == len => {
+                e.crc = Some(crc);
+                self.merge_around(offset);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// All extents as `(offset, len, crc)` — `crc` is `None` for dirty
+    /// fragments.
+    pub fn entries(&self) -> Vec<(u64, u64, Option<u32>)> {
+        self.map.iter().map(|(&k, e)| (k, e.len, e.crc)).collect()
+    }
+
+    /// Number of extents tracked.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing was mirrored yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total bytes tracked.
+    pub fn bytes(&self) -> u64 {
+        self.map.values().map(|e| e.len).sum()
+    }
+
+    /// Build the manifest for `epoch`. Every extent's CRC must be
+    /// resolved first (see [`ExtentMap::dirty_fragments`]).
+    pub fn to_manifest(&self, epoch: u64) -> Result<EpochManifest, ManifestError> {
+        let mut extents = Vec::with_capacity(self.map.len());
+        for (&offset, e) in &self.map {
+            let crc = e.crc.ok_or(ManifestError::Dirty { offset })?;
+            extents.push(ManifestExtent {
+                offset,
+                len: e.len,
+                crc,
+            });
+        }
+        Ok(EpochManifest { epoch, extents })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(m: &EpochManifest) -> Vec<u8> {
+        let body = m.encode_body().unwrap();
+        let rec = m.encode_commit(&body);
+        let mut slot = rec.to_vec();
+        slot.extend_from_slice(&body);
+        slot
+    }
+
+    #[test]
+    fn encode_decode_roundtrips() {
+        let m = EpochManifest {
+            epoch: 7,
+            extents: vec![
+                ManifestExtent {
+                    offset: 0,
+                    len: 4096,
+                    crc: 0xDEAD_BEEF,
+                },
+                ManifestExtent {
+                    offset: 1 << 20,
+                    len: 123,
+                    crc: 42,
+                },
+            ],
+        };
+        assert_eq!(EpochManifest::decode_slot(&roundtrip(&m)).unwrap(), m);
+        assert_eq!(m.bytes(), 4096 + 123);
+    }
+
+    #[test]
+    fn missing_record_is_uncommitted() {
+        // Phase 1 only: body in place, record never sealed.
+        let m = EpochManifest {
+            epoch: 1,
+            extents: vec![],
+        };
+        let body = m.encode_body().unwrap();
+        let mut slot = vec![0u8; COMMIT_RECORD_BYTES as usize];
+        slot.extend_from_slice(&body);
+        assert_eq!(
+            EpochManifest::decode_slot(&slot),
+            Err(ManifestError::BadMagic)
+        );
+        assert_eq!(
+            EpochManifest::decode_slot(&[]),
+            Err(ManifestError::Truncated)
+        );
+    }
+
+    #[test]
+    fn slot_alternates_by_epoch() {
+        assert_eq!(slot_offset(1), SLOT_BYTES);
+        assert_eq!(slot_offset(2), 0);
+        assert_eq!(slot_offset(3), SLOT_BYTES);
+    }
+
+    #[test]
+    fn map_merges_sequential_writes() {
+        let mut map = ExtentMap::new();
+        let a = b"sequential ";
+        let b = b"append stream";
+        map.record(0, a.len() as u64, crc32(a));
+        map.record(a.len() as u64, b.len() as u64, crc32(b));
+        let mut joined = a.to_vec();
+        joined.extend_from_slice(b);
+        assert_eq!(
+            map.entries(),
+            vec![(0, joined.len() as u64, Some(crc32(&joined)))]
+        );
+    }
+
+    #[test]
+    fn overwrite_splits_and_dirties_fragments() {
+        let mut map = ExtentMap::new();
+        map.record(0, 100, 1);
+        map.record(40, 20, 2); // punches a hole in the middle
+        let entries = map.entries();
+        assert_eq!(
+            entries,
+            vec![(0, 40, None), (40, 20, Some(2)), (60, 40, None)]
+        );
+        assert_eq!(map.dirty_fragments(), vec![(0, 40), (60, 40)]);
+        assert_eq!(map.bytes(), 100);
+        // Resolving the dirty CRCs makes the map committable again.
+        assert!(map.to_manifest(1).is_err());
+        assert!(map.set_crc(0, 40, 7));
+        assert!(map.set_crc(60, 40, 9));
+        assert!(map.to_manifest(1).is_ok());
+    }
+
+    #[test]
+    fn exact_overwrite_replaces_crc() {
+        let mut map = ExtentMap::new();
+        map.record(10, 50, 1);
+        map.record(10, 50, 2);
+        assert_eq!(map.entries(), vec![(10, 50, Some(2))]);
+    }
+
+    #[test]
+    fn manifest_rebuild_matches() {
+        let mut map = ExtentMap::new();
+        map.record(0, 64, 11);
+        map.record(128, 32, 22);
+        let m = map.to_manifest(3).unwrap();
+        let rebuilt = ExtentMap::from_manifest(&m);
+        assert_eq!(rebuilt.entries(), map.entries());
+    }
+
+    proptest! {
+        /// Encode/decode round-trips arbitrary manifests.
+        #[test]
+        fn prop_roundtrip(
+            epoch in 1u64..1_000_000,
+            lens in proptest::collection::vec(1u64..10_000, 0..64),
+        ) {
+            let mut offset = 0;
+            let extents: Vec<ManifestExtent> = lens
+                .iter()
+                .map(|&len| {
+                    let e = ManifestExtent { offset, len, crc: crc32(&offset.to_le_bytes()) };
+                    offset += len + 1;
+                    e
+                })
+                .collect();
+            let m = EpochManifest { epoch, extents };
+            prop_assert_eq!(EpochManifest::decode_slot(&roundtrip(&m)).unwrap(), m);
+        }
+
+        /// Truncating an encoded slot anywhere is detected.
+        #[test]
+        fn prop_truncation_detected(
+            cut in 0usize..200,
+        ) {
+            let m = EpochManifest {
+                epoch: 9,
+                extents: (0..8u64)
+                    .map(|i| ManifestExtent { offset: i * 64, len: 64, crc: i as u32 })
+                    .collect(),
+            };
+            let slot = roundtrip(&m);
+            let cut = cut % slot.len();
+            prop_assert!(EpochManifest::decode_slot(&slot[..cut]).is_err());
+        }
+
+        /// Flipping any single bit of an encoded slot is detected
+        /// (mirrors the crc.rs bit-flip property).
+        #[test]
+        fn prop_single_bit_corruption_detected(
+            idx_seed in any::<u64>(),
+            bit in 0usize..8,
+        ) {
+            let m = EpochManifest {
+                epoch: 5,
+                extents: (0..4u64)
+                    .map(|i| ManifestExtent { offset: i * 4096, len: 4096, crc: 0xA5A5 + i as u32 })
+                    .collect(),
+            };
+            let mut slot = roundtrip(&m);
+            let idx = (idx_seed as usize) % slot.len();
+            slot[idx] ^= 1 << bit;
+            prop_assert_ne!(EpochManifest::decode_slot(&slot).as_ref(), Ok(&m));
+        }
+
+        /// The map's composed CRCs always equal a direct CRC of the image
+        /// bytes, under arbitrary overlapping writes (dirty fragments are
+        /// resolved against the image, as the committer does).
+        #[test]
+        fn prop_map_crcs_match_image(
+            writes in proptest::collection::vec((0u64..500, 1u64..300, any::<u8>()), 1..24),
+        ) {
+            let mut image = vec![0u8; 1024];
+            let mut map = ExtentMap::new();
+            for (offset, len, fill) in writes {
+                let end = ((offset + len) as usize).min(image.len());
+                let offset = offset as usize;
+                let data = vec![fill; end - offset];
+                image[offset..end].copy_from_slice(&data);
+                map.record(offset as u64, data.len() as u64, crc32(&data));
+            }
+            for (offset, len) in map.dirty_fragments() {
+                let (o, l) = (offset as usize, len as usize);
+                prop_assert!(map.set_crc(offset, len, crc32(&image[o..o + l])));
+            }
+            let m = map.to_manifest(1).unwrap();
+            for e in &m.extents {
+                let (o, l) = (e.offset as usize, e.len as usize);
+                prop_assert_eq!(e.crc, crc32(&image[o..o + l]));
+            }
+        }
+    }
+}

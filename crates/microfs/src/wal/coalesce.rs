@@ -45,9 +45,10 @@ pub struct CoalesceWindow {
 impl CoalesceWindow {
     /// A window remembering up to `capacity` recent write records. The
     /// paper does not publish its window size; 8 covers interleaved writes
-    /// to several open checkpoint files.
+    /// to several open checkpoint files. A zero capacity (a degenerate
+    /// but representable configuration) clamps to 1 instead of panicking.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0);
+        let capacity = capacity.max(1);
         CoalesceWindow {
             entries: VecDeque::with_capacity(capacity),
             capacity,
@@ -150,6 +151,14 @@ mod tests {
         assert_eq!(w.try_extend(1, 10, 5), None);
         assert!(w.try_extend(2, 10, 5).is_some());
         assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_instead_of_panicking() {
+        let mut w = CoalesceWindow::new(0);
+        w.register(entry(1, 0, 10, 0));
+        assert!(w.try_extend(1, 10, 5).is_some());
+        assert_eq!(w.len(), 1);
     }
 
     #[test]

@@ -330,6 +330,26 @@ impl NsShard {
         }
     }
 
+    /// Latent media corruption: when an armed plan fires
+    /// [`FaultAction::CorruptPayload`] at [`FaultSite::ReplicaBitRot`], one
+    /// bit inside the read range flips **in the backing store** before the
+    /// read is served. Unlike a wire-level corruption the damage is
+    /// persistent — every later read of the byte sees it too — which is
+    /// exactly what a scrub/read-repair pass must detect and heal.
+    fn bit_rot_check(&self, d: &mut ShardData, offset: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        if let Some(FaultAction::CorruptPayload) = self.chaos.decide(FaultSite::ReplicaBitRot) {
+            let target = offset + len / 2;
+            let mut b = [0u8; 1];
+            d.store.read(target, &mut b);
+            b[0] ^= 0x01;
+            d.store.write(target, &b);
+            telemetry::instant("ssd", "bit_rot", &[("ns_offset", target)]);
+        }
+    }
+
     /// Read into `buf`, observing volatile (read-your-writes) data.
     pub fn read(&self, offset: u64, buf: &mut [u8]) -> Result<(), SsdError> {
         self.fault_check()?;
@@ -338,6 +358,7 @@ impl NsShard {
         let mut d = self.lock_data();
         d.reads += 1;
         d.bytes_read += buf.len() as u64;
+        self.bit_rot_check(&mut d, offset, buf.len() as u64);
         d.store.read(offset, buf);
         Self::overlay_volatile(&d, offset, buf);
         Ok(())
@@ -354,6 +375,7 @@ impl NsShard {
         let mut d = self.lock_data();
         d.reads += 1;
         d.bytes_read += len as u64;
+        self.bit_rot_check(&mut d, offset, len as u64);
         let mut v = d.store.read_vec(offset, len);
         Self::overlay_volatile(&d, offset, &mut v);
         Ok(v)
@@ -879,6 +901,43 @@ mod tests {
         assert_eq!(ssd.read_vec(ns, 1024, 1024).unwrap(), vec![2u8; 1024]);
         assert_eq!(ssd.read_vec(ns, 2048, 1024).unwrap(), vec![0u8; 1024]);
         assert_eq!(ssd.read_vec(ns, 3072, 1024).unwrap(), vec![0u8; 1024]);
+    }
+
+    #[test]
+    fn injected_bit_rot_is_persistent_and_repairable() {
+        let chaos = ChaosHandle::new();
+        let config = SsdConfig {
+            capacity: 1 << 20,
+            device_ram: 4096,
+            chaos: chaos.clone(),
+            ..SsdConfig::default()
+        };
+        let ssd = Ssd::with_telemetry(config, Telemetry::new());
+        let ns = ssd.create_namespace(64 << 10).unwrap();
+        ssd.write(ns, 0, &[0x55u8; 8192]).unwrap();
+        ssd.flush();
+
+        let t = Telemetry::new();
+        chaos.arm(
+            chaos::FaultPlan::new(3).at_op(
+                FaultSite::ReplicaBitRot,
+                FaultAction::CorruptPayload,
+                0,
+            ),
+            &t,
+        );
+        // The faulted read itself observes the flip (offset + len/2, low bit).
+        let v = ssd.read_vec(ns, 0, 8192).unwrap();
+        assert_eq!(v[4096], 0x54, "one bit flipped inside the read range");
+        assert_eq!(v.iter().filter(|&&b| b != 0x55).count(), 1);
+        chaos.disarm();
+        // Latent: the corruption lives on media, not on the wire.
+        let v = ssd.read_vec(ns, 0, 8192).unwrap();
+        assert_eq!(v[4096], 0x54);
+        // A rewrite (read-repair) heals it.
+        ssd.write(ns, 4096, &[0x55u8]).unwrap();
+        ssd.flush();
+        assert_eq!(ssd.read_vec(ns, 0, 8192).unwrap(), vec![0x55u8; 8192]);
     }
 
     #[test]

@@ -228,6 +228,10 @@ pub struct FunctionalTuning {
     pub block_size: u64,
     /// NVMf submission-window depth each rank's initiator keeps in flight.
     pub queue_depth: usize,
+    /// Synchronous copies of every rank's checkpoint data (1 = off). At 2
+    /// each checkpoint round also seals a replication epoch, so the run
+    /// measures the full mirrored-commit cost, not just the data writes.
+    pub replication_factor: u32,
 }
 
 impl Default for FunctionalTuning {
@@ -236,6 +240,7 @@ impl Default for FunctionalTuning {
         FunctionalTuning {
             block_size: defaults.block_size,
             queue_depth: defaults.fabric.queue_depth,
+            replication_factor: defaults.replication_factor,
         }
     }
 }
@@ -289,6 +294,7 @@ pub fn run_functional_checkpoints_tuned(
         namespace_bytes: 8 << 30,
         telemetry: telemetry.clone(),
         block_size: tuning.block_size,
+        replication_factor: tuning.replication_factor,
         ..RuntimeConfig::default()
     };
     config.fabric.queue_depth = tuning.queue_depth;
@@ -318,6 +324,11 @@ pub fn run_functional_checkpoints_tuned(
                     do_ckpt(rank, fs)?;
                 }
             }
+        }
+        // Replicated runs seal one epoch per checkpoint round: manifests
+        // land on both copies, so a failover restores this round exactly.
+        if tuning.replication_factor >= 2 {
+            rt.commit_epochs()?;
         }
     }
 

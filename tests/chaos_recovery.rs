@@ -377,3 +377,166 @@ fn shard_death_fails_over_and_recheckpoints() {
     assert_eq!(snap.counter("driver.failovers"), 1);
     assert!(snap.counter("chaos.injected") >= 1);
 }
+
+/// A replicated (rep=2) paper testbed with two fault planes: device-level
+/// faults (shard kills, media bit rot) arm `ssd_chaos` below the fabric,
+/// wire-level faults arm the runtime handle carried in the config.
+fn replicated_chaos_testbed() -> (
+    StorageRack,
+    Topology,
+    cluster::JobAllocation,
+    RuntimeConfig,
+    ChaosHandle,
+    ChaosHandle,
+    Telemetry,
+) {
+    let telemetry = Telemetry::new();
+    let ssd_chaos = ChaosHandle::new();
+    let chaos = ChaosHandle::new();
+    let topo = Topology::paper_testbed();
+    let rack = StorageRack::build_with_telemetry(
+        &topo,
+        &SsdConfig {
+            capacity: 8 << 30,
+            chaos: ssd_chaos.clone(),
+            ..SsdConfig::default()
+        },
+        telemetry.clone(),
+    );
+    let mut sched = Scheduler::new(topo.clone(), 4);
+    let alloc = sched.submit(&JobRequest::full_subscription(8)).unwrap();
+    let config = RuntimeConfig {
+        // Eight ranks share the single grant namespace: 32 MiB segments
+        // keep the restore and scrub CRC walks cheap.
+        namespace_bytes: 256 << 20,
+        replication_factor: 2,
+        telemetry: telemetry.clone(),
+        chaos: chaos.clone(),
+        ..RuntimeConfig::default()
+    };
+    (rack, topo, alloc, config, ssd_chaos, chaos, telemetry)
+}
+
+#[test]
+fn replicated_restore_rolls_back_to_last_complete_epoch_under_chaos() {
+    let (rack, topo, alloc, mut config, ssd_chaos, chaos, telemetry) = replicated_chaos_testbed();
+    // Small blocks so the replica restore crosses the fabric as many
+    // capsules — enough ops for the wire-fault plan below to fire.
+    config.block_size = 64 << 10;
+    let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config).unwrap();
+    let len = 96 << 10;
+    checkpoint(&mut rt, 3, "/sealed.dat", &pattern(3, len));
+    rt.commit_epochs().unwrap();
+    // Post-commit write: part of no complete epoch, so a manifest-driven
+    // restore must roll it back rather than restore a torn half-epoch.
+    checkpoint(&mut rt, 3, "/uncommitted.dat", &pattern(3, 32 << 10));
+    // The rank crashes (its live extent map is gone), then the shared
+    // grant shard dies permanently under a rank-0 write.
+    rt.crash_rank(3).unwrap();
+    ssd_chaos.arm(
+        FaultPlan::new(5).at_op(FaultSite::ShardIo, FaultAction::KillShard, 0),
+        &telemetry,
+    );
+    let dead = {
+        let fs = rt.rank_fs(0).unwrap();
+        match fs.create("/doomed.dat", 0o644) {
+            Err(_) => true,
+            Ok(fd) => fs.write(fd, &[0u8; 4096]).is_err() || fs.close(fd).is_err(),
+        }
+    };
+    ssd_chaos.disarm();
+    assert!(dead, "IO against the killed shard must fail");
+    // Failover and replica restore run under an active wire-fault plan:
+    // corrupted capsules in both directions while the surviving copy is
+    // streamed back and byte-verified against the manifest.
+    let old_node = rt.rank_storage_node(3).unwrap();
+    chaos.arm(
+        FaultPlan::new(17)
+            .with_rate(FaultSite::CapsuleTx, FaultAction::CorruptPayload, 0.05)
+            .with_rate(FaultSite::CapsuleRx, FaultAction::CorruptPayload, 0.05),
+        &telemetry,
+    );
+    rt.fail_over_rank(3, &rack, &topo).unwrap();
+    chaos.disarm();
+    assert_ne!(rt.rank_storage_node(3).unwrap(), old_node);
+    assert_eq!(
+        read_back(&mut rt, 3, "/sealed.dat", len),
+        pattern(3, len),
+        "the sealed epoch must restore byte-identically"
+    );
+    {
+        let fs = rt.rank_fs(3).unwrap();
+        assert!(
+            fs.stat("/uncommitted.dat").is_err(),
+            "post-commit writes roll back with the incomplete epoch"
+        );
+    }
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.counter("driver.failovers"), 1);
+    assert_eq!(
+        snap.counter("replication.degraded_restores"),
+        1,
+        "a crashed rank has no live map — the restore is degraded"
+    );
+    assert!(snap.counter("chaos.injected") > 0, "both plans must fire");
+    assert!(
+        snap.counter("fabric.crc_errors") > 0,
+        "the restore stream must have absorbed wire corruption"
+    );
+    // The rank is healthy again: both copies scrub clean and it seals a
+    // fresh epoch on the replacement namespace.
+    let report = rt.scrub_rank(3).unwrap().unwrap();
+    assert_eq!(report.unrecoverable, 0);
+    assert_eq!(report.repaired, 0);
+    assert_eq!(rt.commit_epoch_rank(3).unwrap(), Some(2));
+}
+
+#[test]
+fn scrub_repairs_bit_rot_and_reports_double_corruption() {
+    let (rack, topo, alloc, config, ssd_chaos, _chaos, telemetry) = replicated_chaos_testbed();
+    let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config).unwrap();
+    let len = 128 << 10;
+    checkpoint(&mut rt, 2, "/scrubbed.dat", &pattern(2, len));
+    rt.commit_epochs().unwrap();
+    // Latent media corruption on the next shard read: the scrub's first
+    // primary-extent read flips one stored bit, the CRC walk catches it,
+    // and read-repair heals it from the intact replica.
+    ssd_chaos.arm(
+        FaultPlan::new(23).at_op(FaultSite::ReplicaBitRot, FaultAction::CorruptPayload, 0),
+        &telemetry,
+    );
+    let report = rt.scrub_rank(2).unwrap().unwrap();
+    ssd_chaos.disarm();
+    assert!(
+        report.repaired >= 1,
+        "bit rot must be repaired, got {report:?}"
+    );
+    assert_eq!(report.unrecoverable, 0);
+    // The flip landed in the backing store; a clean re-scrub proves the
+    // repair was written back, not merely observed.
+    let report = rt.scrub_rank(2).unwrap().unwrap();
+    assert_eq!(report.repaired, 0);
+    assert_eq!(report.unrecoverable, 0);
+    assert_eq!(read_back(&mut rt, 2, "/scrubbed.dat", len), pattern(2, len));
+    // Seal another epoch: the commit flushes both copies, draining the
+    // repair's bytes from device RAM to media — rot only bites durable
+    // bytes (the volatile overlay masks flips in the backing store).
+    assert_eq!(rt.commit_epoch_rank(2).unwrap(), Some(2));
+    // Rot on every read strikes both copies of every extent: nothing
+    // trustworthy is left to repair from, and the scrub must say so
+    // rather than "heal" one corruption with another.
+    ssd_chaos.arm(
+        FaultPlan::new(29).with_rate(FaultSite::ReplicaBitRot, FaultAction::CorruptPayload, 1.0),
+        &telemetry,
+    );
+    let report = rt.scrub_rank(2).unwrap().unwrap();
+    ssd_chaos.disarm();
+    assert!(
+        report.unrecoverable >= 1,
+        "double corruption must be reported, got {report:?}"
+    );
+    assert_eq!(report.repaired, 0, "no copy is trustworthy to repair from");
+    let snap = telemetry.snapshot();
+    assert!(snap.counter("replication.repairs") >= 1);
+    assert!(snap.counter("chaos.injected") >= 3);
+}
