@@ -35,6 +35,12 @@ pub struct RuntimeConfig {
     /// dead shard is recovered from the surviving copy instead of rolling
     /// back to the parallel filesystem.
     pub replication_factor: u32,
+    /// Copy-on-write delta epochs (replicated ranks only): `0` (the
+    /// default) keeps today's full-manifest path bit-for-bit; `n > 0`
+    /// seals sparse delta manifests linked by `parent_epoch` and compacts
+    /// to a full manifest after at most `n` deltas (clamped to the ring's
+    /// [`microfs::manifest::MAX_DELTA_CHAIN`]).
+    pub delta_chain_max: u32,
 }
 
 impl Default for RuntimeConfig {
@@ -49,6 +55,7 @@ impl Default for RuntimeConfig {
             chaos: ChaosHandle::default(),
             fabric: FabricConfig::default(),
             replication_factor: 1,
+            delta_chain_max: 0,
         }
     }
 }
@@ -62,6 +69,7 @@ impl RuntimeConfig {
             coalescing: self.coalescing,
             telemetry: self.telemetry.clone(),
             chaos: self.chaos.clone(),
+            cow_epochs: self.delta_chain_max > 0 && self.replication_factor > 1,
             ..FsConfig::default()
         }
     }

@@ -235,6 +235,17 @@ impl BlockDevice for NvmfBlockDevice {
         Ok(())
     }
 
+    /// Whiteout hint from microfs: the span's file was deleted or
+    /// truncated away. The mirror drops it from the extent map (and the
+    /// delta chain records it); unreplicated devices ignore it.
+    fn discard_at(&mut self, offset: u64, len: u64) -> Result<(), DevError> {
+        self.check(offset, len)?;
+        if let Some(m) = &mut self.mirror {
+            m.discard(offset, len);
+        }
+        Ok(())
+    }
+
     fn size(&self) -> u64 {
         self.size
     }

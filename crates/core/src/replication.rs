@@ -23,17 +23,25 @@
 
 use bytes::Bytes;
 use fabric::{write_mirrored_bytes, InitiatorError, MirroredWrite, NvmfConnection};
+use microfs::cow::IntervalSet;
 use microfs::crc::{crc32, crc32_update};
 use microfs::manifest::{
-    slot_offset, EpochManifest, ExtentMap, ManifestError, COMMIT_RECORD_BYTES, SLOT_BYTES,
+    EpochManifest, ExtentMap, ManifestError, ManifestExtent, ManifestLayout, COMMIT_RECORD_BYTES,
+    MAX_DELTA_CHAIN, REGION_BYTES, SLOT_BYTES,
 };
+use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
-use telemetry::{Counter, Histogram, Telemetry};
+use telemetry::{Counter, Gauge, Histogram, Telemetry};
 
 /// Chunk size for scrub/restore/resync streaming reads — bounds peak
 /// memory regardless of how large merged extents grow.
 const COPY_CHUNK: usize = 4 << 20;
+
+/// Merge cap applied to the extent map while a delta chain is enabled:
+/// extents stay near write granularity so the tuple diff between epochs
+/// captures roughly what changed instead of one giant merged extent.
+const CHAIN_MERGE_LIMIT: u64 = 64 << 10;
 
 /// Replication-layer metric handles, resolved once per mirror.
 #[derive(Clone)]
@@ -53,6 +61,13 @@ pub struct ReplicationMetrics {
     pub mirror_ns: Arc<Histogram>,
     /// Wall time of full scrub passes.
     pub scrub_ns: Arc<Histogram>,
+    /// Extents carried by delta epoch manifests (full manifests excluded).
+    pub delta_extents: Arc<Counter>,
+    /// Current lineage length (full manifest plus deltas since it).
+    pub chain_len: Arc<Gauge>,
+    /// Wall time of full-compaction commits (sealing a full manifest while
+    /// the delta chain is enabled).
+    pub compaction_ns: Arc<Histogram>,
 }
 
 impl ReplicationMetrics {
@@ -65,6 +80,9 @@ impl ReplicationMetrics {
             repairs: t.counter("replication.repairs"),
             mirror_ns: t.histogram("replication.mirror_ns"),
             scrub_ns: t.histogram("replication.scrub_ns"),
+            delta_extents: t.counter("cow.delta_extents"),
+            chain_len: t.gauge("cow.chain_len"),
+            compaction_ns: t.histogram("cow.compaction_ns"),
         }
     }
 }
@@ -80,6 +98,10 @@ pub enum ReplicationError {
     Unrecoverable { offset: u64, len: u64 },
     /// No complete epoch exists on the surviving copy.
     NoCompleteEpoch,
+    /// A delta chain's manifests partially shadow an ancestor extent — the
+    /// lineage is internally inconsistent (should be impossible: re-tiling
+    /// always replaces whole extent tuples).
+    ChainInconsistent { epoch: u64, offset: u64 },
 }
 
 impl fmt::Display for ReplicationError {
@@ -92,6 +114,12 @@ impl fmt::Display for ReplicationError {
             }
             ReplicationError::NoCompleteEpoch => {
                 write!(f, "no complete checkpoint epoch on surviving copy")
+            }
+            ReplicationError::ChainInconsistent { epoch, offset } => {
+                write!(
+                    f,
+                    "delta chain at epoch {epoch} partially shadows extent at {offset}"
+                )
             }
         }
     }
@@ -136,6 +164,19 @@ pub struct Mirror {
     /// from the primary at the next epoch commit.
     pending_resync: Vec<(u64, u64)>,
     metrics: ReplicationMetrics,
+    /// Manifest region geometry: standard ping-pong pair, or the delta
+    /// chain ring once [`Mirror::enable_delta_chain`] is called.
+    layout: ManifestLayout,
+    /// Deltas allowed since the last full manifest before a compaction.
+    delta_chain_max: u32,
+    /// Deltas sealed since the last full manifest.
+    deltas_since_full: u32,
+    /// Extent tuples as of the previous commit — the diff base for the
+    /// next delta. `None` forces the next commit to be full (fresh mirror,
+    /// post-rescan, post-failover: tiling never spans a restart).
+    last_entries: Option<HashSet<(u64, u64, u32)>>,
+    /// Whiteouts (device discards) accumulated since the last commit.
+    pending_whiteouts: Vec<(u64, u64)>,
 }
 
 impl Mirror {
@@ -154,7 +195,35 @@ impl Mirror {
             degraded: false,
             pending_resync: Vec::new(),
             metrics: ReplicationMetrics::new(t),
+            layout: ManifestLayout::standard(),
+            delta_chain_max: 0,
+            deltas_since_full: 0,
+            last_entries: None,
+            pending_whiteouts: Vec::new(),
         }
+    }
+
+    /// Switch this mirror to the delta-chain manifest ring: commits seal
+    /// sparse delta manifests (changed extents + whiteouts) linked by
+    /// `parent_epoch`, with a full compaction every `max` deltas. The next
+    /// commit is always full — it anchors the new chain. Also caps extent
+    /// merging so the tuple diff stays near write granularity.
+    pub fn enable_delta_chain(&mut self, max: u32) {
+        self.layout = ManifestLayout::chained();
+        self.delta_chain_max = max.clamp(1, MAX_DELTA_CHAIN);
+        self.deltas_since_full = 0;
+        self.last_entries = None;
+        self.map.set_merge_limit(CHAIN_MERGE_LIMIT);
+    }
+
+    /// The manifest region geometry in effect.
+    pub fn layout(&self) -> ManifestLayout {
+        self.layout
+    }
+
+    /// Deltas sealed since the last full manifest.
+    pub fn chain_len(&self) -> u32 {
+        self.deltas_since_full
     }
 
     pub fn epoch(&self) -> u64 {
@@ -232,6 +301,21 @@ impl Mirror {
         Ok(())
     }
 
+    /// Drop `[offset, offset+len)` from the mirrored image: the span's
+    /// file was deleted or truncated away. The extent map forgets it and,
+    /// while the delta chain is enabled, the next delta manifest records
+    /// it as a whiteout so chain materialization stops resurrecting
+    /// ancestor bytes beneath it.
+    pub fn discard(&mut self, offset: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        self.map.remove(offset, len);
+        if self.layout.is_chained() {
+            self.pending_whiteouts.push((offset, len));
+        }
+    }
+
     /// Flush the replica copy. A replica flush failure degrades the
     /// mirror conservatively: every mapped extent is queued for resync,
     /// since volatile replica state of unknown extent may have been lost.
@@ -293,7 +377,10 @@ impl Mirror {
     /// Seal the current extent map as epoch `self.epoch + 1` on both
     /// copies: body first, fully retired, then the commit record — so a
     /// torn commit is detectable and restore falls back to the previous
-    /// slot. Returns the committed epoch.
+    /// slot. With the delta chain enabled the sealed manifest is a sparse
+    /// delta (changed extent tuples + whiteouts, `parent_epoch` linked)
+    /// unless the compaction policy — or a chain anchor being absent —
+    /// requires a full one. Returns the committed epoch.
     pub fn commit_epoch(
         &mut self,
         primary: &mut NvmfConnection,
@@ -309,10 +396,49 @@ impl Mirror {
         self.try_resync(primary, primary_base);
 
         let epoch = self.epoch + 1;
-        let manifest = self.map.to_manifest(epoch)?;
-        let body = Bytes::from(manifest.encode_body()?);
+        let chained = self.layout.is_chained();
+        let mut full = !chained
+            || self.last_entries.is_none()
+            || self.deltas_since_full >= self.delta_chain_max;
+        let mut sealed: Option<(EpochManifest, Vec<u8>)> = None;
+        if !full {
+            let last = self.last_entries.as_ref().expect("delta has a diff base");
+            let mut extents = Vec::new();
+            for (offset, len, crc) in self.map.entries() {
+                let crc = crc.ok_or(ManifestError::Dirty { offset })?;
+                if !last.contains(&(offset, len, crc)) {
+                    extents.push(ManifestExtent { offset, len, crc });
+                }
+            }
+            let m = EpochManifest {
+                epoch,
+                parent_epoch: self.epoch,
+                extents,
+                whiteouts: self.pending_whiteouts.clone(),
+            };
+            match m.encode_body() {
+                // An oversized delta (pathological churn) compacts instead.
+                Ok(b) if b.len() <= self.layout.body_capacity() => sealed = Some((m, b)),
+                _ => full = true,
+            }
+        }
+        let compaction_timer = (chained && full).then(|| self.metrics.compaction_ns.time());
+        let (manifest, body) = match sealed {
+            Some(pair) => pair,
+            None => {
+                let m = self.map.to_manifest(epoch)?;
+                let b = m.encode_body()?;
+                if b.len() > self.layout.body_capacity() {
+                    return Err(ReplicationError::Manifest(ManifestError::TooLarge {
+                        extents: m.extents.len(),
+                    }));
+                }
+                (m, b)
+            }
+        };
+        let body = Bytes::from(body);
         let record = Bytes::copy_from_slice(&manifest.encode_commit(&body));
-        let slot = fs_size + slot_offset(epoch);
+        let slot = fs_size + self.layout.slot_offset(epoch);
         let body_off = slot + COMMIT_RECORD_BYTES;
         let record_off = slot;
         let body_crc = crc32(&body);
@@ -368,6 +494,29 @@ impl Mirror {
         }
         self.epoch = epoch;
         self.metrics.epochs_committed.inc();
+        if chained {
+            if full {
+                self.deltas_since_full = 0;
+                self.pending_whiteouts.clear();
+            } else {
+                self.deltas_since_full += 1;
+                self.pending_whiteouts.clear();
+                self.metrics
+                    .delta_extents
+                    .add(manifest.extents.len() as u64);
+            }
+            self.last_entries = Some(
+                self.map
+                    .entries()
+                    .into_iter()
+                    .filter_map(|(o, l, c)| c.map(|c| (o, l, c)))
+                    .collect(),
+            );
+            self.metrics
+                .chain_len
+                .set(i64::from(self.deltas_since_full) + 1);
+        }
+        drop(compaction_timer);
         Ok(epoch)
     }
 
@@ -470,6 +619,129 @@ pub fn read_latest_manifest(
     Ok(best)
 }
 
+/// Read every decodable manifest in the region at `region_base`, one per
+/// slot under `layout`. Torn or never-written slots are skipped.
+pub fn read_manifests(
+    conn: &mut NvmfConnection,
+    region_base: u64,
+    layout: ManifestLayout,
+) -> Result<Vec<EpochManifest>, InitiatorError> {
+    let mut out = Vec::new();
+    for slot in 0..layout.slots {
+        let bytes = conn.read_bytes(
+            region_base + slot * layout.slot_bytes,
+            layout.slot_bytes as usize,
+        )?;
+        if let Ok(m) = EpochManifest::decode_slot(&bytes) {
+            out.push(m);
+        }
+    }
+    Ok(out)
+}
+
+/// Highest committed epoch anywhere in the region, if any.
+pub fn read_latest_epoch(
+    conn: &mut NvmfConnection,
+    region_base: u64,
+    layout: ManifestLayout,
+) -> Result<Option<u64>, InitiatorError> {
+    Ok(read_manifests(conn, region_base, layout)?
+        .into_iter()
+        .map(|m| m.epoch)
+        .max())
+}
+
+/// Materialize the newest complete lineage in a delta-chain ring:
+/// candidate heads are tried in descending epoch order, and a head counts
+/// only when every `parent_epoch` link down to a full manifest is present
+/// (degraded-mode commits can leave replica-side holes). Extents resolve
+/// newest-first — an ancestor extent fully covered by younger extents or
+/// whiteouts is skipped whole; partial shadowing is impossible by
+/// construction (re-tiling replaces whole tuples) and reported loudly if
+/// it ever appears. Returns the disjoint extents plus the head epoch.
+pub fn materialize_chain(
+    conn: &mut NvmfConnection,
+    region_base: u64,
+    layout: ManifestLayout,
+) -> Result<Option<(Vec<ManifestExtent>, u64)>, ReplicationError> {
+    let mut manifests = read_manifests(conn, region_base, layout)?;
+    manifests.sort_by_key(|m| std::cmp::Reverse(m.epoch));
+    for head in 0..manifests.len() {
+        let mut chain: Vec<&EpochManifest> = Vec::new();
+        let mut cur = &manifests[head];
+        loop {
+            chain.push(cur);
+            if !cur.is_delta() {
+                break;
+            }
+            // Parent links strictly descend; anything else is garbage.
+            match manifests
+                .iter()
+                .find(|m| m.epoch == cur.parent_epoch && m.epoch < cur.epoch)
+            {
+                Some(p) => cur = p,
+                None => {
+                    chain.clear();
+                    break;
+                }
+            }
+        }
+        if chain.is_empty() {
+            continue;
+        }
+        let mut covered = IntervalSet::new();
+        let mut out: Vec<ManifestExtent> = Vec::new();
+        for m in &chain {
+            for e in &m.extents {
+                let (start, end) = (e.offset, e.offset + e.len);
+                if covered.covers(start, end) {
+                    continue;
+                }
+                if covered.intersects(start, end) {
+                    return Err(ReplicationError::ChainInconsistent {
+                        epoch: m.epoch,
+                        offset: e.offset,
+                    });
+                }
+                covered.insert(start, end);
+                out.push(*e);
+            }
+            for &(offset, len) in &m.whiteouts {
+                covered.insert(offset, offset + len);
+            }
+        }
+        out.sort_by_key(|e| e.offset);
+        return Ok(Some((out, manifests[head].epoch)));
+    }
+    Ok(None)
+}
+
+/// Zero the commit record of any slot holding an epoch newer than
+/// `epoch`. After a rollback restore, such slots are stale heads of an
+/// abandoned lineage — a later commit would otherwise let them chain onto
+/// fresh manifests and poison a future restore.
+fn invalidate_future_slots(
+    conn: &mut NvmfConnection,
+    base: u64,
+    region_base: u64,
+    layout: ManifestLayout,
+    epoch: u64,
+) -> Result<(), ReplicationError> {
+    for slot in 0..layout.slots {
+        let off = region_base + slot * layout.slot_bytes;
+        let bytes = conn.read_bytes(base + off, layout.slot_bytes as usize)?;
+        if let Ok(m) = EpochManifest::decode_slot(&bytes) {
+            if m.epoch > epoch {
+                let zeros = Bytes::from(vec![0u8; COMMIT_RECORD_BYTES as usize]);
+                let crc = crc32(&zeros);
+                conn.write_vectored_bytes_precrc(vec![(base + off, zeros, crc)])?;
+            }
+        }
+    }
+    conn.flush()?;
+    Ok(())
+}
+
 /// What a replica-based restore recovered.
 pub struct RestoreOutcome {
     /// Extent map describing the restored image.
@@ -488,15 +760,19 @@ pub struct RestoreOutcome {
 /// mid-epoch extents are copied as-is — the restored image is
 /// byte-identical to the moment of the failure. If verification fails,
 /// or no live map survived, the restore rolls back to the replica's last
-/// *complete* epoch: only manifest extents are copied, each strictly
-/// verified. Epochs lost in the rollback are counted in
-/// `replication.lag_epochs`; any fallback counts a degraded restore.
+/// *complete* epoch: under the standard layout that is the newest sealed
+/// manifest; under the chained layout the newest complete delta lineage,
+/// materialized newest-backward. Either way only manifest extents are
+/// copied, each strictly verified. Epochs lost in the rollback are
+/// counted in `replication.lag_epochs`; any fallback counts a degraded
+/// restore.
 pub fn restore_from_replica(
     replica: &mut NvmfConnection,
     live: Option<(ExtentMap, u64)>,
     primary: &mut NvmfConnection,
     primary_base: u64,
     fs_size: u64,
+    layout: ManifestLayout,
     t: &Telemetry,
 ) -> Result<RestoreOutcome, ReplicationError> {
     let metrics = ReplicationMetrics::new(t);
@@ -523,26 +799,34 @@ pub fn restore_from_replica(
         metrics.degraded_restores.inc();
     }
 
-    let manifest =
-        read_latest_manifest(replica, fs_size)?.ok_or(ReplicationError::NoCompleteEpoch)?;
-    let map = ExtentMap::from_manifest(&manifest);
+    let (map, epoch) = if layout.is_chained() {
+        let (extents, epoch) = materialize_chain(replica, fs_size, layout)?
+            .ok_or(ReplicationError::NoCompleteEpoch)?;
+        (ExtentMap::from_extents(&extents), epoch)
+    } else {
+        let manifest =
+            read_latest_manifest(replica, fs_size)?.ok_or(ReplicationError::NoCompleteEpoch)?;
+        let map = ExtentMap::from_manifest(&manifest);
+        (map, manifest.epoch)
+    };
     // Manifest extents always carry CRCs; verify strictly — a mismatch
     // here means the data is gone on both copies.
     restore_extents(replica, map.entries(), primary, primary_base, true)?;
     copy_manifest_region(replica, primary, primary_base, fs_size)?;
-    if let Some(live_epoch) = live_epoch {
-        metrics
-            .lag_epochs
-            .add(live_epoch.saturating_sub(manifest.epoch));
+    if layout.is_chained() {
+        // Slots newer than the restored epoch are stale heads of an
+        // abandoned lineage; neuter them on both copies so they can never
+        // chain onto post-restore manifests.
+        invalidate_future_slots(primary, primary_base, fs_size, layout, epoch)?;
+        invalidate_future_slots(replica, 0, fs_size, layout, epoch)?;
     }
-    telemetry::instant(
-        "replication",
-        "rollback_restore",
-        &[("epoch", manifest.epoch)],
-    );
+    if let Some(live_epoch) = live_epoch {
+        metrics.lag_epochs.add(live_epoch.saturating_sub(epoch));
+    }
+    telemetry::instant("replication", "rollback_restore", &[("epoch", epoch)]);
     Ok(RestoreOutcome {
         map,
-        epoch: manifest.epoch,
+        epoch,
         rolled_back: true,
     })
 }
@@ -586,8 +870,9 @@ fn restore_extents(
     Ok(())
 }
 
-/// Carry both manifest slots over so the new primary can serve future
-/// restores and scrubs without the old replica.
+/// Carry the whole manifest region over so the new primary can serve
+/// future restores and scrubs without the old replica. The region is the
+/// same [`REGION_BYTES`] under either layout.
 fn copy_manifest_region(
     replica: &mut NvmfConnection,
     primary: &mut NvmfConnection,
@@ -599,7 +884,7 @@ fn copy_manifest_region(
         fs_size,
         primary,
         primary_base + fs_size,
-        2 * SLOT_BYTES,
+        REGION_BYTES,
     )
 }
 
@@ -708,8 +993,16 @@ mod tests {
 
         let (mut replica, map, epoch, _) = m.into_parts();
         let (mut fresh, _unused_replica, _) = conn_pair();
-        let out =
-            restore_from_replica(&mut replica, Some((map, epoch)), &mut fresh, 0, FS, &t).unwrap();
+        let out = restore_from_replica(
+            &mut replica,
+            Some((map, epoch)),
+            &mut fresh,
+            0,
+            FS,
+            ManifestLayout::standard(),
+            &t,
+        )
+        .unwrap();
         assert!(!out.rolled_back);
         assert_eq!(out.epoch, 1);
         assert_eq!(&fresh.read_bytes(0, a.len()).unwrap()[..], &a[..]);
@@ -733,7 +1026,16 @@ mod tests {
             .unwrap();
         let (mut replica, _, _, _) = m.into_parts();
         let (mut fresh, _u, _) = conn_pair();
-        let out = restore_from_replica(&mut replica, None, &mut fresh, 0, FS, &t).unwrap();
+        let out = restore_from_replica(
+            &mut replica,
+            None,
+            &mut fresh,
+            0,
+            FS,
+            ManifestLayout::standard(),
+            &t,
+        )
+        .unwrap();
         assert!(out.rolled_back);
         assert_eq!(out.epoch, 1);
         assert_eq!(&fresh.read_bytes(0, 8192).unwrap()[..], &a[..]);
@@ -745,7 +1047,15 @@ mod tests {
         let (_p, mut r, t) = conn_pair();
         let (mut fresh, _u, _) = conn_pair();
         assert!(matches!(
-            restore_from_replica(&mut r, None, &mut fresh, 0, FS, &t),
+            restore_from_replica(
+                &mut r,
+                None,
+                &mut fresh,
+                0,
+                FS,
+                ManifestLayout::standard(),
+                &t
+            ),
             Err(ReplicationError::NoCompleteEpoch)
         ));
     }
@@ -768,5 +1078,308 @@ mod tests {
         let rep = m.scrub(&mut p, 0).unwrap();
         assert_eq!(rep.unrecoverable, 0);
         assert_eq!(rep.repaired, 0);
+    }
+
+    /// Build a chained mirror over a fresh conn pair.
+    fn chained_mirror(max: u32) -> (NvmfConnection, Mirror, Telemetry) {
+        let (p, r, t) = conn_pair();
+        let mut m = Mirror::new(r, &t);
+        m.enable_delta_chain(max);
+        (p, m, t)
+    }
+
+    #[test]
+    fn delta_chain_seals_sparse_manifests_and_materializes() {
+        let (mut p, mut m, t) = chained_mirror(4);
+        // Tile the base image at the chain merge granularity so a later
+        // single-tile overwrite re-seals exactly one tuple.
+        let tile = Bytes::from(vec![0xA0u8; 64 << 10]);
+        for i in 0..4u64 {
+            m.write_through(&mut p, 0, vec![(i * (64 << 10), tile.clone())])
+                .unwrap();
+        }
+        m.commit_epoch(&mut p, 0, FS).unwrap();
+        // Dirty one 64 KiB tile out of four.
+        let dirty = Bytes::from(vec![0xB1u8; 64 << 10]);
+        m.write_through(&mut p, 0, vec![(64 << 10, dirty.clone())])
+            .unwrap();
+        m.commit_epoch(&mut p, 0, FS).unwrap();
+
+        let layout = ManifestLayout::chained();
+        let manifests = read_manifests(&mut p, FS, layout).unwrap();
+        let e1 = manifests.iter().find(|m| m.epoch == 1).unwrap();
+        let e2 = manifests.iter().find(|m| m.epoch == 2).unwrap();
+        assert!(!e1.is_delta(), "first commit anchors the chain");
+        assert!(e2.is_delta(), "second commit is a sparse delta");
+        assert_eq!(e2.parent_epoch, 1);
+        assert_eq!(e2.extents.len(), 1, "only the dirty tile re-seals");
+        assert_eq!(e2.extents[0].offset, 64 << 10);
+
+        // The materialized chain tiles the whole image, newest-first.
+        let (extents, head) = materialize_chain(&mut p, FS, layout).unwrap().unwrap();
+        assert_eq!(head, 2);
+        let total: u64 = extents.iter().map(|e| e.len).sum();
+        assert_eq!(total, 256 << 10);
+        assert!(t.snapshot().counter("cow.delta_extents") >= 1);
+        assert_eq!(t.snapshot().gauge("cow.chain_len").value, 2);
+    }
+
+    #[test]
+    fn compaction_policy_reseals_full_after_max_deltas() {
+        let (mut p, mut m, t) = chained_mirror(2);
+        m.write_through(&mut p, 0, vec![(0, Bytes::from(vec![0x10u8; 128 << 10]))])
+            .unwrap();
+        m.commit_epoch(&mut p, 0, FS).unwrap(); // epoch 1: full (anchor)
+        for i in 0..3u8 {
+            m.write_through(&mut p, 0, vec![(0, Bytes::from(vec![0x20 + i; 64 << 10]))])
+                .unwrap();
+            m.commit_epoch(&mut p, 0, FS).unwrap();
+        }
+        // Epochs 2 and 3 are deltas; epoch 4 hits delta_chain_max=2 and
+        // compacts back to a full manifest.
+        let manifests = read_manifests(&mut p, FS, ManifestLayout::chained()).unwrap();
+        let is_delta = |e: u64| manifests.iter().find(|m| m.epoch == e).unwrap().is_delta();
+        assert!(!is_delta(1));
+        assert!(is_delta(2));
+        assert!(is_delta(3));
+        assert!(!is_delta(4), "chain compacts after delta_chain_max deltas");
+        assert_eq!(m.chain_len(), 0);
+        assert_eq!(t.snapshot().gauge("cow.chain_len").value, 1);
+        assert!(t
+            .snapshot()
+            .histogram("cow.compaction_ns")
+            .is_some_and(|h| h.count >= 2));
+    }
+
+    #[test]
+    fn whiteouts_shadow_ancestor_extents_in_materialization() {
+        let (mut p, mut m, _t) = chained_mirror(4);
+        m.write_through(&mut p, 0, vec![(0, Bytes::from(vec![0x55u8; 192 << 10]))])
+            .unwrap();
+        m.commit_epoch(&mut p, 0, FS).unwrap();
+        // Whiteout the middle tile, dirty nothing else.
+        m.discard(64 << 10, 64 << 10);
+        m.commit_epoch(&mut p, 0, FS).unwrap();
+
+        let layout = ManifestLayout::chained();
+        let e2 = read_manifests(&mut p, FS, layout)
+            .unwrap()
+            .into_iter()
+            .find(|m| m.epoch == 2)
+            .unwrap();
+        assert_eq!(e2.whiteouts, vec![(64 << 10, 64 << 10)]);
+        let (extents, head) = materialize_chain(&mut p, FS, layout).unwrap().unwrap();
+        assert_eq!(head, 2);
+        let total: u64 = extents.iter().map(|e| e.len).sum();
+        assert_eq!(total, 128 << 10, "whiteout tile is not materialized");
+        assert!(extents
+            .iter()
+            .all(|e| e.offset + e.len <= 64 << 10 || e.offset >= 128 << 10));
+    }
+
+    #[test]
+    fn chained_restore_materializes_through_the_delta_chain() {
+        let (mut p, mut m, t) = chained_mirror(6);
+        let a = Bytes::from(vec![0xAAu8; 256 << 10]);
+        let b = Bytes::from(vec![0xBBu8; 64 << 10]);
+        let c = Bytes::from(vec![0xCCu8; 64 << 10]);
+        m.write_through(&mut p, 0, vec![(0, a.clone())]).unwrap();
+        m.commit_epoch(&mut p, 0, FS).unwrap(); // 1: full
+        m.write_through(&mut p, 0, vec![(64 << 10, b.clone())])
+            .unwrap();
+        m.commit_epoch(&mut p, 0, FS).unwrap(); // 2: delta
+        m.write_through(&mut p, 0, vec![(1 << 20, c.clone())])
+            .unwrap();
+        m.commit_epoch(&mut p, 0, FS).unwrap(); // 3: delta
+
+        let (mut replica, _, _, _) = m.into_parts();
+        let (mut fresh, _u, _) = conn_pair();
+        let layout = ManifestLayout::chained();
+        let out = restore_from_replica(&mut replica, None, &mut fresh, 0, FS, layout, &t).unwrap();
+        assert!(out.rolled_back);
+        assert_eq!(out.epoch, 3);
+        assert_eq!(&fresh.read_bytes(0, 64 << 10).unwrap()[..], &a[..64 << 10]);
+        assert_eq!(&fresh.read_bytes(64 << 10, 64 << 10).unwrap()[..], &b[..]);
+        assert_eq!(
+            &fresh.read_bytes(128 << 10, 128 << 10).unwrap()[..],
+            &a[..128 << 10]
+        );
+        assert_eq!(&fresh.read_bytes(1 << 20, 64 << 10).unwrap()[..], &c[..]);
+    }
+
+    #[test]
+    fn chain_hole_falls_back_to_older_complete_head() {
+        // A degraded-mode commit writes only the primary: the replica
+        // keeps both its old data AND its old manifests, so a later
+        // replica-side materialization sees a hole in the newest lineage
+        // and must fall back to the newest head whose chain is complete.
+        let (mut p, mut m, _t) = chained_mirror(6);
+        m.write_through(&mut p, 0, vec![(0, Bytes::from(vec![0x11u8; 128 << 10]))])
+            .unwrap();
+        m.commit_epoch(&mut p, 0, FS).unwrap(); // 1: full
+        m.write_through(&mut p, 0, vec![(0, Bytes::from(vec![0x22u8; 64 << 10]))])
+            .unwrap();
+        m.commit_epoch(&mut p, 0, FS).unwrap(); // 2: delta
+        m.write_through(
+            &mut p,
+            0,
+            vec![(64 << 10, Bytes::from(vec![0x33u8; 64 << 10]))],
+        )
+        .unwrap();
+        m.commit_epoch(&mut p, 0, FS).unwrap(); // 3: delta
+
+        // Zero epoch 2's commit record on the primary — the shape its
+        // region takes when that commit only ever reached the replica.
+        let layout = ManifestLayout::chained();
+        let hole = FS + layout.slot_offset(2);
+        let zeros = Bytes::from(vec![0u8; COMMIT_RECORD_BYTES as usize]);
+        let crc = crc32(&zeros);
+        p.write_vectored_bytes_precrc(vec![(hole, zeros, crc)])
+            .unwrap();
+        p.flush().unwrap();
+
+        // Epoch 3's parent link dangles; the walk skips it and lands on
+        // the complete epoch-1 anchor.
+        let (extents, head) = materialize_chain(&mut p, FS, layout).unwrap().unwrap();
+        assert_eq!(head, 1, "incomplete lineages are skipped");
+        let total: u64 = extents.iter().map(|e| e.len).sum();
+        assert_eq!(total, 128 << 10);
+    }
+
+    /// Simulate a crash between a commit's two phases: the body landed in
+    /// the slot but the commit record never did. Returns the slot offset.
+    fn write_torn_slot(conn: &mut NvmfConnection, m: &EpochManifest, layout: ManifestLayout) {
+        let body = Bytes::from(m.encode_body().unwrap());
+        let crc = crc32(&body);
+        let slot = FS + layout.slot_offset(m.epoch);
+        conn.write_vectored_bytes_precrc(vec![(slot + COMMIT_RECORD_BYTES, body, crc)])
+            .unwrap();
+        conn.flush().unwrap();
+    }
+
+    #[test]
+    fn torn_delta_commit_rolls_back_to_last_complete_epoch() {
+        let (mut p, mut m, _t) = chained_mirror(6);
+        let a = Bytes::from(vec![0x61u8; 128 << 10]);
+        m.write_through(&mut p, 0, vec![(0, a.clone())]).unwrap();
+        m.commit_epoch(&mut p, 0, FS).unwrap(); // 1: full
+        m.write_through(&mut p, 0, vec![(0, Bytes::from(vec![0x62u8; 64 << 10]))])
+            .unwrap();
+        m.commit_epoch(&mut p, 0, FS).unwrap(); // 2: delta
+                                                // Epoch 3's delta body reaches both slots, but the crash lands
+                                                // before either commit record: the chain head stays at 2.
+        let layout = ManifestLayout::chained();
+        let torn = EpochManifest {
+            epoch: 3,
+            parent_epoch: 2,
+            extents: vec![ManifestExtent {
+                offset: 64 << 10,
+                len: 64 << 10,
+                crc: 0xBAD,
+            }],
+            whiteouts: Vec::new(),
+        };
+        write_torn_slot(&mut p, &torn, layout);
+        let (mut replica, _, _, _) = m.into_parts();
+        write_torn_slot(&mut replica, &torn, layout);
+        let (_, head) = materialize_chain(&mut replica, FS, layout)
+            .unwrap()
+            .unwrap();
+        assert_eq!(head, 2, "the torn delta must stay invisible");
+    }
+
+    #[test]
+    fn torn_compaction_commit_rolls_back_to_the_sealed_chain() {
+        let (mut p, mut m, _t) = chained_mirror(6);
+        m.write_through(&mut p, 0, vec![(0, Bytes::from(vec![0x71u8; 128 << 10]))])
+            .unwrap();
+        m.commit_epoch(&mut p, 0, FS).unwrap(); // 1: full
+        m.write_through(
+            &mut p,
+            0,
+            vec![(64 << 10, Bytes::from(vec![0x72u8; 64 << 10]))],
+        )
+        .unwrap();
+        m.commit_epoch(&mut p, 0, FS).unwrap(); // 2: delta
+                                                // A compaction (full manifest) for epoch 3 is torn mid-commit:
+                                                // restore still materializes the sealed 1 <- 2 lineage.
+        let layout = ManifestLayout::chained();
+        let full = m.map().to_manifest(3).unwrap();
+        write_torn_slot(&mut p, &full, layout);
+        let (mut replica, _, _, _) = m.into_parts();
+        write_torn_slot(&mut replica, &full, layout);
+        let (extents, head) = materialize_chain(&mut replica, FS, layout)
+            .unwrap()
+            .unwrap();
+        assert_eq!(head, 2);
+        let total: u64 = extents.iter().map(|e| e.len).sum();
+        assert_eq!(total, 128 << 10);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any randomly generated delta chain — random dirty fractions,
+        /// compaction points (driven by `chain_max`), overlapping writes,
+        /// and whiteouts — materializes to exactly the byte set and bytes
+        /// of the equivalent full rewrite (the mirror's final extent map).
+        #[test]
+        fn prop_chain_materializes_byte_identical(
+            chain_max in 1u32..5,
+            epochs in proptest::collection::vec(
+                (
+                    proptest::collection::vec((0u64..60, 1u64..5, any::<u8>()), 1..6),
+                    proptest::collection::vec((0u64..60, 1u64..5), 0..3),
+                ),
+                1..6,
+            ),
+        ) {
+            const BS: u64 = 4096;
+            let (mut p, r, t) = conn_pair();
+            let mut m = Mirror::new(r, &t);
+            m.enable_delta_chain(chain_max);
+            let mut shadow = vec![0u8; (64 * BS) as usize];
+            for (writes, whiteouts) in &epochs {
+                for &(blk, blocks, fill) in writes {
+                    let (off, len) = (blk * BS, blocks * BS);
+                    m.write_through(&mut p, 0, vec![(off, Bytes::from(vec![fill; len as usize]))])
+                        .unwrap();
+                    shadow[off as usize..(off + len) as usize].fill(fill);
+                }
+                for &(blk, blocks) in whiteouts {
+                    m.discard(blk * BS, blocks * BS);
+                }
+                m.commit_epoch(&mut p, 0, FS).unwrap();
+            }
+            let want: Vec<(u64, u64)> = m
+                .map()
+                .entries()
+                .into_iter()
+                .map(|(o, l, _)| (o, l))
+                .collect();
+            let (mut replica, _, _, _) = m.into_parts();
+            let layout = ManifestLayout::chained();
+            let (extents, _) = materialize_chain(&mut replica, FS, layout)
+                .unwrap()
+                .expect("committed chains always materialize");
+            // Same byte set as the equivalent full rewrite...
+            let mut got = IntervalSet::new();
+            for e in &extents {
+                got.insert(e.offset, e.offset + e.len);
+            }
+            let mut full = IntervalSet::new();
+            for &(o, l) in &want {
+                full.insert(o, o + l);
+            }
+            prop_assert_eq!(got.spans(), full.spans());
+            // ...and byte-identical content under every extent.
+            for e in &extents {
+                let data = replica.read_bytes(e.offset, e.len as usize).unwrap();
+                prop_assert_eq!(
+                    &data[..],
+                    &shadow[e.offset as usize..(e.offset + e.len) as usize]
+                );
+            }
+        }
     }
 }

@@ -16,7 +16,7 @@ use rayon::prelude::*;
 
 use cluster::{FailureDomains, JobAllocation, NodeId, NodeKind, Topology};
 use fabric::{Initiator, NvmfTarget};
-use microfs::manifest::REGION_BYTES;
+use microfs::manifest::{ManifestLayout, REGION_BYTES};
 use microfs::{ExtentMap, FsError, FsStats, MicroFs};
 use ssd::{NsId, Ssd, SsdConfig, SsdError};
 use telemetry::Telemetry;
@@ -224,12 +224,17 @@ fn rank_device(
     let Some(rr) = &route.replica else {
         return Ok(NvmfBlockDevice::new(conn, route.base, fs_size));
     };
+    let layout = if config.delta_chain_max > 0 {
+        ManifestLayout::chained()
+    } else {
+        ManifestLayout::standard()
+    };
     let (epoch, rescan) = match init {
         MirrorInit::Fresh => (0, false),
         MirrorInit::Rescan => {
-            let epoch = replication::read_latest_manifest(&mut conn, route.base + fs_size)
+            let epoch = replication::read_latest_epoch(&mut conn, route.base + fs_size, layout)
                 .map_err(|e| RuntimeError::Replication(e.into()))?
-                .map_or(0, |m| m.epoch);
+                .unwrap_or(0);
             (epoch, true)
         }
     };
@@ -241,12 +246,14 @@ fn rank_device(
     );
     let rconn = ri.connect(Arc::clone(&rr.target), rr.ns);
     let mut dev = NvmfBlockDevice::new(conn, route.base, fs_size);
-    dev.attach_mirror(Mirror::with_state(
-        rconn,
-        ExtentMap::new(),
-        epoch,
-        &config.telemetry,
-    ));
+    let mut mirror = Mirror::with_state(rconn, ExtentMap::new(), epoch, &config.telemetry);
+    if config.delta_chain_max > 0 {
+        // The first commit after (re)connect is always full: rescan tiles
+        // the image differently from pre-restart manifests, and a delta
+        // chain must never span a restart boundary.
+        mirror.enable_delta_chain(config.delta_chain_max);
+    }
+    dev.attach_mirror(mirror);
     if rescan {
         dev.rescan_mirror()?;
     }
@@ -575,9 +582,17 @@ impl NvmeCrRuntime {
     /// when replication is off.
     pub fn commit_epochs(&mut self) -> Result<Vec<u64>, RuntimeError> {
         self.map_ranks_par(|_rank, fs| {
-            fs.device_mut()
+            let sealed = fs
+                .device_mut()
                 .commit_epoch()
-                .map_err(RuntimeError::Replication)
+                .map_err(RuntimeError::Replication)?;
+            if sealed.is_some() {
+                // Sealed epochs reset the filesystem's copy-on-write
+                // tracker: the next first-touch of any extent counts as
+                // a fresh copy-up.
+                fs.cow_epoch_begin();
+            }
+            Ok(sealed)
         })
         .map(|v| v.into_iter().flatten().collect())
     }
@@ -585,9 +600,14 @@ impl NvmeCrRuntime {
     /// [`commit_epochs`](Self::commit_epochs) for a single rank.
     pub fn commit_epoch_rank(&mut self, rank: u32) -> Result<Option<u64>, RuntimeError> {
         let fs = self.rank_fs(rank)?;
-        fs.device_mut()
+        let sealed = fs
+            .device_mut()
             .commit_epoch()
-            .map_err(RuntimeError::Replication)
+            .map_err(RuntimeError::Replication)?;
+        if sealed.is_some() {
+            fs.cow_epoch_begin();
+        }
+        Ok(sealed)
     }
 
     /// Scrub one rank's two copies: verify every committed extent against
@@ -701,21 +721,29 @@ impl NvmeCrRuntime {
                     (ri.connect(Arc::clone(&rr.target), rr.ns), None)
                 }
             };
+            let layout = if self.config.delta_chain_max > 0 {
+                ManifestLayout::chained()
+            } else {
+                ManifestLayout::standard()
+            };
             let outcome = replication::restore_from_replica(
                 &mut rconn,
                 state,
                 &mut conn,
                 0,
                 fs_size,
+                layout,
                 &self.config.telemetry,
             )?;
             let mut dev = NvmfBlockDevice::new(conn, 0, fs_size);
-            dev.attach_mirror(Mirror::with_state(
-                rconn,
-                outcome.map,
-                outcome.epoch,
-                &self.config.telemetry,
-            ));
+            let mut mirror =
+                Mirror::with_state(rconn, outcome.map, outcome.epoch, &self.config.telemetry);
+            if self.config.delta_chain_max > 0 {
+                // Restart the lineage: the first post-failover commit is a
+                // full manifest anchoring a fresh chain.
+                mirror.enable_delta_chain(self.config.delta_chain_max);
+            }
+            dev.attach_mirror(mirror);
             // Mount, not format: the restored image is the rank's own
             // filesystem, byte-verified against the manifest.
             MicroFs::mount(dev, self.config.fs_config())?

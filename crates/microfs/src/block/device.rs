@@ -82,6 +82,15 @@ pub trait BlockDevice {
         }
         Ok(())
     }
+
+    /// Hint that `[offset, offset+len)` no longer holds live data (a file
+    /// was unlinked or truncated). Devices that maintain per-extent state
+    /// (the mirrored NVMf device) drop the span from their maps so delta
+    /// epochs can record it as a whiteout; plain devices ignore it.
+    fn discard_at(&mut self, offset: u64, len: u64) -> Result<(), DevError> {
+        let _ = (offset, len);
+        Ok(())
+    }
 }
 
 /// A simple in-memory device for tests and benchmarks.

@@ -40,6 +40,10 @@ pub struct FsConfig {
     /// Fault-injection hook; the WAL consults it on fresh appends. Disarmed
     /// (the default) it costs one relaxed atomic load per append.
     pub chaos: chaos::ChaosHandle,
+    /// Track copy-on-write dirty extents per epoch and emit whiteout
+    /// discards for freed block spans. Off (the default) the write path is
+    /// bit-for-bit today's behavior.
+    pub cow_epochs: bool,
 }
 
 impl Default for FsConfig {
@@ -51,6 +55,7 @@ impl Default for FsConfig {
             snapshot_threshold: 0.25,
             telemetry: Telemetry::default(),
             chaos: chaos::ChaosHandle::default(),
+            cow_epochs: false,
         }
     }
 }
@@ -185,6 +190,8 @@ pub struct MicroFs<D: BlockDevice> {
     zero_scratch: Vec<u8>,
     /// Reusable encode buffer for dirent records.
     enc_scratch: Vec<u8>,
+    /// Copy-on-write dirty tracking, present iff `config.cow_epochs`.
+    cow: Option<crate::cow::CowTracker>,
 }
 
 impl<D: BlockDevice> MicroFs<D> {
@@ -214,6 +221,9 @@ impl<D: BlockDevice> MicroFs<D> {
         let mut wal = Wal::new(layout.log_offset, layout.log_size, config.coalescing);
         wal.set_chaos(config.chaos.clone());
         let metrics = FsMetrics::new(&config.telemetry);
+        let cow = config
+            .cow_epochs
+            .then(|| crate::cow::CowTracker::new(&config.telemetry));
         let mut fs = MicroFs {
             dev,
             layout,
@@ -227,6 +237,7 @@ impl<D: BlockDevice> MicroFs<D> {
             metrics,
             zero_scratch: Vec::new(),
             enc_scratch: Vec::new(),
+            cow,
         };
         fs.stats.snapshots = 1;
         fs.stats.snapshot_bytes = snap_bytes;
@@ -275,6 +286,9 @@ impl<D: BlockDevice> MicroFs<D> {
             metrics,
             zero_scratch: Vec::new(),
             enc_scratch: Vec::new(),
+            cow: config
+                .cow_epochs
+                .then(|| crate::cow::CowTracker::new(&config.telemetry)),
         };
         {
             let _span = telemetry::span("microfs", "replay").arg("records", replayed);
@@ -311,6 +325,40 @@ impl<D: BlockDevice> MicroFs<D> {
     /// The partition layout in effect.
     pub fn layout(&self) -> &Layout {
         &self.layout
+    }
+
+    /// Start a new CoW epoch: forget this epoch's dirty spans and
+    /// whiteouts. Call right after an epoch manifest commits. No-op when
+    /// `cow_epochs` is off.
+    pub fn cow_epoch_begin(&mut self) {
+        if let Some(cow) = self.cow.as_mut() {
+            cow.begin_epoch();
+        }
+    }
+
+    /// Device spans written since the last [`Self::cow_epoch_begin`],
+    /// coalesced and in offset order. Empty when `cow_epochs` is off.
+    pub fn cow_dirty_spans(&self) -> Vec<(u64, u64)> {
+        self.cow
+            .as_ref()
+            .map(|c| c.dirty_spans())
+            .unwrap_or_default()
+    }
+
+    /// Whiteouts recorded since the last [`Self::cow_epoch_begin`].
+    pub fn cow_whiteout_spans(&self) -> Vec<(u64, u64)> {
+        self.cow
+            .as_ref()
+            .map(|c| c.whiteout_spans().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Bytes dirtied this epoch (each byte counted once).
+    pub fn cow_dirty_bytes(&self) -> u64 {
+        self.cow
+            .as_ref()
+            .map(|c| c.dirty_bytes())
+            .unwrap_or_default()
     }
 
     /// Operation statistics (WAL counters merged in).
@@ -461,6 +509,11 @@ impl<D: BlockDevice> MicroFs<D> {
                 self.dev
                     .write_vectored_at(&writes)
                     .map_err(|e| FsError::Io(e.to_string()))?;
+                if let Some(cow) = self.cow.as_mut() {
+                    for &(addr, n) in &segs {
+                        cow.note_write(addr, n as u64);
+                    }
+                }
             }
         }
         if let Some(data) = data {
@@ -487,6 +540,11 @@ impl<D: BlockDevice> MicroFs<D> {
             self.dev
                 .write_vectored_at(&writes)
                 .map_err(|e| FsError::Io(e.to_string()))?;
+            if let Some(cow) = self.cow.as_mut() {
+                for &(addr, _, n) in &segs {
+                    cow.note_write(addr, n);
+                }
+            }
         }
         let node = self.state.inodes.get_mut(ino)?;
         node.size = node.size.max(end);
@@ -502,6 +560,37 @@ impl<D: BlockDevice> MicroFs<D> {
             .get(block_index as usize)
             .ok_or_else(|| FsError::Io(format!("block {block_index} unmapped")))?;
         Ok(self.layout.block_addr(blk))
+    }
+
+    /// Record whiteouts for freed hugeblocks and hint the device to drop
+    /// them. Live mode only — replay re-frees the same blocks but the
+    /// device-side extent state was already updated by the original run.
+    fn whiteout_blocks(&mut self, released: &[u64], live: bool) {
+        if !live || self.cow.is_none() || released.is_empty() {
+            return;
+        }
+        let bs = self.layout.block_size;
+        let mut blocks: Vec<u64> = released.to_vec();
+        blocks.sort_unstable();
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        let mut run_start = blocks[0];
+        let mut run_len = 1u64;
+        for &b in &blocks[1..] {
+            if b == run_start + run_len {
+                run_len += 1;
+            } else {
+                spans.push((self.layout.block_addr(run_start), run_len * bs));
+                run_start = b;
+                run_len = 1;
+            }
+        }
+        spans.push((self.layout.block_addr(run_start), run_len * bs));
+        let cow = self.cow.as_mut().expect("cow checked above");
+        for &(addr, len) in &spans {
+            cow.note_whiteout(addr, len);
+            // Advisory: devices without extent state ignore the hint.
+            let _ = self.dev.discard_at(addr, len);
+        }
     }
 
     /// Append a dirent record to a directory file (allocating as needed).
@@ -569,6 +658,7 @@ impl<D: BlockDevice> MicroFs<D> {
         if node.blocks.len() > keep {
             let released: Vec<u64> = node.blocks.split_off(keep);
             self.state.pool.free_many(&released);
+            self.whiteout_blocks(&released, live);
         }
         let node = self.state.inodes.get_mut(ino)?;
         node.size = size;
@@ -631,6 +721,7 @@ impl<D: BlockDevice> MicroFs<D> {
         self.append_dirent(pino, &Dirent::Remove { name }, live)?;
         let node = self.state.inodes.remove(ino)?;
         self.state.pool.free_many(&node.blocks);
+        self.whiteout_blocks(&node.blocks, live);
         self.state.btree.remove(path);
         self.wal.invalidate(ino);
         Ok(())

@@ -46,6 +46,7 @@
 
 pub mod block;
 pub mod btree;
+pub mod cow;
 pub mod crc;
 pub mod dirent;
 pub mod error;
@@ -58,8 +59,9 @@ pub mod snapshot;
 pub mod wal;
 
 pub use block::{BlockDevice, MemDevice};
+pub use cow::{CowTracker, IntervalSet};
 pub use error::{FsError, OpenFlags};
 pub use fs::{FsConfig, FsStats, MicroFs};
 pub use fsck::{check as fsck, FsckIssue, FsckReport};
 pub use layout::Layout;
-pub use manifest::{EpochManifest, ExtentMap, ManifestError, ManifestExtent};
+pub use manifest::{EpochManifest, ExtentMap, ManifestError, ManifestExtent, ManifestLayout};

@@ -28,11 +28,22 @@ pub const SLOT_BYTES: u64 = 512 << 10;
 pub const REGION_BYTES: u64 = 2 * SLOT_BYTES;
 /// Bytes of the sealed commit record at the head of a slot.
 pub const COMMIT_RECORD_BYTES: u64 = 32;
+/// Slots in the chained layout: the same [`REGION_BYTES`] region divided
+/// into a ring of smaller slots so a lineage of delta epochs (plus the
+/// full epoch anchoring it) stays addressable.
+pub const CHAIN_SLOTS: u64 = 8;
+/// Longest delta lineage the chained ring supports: a complete chain is
+/// `full + MAX_DELTA_CHAIN` deltas, and one more slot stays free for the
+/// in-progress commit that will overwrite the oldest entry.
+pub const MAX_DELTA_CHAIN: u32 = (CHAIN_SLOTS - 2) as u32;
 
 const BODY_MAGIC: u32 = 0x4E43_4D42; // "BMCN"
+const DELTA_MAGIC: u32 = 0x4E43_4D44; // "DMCN"
 const COMMIT_MAGIC: u32 = 0x4E43_4D43; // "CMCN"
 const BODY_HEADER: usize = 16; // magic u32 | epoch u64 | count u32
+const DELTA_EXTRA: usize = 12; // parent_epoch u64 | whiteout count u32
 const EXTENT_BYTES: usize = 20; // offset u64 | len u64 | crc u32
+const WHITEOUT_BYTES: usize = 16; // offset u64 | len u64
 
 /// Slot offset (within the manifest region) for `epoch`.
 pub fn slot_offset(epoch: u64) -> u64 {
@@ -42,6 +53,58 @@ pub fn slot_offset(epoch: u64) -> u64 {
 /// Most extents a slot body can hold.
 pub fn max_extents() -> usize {
     (SLOT_BYTES as usize - COMMIT_RECORD_BYTES as usize - BODY_HEADER) / EXTENT_BYTES
+}
+
+/// Geometry of the manifest region: how [`REGION_BYTES`] is divided into
+/// slots. The standard layout is the two-slot ping-pong pair (bit-for-bit
+/// today's format); the chained layout divides the same region into
+/// [`CHAIN_SLOTS`] smaller slots so delta epochs keep their ancestors
+/// addressable until the next compaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ManifestLayout {
+    /// Slots in the ring.
+    pub slots: u64,
+    /// Bytes per slot (`slots * slot_bytes == REGION_BYTES`).
+    pub slot_bytes: u64,
+}
+
+impl ManifestLayout {
+    /// The two-slot ping-pong layout of full epoch manifests.
+    pub fn standard() -> Self {
+        ManifestLayout {
+            slots: 2,
+            slot_bytes: SLOT_BYTES,
+        }
+    }
+
+    /// The delta-chain ring: more, smaller slots in the same region.
+    pub fn chained() -> Self {
+        ManifestLayout {
+            slots: CHAIN_SLOTS,
+            slot_bytes: REGION_BYTES / CHAIN_SLOTS,
+        }
+    }
+
+    /// True when this is the delta-chain ring.
+    pub fn is_chained(&self) -> bool {
+        self.slots > 2
+    }
+
+    /// Slot offset (within the manifest region) for `epoch`.
+    pub fn slot_offset(&self, epoch: u64) -> u64 {
+        (epoch % self.slots) * self.slot_bytes
+    }
+
+    /// Most body bytes one slot can carry.
+    pub fn body_capacity(&self) -> usize {
+        (self.slot_bytes - COMMIT_RECORD_BYTES) as usize
+    }
+}
+
+impl Default for ManifestLayout {
+    fn default() -> Self {
+        ManifestLayout::standard()
+    }
 }
 
 /// Manifest encode/decode failures. Decode errors all mean "this slot
@@ -101,33 +164,77 @@ pub struct ManifestExtent {
 }
 
 /// A committed checkpoint epoch: sequence number plus the extents (and
-/// their checksums) that make up the image at commit time.
+/// their checksums) that make up the image — the whole image for a full
+/// epoch, only the changed part for a delta epoch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EpochManifest {
     /// Monotonic epoch sequence number (first commit is 1).
     pub epoch: u64,
-    /// Image extents, in offset order.
+    /// Parent epoch of a delta manifest; `0` marks a full (self-contained)
+    /// manifest. A delta's parent is always `epoch - 1` — every commit
+    /// seals a manifest, so the lineage has no holes.
+    pub parent_epoch: u64,
+    /// Image extents, in offset order. For a delta: only the extents whose
+    /// `(offset, len, crc)` tuple changed since the parent epoch.
     pub extents: Vec<ManifestExtent>,
+    /// Spans discarded since the parent epoch (file deletes/truncates
+    /// propagated down as device discards). During chain materialization
+    /// a whiteout shadows any ancestor extents beneath it.
+    pub whiteouts: Vec<(u64, u64)>,
 }
 
 impl EpochManifest {
+    /// A full (self-contained) manifest — the only kind the standard
+    /// two-slot layout ever writes.
+    pub fn full(epoch: u64, extents: Vec<ManifestExtent>) -> Self {
+        EpochManifest {
+            epoch,
+            parent_epoch: 0,
+            extents,
+            whiteouts: Vec::new(),
+        }
+    }
+
+    /// True for a delta manifest (has a parent in the lineage chain).
+    pub fn is_delta(&self) -> bool {
+        self.parent_epoch != 0
+    }
+
     /// Encode the phase-1 **body**: written at `slot + COMMIT_RECORD_BYTES`
     /// *before* the commit record so a crash between the phases leaves the
-    /// slot uncommitted rather than half-sealed.
+    /// slot uncommitted rather than half-sealed. Full manifests keep the
+    /// v1 encoding bit-for-bit; deltas use the extended header carrying
+    /// `parent_epoch` and the whiteout list.
     pub fn encode_body(&self) -> Result<Vec<u8>, ManifestError> {
         if self.extents.len() > max_extents() {
             return Err(ManifestError::TooLarge {
                 extents: self.extents.len(),
             });
         }
-        let mut out = Vec::with_capacity(BODY_HEADER + self.extents.len() * EXTENT_BYTES);
-        out.extend_from_slice(&BODY_MAGIC.to_le_bytes());
+        let delta = self.is_delta() || !self.whiteouts.is_empty();
+        let cap = BODY_HEADER
+            + if delta { DELTA_EXTRA } else { 0 }
+            + self.extents.len() * EXTENT_BYTES
+            + self.whiteouts.len() * WHITEOUT_BYTES;
+        let mut out = Vec::with_capacity(cap);
+        let magic = if delta { DELTA_MAGIC } else { BODY_MAGIC };
+        out.extend_from_slice(&magic.to_le_bytes());
         out.extend_from_slice(&self.epoch.to_le_bytes());
         out.extend_from_slice(&(self.extents.len() as u32).to_le_bytes());
+        if delta {
+            out.extend_from_slice(&self.parent_epoch.to_le_bytes());
+            out.extend_from_slice(&(self.whiteouts.len() as u32).to_le_bytes());
+        }
         for e in &self.extents {
             out.extend_from_slice(&e.offset.to_le_bytes());
             out.extend_from_slice(&e.len.to_le_bytes());
             out.extend_from_slice(&e.crc.to_le_bytes());
+        }
+        if delta {
+            for &(offset, len) in &self.whiteouts {
+                out.extend_from_slice(&offset.to_le_bytes());
+                out.extend_from_slice(&len.to_le_bytes());
+            }
         }
         Ok(out)
     }
@@ -182,9 +289,14 @@ impl EpochManifest {
                 actual,
             });
         }
-        if body.len() < BODY_HEADER || u32_at(body, 0) != BODY_MAGIC {
+        if body.len() < BODY_HEADER {
             return Err(ManifestError::BadMagic);
         }
+        let delta = match u32_at(body, 0) {
+            BODY_MAGIC => false,
+            DELTA_MAGIC => true,
+            _ => return Err(ManifestError::BadMagic),
+        };
         let body_epoch = u64_at(body, 4);
         if body_epoch != rec_epoch {
             return Err(ManifestError::EpochMismatch {
@@ -193,21 +305,38 @@ impl EpochManifest {
             });
         }
         let count = u32_at(body, 12) as usize;
-        if body.len() != BODY_HEADER + count * EXTENT_BYTES {
+        let header = BODY_HEADER + if delta { DELTA_EXTRA } else { 0 };
+        if body.len() < header {
+            return Err(ManifestError::Truncated);
+        }
+        let (parent_epoch, wcount) = if delta {
+            (u64_at(body, 16), u32_at(body, 24) as usize)
+        } else {
+            (0, 0)
+        };
+        if body.len() != header + count * EXTENT_BYTES + wcount * WHITEOUT_BYTES {
             return Err(ManifestError::Truncated);
         }
         let mut extents = Vec::with_capacity(count);
         for i in 0..count {
-            let at = BODY_HEADER + i * EXTENT_BYTES;
+            let at = header + i * EXTENT_BYTES;
             extents.push(ManifestExtent {
                 offset: u64_at(body, at),
                 len: u64_at(body, at + 8),
                 crc: u32_at(body, at + 16),
             });
         }
+        let wbase = header + count * EXTENT_BYTES;
+        let mut whiteouts = Vec::with_capacity(wcount);
+        for i in 0..wcount {
+            let at = wbase + i * WHITEOUT_BYTES;
+            whiteouts.push((u64_at(body, at), u64_at(body, at + 8)));
+        }
         Ok(EpochManifest {
             epoch: rec_epoch,
+            parent_epoch,
             extents,
+            whiteouts,
         })
     }
 
@@ -226,9 +355,22 @@ struct MapEntry {
 }
 
 /// Cumulative map of every mirrored byte, with incremental CRCs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ExtentMap {
     map: BTreeMap<u64, MapEntry>,
+    /// Largest extent adjacent merges may produce. Unlimited by default
+    /// (today's behavior); the delta-chain path caps it so extents stay
+    /// close to write granularity and delta diffs stay sparse.
+    merge_limit: u64,
+}
+
+impl Default for ExtentMap {
+    fn default() -> Self {
+        ExtentMap {
+            map: BTreeMap::new(),
+            merge_limit: u64::MAX,
+        }
+    }
 }
 
 impl ExtentMap {
@@ -239,8 +381,13 @@ impl ExtentMap {
 
     /// Rebuild a map from a committed manifest (restart path).
     pub fn from_manifest(m: &EpochManifest) -> Self {
+        Self::from_extents(&m.extents)
+    }
+
+    /// Rebuild a map from disjoint extents (chain materialization).
+    pub fn from_extents(extents: &[ManifestExtent]) -> Self {
         let mut map = BTreeMap::new();
-        for e in &m.extents {
+        for e in extents {
             map.insert(
                 e.offset,
                 MapEntry {
@@ -249,7 +396,16 @@ impl ExtentMap {
                 },
             );
         }
-        ExtentMap { map }
+        ExtentMap {
+            map,
+            merge_limit: u64::MAX,
+        }
+    }
+
+    /// Cap adjacent merges at `limit` bytes. Existing extents are left
+    /// as-is; only future merges respect the cap.
+    pub fn set_merge_limit(&mut self, limit: u64) {
+        self.merge_limit = limit.max(1);
     }
 
     /// Record a mirrored write of `len` bytes at `offset` whose payload
@@ -263,6 +419,47 @@ impl ExtentMap {
     /// uncertain (they will be copied, not CRC-verified, on restore).
     pub fn mark_dirty(&mut self, offset: u64, len: u64) {
         self.insert_extent(offset, len, None);
+    }
+
+    /// Drop `[offset, offset+len)` from the map — a whiteout. Extents
+    /// reaching across either boundary keep their outside fragments, whose
+    /// CRCs go dirty and are re-read at the next commit (the same rule as
+    /// an overlapping write).
+    pub fn remove(&mut self, offset: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let end = offset + len;
+        let mut hit: Vec<(u64, MapEntry)> = Vec::new();
+        if let Some((&k, &e)) = self.map.range(..offset).next_back() {
+            if k + e.len > offset {
+                hit.push((k, e));
+            }
+        }
+        for (&k, &e) in self.map.range(offset..end) {
+            hit.push((k, e));
+        }
+        for (k, e) in hit {
+            self.map.remove(&k);
+            if k < offset {
+                self.map.insert(
+                    k,
+                    MapEntry {
+                        len: offset - k,
+                        crc: None,
+                    },
+                );
+            }
+            if k + e.len > end {
+                self.map.insert(
+                    end,
+                    MapEntry {
+                        len: k + e.len - end,
+                        crc: None,
+                    },
+                );
+            }
+        }
     }
 
     fn insert_extent(&mut self, offset: u64, len: u64, crc: Option<u32>) {
@@ -316,7 +513,7 @@ impl ExtentMap {
             return;
         };
         if let Some((&pk, &pe)) = self.map.range(..offset).next_back() {
-            if pk + pe.len == offset {
+            if pk + pe.len == offset && pe.len + cur.len <= self.merge_limit {
                 if let (Some(a), Some(b)) = (pe.crc, cur.crc) {
                     self.map.remove(&offset);
                     cur = MapEntry {
@@ -330,15 +527,17 @@ impl ExtentMap {
         }
         let next = offset + cur.len;
         if let Some(&ne) = self.map.get(&next) {
-            if let (Some(a), Some(b)) = (cur.crc, ne.crc) {
-                self.map.remove(&next);
-                self.map.insert(
-                    offset,
-                    MapEntry {
-                        len: cur.len + ne.len,
-                        crc: Some(crc32_concat(a, b, ne.len)),
-                    },
-                );
+            if cur.len + ne.len <= self.merge_limit {
+                if let (Some(a), Some(b)) = (cur.crc, ne.crc) {
+                    self.map.remove(&next);
+                    self.map.insert(
+                        offset,
+                        MapEntry {
+                            len: cur.len + ne.len,
+                            crc: Some(crc32_concat(a, b, ne.len)),
+                        },
+                    );
+                }
             }
         }
     }
@@ -387,7 +586,7 @@ impl ExtentMap {
         self.map.values().map(|e| e.len).sum()
     }
 
-    /// Build the manifest for `epoch`. Every extent's CRC must be
+    /// Build the full manifest for `epoch`. Every extent's CRC must be
     /// resolved first (see [`ExtentMap::dirty_fragments`]).
     pub fn to_manifest(&self, epoch: u64) -> Result<EpochManifest, ManifestError> {
         let mut extents = Vec::with_capacity(self.map.len());
@@ -399,7 +598,7 @@ impl ExtentMap {
                 crc,
             });
         }
-        Ok(EpochManifest { epoch, extents })
+        Ok(EpochManifest::full(epoch, extents))
     }
 }
 
@@ -418,9 +617,9 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrips() {
-        let m = EpochManifest {
-            epoch: 7,
-            extents: vec![
+        let m = EpochManifest::full(
+            7,
+            vec![
                 ManifestExtent {
                     offset: 0,
                     len: 4096,
@@ -432,7 +631,7 @@ mod tests {
                     crc: 42,
                 },
             ],
-        };
+        );
         assert_eq!(EpochManifest::decode_slot(&roundtrip(&m)).unwrap(), m);
         assert_eq!(m.bytes(), 4096 + 123);
     }
@@ -440,10 +639,7 @@ mod tests {
     #[test]
     fn missing_record_is_uncommitted() {
         // Phase 1 only: body in place, record never sealed.
-        let m = EpochManifest {
-            epoch: 1,
-            extents: vec![],
-        };
+        let m = EpochManifest::full(1, vec![]);
         let body = m.encode_body().unwrap();
         let mut slot = vec![0u8; COMMIT_RECORD_BYTES as usize];
         slot.extend_from_slice(&body);
@@ -516,6 +712,75 @@ mod tests {
         assert_eq!(rebuilt.entries(), map.entries());
     }
 
+    #[test]
+    fn delta_manifest_roundtrips_with_parent_and_whiteouts() {
+        let m = EpochManifest {
+            epoch: 12,
+            parent_epoch: 11,
+            extents: vec![ManifestExtent {
+                offset: 4096,
+                len: 8192,
+                crc: 0xC0FF_EE00,
+            }],
+            whiteouts: vec![(1 << 20, 64 << 10), (3 << 20, 4096)],
+        };
+        let decoded = EpochManifest::decode_slot(&roundtrip(&m)).unwrap();
+        assert_eq!(decoded, m);
+        assert!(decoded.is_delta());
+        // A full manifest's encoding is byte-identical to the v1 format:
+        // no parent/whiteout fields on the wire.
+        let full = EpochManifest::full(12, m.extents.clone());
+        let v1 = full.encode_body().unwrap();
+        assert_eq!(v1.len(), 16 + 20);
+        assert!(!EpochManifest::decode_slot(&roundtrip(&full))
+            .unwrap()
+            .is_delta());
+    }
+
+    #[test]
+    fn chained_layout_divides_the_same_region() {
+        let std_l = ManifestLayout::standard();
+        let chain = ManifestLayout::chained();
+        assert_eq!(std_l.slots * std_l.slot_bytes, REGION_BYTES);
+        assert_eq!(chain.slots * chain.slot_bytes, REGION_BYTES);
+        assert!(!std_l.is_chained() && chain.is_chained());
+        // Standard layout matches the free function bit-for-bit.
+        for e in 0..10u64 {
+            assert_eq!(std_l.slot_offset(e), slot_offset(e));
+        }
+        assert_eq!(chain.slot_offset(CHAIN_SLOTS), 0);
+        assert_eq!(chain.slot_offset(1), chain.slot_bytes);
+        assert!(u64::from(MAX_DELTA_CHAIN) + 2 <= chain.slots);
+    }
+
+    #[test]
+    fn remove_punches_whiteout_holes() {
+        let mut map = ExtentMap::new();
+        map.record(0, 100, 1);
+        map.remove(40, 20);
+        assert_eq!(map.entries(), vec![(0, 40, None), (60, 40, None)]);
+        assert_eq!(map.bytes(), 80);
+        // Removing a whole extent leaves nothing behind.
+        map.remove(0, 40);
+        assert_eq!(map.entries(), vec![(60, 40, None)]);
+        // Removing beyond mapped space is a no-op.
+        map.remove(500, 100);
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn merge_limit_bounds_extent_growth() {
+        let mut map = ExtentMap::new();
+        map.set_merge_limit(64);
+        for i in 0..4u64 {
+            map.record(i * 32, 32, i as u32 + 1);
+        }
+        // Adjacent 32-byte extents merge pairwise to 64 and stop there.
+        assert_eq!(map.len(), 2);
+        assert!(map.entries().iter().all(|&(_, len, _)| len <= 64));
+        assert_eq!(map.bytes(), 128);
+    }
+
     proptest! {
         /// Encode/decode round-trips arbitrary manifests.
         #[test]
@@ -532,7 +797,7 @@ mod tests {
                     e
                 })
                 .collect();
-            let m = EpochManifest { epoch, extents };
+            let m = EpochManifest::full(epoch, extents);
             prop_assert_eq!(EpochManifest::decode_slot(&roundtrip(&m)).unwrap(), m);
         }
 
@@ -541,12 +806,12 @@ mod tests {
         fn prop_truncation_detected(
             cut in 0usize..200,
         ) {
-            let m = EpochManifest {
-                epoch: 9,
-                extents: (0..8u64)
+            let m = EpochManifest::full(
+                9,
+                (0..8u64)
                     .map(|i| ManifestExtent { offset: i * 64, len: 64, crc: i as u32 })
                     .collect(),
-            };
+            );
             let slot = roundtrip(&m);
             let cut = cut % slot.len();
             prop_assert!(EpochManifest::decode_slot(&slot[..cut]).is_err());
@@ -559,12 +824,12 @@ mod tests {
             idx_seed in any::<u64>(),
             bit in 0usize..8,
         ) {
-            let m = EpochManifest {
-                epoch: 5,
-                extents: (0..4u64)
+            let m = EpochManifest::full(
+                5,
+                (0..4u64)
                     .map(|i| ManifestExtent { offset: i * 4096, len: 4096, crc: 0xA5A5 + i as u32 })
                     .collect(),
-            };
+            );
             let mut slot = roundtrip(&m);
             let idx = (idx_seed as usize) % slot.len();
             slot[idx] ^= 1 << bit;

@@ -11,9 +11,12 @@
 //!   verify payloads byte-for-byte. Used by integration tests, examples,
 //!   and the metadata-overhead (Table I) harness.
 
+use std::sync::Mutex;
+
 use baselines::model::StorageModel;
 use baselines::scenario::Scenario;
 use baselines::LustreModel;
+use chaos::{ChaosHandle, FaultAction, FaultPlan, FaultSite};
 use cluster::{JobRequest, Scheduler, Topology};
 use nvmecr::multilevel::{CheckpointLevel, MultiLevelPolicy};
 use nvmecr::runtime::{NvmeCrRuntime, StorageRack};
@@ -23,6 +26,7 @@ use ssd::SsdConfig;
 use telemetry::Telemetry;
 
 use crate::comd::CoMD;
+use crate::incremental::IncrementalCheckpointer;
 
 /// One point of a scaling sweep.
 #[derive(Debug, Clone)]
@@ -232,6 +236,10 @@ pub struct FunctionalTuning {
     /// each checkpoint round also seals a replication epoch, so the run
     /// measures the full mirrored-commit cost, not just the data writes.
     pub replication_factor: u32,
+    /// Copy-on-write delta epochs (replicated runs only): `0` keeps the
+    /// full-manifest commit path; `n > 0` seals sparse delta manifests
+    /// and compacts after at most `n` deltas.
+    pub delta_chain_max: u32,
 }
 
 impl Default for FunctionalTuning {
@@ -241,6 +249,7 @@ impl Default for FunctionalTuning {
             block_size: defaults.block_size,
             queue_depth: defaults.fabric.queue_depth,
             replication_factor: defaults.replication_factor,
+            delta_chain_max: defaults.delta_chain_max,
         }
     }
 }
@@ -295,6 +304,7 @@ pub fn run_functional_checkpoints_tuned(
         telemetry: telemetry.clone(),
         block_size: tuning.block_size,
         replication_factor: tuning.replication_factor,
+        delta_chain_max: tuning.delta_chain_max,
         ..RuntimeConfig::default()
     };
     config.fabric.queue_depth = tuning.queue_depth;
@@ -393,6 +403,408 @@ pub fn run_functional_checkpoints_tuned(
     })
 }
 
+// ---------------------------------------------------------------------------
+// Incremental (dirty-fraction) checkpoint runs
+// ---------------------------------------------------------------------------
+
+/// Diff granularity of the incremental drivers. Matches the chained
+/// mirror's extent re-tile cap, so one dirty chunk re-seals exactly one
+/// manifest tuple on the copy-on-write path.
+pub const INCREMENTAL_CHUNK: usize = 64 << 10;
+
+/// How a rank decides which bytes of its evolving image to write each
+/// checkpoint round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncrementalStrategy {
+    /// Rewrite the whole image every round — the N-N baseline.
+    FullRewrite,
+    /// Hash the whole image in [`INCREMENTAL_CHUNK`] chunks and write
+    /// only the chunks whose hash changed (libhashckpt-style, §II-B):
+    /// write volume proportional to the dirty set, scan cost proportional
+    /// to the full image.
+    HashScan,
+    /// The application tracks its own dirty chunks as it mutates them and
+    /// writes exactly those — no scan at all. Composed with
+    /// `delta_chain_max > 0` the manifest side also seals sparse deltas.
+    CowTracked,
+}
+
+impl IncrementalStrategy {
+    /// Stable label for reports and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            IncrementalStrategy::FullRewrite => "full_rewrite",
+            IncrementalStrategy::HashScan => "hash_scan",
+            IncrementalStrategy::CowTracked => "cow_tracked",
+        }
+    }
+}
+
+/// splitmix64 — the deterministic generator behind image content and
+/// per-round dirty-set selection (runs must be reproducible per rank).
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn fill_chunk(data: &mut [u8], seed: u64) {
+    let mut w = seed;
+    for (j, b) in data.iter_mut().enumerate() {
+        if j % 8 == 0 {
+            w = mix64(w.wrapping_add(j as u64));
+        }
+        *b = (w >> ((j % 8) * 8)) as u8;
+    }
+}
+
+/// One rank's evolving application image: deterministic content, and a
+/// deterministic dirty set per round so every strategy sees identical
+/// mutations.
+pub struct IncrementalImage {
+    rank: u32,
+    chunk: usize,
+    data: Vec<u8>,
+}
+
+impl IncrementalImage {
+    /// A fresh image of `len` bytes for `rank`, mutated and diffed at
+    /// `chunk`-byte granularity.
+    pub fn new(rank: u32, len: usize, chunk: usize) -> Self {
+        assert!(chunk > 0);
+        let mut data = vec![0u8; len];
+        for (i, c) in data.chunks_mut(chunk).enumerate() {
+            fill_chunk(c, mix64((u64::from(rank) << 40) ^ i as u64));
+        }
+        IncrementalImage { rank, chunk, data }
+    }
+
+    /// Current image bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutate this round's dirty set — `dirty_permille`/1000 of the
+    /// chunks (at least one), chosen pseudo-randomly but deterministically
+    /// per `(rank, round)` — and return the coalesced dirty byte spans.
+    pub fn advance(&mut self, round: u32, dirty_permille: u32) -> Vec<(u64, u64)> {
+        let nchunks = self.data.len().div_ceil(self.chunk);
+        let k = ((nchunks as u64 * u64::from(dirty_permille)).div_ceil(1000) as usize)
+            .clamp(1, nchunks);
+        let mut idx: Vec<usize> = (0..nchunks).collect();
+        let (rank, chunk, len) = (self.rank, self.chunk, self.data.len());
+        idx.sort_by_key(|&i| mix64((u64::from(rank) << 40) ^ (u64::from(round) << 20) ^ i as u64));
+        idx.truncate(k);
+        idx.sort_unstable();
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for &i in &idx {
+            let start = i * chunk;
+            let end = (start + chunk).min(len);
+            fill_chunk(
+                &mut self.data[start..end],
+                mix64((u64::from(rank) << 40) ^ (u64::from(round) << 20) ^ (i as u64) ^ 0x5eed),
+            );
+            let span_len = (end - start) as u64;
+            match spans.last_mut() {
+                Some((s, l)) if *s + *l == start as u64 => *l += span_len,
+                _ => spans.push((start as u64, span_len)),
+            }
+        }
+        spans
+    }
+}
+
+/// Everything one incremental run needs: scale, churn, strategy, and the
+/// stack tuning underneath.
+#[derive(Debug, Clone)]
+pub struct IncrementalSpec {
+    /// Dirty-set strategy each rank checkpoints with.
+    pub strategy: IncrementalStrategy,
+    /// Ranks driven.
+    pub procs: u32,
+    /// Checkpoint rounds; round 0 writes the full image, later rounds
+    /// mutate and re-checkpoint.
+    pub rounds: u32,
+    /// Image bytes per rank.
+    pub bytes_per_rank: u64,
+    /// Per-round dirty fraction in permille (100 = 10%).
+    pub dirty_permille: u32,
+    /// Bytes of namespace the job requests per granted SSD.
+    pub namespace_bytes: u64,
+    /// Data-plane tuning (QD, block size, replication, delta chains).
+    pub tuning: FunctionalTuning,
+    /// After the last round, kill rank 0's primary shard and byte-verify
+    /// the replica-driven restore (requires `replication_factor >= 2`).
+    pub fail_over: bool,
+}
+
+/// Outcome of one incremental run.
+#[derive(Debug, Clone)]
+pub struct IncrementalRunReport {
+    /// Ranks driven.
+    pub procs: u32,
+    /// Rounds completed.
+    pub rounds: u32,
+    /// Image bytes per rank.
+    pub bytes_per_rank: u64,
+    /// Device bytes written by round 0 (full image baseline, commit
+    /// included).
+    pub first_round_device_bytes: u64,
+    /// Device bytes written by rounds 1.. — the steady state the
+    /// write-reduction gate measures.
+    pub steady_device_bytes: u64,
+    /// Bytes the application handed to the filesystem in rounds 1..
+    pub steady_app_bytes: u64,
+    /// Final-image bytes read back and verified across all ranks.
+    pub bytes_verified: u64,
+    /// `true` when the run killed rank 0's shard after the last round and
+    /// the restored image verified byte-identical.
+    pub failover_verified: bool,
+    /// Every metric this run's components reported (`cow.*`,
+    /// `incremental.*`, `replication.*`, `fabric.*`, `ssd.*`, ...).
+    pub telemetry: telemetry::MetricsSnapshot,
+}
+
+/// Total bytes written across every device in the rack.
+fn rack_write_bytes(rack: &StorageRack, topo: &Topology) -> u64 {
+    let mut total = 0;
+    for node in topo.storage_nodes() {
+        for (_, target) in rack.targets_on(node) {
+            total += target.device().io_counters().2;
+        }
+    }
+    total
+}
+
+/// `pwrite` the image's bytes over `spans` into `path` (created on the
+/// first round), fsync, and return the bytes written.
+fn write_image_spans(
+    fs: &mut microfs::MicroFs<nvmecr::dataplane::NvmfBlockDevice>,
+    path: &str,
+    image: &[u8],
+    spans: &[(u64, u64)],
+    first: bool,
+) -> Result<u64, nvmecr::runtime::RuntimeError> {
+    let fd = if first {
+        fs.create(path, 0o644)?
+    } else {
+        fs.open(
+            path,
+            microfs::OpenFlags {
+                write: true,
+                ..microfs::OpenFlags::RDONLY
+            },
+            0,
+        )?
+    };
+    let mut written = 0u64;
+    for &(offset, len) in spans {
+        let (start, end) = (offset as usize, (offset + len) as usize);
+        for (i, piece) in image[start..end].chunks(1 << 20).enumerate() {
+            fs.pwrite(fd, offset + (i as u64) * (1 << 20), piece)?;
+            written += piece.len() as u64;
+        }
+    }
+    fs.fsync(fd)?;
+    fs.close(fd)?;
+    Ok(written)
+}
+
+/// Per-rank state the rounds thread through the parallel drive.
+struct IncrementalRank {
+    image: IncrementalImage,
+    hasher: IncrementalCheckpointer,
+    app_bytes: u64,
+}
+
+/// Drive `spec.procs` ranks through `spec.rounds` incremental checkpoint
+/// rounds of one in-place image file per rank: round 0 writes the full
+/// image, every later round mutates `dirty_permille`/1000 of the chunks
+/// and re-checkpoints under `spec.strategy`. Replicated runs seal one
+/// epoch per round; with `delta_chain_max > 0` those epochs are sparse
+/// delta manifests. The final image is read back and byte-verified on
+/// every rank, and optionally again on rank 0 after a shard-kill
+/// failover restore through the delta chain.
+pub fn run_incremental_checkpoints(
+    spec: &IncrementalSpec,
+) -> Result<IncrementalRunReport, Box<dyn std::error::Error>> {
+    if spec.rounds == 0 {
+        return Err("incremental runs need at least one round".into());
+    }
+    if spec.fail_over && spec.tuning.replication_factor < 2 {
+        return Err("failover verification needs replication_factor >= 2".into());
+    }
+    let topo = Topology::paper_testbed();
+    let telemetry = Telemetry::new();
+    let ssd_chaos = ChaosHandle::new();
+    let rack = StorageRack::build_with_telemetry(
+        &topo,
+        &SsdConfig {
+            capacity: 16 << 30,
+            chaos: ssd_chaos.clone(),
+            ..SsdConfig::default()
+        },
+        telemetry.clone(),
+    );
+    let mut sched = Scheduler::new(topo.clone(), 8);
+    let alloc = sched.submit(&JobRequest::full_subscription(spec.procs))?;
+    let mut config = RuntimeConfig {
+        namespace_bytes: spec.namespace_bytes,
+        telemetry: telemetry.clone(),
+        block_size: spec.tuning.block_size,
+        replication_factor: spec.tuning.replication_factor,
+        delta_chain_max: spec.tuning.delta_chain_max,
+        ..RuntimeConfig::default()
+    };
+    config.fabric.queue_depth = spec.tuning.queue_depth;
+    let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config)?;
+    let ckpt_ns = telemetry.histogram("driver.incremental_ckpt_ns");
+
+    let path = "/comd/incr.dat";
+    let ranks: Vec<Mutex<IncrementalRank>> = (0..spec.procs)
+        .map(|rank| {
+            Mutex::new(IncrementalRank {
+                image: IncrementalImage::new(rank, spec.bytes_per_rank as usize, INCREMENTAL_CHUNK),
+                hasher: IncrementalCheckpointer::new(
+                    spec.bytes_per_rank as usize,
+                    INCREMENTAL_CHUNK,
+                ),
+                app_bytes: 0,
+            })
+        })
+        .collect();
+
+    let after_init = rack_write_bytes(&rack, &topo);
+    let mut after_first = after_init;
+    for round in 0..spec.rounds {
+        rt.for_each_rank_par(|rank, fs| {
+            let mut state = ranks[rank as usize].lock().expect("rank state");
+            let state = &mut *state;
+            if round == 0 {
+                fs.mkdir("/comd", 0o755).ok();
+            }
+            let spans = if round == 0 {
+                vec![(0u64, spec.bytes_per_rank)]
+            } else {
+                state.image.advance(round, spec.dirty_permille)
+            };
+            let _t = ckpt_ns.time();
+            state.app_bytes += match spec.strategy {
+                IncrementalStrategy::FullRewrite => write_image_spans(
+                    fs,
+                    path,
+                    state.image.data(),
+                    &[(0, spec.bytes_per_rank)],
+                    round == 0,
+                )?,
+                IncrementalStrategy::CowTracked => {
+                    write_image_spans(fs, path, state.image.data(), &spans, round == 0)?
+                }
+                IncrementalStrategy::HashScan => {
+                    let report = state
+                        .hasher
+                        .checkpoint(fs, path, state.image.data())
+                        .map_err(nvmecr::runtime::RuntimeError::Fs)?;
+                    report.record(&telemetry);
+                    report.bytes_written
+                }
+            };
+            Ok(())
+        })?;
+        if spec.tuning.replication_factor >= 2 {
+            rt.commit_epochs()?;
+        }
+        if round == 0 {
+            after_first = rack_write_bytes(&rack, &topo);
+        }
+    }
+    let after_rounds = rack_write_bytes(&rack, &topo);
+    let steady_app_bytes: u64 = ranks
+        .iter()
+        .map(|r| r.lock().expect("rank state").app_bytes)
+        .sum::<u64>()
+        - spec.procs as u64 * spec.bytes_per_rank;
+
+    // Every rank's final image must read back byte-identical.
+    let verified: Vec<bool> = rt.map_ranks_par(|rank, fs| {
+        let state = ranks[rank as usize].lock().expect("rank state");
+        verify_image(fs, path, state.image.data())
+    })?;
+    if let Some(rank) = verified.iter().position(|&ok| !ok) {
+        return Err(format!("rank {rank} final incremental image corrupted").into());
+    }
+    let bytes_verified = spec.procs as u64 * spec.bytes_per_rank;
+
+    let mut failover_verified = false;
+    if spec.fail_over {
+        // Kill rank 0's primary shard under a crashed rank: the restore
+        // must come entirely from the replica's manifest chain.
+        let victim = 0u32;
+        rt.crash_rank(victim)?;
+        ssd_chaos.arm(
+            FaultPlan::new(1).at_op(FaultSite::ShardIo, FaultAction::KillShard, 0),
+            &telemetry,
+        );
+        let doomed = {
+            let fs = rt.rank_fs(1)?;
+            match fs.create("/doomed.dat", 0o644) {
+                Err(_) => true,
+                Ok(fd) => fs.write(fd, &[0u8; 4096]).is_err() || fs.close(fd).is_err(),
+            }
+        };
+        ssd_chaos.disarm();
+        if !doomed {
+            return Err("shard kill did not take".into());
+        }
+        rt.fail_over_rank(victim, &rack, &topo)?;
+        let state = ranks[victim as usize].lock().expect("rank state");
+        let fs = rt.rank_fs(victim)?;
+        if !verify_image(fs, path, state.image.data())? {
+            return Err(
+                "restored incremental image is not byte-identical to the last epoch".into(),
+            );
+        }
+        failover_verified = true;
+        // The shared shard died with the other ranks' primaries: tear the
+        // rack down with the job instead of finalizing through dead routes.
+    } else {
+        rt.finalize()?;
+    }
+
+    Ok(IncrementalRunReport {
+        procs: spec.procs,
+        rounds: spec.rounds,
+        bytes_per_rank: spec.bytes_per_rank,
+        first_round_device_bytes: after_first - after_init,
+        steady_device_bytes: after_rounds - after_first,
+        steady_app_bytes,
+        bytes_verified,
+        failover_verified,
+        telemetry: telemetry.snapshot(),
+    })
+}
+
+/// Read `path` fully and compare against `expect`.
+fn verify_image(
+    fs: &mut microfs::MicroFs<nvmecr::dataplane::NvmfBlockDevice>,
+    path: &str,
+    expect: &[u8],
+) -> Result<bool, nvmecr::runtime::RuntimeError> {
+    let fd = fs.open(path, microfs::OpenFlags::RDONLY, 0)?;
+    let mut buf = vec![0u8; expect.len()];
+    let mut got = 0;
+    while got < buf.len() {
+        let n = fs.read(fd, &mut buf[got..])?;
+        if n == 0 {
+            break;
+        }
+        got += n;
+    }
+    fs.close(fd)?;
+    Ok(got == expect.len() && buf == expect)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -474,5 +886,95 @@ mod tests {
         assert_eq!(par.replayed_records, ser.replayed_records);
         assert_eq!(par.metadata_bytes, ser.metadata_bytes);
         assert_eq!(par.bytes_copied(), ser.bytes_copied());
+    }
+
+    #[test]
+    fn incremental_image_is_deterministic_and_dirty_set_is_exact() {
+        let mut a = IncrementalImage::new(3, 1 << 20, INCREMENTAL_CHUNK);
+        let mut b = IncrementalImage::new(3, 1 << 20, INCREMENTAL_CHUNK);
+        assert_eq!(a.data(), b.data());
+        let sa = a.advance(1, 100);
+        let sb = b.advance(1, 100);
+        assert_eq!(sa, sb);
+        assert_eq!(a.data(), b.data());
+        // 16 chunks at 100 permille -> exactly 2 dirty chunks.
+        let dirty: u64 = sa.iter().map(|&(_, l)| l).sum();
+        assert_eq!(dirty, 2 * INCREMENTAL_CHUNK as u64);
+        // Different rounds dirty different sets (with overwhelming odds).
+        let sc = a.advance(2, 100);
+        assert!(a.data() != b.data() || sc == sb);
+    }
+
+    #[test]
+    fn incremental_cow_run_reduces_steady_write_bytes_and_verifies() {
+        let spec = IncrementalSpec {
+            strategy: IncrementalStrategy::CowTracked,
+            procs: 8,
+            rounds: 4,
+            bytes_per_rank: 1 << 20,
+            dirty_permille: 100,
+            namespace_bytes: 256 << 20,
+            tuning: FunctionalTuning {
+                replication_factor: 2,
+                delta_chain_max: 4,
+                ..FunctionalTuning::default()
+            },
+            fail_over: true,
+        };
+        let cow = run_incremental_checkpoints(&spec).unwrap();
+        assert_eq!(cow.bytes_verified, 8 << 20);
+        assert!(cow.failover_verified);
+        // Steady rounds hand the fs only the dirty fraction.
+        assert!(cow.steady_app_bytes < 3 * (8 << 20) / 4);
+        assert!(cow.steady_device_bytes < cow.first_round_device_bytes * 3);
+        // The chain sealed sparse deltas and the fs tracked copy-ups.
+        assert!(cow.telemetry.counter("cow.delta_extents") > 0);
+        assert!(cow.telemetry.counter("cow.copy_up_bytes") > 0);
+        assert!(cow.telemetry.gauge("cow.chain_len").peak >= 2);
+        assert_eq!(cow.telemetry.counter("replication.degraded_restores"), 1);
+
+        let full = run_incremental_checkpoints(&IncrementalSpec {
+            strategy: IncrementalStrategy::FullRewrite,
+            fail_over: false,
+            tuning: FunctionalTuning {
+                replication_factor: 2,
+                delta_chain_max: 0,
+                ..FunctionalTuning::default()
+            },
+            ..spec
+        })
+        .unwrap();
+        assert!(
+            full.steady_device_bytes as f64 >= 3.0 * cow.steady_device_bytes as f64,
+            "full {} vs cow {}",
+            full.steady_device_bytes,
+            cow.steady_device_bytes
+        );
+    }
+
+    #[test]
+    fn incremental_hash_scan_matches_cow_write_volume() {
+        let mk = |strategy| IncrementalSpec {
+            strategy,
+            procs: 4,
+            rounds: 3,
+            bytes_per_rank: 512 << 10,
+            dirty_permille: 125,
+            namespace_bytes: 128 << 20,
+            tuning: FunctionalTuning {
+                replication_factor: 1,
+                ..FunctionalTuning::default()
+            },
+            fail_over: false,
+        };
+        let hash = run_incremental_checkpoints(&mk(IncrementalStrategy::HashScan)).unwrap();
+        let cow = run_incremental_checkpoints(&mk(IncrementalStrategy::CowTracked)).unwrap();
+        // The hash diff finds exactly the chunks the app knows it dirtied.
+        assert_eq!(hash.steady_app_bytes, cow.steady_app_bytes);
+        assert!(hash.telemetry.counter("incremental.bytes_skipped") > 0);
+        assert_eq!(
+            hash.telemetry.counter("incremental.chunks_written"),
+            (hash.steady_app_bytes + 4 * (512 << 10)) / INCREMENTAL_CHUNK as u64
+        );
     }
 }

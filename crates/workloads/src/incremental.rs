@@ -10,6 +10,7 @@
 
 use microfs::block::BlockDevice;
 use microfs::{FsError, MicroFs, OpenFlags};
+use telemetry::Telemetry;
 
 /// FNV-1a 64-bit, the same family used for name hashing elsewhere.
 fn chunk_hash(data: &[u8]) -> u64 {
@@ -30,6 +31,8 @@ pub struct IncrementalReport {
     pub chunks_written: u64,
     /// Bytes actually written.
     pub bytes_written: u64,
+    /// Bytes the hash diff proved unchanged and skipped.
+    pub bytes_skipped: u64,
 }
 
 impl IncrementalReport {
@@ -40,6 +43,17 @@ impl IncrementalReport {
         } else {
             self.chunks_written as f64 / self.chunks as f64
         }
+    }
+
+    /// Fold this checkpoint's outcome into `t`'s registry under the
+    /// `incremental.*` counters, so functional runs surface hash-diff
+    /// savings next to the `cow.*` manifest-side counters.
+    pub fn record(&self, t: &Telemetry) {
+        t.counter("incremental.chunks").add(self.chunks);
+        t.counter("incremental.chunks_written")
+            .add(self.chunks_written);
+        t.counter("incremental.bytes_skipped")
+            .add(self.bytes_skipped);
     }
 }
 
@@ -95,6 +109,7 @@ impl IncrementalCheckpointer {
             chunks: 0,
             chunks_written: 0,
             bytes_written: 0,
+            bytes_skipped: 0,
         };
         let mut new_hashes = Vec::with_capacity(image.len().div_ceil(self.chunk_size));
         for (i, chunk) in image.chunks(self.chunk_size).enumerate() {
@@ -106,6 +121,8 @@ impl IncrementalCheckpointer {
                 fs.pwrite(fd, (i * self.chunk_size) as u64, chunk)?;
                 report.chunks_written += 1;
                 report.bytes_written += chunk.len() as u64;
+            } else {
+                report.bytes_skipped += chunk.len() as u64;
             }
         }
         fs.fsync(fd)?;
@@ -177,8 +194,15 @@ mod tests {
         let r = inc.checkpoint(&mut f, "/inc.dat", &image).unwrap();
         assert_eq!(r.chunks_written, 2);
         assert_eq!(r.bytes_written, 2 * chunk as u64);
+        assert_eq!(r.bytes_skipped, 14 * chunk as u64);
         assert!((r.write_fraction() - 2.0 / 16.0).abs() < 1e-12);
         assert_eq!(read_all(&mut f, "/inc.dat", image.len()), image);
+        let t = telemetry::Telemetry::new();
+        r.record(&t);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("incremental.chunks"), 16);
+        assert_eq!(snap.counter("incremental.chunks_written"), 2);
+        assert_eq!(snap.counter("incremental.bytes_skipped"), 14 * chunk as u64);
     }
 
     #[test]

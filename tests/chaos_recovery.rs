@@ -540,3 +540,78 @@ fn scrub_repairs_bit_rot_and_reports_double_corruption() {
     assert!(snap.counter("replication.repairs") >= 1);
     assert!(snap.counter("chaos.injected") >= 3);
 }
+
+#[test]
+fn delta_chain_failover_restores_newest_complete_epoch() {
+    // Same shard-kill scenario as the rollback test above, but with
+    // copy-on-write delta epochs on: four sealed epochs form a
+    // full + 3-delta lineage, a fifth is mid-flight when the rank and
+    // then its shard die, and the failover restore must materialize the
+    // chain newest-complete-backward — every sealed file byte-identical,
+    // the unsealed one rolled back.
+    let (rack, topo, alloc, mut config, ssd_chaos, _chaos, telemetry) = replicated_chaos_testbed();
+    config.delta_chain_max = 4;
+    let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config).unwrap();
+    let len = 96 << 10;
+    checkpoint(&mut rt, 3, "/base.dat", &pattern(3, len));
+    rt.commit_epochs().unwrap(); // epoch 1: full anchor
+    for d in 0..3u32 {
+        checkpoint(
+            &mut rt,
+            3,
+            &format!("/delta_{d}.dat"),
+            &pattern(3 + d, 16 << 10),
+        );
+        rt.commit_epochs().unwrap(); // epochs 2..4: sparse deltas
+    }
+    // Mid-delta-commit crash shape: epoch 5's writes land on both copies
+    // but its delta manifest is never sealed.
+    checkpoint(&mut rt, 3, "/unsealed.dat", &pattern(9, 16 << 10));
+    rt.crash_rank(3).unwrap();
+    ssd_chaos.arm(
+        FaultPlan::new(11).at_op(FaultSite::ShardIo, FaultAction::KillShard, 0),
+        &telemetry,
+    );
+    let dead = {
+        let fs = rt.rank_fs(0).unwrap();
+        match fs.create("/doomed.dat", 0o644) {
+            Err(_) => true,
+            Ok(fd) => fs.write(fd, &[0u8; 4096]).is_err() || fs.close(fd).is_err(),
+        }
+    };
+    ssd_chaos.disarm();
+    assert!(dead, "IO against the killed shard must fail");
+    rt.fail_over_rank(3, &rack, &topo).unwrap();
+    assert_eq!(
+        read_back(&mut rt, 3, "/base.dat", len),
+        pattern(3, len),
+        "the chain's full anchor must restore byte-identically"
+    );
+    for d in 0..3u32 {
+        assert_eq!(
+            read_back(&mut rt, 3, &format!("/delta_{d}.dat"), 16 << 10),
+            pattern(3 + d, 16 << 10),
+            "delta epoch {d} must restore byte-identically through the chain"
+        );
+    }
+    {
+        let fs = rt.rank_fs(3).unwrap();
+        assert!(
+            fs.stat("/unsealed.dat").is_err(),
+            "the unsealed epoch rolls back with the restore"
+        );
+    }
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.counter("replication.degraded_restores"), 1);
+    assert!(snap.counter("cow.delta_extents") > 0, "deltas were sealed");
+    assert!(
+        snap.gauge("cow.chain_len").peak >= 4,
+        "the restore walked a full + 3-delta lineage (peak {})",
+        snap.gauge("cow.chain_len").peak
+    );
+    // The rank is healthy on its replacement namespace: the next commit
+    // re-anchors the chain with a forced full manifest.
+    assert_eq!(rt.commit_epoch_rank(3).unwrap(), Some(5));
+    let report = rt.scrub_rank(3).unwrap().unwrap();
+    assert_eq!(report.unrecoverable, 0);
+}
