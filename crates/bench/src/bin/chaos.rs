@@ -27,6 +27,7 @@ use cluster::{JobRequest, Scheduler, Topology};
 use microfs::OpenFlags;
 use nvmecr::runtime::{NvmeCrRuntime, StorageRack};
 use nvmecr::RuntimeConfig;
+use nvmecr_bench::stamp;
 use ssd::SsdConfig;
 use telemetry::json::{self, Value};
 use telemetry::Telemetry;
@@ -57,6 +58,12 @@ fn pattern(rank: u32, round: u32, len: usize) -> Vec<u8> {
 /// One full checkpoint/verify campaign at `rate`, on a private registry.
 fn run_at_rate(rate: f64, procs: u32, rounds: u32, bytes_per_rank: usize) -> SweepResult {
     let telemetry = Telemetry::new();
+    // Black-box recording: the first chaos trip of the sweep auto-dumps
+    // the flight rings here, so a failed CI run has the prelude to its
+    // first fault on disk for the artifact upload.
+    telemetry
+        .recorder()
+        .set_dump_path(format!("FLIGHT_chaos_rate{rate}.jsonl"));
     let chaos = ChaosHandle::new();
     let topo = Topology::paper_testbed();
     let rack = StorageRack::build_with_telemetry(
@@ -138,6 +145,25 @@ fn run_at_rate(rate: f64, procs: u32, rounds: u32, bytes_per_rank: usize) -> Swe
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --seeded [path]: run the deterministic shard-kill scenario instead
+    // of the rate sweep, leaving a flight-recorder dump for
+    // `nvmecr-doctor` (default path FLIGHT_SEEDED.jsonl).
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--seeded") {
+        let path = args
+            .get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .map(String::as_str)
+            .unwrap_or("FLIGHT_SEEDED.jsonl");
+        let outcome = nvmecr_bench::scenario::run_seeded(std::path::Path::new(path))?;
+        println!(
+            "seeded shard-kill: rank {} faulted after {} armed round(s), \
+             rolled back to epoch {}, {} recorder trip(s)",
+            outcome.faulted_rank, outcome.rounds, outcome.rollback_epoch, outcome.trips
+        );
+        println!("wrote {}", outcome.dump_path.display());
+        return Ok(());
+    }
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (procs, rounds, bytes_per_rank): (u32, u32, usize) = if smoke {
         (8, 2, 128 << 10)
@@ -158,6 +184,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- BENCH_chaos.json
     let mut out = String::new();
     out.push_str("{\n  \"bench\": \"chaos\",\n");
+    out.push_str(&stamp::meta_line(&stamp::Fingerprint {
+        queue_depth: nvmecr::RuntimeConfig::default().fabric.queue_depth,
+        ranks: procs,
+        replication_factor: 1,
+        delta_chain_max: 0,
+    }));
     let _ = writeln!(
         out,
         "  \"config\": {{\"procs\": {procs}, \"rounds\": {rounds}, \

@@ -42,6 +42,7 @@ use fabric::{KernelCosts, NetConfig};
 use microfs::block::{BlockDevice, IoCounters};
 use nvmecr::runtime::{NvmeCrRuntime, StorageRack};
 use nvmecr::RuntimeConfig;
+use nvmecr_bench::stamp;
 use ssd::SsdConfig;
 use telemetry::Telemetry;
 use workloads::CoMD;
@@ -91,11 +92,13 @@ fn run_point(
     block_size: u64,
     queue_depth: usize,
     bytes_per_rank: u64,
+    recorder_on: bool,
 ) -> Result<(Vec<RankIo>, telemetry::MetricsSnapshot), Box<dyn std::error::Error>> {
     let topo = Topology::paper_testbed();
     // Per-point registry: the copy/lock-wait/submit-latency numbers below
     // must cover exactly this point's traffic.
     let telemetry = Telemetry::new();
+    telemetry.recorder().set_enabled(recorder_on);
     let rack = StorageRack::build_with_telemetry(&topo, ssd_config, telemetry.clone());
     let mut sched = Scheduler::new(topo.clone(), 8);
     // Spread the job over the full storage rack (up to one namespace per
@@ -187,6 +190,7 @@ fn rank_point(ranks: u32, ssd_config: &SsdConfig) -> Result<Point, Box<dyn std::
         RuntimeConfig::default().block_size,
         RuntimeConfig::default().fabric.queue_depth,
         BYTES_PER_RANK,
+        true,
     )?;
     let serial_secs: f64 = io
         .iter()
@@ -289,7 +293,7 @@ fn qd_point(
     ssd_config: &SsdConfig,
     bytes_per_rank: u64,
 ) -> Result<QdPoint, Box<dyn std::error::Error>> {
-    let (io, snap) = run_point(QD_RANKS, ssd_config, QD_BLOCK, qd, bytes_per_rank)?;
+    let (io, snap) = run_point(QD_RANKS, ssd_config, QD_BLOCK, qd, bytes_per_rank, true)?;
     let net = NetConfig::default();
     let kern = KernelCosts::default();
     let mut per_ssd: HashMap<(u32, u32), Vec<&IoCounters>> = HashMap::new();
@@ -316,9 +320,67 @@ fn qd_point(
     })
 }
 
+/// Real time the fabric spent in command submission paths over one run —
+/// the sum of the measured `fabric.submit_ns` histogram. The flight
+/// recorder's `record()` calls sit on exactly these paths, so the
+/// enabled-vs-disabled delta of this sum is the recorder's dataplane
+/// overhead.
+fn submit_ns_sum(
+    qd: usize,
+    ssd_config: &SsdConfig,
+    bytes_per_rank: u64,
+    recorder_on: bool,
+) -> Result<u64, Box<dyn std::error::Error>> {
+    let (_, snap) = run_point(
+        QD_RANKS,
+        ssd_config,
+        QD_BLOCK,
+        qd,
+        bytes_per_rank,
+        recorder_on,
+    )?;
+    Ok(snap
+        .histogram("fabric.submit_ns")
+        .ok_or("no fabric.submit_ns histogram in run telemetry")?
+        .sum)
+}
+
+/// Disarmed-path recorder overhead at window depth `qd`: interleaved
+/// min-of-7 submit-time sums with the recorder enabled vs disabled
+/// (min, not mean, to shed scheduler noise — on a single pinned core a
+/// stray timer tick inflates one arm by several percent, and the min of
+/// enough trials converges both arms to their true floor). A discarded
+/// warmup pair keeps allocator and page-cache state out of the first
+/// measured trial. Negative deltas clamp to zero — the recorder cannot
+/// make submission faster.
+fn recorder_overhead_pct(
+    qd: usize,
+    ssd_config: &SsdConfig,
+    bytes_per_rank: u64,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    submit_ns_sum(qd, ssd_config, bytes_per_rank, true)?;
+    submit_ns_sum(qd, ssd_config, bytes_per_rank, false)?;
+    let mut on = u64::MAX;
+    let mut off = u64::MAX;
+    for _ in 0..7 {
+        on = on.min(submit_ns_sum(qd, ssd_config, bytes_per_rank, true)?);
+        off = off.min(submit_ns_sum(qd, ssd_config, bytes_per_rank, false)?);
+    }
+    if off == 0 {
+        return Err("recorder-off run recorded zero submit time".into());
+    }
+    Ok((on.saturating_sub(off) as f64 / off as f64) * 100.0)
+}
+
 fn write_dataplane_json(points: &[Point]) -> Result<(), Box<dyn std::error::Error>> {
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"dataplane\",\n");
+    json.push_str(&stamp::meta_line(&stamp::Fingerprint {
+        queue_depth: RuntimeConfig::default().fabric.queue_depth,
+        ranks: SWEEP[SWEEP.len() - 1],
+        replication_factor: 1,
+        delta_chain_max: 0,
+    }));
     json.push_str(
         "  \"unit\": \"seconds (device-time makespan, calibrated P4800X model over measured IO)\",\n",
     );
@@ -367,9 +429,16 @@ fn write_dataplane_json(points: &[Point]) -> Result<(), Box<dyn std::error::Erro
 fn write_pipeline_json(
     points: &[QdPoint],
     bytes_per_rank: u64,
+    recorder_overhead_pct: f64,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"pipeline\",\n");
+    json.push_str(&stamp::meta_line(&stamp::Fingerprint {
+        queue_depth: points.last().map_or(1, |p| p.qd),
+        ranks: QD_RANKS,
+        replication_factor: 1,
+        delta_chain_max: 0,
+    }));
     json.push_str(
         "  \"unit\": \"GiB/s (write throughput over modeled makespan of measured IO per window depth)\",\n",
     );
@@ -398,8 +467,9 @@ fn write_pipeline_json(
     let last = points.last().expect("sweep is non-empty");
     let _ = writeln!(
         json,
-        "  ],\n  \"speedup_deepest_vs_qd1\": {:.3}\n}}",
-        last.write_gib_s / first.write_gib_s
+        "  ],\n  \"speedup_deepest_vs_qd1\": {:.3},\n  \"recorder_overhead_pct\": {:.3}\n}}",
+        last.write_gib_s / first.write_gib_s,
+        recorder_overhead_pct
     );
     std::fs::write("BENCH_pipeline.json", &json)?;
     println!("wrote BENCH_pipeline.json");
@@ -484,7 +554,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         qd_points.push(p);
     }
-    write_pipeline_json(&qd_points, bytes_per_rank)?;
+
+    // Disarmed-path flight-recorder overhead at the deepest window depth:
+    // the always-on rings must cost <= 2% of real submit time.
+    let deepest = *qds.last().expect("sweep is non-empty");
+    let overhead_pct = recorder_overhead_pct(deepest, &ssd_config, bytes_per_rank)?;
+    println!("recorder overhead at qd={deepest}: {overhead_pct:.3}% of submit time");
+    write_pipeline_json(&qd_points, bytes_per_rank, overhead_pct)?;
+    if overhead_pct > 2.0 {
+        return Err(format!(
+            "flight recorder costs {overhead_pct:.3}% of submit time at qd={deepest}, above 2%"
+        )
+        .into());
+    }
 
     let first = qd_points.first().expect("sweep is non-empty");
     let last = qd_points.last().expect("sweep is non-empty");

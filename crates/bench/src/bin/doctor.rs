@@ -1,0 +1,56 @@
+//! `nvmecr-doctor` — post-mortem analysis of a flight-recorder dump.
+//!
+//! Usage: `nvmecr-doctor <dump.jsonl> [--expect-site NAME]`
+//!
+//! Loads the JSONL dump a tripped [`telemetry::FlightRecorder`] wrote
+//! (plus the metric snapshot embedded in it), reconstructs per-command
+//! causal timelines, flags stalls, summarizes replication health, and
+//! prints a verdict naming the first anomalous event. With
+//! `--expect-site` the exit status becomes a CI assertion: nonzero
+//! unless the verdict names that site (e.g. `shard_io` for an injected
+//! shard fault).
+
+use nvmecr_bench::doctor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dump_path: Option<String> = None;
+    let mut expect_site: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--expect-site" => {
+                expect_site = Some(it.next().ok_or("--expect-site needs a value")?);
+            }
+            "--help" | "-h" => {
+                println!("usage: nvmecr-doctor <dump.jsonl> [--expect-site NAME]");
+                return Ok(());
+            }
+            _ if dump_path.is_none() => dump_path = Some(a),
+            other => return Err(format!("unexpected argument {other}").into()),
+        }
+    }
+    let dump_path = dump_path.ok_or("usage: nvmecr-doctor <dump.jsonl> [--expect-site NAME]")?;
+    let text = std::fs::read_to_string(&dump_path).map_err(|e| format!("{dump_path}: {e}"))?;
+    let dump = doctor::parse_dump(&text).map_err(|e| format!("{dump_path}: {e}"))?;
+    let report = doctor::analyze(&dump);
+    print!("{}", report.render());
+
+    if let Some(want) = expect_site {
+        let got = report.verdict.as_ref().and_then(|v| v.site.as_deref());
+        match got {
+            Some(site) if site == want => {
+                println!("\nexpect-site: verdict names '{want}' as expected");
+            }
+            _ => {
+                return Err(format!(
+                    "expect-site: wanted '{want}', verdict names {:?} (kind {:?})",
+                    got,
+                    report.verdict.as_ref().map(|v| v.kind.as_str())
+                )
+                .into());
+            }
+        }
+    }
+    Ok(())
+}

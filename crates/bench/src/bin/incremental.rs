@@ -25,6 +25,8 @@
 
 use std::fmt::Write as _;
 
+use nvmecr_bench::stamp;
+
 use workloads::{
     run_incremental_checkpoints, FunctionalTuning, IncrementalRunReport, IncrementalSpec,
     IncrementalStrategy,
@@ -148,6 +150,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"incremental\",\n");
+    json.push_str(&stamp::meta_line(&stamp::Fingerprint {
+        queue_depth: QD,
+        ranks,
+        replication_factor: 2,
+        delta_chain_max: DELTA_CHAIN_MAX,
+    }));
     json.push_str(
         "  \"unit\": \"device write bytes (steady-state rounds, measured at the SSDs)\",\n",
     );

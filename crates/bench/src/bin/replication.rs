@@ -32,6 +32,7 @@ use chaos::{ChaosHandle, FaultAction, FaultPlan, FaultSite};
 use cluster::{JobRequest, Scheduler, Topology};
 use nvmecr::runtime::{NvmeCrRuntime, StorageRack};
 use nvmecr::RuntimeConfig;
+use nvmecr_bench::stamp;
 use ssd::SsdConfig;
 use telemetry::Telemetry;
 use workloads::CoMD;
@@ -261,6 +262,12 @@ fn write_json(
     let overhead = rep2.makespan_secs / rep1.makespan_secs;
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"replication\",\n");
+    json.push_str(&stamp::meta_line(&stamp::Fingerprint {
+        queue_depth: QD,
+        ranks,
+        replication_factor: 2,
+        delta_chain_max: 0,
+    }));
     json.push_str(
         "  \"unit\": \"seconds (device-time makespan, calibrated P4800X model over measured IO)\",\n",
     );

@@ -17,6 +17,7 @@
 
 use std::fmt::Write as _;
 
+use nvmecr_bench::stamp;
 use telemetry::json::{self, Value};
 use telemetry::HistogramSnapshot;
 use workloads::driver::run_functional_checkpoints;
@@ -65,6 +66,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- BENCH_telemetry.json: per-layer percentiles + counters/gauges.
     let mut out = String::new();
     out.push_str("{\n  \"bench\": \"telemetry\",\n");
+    out.push_str(&stamp::meta_line(&stamp::Fingerprint {
+        queue_depth: nvmecr::RuntimeConfig::default().fabric.queue_depth,
+        ranks: procs,
+        replication_factor: 1,
+        delta_chain_max: 0,
+    }));
     let _ = writeln!(
         out,
         "  \"config\": {{\"procs\": {procs}, \"ckpts\": {ckpts}, \

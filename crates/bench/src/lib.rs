@@ -9,7 +9,10 @@
 //! Criterion microbenchmarks of the *functional* code (B+Tree, block pool,
 //! WAL coalescing, microfs op paths) live in `benches/`.
 
+pub mod doctor;
 pub mod figures;
 pub mod report;
+pub mod scenario;
+pub mod stamp;
 
 pub use report::{FigureReport, Series, TableReport};

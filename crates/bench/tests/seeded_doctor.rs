@@ -1,0 +1,72 @@
+//! End-to-end acceptance: the seeded shard-kill scenario must leave a
+//! flight dump from which the doctor reconstructs the faulted command's
+//! causal story — submit, the retry leg, failover, rollback — with a
+//! verdict naming the injected site.
+
+use nvmecr_bench::{doctor, scenario};
+use telemetry::FlightKind;
+
+#[test]
+fn seeded_kill_dump_yields_shard_io_verdict() {
+    let path = std::env::temp_dir().join(format!("flight_seeded_{}.jsonl", std::process::id()));
+    let outcome = scenario::run_seeded(&path).expect("seeded scenario");
+    assert_eq!(outcome.rollback_epoch, 2, "rolled back past a clean epoch");
+    assert!(outcome.trips >= 2, "injection and recovery must both trip");
+
+    let text = std::fs::read_to_string(&path).expect("dump written");
+    std::fs::remove_file(&path).ok();
+    let dump = doctor::parse_dump(&text).expect("dump parses");
+
+    // The full causal chain is present: submission traffic, the
+    // reliability layer absorbing a transient (timeout -> retry), the
+    // injected kill, and the recovery (failover -> rollback).
+    for kind in [
+        FlightKind::Submit,
+        FlightKind::Timeout,
+        FlightKind::Retry,
+        FlightKind::FaultInjected,
+        FlightKind::ShardKill,
+        FlightKind::Failover,
+        FlightKind::RollbackRestore,
+    ] {
+        assert!(
+            dump.events.iter().any(|e| e.kind == Some(kind)),
+            "dump lacks {} events",
+            kind.name()
+        );
+    }
+    // Causal order: the kill precedes failover precedes rollback.
+    let ts_of = |k: FlightKind| {
+        dump.events
+            .iter()
+            .find(|e| e.kind == Some(k))
+            .map(|e| (e.ts_ns, e.seq))
+            .unwrap()
+    };
+    assert!(ts_of(FlightKind::ShardKill) < ts_of(FlightKind::Failover));
+    assert!(ts_of(FlightKind::Failover) < ts_of(FlightKind::RollbackRestore));
+
+    let report = doctor::analyze(&dump);
+    let verdict = report.verdict.expect("anomalies present");
+    assert_eq!(verdict.site.as_deref(), Some("shard_io"));
+
+    // The faulted rank's commands are reconstructable as timelines, and
+    // the killed command shows up as one that never completed.
+    let faulted = u64::from(outcome.faulted_rank);
+    assert!(
+        report
+            .timelines
+            .iter()
+            .any(|t| t.rank == Some(faulted) && !t.events.is_empty()),
+        "no timeline for the faulted rank"
+    );
+    assert!(
+        report
+            .timelines
+            .iter()
+            .any(|t| t.rank == Some(faulted) && !t.completed),
+        "the killed command should never complete"
+    );
+    assert_eq!(report.replication.rollbacks, 1);
+    assert_eq!(report.replication.rollback_epoch, Some(2));
+}

@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use telemetry::{Counter, Telemetry};
+use telemetry::{Counter, FlightKind, FlightRecorder, Telemetry};
 
 /// A location in the data path where a fault can be injected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -68,6 +68,26 @@ impl FaultSite {
             FaultSite::WalAppend => "wal_append",
             FaultSite::ReplicaBitRot => "replica_bit_rot",
         }
+    }
+
+    /// Stable wire code carried in flight-recorder events, so a dump can
+    /// name the injected site without re-running the plan.
+    pub fn code(self) -> u64 {
+        self.stream()
+    }
+
+    /// Decode a wire code back into a site.
+    pub fn from_code(code: u64) -> Option<FaultSite> {
+        Some(match code {
+            0x01 => FaultSite::CapsuleTx,
+            0x02 => FaultSite::CapsuleRx,
+            0x03 => FaultSite::ConnReset,
+            0x04 => FaultSite::ShardIo,
+            0x05 => FaultSite::CapacitorFlush,
+            0x06 => FaultSite::WalAppend,
+            0x07 => FaultSite::ReplicaBitRot,
+            _ => return None,
+        })
     }
 }
 
@@ -171,6 +191,9 @@ struct ArmedState {
     /// Per-site operation counters; reset on every `arm`.
     counters: HashMap<FaultSite, u64>,
     injected: Option<Arc<Counter>>,
+    /// Flight recorder of the armed telemetry registry: every injected
+    /// fault records a `fault_injected` event and trips the recorder.
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 struct Inner {
@@ -197,6 +220,7 @@ impl Default for ChaosHandle {
                     plan: None,
                     counters: HashMap::new(),
                     injected: None,
+                    recorder: None,
                 }),
             }),
         }
@@ -223,6 +247,7 @@ impl ChaosHandle {
         let mut st = self.inner.state.lock();
         st.counters.clear();
         st.injected = Some(telemetry.counter("chaos.injected"));
+        st.recorder = Some(telemetry.recorder());
         st.plan = Some(plan);
         self.inner.armed.store(true, Ordering::Release);
     }
@@ -234,6 +259,7 @@ impl ChaosHandle {
         st.plan = None;
         st.counters.clear();
         st.injected = None;
+        st.recorder = None;
     }
 
     pub fn is_armed(&self) -> bool {
@@ -284,6 +310,14 @@ impl ChaosHandle {
         if hit.is_some() {
             if let Some(c) = &st.injected {
                 c.inc();
+            }
+            if let Some(r) = &st.recorder {
+                let r = Arc::clone(r);
+                // Record and trip outside the plan lock: the dump path
+                // reads metrics and touches the filesystem.
+                drop(st);
+                r.record(FlightKind::FaultInjected, 0, 0, site.code(), n);
+                r.trip(FlightKind::FaultInjected, site.code());
             }
         }
         hit
@@ -421,6 +455,46 @@ mod tests {
             h.decide(FaultSite::CapsuleTx);
         }
         assert_eq!(t.counter("chaos.injected").get(), 17);
+    }
+
+    #[test]
+    fn site_codes_roundtrip() {
+        for site in [
+            FaultSite::CapsuleTx,
+            FaultSite::CapsuleRx,
+            FaultSite::ConnReset,
+            FaultSite::ShardIo,
+            FaultSite::CapacitorFlush,
+            FaultSite::WalAppend,
+            FaultSite::ReplicaBitRot,
+        ] {
+            assert_eq!(FaultSite::from_code(site.code()), Some(site));
+        }
+        assert_eq!(FaultSite::from_code(0), None);
+        assert_eq!(FaultSite::from_code(0xFF), None);
+    }
+
+    #[test]
+    fn injection_records_and_trips_the_flight_recorder() {
+        let t = Telemetry::new();
+        let h = ChaosHandle::new();
+        h.arm(
+            FaultPlan::new(13).at_op(FaultSite::ShardIo, FaultAction::KillShard, 2),
+            &t,
+        );
+        for _ in 0..5 {
+            h.decide(FaultSite::ShardIo);
+        }
+        let r = t.recorder();
+        assert_eq!(r.trip_count(), 1);
+        let events = r.events();
+        let inj = events
+            .iter()
+            .find(|e| e.kind == FlightKind::FaultInjected)
+            .expect("fault_injected event");
+        assert_eq!(inj.a, FaultSite::ShardIo.code());
+        assert_eq!(inj.b, 2, "fired at per-site op index 2");
+        assert!(events.iter().any(|e| e.kind == FlightKind::Trip));
     }
 
     #[test]

@@ -32,7 +32,7 @@ use microfs::manifest::{
 use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
-use telemetry::{Counter, Gauge, Histogram, Telemetry};
+use telemetry::{Counter, FlightKind, FlightRecorder, Gauge, Histogram, Telemetry};
 
 /// Chunk size for scrub/restore/resync streaming reads — bounds peak
 /// memory regardless of how large merged extents grow.
@@ -68,6 +68,10 @@ pub struct ReplicationMetrics {
     /// Wall time of full-compaction commits (sealing a full manifest while
     /// the delta chain is enabled).
     pub compaction_ns: Arc<Histogram>,
+    /// Flight recorder: mirror writes, degradations, epoch commits, and
+    /// rollback restores, causally ordered against the fabric commands
+    /// that carried them.
+    pub flight: Arc<FlightRecorder>,
 }
 
 impl ReplicationMetrics {
@@ -83,6 +87,7 @@ impl ReplicationMetrics {
             delta_extents: t.counter("cow.delta_extents"),
             chain_len: t.gauge("cow.chain_len"),
             compaction_ns: t.histogram("cow.compaction_ns"),
+            flight: t.recorder(),
         }
     }
 }
@@ -258,6 +263,10 @@ impl Mirror {
         if writes.is_empty() {
             return Ok(());
         }
+        // Epoch trace context: the write belongs to the epoch being built
+        // (one past the last sealed one); every fabric/ssd event under
+        // this frame carries it.
+        let _epoch = telemetry::context::with_epoch(self.epoch + 1);
         let timer = self.metrics.mirror_ns.time();
         let mut mirrored = Vec::with_capacity(writes.len());
         let mut total = 0u64;
@@ -294,9 +303,15 @@ impl Mirror {
             // The window may have partially landed on the replica; treat
             // the whole batch as stale.
             self.degraded = true;
+            self.metrics
+                .flight
+                .record(FlightKind::MirrorDegraded, 0, 0, spans.len() as u64, 0);
             self.pending_resync.extend(spans);
         } else {
             self.metrics.bytes.add(total);
+            self.metrics
+                .flight
+                .record(FlightKind::MirrorWrite, 0, 0, total, spans.len() as u64);
         }
         Ok(())
     }
@@ -331,6 +346,9 @@ impl Mirror {
                 .into_iter()
                 .map(|(o, l, _)| (o, l))
                 .collect();
+            self.metrics
+                .flight
+                .record(FlightKind::MirrorDegraded, 0, 0, spans.len() as u64, 1);
             self.pending_resync.extend(spans);
         }
     }
@@ -387,6 +405,7 @@ impl Mirror {
         primary_base: u64,
         fs_size: u64,
     ) -> Result<u64, ReplicationError> {
+        let _epoch_ctx = telemetry::context::with_epoch(self.epoch + 1);
         // Extents fragmented by overlapping writes lost their CRCs;
         // re-read them from the primary before sealing.
         for (offset, len) in self.map.dirty_fragments() {
@@ -494,6 +513,9 @@ impl Mirror {
         }
         self.epoch = epoch;
         self.metrics.epochs_committed.inc();
+        self.metrics
+            .flight
+            .record(FlightKind::EpochCommit, 0, 0, epoch, full as u64);
         if chained {
             if full {
                 self.deltas_since_full = 0;
@@ -820,9 +842,14 @@ pub fn restore_from_replica(
         invalidate_future_slots(primary, primary_base, fs_size, layout, epoch)?;
         invalidate_future_slots(replica, 0, fs_size, layout, epoch)?;
     }
-    if let Some(live_epoch) = live_epoch {
-        metrics.lag_epochs.add(live_epoch.saturating_sub(epoch));
+    let lag = live_epoch.map_or(0, |le| le.saturating_sub(epoch));
+    if live_epoch.is_some() {
+        metrics.lag_epochs.add(lag);
     }
+    metrics
+        .flight
+        .record(FlightKind::RollbackRestore, 0, 0, epoch, lag);
+    metrics.flight.trip(FlightKind::RollbackRestore, epoch);
     telemetry::instant("replication", "rollback_restore", &[("epoch", epoch)]);
     Ok(RestoreOutcome {
         map,

@@ -408,6 +408,7 @@ impl NvmeCrRuntime {
             .par_iter()
             .map(|p| {
                 let _span = telemetry::span("driver", "init_rank").arg("rank", u64::from(p.rank));
+                let _rank = telemetry::context::with_rank(u64::from(p.rank));
                 let _t = init_rank_ns.time();
                 let route = &routes[p.rank as usize];
                 let dev = rank_device(
@@ -467,7 +468,13 @@ impl NvmeCrRuntime {
             .par_iter_mut()
             .enumerate()
             .map(|(rank, slot)| match slot.as_mut() {
-                Some(fs) => f(rank as u32, fs).map(Some),
+                Some(fs) => {
+                    // Rank trace context: every flight-recorder event below
+                    // this frame (fabric, ssd, microfs, replication) is
+                    // stamped with the driving rank.
+                    let _rank = telemetry::context::with_rank(rank as u64);
+                    f(rank as u32, fs).map(Some)
+                }
                 None => Ok(None),
             })
             .collect();
@@ -531,6 +538,7 @@ impl NvmeCrRuntime {
             .into_par_iter()
             .map(|(rank, route)| {
                 let _span = telemetry::span("driver", "recover_rank").arg("rank", u64::from(rank));
+                let _rank = telemetry::context::with_rank(u64::from(rank));
                 let _t = recover_rank_ns.time();
                 let fs = rank_device(
                     &route,
@@ -658,6 +666,13 @@ impl NvmeCrRuntime {
             .cloned()
             .ok_or(RuntimeError::BadRank(rank))?;
         let _span = telemetry::span("driver", "fail_over_rank").arg("rank", u64::from(rank));
+        let _rank = telemetry::context::with_rank(u64::from(rank));
+        // Recovery begins: mark it in the flight recorder and trip a dump
+        // so the events leading up to the failure are preserved before the
+        // restore churn overwrites the rings.
+        let flight = self.config.telemetry.recorder();
+        flight.record(telemetry::FlightKind::Failover, 0, 0, u64::from(rank), 0);
+        flight.trip(telemetry::FlightKind::Failover, u64::from(rank));
         let rank_node = self.rank_nodes[rank as usize];
         let domains = FailureDomains::derive(topo);
         let mut candidates = topo.storage_nodes();
@@ -840,6 +855,7 @@ impl NvmeCrRuntime {
             .enumerate()
             .map(|(rank, route)| {
                 let _span = telemetry::span("driver", "restart_rank").arg("rank", rank as u64);
+                let _rank = telemetry::context::with_rank(rank as u64);
                 let _t = restart_rank_ns.time();
                 let dev = rank_device(
                     route,

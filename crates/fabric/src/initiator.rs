@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use bytes::Bytes;
 use chaos::{ChaosHandle, FaultAction, FaultSite};
-use telemetry::{Counter, Histogram, Telemetry};
+use telemetry::{Counter, FlightKind, FlightRecorder, Histogram, Telemetry};
 
 use ssd::NsId;
 
@@ -58,6 +58,11 @@ struct FabricMetrics {
     backoff_ns: Arc<Counter>,
     /// Wall-clock latency of one reconnect (teardown + re-admission + QP).
     reconnect_ns: Arc<Histogram>,
+    /// Black-box flight recorder: every command lifecycle event (submit,
+    /// completion, retry, timeout, CRC reject, exhaustion, reconnect) is
+    /// stamped with (rank, epoch, CID, retry-generation) so a dump
+    /// reconstructs the causal timeline of any one command.
+    flight: Arc<FlightRecorder>,
 }
 
 impl FabricMetrics {
@@ -77,6 +82,7 @@ impl FabricMetrics {
             reconnects: t.counter("fabric.reconnects"),
             backoff_ns: t.counter("fabric.backoff_ns"),
             reconnect_ns: t.histogram("fabric.reconnect_ns"),
+            flight: t.recorder(),
         }
     }
 }
@@ -402,11 +408,26 @@ impl NvmfConnection {
                 }
                 match self.post_one(&pending[i].capsule)? {
                     PostOutcome::Posted => {
-                        pending[i].in_flight = true;
+                        let p = &mut pending[i];
+                        self.metrics.flight.record(
+                            FlightKind::Submit,
+                            p.capsule.cid as u64,
+                            p.attempts as u64,
+                            p.capsule.len,
+                            p.capsule.offset,
+                        );
+                        p.in_flight = true;
                         in_flight += 1;
                     }
                     PostOutcome::LostTx => {
                         self.metrics.timeouts.inc();
+                        self.metrics.flight.record(
+                            FlightKind::Timeout,
+                            pending[i].capsule.cid as u64,
+                            pending[i].attempts as u64,
+                            0,
+                            0,
+                        );
                         self.note_failure(
                             &mut pending[i],
                             &AttemptError::Lost("command capsule dropped"),
@@ -494,6 +515,13 @@ impl NvmfConnection {
                                 Status::Success => {
                                     p.done = Some(comp);
                                     Self::observe_latency(&self.metrics, p);
+                                    self.metrics.flight.record(
+                                        FlightKind::Complete,
+                                        p.capsule.cid as u64,
+                                        p.attempts as u64,
+                                        p.started.elapsed().as_nanos() as u64,
+                                        0,
+                                    );
                                 }
                                 s if s.is_retryable() => {
                                     self.note_failure(p, &AttemptError::Transient(s))?;
@@ -505,6 +533,10 @@ impl NvmfConnection {
                             // The response header still carries the CID, so
                             // the mangled response charges its own command.
                             self.metrics.crc_errors.inc();
+                            self.metrics
+                                .flight
+                                .record(FlightKind::CrcError, cid as u64, 0, 0, 0);
+                            self.metrics.flight.trip(FlightKind::CrcError, cid as u64);
                             if let Some(p) = pending
                                 .iter_mut()
                                 .find(|p| p.in_flight && p.done.is_none() && p.capsule.cid == cid)
@@ -527,6 +559,13 @@ impl NvmfConnection {
             for p in pending.iter_mut().filter(|p| p.in_flight) {
                 p.in_flight = false;
                 self.metrics.timeouts.inc();
+                self.metrics.flight.record(
+                    FlightKind::Timeout,
+                    p.capsule.cid as u64,
+                    p.attempts as u64,
+                    1,
+                    0,
+                );
                 self.note_failure(p, &AttemptError::Lost("response capsule lost"))?;
             }
         }
@@ -537,7 +576,16 @@ impl NvmfConnection {
     /// attempt `max_retries + 1` failures and the command is exhausted;
     /// otherwise charge one retry and its modeled backoff.
     fn note_failure(&self, p: &mut Pending, e: &AttemptError) -> Result<(), InitiatorError> {
+        let cid = p.capsule.cid as u64;
         if p.attempts >= self.config.retry.max_retries {
+            self.metrics.flight.record(
+                FlightKind::RetryExhausted,
+                cid,
+                p.attempts as u64 + 1,
+                0,
+                0,
+            );
+            self.metrics.flight.trip(FlightKind::RetryExhausted, cid);
             return Err(InitiatorError::Exhausted {
                 attempts: p.attempts + 1,
                 last: e.describe(),
@@ -545,9 +593,11 @@ impl NvmfConnection {
         }
         p.attempts += 1;
         self.metrics.retries.inc();
+        let backoff = self.config.retry.backoff_ns(p.attempts);
+        self.metrics.backoff_ns.add(backoff);
         self.metrics
-            .backoff_ns
-            .add(self.config.retry.backoff_ns(p.attempts));
+            .flight
+            .record(FlightKind::Retry, cid, p.attempts as u64, backoff, 0);
         Ok(())
     }
 
@@ -611,6 +661,9 @@ impl NvmfConnection {
     fn reconnect(&mut self) {
         let _t = self.metrics.reconnect_ns.time();
         self.metrics.reconnects.inc();
+        self.metrics
+            .flight
+            .record(FlightKind::Reconnect, 0, 0, self.ns.0 as u64, 0);
         self.target.disconnect(self.conn);
         self.conn = self.target.connect(&self.host_nqn, &[self.ns]);
         let qp_depth = qp_depth_for(&self.config);
@@ -1386,6 +1439,54 @@ mod tests {
                 &vec![i as u8; 1024][..]
             );
         }
+    }
+
+    #[test]
+    fn flight_recorder_captures_command_lifecycle() {
+        let (target, a, _, t) = setup_with_telemetry();
+        let (init, chaos) = chaos_initiator(&t);
+        let mut conn = init.connect(Arc::clone(&target), a);
+        chaos.arm(
+            chaos::FaultPlan::new(3).at_op(FaultSite::CapsuleTx, FaultAction::DropCapsule, 0),
+            &t,
+        );
+        conn.write(0, b"traced").unwrap();
+        chaos.disarm();
+        let events = t.recorder().events();
+        let kinds: Vec<FlightKind> = events.iter().map(|e| e.kind).collect();
+        // The dropped first attempt: timeout, retry, then a fresh submit
+        // that completes — all under the same CID.
+        assert!(kinds.contains(&FlightKind::Timeout));
+        assert!(kinds.contains(&FlightKind::Retry));
+        let submit = events
+            .iter()
+            .find(|e| e.kind == FlightKind::Submit)
+            .expect("submit recorded");
+        let complete = events
+            .iter()
+            .find(|e| e.kind == FlightKind::Complete)
+            .expect("complete recorded");
+        assert_eq!(submit.cid, complete.cid, "lifecycle keyed by one CID");
+        assert_eq!(complete.gen, 1, "completion on the retry generation");
+    }
+
+    #[test]
+    fn exhaustion_trips_the_recorder() {
+        let (target, a, _, t) = setup_with_telemetry();
+        let (init, chaos) = chaos_initiator(&t);
+        let mut conn = init.connect(Arc::clone(&target), a);
+        chaos.arm(
+            chaos::FaultPlan::new(7).with_rate(FaultSite::CapsuleTx, FaultAction::DropCapsule, 1.0),
+            &t,
+        );
+        conn.write(0, b"doomed").unwrap_err();
+        chaos.disarm();
+        let rec = t.recorder();
+        assert!(rec.trip_count() >= 1, "exhaustion must trip the recorder");
+        assert!(rec
+            .events()
+            .iter()
+            .any(|e| e.kind == FlightKind::RetryExhausted));
     }
 
     #[test]

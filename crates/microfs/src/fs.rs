@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use telemetry::{Counter, Histogram, Telemetry};
+use telemetry::{Counter, FlightKind, FlightRecorder, Histogram, Telemetry};
 
 use crate::block::{BlockDevice, BlockPool};
 use crate::btree::BTree;
@@ -82,6 +82,9 @@ struct FsMetrics {
     replay_ns: Arc<Histogram>,
     /// Records replayed across all mounts.
     replay_records: Arc<Counter>,
+    /// Flight recorder: WAL appends land here so a dump ties metadata
+    /// durability to the fabric commands that carried it.
+    flight: Arc<FlightRecorder>,
 }
 
 impl FsMetrics {
@@ -96,6 +99,7 @@ impl FsMetrics {
             snapshot_ns: t.histogram("microfs.snapshot_ns"),
             replay_ns: t.histogram("microfs.replay_ns"),
             replay_records: t.counter("microfs.replay_records"),
+            flight: t.recorder(),
         }
     }
 }
@@ -747,12 +751,15 @@ impl<D: BlockDevice> MicroFs<D> {
             Err(e) => Err(e),
         };
         let after = self.wal.stats();
-        self.metrics
-            .wal_appended
-            .add(after.appended.saturating_sub(before.appended));
-        self.metrics
-            .wal_coalesced
-            .add(after.coalesced.saturating_sub(before.coalesced));
+        let appended = after.appended.saturating_sub(before.appended);
+        let coalesced = after.coalesced.saturating_sub(before.coalesced);
+        self.metrics.wal_appended.add(appended);
+        self.metrics.wal_coalesced.add(coalesced);
+        if appended > 0 {
+            self.metrics
+                .flight
+                .record(FlightKind::WalAppend, 0, 0, appended, coalesced);
+        }
         res
     }
 

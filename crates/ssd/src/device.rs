@@ -28,7 +28,7 @@ use std::time::Instant;
 use bytes::Bytes;
 use chaos::{ChaosHandle, FaultAction, FaultSite};
 use parking_lot::Mutex;
-use telemetry::{Counter, Gauge, Histogram, Telemetry};
+use telemetry::{Counter, FlightKind, FlightRecorder, Gauge, Histogram, Telemetry};
 
 use crate::backing::SparseStore;
 use crate::config::SsdConfig;
@@ -58,6 +58,9 @@ struct SsdMetrics {
     queue_depth: Arc<Gauge>,
     /// Bytes currently staged in device RAM across all shards.
     ram_occupancy: Arc<Gauge>,
+    /// Flight recorder: shard health transitions (busy, kill, dead-IO)
+    /// land here so a dump shows *why* a command above saw ShardOffline.
+    flight: Arc<FlightRecorder>,
 }
 
 impl SsdMetrics {
@@ -71,6 +74,7 @@ impl SsdMetrics {
             read_ns: t.histogram("ssd.read_ns"),
             queue_depth: t.gauge("ssd.queue_depth"),
             ram_occupancy: t.gauge("ssd.ram_occupancy_bytes"),
+            flight: t.recorder(),
         }
     }
 }
@@ -234,12 +238,23 @@ impl NsShard {
     /// Disarmed chaos costs one relaxed atomic load here.
     fn fault_check(&self) -> Result<(), SsdError> {
         if self.dead.load(Ordering::Relaxed) {
+            self.metrics
+                .flight
+                .record(FlightKind::ShardDead, 0, 0, self.ns.0 as u64, 0);
             return Err(SsdError::ShardDead(self.ns));
         }
         match self.chaos.decide(FaultSite::ShardIo) {
-            Some(FaultAction::ShardBusy) => Err(SsdError::Busy(self.ns)),
+            Some(FaultAction::ShardBusy) => {
+                self.metrics
+                    .flight
+                    .record(FlightKind::ShardBusy, 0, 0, self.ns.0 as u64, 0);
+                Err(SsdError::Busy(self.ns))
+            }
             Some(FaultAction::KillShard) => {
                 self.kill();
+                self.metrics
+                    .flight
+                    .record(FlightKind::ShardKill, 0, 0, self.ns.0 as u64, 0);
                 Err(SsdError::ShardDead(self.ns))
             }
             _ => Ok(()),

@@ -61,6 +61,67 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Serialize back to a JSON document that [`parse`] round-trips.
+    /// Non-finite numbers (which JSON cannot express) render as `null`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => {
+                if n.is_finite() {
+                    out.push_str(&format!("{n}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_json_string(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(k, out);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Parse a complete JSON document. Trailing non-whitespace is an error.
@@ -244,7 +305,8 @@ impl Parser<'_> {
         ) {
             self.pos += 1;
         }
-        let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid UTF-8 in number at byte {start}"))?;
         s.parse::<f64>()
             .map(Value::Num)
             .map_err(|_| format!("invalid number '{s}'"))
@@ -286,6 +348,20 @@ mod tests {
         assert!(parse("{\"a\":}").is_err());
         assert!(parse("[1,2,").is_err());
         assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn serializer_round_trips() {
+        let doc = r#"{"a":[1,2.5,-3],"b":{"nested":"x\"y\n"},"c":null,"d":true}"#;
+        let v = parse(doc).unwrap();
+        let out = v.to_json();
+        assert_eq!(parse(&out).unwrap(), v);
+    }
+
+    #[test]
+    fn serializer_renders_non_finite_as_null() {
+        assert_eq!(Value::Num(f64::NAN).to_json(), "null");
+        assert_eq!(Value::Num(f64::INFINITY).to_json(), "null");
     }
 
     #[test]

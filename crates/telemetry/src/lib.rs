@@ -13,6 +13,13 @@
 //! - [`trace`] — scoped spans with parent/child nesting, exportable as
 //!   Chrome `trace_event` JSON and JSONL. Off by default; enabled only
 //!   inside [`trace::capture`].
+//! - [`recorder`] — the always-on black-box flight recorder: lock-free
+//!   per-shard event rings capturing the last few thousand causal events
+//!   (trace-identified by rank/epoch/CID/retry-generation), auto-dumped
+//!   to JSONL when a fault, CRC error, retry exhaustion, or rollback
+//!   trips it.
+//! - [`context`] — thread-local (rank, epoch) trace context propagated
+//!   from the driver's rank fan-out into every event recorded below it.
 //! - [`json`] — a minimal parser so emitted reports can self-validate in
 //!   an offline build.
 //!
@@ -24,12 +31,15 @@
 
 #![warn(missing_docs)]
 
+pub mod context;
 pub mod json;
 pub mod metrics;
+pub mod recorder;
 pub mod registry;
 pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use recorder::{FlightEvent, FlightKind, FlightRecorder};
 pub use registry::{GaugeSnapshot, MetricsSnapshot, Registry};
 pub use trace::{capture, instant, span, Span, Trace, TraceEvent};
 
@@ -46,7 +56,7 @@ impl Telemetry {
     /// A fresh, private registry — use in tests that assert exact counts.
     pub fn new() -> Self {
         Self {
-            registry: Arc::new(Registry::new()),
+            registry: Self::linked_registry(),
         }
     }
 
@@ -54,8 +64,16 @@ impl Telemetry {
     pub fn global() -> Self {
         static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
         Self {
-            registry: Arc::clone(GLOBAL.get_or_init(|| Arc::new(Registry::new()))),
+            registry: Arc::clone(GLOBAL.get_or_init(Self::linked_registry)),
         }
+    }
+
+    /// A registry whose flight recorder holds a backref to it, so trip
+    /// dumps can embed the registry's metrics snapshot.
+    fn linked_registry() -> Arc<Registry> {
+        let registry = Arc::new(Registry::new());
+        registry.recorder().set_registry(Arc::downgrade(&registry));
+        registry
     }
 
     /// The underlying registry.
@@ -81,6 +99,12 @@ impl Telemetry {
     /// Snapshot every metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         self.registry.snapshot()
+    }
+
+    /// This registry's flight recorder. Hot-path callers resolve the
+    /// `Arc` once at construction, like metric handles.
+    pub fn recorder(&self) -> Arc<FlightRecorder> {
+        Arc::clone(self.registry.recorder())
     }
 
     /// Do two handles share a registry?

@@ -25,7 +25,7 @@ thread_local! {
 }
 
 #[inline]
-fn slot() -> usize {
+pub(crate) fn slot() -> usize {
     THREAD_SLOT.with(|s| *s)
 }
 

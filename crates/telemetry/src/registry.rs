@@ -6,18 +6,21 @@
 //! what `nvmecr-trace` groups on when it emits per-layer percentiles.
 
 use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::recorder::FlightRecorder;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A named collection of metrics. Lookup is a read-locked BTreeMap hit;
 /// instrument-once-then-record callers should resolve their `Arc` handles
-/// up front and bypass the map on the hot path.
+/// up front and bypass the map on the hot path. Every registry also owns
+/// one [`FlightRecorder`], so private test registries get private rings.
 #[derive(Default)]
 pub struct Registry {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    recorder: Arc<FlightRecorder>,
 }
 
 macro_rules! get_or_create {
@@ -52,6 +55,11 @@ impl Registry {
     /// Get or create the histogram named `name`.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         get_or_create!(self.histograms, name, Histogram)
+    }
+
+    /// This registry's flight recorder.
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
     }
 
     /// Capture every metric's current value.

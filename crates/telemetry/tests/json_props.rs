@@ -1,0 +1,98 @@
+//! Property tests for the dependency-free JSON codec: any `Value` tree
+//! the serializer can emit parses back to an identical tree, and the
+//! parser rejects trailing garbage appended to valid documents.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use telemetry::json::{self, Value};
+
+/// Deterministically grow a `Value` tree from a seed. Plain code instead
+/// of nested strategies: the tree shape (depth, fan-out, variant mix)
+/// all derive from one drawn `u64`, which keeps cases reproducible under
+/// the sampling runner.
+/// SplitMix64 step: decorrelates successive draws from one seed.
+fn next(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn build_value(seed: &mut u64, depth: u32) -> Value {
+    let pick = if depth == 0 {
+        next(seed) % 4
+    } else {
+        next(seed) % 6
+    };
+    match pick {
+        0 => Value::Null,
+        1 => Value::Bool(next(seed).is_multiple_of(2)),
+        2 => {
+            // Finite floats only: the serializer maps NaN/inf to null by
+            // design, which cannot round-trip. Mix integers, fractions,
+            // negatives, and large magnitudes.
+            let raw = next(seed);
+            let n = match raw % 4 {
+                0 => (raw >> 8) as f64,
+                1 => -((raw >> 40) as f64),
+                2 => (raw >> 12) as f64 / 1024.0,
+                _ => (raw >> 1) as f64 * 1e3,
+            };
+            Value::Num(n)
+        }
+        3 => {
+            let len = (next(seed) % 12) as usize;
+            let s: String = (0..len)
+                .map(|_| {
+                    // Cover escapes, control chars, and multibyte UTF-8.
+                    const ALPHABET: [char; 16] = [
+                        'a', 'Z', '0', ' ', '"', '\\', '\n', '\t', '\r', '\u{1}', '\u{1f}', 'é',
+                        '仮', '🦀', '/', '{',
+                    ];
+                    ALPHABET[(next(seed) % ALPHABET.len() as u64) as usize]
+                })
+                .collect();
+            Value::Str(s)
+        }
+        4 => {
+            let len = (next(seed) % 5) as usize;
+            Value::Arr((0..len).map(|_| build_value(seed, depth - 1)).collect())
+        }
+        _ => {
+            let len = (next(seed) % 5) as usize;
+            let mut m = BTreeMap::new();
+            for i in 0..len {
+                let key = format!("k{}_{}", i, next(seed) % 100);
+                m.insert(key, build_value(seed, depth - 1));
+            }
+            Value::Obj(m)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn serialize_parse_round_trips(seed in any::<u64>()) {
+        let mut s = seed;
+        let tree = build_value(&mut s, 3);
+        let text = tree.to_json();
+        let back = json::parse(&text)
+            .map_err(|e| TestCaseError::fail(format!("{text:?}: {e}")))?;
+        prop_assert_eq!(&back, &tree, "document was {}", text);
+        // A second round proves the emitted form is a fixed point.
+        prop_assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected(seed in any::<u64>()) {
+        let mut s = seed;
+        let tree = build_value(&mut s, 2);
+        let mut text = tree.to_json();
+        text.push_str(" x");
+        prop_assert!(json::parse(&text).is_err(), "accepted {:?}", text);
+    }
+}
