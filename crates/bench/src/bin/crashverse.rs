@@ -1,0 +1,168 @@
+//! Crash-universe smoke: enumerate every durability op in the standard
+//! incremental-checkpoint workload, crash at each index, and verify the
+//! recovery invariants (`BENCH_crashverse.json`).
+//!
+//! Two modes:
+//!
+//! * **explore** (default / `--smoke`): size the universe with a clean
+//!   counting run, execute every crash point (`--smoke` caps the scan at
+//!   2000 points and dumps `FLIGHT_crashverse_*.jsonl` counterexamples
+//!   into the working directory), and gate on *zero* invariant
+//!   violations across a universe of at least 500 ops.
+//! * **replay** (`--crash-at K`): re-execute exactly one crash point —
+//!   the command line a failing explore prints, pinning `(seed, op
+//!   index, config fingerprint)`.
+//!
+//! Every verdict is deterministic: same seed and workload shape, same
+//! universe size, same per-point outcome.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use crashverse::{explore, run_point, UniverseConfig};
+use nvmecr_bench::stamp;
+use telemetry::Telemetry;
+
+/// Explore must cover at least this many crash points (acceptance
+/// criterion: the default workload's universe is well past it).
+const MIN_UNIVERSE: u64 = 500;
+/// `--smoke` bound on executed points.
+const SMOKE_MAX_POINTS: u64 = 2000;
+
+fn parse_u64(flag: &str, v: Option<String>) -> Result<u64, String> {
+    v.ok_or_else(|| format!("{flag} needs a value"))?
+        .parse()
+        .map_err(|e| format!("{flag}: {e}"))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut cfg = UniverseConfig::default();
+    let mut crash_at: Option<u64> = None;
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => cfg.seed = parse_u64("--seed", args.next())?,
+            "--ranks" => cfg.ranks = parse_u64("--ranks", args.next())? as u32,
+            "--epochs" => cfg.epochs = parse_u64("--epochs", args.next())? as u32,
+            "--files" => cfg.files_per_epoch = parse_u64("--files", args.next())? as u32,
+            "--write-kib" => cfg.write_kib = parse_u64("--write-kib", args.next())?,
+            "--max-points" => cfg.max_points = Some(parse_u64("--max-points", args.next())?),
+            "--crash-at" => crash_at = Some(parse_u64("--crash-at", args.next())?),
+            "--dump-dir" => {
+                cfg.dump_dir = Some(PathBuf::from(
+                    args.next().ok_or("--dump-dir needs a value")?,
+                ));
+            }
+            other => return Err(format!("unknown argument {other}").into()),
+        }
+    }
+    if smoke {
+        cfg.max_points.get_or_insert(SMOKE_MAX_POINTS);
+        cfg.dump_dir.get_or_insert_with(|| PathBuf::from("."));
+    }
+
+    if let Some(k) = crash_at {
+        // Replay mode: one pinned crash point, full verdict on stdout.
+        let v = run_point(&cfg, k);
+        println!(
+            "crash-at {k}: fired={:?} kind={} passed={}",
+            v.fired,
+            v.fired_kind.unwrap_or("-"),
+            v.passed
+        );
+        if let Some(why) = &v.violation {
+            println!("violation: {why}");
+            if let Some(d) = &v.dump {
+                println!("counterexample: {}", d.display());
+            }
+            println!("replay: {}", cfg.replay_command(k));
+            return Err(format!("crash point {k} violated invariants").into());
+        }
+        return Ok(());
+    }
+
+    let telemetry = Telemetry::new();
+    let report = explore(&cfg, &telemetry)?;
+
+    println!(
+        "universe: {} ops ({} points run, {} shrink steps), fingerprint {:#018x}",
+        report.total_ops, report.points_run, report.shrink_steps, report.fingerprint
+    );
+    println!("{:>15}  {:>8}", "op kind", "ops");
+    for (i, op) in chaos::CrashOp::ALL.iter().enumerate() {
+        println!("{:>15}  {:>8}", op.name(), report.per_kind[i]);
+    }
+    for f in &report.failures {
+        println!(
+            "FAIL op {} ({}): {}",
+            f.op_index,
+            f.fired_kind.unwrap_or("-"),
+            f.violation
+        );
+        if let Some(d) = &f.dump {
+            println!("  counterexample: {}", d.display());
+        }
+        println!("  replay: {}", f.replay);
+    }
+
+    let snap = telemetry.snapshot();
+    let mut json = String::new();
+    let _ = writeln!(json, "{{\n  \"bench\": \"crashverse\",");
+    json.push_str(&stamp::meta_line(&stamp::Fingerprint {
+        queue_depth: 32,
+        ranks: cfg.ranks,
+        replication_factor: 2,
+        delta_chain_max: 4,
+    }));
+    let _ = writeln!(json, "  \"seed\": {},", cfg.seed);
+    let _ = writeln!(
+        json,
+        "  \"config_fingerprint\": \"{:#018x}\",",
+        report.fingerprint
+    );
+    let _ = writeln!(json, "  \"total_ops\": {},", report.total_ops);
+    let _ = writeln!(json, "  \"points\": {},", snap.counter("crashverse.points"));
+    let _ = writeln!(
+        json,
+        "  \"failures\": {},",
+        snap.counter("crashverse.failures")
+    );
+    let _ = writeln!(
+        json,
+        "  \"shrink_steps\": {},",
+        snap.counter("crashverse.shrink_steps")
+    );
+    let mut per_kind = String::new();
+    for (i, op) in chaos::CrashOp::ALL.iter().enumerate() {
+        if i > 0 {
+            per_kind.push_str(", ");
+        }
+        let _ = write!(per_kind, "\"{}\": {}", op.name(), report.per_kind[i]);
+    }
+    let _ = writeln!(json, "  \"per_kind\": {{{per_kind}}},");
+    let _ = writeln!(
+        json,
+        "  \"gate\": {{\"min_universe\": {MIN_UNIVERSE}, \"all_points_pass\": true}}\n}}"
+    );
+    std::fs::write("BENCH_crashverse.json", &json)?;
+    println!("wrote BENCH_crashverse.json");
+
+    // Self-validation gates.
+    if report.total_ops < MIN_UNIVERSE {
+        return Err(format!(
+            "crash universe has only {} ops (< {MIN_UNIVERSE}); workload too small",
+            report.total_ops
+        )
+        .into());
+    }
+    if !report.failures.is_empty() {
+        return Err(format!(
+            "{} crash point(s) violated recovery invariants",
+            report.failures.len()
+        )
+        .into());
+    }
+    Ok(())
+}

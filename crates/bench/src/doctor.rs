@@ -93,7 +93,7 @@ pub fn parse_dump(text: &str) -> Result<Dump, String> {
         let v = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
         let num = |k: &str| v.get(k).and_then(Value::as_num).map(|n| n as u64);
         if let Some(name) = v.get("ev").and_then(Value::as_str) {
-            let kind = (1..=18u64)
+            let kind = (1..=19u64)
                 .filter_map(FlightKind::from_code)
                 .find(|k| k.name() == name);
             dump.events.push(DumpEvent {
@@ -222,7 +222,8 @@ fn anomaly_severity(k: FlightKind) -> u8 {
         | FlightKind::ShardDead
         | FlightKind::RetryExhausted
         | FlightKind::Failover
-        | FlightKind::RollbackRestore => 3,
+        | FlightKind::RollbackRestore
+        | FlightKind::CrashPoint => 3,
         FlightKind::CrcError | FlightKind::MirrorDegraded => 2,
         FlightKind::FaultInjected | FlightKind::Timeout => 1,
         _ => 0,
@@ -364,13 +365,27 @@ pub fn analyze(dump: &Dump) -> Report {
                 Some(s) => s.name().to_string(),
                 None => format!("unknown site {code}"),
             };
+            let decode_crash_op = |code: u64| match chaos::CrashOp::from_code(code) {
+                Some(op) => op.name().to_string(),
+                None => format!("unknown op kind {code}"),
+            };
             // Attribute the anomaly to its root cause: the nearest fault
-            // injection at or before it, when one is in the window.
+            // injection or crash-universe kill at or before it, when one
+            // is in the window.
             let injection = dump.events.iter().rfind(|i| {
-                i.kind == Some(FlightKind::FaultInjected) && (i.ts_ns, i.seq) <= (e.ts_ns, e.seq)
+                matches!(
+                    i.kind,
+                    Some(FlightKind::FaultInjected) | Some(FlightKind::CrashPoint)
+                ) && (i.ts_ns, i.seq) <= (e.ts_ns, e.seq)
             });
             let site = match (kind, injection) {
                 (FlightKind::FaultInjected, _) => Some(decode_site(e.a)),
+                (FlightKind::CrashPoint, _) => {
+                    Some(format!("{} op #{}", decode_crash_op(e.a), e.b))
+                }
+                (_, Some(c)) if c.kind == Some(FlightKind::CrashPoint) => {
+                    Some(format!("crash_at_op({})", c.b))
+                }
                 (_, Some(inj)) => Some(decode_site(inj.a)),
                 (FlightKind::ShardKill | FlightKind::ShardDead, None) => {
                     Some(format!("ns {}", e.a))
@@ -388,7 +403,15 @@ pub fn analyze(dump: &Dump) -> Report {
                 (None, None) => String::new(),
             };
             let root = match (kind, injection) {
-                (FlightKind::FaultInjected, _) | (_, None) => String::new(),
+                (FlightKind::FaultInjected | FlightKind::CrashPoint, _) | (_, None) => {
+                    String::new()
+                }
+                (_, Some(c)) if c.kind == Some(FlightKind::CrashPoint) => format!(
+                    "; root cause: crash_at_op({}) killed a {} op (t={:.3}ms)",
+                    c.b,
+                    decode_crash_op(c.a),
+                    c.ts_ns as f64 / 1e6
+                ),
                 (_, Some(inj)) => format!(
                     "; root cause: injected fault at {} (t={:.3}ms)",
                     decode_site(inj.a),
@@ -405,7 +428,9 @@ pub fn analyze(dump: &Dump) -> Report {
                 e.ts_ns as f64 / 1e6,
                 kind.name(),
                 site.as_deref()
-                    .filter(|_| kind == FlightKind::FaultInjected)
+                    .filter(|_| {
+                        matches!(kind, FlightKind::FaultInjected | FlightKind::CrashPoint)
+                    })
                     .map(|s| format!(" at {s}"))
                     .unwrap_or_default(),
                 ctx,
@@ -539,6 +564,34 @@ mod tests {
         let v = report.verdict.expect("anomaly present");
         assert_eq!(v.kind, "fault_injected");
         assert_eq!(v.site.as_deref(), Some("shard_io"));
+    }
+
+    #[test]
+    fn verdict_attributes_crash_universe_kill() {
+        let r = FlightRecorder::with_capacity(64);
+        r.record(FlightKind::Submit, 3, 0, 4096, 0);
+        // crash_at_op(42) fired on a commit-record write (op code 5).
+        r.record(FlightKind::CrashPoint, 0, 0, 5, 42);
+        r.trip(FlightKind::CrashPoint, 5);
+        let d = parse_dump(&r.dump_jsonl(FlightKind::CrashPoint)).unwrap();
+        let v = analyze(&d).verdict.expect("crash point is terminal");
+        assert_eq!(v.kind, "crash_point");
+        let s = v.site.expect("site decoded");
+        assert!(s.contains("commit_record") && s.contains("42"), "{s}");
+        assert!(v.description.contains("commit_record"), "{}", v.description);
+    }
+
+    #[test]
+    fn crash_point_is_root_cause_of_later_anomalies() {
+        let r = FlightRecorder::with_capacity(64);
+        r.record(FlightKind::CrashPoint, 0, 0, 3, 17);
+        r.record(FlightKind::RetryExhausted, 8, 4, 0, 0);
+        r.trip(FlightKind::RetryExhausted, 8);
+        let d = parse_dump(&r.dump_jsonl(FlightKind::RetryExhausted)).unwrap();
+        let v = analyze(&d).verdict.expect("terminal anomaly present");
+        // Both events are terminal; the crash point is first and wins.
+        assert_eq!(v.kind, "crash_point");
+        assert!(v.site.as_deref().unwrap_or("").contains("mirror_write"));
     }
 
     #[test]

@@ -114,6 +114,85 @@ pub enum FaultAction {
     TornWrite { keep_bytes: u32 },
 }
 
+/// A durability-relevant operation counted by the crash-universe mode.
+///
+/// Unlike [`FaultSite`] (which keys *independent per-site* decision
+/// streams), crash ops share **one global, cross-site counter** so that
+/// "crash at op *k*" names a unique point in the execution, whatever mix
+/// of WAL appends, block writes and manifest commits precedes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CrashOp {
+    /// microfs WAL appending a freshly encoded record.
+    WalAppend,
+    /// One block-device write element reaching the NVMf data plane.
+    BlockWrite,
+    /// One mirrored write element (primary + replica copies).
+    MirrorWrite,
+    /// Epoch manifest body landing in the manifest region.
+    ManifestBody,
+    /// Epoch commit record landing in the manifest region (the point of
+    /// no return for an epoch).
+    CommitRecord,
+    /// Discard/trim of freed blocks on the mirror.
+    Discard,
+}
+
+/// Number of distinct [`CrashOp`] kinds (array index space).
+pub const CRASH_OP_KINDS: usize = 6;
+
+impl CrashOp {
+    /// All kinds, in stable code order.
+    pub const ALL: [CrashOp; CRASH_OP_KINDS] = [
+        CrashOp::WalAppend,
+        CrashOp::BlockWrite,
+        CrashOp::MirrorWrite,
+        CrashOp::ManifestBody,
+        CrashOp::CommitRecord,
+        CrashOp::Discard,
+    ];
+
+    /// Stable wire code carried in flight-recorder events (1-based).
+    pub fn code(self) -> u64 {
+        match self {
+            CrashOp::WalAppend => 1,
+            CrashOp::BlockWrite => 2,
+            CrashOp::MirrorWrite => 3,
+            CrashOp::ManifestBody => 4,
+            CrashOp::CommitRecord => 5,
+            CrashOp::Discard => 6,
+        }
+    }
+
+    /// Decode a wire code back into an op kind.
+    pub fn from_code(code: u64) -> Option<CrashOp> {
+        Some(match code {
+            1 => CrashOp::WalAppend,
+            2 => CrashOp::BlockWrite,
+            3 => CrashOp::MirrorWrite,
+            4 => CrashOp::ManifestBody,
+            5 => CrashOp::CommitRecord,
+            6 => CrashOp::Discard,
+            _ => return None,
+        })
+    }
+
+    /// Snake-case name used in dumps and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashOp::WalAppend => "wal_append",
+            CrashOp::BlockWrite => "block_write",
+            CrashOp::MirrorWrite => "mirror_write",
+            CrashOp::ManifestBody => "manifest_body",
+            CrashOp::CommitRecord => "commit_record",
+            CrashOp::Discard => "discard",
+        }
+    }
+
+    fn index(self) -> usize {
+        (self.code() - 1) as usize
+    }
+}
+
 /// One injection rule: a site, an action, and when it fires.
 ///
 /// `rate` fires probabilistically (deterministically hashed per op index);
@@ -196,9 +275,52 @@ struct ArmedState {
     recorder: Option<Arc<FlightRecorder>>,
 }
 
+/// How the crash-universe counter treats each durability op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CrashMode {
+    /// Enumerate: count every op, never fire.
+    Count,
+    /// Fire at exactly global op index `k`; every op at index >= `k`
+    /// fails too ("dead universe" — after the crash nothing persists).
+    CrashAt(u64),
+}
+
+struct CrashState {
+    mode: CrashMode,
+    /// Next global op index to hand out (also the running total).
+    next_op: u64,
+    /// Ops seen per [`CrashOp`] kind, indexed by `code() - 1`.
+    per_kind: [u64; CRASH_OP_KINDS],
+    /// Global op index at which the crash fired (`CrashAt` only).
+    fired: Option<u64>,
+    /// Flight recorder of the armed telemetry registry: the crash point
+    /// records a `crash_point` event and trips the recorder.
+    recorder: Option<Arc<FlightRecorder>>,
+}
+
+/// Snapshot of the crash-universe counters, taken by [`ChaosHandle::crash_report`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashReport {
+    /// Total durability ops counted (the size of the crash universe).
+    pub total: u64,
+    /// Ops per [`CrashOp`] kind, indexed by `code() - 1`.
+    pub per_kind: [u64; CRASH_OP_KINDS],
+    /// Global op index at which the crash fired, if it did.
+    pub fired: Option<u64>,
+}
+
+impl CrashReport {
+    /// Ops counted for one kind.
+    pub fn kind(&self, op: CrashOp) -> u64 {
+        self.per_kind[op.index()]
+    }
+}
+
 struct Inner {
     armed: AtomicBool,
     state: Mutex<ArmedState>,
+    crash_armed: AtomicBool,
+    crash: Mutex<CrashState>,
 }
 
 /// Cheap, cloneable hook handle threaded through layer configs.
@@ -220,6 +342,14 @@ impl Default for ChaosHandle {
                     plan: None,
                     counters: HashMap::new(),
                     injected: None,
+                    recorder: None,
+                }),
+                crash_armed: AtomicBool::new(false),
+                crash: Mutex::new(CrashState {
+                    mode: CrashMode::Count,
+                    next_op: 0,
+                    per_kind: [0; CRASH_OP_KINDS],
+                    fired: None,
                     recorder: None,
                 }),
             }),
@@ -321,6 +451,95 @@ impl ChaosHandle {
             }
         }
         hit
+    }
+
+    /// Arm the crash-universe counter in *count* mode: every durability op
+    /// consumes one global index, nothing ever fires. Used to enumerate
+    /// the universe before exploring it.
+    pub fn arm_crash_count(&self) {
+        let mut st = self.inner.crash.lock();
+        st.mode = CrashMode::Count;
+        st.next_op = 0;
+        st.per_kind = [0; CRASH_OP_KINDS];
+        st.fired = None;
+        st.recorder = None;
+        self.inner.crash_armed.store(true, Ordering::Release);
+    }
+
+    /// Arm the crash-universe counter to kill the stack at exactly global
+    /// durability-op index `k`: the op at index `k` records a
+    /// [`FlightKind::CrashPoint`] event, trips `telemetry`'s flight
+    /// recorder, and fails; every op at index >= `k` fails too (after a
+    /// crash, nothing persists — the universe is dead).
+    pub fn crash_at_op(&self, k: u64, telemetry: &Telemetry) {
+        let mut st = self.inner.crash.lock();
+        st.mode = CrashMode::CrashAt(k);
+        st.next_op = 0;
+        st.per_kind = [0; CRASH_OP_KINDS];
+        st.fired = None;
+        st.recorder = Some(telemetry.recorder());
+        self.inner.crash_armed.store(true, Ordering::Release);
+    }
+
+    /// Disarm the crash-universe counter, leaving the counters readable
+    /// via [`ChaosHandle::crash_report`] until the next arm.
+    pub fn disarm_crash(&self) {
+        self.inner.crash_armed.store(false, Ordering::Release);
+        let mut st = self.inner.crash.lock();
+        st.recorder = None;
+    }
+
+    /// Whether a crash-universe mode is armed.
+    pub fn is_crash_armed(&self) -> bool {
+        self.inner.crash_armed.load(Ordering::Relaxed)
+    }
+
+    /// Consume one global durability-op index for `op` and report whether
+    /// the stack dies here.
+    ///
+    /// Disarmed (the default) this is a single relaxed atomic load
+    /// returning `false`. Armed, every call consumes exactly one index in
+    /// execution order, which is what makes a crash point reproducible
+    /// from `(workload, k)` alone.
+    pub fn crash_fire(&self, op: CrashOp) -> bool {
+        if !self.inner.crash_armed.load(Ordering::Relaxed) {
+            return false;
+        }
+        let mut st = self.inner.crash.lock();
+        let n = st.next_op;
+        st.next_op += 1;
+        st.per_kind[op.index()] += 1;
+        match st.mode {
+            CrashMode::Count => false,
+            CrashMode::CrashAt(k) => {
+                if n < k {
+                    false
+                } else {
+                    if n == k {
+                        st.fired = Some(n);
+                        if let Some(r) = st.recorder.take() {
+                            // Record and trip outside the lock: the dump
+                            // path reads metrics and touches the
+                            // filesystem.
+                            drop(st);
+                            r.record(FlightKind::CrashPoint, 0, 0, op.code(), n);
+                            r.trip(FlightKind::CrashPoint, op.code());
+                        }
+                    }
+                    true
+                }
+            }
+        }
+    }
+
+    /// Snapshot the crash-universe counters.
+    pub fn crash_report(&self) -> CrashReport {
+        let st = self.inner.crash.lock();
+        CrashReport {
+            total: st.next_op,
+            per_kind: st.per_kind,
+            fired: st.fired,
+        }
     }
 }
 
@@ -510,6 +729,112 @@ mod tests {
         let a = collect(&h, FaultSite::CapsuleTx, 200);
         let b = collect(&h, FaultSite::CapsuleRx, 200);
         assert_ne!(a, b, "distinct sites must not share a decision stream");
+    }
+
+    #[test]
+    fn crash_disarmed_is_silent_and_free() {
+        let h = ChaosHandle::new();
+        assert!(!h.is_crash_armed());
+        for op in CrashOp::ALL {
+            assert!(!h.crash_fire(op));
+        }
+        assert_eq!(h.crash_report().total, 0, "disarmed ops are not counted");
+    }
+
+    #[test]
+    fn crash_count_mode_counts_and_never_fires() {
+        let h = ChaosHandle::new();
+        h.arm_crash_count();
+        for _ in 0..3 {
+            for op in CrashOp::ALL {
+                assert!(!h.crash_fire(op));
+            }
+        }
+        h.disarm_crash();
+        let report = h.crash_report();
+        assert_eq!(report.total, 18);
+        for op in CrashOp::ALL {
+            assert_eq!(report.kind(op), 3);
+        }
+        assert_eq!(report.fired, None);
+    }
+
+    #[test]
+    fn crash_at_op_fires_once_then_universe_stays_dead() {
+        let t = Telemetry::new();
+        let h = ChaosHandle::new();
+        h.crash_at_op(4, &t);
+        let verdicts: Vec<bool> = (0..8).map(|_| h.crash_fire(CrashOp::BlockWrite)).collect();
+        assert_eq!(
+            verdicts,
+            vec![false, false, false, false, true, true, true, true],
+            "ops before k survive, op k and everything after die"
+        );
+        assert_eq!(h.crash_report().fired, Some(4));
+
+        let r = t.recorder();
+        assert_eq!(r.trip_count(), 1, "only op k trips, not the dead tail");
+        let events = r.events();
+        let cp = events
+            .iter()
+            .find(|e| e.kind == FlightKind::CrashPoint)
+            .expect("crash_point event");
+        assert_eq!(cp.a, CrashOp::BlockWrite.code());
+        assert_eq!(cp.b, 4, "fired at global op index 4");
+    }
+
+    #[test]
+    fn crash_counter_is_global_across_kinds() {
+        let t = Telemetry::new();
+        let h = ChaosHandle::new();
+        h.crash_at_op(2, &t);
+        assert!(!h.crash_fire(CrashOp::WalAppend));
+        assert!(!h.crash_fire(CrashOp::BlockWrite));
+        assert!(
+            h.crash_fire(CrashOp::CommitRecord),
+            "third op overall dies regardless of kind"
+        );
+        let report = h.crash_report();
+        assert_eq!(report.kind(CrashOp::WalAppend), 1);
+        assert_eq!(report.kind(CrashOp::BlockWrite), 1);
+        assert_eq!(report.kind(CrashOp::CommitRecord), 1);
+    }
+
+    #[test]
+    fn crash_rearm_resets_the_universe() {
+        let h = ChaosHandle::new();
+        h.arm_crash_count();
+        for _ in 0..7 {
+            h.crash_fire(CrashOp::WalAppend);
+        }
+        h.arm_crash_count();
+        assert_eq!(h.crash_report().total, 0, "counters restart on arm");
+    }
+
+    #[test]
+    fn crash_op_codes_roundtrip() {
+        for op in CrashOp::ALL {
+            assert_eq!(CrashOp::from_code(op.code()), Some(op));
+            assert!(!op.name().is_empty());
+        }
+        assert_eq!(CrashOp::from_code(0), None);
+        assert_eq!(CrashOp::from_code(7), None);
+    }
+
+    #[test]
+    fn crash_mode_is_independent_of_fault_plans() {
+        let t = Telemetry::new();
+        let h = ChaosHandle::new();
+        h.arm_crash_count();
+        h.arm(
+            FaultPlan::new(21).at_op(FaultSite::ShardIo, FaultAction::ShardBusy, 0),
+            &t,
+        );
+        assert!(h.decide(FaultSite::ShardIo).is_some());
+        assert!(!h.crash_fire(CrashOp::BlockWrite));
+        h.disarm();
+        assert!(h.is_crash_armed(), "fault disarm leaves crash mode armed");
+        assert_eq!(h.crash_report().total, 1);
     }
 
     #[test]

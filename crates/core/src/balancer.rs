@@ -40,6 +40,13 @@ pub enum BalanceError {
         /// The rank whose storage could not be re-placed.
         rank: u32,
     },
+    /// A storage grant names an SSD the rack does not know about.
+    UnknownSsd {
+        /// The node the grant points at.
+        node: NodeId,
+        /// The SSD index on that node.
+        ssd: u32,
+    },
 }
 
 impl fmt::Display for BalanceError {
@@ -57,6 +64,9 @@ impl fmt::Display for BalanceError {
             BalanceError::NoStorage => write!(f, "allocation has no storage grants"),
             BalanceError::NoFailoverTarget { rank } => {
                 write!(f, "no domain-separated failover target for rank {rank}")
+            }
+            BalanceError::UnknownSsd { node, ssd } => {
+                write!(f, "storage grant names unknown SSD {ssd} on node {node:?}")
             }
         }
     }

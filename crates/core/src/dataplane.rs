@@ -8,6 +8,7 @@
 
 use crate::replication::{Mirror, ReplicationError, ScrubReport};
 use bytes::Bytes;
+use chaos::{ChaosHandle, CrashOp};
 use fabric::initiator::NvmfConnection;
 use microfs::block::{BlockDevice, DevError, IoCounters};
 
@@ -23,6 +24,9 @@ pub struct NvmfBlockDevice {
     /// written through both submission windows concurrently. `None` (the
     /// default) leaves every path bit-for-bit unreplicated.
     mirror: Option<Box<Mirror>>,
+    /// Crash-universe hook: disarmed (the default) every gate is one
+    /// relaxed atomic load.
+    chaos: ChaosHandle,
 }
 
 impl NvmfBlockDevice {
@@ -34,12 +38,37 @@ impl NvmfBlockDevice {
             size,
             counters: IoCounters::default(),
             mirror: None,
+            chaos: ChaosHandle::new(),
         }
+    }
+
+    /// Thread the runtime's chaos handle through, so the crash-universe
+    /// mode can count and kill block-level writes.
+    pub fn set_chaos(&mut self, chaos: ChaosHandle) {
+        self.chaos = chaos;
+    }
+
+    /// One crash-universe index per write element, consumed *before* any
+    /// byte hits the wire: a firing gate models a crash ahead of the
+    /// batch, so the batch is atomically absent after recovery.
+    fn crash_gate(&self, elems: usize) -> Result<(), DevError> {
+        for _ in 0..elems {
+            if self.chaos.crash_fire(CrashOp::BlockWrite) {
+                return Err(DevError("crash point: block write".into()));
+            }
+        }
+        Ok(())
     }
 
     /// Total NVMf `(ios, bytes)` issued on the underlying connection.
     pub fn nvmf_counters(&self) -> (u64, u64) {
         self.conn.io_counters()
+    }
+
+    /// The primary connection, for runtime-internal maintenance reads
+    /// (manifest-region decoding during typestate recovery).
+    pub(crate) fn conn_mut(&mut self) -> &mut NvmfConnection {
+        &mut self.conn
     }
 
     /// Attach a replica mirror: every subsequent write lands on both
@@ -107,6 +136,7 @@ impl NvmfBlockDevice {
     /// connection (no staging copy at this layer or below).
     pub fn write_bytes_at(&mut self, offset: u64, data: Bytes) -> Result<(), DevError> {
         self.check(offset, data.len() as u64)?;
+        self.crash_gate(1)?;
         let len = data.len() as u64;
         if self.mirror.is_some() {
             self.dispatch_writes(vec![(offset, data)])?;
@@ -129,6 +159,7 @@ impl NvmfBlockDevice {
             self.check(*offset, data.len() as u64)?;
             total += data.len() as u64;
         }
+        self.crash_gate(writes.len())?;
         let count = writes.len() as u64;
         self.dispatch_writes(writes)?;
         self.counters.writes += count;
@@ -150,6 +181,7 @@ impl NvmfBlockDevice {
 impl BlockDevice for NvmfBlockDevice {
     fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<(), DevError> {
         self.check(offset, data.len() as u64)?;
+        self.crash_gate(1)?;
         if self.mirror.is_some() {
             // Borrowed payloads are staged once so both capsules can
             // share the buffer (and its one CRC pass).
@@ -185,6 +217,7 @@ impl BlockDevice for NvmfBlockDevice {
             self.check(offset, data.len() as u64)?;
             total += data.len() as u64;
         }
+        self.crash_gate(writes.len())?;
         if self.mirror.is_some() {
             self.dispatch_writes(
                 writes
@@ -241,6 +274,9 @@ impl BlockDevice for NvmfBlockDevice {
     fn discard_at(&mut self, offset: u64, len: u64) -> Result<(), DevError> {
         self.check(offset, len)?;
         if let Some(m) = &mut self.mirror {
+            if self.chaos.crash_fire(CrashOp::Discard) {
+                return Err(DevError("crash point: discard".into()));
+            }
             m.discard(offset, len);
         }
         Ok(())

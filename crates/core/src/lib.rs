@@ -34,6 +34,7 @@ pub mod dataplane;
 pub mod intercept;
 pub mod metrics;
 pub mod multilevel;
+pub mod recovery;
 pub mod replication;
 pub mod runtime;
 

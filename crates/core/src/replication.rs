@@ -22,6 +22,7 @@
 //! `replication.lag_epochs`).
 
 use bytes::Bytes;
+use chaos::{ChaosHandle, CrashOp};
 use fabric::{write_mirrored_bytes, InitiatorError, MirroredWrite, NvmfConnection};
 use microfs::cow::IntervalSet;
 use microfs::crc::{crc32, crc32_update};
@@ -182,6 +183,9 @@ pub struct Mirror {
     last_entries: Option<HashSet<(u64, u64, u32)>>,
     /// Whiteouts (device discards) accumulated since the last commit.
     pending_whiteouts: Vec<(u64, u64)>,
+    /// Crash-universe hook: disarmed (the default) every gate is one
+    /// relaxed atomic load.
+    chaos: ChaosHandle,
 }
 
 impl Mirror {
@@ -205,7 +209,14 @@ impl Mirror {
             deltas_since_full: 0,
             last_entries: None,
             pending_whiteouts: Vec::new(),
+            chaos: ChaosHandle::new(),
         }
+    }
+
+    /// Thread the runtime's chaos handle through, so the crash-universe
+    /// mode can count and kill mirrored writes and epoch commits.
+    pub fn set_chaos(&mut self, chaos: ChaosHandle) {
+        self.chaos = chaos;
     }
 
     /// Switch this mirror to the delta-chain manifest ring: commits seal
@@ -258,60 +269,96 @@ impl Mirror {
         &mut self,
         primary: &mut NvmfConnection,
         primary_base: u64,
-        writes: Vec<(u64, Bytes)>,
+        mut writes: Vec<(u64, Bytes)>,
     ) -> Result<(), InitiatorError> {
         if writes.is_empty() {
             return Ok(());
         }
-        // Epoch trace context: the write belongs to the epoch being built
-        // (one past the last sealed one); every fabric/ssd event under
-        // this frame carries it.
-        let _epoch = telemetry::context::with_epoch(self.epoch + 1);
-        let timer = self.metrics.mirror_ns.time();
-        let mut mirrored = Vec::with_capacity(writes.len());
-        let mut total = 0u64;
-        for (offset, data) in writes {
-            let crc = crc32(&data);
-            self.map.record(offset, data.len() as u64, crc);
-            total += data.len() as u64;
-            mirrored.push(MirroredWrite {
-                primary_offset: primary_base + offset,
-                replica_offset: offset,
-                data,
-                crc,
-            });
+        // Crash-universe gate, one index per element. When the crash
+        // lands at element `i`, elements before it still reach both
+        // copies, element `i` reaches the primary only (its replica DMA
+        // never completed), and the rest of the batch is lost — the most
+        // asymmetric state a mid-batch power cut can leave.
+        let mut tail = None;
+        if self.chaos.is_crash_armed() {
+            for i in 0..writes.len() {
+                if self.chaos.crash_fire(CrashOp::MirrorWrite) {
+                    tail = Some(writes.split_off(i));
+                    break;
+                }
+            }
         }
-        let spans: Vec<(u64, u64)> = mirrored
-            .iter()
-            .map(|w| (w.replica_offset, w.data.len() as u64))
-            .collect();
-        if self.degraded {
-            // Replica already stale — write the primary alone and queue
-            // the spans for the next resync attempt.
-            let plain = mirrored
-                .into_iter()
-                .map(|w| (w.primary_offset, w.data, w.crc))
+        if !writes.is_empty() {
+            // Epoch trace context: the write belongs to the epoch being
+            // built (one past the last sealed one); every fabric/ssd
+            // event under this frame carries it.
+            let _epoch = telemetry::context::with_epoch(self.epoch + 1);
+            let timer = self.metrics.mirror_ns.time();
+            let mut mirrored = Vec::with_capacity(writes.len());
+            let mut total = 0u64;
+            for (offset, data) in writes {
+                let crc = crc32(&data);
+                self.map.record(offset, data.len() as u64, crc);
+                total += data.len() as u64;
+                mirrored.push(MirroredWrite {
+                    primary_offset: primary_base + offset,
+                    replica_offset: offset,
+                    data,
+                    crc,
+                });
+            }
+            let spans: Vec<(u64, u64)> = mirrored
+                .iter()
+                .map(|w| (w.replica_offset, w.data.len() as u64))
                 .collect();
-            primary.write_vectored_bytes_precrc(plain)?;
-            self.pending_resync.extend(spans);
-            drop(timer);
-            return Ok(());
+            if self.degraded {
+                // Replica already stale — write the primary alone and
+                // queue the spans for the next resync attempt.
+                let plain = mirrored
+                    .into_iter()
+                    .map(|w| (w.primary_offset, w.data, w.crc))
+                    .collect();
+                primary.write_vectored_bytes_precrc(plain)?;
+                self.pending_resync.extend(spans);
+                drop(timer);
+            } else {
+                let outcome = write_mirrored_bytes(primary, &mut self.conn, mirrored)?;
+                drop(timer);
+                if outcome.replica_error.is_some() {
+                    // The window may have partially landed on the
+                    // replica; treat the whole batch as stale.
+                    self.degraded = true;
+                    self.metrics.flight.record(
+                        FlightKind::MirrorDegraded,
+                        0,
+                        0,
+                        spans.len() as u64,
+                        0,
+                    );
+                    self.pending_resync.extend(spans);
+                } else {
+                    self.metrics.bytes.add(total);
+                    self.metrics.flight.record(
+                        FlightKind::MirrorWrite,
+                        0,
+                        0,
+                        total,
+                        spans.len() as u64,
+                    );
+                }
+            }
         }
-        let outcome = write_mirrored_bytes(primary, &mut self.conn, mirrored)?;
-        drop(timer);
-        if outcome.replica_error.is_some() {
-            // The window may have partially landed on the replica; treat
-            // the whole batch as stale.
-            self.degraded = true;
-            self.metrics
-                .flight
-                .record(FlightKind::MirrorDegraded, 0, 0, spans.len() as u64, 0);
-            self.pending_resync.extend(spans);
-        } else {
-            self.metrics.bytes.add(total);
-            self.metrics
-                .flight
-                .record(FlightKind::MirrorWrite, 0, 0, total, spans.len() as u64);
+        if let Some(mut tail) = tail {
+            // The crashed element's primary copy landed; nothing after it
+            // did. The in-memory map dies with the crash, so it is not
+            // updated.
+            let (offset, data) = tail.remove(0);
+            let crc = crc32(&data);
+            primary.write_vectored_bytes_precrc(vec![(primary_base + offset, data, crc)])?;
+            let _ = primary.flush();
+            return Err(InitiatorError::Transport(
+                "crash point: mirror write".into(),
+            ));
         }
         Ok(())
     }
@@ -421,24 +468,29 @@ impl Mirror {
             || self.deltas_since_full >= self.delta_chain_max;
         let mut sealed: Option<(EpochManifest, Vec<u8>)> = None;
         if !full {
-            let last = self.last_entries.as_ref().expect("delta has a diff base");
-            let mut extents = Vec::new();
-            for (offset, len, crc) in self.map.entries() {
-                let crc = crc.ok_or(ManifestError::Dirty { offset })?;
-                if !last.contains(&(offset, len, crc)) {
-                    extents.push(ManifestExtent { offset, len, crc });
+            if let Some(last) = self.last_entries.as_ref() {
+                let mut extents = Vec::new();
+                for (offset, len, crc) in self.map.entries() {
+                    let crc = crc.ok_or(ManifestError::Dirty { offset })?;
+                    if !last.contains(&(offset, len, crc)) {
+                        extents.push(ManifestExtent { offset, len, crc });
+                    }
                 }
-            }
-            let m = EpochManifest {
-                epoch,
-                parent_epoch: self.epoch,
-                extents,
-                whiteouts: self.pending_whiteouts.clone(),
-            };
-            match m.encode_body() {
-                // An oversized delta (pathological churn) compacts instead.
-                Ok(b) if b.len() <= self.layout.body_capacity() => sealed = Some((m, b)),
-                _ => full = true,
+                let m = EpochManifest {
+                    epoch,
+                    parent_epoch: self.epoch,
+                    extents,
+                    whiteouts: self.pending_whiteouts.clone(),
+                };
+                match m.encode_body() {
+                    // An oversized delta (pathological churn) compacts instead.
+                    Ok(b) if b.len() <= self.layout.body_capacity() => sealed = Some((m, b)),
+                    _ => full = true,
+                }
+            } else {
+                // No diff base (should be unreachable given the `full`
+                // computation above): anchor a fresh chain instead.
+                full = true;
             }
         }
         let compaction_timer = (chained && full).then(|| self.metrics.compaction_ns.time());
@@ -463,15 +515,20 @@ impl Mirror {
         let body_crc = crc32(&body);
         let record_crc = crc32(&record);
 
+        // Crash-universe gate for the body phase: the body reaches the
+        // primary but the crash lands before the replica copy or either
+        // commit record — a torn slot restore must treat as invisible.
+        if self.chaos.crash_fire(CrashOp::ManifestBody) {
+            primary.write_vectored_bytes_precrc(vec![(primary_base + body_off, body, body_crc)])?;
+            let _ = primary.flush();
+            return Err(ReplicationError::Fabric(InitiatorError::Transport(
+                "crash point: manifest body".into(),
+            )));
+        }
         if self.degraded {
             // Primary-only commit: the replica stays at its last complete
             // epoch and a replica-based restore will lag.
             primary.write_vectored_bytes_precrc(vec![(primary_base + body_off, body, body_crc)])?;
-            primary.write_vectored_bytes_precrc(vec![(
-                primary_base + record_off,
-                record,
-                record_crc,
-            )])?;
         } else {
             let out = write_mirrored_bytes(
                 primary,
@@ -485,25 +542,42 @@ impl Mirror {
             )?;
             if out.replica_error.is_some() {
                 self.degraded = true;
-                primary.write_vectored_bytes_precrc(vec![(
-                    primary_base + record_off,
-                    record,
-                    record_crc,
-                )])?;
-            } else {
-                let out = write_mirrored_bytes(
-                    primary,
-                    &mut self.conn,
-                    vec![MirroredWrite {
-                        primary_offset: primary_base + record_off,
-                        replica_offset: record_off,
-                        data: record,
-                        crc: record_crc,
-                    }],
-                )?;
-                if out.replica_error.is_some() {
-                    self.degraded = true;
-                }
+            }
+        }
+        // Crash-universe gate for the record phase: the body is durable
+        // on both copies but only the primary's commit record lands —
+        // the replica must fall back to an older complete head while the
+        // primary legitimately serves the new epoch.
+        if self.chaos.crash_fire(CrashOp::CommitRecord) {
+            primary.write_vectored_bytes_precrc(vec![(
+                primary_base + record_off,
+                record,
+                record_crc,
+            )])?;
+            let _ = primary.flush();
+            return Err(ReplicationError::Fabric(InitiatorError::Transport(
+                "crash point: commit record".into(),
+            )));
+        }
+        if self.degraded {
+            primary.write_vectored_bytes_precrc(vec![(
+                primary_base + record_off,
+                record,
+                record_crc,
+            )])?;
+        } else {
+            let out = write_mirrored_bytes(
+                primary,
+                &mut self.conn,
+                vec![MirroredWrite {
+                    primary_offset: primary_base + record_off,
+                    replica_offset: record_off,
+                    data: record,
+                    crc: record_crc,
+                }],
+            )?;
+            if out.replica_error.is_some() {
+                self.degraded = true;
             }
         }
         // The epoch is only real once it is durable.
@@ -1386,9 +1460,12 @@ mod tests {
                 .collect();
             let (mut replica, _, _, _) = m.into_parts();
             let layout = ManifestLayout::chained();
-            let (extents, _) = materialize_chain(&mut replica, FS, layout)
-                .unwrap()
-                .expect("committed chains always materialize");
+            let materialized = materialize_chain(&mut replica, FS, layout).unwrap();
+            prop_assert!(
+                materialized.is_some(),
+                "committed chains always materialize"
+            );
+            let (extents, _) = materialized.unwrap();
             // Same byte set as the equivalent full rewrite...
             let mut got = IntervalSet::new();
             for e in &extents {

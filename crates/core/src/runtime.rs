@@ -157,34 +157,34 @@ struct GrantState {
 /// rank's route points at a private replacement namespace on a partner
 /// failure domain.
 #[derive(Clone)]
-struct RankRoute {
-    target: Arc<NvmfTarget>,
-    ns: NsId,
+pub(crate) struct RankRoute {
+    pub(crate) target: Arc<NvmfTarget>,
+    pub(crate) ns: NsId,
     /// Byte offset of the rank's segment within `ns`.
-    base: u64,
+    pub(crate) base: u64,
     /// Segment size in bytes.
-    size: u64,
+    pub(crate) size: u64,
     /// The storage node holding the bytes (failure-domain bookkeeping).
-    node: NodeId,
+    pub(crate) node: NodeId,
     /// Replication factor 2: the rank's second copy on a partner failure
     /// domain. Its namespace is `size` bytes laid out identically to the
     /// primary segment (partition image at 0, manifest region at the
     /// tail), so either copy can serve a restore.
-    replica: Option<ReplicaRoute>,
+    pub(crate) replica: Option<ReplicaRoute>,
 }
 
 /// Where a rank's replica lives (its own private namespace, base 0).
 #[derive(Clone)]
-struct ReplicaRoute {
-    target: Arc<NvmfTarget>,
-    ns: NsId,
-    node: NodeId,
+pub(crate) struct ReplicaRoute {
+    pub(crate) target: Arc<NvmfTarget>,
+    pub(crate) ns: NsId,
+    pub(crate) node: NodeId,
 }
 
 impl RankRoute {
     /// The microfs partition size: replicated routes reserve the manifest
     /// region at the segment tail.
-    fn fs_size(&self) -> u64 {
+    pub(crate) fn fs_size(&self) -> u64 {
         if self.replica.is_some() {
             self.size - REGION_BYTES
         } else {
@@ -193,25 +193,15 @@ impl RankRoute {
     }
 }
 
-/// How to initialize a route's mirror when (re)connecting a rank.
-enum MirrorInit {
-    /// Fresh format: empty extent map, epoch 0.
-    Fresh,
-    /// The in-memory map is gone (crash or restart) but both copies
-    /// survive: take the epoch from the on-device manifest and rebuild
-    /// the map by rescanning the full primary image — writes made after
-    /// the last commit are on both copies but in no manifest, and a map
-    /// that missed them would silently drop them from future epochs.
-    Rescan,
-}
-
 /// Connect a rank's primary — and, when the route carries a replica, its
-/// mirror — and wrap both in the rank's block device.
+/// fresh mirror (empty extent map, epoch 0) — and wrap both in the rank's
+/// block device. This is the format-time path; reconnecting after a crash
+/// or restart goes through the [`crate::recovery`] typestate chain, which
+/// rebuilds the mirror from the on-device manifests instead.
 fn rank_device(
     route: &RankRoute,
     nqn: &str,
     config: &RuntimeConfig,
-    init: MirrorInit,
 ) -> Result<NvmfBlockDevice, RuntimeError> {
     let initiator = Initiator::with_config(
         nqn.to_string(),
@@ -219,24 +209,12 @@ fn rank_device(
         config.chaos.clone(),
         config.fabric.clone(),
     );
-    let mut conn = initiator.connect(Arc::clone(&route.target), route.ns);
+    let conn = initiator.connect(Arc::clone(&route.target), route.ns);
     let fs_size = route.fs_size();
     let Some(rr) = &route.replica else {
-        return Ok(NvmfBlockDevice::new(conn, route.base, fs_size));
-    };
-    let layout = if config.delta_chain_max > 0 {
-        ManifestLayout::chained()
-    } else {
-        ManifestLayout::standard()
-    };
-    let (epoch, rescan) = match init {
-        MirrorInit::Fresh => (0, false),
-        MirrorInit::Rescan => {
-            let epoch = replication::read_latest_epoch(&mut conn, route.base + fs_size, layout)
-                .map_err(|e| RuntimeError::Replication(e.into()))?
-                .unwrap_or(0);
-            (epoch, true)
-        }
+        let mut dev = NvmfBlockDevice::new(conn, route.base, fs_size);
+        dev.set_chaos(config.chaos.clone());
+        return Ok(dev);
     };
     let ri = Initiator::with_config(
         format!("{nqn}-mirror"),
@@ -246,17 +224,15 @@ fn rank_device(
     );
     let rconn = ri.connect(Arc::clone(&rr.target), rr.ns);
     let mut dev = NvmfBlockDevice::new(conn, route.base, fs_size);
-    let mut mirror = Mirror::with_state(rconn, ExtentMap::new(), epoch, &config.telemetry);
+    dev.set_chaos(config.chaos.clone());
+    let mut mirror = Mirror::with_state(rconn, ExtentMap::new(), 0, &config.telemetry);
+    mirror.set_chaos(config.chaos.clone());
     if config.delta_chain_max > 0 {
-        // The first commit after (re)connect is always full: rescan tiles
-        // the image differently from pre-restart manifests, and a delta
-        // chain must never span a restart boundary.
+        // A fresh mirror anchors the delta lineage at its first (full)
+        // commit; a chain must never span a restart boundary.
         mirror.enable_delta_chain(config.delta_chain_max);
     }
     dev.attach_mirror(mirror);
-    if rescan {
-        dev.rescan_mirror()?;
-    }
     Ok(dev)
 }
 
@@ -357,7 +333,10 @@ impl NvmeCrRuntime {
         for g in &alloc.storage {
             let target = rack
                 .target(g.node, g.ssd)
-                .expect("scheduler granted an existing SSD")
+                .ok_or(BalanceError::UnknownSsd {
+                    node: g.node,
+                    ssd: g.ssd,
+                })?
                 .clone();
             let ns = target.device().create_namespace(config.namespace_bytes)?;
             grants.push(GrantState {
@@ -415,7 +394,6 @@ impl NvmeCrRuntime {
                     route,
                     &format!("nqn.2026-07.io.nvmecr:rank{}", p.rank),
                     &config,
-                    MirrorInit::Fresh,
                 )?;
                 MicroFs::format(dev, config.fs_config())
                     .map(Some)
@@ -540,13 +518,16 @@ impl NvmeCrRuntime {
                 let _span = telemetry::span("driver", "recover_rank").arg("rank", u64::from(rank));
                 let _rank = telemetry::context::with_rank(u64::from(rank));
                 let _t = recover_rank_ns.time();
-                let fs = rank_device(
-                    &route,
-                    &format!("nqn.2026-07.io.nvmecr:rank{rank}-r"),
-                    config,
-                    MirrorInit::Rescan,
+                // The typestate chain: reconnect, replay the log, verify
+                // manifests + rebuild the mirror, and only then serve.
+                let fs = crate::recovery::Crashed::new(
+                    route,
+                    format!("nqn.2026-07.io.nvmecr:rank{rank}-r"),
+                    config.clone(),
                 )
-                .and_then(|dev| MicroFs::mount(dev, config.fs_config()).map_err(RuntimeError::Fs));
+                .begin_replay()
+                .and_then(crate::recovery::Replaying::replay_all)
+                .map(crate::recovery::Verified::serve);
                 (rank, fs)
             })
             .collect();
@@ -751,8 +732,10 @@ impl NvmeCrRuntime {
                 &self.config.telemetry,
             )?;
             let mut dev = NvmfBlockDevice::new(conn, 0, fs_size);
+            dev.set_chaos(self.config.chaos.clone());
             let mut mirror =
                 Mirror::with_state(rconn, outcome.map, outcome.epoch, &self.config.telemetry);
+            mirror.set_chaos(self.config.chaos.clone());
             if self.config.delta_chain_max > 0 {
                 // Restart the lineage: the first post-failover commit is a
                 // full manifest anchoring a fresh chain.
@@ -760,10 +743,16 @@ impl NvmeCrRuntime {
             }
             dev.attach_mirror(mirror);
             // Mount, not format: the restored image is the rank's own
-            // filesystem, byte-verified against the manifest.
-            MicroFs::mount(dev, self.config.fs_config())?
+            // filesystem, byte-verified against the manifest. The mirror
+            // state came from the restore itself, so only the microfs-level
+            // typestate chain runs here (replay is purely in-memory).
+            microfs::recovery::Crashed::new(dev, self.config.fs_config())
+                .begin_replay()?
+                .replay_all()?
+                .serve()
         } else {
-            let dev = NvmfBlockDevice::new(conn, 0, size);
+            let mut dev = NvmfBlockDevice::new(conn, 0, size);
+            dev.set_chaos(self.config.chaos.clone());
             MicroFs::format(dev, self.config.fs_config())?
         };
         self.ranks[rank as usize] = Some(fs);
@@ -821,6 +810,21 @@ impl NvmeCrRuntime {
         // mirror, dead replica shard) must not block the detach — the
         // restart path rescans and falls back to the last complete epoch.
         let _ = self.commit_epochs();
+        self.into_handle()
+    }
+
+    /// Simulate the whole job dying at an arbitrary instant (power loss,
+    /// OOM kill, chaos crash point): every rank's volatile state is
+    /// dropped with *no* final epoch commit, no snapshot, no goodbye.
+    /// The devices keep exactly the bytes that were durable at the moment
+    /// of death; the returned handle reattaches through the full recovery
+    /// path. This is the re-execution primitive the crash-universe
+    /// explorer kills jobs with.
+    pub fn crash_job(self) -> JobHandle {
+        self.into_handle()
+    }
+
+    fn into_handle(mut self) -> JobHandle {
         self.ranks.clear(); // drop every rank's volatile state
         JobHandle {
             grants: self
@@ -857,15 +861,16 @@ impl NvmeCrRuntime {
                 let _span = telemetry::span("driver", "restart_rank").arg("rank", rank as u64);
                 let _rank = telemetry::context::with_rank(rank as u64);
                 let _t = restart_rank_ns.time();
-                let dev = rank_device(
-                    route,
-                    &format!("nqn.2026-07.io.nvmecr:rank{rank}-restart"),
-                    &handle.config,
-                    MirrorInit::Rescan,
-                )?;
-                MicroFs::mount(dev, handle.config.fs_config())
-                    .map(Some)
-                    .map_err(RuntimeError::from)
+                // Same typestate chain as recover_ranks: the restart must
+                // not serve reads before replay + manifest verification.
+                crate::recovery::Crashed::new(
+                    route.clone(),
+                    format!("nqn.2026-07.io.nvmecr:rank{rank}-restart"),
+                    handle.config.clone(),
+                )
+                .begin_replay()
+                .and_then(crate::recovery::Replaying::replay_all)
+                .map(|v| Some(v.serve()))
             })
             .collect::<Result<Vec<_>, RuntimeError>>()?;
         Ok(NvmeCrRuntime {
@@ -1239,7 +1244,9 @@ mod tests {
         let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config).unwrap();
         for rank in 0..rt.rank_count() as usize {
             let route = &rt.routes[rank];
-            let rr = route.replica.as_ref().expect("replica route");
+            let Some(rr) = route.replica.as_ref() else {
+                panic!("rank {rank}: replicated init left no replica route");
+            };
             assert_ne!(rr.node, route.node, "rank {rank}: copies co-located");
             assert!(
                 domains.separated(alloc.rank_nodes[rank], rr.node),

@@ -250,7 +250,26 @@ impl<D: BlockDevice> MicroFs<D> {
 
     /// Mount an existing partition: load the newest snapshot and replay the
     /// operation log — the recovery path of §III-E.
-    pub fn mount(mut dev: D, config: FsConfig) -> Result<Self, FsError> {
+    ///
+    /// Equivalent to driving the [typestate recovery
+    /// API](crate::recovery::Crashed) end to end; use that instead when the
+    /// caller needs the replay boundary to be visible in the types (e.g. to
+    /// interpose replica verification before the instance serves reads).
+    pub fn mount(dev: D, config: FsConfig) -> Result<Self, FsError> {
+        let (mut fs, records) = Self::mount_prepare(dev, config)?;
+        fs.replay_records(&records)?;
+        Ok(fs)
+    }
+
+    /// First half of `mount`: read the superblock, load the newest
+    /// snapshot, scan the log. The returned instance holds the snapshot
+    /// state only — the scanned records are *not yet applied*, so the
+    /// instance must not serve reads until [`replay_records`]
+    /// (`Self::replay_records`) runs.
+    pub(crate) fn mount_prepare(
+        mut dev: D,
+        config: FsConfig,
+    ) -> Result<(Self, Vec<LogRecord>), FsError> {
         let sb = dev
             .read_vec(0, SUPERBLOCK_LEN as usize)
             .map_err(|e| FsError::Io(e.to_string()))?;
@@ -265,9 +284,8 @@ impl<D: BlockDevice> MicroFs<D> {
             .ok_or_else(|| FsError::Io("no valid snapshot found".into()))?;
         let (records, scan_end) =
             Wal::scan(&mut dev, layout.log_offset, layout.log_size, generation)?;
-        let replayed = records.len() as u64;
         let metrics = FsMetrics::new(&config.telemetry);
-        let mut fs = MicroFs {
+        let fs = MicroFs {
             dev,
             layout,
             config: config.clone(),
@@ -294,17 +312,26 @@ impl<D: BlockDevice> MicroFs<D> {
                 .cow_epochs
                 .then(|| crate::cow::CowTracker::new(&config.telemetry)),
         };
+        Ok((fs, records))
+    }
+
+    /// Second half of `mount`: apply the scanned log records to the
+    /// snapshot state. Replay is purely in-memory (every device write in
+    /// the shared mutation helpers is gated on `live`), so it is safe to
+    /// run before any mirror is attached to the device.
+    pub(crate) fn replay_records(&mut self, records: &[LogRecord]) -> Result<(), FsError> {
+        let replayed = records.len() as u64;
         {
             let _span = telemetry::span("microfs", "replay").arg("records", replayed);
-            let replay_ns = Arc::clone(&fs.metrics.replay_ns);
+            let replay_ns = Arc::clone(&self.metrics.replay_ns);
             let _t = replay_ns.time();
-            for rec in &records {
-                fs.replay(rec)?;
+            for rec in records {
+                self.replay(rec)?;
             }
         }
-        fs.metrics.replay_records.add(replayed);
-        fs.stats.replayed_records = replayed;
-        Ok(fs)
+        self.metrics.replay_records.add(replayed);
+        self.stats.replayed_records = replayed;
+        Ok(())
     }
 
     /// The device (for inspection in tests; consumes nothing).

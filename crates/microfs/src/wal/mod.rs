@@ -16,7 +16,7 @@
 pub mod coalesce;
 pub mod record;
 
-use chaos::{ChaosHandle, FaultAction, FaultSite};
+use chaos::{ChaosHandle, CrashOp, FaultAction, FaultSite};
 
 use crate::block::BlockDevice;
 use crate::error::FsError;
@@ -156,6 +156,12 @@ impl Wal {
             dev.write_at(device_pos, &bytes[..keep])
                 .map_err(|e| FsError::Io(e.to_string()))?;
             return Err(FsError::Io("torn WAL append (injected power fail)".into()));
+        }
+        // Crash-universe gate: the append dies before any byte lands, so
+        // recovery sees the log exactly as it was before this call. `pos`
+        // is not advanced.
+        if self.chaos.crash_fire(CrashOp::WalAppend) {
+            return Err(FsError::Io("crash point: WAL append".into()));
         }
         dev.write_at(device_pos, &bytes)
             .map_err(|e| FsError::Io(e.to_string()))?;

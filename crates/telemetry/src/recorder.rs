@@ -75,6 +75,10 @@ pub enum FlightKind {
     Failover = 17,
     /// Recorder: a trip fired (argument `a` holds the cause kind's code).
     Trip = 18,
+    /// Chaos: the crash-universe mode killed the stack at an exact global
+    /// durability-op index (trip; `a` holds the op kind's code, `b` the
+    /// global op index).
+    CrashPoint = 19,
 }
 
 impl FlightKind {
@@ -105,6 +109,7 @@ impl FlightKind {
             16 => RollbackRestore,
             17 => Failover,
             18 => Trip,
+            19 => CrashPoint,
             _ => return None,
         })
     }
@@ -130,6 +135,7 @@ impl FlightKind {
             FlightKind::RollbackRestore => "rollback_restore",
             FlightKind::Failover => "failover",
             FlightKind::Trip => "trip",
+            FlightKind::CrashPoint => "crash_point",
         }
     }
 }
@@ -491,7 +497,7 @@ mod tests {
 
     #[test]
     fn kind_codes_roundtrip() {
-        for code in 1..=18u64 {
+        for code in 1..=19u64 {
             let k = FlightKind::from_code(code).unwrap();
             assert_eq!(k.code(), code);
             assert!(!k.name().is_empty());
