@@ -115,6 +115,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ranks: cfg.ranks,
         replication_factor: 2,
         delta_chain_max: 4,
+        mode: "rayon",
+        reactors: 0,
     }));
     let _ = writeln!(json, "  \"seed\": {},", cfg.seed);
     let _ = writeln!(

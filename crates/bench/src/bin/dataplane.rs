@@ -31,8 +31,18 @@
 //! this host may be a single pinned core, where thread-level speedup is
 //! unobservable by construction.)
 //!
+//! **Reactor mode** (`--mode reactor`): the same 28-rank QD=32 point
+//! driven through the shard-per-core [`nvmecr::ReactorPool`] instead of a
+//! thread per rank (its modeled throughput must stay within 5% of the
+//! rayon drive — the reactor refactor buys scale, not a different data
+//! plane), plus a simkit [`ShardModel`] sweep of 1k–10k *virtual* ranks
+//! multiplexed on the paper testbed's 28 cores. Gates: flat per-rank
+//! makespan (≤1.2× the 28-rank per-rank cost) and sub-linear memory
+//! (reactor bookkeeping and process RSS both grow slower than ranks).
+//!
 //! `--smoke --qd N` runs a reduced QD sweep (`{1, N}` at 1 MiB/rank) for
-//! CI; the ≥3× QD=32-vs-QD=1 self-validation still applies.
+//! CI; the ≥3× QD=32-vs-QD=1 self-validation still applies. Reactor-mode
+//! smoke sweeps `{28, --ranks}` virtual ranks.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -40,9 +50,14 @@ use std::fmt::Write as _;
 use cluster::{JobRequest, Scheduler, Topology};
 use fabric::{KernelCosts, NetConfig};
 use microfs::block::{BlockDevice, IoCounters};
-use nvmecr::runtime::{NvmeCrRuntime, StorageRack};
-use nvmecr::RuntimeConfig;
+use microfs::MicroFs;
+use nvmecr::runtime::{NvmeCrRuntime, RuntimeError, StorageRack};
+use nvmecr::{
+    MachineStep, NvmfBlockDevice, RankMachine, ReactorConfig, ReactorMode, ReactorPool,
+    RuntimeConfig,
+};
 use nvmecr_bench::stamp;
+use simkit::ShardModel;
 use ssd::SsdConfig;
 use telemetry::Telemetry;
 use workloads::CoMD;
@@ -58,11 +73,87 @@ const QD_RANKS: u32 = 28;
 const QD_BLOCK: u64 = 4 << 10;
 const SMOKE_BYTES_PER_RANK: u64 = 1 << 20;
 
+/// Virtual-rank counts the reactor sweep covers in a full run; the last
+/// entry is raised to `--ranks` when larger.
+const REACTOR_SWEEP: [usize; 4] = [28, 1024, 4096, 10_000];
+
+/// How `run_point` pushes ranks through the data plane.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Drive {
+    /// One rayon worker per rank (the PR 2 thread-per-rank path).
+    Rayon,
+    /// All ranks multiplexed onto the shard-per-core reactor pool.
+    Reactor,
+}
+
 /// Per-rank IO measured off the data plane, tagged with the SSD that
 /// serviced it.
 struct RankIo {
     ssd: (u32, u32),
     counters: IoCounters,
+}
+
+/// One rank's checkpoint as a reactor state machine: create the file,
+/// then write it one 1 MiB hugeblock-batch per step — the same chunking
+/// the rayon drive uses, so both drives issue identical IO streams.
+struct ChunkWriter {
+    comd: CoMD,
+    ckpt: u32,
+    bytes_per_rank: u64,
+    state: WriterState,
+}
+
+enum WriterState {
+    Start,
+    Writing {
+        fd: u32,
+        payload: Vec<u8>,
+        off: usize,
+    },
+}
+
+impl RankMachine<MicroFs<NvmfBlockDevice>> for ChunkWriter {
+    type Out = ();
+
+    fn step(
+        &mut self,
+        rank: u32,
+        fs: &mut MicroFs<NvmfBlockDevice>,
+    ) -> Result<MachineStep<()>, RuntimeError> {
+        match &mut self.state {
+            WriterState::Start => {
+                if self.ckpt == 0 {
+                    fs.mkdir("/comd", 0o755).ok();
+                }
+                fs.mkdir(&format!("/comd/ckpt_{:03}", self.ckpt), 0o755)?;
+                let payload =
+                    self.comd
+                        .checkpoint_payload(rank, self.ckpt, self.bytes_per_rank as usize);
+                let fd = fs.create(&CoMD::checkpoint_path(rank, self.ckpt), 0o644)?;
+                self.state = WriterState::Writing {
+                    fd,
+                    payload,
+                    off: 0,
+                };
+                Ok(MachineStep::Yield)
+            }
+            WriterState::Writing { fd, payload, off } => {
+                let end = (*off + (1 << 20)).min(payload.len());
+                fs.write(*fd, &payload[*off..end])?;
+                *off = end;
+                if *off < payload.len() {
+                    return Ok(MachineStep::Yield);
+                }
+                fs.fsync(*fd)?;
+                fs.close(*fd)?;
+                Ok(MachineStep::Done(()))
+            }
+        }
+    }
+
+    fn next_cost(&self) -> u64 {
+        1 << 20
+    }
 }
 
 /// Device service time in seconds for one rank's measured IO stream:
@@ -83,6 +174,33 @@ struct Point {
     lock_wait_ns: u64,
 }
 
+/// Read one rank's last checkpoint back and compare it byte-for-byte.
+fn verify_rank(
+    comd: &CoMD,
+    fs: &mut MicroFs<NvmfBlockDevice>,
+    rank: u32,
+    ckpt: u32,
+    bytes_per_rank: u64,
+) -> Result<bool, RuntimeError> {
+    let expect = comd.checkpoint_payload(rank, ckpt, bytes_per_rank as usize);
+    let fd = fs.open(
+        &CoMD::checkpoint_path(rank, ckpt),
+        microfs::OpenFlags::RDONLY,
+        0,
+    )?;
+    let mut buf = vec![0u8; expect.len()];
+    let mut got = 0;
+    while got < buf.len() {
+        let n = fs.read(fd, &mut buf[got..])?;
+        if n == 0 {
+            break;
+        }
+        got += n;
+    }
+    fs.close(fd)?;
+    Ok(buf == expect)
+}
+
 /// Really drive `ranks` ranks through one checkpoint+verify round at the
 /// given block size and window depth, and measure the per-rank IO. The
 /// returned snapshot covers exactly this run (`fabric.submit_ns` etc.).
@@ -93,6 +211,7 @@ fn run_point(
     queue_depth: usize,
     bytes_per_rank: u64,
     recorder_on: bool,
+    drive: Drive,
 ) -> Result<(Vec<RankIo>, telemetry::MetricsSnapshot), Box<dyn std::error::Error>> {
     let topo = Topology::paper_testbed();
     // Per-point registry: the copy/lock-wait/submit-latency numbers below
@@ -121,42 +240,54 @@ fn run_point(
     let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config)?;
     let comd = CoMD::weak_scaling();
 
+    let reactor_cfg = ReactorConfig {
+        mode: ReactorMode::Threaded,
+        ..ReactorConfig::default()
+    };
     for ckpt in 0..CKPTS {
-        rt.for_each_rank_par(|rank, fs| {
-            if ckpt == 0 {
-                fs.mkdir("/comd", 0o755).ok();
+        match drive {
+            Drive::Rayon => rt.for_each_rank_par(|rank, fs| {
+                if ckpt == 0 {
+                    fs.mkdir("/comd", 0o755).ok();
+                }
+                fs.mkdir(&format!("/comd/ckpt_{ckpt:03}"), 0o755)?;
+                let payload = comd.checkpoint_payload(rank, ckpt, bytes_per_rank as usize);
+                let fd = fs.create(&CoMD::checkpoint_path(rank, ckpt), 0o644)?;
+                for chunk in payload.chunks(1 << 20) {
+                    fs.write(fd, chunk)?;
+                }
+                fs.fsync(fd)?;
+                fs.close(fd)?;
+                Ok(())
+            })?,
+            Drive::Reactor => {
+                rt.drive_reactor(
+                    &reactor_cfg,
+                    |_| 0,
+                    |_| {
+                        Box::new(ChunkWriter {
+                            comd: comd.clone(),
+                            ckpt,
+                            bytes_per_rank,
+                            state: WriterState::Start,
+                        })
+                    },
+                )?;
             }
-            fs.mkdir(&format!("/comd/ckpt_{ckpt:03}"), 0o755)?;
-            let payload = comd.checkpoint_payload(rank, ckpt, bytes_per_rank as usize);
-            let fd = fs.create(&CoMD::checkpoint_path(rank, ckpt), 0o644)?;
-            for chunk in payload.chunks(1 << 20) {
-                fs.write(fd, chunk)?;
-            }
-            fs.fsync(fd)?;
-            fs.close(fd)?;
-            Ok(())
-        })?;
+        }
     }
     let last = CKPTS - 1;
-    let ok = rt.map_ranks_par(|rank, fs| {
-        let expect = comd.checkpoint_payload(rank, last, bytes_per_rank as usize);
-        let fd = fs.open(
-            &CoMD::checkpoint_path(rank, last),
-            microfs::OpenFlags::RDONLY,
-            0,
-        )?;
-        let mut buf = vec![0u8; expect.len()];
-        let mut got = 0;
-        while got < buf.len() {
-            let n = fs.read(fd, &mut buf[got..])?;
-            if n == 0 {
-                break;
-            }
-            got += n;
+    let ok = match drive {
+        Drive::Rayon => {
+            rt.map_ranks_par(|rank, fs| verify_rank(&comd, fs, rank, last, bytes_per_rank))?
         }
-        fs.close(fd)?;
-        Ok(buf == expect)
-    })?;
+        Drive::Reactor => {
+            let comd = comd.clone();
+            rt.map_ranks_reactor(&reactor_cfg, move |rank, fs| {
+                verify_rank(&comd, fs, rank, last, bytes_per_rank)
+            })?
+        }
+    };
     if !ok.iter().all(|&v| v) {
         return Err("payload verification failed".into());
     }
@@ -191,6 +322,7 @@ fn rank_point(ranks: u32, ssd_config: &SsdConfig) -> Result<Point, Box<dyn std::
         RuntimeConfig::default().fabric.queue_depth,
         BYTES_PER_RANK,
         true,
+        Drive::Rayon,
     )?;
     let serial_secs: f64 = io
         .iter()
@@ -292,8 +424,17 @@ fn qd_point(
     qd: usize,
     ssd_config: &SsdConfig,
     bytes_per_rank: u64,
-) -> Result<QdPoint, Box<dyn std::error::Error>> {
-    let (io, snap) = run_point(QD_RANKS, ssd_config, QD_BLOCK, qd, bytes_per_rank, true)?;
+    drive: Drive,
+) -> Result<(QdPoint, telemetry::MetricsSnapshot), Box<dyn std::error::Error>> {
+    let (io, snap) = run_point(
+        QD_RANKS,
+        ssd_config,
+        QD_BLOCK,
+        qd,
+        bytes_per_rank,
+        true,
+        drive,
+    )?;
     let net = NetConfig::default();
     let kern = KernelCosts::default();
     let mut per_ssd: HashMap<(u32, u32), Vec<&IoCounters>> = HashMap::new();
@@ -309,7 +450,7 @@ fn qd_point(
     let submits = snap
         .histogram("fabric.submit_ns")
         .ok_or("no fabric.submit_ns histogram in run telemetry")?;
-    Ok(QdPoint {
+    let point = QdPoint {
         qd,
         write_makespan_secs: write_makespan,
         write_gib_s: total_bytes as f64 / write_makespan / (1u64 << 30) as f64,
@@ -317,7 +458,148 @@ fn qd_point(
         submit_count: submits.count,
         submit_p50_ns: submits.percentile(50.0),
         submit_p99_ns: submits.percentile(99.0),
+    };
+    Ok((point, snap))
+}
+
+/// Resident set size in KiB from `/proc/self/statm` (0 where unreadable,
+/// e.g. non-Linux — the RSS gate then skips itself).
+fn rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/statm")
+        .ok()
+        .and_then(|s| {
+            s.split_whitespace()
+                .nth(1)
+                .and_then(|pages| pages.parse::<u64>().ok())
+        })
+        .map(|pages| pages * 4)
+        .unwrap_or(0)
+}
+
+/// The 28-rank QD=32 point driven both ways through the real stack.
+struct ParityPoint {
+    rayon_gib_s: f64,
+    reactor_gib_s: f64,
+    reactor_events: u64,
+    reactor_loops: u64,
+}
+
+/// One virtual-rank sweep point from the simkit shard model, paired with
+/// the reactor pool's modeled bookkeeping bytes and the process RSS right
+/// after the simulation.
+struct VirtualPoint {
+    ranks: usize,
+    makespan_ms: f64,
+    per_rank_us: f64,
+    gib_s: f64,
+    footprint_bytes: u64,
+    rss_kb: u64,
+}
+
+struct ReactorData {
+    reactors: usize,
+    parity: ParityPoint,
+    sweep: Vec<VirtualPoint>,
+}
+
+/// Drive the real 28-rank QD=32 point through both drives and sweep the
+/// shard model through the virtual rank counts.
+fn reactor_section(
+    ssd_config: &SsdConfig,
+    bytes_per_rank: u64,
+    rank_counts: &[usize],
+) -> Result<ReactorData, Box<dyn std::error::Error>> {
+    let qd = 32;
+    let (rayon_pt, _) = qd_point(qd, ssd_config, bytes_per_rank, Drive::Rayon)?;
+    let (reactor_pt, snap) = qd_point(qd, ssd_config, bytes_per_rank, Drive::Reactor)?;
+    let parity = ParityPoint {
+        rayon_gib_s: rayon_pt.write_gib_s,
+        reactor_gib_s: reactor_pt.write_gib_s,
+        reactor_events: snap.counter("reactor.events"),
+        reactor_loops: snap.counter("reactor.loops"),
+    };
+    println!(
+        "reactor parity: rayon={:.3}GiB/s  reactor={:.3}GiB/s  events={}  loops={}",
+        parity.rayon_gib_s, parity.reactor_gib_s, parity.reactor_events, parity.reactor_loops
+    );
+
+    let model = ShardModel::default();
+    let mut sweep = Vec::new();
+    for &ranks in rank_counts {
+        let r = model.simulate(ranks)?;
+        let p = VirtualPoint {
+            ranks,
+            makespan_ms: r.makespan.as_secs() * 1e3,
+            per_rank_us: r.per_rank_secs * 1e6,
+            gib_s: r.gib_per_sec(),
+            footprint_bytes: ReactorPool::footprint_bytes(model.reactors, ranks as u64),
+            rss_kb: rss_kb(),
+        };
+        println!(
+            "reactor ranks={:5}  makespan={:9.3}ms  per_rank={:7.3}us  {:6.3}GiB/s  \
+             footprint={}B  rss={}KiB",
+            p.ranks, p.makespan_ms, p.per_rank_us, p.gib_s, p.footprint_bytes, p.rss_kb
+        );
+        sweep.push(p);
+    }
+    Ok(ReactorData {
+        reactors: model.reactors,
+        parity,
+        sweep,
     })
+}
+
+/// Self-validation of the reactor section; any violation fails the bench.
+fn gate_reactor(data: &ReactorData) -> Result<(), Box<dyn std::error::Error>> {
+    let p = &data.parity;
+    let delta = (p.reactor_gib_s - p.rayon_gib_s).abs() / p.rayon_gib_s;
+    if delta > 0.05 {
+        return Err(format!(
+            "reactor drive {:.3} GiB/s vs rayon {:.3} GiB/s: {:.1}% apart (> 5%)",
+            p.reactor_gib_s,
+            p.rayon_gib_s,
+            delta * 100.0
+        )
+        .into());
+    }
+    if p.reactor_events == 0 || p.reactor_loops == 0 {
+        return Err("reactor drive published no reactor.events/loops".into());
+    }
+    let base = data.sweep.first().ok_or("reactor sweep is empty")?;
+    for pt in &data.sweep {
+        if pt.per_rank_us > base.per_rank_us * 1.2 {
+            return Err(format!(
+                "per-rank makespan at {} ranks is {:.3}us, over 1.2x the {}-rank {:.3}us",
+                pt.ranks, pt.per_rank_us, base.ranks, base.per_rank_us
+            )
+            .into());
+        }
+    }
+    for w in data.sweep.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        let rank_growth = b.ranks as f64 / a.ranks as f64;
+        let fp_growth = b.footprint_bytes as f64 / a.footprint_bytes as f64;
+        if fp_growth >= rank_growth {
+            return Err(format!(
+                "reactor footprint grew {fp_growth:.2}x from {} to {} ranks (ranks grew \
+                 {rank_growth:.2}x) — not sub-linear",
+                a.ranks, b.ranks
+            )
+            .into());
+        }
+        if a.rss_kb > 0 && b.rss_kb > 0 {
+            let rss_growth = b.rss_kb as f64 / a.rss_kb as f64;
+            if rss_growth >= rank_growth {
+                return Err(format!(
+                    "process RSS grew {rss_growth:.2}x from {} to {} ranks (ranks grew \
+                     {rank_growth:.2}x) — not sub-linear",
+                    a.ranks, b.ranks
+                )
+                .into());
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Real time the fabric spent in command submission paths over one run —
@@ -338,6 +620,7 @@ fn submit_ns_sum(
         qd,
         bytes_per_rank,
         recorder_on,
+        Drive::Rayon,
     )?;
     Ok(snap
         .histogram("fabric.submit_ns")
@@ -372,14 +655,31 @@ fn recorder_overhead_pct(
     Ok((on.saturating_sub(off) as f64 / off as f64) * 100.0)
 }
 
-fn write_dataplane_json(points: &[Point]) -> Result<(), Box<dyn std::error::Error>> {
+fn write_dataplane_json(
+    points: &[Point],
+    reactor: Option<&ReactorData>,
+) -> Result<(), Box<dyn std::error::Error>> {
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"dataplane\",\n");
+    let (mode, reactors, max_ranks) = match reactor {
+        Some(r) => (
+            if points.is_empty() {
+                "reactor"
+            } else {
+                "rayon+reactor"
+            },
+            r.reactors as u32,
+            r.sweep.last().map_or(0, |p| p.ranks as u32),
+        ),
+        None => ("rayon", 0, SWEEP[SWEEP.len() - 1]),
+    };
     json.push_str(&stamp::meta_line(&stamp::Fingerprint {
         queue_depth: RuntimeConfig::default().fabric.queue_depth,
-        ranks: SWEEP[SWEEP.len() - 1],
+        ranks: max_ranks.max(SWEEP[SWEEP.len() - 1]),
         replication_factor: 1,
         delta_chain_max: 0,
+        mode,
+        reactors,
     }));
     json.push_str(
         "  \"unit\": \"seconds (device-time makespan, calibrated P4800X model over measured IO)\",\n",
@@ -420,7 +720,28 @@ fn write_dataplane_json(points: &[Point]) -> Result<(), Box<dyn std::error::Erro
             p.ranks, p.shards, p.bytes_copied, p.lock_wait_ns
         );
     }
-    json.push_str("]\n}\n");
+    json.push(']');
+    if let Some(r) = reactor {
+        let p = &r.parity;
+        let _ = write!(
+            json,
+            ",\n  \"reactor\": {{\n    \"reactors\": {},\n    \"parity_qd32\": \
+             {{\"rayon_gib_s\": {:.3}, \"reactor_gib_s\": {:.3}, \"reactor_events\": {}, \
+             \"reactor_loops\": {}}},\n    \"virtual_sweep\": [\n",
+            r.reactors, p.rayon_gib_s, p.reactor_gib_s, p.reactor_events, p.reactor_loops
+        );
+        for (i, pt) in r.sweep.iter().enumerate() {
+            let sep = if i + 1 == r.sweep.len() { "" } else { "," };
+            let _ = writeln!(
+                json,
+                "      {{\"ranks\": {}, \"makespan_ms\": {:.3}, \"per_rank_us\": {:.3}, \
+                 \"gib_s\": {:.3}, \"footprint_bytes\": {}, \"rss_kb\": {}}}{sep}",
+                pt.ranks, pt.makespan_ms, pt.per_rank_us, pt.gib_s, pt.footprint_bytes, pt.rss_kb
+            );
+        }
+        json.push_str("    ]\n  }");
+    }
+    json.push_str("\n}\n");
     std::fs::write("BENCH_dataplane.json", &json)?;
     println!("wrote BENCH_dataplane.json");
     Ok(())
@@ -438,6 +759,8 @@ fn write_pipeline_json(
         ranks: QD_RANKS,
         replication_factor: 1,
         delta_chain_max: 0,
+        mode: "rayon",
+        reactors: 0,
     }));
     json.push_str(
         "  \"unit\": \"GiB/s (write throughput over modeled makespan of measured IO per window depth)\",\n",
@@ -479,6 +802,8 @@ fn write_pipeline_json(
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut smoke = false;
     let mut qd_arg = 32usize;
+    let mut reactor_only = false;
+    let mut ranks_arg = 10_000usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -493,6 +818,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     return Err("--qd must be >= 1".into());
                 }
             }
+            "--mode" => {
+                reactor_only = match args.next().ok_or("--mode needs a value")?.as_str() {
+                    "reactor" => true,
+                    "rayon" => false,
+                    other => {
+                        return Err(format!("--mode must be rayon or reactor, got {other}").into())
+                    }
+                };
+            }
+            "--ranks" => {
+                ranks_arg = args
+                    .next()
+                    .ok_or("--ranks needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--ranks: {e}"))?;
+                if ranks_arg == 0 {
+                    return Err("--ranks must be >= 1".into());
+                }
+            }
             other => return Err(format!("unknown argument {other}").into()),
         }
     }
@@ -501,6 +845,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         capacity: 16 << 30,
         ..SsdConfig::default()
     };
+
+    // Reactor-only mode: the parity point, the virtual-rank sweep and the
+    // scaling gates — the CI `reactor-smoke` path.
+    if reactor_only {
+        let (counts, bytes_per_rank): (Vec<usize>, u64) = if smoke {
+            (vec![28, ranks_arg], SMOKE_BYTES_PER_RANK)
+        } else {
+            let mut counts = REACTOR_SWEEP.to_vec();
+            let last = counts.len() - 1;
+            counts[last] = counts[last].max(ranks_arg);
+            (counts, BYTES_PER_RANK)
+        };
+        let data = reactor_section(&ssd_config, bytes_per_rank, &counts)?;
+        write_dataplane_json(&[], Some(&data))?;
+        return gate_reactor(&data);
+    }
 
     if !smoke {
         let mut points = Vec::new();
@@ -519,7 +879,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
             points.push(p);
         }
-        write_dataplane_json(&points)?;
+        // Full runs fold the reactor section into the same artifact so
+        // BENCH_dataplane.json always carries the scale story.
+        let mut counts = REACTOR_SWEEP.to_vec();
+        let last_i = counts.len() - 1;
+        counts[last_i] = counts[last_i].max(ranks_arg);
+        let data = reactor_section(&ssd_config, BYTES_PER_RANK, &counts)?;
+        write_dataplane_json(&points, Some(&data))?;
+        gate_reactor(&data)?;
         let last = points.last().expect("sweep is non-empty");
         let speedup = last.serial_secs / last.parallel_secs;
         if speedup < 2.0 {
@@ -540,7 +907,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let mut qd_points = Vec::new();
     for &qd in &qds {
-        let p = qd_point(qd, &ssd_config, bytes_per_rank)?;
+        let (p, _) = qd_point(qd, &ssd_config, bytes_per_rank, Drive::Rayon)?;
         println!(
             "qd={:2}  write_makespan={:.3}ms  write={:.3}GiB/s  cmds={}  \
              submit_ns[n={} p50={} p99={}]",

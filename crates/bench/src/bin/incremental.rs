@@ -69,6 +69,7 @@ fn run_strategy(
             queue_depth: QD,
             replication_factor: 2,
             delta_chain_max: if cow { DELTA_CHAIN_MAX } else { 0 },
+            ..FunctionalTuning::default()
         },
         fail_over: cow,
     };
@@ -155,6 +156,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ranks,
         replication_factor: 2,
         delta_chain_max: DELTA_CHAIN_MAX,
+        mode: "rayon",
+        reactors: 0,
     }));
     json.push_str(
         "  \"unit\": \"device write bytes (steady-state rounds, measured at the SSDs)\",\n",

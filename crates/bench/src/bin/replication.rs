@@ -267,6 +267,8 @@ fn write_json(
         ranks,
         replication_factor: 2,
         delta_chain_max: 0,
+        mode: "rayon",
+        reactors: 0,
     }));
     json.push_str(
         "  \"unit\": \"seconds (device-time makespan, calibrated P4800X model over measured IO)\",\n",

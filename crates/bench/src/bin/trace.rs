@@ -71,6 +71,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ranks: procs,
         replication_factor: 1,
         delta_chain_max: 0,
+        mode: "rayon",
+        reactors: 0,
     }));
     let _ = writeln!(
         out,

@@ -25,6 +25,11 @@ pub struct Fingerprint {
     pub replication_factor: u32,
     /// Delta-chain length cap (0 = full manifests only).
     pub delta_chain_max: u32,
+    /// How ranks were driven: `"rayon"` (thread per rank), `"reactor"`
+    /// (shard-per-core multiplexing), or `"serial"`.
+    pub mode: &'static str,
+    /// Reactor cores for `"reactor"` runs (0 = not applicable).
+    pub reactors: u32,
 }
 
 /// Short git commit hash of the working tree, or `"unknown"` outside a
@@ -49,12 +54,14 @@ pub fn meta_line(fp: &Fingerprint) -> String {
         out,
         "  \"meta\": {{\"schema_version\": {SCHEMA_VERSION}, \"git_commit\": \"{}\", \
          \"fingerprint\": {{\"queue_depth\": {}, \"ranks\": {}, \"replication_factor\": {}, \
-         \"delta_chain_max\": {}}}}},",
+         \"delta_chain_max\": {}, \"mode\": \"{}\", \"reactors\": {}}}}},",
         git_commit(),
         fp.queue_depth,
         fp.ranks,
         fp.replication_factor,
         fp.delta_chain_max,
+        fp.mode,
+        fp.reactors,
     );
     out
 }
@@ -71,6 +78,8 @@ mod tests {
             ranks: 28,
             replication_factor: 2,
             delta_chain_max: 8,
+            mode: "reactor",
+            reactors: 28,
         };
         let doc = format!("{{\n  \"bench\": \"x\",\n{}  \"y\": 1\n}}", meta_line(&fp));
         let v = json::parse(&doc).unwrap();
@@ -83,6 +92,8 @@ mod tests {
         let f = meta.get("fingerprint").unwrap();
         assert_eq!(f.get("queue_depth").unwrap().as_num(), Some(32.0));
         assert_eq!(f.get("replication_factor").unwrap().as_num(), Some(2.0));
+        assert_eq!(f.get("mode").unwrap().as_str(), Some("reactor"));
+        assert_eq!(f.get("reactors").unwrap().as_num(), Some(28.0));
     }
 
     #[test]

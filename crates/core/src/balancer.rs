@@ -14,8 +14,9 @@
 //! itself; a violating allocation is rejected.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-use cluster::{Comm, CommWorld, FailureDomains, JobAllocation, NodeId, Topology};
+use cluster::{Comm, CommWorld, DomainId, FailureDomains, JobAllocation, NodeId, Topology};
 use simkit::stats::coefficient_of_variation;
 
 /// Placement failures.
@@ -206,6 +207,146 @@ impl<'a> StorageBalancer<'a> {
     }
 }
 
+/// Candidate storage nodes grouped by failure domain.
+///
+/// Placement and failover used to scan the whole candidate list linearly
+/// for every rank — O(ranks × namespaces) once the rack holds thousands of
+/// namespaces. The index buckets candidates by domain once
+/// (O(candidates)), after which a lookup probes O(domains) buckets — a
+/// handful of racks — no matter how many namespaces each domain holds.
+/// Domain separation is a property of the *domain*, not the node
+/// ([`FailureDomains::separated`] compares `domain_of` only), so an entire
+/// bucket qualifies or is skipped with a single probe.
+#[derive(Debug)]
+pub struct DomainIndex {
+    /// `(position in the candidate list, node)` per domain, indexed by
+    /// `DomainId.0`. Buckets keep candidate order, so "first valid
+    /// candidate" agrees exactly with the linear scan this replaces.
+    buckets: Vec<Vec<(usize, NodeId)>>,
+    candidates: usize,
+    /// Buckets and entries touched by lookups — the observable the O(1)
+    /// complexity test asserts on.
+    probes: AtomicU64,
+}
+
+impl DomainIndex {
+    /// Index `candidates` by failure domain.
+    pub fn build(domains: &FailureDomains, candidates: &[NodeId]) -> Self {
+        let mut buckets = vec![Vec::new(); domains.domain_count()];
+        for (i, &n) in candidates.iter().enumerate() {
+            buckets[domains.domain_of(n).0 as usize].push((i, n));
+        }
+        DomainIndex {
+            buckets,
+            candidates: candidates.len(),
+            probes: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of indexed candidates.
+    pub fn candidate_count(&self) -> usize {
+        self.candidates
+    }
+
+    /// Buckets + entries touched by lookups since the index was built.
+    pub fn probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+
+    fn probe(&self, n: u64) {
+        self.probes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// [`failover_grant`]-equivalent lookup through the index: identical
+    /// result for identical inputs, but O(domains) probes instead of
+    /// O(candidates).
+    pub fn failover_grant(
+        &self,
+        domains: &FailureDomains,
+        rank: u32,
+        rank_node: NodeId,
+        failed_node: NodeId,
+    ) -> Result<usize, BalanceError> {
+        let rank_dom = domains.domain_of(rank_node);
+        let failed_dom = domains.domain_of(failed_node);
+        // Preferred pass: domains foreign to both the rank and the failed
+        // node. The failed node lives in `failed_dom`, so every bucket
+        // entry here is valid — the linear scan's first match is the
+        // minimum candidate position across qualifying buckets.
+        let preferred = self
+            .domain_heads(|d| d != rank_dom && d != failed_dom)
+            .min();
+        if let Some(i) = preferred {
+            return Ok(i);
+        }
+        // Fallback (single-storage-rack topologies): rack-mates of the
+        // failed node are allowed, but never the failed node itself.
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(d, _)| DomainId(d as u32) != rank_dom)
+            .filter_map(|(d, bucket)| {
+                if DomainId(d as u32) != failed_dom {
+                    self.probe(1);
+                    bucket.first().map(|&(i, _)| i)
+                } else {
+                    // Skip entries equal to the failed node; duplicates of
+                    // it are the only reason this walks past the head.
+                    bucket
+                        .iter()
+                        .find(|&&(_, n)| {
+                            self.probe(1);
+                            n != failed_node
+                        })
+                        .map(|&(i, _)| i)
+                }
+            })
+            .min()
+            .ok_or(BalanceError::NoFailoverTarget { rank })
+    }
+
+    /// First candidate position of every bucket whose domain passes
+    /// `keep` — one probe per domain.
+    fn domain_heads<'s>(
+        &'s self,
+        keep: impl Fn(DomainId) -> bool + 's,
+    ) -> impl Iterator<Item = usize> + 's {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(move |&(d, _)| keep(DomainId(d as u32)))
+            .filter_map(|(_, bucket)| {
+                self.probe(1);
+                bucket.first().map(|&(i, _)| i)
+            })
+    }
+
+    /// Candidate positions in cyclic scan order starting at
+    /// `start % candidate_count()`, restricted to domains accepted by
+    /// `keep` — the rotated-scan shape replica placement uses, touching
+    /// only nodes in valid domains.
+    pub fn cyclic_candidates(
+        &self,
+        start: usize,
+        keep: impl Fn(DomainId) -> bool,
+    ) -> Vec<(usize, NodeId)> {
+        let mut hits: Vec<(usize, NodeId)> = Vec::new();
+        for (d, bucket) in self.buckets.iter().enumerate() {
+            self.probe(1);
+            if keep(DomainId(d as u32)) {
+                self.probe(bucket.len() as u64);
+                hits.extend_from_slice(bucket);
+            }
+        }
+        hits.sort_unstable_by_key(|&(i, _)| i);
+        if self.candidates > 0 {
+            let pivot = hits.partition_point(|&(i, _)| i < start % self.candidates);
+            hits.rotate_left(pivot);
+        }
+        hits
+    }
+}
+
 /// Pick a replacement storage node for `rank` after the node holding its
 /// checkpoint data (`failed_node`) died.
 ///
@@ -216,6 +357,9 @@ impl<'a> StorageBalancer<'a> {
 /// (a PDU/rack loss takes every node in the domain); same-domain survivors
 /// are a fallback for topologies with a single storage rack, like the
 /// paper's testbed. Returns the index of the chosen candidate.
+///
+/// One-shot convenience over [`DomainIndex::failover_grant`]; callers
+/// performing repeated lookups should [`DomainIndex::build`] once.
 pub fn failover_grant(
     domains: &FailureDomains,
     rank: u32,
@@ -223,12 +367,7 @@ pub fn failover_grant(
     failed_node: NodeId,
     candidates: &[NodeId],
 ) -> Result<usize, BalanceError> {
-    let valid = |n: NodeId| n != failed_node && domains.separated(rank_node, n);
-    candidates
-        .iter()
-        .position(|&n| valid(n) && domains.separated(failed_node, n))
-        .or_else(|| candidates.iter().position(|&n| valid(n)))
-        .ok_or(BalanceError::NoFailoverTarget { rank })
+    DomainIndex::build(domains, candidates).failover_grant(domains, rank, rank_node, failed_node)
 }
 
 #[cfg(test)]
@@ -366,6 +505,76 @@ mod tests {
         assert_eq!(
             failover_grant(&domains, 3, rank_node, failed, &[]),
             Err(BalanceError::NoFailoverTarget { rank: 3 })
+        );
+    }
+
+    #[test]
+    fn domain_index_matches_linear_failover_scan() {
+        // The index must be a pure acceleration: identical choice to the
+        // linear scan for every (rank node, failed node) pair, on both a
+        // multi-rack and the single-storage-rack paper topology.
+        for topo in [Topology::synthetic(2, 3, 4, 28), Topology::paper_testbed()] {
+            let domains = FailureDomains::derive(&topo);
+            let storage = topo.storage_nodes();
+            let index = DomainIndex::build(&domains, &storage);
+            let linear = |rank, rank_node, failed: NodeId| {
+                let valid = |n: NodeId| n != failed && domains.separated(rank_node, n);
+                storage
+                    .iter()
+                    .position(|&n| valid(n) && domains.separated(failed, n))
+                    .or_else(|| storage.iter().position(|&n| valid(n)))
+                    .ok_or(BalanceError::NoFailoverTarget { rank })
+            };
+            for &rank_node in topo.compute_nodes().iter().take(4) {
+                for &failed in &storage {
+                    assert_eq!(
+                        index.failover_grant(&domains, 7, rank_node, failed),
+                        linear(7, rank_node, failed),
+                        "index diverges from linear scan for failed={failed:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn domain_index_lookups_are_constant_in_namespace_count() {
+        // 10k storage nodes across 4 storage racks: a failover lookup must
+        // probe O(domains) buckets, independent of the namespace count.
+        let topo = Topology::synthetic(1, 4, 2500, 1);
+        let domains = FailureDomains::derive(&topo);
+        let storage = topo.storage_nodes();
+        assert_eq!(storage.len(), 10_000);
+        let index = DomainIndex::build(&domains, &storage);
+        assert_eq!(index.candidate_count(), 10_000);
+        let rank_node = topo.compute_nodes()[0];
+
+        let before = index.probes();
+        let idx = index
+            .failover_grant(&domains, 0, rank_node, storage[0])
+            .unwrap();
+        let per_lookup = index.probes() - before;
+        assert!(domains.separated(rank_node, storage[idx]));
+        assert!(domains.separated(storage[0], storage[idx]));
+        let bound = 2 * domains.domain_count() as u64 + 4;
+        assert!(
+            per_lookup <= bound,
+            "lookup touched {per_lookup} entries over 10k namespaces \
+             (bound: {bound} — O(domains), not O(namespaces))"
+        );
+
+        // 1k lookups stay linear in lookups, not in namespaces.
+        let before = index.probes();
+        for r in 0..1000u32 {
+            let failed = storage[r as usize % storage.len()];
+            index
+                .failover_grant(&domains, r, rank_node, failed)
+                .unwrap();
+        }
+        let probes = index.probes() - before;
+        assert!(
+            probes <= 1000 * bound,
+            "amortized lookup cost scales with namespaces: {probes}"
         );
     }
 

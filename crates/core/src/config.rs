@@ -41,6 +41,13 @@ pub struct RuntimeConfig {
     /// to a full manifest after at most `n` deltas (clamped to the ring's
     /// [`microfs::manifest::MAX_DELTA_CHAIN`]).
     pub delta_chain_max: u32,
+    /// Reactors for the shard-per-core drive
+    /// ([`NvmeCrRuntime::drive_reactor`]): `0` (the default) sizes the
+    /// pool to the available cores. Rank count is independent of this —
+    /// each reactor multiplexes many rank state machines.
+    ///
+    /// [`NvmeCrRuntime::drive_reactor`]: crate::runtime::NvmeCrRuntime::drive_reactor
+    pub reactors: u32,
 }
 
 impl Default for RuntimeConfig {
@@ -56,6 +63,7 @@ impl Default for RuntimeConfig {
             fabric: FabricConfig::default(),
             replication_factor: 1,
             delta_chain_max: 0,
+            reactors: 0,
         }
     }
 }

@@ -34,16 +34,20 @@ pub mod dataplane;
 pub mod intercept;
 pub mod metrics;
 pub mod multilevel;
+pub mod reactor;
 pub mod recovery;
 pub mod replication;
 pub mod runtime;
 
-pub use balancer::{BalanceError, Placement, RankPlacement, StorageBalancer};
+pub use balancer::{BalanceError, DomainIndex, Placement, RankPlacement, StorageBalancer};
 pub use cache::{CacheStats, CachedBlockDevice, WritePolicy};
 pub use config::RuntimeConfig;
 pub use dataplane::NvmfBlockDevice;
 pub use intercept::PosixLayer;
 pub use metrics::{efficiency, progress_rate};
 pub use multilevel::{CheckpointLevel, MultiLevelPolicy};
+pub use reactor::{
+    MachineStep, QosConfig, RankMachine, RankTask, ReactorConfig, ReactorMode, ReactorPool,
+};
 pub use replication::{Mirror, ReplicationError, ScrubReport};
 pub use runtime::{JobHandle, NvmeCrRuntime, RuntimeError, StorageRack};

@@ -8,6 +8,7 @@
 //! tears down. `crash_rank`/`recover_rank` exercise the paper's recovery
 //! story over real bytes.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -24,11 +25,53 @@ use telemetry::Telemetry;
 use crate::balancer::{BalanceError, Placement, StorageBalancer};
 use crate::config::RuntimeConfig;
 use crate::dataplane::NvmfBlockDevice;
+use crate::reactor::{FnMachine, RankMachine, RankTask, ReactorConfig, ReactorPool};
 use crate::replication::{self, Mirror, ReplicationError, ScrubReport};
 
 /// Smallest per-rank segment we accept (microfs needs room for its log,
 /// snapshot slots, and data region).
 pub const MIN_SEGMENT: u64 = 16 << 20;
+
+thread_local! {
+    /// Set while this thread is a worker inside a parallel rank drive.
+    /// Nested drives — recovery or failover running inside a parallel
+    /// closure — used to open a second rayon scope from each worker,
+    /// multiplying threads; with the guard they run inline on the worker
+    /// that is already part of the one sized pool.
+    static IN_PAR_DRIVE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Run `f` over `items` on the shared sized worker pool. If the calling
+/// thread is itself a drive worker (a nested call), the items run inline
+/// sequentially instead of fanning out — one pool's worth of threads,
+/// regardless of nesting depth.
+pub(crate) fn par_ranks<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if IN_PAR_DRIVE.with(Cell::get) {
+        return items.into_iter().map(f).collect();
+    }
+    items
+        .into_par_iter()
+        .map(|t| {
+            /// Clears the worker flag even if `f` panics (the pool's
+            /// threads outlive one drive only in tests, but a stale flag
+            /// would serialize every later drive on that thread).
+            struct Reset;
+            impl Drop for Reset {
+                fn drop(&mut self) {
+                    IN_PAR_DRIVE.with(|c| c.set(false));
+                }
+            }
+            IN_PAR_DRIVE.with(|c| c.set(true));
+            let _reset = Reset;
+            f(t)
+        })
+        .collect()
+}
 
 /// Runtime failures.
 #[derive(Debug)]
@@ -240,24 +283,29 @@ fn rank_device(
 /// than the primary's, domain-separated from the rank (preferring nodes
 /// also separated from the primary), with an SSD that has room. The scan
 /// order is rotated by rank so replicas spread across the rack.
+///
+/// Candidates come through the allocation's [`DomainIndex`], so nodes in
+/// the rank's own failure domain are never touched — at 10k namespaces
+/// the old whole-rack scan was the placement hot loop.
 fn place_replica(
     rack: &StorageRack,
     domains: &FailureDomains,
-    storage_nodes: &[NodeId],
+    index: &crate::balancer::DomainIndex,
     rank: u32,
     rank_node: NodeId,
     primary_node: NodeId,
     size: u64,
 ) -> Result<ReplicaRoute, RuntimeError> {
-    let n = storage_nodes.len();
+    let rank_dom = domains.domain_of(rank_node);
+    let primary_dom = domains.domain_of(primary_node);
     let pass = |strict: bool| {
-        (0..n)
-            .map(|i| storage_nodes[(i + rank as usize) % n])
-            .find_map(|node| {
-                if node == primary_node || !domains.separated(rank_node, node) {
-                    return None;
-                }
-                if strict && !domains.separated(primary_node, node) {
+        index
+            .cyclic_candidates(rank as usize, |d| {
+                d != rank_dom && (!strict || d != primary_dom)
+            })
+            .into_iter()
+            .find_map(|(_, node)| {
+                if node == primary_node {
                     return None;
                 }
                 let mut targets = rack.targets_on(node);
@@ -365,12 +413,14 @@ impl NvmeCrRuntime {
         // partner failure domain, in its own namespace sized like the
         // primary segment (image + manifest region).
         if config.replication_factor >= 2 {
-            let storage_nodes = topo.storage_nodes();
+            // One domain index for the whole job: every rank's replica
+            // lookup probes domain buckets, not the full namespace list.
+            let index = crate::balancer::DomainIndex::build(&domains, &topo.storage_nodes());
             for (rank, route) in routes.iter_mut().enumerate() {
                 route.replica = Some(place_replica(
                     rack,
                     &domains,
-                    &storage_nodes,
+                    &index,
                     rank as u32,
                     alloc.rank_nodes[rank],
                     route.node,
@@ -382,24 +432,22 @@ impl NvmeCrRuntime {
         // are fully independent (own connection, own namespace shard, own
         // filesystem), so format in parallel.
         let init_rank_ns = config.telemetry.histogram("driver.init_rank_ns");
-        let ranks = placement
-            .per_rank
-            .par_iter()
-            .map(|p| {
-                let _span = telemetry::span("driver", "init_rank").arg("rank", u64::from(p.rank));
-                let _rank = telemetry::context::with_rank(u64::from(p.rank));
-                let _t = init_rank_ns.time();
-                let route = &routes[p.rank as usize];
-                let dev = rank_device(
-                    route,
-                    &format!("nqn.2026-07.io.nvmecr:rank{}", p.rank),
-                    &config,
-                )?;
-                MicroFs::format(dev, config.fs_config())
-                    .map(Some)
-                    .map_err(RuntimeError::from)
-            })
-            .collect::<Result<Vec<_>, RuntimeError>>()?;
+        let ranks = par_ranks(placement.per_rank.clone(), |p| {
+            let _span = telemetry::span("driver", "init_rank").arg("rank", u64::from(p.rank));
+            let _rank = telemetry::context::with_rank(u64::from(p.rank));
+            let _t = init_rank_ns.time();
+            let route = &routes[p.rank as usize];
+            let dev = rank_device(
+                route,
+                &format!("nqn.2026-07.io.nvmecr:rank{}", p.rank),
+                &config,
+            )?;
+            MicroFs::format(dev, config.fs_config())
+                .map(Some)
+                .map_err(RuntimeError::from)
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, RuntimeError>>()?;
         Ok(NvmeCrRuntime {
             placement,
             grants,
@@ -441,11 +489,10 @@ impl NvmeCrRuntime {
         R: Send,
         F: Fn(u32, &mut MicroFs<NvmfBlockDevice>) -> Result<R, RuntimeError> + Sync,
     {
-        let results: Vec<Result<Option<R>, RuntimeError>> = self
-            .ranks
-            .par_iter_mut()
-            .enumerate()
-            .map(|(rank, slot)| match slot.as_mut() {
+        let slots: Vec<(usize, &mut Option<MicroFs<NvmfBlockDevice>>)> =
+            self.ranks.iter_mut().enumerate().collect();
+        let results: Vec<Result<Option<R>, RuntimeError>> =
+            par_ranks(slots, |(rank, slot)| match slot.as_mut() {
                 Some(fs) => {
                     // Rank trace context: every flight-recorder event below
                     // this frame (fabric, ssd, microfs, replication) is
@@ -454,8 +501,7 @@ impl NvmeCrRuntime {
                     f(rank as u32, fs).map(Some)
                 }
                 None => Ok(None),
-            })
-            .collect();
+            });
         let mut out = Vec::with_capacity(results.len());
         for r in results {
             if let Some(v) = r? {
@@ -471,6 +517,92 @@ impl NvmeCrRuntime {
         F: Fn(u32, &mut MicroFs<NvmfBlockDevice>) -> Result<(), RuntimeError> + Sync,
     {
         self.map_ranks_par(f).map(|_| ())
+    }
+
+    /// Drive every *mounted* rank through the shard-per-core reactor pool
+    /// (§"Reactor execution model", DESIGN.md §14): rank count decouples
+    /// from thread count — each reactor multiplexes many rank state
+    /// machines, advancing each by completion-sized steps instead of
+    /// parking one OS thread per rank.
+    ///
+    /// `tenant_of` maps a rank to its tenant id for QoS admission (ignored
+    /// unless [`ReactorConfig::qos`] is set); `build` constructs the state
+    /// machine driven against that rank's filesystem. Every filesystem is
+    /// returned to its slot when the drive ends, whether its machine
+    /// completed or failed — matching [`map_ranks_par`] semantics where
+    /// ranks stay mounted on error.
+    ///
+    /// [`map_ranks_par`]: NvmeCrRuntime::map_ranks_par
+    pub fn drive_reactor<R, B>(
+        &mut self,
+        reactor: &ReactorConfig,
+        tenant_of: impl Fn(u32) -> u32,
+        build: B,
+    ) -> Result<Vec<R>, RuntimeError>
+    where
+        R: Send,
+        B: Fn(u32) -> Box<dyn RankMachine<MicroFs<NvmfBlockDevice>, Out = R>>,
+    {
+        let mut cfg = reactor.clone();
+        if cfg.reactors == 0 {
+            cfg.reactors = self.config.reactors as usize;
+        }
+        let pool = ReactorPool::new(&cfg, &self.config.telemetry);
+        let mut tasks = Vec::new();
+        for (rank, slot) in self.ranks.iter_mut().enumerate() {
+            if let Some(fs) = slot.take() {
+                let rank = rank as u32;
+                tasks.push(RankTask {
+                    rank,
+                    tenant: tenant_of(rank),
+                    fs,
+                    machine: build(rank),
+                });
+            }
+        }
+        let outcome = pool.drive(tasks);
+        let mut out = Vec::new();
+        for r in outcome.results {
+            // Reinstall unconditionally: a failed machine leaves its rank
+            // mounted, exactly like an Err from a rayon-driven closure.
+            self.ranks[r.rank as usize] = Some(r.fs);
+            if let Some(v) = r.result {
+                out.push(v);
+            }
+        }
+        match outcome.error {
+            None => Ok(out),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// [`map_ranks_par`](NvmeCrRuntime::map_ranks_par) on the reactor
+    /// pool: each rank's closure runs as a one-shot state machine (a
+    /// single `step` to completion), so existing whole-rank operations can
+    /// ride the reactor data plane unchanged.
+    pub fn map_ranks_reactor<R, F>(
+        &mut self,
+        reactor: &ReactorConfig,
+        f: F,
+    ) -> Result<Vec<R>, RuntimeError>
+    where
+        R: Send + 'static,
+        F: Fn(u32, &mut MicroFs<NvmfBlockDevice>) -> Result<R, RuntimeError>
+            + Send
+            + Sync
+            + 'static,
+    {
+        let f = std::sync::Arc::new(f);
+        self.drive_reactor(
+            reactor,
+            |_| 0,
+            move |_| {
+                let f = std::sync::Arc::clone(&f);
+                Box::new(FnMachine::new(
+                    move |rank, fs: &mut MicroFs<NvmfBlockDevice>| f(rank, fs),
+                ))
+            },
+        )
     }
 
     /// Simulate a process crash: all volatile state of the rank's instance
@@ -512,9 +644,8 @@ impl NvmeCrRuntime {
             .collect();
         let config = &self.config;
         let recover_rank_ns = config.telemetry.histogram("driver.recover_rank_ns");
-        let mounted: Vec<(u32, Result<MicroFs<NvmfBlockDevice>, RuntimeError>)> = jobs
-            .into_par_iter()
-            .map(|(rank, route)| {
+        let mounted: Vec<(u32, Result<MicroFs<NvmfBlockDevice>, RuntimeError>)> =
+            par_ranks(jobs, |(rank, route)| {
                 let _span = telemetry::span("driver", "recover_rank").arg("rank", u64::from(rank));
                 let _rank = telemetry::context::with_rank(u64::from(rank));
                 let _t = recover_rank_ns.time();
@@ -529,8 +660,7 @@ impl NvmeCrRuntime {
                 .and_then(crate::recovery::Replaying::replay_all)
                 .map(crate::recovery::Verified::serve);
                 (rank, fs)
-            })
-            .collect();
+            });
         let mut first_err = None;
         for (rank, fs) in mounted {
             match fs {
@@ -853,26 +983,24 @@ impl NvmeCrRuntime {
         // to the replacement, not the dead shard. Do it in parallel, same as
         // init-time formatting.
         let restart_rank_ns = handle.config.telemetry.histogram("driver.restart_rank_ns");
-        let ranks = handle
-            .routes
-            .par_iter()
-            .enumerate()
-            .map(|(rank, route)| {
-                let _span = telemetry::span("driver", "restart_rank").arg("rank", rank as u64);
-                let _rank = telemetry::context::with_rank(rank as u64);
-                let _t = restart_rank_ns.time();
-                // Same typestate chain as recover_ranks: the restart must
-                // not serve reads before replay + manifest verification.
-                crate::recovery::Crashed::new(
-                    route.clone(),
-                    format!("nqn.2026-07.io.nvmecr:rank{rank}-restart"),
-                    handle.config.clone(),
-                )
-                .begin_replay()
-                .and_then(crate::recovery::Replaying::replay_all)
-                .map(|v| Some(v.serve()))
-            })
-            .collect::<Result<Vec<_>, RuntimeError>>()?;
+        let jobs: Vec<(usize, RankRoute)> = handle.routes.iter().cloned().enumerate().collect();
+        let ranks = par_ranks(jobs, |(rank, route)| {
+            let _span = telemetry::span("driver", "restart_rank").arg("rank", rank as u64);
+            let _rank = telemetry::context::with_rank(rank as u64);
+            let _t = restart_rank_ns.time();
+            // Same typestate chain as recover_ranks: the restart must
+            // not serve reads before replay + manifest verification.
+            crate::recovery::Crashed::new(
+                route,
+                format!("nqn.2026-07.io.nvmecr:rank{rank}-restart"),
+                handle.config.clone(),
+            )
+            .begin_replay()
+            .and_then(crate::recovery::Replaying::replay_all)
+            .map(|v| Some(v.serve()))
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, RuntimeError>>()?;
         Ok(NvmeCrRuntime {
             placement: handle.placement,
             grants: handle.grants,
@@ -1433,5 +1561,76 @@ mod tests {
                 .free_bytes()
         };
         assert_eq!(free_before, free_after);
+    }
+
+    #[test]
+    fn nested_par_ranks_shares_one_pool() {
+        // Satellite fix: recovery running inside a parallel drive must not
+        // stack a second rayon wave on top of the first. The inner
+        // par_ranks call below runs inline on the already-pooled worker,
+        // so the innermost units in flight never exceed the pool width.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cap = rayon::current_num_threads();
+        let active = AtomicUsize::new(0);
+        let high = AtomicUsize::new(0);
+        let outer: Vec<u32> = (0..16).collect();
+        par_ranks(outer, |_| {
+            let inner: Vec<u32> = (0..16).collect();
+            par_ranks(inner, |_| {
+                let now = active.fetch_add(1, Ordering::SeqCst) + 1;
+                high.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                active.fetch_sub(1, Ordering::SeqCst);
+            });
+        });
+        let high = high.load(Ordering::SeqCst);
+        assert!(
+            high <= cap,
+            "nested par_ranks oversubscribed: {high} concurrent units > {cap} pool threads"
+        );
+    }
+
+    #[test]
+    fn reactor_drive_checkpoints_every_rank() {
+        let (rack, topo, alloc, config) = small_setup(56);
+        let telemetry = config.telemetry.clone();
+        let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config).unwrap();
+        let reactor = ReactorConfig {
+            reactors: 4,
+            ..ReactorConfig::default()
+        };
+        let written = rt
+            .map_ranks_reactor(&reactor, |rank, fs| {
+                let fd = fs.create(&format!("/reactor_rank{rank}.dat"), 0o644)?;
+                fs.write(fd, &vec![rank as u8; 64 << 10])?;
+                fs.close(fd)?;
+                Ok(64u64 << 10)
+            })
+            .unwrap();
+        assert_eq!(written.len(), 56);
+        assert!(telemetry.counter("reactor.events").get() >= 56);
+        assert!(telemetry.counter("reactor.loops").get() > 0);
+        // Reactor-written state is ordinary microfs state: crash one rank
+        // and recover it through the standard replay path.
+        rt.crash_rank(3).unwrap();
+        rt.recover_rank(3).unwrap();
+        let fs = rt.rank_fs(3).unwrap();
+        let fd = fs.open("/reactor_rank3.dat", OpenFlags::RDONLY, 0).unwrap();
+        let mut buf = vec![0u8; 64 << 10];
+        fs.read(fd, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 3));
+    }
+
+    #[test]
+    fn reactor_drive_with_config_default_sizes_from_runtime_config() {
+        let (rack, topo, alloc, mut config) = small_setup(28);
+        config.reactors = 2;
+        let telemetry = config.telemetry.clone();
+        let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config).unwrap();
+        let out = rt
+            .map_ranks_reactor(&ReactorConfig::default(), |rank, _fs| Ok(rank))
+            .unwrap();
+        assert_eq!(out, (0..28).collect::<Vec<_>>());
+        assert!(telemetry.counter("reactor.events").get() >= 28);
     }
 }

@@ -34,6 +34,7 @@ pub use capsule::{Capsule, CapsuleError, Completion, Opcode, Status};
 pub use config::{FabricConfig, KernelCosts, NetConfig, RetryConfig};
 pub use initiator::{
     write_mirrored_bytes, Initiator, InitiatorError, MirrorOutcome, MirroredWrite, NvmfConnection,
+    Window,
 };
 pub use path::{IoPath, PathCosts, TimeSplit};
 pub use qp::{CompletionOp, QpError, QueuePair, WrId};

@@ -53,7 +53,10 @@ pub mod time;
 
 pub mod exec;
 
-pub use exec::{Dag, Engine, PipeId, PoolId, ResId, RunResult, Stage, TokenId, TraceEvent};
+pub use exec::{
+    Dag, Engine, PipeId, PoolId, ResId, RunResult, ShardModel, ShardReport, Stage, TokenId,
+    TraceEvent,
+};
 pub use resource::FifoTimeline;
 pub use stats::OnlineStats;
 pub use time::{Rate, SimTime};

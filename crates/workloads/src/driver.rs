@@ -136,6 +136,31 @@ impl FunctionalReport {
     pub fn lock_wait_ns(&self) -> u64 {
         self.telemetry.counter("ssd.lock_wait_ns")
     }
+
+    /// FNV-1a hash over the run's deterministic outcome: the verified
+    /// bytes, recovery work, metadata footprints, and the data-plane IO
+    /// volume counters — everything two equivalent runs must reproduce
+    /// exactly, and nothing timing-dependent. Two drive modes agree iff
+    /// their state hashes agree.
+    pub fn state_hash(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(u64::from(self.procs));
+        mix(u64::from(self.ckpts));
+        mix(self.bytes_verified);
+        mix(u64::from(self.recovered_ranks));
+        mix(self.replayed_records);
+        mix(self.metadata_bytes);
+        mix(self.dram_bytes);
+        mix(self.telemetry.counter("fabric.io_ops"));
+        mix(self.telemetry.counter("fabric.io_bytes"));
+        h
+    }
 }
 
 /// How the per-rank phases of a functional run are driven.
@@ -147,6 +172,12 @@ pub enum DriveMode {
     /// filesystem, connection, and namespace shard, so this shares no
     /// data-plane lock across ranks).
     Parallel,
+    /// All ranks multiplexed onto the shard-per-core reactor pool
+    /// ([`nvmecr::ReactorPool`]): each rank is a state machine advanced
+    /// one submission-window chunk per step, so rank count decouples from
+    /// thread count. Storage semantics are identical to `Parallel` — the
+    /// chaos parity test holds the two modes byte-for-byte equal.
+    Reactor,
 }
 
 /// Write rank `rank`'s checkpoint `ckpt` into its filesystem. Payload
@@ -173,6 +204,80 @@ fn checkpoint_rank(
     fs.fsync(fd)?;
     fs.close(fd)?;
     Ok(())
+}
+
+/// One rank's checkpoint as a reactor state machine: the exact operation
+/// sequence of [`checkpoint_rank`] — mkdirs, create, 1 MiB writes, fsync,
+/// close — cut at write-chunk boundaries so a reactor advances many ranks'
+/// checkpoints concurrently on one core. Byte-for-byte the same storage
+/// traffic as the blocking path.
+struct CkptMachine {
+    comd: CoMD,
+    ckpt: u32,
+    bytes_per_rank: u64,
+    ckpt_rank_ns: std::sync::Arc<telemetry::Histogram>,
+    state: CkptState,
+}
+
+enum CkptState {
+    Start,
+    Writing {
+        fd: u32,
+        payload: Vec<u8>,
+        off: usize,
+        started: std::time::Instant,
+    },
+}
+
+impl nvmecr::RankMachine<microfs::MicroFs<nvmecr::dataplane::NvmfBlockDevice>> for CkptMachine {
+    type Out = ();
+
+    fn step(
+        &mut self,
+        rank: u32,
+        fs: &mut microfs::MicroFs<nvmecr::dataplane::NvmfBlockDevice>,
+    ) -> Result<nvmecr::MachineStep<()>, nvmecr::runtime::RuntimeError> {
+        let write_size = 1usize << 20;
+        match &mut self.state {
+            CkptState::Start => {
+                let started = std::time::Instant::now();
+                if self.ckpt == 0 {
+                    fs.mkdir("/comd", 0o755).ok();
+                }
+                fs.mkdir(&format!("/comd/ckpt_{:03}", self.ckpt), 0o755)?;
+                let payload =
+                    self.comd
+                        .checkpoint_payload(rank, self.ckpt, self.bytes_per_rank as usize);
+                let path = CoMD::checkpoint_path(rank, self.ckpt);
+                let fd = fs.create(&path, 0o644)?;
+                self.state = CkptState::Writing {
+                    fd,
+                    payload,
+                    off: 0,
+                    started,
+                };
+                Ok(nvmecr::MachineStep::Yield)
+            }
+            CkptState::Writing {
+                fd,
+                payload,
+                off,
+                started,
+            } => {
+                let end = (*off + write_size).min(payload.len());
+                fs.write(*fd, &payload[*off..end])?;
+                *off = end;
+                if *off < payload.len() {
+                    return Ok(nvmecr::MachineStep::Yield);
+                }
+                fs.fsync(*fd)?;
+                fs.close(*fd)?;
+                self.ckpt_rank_ns
+                    .record(started.elapsed().as_nanos() as u64);
+                Ok(nvmecr::MachineStep::Done(()))
+            }
+        }
+    }
 }
 
 /// Read back rank `rank`'s checkpoint `ckpt` and compare byte-for-byte.
@@ -240,6 +345,9 @@ pub struct FunctionalTuning {
     /// full-manifest commit path; `n > 0` seals sparse delta manifests
     /// and compacts after at most `n` deltas.
     pub delta_chain_max: u32,
+    /// Reactors for [`DriveMode::Reactor`] (0 = one per available core).
+    /// Ignored by the other modes.
+    pub reactors: u32,
 }
 
 impl Default for FunctionalTuning {
@@ -250,6 +358,7 @@ impl Default for FunctionalTuning {
             queue_depth: defaults.fabric.queue_depth,
             replication_factor: defaults.replication_factor,
             delta_chain_max: defaults.delta_chain_max,
+            reactors: defaults.reactors,
         }
     }
 }
@@ -305,10 +414,12 @@ pub fn run_functional_checkpoints_tuned(
         block_size: tuning.block_size,
         replication_factor: tuning.replication_factor,
         delta_chain_max: tuning.delta_chain_max,
+        reactors: tuning.reactors,
         ..RuntimeConfig::default()
     };
     config.fabric.queue_depth = tuning.queue_depth;
     let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config)?;
+    let reactor_cfg = nvmecr::ReactorConfig::default();
     let comd = CoMD::weak_scaling();
     let ckpt_rank_ns = telemetry.histogram("driver.checkpoint_rank_ns");
     let verify_rank_ns = telemetry.histogram("driver.verify_rank_ns");
@@ -334,6 +445,21 @@ pub fn run_functional_checkpoints_tuned(
                     do_ckpt(rank, fs)?;
                 }
             }
+            DriveMode::Reactor => {
+                rt.drive_reactor(
+                    &reactor_cfg,
+                    |_| 0,
+                    |_| {
+                        Box::new(CkptMachine {
+                            comd: comd.clone(),
+                            ckpt,
+                            bytes_per_rank,
+                            ckpt_rank_ns: ckpt_rank_ns.clone(),
+                            state: CkptState::Start,
+                        })
+                    },
+                )?;
+            }
         }
         // Replicated runs seal one epoch per checkpoint round: manifests
         // land on both copies, so a failover restores this round exactly.
@@ -348,7 +474,7 @@ pub fn run_functional_checkpoints_tuned(
         rt.crash_rank(rank)?;
     }
     match mode {
-        DriveMode::Parallel => rt.recover_ranks(crash_ranks)?,
+        DriveMode::Parallel | DriveMode::Reactor => rt.recover_ranks(crash_ranks)?,
         DriveMode::Serial => {
             for &rank in crash_ranks {
                 rt.recover_rank(rank)?;
@@ -378,6 +504,15 @@ pub fn run_functional_checkpoints_tuned(
                 out.push(do_verify(rank, fs)?);
             }
             out
+        }
+        DriveMode::Reactor => {
+            let comd = comd.clone();
+            let verify_rank_ns = verify_rank_ns.clone();
+            rt.map_ranks_reactor(&reactor_cfg, move |rank, fs| {
+                let _span = telemetry::span("driver", "verify_rank").arg("rank", u64::from(rank));
+                let _t = verify_rank_ns.time();
+                verify_rank(&comd, fs, rank, last, bytes_per_rank)
+            })?
         }
     };
     let mut bytes_verified = 0u64;
@@ -886,6 +1021,45 @@ mod tests {
         assert_eq!(par.replayed_records, ser.replayed_records);
         assert_eq!(par.metadata_bytes, ser.metadata_bytes);
         assert_eq!(par.bytes_copied(), ser.bytes_copied());
+        assert_eq!(par.state_hash(), ser.state_hash());
+    }
+
+    #[test]
+    fn reactor_mode_agrees_with_parallel_and_multiplexes_ranks() {
+        // 8 ranks on 2 reactors: 4x more ranks than threads, yet the
+        // storage outcome is bit-equal to the thread-per-rank drive.
+        let tuning = FunctionalTuning {
+            reactors: 2,
+            ..FunctionalTuning::default()
+        };
+        let rea = run_functional_checkpoints_tuned(
+            DriveMode::Reactor,
+            8,
+            2,
+            256 << 10,
+            &[1, 5],
+            tuning.clone(),
+        )
+        .unwrap();
+        let par =
+            run_functional_checkpoints_tuned(DriveMode::Parallel, 8, 2, 256 << 10, &[1, 5], tuning)
+                .unwrap();
+        assert_eq!(rea.state_hash(), par.state_hash());
+        assert_eq!(rea.bytes_verified, 8 * (256 << 10));
+        assert_eq!(rea.replayed_records, par.replayed_records);
+        // The reactor pool actually ran: multiplexed events and loops.
+        assert!(rea.telemetry.counter("reactor.events") > 0);
+        assert!(rea.telemetry.counter("reactor.loops") > 0);
+        assert_eq!(par.telemetry.counter("reactor.events"), 0);
+        // 256 KiB in 1 MiB chunks is one write step + the open step, so
+        // each rank machine yields at least once per checkpoint.
+        assert!(rea.telemetry.counter("reactor.events") >= 8 * 2 * 2);
+        // Per-rank checkpoint latency is recorded in both modes alike.
+        let h = rea
+            .telemetry
+            .histogram("driver.checkpoint_rank_ns")
+            .unwrap();
+        assert_eq!(h.count, 8 * 2);
     }
 
     #[test]
