@@ -93,7 +93,7 @@ pub fn parse_dump(text: &str) -> Result<Dump, String> {
         let v = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
         let num = |k: &str| v.get(k).and_then(Value::as_num).map(|n| n as u64);
         if let Some(name) = v.get("ev").and_then(Value::as_str) {
-            let kind = (1..=19u64)
+            let kind = (1..=22u64)
                 .filter_map(FlightKind::from_code)
                 .find(|k| k.name() == name);
             dump.events.push(DumpEvent {
@@ -223,8 +223,10 @@ fn anomaly_severity(k: FlightKind) -> u8 {
         | FlightKind::RetryExhausted
         | FlightKind::Failover
         | FlightKind::RollbackRestore
-        | FlightKind::CrashPoint => 3,
-        FlightKind::CrcError | FlightKind::MirrorDegraded => 2,
+        | FlightKind::CrashPoint
+        | FlightKind::RecoveryCrashPoint
+        | FlightKind::RecoveryQuarantine => 3,
+        FlightKind::CrcError | FlightKind::MirrorDegraded | FlightKind::DegradedServe => 2,
         FlightKind::FaultInjected | FlightKind::Timeout => 1,
         _ => 0,
     }
@@ -352,13 +354,25 @@ pub fn analyze(dump: &Dump) -> Report {
         .filter_map(|e| e.kind.map(anomaly_severity))
         .max()
         .unwrap_or(0);
-    let verdict = (worst > 0)
-        .then(|| {
-            dump.events
-                .iter()
-                .find(|e| e.kind.is_some_and(|k| anomaly_severity(k) == worst))
+    // When the nested plane fired, the thing that actually died was
+    // recovery itself: the recovery crash point is the verdict's subject
+    // and outranks every other terminal event — including the outer
+    // crash point it is nested under, which becomes the root-cause
+    // context rather than the headline.
+    let nested = dump
+        .events
+        .iter()
+        .find(|e| e.kind == Some(FlightKind::RecoveryCrashPoint));
+    let verdict = nested
+        .or_else(|| {
+            (worst > 0)
+                .then(|| {
+                    dump.events
+                        .iter()
+                        .find(|e| e.kind.is_some_and(|k| anomaly_severity(k) == worst))
+                })
+                .flatten()
         })
-        .flatten()
         .map(|e| {
             let kind = e.kind.expect("filtered on Some");
             let decode_site = |code: u64| match chaos::FaultSite::from_code(code) {
@@ -368,6 +382,10 @@ pub fn analyze(dump: &Dump) -> Report {
             let decode_crash_op = |code: u64| match chaos::CrashOp::from_code(code) {
                 Some(op) => op.name().to_string(),
                 None => format!("unknown op kind {code}"),
+            };
+            let decode_recovery_op = |code: u64| match chaos::RecoveryOp::from_code(code) {
+                Some(op) => op.name().to_string(),
+                None => format!("unknown recovery op kind {code}"),
             };
             // Attribute the anomaly to its root cause: the nearest fault
             // injection or crash-universe kill at or before it, when one
@@ -382,6 +400,15 @@ pub fn analyze(dump: &Dump) -> Report {
                 (FlightKind::FaultInjected, _) => Some(decode_site(e.a)),
                 (FlightKind::CrashPoint, _) => {
                     Some(format!("{} op #{}", decode_crash_op(e.a), e.b))
+                }
+                (FlightKind::RecoveryCrashPoint, _) => {
+                    Some(format!("{} recovery op #{}", decode_recovery_op(e.a), e.b))
+                }
+                (FlightKind::RecoveryQuarantine, None) => {
+                    Some(format!("rank {} after {} failed attempts", e.a, e.b))
+                }
+                (FlightKind::DegradedServe, None) => {
+                    Some(format!("rank {} from epoch {}", e.a, e.b))
                 }
                 (_, Some(c)) if c.kind == Some(FlightKind::CrashPoint) => {
                     Some(format!("crash_at_op({})", c.b))
@@ -403,6 +430,21 @@ pub fn analyze(dump: &Dump) -> Report {
                 (None, None) => String::new(),
             };
             let root = match (kind, injection) {
+                // Both planes fired: name both indices — the outer op the
+                // universe killed, and the recovery op the nested kill
+                // took down — so a replay command can be reconstructed.
+                (FlightKind::RecoveryCrashPoint, Some(c))
+                    if c.kind == Some(FlightKind::CrashPoint) =>
+                {
+                    format!(
+                        "; root cause: crash_in_recovery({}) killed the first recovery \
+                         attempt after crash_at_op({}) died on a {} op (t={:.3}ms)",
+                        e.b,
+                        c.b,
+                        decode_crash_op(c.a),
+                        c.ts_ns as f64 / 1e6
+                    )
+                }
                 (FlightKind::FaultInjected | FlightKind::CrashPoint, _) | (_, None) => {
                     String::new()
                 }
@@ -429,7 +471,14 @@ pub fn analyze(dump: &Dump) -> Report {
                 kind.name(),
                 site.as_deref()
                     .filter(|_| {
-                        matches!(kind, FlightKind::FaultInjected | FlightKind::CrashPoint)
+                        matches!(
+                            kind,
+                            FlightKind::FaultInjected
+                                | FlightKind::CrashPoint
+                                | FlightKind::RecoveryCrashPoint
+                                | FlightKind::RecoveryQuarantine
+                                | FlightKind::DegradedServe
+                        )
                     })
                     .map(|s| format!(" at {s}"))
                     .unwrap_or_default(),
@@ -592,6 +641,56 @@ mod tests {
         // Both events are terminal; the crash point is first and wins.
         assert_eq!(v.kind, "crash_point");
         assert!(v.site.as_deref().unwrap_or("").contains("mirror_write"));
+    }
+
+    #[test]
+    fn nested_crash_point_outranks_outer_in_verdict() {
+        let r = FlightRecorder::with_capacity(64);
+        // crash_at_op(42) fired on a commit-record write (op code 5)...
+        r.record(FlightKind::CrashPoint, 0, 0, 5, 42);
+        // ...then crash_in_recovery(7) killed the first recovery attempt
+        // on a mirror rescan chunk (recovery op code 5), and the fabric
+        // saw the fallout.
+        r.record(FlightKind::RecoveryCrashPoint, 0, 0, 5, 7);
+        r.record(FlightKind::RetryExhausted, 8, 4, 0, 0);
+        r.trip(FlightKind::RecoveryCrashPoint, 5);
+        let d = parse_dump(&r.dump_jsonl(FlightKind::RecoveryCrashPoint)).unwrap();
+        let v = analyze(&d).verdict.expect("nested crash is terminal");
+        // Both planes fired: the nested point is the verdict's subject,
+        // the outer point only its root-cause context.
+        assert_eq!(v.kind, "recovery_crash_point");
+        let s = v.site.expect("site decoded");
+        assert!(s.contains("rescan_chunk") && s.contains("#7"), "{s}");
+        assert!(
+            v.description.contains("crash_in_recovery(7)")
+                && v.description.contains("crash_at_op(42)")
+                && v.description.contains("commit_record"),
+            "{}",
+            v.description
+        );
+    }
+
+    #[test]
+    fn quarantine_and_degraded_serve_verdicts_name_the_rank() {
+        let r = FlightRecorder::with_capacity(64);
+        r.record(FlightKind::RecoveryQuarantine, 0, 0, 3, 2);
+        r.trip(FlightKind::RecoveryQuarantine, 3);
+        let d = parse_dump(&r.dump_jsonl(FlightKind::RecoveryQuarantine)).unwrap();
+        let v = analyze(&d).verdict.expect("quarantine is terminal");
+        assert_eq!(v.kind, "recovery_quarantine");
+        assert!(
+            v.site.as_deref().unwrap_or("").contains("rank 3"),
+            "{:?}",
+            v.site
+        );
+
+        let r = FlightRecorder::with_capacity(64);
+        r.record(FlightKind::DegradedServe, 0, 0, 5, 9);
+        let d = parse_dump(&r.dump_jsonl(FlightKind::DegradedServe)).unwrap();
+        let v = analyze(&d).verdict.expect("degraded serve is an anomaly");
+        assert_eq!(v.kind, "degraded_serve");
+        let s = v.site.expect("site decoded");
+        assert!(s.contains("rank 5") && s.contains("epoch 9"), "{s}");
     }
 
     #[test]

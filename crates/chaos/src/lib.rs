@@ -193,6 +193,93 @@ impl CrashOp {
     }
 }
 
+/// A recovery-path operation counted by the **nested** crash plane.
+///
+/// Where [`CrashOp`] enumerates the durability ops of the *running*
+/// workload, `RecoveryOp` enumerates the replay/rescan ops of *recovery
+/// itself*: after an outer `crash_at_op(k)` kills the stack and recovery
+/// begins, `crash_in_recovery(j)` kills the j-th of these — proving the
+/// recovery paths are themselves restartable. Like crash ops, recovery
+/// ops share one global cross-site counter so "crash recovery at op j"
+/// names a unique point whatever mix of scans and replays precedes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RecoveryOp {
+    /// microfs mount: superblock decode + latest-snapshot load.
+    SnapshotLoad,
+    /// microfs mount: WAL region scan (CRC-framed record walk).
+    LogScan,
+    /// microfs replay: one WAL record applied to the in-memory tree.
+    ReplayApply,
+    /// nvmecr recovery: manifest-slot scan of the replica tail region.
+    ManifestScan,
+    /// `Mirror::rescan`: one chunk of the primary re-read for CRC audit.
+    RescanChunk,
+    /// `materialize_chain`: one delta-epoch chain step resolved.
+    ChainMaterialize,
+    /// Replica restore: one CRC-verified extent copied back.
+    RestoreExtent,
+}
+
+/// Number of distinct [`RecoveryOp`] kinds (array index space).
+pub const RECOVERY_OP_KINDS: usize = 7;
+
+impl RecoveryOp {
+    /// All kinds, in stable code order.
+    pub const ALL: [RecoveryOp; RECOVERY_OP_KINDS] = [
+        RecoveryOp::SnapshotLoad,
+        RecoveryOp::LogScan,
+        RecoveryOp::ReplayApply,
+        RecoveryOp::ManifestScan,
+        RecoveryOp::RescanChunk,
+        RecoveryOp::ChainMaterialize,
+        RecoveryOp::RestoreExtent,
+    ];
+
+    /// Stable wire code carried in flight-recorder events (1-based).
+    pub fn code(self) -> u64 {
+        match self {
+            RecoveryOp::SnapshotLoad => 1,
+            RecoveryOp::LogScan => 2,
+            RecoveryOp::ReplayApply => 3,
+            RecoveryOp::ManifestScan => 4,
+            RecoveryOp::RescanChunk => 5,
+            RecoveryOp::ChainMaterialize => 6,
+            RecoveryOp::RestoreExtent => 7,
+        }
+    }
+
+    /// Decode a wire code back into an op kind.
+    pub fn from_code(code: u64) -> Option<RecoveryOp> {
+        Some(match code {
+            1 => RecoveryOp::SnapshotLoad,
+            2 => RecoveryOp::LogScan,
+            3 => RecoveryOp::ReplayApply,
+            4 => RecoveryOp::ManifestScan,
+            5 => RecoveryOp::RescanChunk,
+            6 => RecoveryOp::ChainMaterialize,
+            7 => RecoveryOp::RestoreExtent,
+            _ => return None,
+        })
+    }
+
+    /// Snake-case name used in dumps and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryOp::SnapshotLoad => "snapshot_load",
+            RecoveryOp::LogScan => "log_scan",
+            RecoveryOp::ReplayApply => "replay_apply",
+            RecoveryOp::ManifestScan => "manifest_scan",
+            RecoveryOp::RescanChunk => "rescan_chunk",
+            RecoveryOp::ChainMaterialize => "chain_materialize",
+            RecoveryOp::RestoreExtent => "restore_extent",
+        }
+    }
+
+    fn index(self) -> usize {
+        (self.code() - 1) as usize
+    }
+}
+
 /// One injection rule: a site, an action, and when it fires.
 ///
 /// `rate` fires probabilistically (deterministically hashed per op index);
@@ -316,11 +403,62 @@ impl CrashReport {
     }
 }
 
+/// How the nested recovery plane treats each recovery op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RecoveryMode {
+    /// Enumerate: count every op, never fire.
+    Count,
+    /// Fire at exactly nested op index `j` — but only during the *first*
+    /// recovery attempt. Ops at index >= `j` in attempt 1 fail too (the
+    /// recovery process is dead); attempts 2+ run clean, modelling the
+    /// supervisor restarting recovery after its crash.
+    CrashAt(u64),
+}
+
+struct RecoveryState {
+    mode: RecoveryMode,
+    /// Next nested op index to hand out (also the running total).
+    next_op: u64,
+    /// Ops seen per [`RecoveryOp`] kind, indexed by `code() - 1`.
+    per_kind: [u64; RECOVERY_OP_KINDS],
+    /// Nested op index at which the crash fired (`CrashAt` only).
+    fired: Option<u64>,
+    /// Recovery attempt in progress (1-based; bumped by
+    /// [`ChaosHandle::begin_recovery_attempt`]).
+    attempt: u64,
+    /// Flight recorder of the armed telemetry registry: the nested crash
+    /// records a `recovery_crash_point` event and trips the recorder.
+    recorder: Option<Arc<FlightRecorder>>,
+}
+
+/// Snapshot of the nested recovery-plane counters, taken by
+/// [`ChaosHandle::recovery_report`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Total recovery ops counted (the size of the nested universe).
+    pub total: u64,
+    /// Ops per [`RecoveryOp`] kind, indexed by `code() - 1`.
+    pub per_kind: [u64; RECOVERY_OP_KINDS],
+    /// Nested op index at which the crash fired, if it did.
+    pub fired: Option<u64>,
+    /// Recovery attempts begun since arming.
+    pub attempts: u64,
+}
+
+impl RecoveryReport {
+    /// Ops counted for one kind.
+    pub fn kind(&self, op: RecoveryOp) -> u64 {
+        self.per_kind[op.index()]
+    }
+}
+
 struct Inner {
     armed: AtomicBool,
     state: Mutex<ArmedState>,
     crash_armed: AtomicBool,
     crash: Mutex<CrashState>,
+    recovery_armed: AtomicBool,
+    recovery: Mutex<RecoveryState>,
 }
 
 /// Cheap, cloneable hook handle threaded through layer configs.
@@ -350,6 +488,15 @@ impl Default for ChaosHandle {
                     next_op: 0,
                     per_kind: [0; CRASH_OP_KINDS],
                     fired: None,
+                    recorder: None,
+                }),
+                recovery_armed: AtomicBool::new(false),
+                recovery: Mutex::new(RecoveryState {
+                    mode: RecoveryMode::Count,
+                    next_op: 0,
+                    per_kind: [0; RECOVERY_OP_KINDS],
+                    fired: None,
+                    attempt: 1,
                     recorder: None,
                 }),
             }),
@@ -539,6 +686,112 @@ impl ChaosHandle {
             total: st.next_op,
             per_kind: st.per_kind,
             fired: st.fired,
+        }
+    }
+
+    /// Arm the nested recovery plane in *count* mode: every recovery op
+    /// consumes one nested index, nothing ever fires. Used to enumerate
+    /// the nested universe of one recovery before exploring it.
+    pub fn arm_recovery_count(&self) {
+        let mut st = self.inner.recovery.lock();
+        st.mode = RecoveryMode::Count;
+        st.next_op = 0;
+        st.per_kind = [0; RECOVERY_OP_KINDS];
+        st.fired = None;
+        st.attempt = 1;
+        st.recorder = None;
+        self.inner.recovery_armed.store(true, Ordering::Release);
+    }
+
+    /// Arm the nested recovery plane to kill the **first** recovery
+    /// attempt at exactly nested op index `j`: that op records a
+    /// [`FlightKind::RecoveryCrashPoint`] event, trips `telemetry`'s
+    /// flight recorder, and fails; every recovery op after it in the same
+    /// attempt fails too (the recovering process is dead). Attempts begun
+    /// after [`ChaosHandle::begin_recovery_attempt`] run clean, modelling
+    /// a supervisor restarting recovery after its crash.
+    pub fn crash_in_recovery(&self, j: u64, telemetry: &Telemetry) {
+        let mut st = self.inner.recovery.lock();
+        st.mode = RecoveryMode::CrashAt(j);
+        st.next_op = 0;
+        st.per_kind = [0; RECOVERY_OP_KINDS];
+        st.fired = None;
+        st.attempt = 1;
+        st.recorder = Some(telemetry.recorder());
+        self.inner.recovery_armed.store(true, Ordering::Release);
+    }
+
+    /// Mark the start of a fresh recovery attempt. The first attempt is
+    /// implicit at arm time; each call bumps the attempt number, so after
+    /// a nested crash the *next* attempt's ops run clean.
+    pub fn begin_recovery_attempt(&self) {
+        if !self.inner.recovery_armed.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut st = self.inner.recovery.lock();
+        st.attempt += 1;
+    }
+
+    /// Disarm the nested recovery plane, leaving the counters readable
+    /// via [`ChaosHandle::recovery_report`] until the next arm.
+    pub fn disarm_recovery(&self) {
+        self.inner.recovery_armed.store(false, Ordering::Release);
+        let mut st = self.inner.recovery.lock();
+        st.recorder = None;
+    }
+
+    /// Whether a nested recovery mode is armed.
+    pub fn is_recovery_armed(&self) -> bool {
+        self.inner.recovery_armed.load(Ordering::Relaxed)
+    }
+
+    /// Consume one nested recovery-op index for `op` and report whether
+    /// the recovering process dies here.
+    ///
+    /// Disarmed (the default) this is a single relaxed atomic load
+    /// returning `false`. Armed, every call consumes exactly one index in
+    /// execution order; in `CrashAt(j)` mode the op at index `j` of the
+    /// first attempt fires (and the rest of that attempt stays dead),
+    /// while later attempts never fire.
+    pub fn recovery_fire(&self, op: RecoveryOp) -> bool {
+        if !self.inner.recovery_armed.load(Ordering::Relaxed) {
+            return false;
+        }
+        let mut st = self.inner.recovery.lock();
+        let n = st.next_op;
+        st.next_op += 1;
+        st.per_kind[op.index()] += 1;
+        match st.mode {
+            RecoveryMode::Count => false,
+            RecoveryMode::CrashAt(j) => {
+                if st.attempt > 1 || n < j {
+                    false
+                } else {
+                    if n == j {
+                        st.fired = Some(n);
+                        if let Some(r) = st.recorder.take() {
+                            // Record and trip outside the lock: the dump
+                            // path reads metrics and touches the
+                            // filesystem.
+                            drop(st);
+                            r.record(FlightKind::RecoveryCrashPoint, 0, 0, op.code(), n);
+                            r.trip(FlightKind::RecoveryCrashPoint, op.code());
+                        }
+                    }
+                    true
+                }
+            }
+        }
+    }
+
+    /// Snapshot the nested recovery-plane counters.
+    pub fn recovery_report(&self) -> RecoveryReport {
+        let st = self.inner.recovery.lock();
+        RecoveryReport {
+            total: st.next_op,
+            per_kind: st.per_kind,
+            fired: st.fired,
+            attempts: st.attempt,
         }
     }
 }
@@ -835,6 +1088,118 @@ mod tests {
         h.disarm();
         assert!(h.is_crash_armed(), "fault disarm leaves crash mode armed");
         assert_eq!(h.crash_report().total, 1);
+    }
+
+    #[test]
+    fn recovery_disarmed_is_silent_and_free() {
+        let h = ChaosHandle::new();
+        assert!(!h.is_recovery_armed());
+        for op in RecoveryOp::ALL {
+            assert!(!h.recovery_fire(op));
+        }
+        assert_eq!(h.recovery_report().total, 0, "disarmed ops not counted");
+    }
+
+    #[test]
+    fn recovery_count_mode_counts_and_never_fires() {
+        let h = ChaosHandle::new();
+        h.arm_recovery_count();
+        for _ in 0..2 {
+            for op in RecoveryOp::ALL {
+                assert!(!h.recovery_fire(op));
+            }
+        }
+        h.disarm_recovery();
+        let report = h.recovery_report();
+        assert_eq!(report.total, 14);
+        for op in RecoveryOp::ALL {
+            assert_eq!(report.kind(op), 2);
+        }
+        assert_eq!(report.fired, None);
+    }
+
+    #[test]
+    fn crash_in_recovery_kills_first_attempt_only() {
+        let t = Telemetry::new();
+        let h = ChaosHandle::new();
+        h.crash_in_recovery(3, &t);
+        let first: Vec<bool> = (0..6)
+            .map(|_| h.recovery_fire(RecoveryOp::ReplayApply))
+            .collect();
+        assert_eq!(
+            first,
+            vec![false, false, false, true, true, true],
+            "ops before j survive, op j and the rest of attempt 1 die"
+        );
+        assert_eq!(h.recovery_report().fired, Some(3));
+
+        h.begin_recovery_attempt();
+        let second: Vec<bool> = (0..6)
+            .map(|_| h.recovery_fire(RecoveryOp::ReplayApply))
+            .collect();
+        assert!(second.iter().all(|&f| !f), "attempt 2 runs clean");
+        assert_eq!(h.recovery_report().attempts, 2);
+
+        let r = t.recorder();
+        assert_eq!(r.trip_count(), 1, "only nested op j trips");
+        let events = r.events();
+        let cp = events
+            .iter()
+            .find(|e| e.kind == FlightKind::RecoveryCrashPoint)
+            .expect("recovery_crash_point event");
+        assert_eq!(cp.a, RecoveryOp::ReplayApply.code());
+        assert_eq!(cp.b, 3, "fired at nested op index 3");
+    }
+
+    #[test]
+    fn recovery_counter_is_global_across_kinds() {
+        let t = Telemetry::new();
+        let h = ChaosHandle::new();
+        h.crash_in_recovery(2, &t);
+        assert!(!h.recovery_fire(RecoveryOp::SnapshotLoad));
+        assert!(!h.recovery_fire(RecoveryOp::LogScan));
+        assert!(
+            h.recovery_fire(RecoveryOp::RescanChunk),
+            "third recovery op overall dies regardless of kind"
+        );
+        let report = h.recovery_report();
+        assert_eq!(report.kind(RecoveryOp::SnapshotLoad), 1);
+        assert_eq!(report.kind(RecoveryOp::LogScan), 1);
+        assert_eq!(report.kind(RecoveryOp::RescanChunk), 1);
+    }
+
+    #[test]
+    fn recovery_plane_is_independent_of_outer_crash_plane() {
+        let t = Telemetry::new();
+        let h = ChaosHandle::new();
+        h.crash_at_op(0, &t);
+        h.arm_recovery_count();
+        assert!(h.crash_fire(CrashOp::WalAppend), "outer plane fires");
+        assert!(
+            !h.recovery_fire(RecoveryOp::ReplayApply),
+            "nested count mode never fires"
+        );
+        h.disarm_crash();
+        assert!(h.is_recovery_armed(), "outer disarm leaves nested armed");
+        assert_eq!(h.recovery_report().total, 1);
+    }
+
+    #[test]
+    fn recovery_op_codes_roundtrip() {
+        for op in RecoveryOp::ALL {
+            assert_eq!(RecoveryOp::from_code(op.code()), Some(op));
+            assert!(!op.name().is_empty());
+        }
+        assert_eq!(RecoveryOp::from_code(0), None);
+        assert_eq!(RecoveryOp::from_code(8), None);
+    }
+
+    #[test]
+    fn begin_recovery_attempt_requires_armed_plane() {
+        let h = ChaosHandle::new();
+        h.begin_recovery_attempt();
+        h.arm_recovery_count();
+        assert_eq!(h.recovery_report().attempts, 1, "disarmed bump ignored");
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod reactor;
 pub mod recovery;
 pub mod replication;
 pub mod runtime;
+pub mod supervisor;
 
 pub use balancer::{BalanceError, DomainIndex, Placement, RankPlacement, StorageBalancer};
 pub use cache::{CacheStats, CachedBlockDevice, WritePolicy};
@@ -51,3 +52,6 @@ pub use reactor::{
 };
 pub use replication::{Mirror, ReplicationError, ScrubReport};
 pub use runtime::{JobHandle, NvmeCrRuntime, RuntimeError, StorageRack};
+pub use supervisor::{
+    DegradedRank, RecoveryOutcome, RecoveryPolicy, RecoverySupervisor, Supervised,
+};

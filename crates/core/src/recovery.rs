@@ -116,6 +116,16 @@ impl Replaying {
             } else {
                 ManifestLayout::standard()
             };
+            if self
+                .config
+                .chaos
+                .recovery_fire(chaos::RecoveryOp::ManifestScan)
+            {
+                return Err(RuntimeError::Replication(
+                    fabric::InitiatorError::Transport("crash point: recovery manifest scan".into())
+                        .into(),
+                ));
+            }
             let epoch = replication::read_latest_epoch(
                 fs.device_mut().conn_mut(),
                 self.route.base + fs_size,

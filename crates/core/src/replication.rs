@@ -431,6 +431,11 @@ impl Mirror {
     ) -> Result<(), InitiatorError> {
         let mut off = 0u64;
         while off < fs_size {
+            if self.chaos.recovery_fire(chaos::RecoveryOp::RescanChunk) {
+                return Err(InitiatorError::Transport(
+                    "crash point: recovery rescan".into(),
+                ));
+            }
             let len = COPY_CHUNK.min((fs_size - off) as usize);
             let data = primary.read_bytes(primary_base + off, len)?;
             self.map.record(off, len as u64, crc32(&data));
@@ -760,12 +765,29 @@ pub fn materialize_chain(
     region_base: u64,
     layout: ManifestLayout,
 ) -> Result<Option<(Vec<ManifestExtent>, u64)>, ReplicationError> {
+    materialize_chain_with(conn, region_base, layout, &ChaosHandle::default())
+}
+
+/// [`materialize_chain`] with a chaos handle: each chain link resolved
+/// consumes one nested [`chaos::RecoveryOp::ChainMaterialize`] index, so
+/// the nested crash plane can kill chain materialization mid-walk.
+pub fn materialize_chain_with(
+    conn: &mut NvmfConnection,
+    region_base: u64,
+    layout: ManifestLayout,
+    chaos: &ChaosHandle,
+) -> Result<Option<(Vec<ManifestExtent>, u64)>, ReplicationError> {
     let mut manifests = read_manifests(conn, region_base, layout)?;
     manifests.sort_by_key(|m| std::cmp::Reverse(m.epoch));
     for head in 0..manifests.len() {
         let mut chain: Vec<&EpochManifest> = Vec::new();
         let mut cur = &manifests[head];
         loop {
+            if chaos.recovery_fire(chaos::RecoveryOp::ChainMaterialize) {
+                return Err(ReplicationError::Fabric(InitiatorError::Transport(
+                    "crash point: recovery chain materialize".into(),
+                )));
+            }
             chain.push(cur);
             if !cur.is_delta() {
                 break;
@@ -871,10 +893,36 @@ pub fn restore_from_replica(
     layout: ManifestLayout,
     t: &Telemetry,
 ) -> Result<RestoreOutcome, ReplicationError> {
+    restore_from_replica_with(
+        replica,
+        live,
+        primary,
+        primary_base,
+        fs_size,
+        layout,
+        t,
+        &ChaosHandle::default(),
+    )
+}
+
+/// [`restore_from_replica`] with a chaos handle: each extent copied back
+/// consumes one nested [`chaos::RecoveryOp::RestoreExtent`] index, so the
+/// nested crash plane can kill the restore mid-copy.
+#[allow(clippy::too_many_arguments)]
+pub fn restore_from_replica_with(
+    replica: &mut NvmfConnection,
+    live: Option<(ExtentMap, u64)>,
+    primary: &mut NvmfConnection,
+    primary_base: u64,
+    fs_size: u64,
+    layout: ManifestLayout,
+    t: &Telemetry,
+    chaos: &ChaosHandle,
+) -> Result<RestoreOutcome, ReplicationError> {
     let metrics = ReplicationMetrics::new(t);
     let live_epoch = live.as_ref().map(|(_, e)| *e);
     if let Some((map, epoch)) = live {
-        match restore_extents(replica, map.entries(), primary, primary_base, false) {
+        match restore_extents(replica, map.entries(), primary, primary_base, false, chaos) {
             Ok(()) => {
                 copy_manifest_region(replica, primary, primary_base, fs_size)?;
                 return Ok(RestoreOutcome {
@@ -896,7 +944,7 @@ pub fn restore_from_replica(
     }
 
     let (map, epoch) = if layout.is_chained() {
-        let (extents, epoch) = materialize_chain(replica, fs_size, layout)?
+        let (extents, epoch) = materialize_chain_with(replica, fs_size, layout, chaos)?
             .ok_or(ReplicationError::NoCompleteEpoch)?;
         (ExtentMap::from_extents(&extents), epoch)
     } else {
@@ -907,7 +955,7 @@ pub fn restore_from_replica(
     };
     // Manifest extents always carry CRCs; verify strictly — a mismatch
     // here means the data is gone on both copies.
-    restore_extents(replica, map.entries(), primary, primary_base, true)?;
+    restore_extents(replica, map.entries(), primary, primary_base, true, chaos)?;
     copy_manifest_region(replica, primary, primary_base, fs_size)?;
     if layout.is_chained() {
         // Slots newer than the restored epoch are stale heads of an
@@ -942,8 +990,14 @@ fn restore_extents(
     primary: &mut NvmfConnection,
     primary_base: u64,
     strict: bool,
+    chaos: &ChaosHandle,
 ) -> Result<(), ReplicationError> {
     for (offset, len, crc) in entries {
+        if chaos.recovery_fire(chaos::RecoveryOp::RestoreExtent) {
+            return Err(ReplicationError::Fabric(InitiatorError::Transport(
+                "crash point: recovery restore extent".into(),
+            )));
+        }
         match crc {
             Some(expected) => {
                 let mut state = 0xFFFF_FFFFu32;

@@ -187,6 +187,7 @@ impl StorageRack {
     }
 }
 
+#[derive(Clone)]
 struct GrantState {
     target: Arc<NvmfTarget>,
     ns: NsId,
@@ -333,6 +334,10 @@ fn place_replica(
 /// surviving namespaces after the application died (the restart half of
 /// checkpoint/restart). The ephemeral runtime dies with the job; the
 /// checkpoint data does not.
+///
+/// Cloneable so a failed attach can be retried with a different policy:
+/// the handle names durable state, it does not own connections.
+#[derive(Clone)]
 pub struct JobHandle {
     grants: Vec<GrantState>,
     routes: Vec<RankRoute>,
@@ -346,6 +351,24 @@ impl JobHandle {
     /// Ranks covered by this handle.
     pub fn rank_count(&self) -> u32 {
         self.placement.per_rank.len() as u32
+    }
+
+    /// Construct the runtime shell with every rank still crashed (no
+    /// mounting). The [`crate::supervisor::RecoverySupervisor`] uses this
+    /// to recover ranks one at a time — with retries, deadlines, and
+    /// quarantine — instead of the all-or-nothing parallel mount of
+    /// [`NvmeCrRuntime::attach`].
+    pub(crate) fn into_empty_runtime(self) -> NvmeCrRuntime {
+        let slots = self.routes.len();
+        NvmeCrRuntime {
+            placement: self.placement,
+            grants: self.grants,
+            routes: self.routes,
+            rank_nodes: self.rank_nodes,
+            extra_ns: self.extra_ns,
+            config: self.config,
+            ranks: (0..slots).map(|_| None).collect(),
+        }
     }
 }
 
@@ -605,6 +628,41 @@ impl NvmeCrRuntime {
         )
     }
 
+    /// One rank's current storage route (supervisor-internal).
+    pub(crate) fn route(&self, rank: u32) -> Option<&RankRoute> {
+        self.routes.get(rank as usize)
+    }
+
+    /// The runtime's configuration (supervisor-internal).
+    pub(crate) fn runtime_config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Whether `rank` currently has a mounted filesystem.
+    pub fn is_mounted(&self, rank: u32) -> bool {
+        self.ranks.get(rank as usize).is_some_and(Option::is_some)
+    }
+
+    /// Kill the SSD shard behind `rank`'s *primary* namespace: every
+    /// subsequent IO on it fails with `ShardDead` until the rank fails
+    /// over. Chaos/test aid — this is the persistent-failure injection
+    /// the supervisor's quarantine path exists for. Ranks sharing the
+    /// same grant namespace share the blast radius, as a real dead drive
+    /// would.
+    pub fn kill_primary_shard(&self, rank: u32) -> Result<(), RuntimeError> {
+        let route = self
+            .routes
+            .get(rank as usize)
+            .ok_or(RuntimeError::BadRank(rank))?;
+        route
+            .target
+            .device()
+            .shard(route.ns)
+            .map_err(RuntimeError::Ssd)?
+            .kill();
+        Ok(())
+    }
+
     /// Simulate a process crash: all volatile state of the rank's instance
     /// is dropped; the device keeps whatever was durable.
     pub fn crash_rank(&mut self, rank: u32) -> Result<(), RuntimeError> {
@@ -852,7 +910,7 @@ impl NvmeCrRuntime {
             } else {
                 ManifestLayout::standard()
             };
-            let outcome = replication::restore_from_replica(
+            let outcome = replication::restore_from_replica_with(
                 &mut rconn,
                 state,
                 &mut conn,
@@ -860,6 +918,7 @@ impl NvmeCrRuntime {
                 fs_size,
                 layout,
                 &self.config.telemetry,
+                &self.config.chaos,
             )?;
             let mut dev = NvmfBlockDevice::new(conn, 0, fs_size);
             dev.set_chaos(self.config.chaos.clone());

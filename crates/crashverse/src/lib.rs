@@ -43,11 +43,11 @@
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
-use chaos::{ChaosHandle, CrashOp, CRASH_OP_KINDS};
+use chaos::{ChaosHandle, CrashOp, RecoveryOp, CRASH_OP_KINDS, RECOVERY_OP_KINDS};
 use cluster::{JobRequest, Scheduler, Topology};
 use microfs::OpenFlags;
 use nvmecr::runtime::{NvmeCrRuntime, StorageRack};
-use nvmecr::RuntimeConfig;
+use nvmecr::{RecoveryPolicy, RecoverySupervisor, RuntimeConfig};
 use rayon::prelude::*;
 use simkit::rng::{derive_seed, pattern_fill};
 use ssd::SsdConfig;
@@ -84,6 +84,11 @@ pub struct UniverseConfig {
     pub max_points: Option<u64>,
     /// Where failing points dump `FLIGHT_*.jsonl` counterexamples.
     pub dump_dir: Option<PathBuf>,
+    /// Run the failover phase mid-universe: after the middle epoch seals,
+    /// rank 0's primary shard is killed and every rank fails over to a
+    /// replacement namespace — so the enumerated op stream (and therefore
+    /// every crash point past the phase) exercises post-failover routes.
+    pub failover: bool,
 }
 
 impl Default for UniverseConfig {
@@ -96,6 +101,7 @@ impl Default for UniverseConfig {
             write_kib: 256,
             max_points: None,
             dump_dir: None,
+            failover: true,
         }
     }
 }
@@ -112,6 +118,7 @@ impl UniverseConfig {
             u64::from(self.epochs),
             u64::from(self.files_per_epoch),
             self.write_kib,
+            u64::from(self.failover),
             NAMESPACE_BYTES,
             SSD_CAPACITY,
         ] {
@@ -136,8 +143,30 @@ impl UniverseConfig {
         )
     }
 
+    /// The command line that re-executes exactly one *nested* crash
+    /// point: outer crash at op `k`, recovery killed at recovery op `j`.
+    pub fn replay_nested_command(&self, k: u64, j: u64) -> String {
+        format!(
+            "nvmecr-crashverse --nested --seed {} --ranks {} --epochs {} --files {} \
+             --write-kib {} --crash-at {} --crash-in-recovery {} # fingerprint {:#018x}",
+            self.seed,
+            self.ranks,
+            self.epochs,
+            self.files_per_epoch,
+            self.write_kib,
+            k,
+            j,
+            self.fingerprint()
+        )
+    }
+
     fn bytes_per_file(&self) -> usize {
         (self.write_kib << 10) as usize
+    }
+
+    /// Epoch after whose seal the failover phase runs (the middle one).
+    fn failover_epoch(&self) -> u64 {
+        u64::from(self.epochs + 1) / 2
     }
 }
 
@@ -249,11 +278,19 @@ impl RunState {
     }
 }
 
+/// The built runtime plus the rack and topology it sits on — the
+/// failover phase needs both to allocate replacement namespaces.
+struct Stack {
+    rt: NvmeCrRuntime,
+    rack: StorageRack,
+    topo: Topology,
+}
+
 fn build_stack(
     cfg: &UniverseConfig,
     telemetry: &Telemetry,
     chaos: &ChaosHandle,
-) -> Result<NvmeCrRuntime, String> {
+) -> Result<Stack, String> {
     let topo = Topology::paper_testbed();
     let rack = StorageRack::build_with_telemetry(
         &topo,
@@ -276,7 +313,9 @@ fn build_stack(
         chaos: chaos.clone(),
         ..RuntimeConfig::default()
     };
-    NvmeCrRuntime::init(&rack, &topo, &alloc, config).map_err(|e| format!("init: {e:?}"))
+    let rt =
+        NvmeCrRuntime::init(&rack, &topo, &alloc, config).map_err(|e| format!("init: {e:?}"))?;
+    Ok(Stack { rt, rack, topo })
 }
 
 fn file_seed(cfg: &UniverseConfig, epoch: u64, rank: u32, file: u32, stream: u64) -> u64 {
@@ -331,10 +370,13 @@ fn overwrite_window(
         f.window = Some((offset, data.len() as u64));
         return Err(f);
     }
-    let entry = st
-        .oracle
-        .get_mut(&(rank, path.to_string()))
-        .expect("overwrite target must be in the oracle");
+    // The target was written by an earlier `put_file`; a missing oracle
+    // entry means the workload script itself is wrong. Surface it as a
+    // failing call (the clean counting run turns that into a hard error)
+    // instead of panicking mid-universe.
+    let Some(entry) = st.oracle.get_mut(&(rank, path.to_string())) else {
+        return Err(FailedCall::new(rank, "oracle", Some(path)));
+    };
     let (a, b) = (offset as usize, offset as usize + data.len());
     entry[a..b].copy_from_slice(data);
     if fs.close(fd).is_err() {
@@ -354,9 +396,9 @@ fn drive_rank_epoch(
     rank: u32,
 ) -> Result<(), FailedCall> {
     let flen = cfg.bytes_per_file();
-    let fs = rt
-        .rank_fs(rank)
-        .expect("workload ranks exist by construction");
+    let Ok(fs) = rt.rank_fs(rank) else {
+        return Err(FailedCall::new(rank, "rank_fs", None));
+    };
     for f in 0..cfg.files_per_epoch {
         let path = format!("/e{epoch}_f{f}.ckpt");
         let mut data = vec![0u8; flen];
@@ -404,12 +446,38 @@ fn drive_rank_epoch(
     }
 }
 
+/// The failover phase: kill rank 0's primary shard (ranks co-located on
+/// the same grant namespace share the blast radius, as with a real dead
+/// drive), then fail every rank over to a replacement namespace restored
+/// from its replica. Runs at a fixed position in the op stream, so every
+/// universe that survives to the phase boundary crosses it identically.
+fn failover_phase(stack: &mut Stack, cfg: &UniverseConfig) -> Option<FailedCall> {
+    if stack.rt.kill_primary_shard(0).is_err() {
+        return Some(FailedCall::new(0, "failover", None));
+    }
+    for rank in 0..cfg.ranks {
+        if stack
+            .rt
+            .fail_over_rank(rank, &stack.rack, &stack.topo)
+            .is_err()
+        {
+            return Some(FailedCall::new(rank, "failover", None));
+        }
+    }
+    None
+}
+
 /// Run the whole workload serially (determinism: one armed thread, one
 /// global op order). Returns the first failing call, if any.
-fn drive(rt: &mut NvmeCrRuntime, cfg: &UniverseConfig, st: &mut RunState) -> Option<FailedCall> {
+fn drive(stack: &mut Stack, cfg: &UniverseConfig, st: &mut RunState) -> Option<FailedCall> {
     for epoch in 1..=u64::from(cfg.epochs) {
         for rank in 0..cfg.ranks {
-            if let Err(f) = drive_rank_epoch(rt, cfg, st, epoch, rank) {
+            if let Err(f) = drive_rank_epoch(&mut stack.rt, cfg, st, epoch, rank) {
+                return Some(f);
+            }
+        }
+        if cfg.failover && epoch == cfg.failover_epoch() {
+            if let Some(f) = failover_phase(stack, cfg) {
                 return Some(f);
             }
         }
@@ -427,10 +495,10 @@ fn drive(rt: &mut NvmeCrRuntime, cfg: &UniverseConfig, st: &mut RunState) -> Opt
 pub fn count_universe(cfg: &UniverseConfig) -> Result<chaos::CrashReport, String> {
     let telemetry = Telemetry::new();
     let chaos = ChaosHandle::new();
-    let mut rt = build_stack(cfg, &telemetry, &chaos)?;
+    let mut stack = build_stack(cfg, &telemetry, &chaos)?;
     chaos.arm_crash_count();
     let mut st = RunState::new(cfg.ranks);
-    let failed = drive(&mut rt, cfg, &mut st);
+    let failed = drive(&mut stack, cfg, &mut st);
     chaos.disarm_crash();
     if let Some(f) = failed {
         return Err(format!("clean counting run failed at {f:?}"));
@@ -457,8 +525,8 @@ pub fn run_point(cfg: &UniverseConfig, k: u64) -> PointVerdict {
         violation: None,
         dump: None,
     };
-    let mut rt = match build_stack(cfg, &telemetry, &chaos) {
-        Ok(rt) => rt,
+    let mut stack = match build_stack(cfg, &telemetry, &chaos) {
+        Ok(stack) => stack,
         Err(e) => {
             verdict.violation = Some(format!("stack build failed: {e}"));
             return verdict;
@@ -466,8 +534,9 @@ pub fn run_point(cfg: &UniverseConfig, k: u64) -> PointVerdict {
     };
     chaos.crash_at_op(k, &telemetry);
     let mut st = RunState::new(cfg.ranks);
-    let failed = drive(&mut rt, cfg, &mut st);
+    let failed = drive(&mut stack, cfg, &mut st);
     chaos.disarm_crash();
+    let rt = stack.rt;
     let report = chaos.crash_report();
     verdict.fired = report.fired;
     verdict.fired_kind = fired_kind(&telemetry, report.fired);
@@ -519,11 +588,18 @@ fn fired_kind(telemetry: &Telemetry, fired: Option<u64>) -> Option<&'static str>
 /// Force the counterexample dump out even if the recorder never tripped
 /// (e.g. an invariant violation found only at verification time).
 fn dump_now(telemetry: &Telemetry, dump: &Option<PathBuf>, _k: u64) -> Option<PathBuf> {
+    dump_now_as(telemetry, dump, FlightKind::CrashPoint)
+}
+
+/// [`dump_now`] with an explicit trip cause — nested points dump as
+/// `RecoveryCrashPoint` so the doctor attributes them to the right plane.
+fn dump_now_as(
+    telemetry: &Telemetry,
+    dump: &Option<PathBuf>,
+    cause: FlightKind,
+) -> Option<PathBuf> {
     let path = dump.as_ref()?;
-    telemetry
-        .recorder()
-        .dump_to(path, FlightKind::CrashPoint)
-        .ok()?;
+    telemetry.recorder().dump_to(path, cause).ok()?;
     Some(path.clone())
 }
 
@@ -743,10 +819,418 @@ pub fn explore(cfg: &UniverseConfig, telemetry: &Telemetry) -> Result<UniverseRe
     Ok(report)
 }
 
+// ---------------------------------------------------------------------
+// Nested exploration: crash the recovery of a crashed universe
+// ---------------------------------------------------------------------
+
+/// The supervisor policy nested points recover under: exactly one
+/// re-attempt (the ISSUE's contract — *every* nested point must recover
+/// on the second attempt), no quarantine (a point that cannot come back
+/// must fail loudly, not get parked), and a negligible backoff so grids
+/// stay fast.
+fn nested_policy() -> RecoveryPolicy {
+    RecoveryPolicy {
+        max_attempts: 2,
+        base_backoff_ns: 1_000,
+        deadline_ns: 60_000_000_000,
+        quarantine_after: 0,
+    }
+}
+
+/// What the explorer decided about one nested crash point `(k, j)`.
+#[derive(Debug, Clone)]
+pub struct NestedVerdict {
+    /// Outer crash index `k` (a durability op).
+    pub outer: u64,
+    /// Nested crash index `j` (a recovery op inside the first attempt).
+    pub nested: u64,
+    /// Did every invariant hold?
+    pub passed: bool,
+    /// Outer index at which the crash actually fired.
+    pub outer_fired: Option<u64>,
+    /// Nested index at which recovery was killed (`None` when `j` lies
+    /// beyond that universe's recovery op count — a vacuous pass).
+    pub nested_fired: Option<u64>,
+    /// Kind of the recovery op that died.
+    pub nested_kind: Option<&'static str>,
+    /// Supervisor re-attempts taken (1 whenever the nested crash fired).
+    pub restarts: u64,
+    /// First invariant violation, when one was found.
+    pub violation: Option<String>,
+    /// Flight-recorder counterexample dump, when one was written.
+    pub dump: Option<PathBuf>,
+}
+
+/// A failing nested point.
+#[derive(Debug, Clone)]
+pub struct NestedFailure {
+    /// Outer crash index.
+    pub outer: u64,
+    /// Nested crash index.
+    pub nested: u64,
+    /// Kind of the recovery op that died there.
+    pub nested_kind: Option<&'static str>,
+    /// The invariant that broke.
+    pub violation: String,
+    /// `FLIGHT_*.jsonl` counterexample, when `dump_dir` was set.
+    pub dump: Option<PathBuf>,
+    /// Command line pinning (seed, both crash indices, fingerprint).
+    pub replay: String,
+}
+
+/// The explorer's summary of one nested `(k, j)` grid.
+#[derive(Debug, Clone)]
+pub struct NestedReport {
+    /// Config fingerprint the verdicts are bound to.
+    pub fingerprint: u64,
+    /// Size of the outer crash universe.
+    pub outer_total: u64,
+    /// Outer indices sampled into the grid.
+    pub outer_points: u64,
+    /// Nested points executed across all sampled outer indices.
+    pub points_run: u64,
+    /// Points where both crashes actually fired (non-vacuous grid mass).
+    pub double_fired: u64,
+    /// Recovery ops seen per [`RecoveryOp`] kind across all counting
+    /// runs, indexed by `code() - 1` — proves the nested plane reaches
+    /// every recovery site.
+    pub per_kind: [u64; RECOVERY_OP_KINDS],
+    /// Supervisor re-attempts taken across the grid (the replay
+    /// re-entries the idempotence argument rests on).
+    pub restarts: u64,
+    /// `(outer, nested, passed)` for every executed point.
+    pub verdicts: Vec<(u64, u64, bool)>,
+    /// Failing points.
+    pub failures: Vec<NestedFailure>,
+}
+
+/// Kind of the recovery op that fired, recovered from the flight
+/// recorder's `RecoveryCrashPoint` event (`a` = op code, `b` = nested
+/// index).
+fn nested_fired_kind(telemetry: &Telemetry, fired: Option<u64>) -> Option<&'static str> {
+    let n = fired?;
+    telemetry
+        .recorder()
+        .events()
+        .into_iter()
+        .find(|e| e.kind == FlightKind::RecoveryCrashPoint && e.b == n)
+        .and_then(|e| RecoveryOp::from_code(e.a))
+        .map(RecoveryOp::name)
+}
+
+/// Size one outer point's *recovery* universe: run the workload to crash
+/// index `k`, kill the job, and recover it under the supervisor with the
+/// nested plane counting. Returns the outer fire index (None when `k`
+/// lies beyond the universe) and the recovery op census.
+pub fn count_recovery_universe(
+    cfg: &UniverseConfig,
+    k: u64,
+) -> Result<(Option<u64>, chaos::RecoveryReport), String> {
+    let telemetry = Telemetry::new();
+    let chaos = ChaosHandle::new();
+    let mut stack = build_stack(cfg, &telemetry, &chaos)?;
+    chaos.crash_at_op(k, &telemetry);
+    let mut st = RunState::new(cfg.ranks);
+    let failed = drive(&mut stack, cfg, &mut st);
+    chaos.disarm_crash();
+    let outer = chaos.crash_report().fired;
+    if outer.is_none() {
+        if let Some(f) = failed {
+            return Err(format!("workload failed at {f:?} with no crash fired"));
+        }
+        return Ok((None, chaos.recovery_report()));
+    }
+    let handle = stack.rt.crash_job();
+    chaos.arm_recovery_count();
+    let recovered = RecoverySupervisor::new(nested_policy()).attach(handle);
+    let report = chaos.recovery_report();
+    chaos.disarm_recovery();
+    recovered.map_err(|e| format!("counting recovery of outer {k} failed: {e:?}"))?;
+    Ok((outer, report))
+}
+
+/// Execute one nested crash point: crash the workload at durability op
+/// `k`, then kill the *first recovery attempt* at recovery op `j`. The
+/// supervisor's second attempt must fully recover the job: all four
+/// outer invariants I1–I4 verified against the same oracle — recovery
+/// after a crashed recovery must be byte-identical to recovery after a
+/// crash, which the outer plane already proved byte-identical to no
+/// crash at all.
+pub fn run_nested_point(cfg: &UniverseConfig, k: u64, j: u64) -> NestedVerdict {
+    let telemetry = Telemetry::new();
+    let chaos = ChaosHandle::new();
+    let dump = cfg
+        .dump_dir
+        .as_ref()
+        .map(|d| d.join(format!("FLIGHT_crashverse_op{k:06}_rec{j:04}.jsonl")));
+    let mut verdict = NestedVerdict {
+        outer: k,
+        nested: j,
+        passed: false,
+        outer_fired: None,
+        nested_fired: None,
+        nested_kind: None,
+        restarts: 0,
+        violation: None,
+        dump: None,
+    };
+    let mut stack = match build_stack(cfg, &telemetry, &chaos) {
+        Ok(stack) => stack,
+        Err(e) => {
+            verdict.violation = Some(format!("stack build failed: {e}"));
+            return verdict;
+        }
+    };
+    chaos.crash_at_op(k, &telemetry);
+    let mut st = RunState::new(cfg.ranks);
+    let failed = drive(&mut stack, cfg, &mut st);
+    chaos.disarm_crash();
+    let outer_report = chaos.crash_report();
+    verdict.outer_fired = outer_report.fired;
+    if outer_report.fired.is_none() {
+        if let Some(f) = failed {
+            verdict.violation = Some(format!("workload failed at {f:?} with no crash fired"));
+            verdict.dump = dump_now(&telemetry, &dump, k);
+            return verdict;
+        }
+        verdict.passed = true;
+        return verdict;
+    }
+    let handle = stack.rt.crash_job();
+    chaos.crash_in_recovery(j, &telemetry);
+    let recovered = RecoverySupervisor::new(nested_policy()).attach(handle);
+    let rec_report = chaos.recovery_report();
+    chaos.disarm_recovery();
+    verdict.nested_fired = rec_report.fired;
+    verdict.nested_kind = nested_fired_kind(&telemetry, rec_report.fired);
+    let supervised = match recovered {
+        Ok(s) => s,
+        Err(e) => {
+            verdict.violation = Some(format!(
+                "I1: second recovery attempt failed after nested crash: {e:?}"
+            ));
+            verdict.dump = dump_now_as(&telemetry, &dump, FlightKind::RecoveryCrashPoint);
+            return verdict;
+        }
+    };
+    verdict.restarts = supervised.outcome().restarts;
+    if rec_report.fired.is_some() && verdict.restarts == 0 {
+        verdict.violation = Some(
+            "nested crash fired but the supervisor recorded no restart — \
+             the kill was absorbed without a re-attempt"
+                .to_string(),
+        );
+        verdict.dump = dump_now_as(&telemetry, &dump, FlightKind::RecoveryCrashPoint);
+        return verdict;
+    }
+    let mut rt2 = supervised.into_runtime();
+    match verify(&mut rt2, cfg, &st, failed.as_ref()) {
+        Ok(()) => verdict.passed = true,
+        Err(v) => {
+            verdict.violation = Some(v);
+            verdict.dump = dump_now_as(&telemetry, &dump, FlightKind::RecoveryCrashPoint);
+        }
+    }
+    verdict
+}
+
+/// Explore a sampled `(k, j)` grid: `outer_points` outer crash indices
+/// stride-sampled from the universe, and for each the recovery universe
+/// is sized and up to `nested_per_outer` nested indices stride-sampled
+/// from it. Counters: `crashverse.nested_points`,
+/// `crashverse.nested_failures`, `crashverse.nested_restarts`.
+pub fn explore_nested(
+    cfg: &UniverseConfig,
+    outer_points: u64,
+    nested_per_outer: u64,
+    telemetry: &Telemetry,
+) -> Result<NestedReport, String> {
+    let count = count_universe(cfg)?;
+    let total = count.total;
+    let stride = total.div_ceil(outer_points.max(1)).max(1);
+    let outer_ks: Vec<u64> = (0..total).step_by(stride as usize).collect();
+    let points_counter = telemetry.counter("crashverse.nested_points");
+    let failures_counter = telemetry.counter("crashverse.nested_failures");
+    let restarts_counter = telemetry.counter("crashverse.nested_restarts");
+    let mut report = NestedReport {
+        fingerprint: cfg.fingerprint(),
+        outer_total: total,
+        outer_points: outer_ks.len() as u64,
+        points_run: 0,
+        double_fired: 0,
+        per_kind: [0; RECOVERY_OP_KINDS],
+        restarts: 0,
+        verdicts: Vec::new(),
+        failures: Vec::new(),
+    };
+    // Outer points are independent (each nested run rebuilds the whole
+    // stack), so the grid fans out across threads per outer index; each
+    // inner scan stays serial for the deterministic nested op order.
+    type Column = (Option<String>, [u64; RECOVERY_OP_KINDS], Vec<NestedVerdict>);
+    let columns: Vec<Column> = outer_ks
+        .par_iter()
+        .map(|&k| match count_recovery_universe(cfg, k) {
+            Err(e) => (Some(e), [0; RECOVERY_OP_KINDS], Vec::new()),
+            Ok((None, _)) => (None, [0; RECOVERY_OP_KINDS], Vec::new()),
+            Ok((Some(_), rec)) => {
+                let m = rec.total;
+                let jstride = m.div_ceil(nested_per_outer.max(1)).max(1);
+                let verdicts = (0..m)
+                    .step_by(jstride as usize)
+                    .map(|j| run_nested_point(cfg, k, j))
+                    .collect();
+                (None, rec.per_kind, verdicts)
+            }
+        })
+        .collect();
+    for (i, (err, per_kind, verdicts)) in columns.into_iter().enumerate() {
+        if let Some(e) = err {
+            return Err(format!("outer {} column failed: {e}", outer_ks[i]));
+        }
+        for (dst, n) in report.per_kind.iter_mut().zip(per_kind) {
+            *dst += n;
+        }
+        for v in verdicts {
+            report.points_run += 1;
+            points_counter.inc();
+            report.restarts += v.restarts;
+            restarts_counter.add(v.restarts);
+            if v.outer_fired.is_some() && v.nested_fired.is_some() {
+                report.double_fired += 1;
+            }
+            report.verdicts.push((v.outer, v.nested, v.passed));
+            if !v.passed && report.failures.len() < MAX_FAILURES {
+                failures_counter.inc();
+                report.failures.push(NestedFailure {
+                    outer: v.outer,
+                    nested: v.nested,
+                    nested_kind: v.nested_kind,
+                    violation: v
+                        .violation
+                        .unwrap_or_else(|| "invariant violation".to_string()),
+                    dump: v.dump,
+                    replay: cfg.replay_nested_command(v.outer, v.nested),
+                });
+            }
+        }
+    }
+    Ok(report)
+}
+
 /// `Arc`-free convenience used by tests and the smoke binary: a plain
 /// pass/fail over the whole universe.
 pub fn universe_is_clean(report: &UniverseReport) -> bool {
     report.failures.is_empty()
+}
+
+/// Nested twin of [`universe_is_clean`].
+pub fn nested_is_clean(report: &NestedReport) -> bool {
+    report.failures.is_empty()
+}
+
+/// Outcome of one forced quarantine → degraded-serve → rejoin cycle.
+#[derive(Debug, Clone)]
+pub struct QuarantineCycle {
+    /// Ranks the supervisor parked after exhausting its attempts.
+    pub quarantined: u64,
+    /// Degraded read-only mounts that served the sealed bytes back.
+    pub degraded_reads: u64,
+    /// Parked ranks brought back onto fresh namespaces and re-verified.
+    pub rejoined: u64,
+}
+
+/// Prove the supervisor's containment path end to end: seal a known
+/// epoch, kill rank 0's primary shard, and recover under a lenient
+/// policy — the dead shard fails every bounded attempt, so its ranks
+/// are quarantined and served read-only from the replica's last
+/// complete epoch. The sealed bytes must read back byte-exact from the
+/// degraded mount, and every parked rank must rejoin onto a fresh
+/// namespace and take writes again.
+pub fn quarantine_cycle(cfg: &UniverseConfig) -> Result<QuarantineCycle, String> {
+    let telemetry = Telemetry::new();
+    let chaos = ChaosHandle::new();
+    let mut stack = build_stack(cfg, &telemetry, &chaos)?;
+    let mut want: Vec<Vec<u8>> = Vec::new();
+    for rank in 0..cfg.ranks {
+        let mut data = vec![0u8; 32 << 10];
+        pattern_fill(&mut data, file_seed(cfg, 0, rank, 0, 9), 0);
+        let fs = stack
+            .rt
+            .rank_fs(rank)
+            .map_err(|e| format!("rank {rank} fs: {e:?}"))?;
+        let fd = fs
+            .create("/cycle.dat", 0o644)
+            .map_err(|e| format!("rank {rank} create: {e:?}"))?;
+        fs.write(fd, &data)
+            .map_err(|e| format!("rank {rank} write: {e:?}"))?;
+        fs.close(fd)
+            .map_err(|e| format!("rank {rank} close: {e:?}"))?;
+        stack
+            .rt
+            .commit_epoch_rank(rank)
+            .map_err(|e| format!("rank {rank} commit: {e:?}"))?;
+        want.push(data);
+    }
+    stack
+        .rt
+        .kill_primary_shard(0)
+        .map_err(|e| format!("shard kill: {e:?}"))?;
+    let handle = stack.rt.crash_job();
+    let policy = RecoveryPolicy {
+        max_attempts: 2,
+        base_backoff_ns: 1_000,
+        deadline_ns: 60_000_000_000,
+        quarantine_after: 2,
+    };
+    let mut supervised = RecoverySupervisor::new(policy)
+        .attach(handle)
+        .map_err(|e| format!("supervised attach: {e:?}"))?;
+    let parked = supervised.quarantined().to_vec();
+    if parked.is_empty() {
+        return Err("dead primary shard quarantined no rank".into());
+    }
+    let mut degraded_reads = 0u64;
+    for &rank in &parked {
+        let d = supervised
+            .degraded_mut(rank)
+            .ok_or_else(|| format!("rank {rank} parked without a degraded mount"))?;
+        let got = d
+            .read_file("/cycle.dat")
+            .map_err(|e| format!("rank {rank} degraded read: {e:?}"))?;
+        if got != want[rank as usize] {
+            return Err(format!(
+                "degraded serve of rank {rank} returned wrong bytes"
+            ));
+        }
+        degraded_reads += 1;
+    }
+    let mut rejoined = 0u64;
+    for &rank in &parked {
+        supervised
+            .rejoin(rank, &stack.rack, &stack.topo)
+            .map_err(|e| format!("rank {rank} rejoin: {e:?}"))?;
+        rejoined += 1;
+    }
+    let rt = supervised.runtime_mut();
+    for &rank in &parked {
+        let fs = rt
+            .rank_fs(rank)
+            .map_err(|e| format!("rank {rank} post-rejoin fs: {e:?}"))?;
+        let fd = fs
+            .create("/post_rejoin.dat", 0o644)
+            .map_err(|e| format!("rank {rank} post-rejoin create: {e:?}"))?;
+        fs.write(fd, b"rejoined")
+            .map_err(|e| format!("rank {rank} post-rejoin write: {e:?}"))?;
+        fs.close(fd)
+            .map_err(|e| format!("rank {rank} post-rejoin close: {e:?}"))?;
+        rt.commit_epoch_rank(rank)
+            .map_err(|e| format!("rank {rank} post-rejoin commit: {e:?}"))?;
+    }
+    Ok(QuarantineCycle {
+        quarantined: parked.len() as u64,
+        degraded_reads,
+        rejoined,
+    })
 }
 
 // Re-export so binaries depending on crashverse alone can name them.
@@ -839,6 +1323,107 @@ mod tests {
         }
     }
 
+    #[test]
+    fn nested_counting_covers_recovery_kinds() {
+        // Crashing the very first durability op still leaves a full
+        // recovery to count: mount (snapshot + log scan + replay),
+        // manifest scan, and the replicated mirror rescan.
+        let (outer, rec) = count_recovery_universe(&tiny(), 0).expect("count at k=0");
+        assert_eq!(outer, Some(0), "outer crash must fire at the armed index");
+        assert!(rec.total >= 4, "nested universe too small: {}", rec.total);
+        for op in [
+            RecoveryOp::SnapshotLoad,
+            RecoveryOp::LogScan,
+            RecoveryOp::ManifestScan,
+            RecoveryOp::RescanChunk,
+        ] {
+            assert!(rec.kind(op) > 0, "no {} ops counted", op.name());
+        }
+        // A late crash leaves committed records in the log, so the
+        // mount's replay plane is part of the nested universe too.
+        let (outer, late) =
+            count_recovery_universe(&tiny(), tiny_total() - 1).expect("count at last k");
+        assert!(outer.is_some());
+        assert!(
+            late.kind(RecoveryOp::ReplayApply) > 0,
+            "late-point recovery replayed nothing"
+        );
+        assert!(late.total > rec.total, "later crash must mean more replay");
+    }
+
+    #[test]
+    fn nested_tiny_grid_recovers_every_point() {
+        let t = Telemetry::new();
+        let report = explore_nested(&tiny(), 4, 4, &t).expect("nested grid");
+        assert!(
+            nested_is_clean(&report),
+            "nested universe has violations: {:?}",
+            report.failures
+        );
+        assert!(report.points_run >= 8, "grid too sparse: {report:?}");
+        assert!(
+            report.double_fired >= 8,
+            "too few points fired both crashes: {}",
+            report.double_fired
+        );
+        assert_eq!(
+            report.restarts, report.double_fired,
+            "every double-fire costs exactly one supervisor restart"
+        );
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("crashverse.nested_failures"), 0);
+        assert_eq!(snap.counter("crashverse.nested_points"), report.points_run);
+    }
+
+    #[test]
+    fn quarantine_cycle_parks_serves_and_rejoins() {
+        let c = quarantine_cycle(&tiny()).expect("quarantine cycle");
+        assert!(c.quarantined >= 1, "no rank parked: {c:?}");
+        assert_eq!(c.degraded_reads, c.quarantined, "{c:?}");
+        assert_eq!(c.rejoined, c.quarantined, "{c:?}");
+    }
+
+    #[test]
+    fn double_recovery_is_idempotent() {
+        // Crash mid-universe, kill the first recovery attempt at its
+        // first op, let the supervisor's second attempt land — then
+        // mount everything a *third* time and require the same bytes.
+        let cfg = tiny();
+        let k = tiny_total() / 2;
+        let telemetry = Telemetry::new();
+        let chaos = ChaosHandle::new();
+        let mut stack = build_stack(&cfg, &telemetry, &chaos).expect("stack");
+        chaos.crash_at_op(k, &telemetry);
+        let mut st = RunState::new(cfg.ranks);
+        let failed = drive(&mut stack, &cfg, &mut st);
+        chaos.disarm_crash();
+        assert!(
+            chaos.crash_report().fired.is_some(),
+            "mid-universe point must fire"
+        );
+        let handle = stack.rt.crash_job();
+        chaos.crash_in_recovery(0, &telemetry);
+        let supervised = RecoverySupervisor::new(nested_policy())
+            .attach(handle)
+            .expect("supervised recovery after nested crash");
+        chaos.disarm_recovery();
+        assert!(
+            supervised.outcome().restarts >= 1,
+            "nested kill not absorbed"
+        );
+        let mut rt = supervised.into_runtime();
+        verify(&mut rt, &cfg, &st, failed.as_ref()).expect("first recovery verifies");
+        // The first verify sealed one more epoch per rank (its I3 probe
+        // commit); shift the oracle's bound before the second pass.
+        for rank in 0..cfg.ranks as usize {
+            st.sealed[rank] += 1;
+            st.started[rank] += 1;
+        }
+        let handle2 = rt.crash_job();
+        let mut rt2 = NvmeCrRuntime::attach(handle2).expect("second mount");
+        verify(&mut rt2, &cfg, &st, failed.as_ref()).expect("double mount changed visible bytes");
+    }
+
     mod prop {
         use super::*;
         use proptest::prelude::*;
@@ -857,6 +1442,33 @@ mod tests {
                     k,
                     v.violation
                 );
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(3))]
+
+            /// Random (outer, nested) pairs: killing the j-th op of the
+            /// first recovery attempt never survives to the verdict —
+            /// the second attempt restores byte-identical state.
+            #[test]
+            fn random_nested_pairs_recover(kr in 0u64..u64::MAX, jr in 0u64..u64::MAX) {
+                let k = kr % tiny_total();
+                let (outer, rec) = count_recovery_universe(&tiny(), k)
+                    .map_err(TestCaseError::fail)?;
+                prop_assert_eq!(outer, Some(k));
+                prop_assert!(rec.total > 0, "empty recovery universe at k={}", k);
+                let j = jr % rec.total;
+                let v = run_nested_point(&tiny(), k, j);
+                prop_assert!(
+                    v.passed,
+                    "nested crash ({}, {}) violated invariants: {:?}",
+                    k,
+                    j,
+                    v.violation
+                );
+                prop_assert_eq!(v.nested_fired, Some(j));
+                prop_assert!(v.restarts >= 1);
             }
         }
     }

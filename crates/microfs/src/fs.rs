@@ -280,8 +280,14 @@ impl<D: BlockDevice> MicroFs<D> {
                 layout.block_size, config.block_size
             )));
         }
+        if config.chaos.recovery_fire(chaos::RecoveryOp::SnapshotLoad) {
+            return Err(FsError::Io("crash point: recovery snapshot load".into()));
+        }
         let (seq, generation, state) = snapshot::read_latest(&mut dev, &layout)
             .ok_or_else(|| FsError::Io("no valid snapshot found".into()))?;
+        if config.chaos.recovery_fire(chaos::RecoveryOp::LogScan) {
+            return Err(FsError::Io("crash point: recovery log scan".into()));
+        }
         let (records, scan_end) =
             Wal::scan(&mut dev, layout.log_offset, layout.log_size, generation)?;
         let metrics = FsMetrics::new(&config.telemetry);
@@ -326,6 +332,13 @@ impl<D: BlockDevice> MicroFs<D> {
             let replay_ns = Arc::clone(&self.metrics.replay_ns);
             let _t = replay_ns.time();
             for rec in records {
+                if self
+                    .config
+                    .chaos
+                    .recovery_fire(chaos::RecoveryOp::ReplayApply)
+                {
+                    return Err(FsError::Io("crash point: recovery replay".into()));
+                }
                 self.replay(rec)?;
             }
         }
@@ -616,7 +629,9 @@ impl<D: BlockDevice> MicroFs<D> {
             }
         }
         spans.push((self.layout.block_addr(run_start), run_len * bs));
-        let cow = self.cow.as_mut().expect("cow checked above");
+        let Some(cow) = self.cow.as_mut() else {
+            return;
+        };
         for &(addr, len) in &spans {
             cow.note_whiteout(addr, len);
             // Advisory: devices without extent state ignore the hint.

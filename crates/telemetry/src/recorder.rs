@@ -79,6 +79,16 @@ pub enum FlightKind {
     /// durability-op index (trip; `a` holds the op kind's code, `b` the
     /// global op index).
     CrashPoint = 19,
+    /// Chaos: the nested crash plane killed a recovery attempt at an
+    /// exact recovery-op index (trip; `a` holds the recovery-op kind's
+    /// code, `b` the nested op index).
+    RecoveryCrashPoint = 20,
+    /// Supervisor: a rank exhausted its recovery budget and was
+    /// quarantined (trip; `a` holds the rank, `b` the failure count).
+    RecoveryQuarantine = 21,
+    /// Supervisor: a quarantined rank began degraded read-only serving
+    /// from its replica (`a` holds the rank, `b` the served epoch).
+    DegradedServe = 22,
 }
 
 impl FlightKind {
@@ -110,6 +120,9 @@ impl FlightKind {
             17 => Failover,
             18 => Trip,
             19 => CrashPoint,
+            20 => RecoveryCrashPoint,
+            21 => RecoveryQuarantine,
+            22 => DegradedServe,
             _ => return None,
         })
     }
@@ -136,6 +149,9 @@ impl FlightKind {
             FlightKind::Failover => "failover",
             FlightKind::Trip => "trip",
             FlightKind::CrashPoint => "crash_point",
+            FlightKind::RecoveryCrashPoint => "recovery_crash_point",
+            FlightKind::RecoveryQuarantine => "recovery_quarantine",
+            FlightKind::DegradedServe => "degraded_serve",
         }
     }
 }
@@ -497,7 +513,7 @@ mod tests {
 
     #[test]
     fn kind_codes_roundtrip() {
-        for code in 1..=19u64 {
+        for code in 1..=22u64 {
             let k = FlightKind::from_code(code).unwrap();
             assert_eq!(k.code(), code);
             assert!(!k.name().is_empty());

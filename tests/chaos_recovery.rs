@@ -10,7 +10,7 @@ use cluster::{JobRequest, Scheduler, Topology};
 use microfs::{FsConfig, FsError, MemDevice, MicroFs, OpenFlags};
 use nvmecr::multilevel::MultiLevelPolicy;
 use nvmecr::runtime::{NvmeCrRuntime, StorageRack};
-use nvmecr::RuntimeConfig;
+use nvmecr::{RecoveryPolicy, RecoverySupervisor, RuntimeConfig};
 use ssd::{Ssd, SsdConfig};
 use telemetry::Telemetry;
 
@@ -539,6 +539,196 @@ fn scrub_repairs_bit_rot_and_reports_double_corruption() {
     let snap = telemetry.snapshot();
     assert!(snap.counter("replication.repairs") >= 1);
     assert!(snap.counter("chaos.injected") >= 3);
+}
+
+/// A fast-failing supervisor policy for tests: tiny backoff, generous
+/// deadline, quarantine threshold as given.
+fn test_policy(max_attempts: u32, quarantine_after: u32) -> RecoveryPolicy {
+    RecoveryPolicy {
+        max_attempts,
+        base_backoff_ns: 1_000,
+        deadline_ns: 30_000_000_000,
+        quarantine_after,
+    }
+}
+
+#[test]
+fn supervisor_absorbs_nested_recovery_crash_on_second_attempt() {
+    let (rack, topo, alloc, config, _ssd_chaos, chaos, telemetry) = replicated_chaos_testbed();
+    let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config).unwrap();
+    let len = 64 << 10;
+    for rank in 0..2u32 {
+        checkpoint(&mut rt, rank, "/sup.dat", &pattern(rank, len));
+    }
+    rt.commit_epochs().unwrap();
+    let handle = rt.crash_job();
+
+    // The nested crash plane kills recovery op 2 of the first attempt —
+    // with one attempt allowed, the attach must surface that kill.
+    chaos.crash_in_recovery(2, &telemetry);
+    let strict = RecoverySupervisor::new(test_policy(1, 0));
+    assert!(
+        strict.attach(handle.clone()).is_err(),
+        "a single-attempt policy must fail when recovery is killed"
+    );
+    chaos.disarm_recovery();
+
+    // Same kill, default budget: the second attempt replays the same log
+    // from the top and must land byte-identically.
+    chaos.crash_in_recovery(2, &telemetry);
+    let supervised = RecoverySupervisor::new(test_policy(2, 0))
+        .attach(handle)
+        .expect("the second recovery attempt must absorb the nested crash");
+    chaos.disarm_recovery();
+    assert_eq!(supervised.outcome().restarts, 1);
+    assert!(supervised.quarantined().is_empty());
+    let mut rt = supervised.into_runtime();
+    for rank in 0..2u32 {
+        assert_eq!(
+            read_back(&mut rt, rank, "/sup.dat", len),
+            pattern(rank, len),
+            "rank {rank} must recover byte-identically on the re-attempt"
+        );
+    }
+    let snap = telemetry.snapshot();
+    assert!(snap.counter("recovery.attempts") >= 3, "two attaches");
+    assert!(snap.counter("recovery.restarts") >= 1);
+    assert!(
+        snap.counter("recovery.replay_reentries") >= 1,
+        "the restart happened under an armed nested plane"
+    );
+    assert_eq!(snap.counter("recovery.quarantined"), 0);
+}
+
+#[test]
+fn quarantine_serves_degraded_reads_until_rejoin() {
+    let (rack, topo, alloc, config, _ssd_chaos, _chaos, telemetry) = replicated_chaos_testbed();
+    let ranks = 8u32;
+    let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config).unwrap();
+    let len = 96 << 10;
+    checkpoint(&mut rt, 1, "/sealed.dat", &pattern(1, len));
+    rt.commit_epochs().unwrap();
+    // Acknowledged but uncommitted: part of no complete epoch, so the
+    // degraded image (last complete epoch only) must not contain it.
+    checkpoint(&mut rt, 1, "/tail.dat", &pattern(2, 16 << 10));
+    // The shared grant shard dies: every rank's primary is unreachable,
+    // and every recovery attempt must fail the same way.
+    rt.kill_primary_shard(1).unwrap();
+    let handle = rt.crash_job();
+
+    // Quarantine disabled: the attach fails outright — this is the
+    // pre-supervisor behavior the quarantine path exists to replace.
+    let strict = RecoverySupervisor::new(test_policy(2, 0));
+    assert!(
+        strict.attach(handle.clone()).is_err(),
+        "with quarantine disabled a dead shard must fail the attach"
+    );
+
+    // Quarantine enabled: the attach succeeds, every rank behind the dead
+    // shard is parked (co-located ranks share the grant namespace and its
+    // blast radius), and the sealed epoch is readable from the replicas.
+    let mut supervised = RecoverySupervisor::new(test_policy(2, 2))
+        .attach(handle)
+        .expect("quarantine must absorb the dead shard");
+    let parked = supervised.quarantined().to_vec();
+    assert!(parked.contains(&1), "rank 1 sat on the dead shard");
+    assert_eq!(
+        supervised.outcome().degraded_serves,
+        parked.len() as u64,
+        "every quarantined rank has a live replica to serve from"
+    );
+    for rank in 0..ranks {
+        assert_eq!(
+            supervised.runtime().is_mounted(rank),
+            !parked.contains(&rank)
+        );
+    }
+    {
+        let degraded = supervised
+            .degraded_mut(1)
+            .expect("rank 1 must serve degraded");
+        assert!(degraded.epoch() >= 1);
+        assert_eq!(
+            degraded.read_file("/sealed.dat").expect("degraded read"),
+            pattern(1, len),
+            "the last complete epoch must be readable while quarantined"
+        );
+        assert!(
+            degraded.stat("/tail.dat").is_err(),
+            "uncommitted tail writes are not part of the degraded image"
+        );
+    }
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.counter("recovery.quarantined"), parked.len() as u64);
+    assert_eq!(
+        snap.counter("recovery.degraded_serves"),
+        parked.len() as u64
+    );
+    assert_eq!(
+        snap.counter("recovery.replay_reentries"),
+        0,
+        "no nested plane was armed — these restarts are not replay re-entries"
+    );
+
+    // Rejoin rank 1 through the failover path: replacement namespace on a
+    // partner domain, restored from the replica, read-write again.
+    supervised.rejoin(1, &rack, &topo).expect("rejoin");
+    assert!(!supervised.quarantined().contains(&1));
+    assert!(supervised.degraded_mut(1).is_none());
+    let rt = supervised.runtime_mut();
+    assert!(rt.is_mounted(1));
+    assert_eq!(read_back(rt, 1, "/sealed.dat", len), pattern(1, len));
+    checkpoint(rt, 1, "/after_rejoin.dat", &pattern(3, len));
+    assert_eq!(read_back(rt, 1, "/after_rejoin.dat", len), pattern(3, len));
+    assert_eq!(rt.commit_epoch_rank(1).unwrap(), Some(2));
+    // Rejoining a healthy rank is a caller error, not a silent failover.
+    assert!(supervised.rejoin(1, &rack, &topo).is_err());
+}
+
+#[test]
+fn failover_restore_reattempts_after_nested_kill() {
+    // The nested crash plane can also kill a failover's replica restore
+    // (chain materialization / extent copy); a second attempt over the
+    // same replica must succeed — the restore is idempotent.
+    let (rack, topo, alloc, mut config, ssd_chaos, chaos, telemetry) = replicated_chaos_testbed();
+    config.delta_chain_max = 4;
+    let mut rt = NvmeCrRuntime::init(&rack, &topo, &alloc, config).unwrap();
+    let len = 96 << 10;
+    checkpoint(&mut rt, 3, "/base.dat", &pattern(3, len));
+    rt.commit_epochs().unwrap();
+    checkpoint(&mut rt, 3, "/delta.dat", &pattern(4, 16 << 10));
+    rt.commit_epochs().unwrap();
+    rt.crash_rank(3).unwrap();
+    ssd_chaos.arm(
+        FaultPlan::new(13).at_op(FaultSite::ShardIo, FaultAction::KillShard, 0),
+        &telemetry,
+    );
+    let dead = {
+        let fs = rt.rank_fs(0).unwrap();
+        match fs.create("/doomed.dat", 0o644) {
+            Err(_) => true,
+            Ok(fd) => fs.write(fd, &[0u8; 4096]).is_err() || fs.close(fd).is_err(),
+        }
+    };
+    ssd_chaos.disarm();
+    assert!(dead, "IO against the killed shard must fail");
+    // Recovery op 0 of the failover is the first chain-materialize link.
+    chaos.crash_in_recovery(0, &telemetry);
+    assert!(
+        rt.fail_over_rank(3, &rack, &topo).is_err(),
+        "the nested kill must surface from the restore"
+    );
+    chaos.begin_recovery_attempt();
+    rt.fail_over_rank(3, &rack, &topo)
+        .expect("the second restore attempt over the same replica must succeed");
+    chaos.disarm_recovery();
+    assert_eq!(read_back(&mut rt, 3, "/base.dat", len), pattern(3, len));
+    assert_eq!(
+        read_back(&mut rt, 3, "/delta.dat", 16 << 10),
+        pattern(4, 16 << 10)
+    );
+    let report = rt.scrub_rank(3).unwrap().unwrap();
+    assert_eq!(report.unrecoverable, 0);
 }
 
 #[test]
